@@ -1,0 +1,93 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index), plus bechamel
+   micro-benchmarks of the core data-path operations.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, full durations
+     dune exec bench/main.exe -- --quick      -- everything, short durations
+     dune exec bench/main.exe -- table2b fig3c ... [--quick]
+     dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
+
+   SAMYA_BENCH_QUICK=1 in the environment is equivalent to --quick. *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let rng = Des.Rng.create 99L in
+  let entries =
+    List.init 16 (fun site ->
+        {
+          Samya.Reallocation.site;
+          tokens_left = Des.Rng.int rng 2_000;
+          tokens_wanted = Des.Rng.int rng 500;
+        })
+  in
+  let realloc =
+    Test.make ~name:"reallocation.redistribute(16 sites)"
+      (Staged.stage (fun () -> ignore (Samya.Reallocation.redistribute entries)))
+  in
+  let heap =
+    Test.make ~name:"pheap.push+pop(1k)"
+      (Staged.stage (fun () ->
+           let h = Des.Pheap.create () in
+           for i = 0 to 999 do
+             Des.Pheap.push h ~priority:(float_of_int ((i * 7) mod 997)) i
+           done;
+           while Des.Pheap.pop h <> None do
+             ()
+           done))
+  in
+  let a = Ml.Matrix.random (Des.Rng.create 3L) 64 64 ~scale:1.0 in
+  let b = Ml.Matrix.random (Des.Rng.create 4L) 64 64 ~scale:1.0 in
+  let matmul =
+    Test.make ~name:"matrix.matmul(64x64)"
+      (Staged.stage (fun () -> ignore (Ml.Matrix.matmul a b)))
+  in
+  let series = Array.init 400 (fun i -> 50.0 +. (40.0 *. sin (float_of_int i /. 9.0))) in
+  let model =
+    Ml.Lstm.train
+      ~config:{ Ml.Lstm.default_config with epochs = 2; hidden = 8; window = 12 }
+      series
+  in
+  let lstm =
+    Test.make ~name:"lstm.predict_next(w=12,h=8)"
+      (Staged.stage (fun () -> ignore (Ml.Lstm.predict_next model series)))
+  in
+  let grouped = Test.make_grouped ~name:"core" [ realloc; heap; matmul; lstm ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "@.== micro: bechamel benchmarks of core operations ==@.";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ time_ns ] -> Format.printf "  %-42s %12.1f ns/run@." name time_ns
+      | Some _ | None -> ())
+    analyzed;
+  Format.printf "@."
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
+  let quick =
+    List.mem "--quick" args || Sys.getenv_opt "SAMYA_BENCH_QUICK" = Some "1"
+  in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let run_micro = ids = [] || List.mem "micro" ids in
+  let experiment_ids =
+    if ids = [] then Harness.Registry.ids () |> List.filter (fun id -> id <> "fig3b")
+    else List.filter (fun id -> id <> "micro") ids
+  in
+  Format.printf
+    "Samya reproduction benchmarks (%s durations; seed fixed, fully deterministic)@."
+    (if quick then "quick" else "paper-scale");
+  let ctx = Harness.Lab.create () in
+  List.iter
+    (fun id ->
+      match Harness.Registry.run_by_id ctx ~quick Format.std_formatter id with
+      | Ok () -> ()
+      | Error message ->
+          Format.printf "error: %s@." message;
+          exit 2)
+    experiment_ids;
+  if run_micro then micro_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+examples/airline.ml: Array Des Format Geonet Samya

@@ -1,0 +1,1 @@
+examples/inventory.ml: Array Des Format Geonet Samya

@@ -1,0 +1,1 @@
+examples/org_quotas.ml: Array Des Format Geonet Hashtbl Hierarchy List Option Samya

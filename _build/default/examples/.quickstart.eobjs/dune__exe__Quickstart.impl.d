@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Des Format Geonet Samya

@@ -1,0 +1,1 @@
+examples/rate_limiter.ml: Array Des Float Format Geonet Hashtbl List Option Samya

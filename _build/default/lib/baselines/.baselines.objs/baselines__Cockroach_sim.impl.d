@@ -1,0 +1,1 @@
+lib/baselines/cockroach_sim.ml: Array Consensus Des Geonet Hashtbl List Printf Queue Rsm Samya

@@ -1,0 +1,1 @@
+lib/baselines/cockroach_sim.mli: Des Geonet Samya

@@ -1,0 +1,1 @@
+lib/baselines/crdt_counter.ml: Array Des Geonet Hashtbl Samya

@@ -1,0 +1,1 @@
+lib/baselines/crdt_counter.mli: Des Geonet Samya

@@ -1,0 +1,1 @@
+lib/baselines/demarcation.ml: Array Des Float Geonet Hashtbl List Printf Queue Samya

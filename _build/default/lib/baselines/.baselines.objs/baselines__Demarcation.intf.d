@@ -1,0 +1,1 @@
+lib/baselines/demarcation.mli: Des Geonet Samya

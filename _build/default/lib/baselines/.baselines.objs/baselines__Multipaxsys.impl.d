@@ -1,0 +1,1 @@
+lib/baselines/multipaxsys.ml: Array Consensus Des Geonet Hashtbl List Printf Queue Rsm Samya

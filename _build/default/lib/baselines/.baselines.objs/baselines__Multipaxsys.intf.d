@@ -1,0 +1,1 @@
+lib/baselines/multipaxsys.mli: Des Geonet Samya

@@ -1,0 +1,1 @@
+lib/baselines/rsm.ml: Hashtbl Option Samya

@@ -1,0 +1,1 @@
+lib/baselines/rsm.mli: Samya

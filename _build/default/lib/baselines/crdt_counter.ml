@@ -1,0 +1,161 @@
+module Types = Samya.Types
+
+type vectors = {
+  increments : int array; (* per replica *)
+  decrements : int array;
+}
+
+type entity_state = {
+  maximum : int;
+  mutable local : vectors; (* this replica's merged view *)
+}
+
+type msg = Gossip of { g_entity : Types.entity; vectors : vectors }
+
+type replica = {
+  replica_id : int;
+  states : (Types.entity, entity_state) Hashtbl.t;
+}
+
+type t = {
+  engine : Des.Engine.t;
+  network : msg Geonet.Network.t;
+  region_array : Geonet.Region.t array;
+  replicas : replica array;
+  rng : Des.Rng.t;
+  maxima : (Types.entity, int) Hashtbl.t;
+}
+
+let merge a b =
+  {
+    increments = Array.map2 max a.increments b.increments;
+    decrements = Array.map2 max a.decrements b.decrements;
+  }
+
+let view_total v =
+  Array.fold_left ( + ) 0 v.increments - Array.fold_left ( + ) 0 v.decrements
+
+let create ?(seed = 42L) ?regions ?(gossip_interval_ms = 1_000.0) () =
+  let regions =
+    match regions with Some r -> r | None -> Array.of_list Geonet.Region.default_five
+  in
+  let engine = Des.Engine.create ~seed () in
+  let network = Geonet.Network.create engine ~regions () in
+  let replicas =
+    Array.init (Array.length regions) (fun replica_id ->
+        { replica_id; states = Hashtbl.create 4 })
+  in
+  let t =
+    {
+      engine;
+      network;
+      region_array = regions;
+      replicas;
+      rng = Des.Rng.split (Des.Engine.rng engine);
+      maxima = Hashtbl.create 4;
+    }
+  in
+  Array.iteri
+    (fun node replica ->
+      Geonet.Network.register network ~node (fun envelope ->
+          match envelope.Geonet.Network.payload with
+          | Gossip { g_entity; vectors } -> (
+              match Hashtbl.find_opt replica.states g_entity with
+              | Some state -> state.local <- merge state.local vectors
+              | None -> ())))
+    replicas;
+  (* State-based gossip: each replica periodically pushes its merged view
+     to every peer. *)
+  let rec gossip_loop () =
+    Des.Engine.schedule engine ~delay_ms:gossip_interval_ms (fun () ->
+        Array.iter
+          (fun replica ->
+            Hashtbl.iter
+              (fun g_entity state ->
+                Geonet.Network.broadcast network ~src:replica.replica_id
+                  (Gossip { g_entity; vectors = state.local }))
+              replica.states)
+          replicas;
+        gossip_loop ())
+  in
+  gossip_loop ();
+  t
+
+let engine t = t.engine
+
+let init_entity t ~entity ~maximum =
+  Hashtbl.replace t.maxima entity maximum;
+  let n = Array.length t.replicas in
+  Array.iter
+    (fun replica ->
+      Hashtbl.replace replica.states entity
+        {
+          maximum;
+          local = { increments = Array.make n 0; decrements = Array.make n 0 };
+        })
+    t.replicas
+
+let nearest t ~region =
+  let best = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if
+        Geonet.Region.one_way_ms region r
+        < Geonet.Region.one_way_ms region t.region_array.(!best)
+      then best := i)
+    t.region_array;
+  !best
+
+let submit t ~region request ~reply =
+  match Types.validate request with
+  | Error _ -> reply Types.Rejected
+  | Ok () ->
+      let replica_id = nearest t ~region in
+      let replica = t.replicas.(replica_id) in
+      let leg =
+        (Geonet.Region.client_site_rtt_ms /. 2.0)
+        +. Geonet.Region.one_way_ms region t.region_array.(replica_id)
+      in
+      Des.Engine.schedule t.engine ~delay_ms:leg (fun () ->
+          let answer response =
+            Des.Engine.schedule t.engine ~delay_ms:leg (fun () -> reply response)
+          in
+          let entity = Types.request_entity request in
+          match Hashtbl.find_opt replica.states entity with
+          | None -> answer Types.Rejected
+          | Some state -> (
+              match request with
+              | Types.Read _ ->
+                  answer
+                    (Types.Read_result
+                       { tokens_available = state.maximum - view_total state.local })
+              | Types.Acquire { amount; _ } ->
+                  (* The constraint check can only consult the local,
+                     possibly stale, view. *)
+                  if view_total state.local + amount <= state.maximum then begin
+                    state.local.increments.(replica_id) <-
+                      state.local.increments.(replica_id) + amount;
+                    answer Types.Granted
+                  end
+                  else answer Types.Rejected
+              | Types.Release { amount; _ } ->
+                  state.local.decrements.(replica_id) <-
+                    state.local.decrements.(replica_id) + amount;
+                  answer Types.Granted))
+
+(* Ground truth: each replica is authoritative for its own slots. *)
+let total_acquired t ~entity =
+  Array.fold_left
+    (fun acc replica ->
+      match Hashtbl.find_opt replica.states entity with
+      | Some state ->
+          acc
+          + state.local.increments.(replica.replica_id)
+          - state.local.decrements.(replica.replica_id)
+      | None -> acc)
+    0 t.replicas
+
+let overshoot t ~entity =
+  match Hashtbl.find_opt t.maxima entity with
+  | Some maximum -> max 0 (total_acquired t ~entity - maximum)
+  | None -> 0

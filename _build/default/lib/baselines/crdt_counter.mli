@@ -1,0 +1,45 @@
+(** An eventually-consistent replicated counter (CRDT), for the §2
+    comparison.
+
+    A PN-counter: each replica owns an increment vector and a decrement
+    vector, merged by pointwise max during periodic gossip — the standard
+    state-based CRDT. Replicas serve acquires and releases locally with no
+    coordination at all and converge to the same total.
+
+    The point of the baseline is what it {e cannot} do: enforcing the
+    global constraint requires checking [total_acquired <= maximum]
+    against a view that is stale by up to a gossip round, so concurrent
+    acquires near the limit overshoot it. CRDTs give convergence, not
+    invariants — which is exactly the gap Samya fills (the paper's CRDT
+    discussion in §2). *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?regions:Geonet.Region.t array ->
+  ?gossip_interval_ms:float ->
+  unit ->
+  t
+(** Default: the paper's five regions, 1 s gossip. *)
+
+val engine : t -> Des.Engine.t
+
+val init_entity : t -> entity:Samya.Types.entity -> maximum:int -> unit
+
+val submit :
+  t ->
+  region:Geonet.Region.t ->
+  Samya.Types.request ->
+  reply:(Samya.Types.response -> unit) ->
+  unit
+(** Acquires are granted iff the replica's {e local view} of the total
+    stays within the maximum — the best a coordination-free counter can
+    check. *)
+
+val total_acquired : t -> entity:Samya.Types.entity -> int
+(** The converged total (sum over replicas' own counts) — ground truth,
+    which can exceed the maximum. *)
+
+val overshoot : t -> entity:Samya.Types.entity -> int
+(** [max 0 (total_acquired - maximum)]: how far Equation 1 was violated. *)

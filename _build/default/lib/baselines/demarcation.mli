@@ -1,0 +1,56 @@
+(** Demarcation/Escrow — the value-partitioned baseline (§5, baseline ii).
+
+    Captures the mechanisms of the demarcation protocol (Barbara &
+    Garcia-Molina) extended to N sites (Alonso & El Abbadi) with site
+    escrows (Kumar & Stonebraker): every site starts with an equal escrow
+    of the entity's maximum and serves requests locally; when a request
+    exceeds the local escrow the site {e borrows} from peers, asking one
+    peer at a time in proximity order. A lender transfers the borrower's
+    immediate need plus a small fixed escrow quantum — demarcation adjusts
+    limits incrementally, with no notion of globally rebalancing the
+    value. Client requests queue while a borrow is in progress.
+
+    Faithful to its ancestry, the protocol assumes a reliable network — no
+    retransmissions; a lost message blocks the borrower (a patience timer
+    eventually rejects its queue so simulations terminate). There is no
+    prediction and no global redistribution, which is exactly what Samya
+    adds on top (§5.3: latency spikes on demand peaks, ~1.3x lower
+    throughput). *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?regions:Geonet.Region.t array ->
+  ?processing_ms:float ->
+  ?borrow_patience_ms:float ->
+  ?borrow_quantum:int ->
+  unit ->
+  t
+(** Default regions: the paper's five (us-west1, asia-east2, europe-west2,
+    australia-southeast1, southamerica-east1). [borrow_quantum] (default
+    10) is the fixed escrow chunk a lender adds on top of the borrower's
+    immediate need — demarcation adjusts limits in small increments, which
+    is what keeps it borrowing again at every demand peak. *)
+
+val engine : t -> Des.Engine.t
+
+val init_entity : t -> entity:Samya.Types.entity -> maximum:int -> unit
+
+val submit :
+  t ->
+  region:Geonet.Region.t ->
+  Samya.Types.request ->
+  reply:(Samya.Types.response -> unit) ->
+  unit
+
+val crash_site : t -> int -> unit
+val partition : t -> int list list -> unit
+val heal : t -> unit
+
+val total_tokens_left : t -> entity:Samya.Types.entity -> int
+val total_acquired : t -> entity:Samya.Types.entity -> int
+val borrows : t -> int
+(** Total borrow round-trips performed. *)
+
+val check_invariant : t -> entity:Samya.Types.entity -> maximum:int -> (unit, string) result

@@ -1,0 +1,65 @@
+(** MultiPaxSys — the Spanner-like baseline (§5, baseline i).
+
+    A geo-replicated database that runs multi-Paxos for every transaction.
+    Five replicas, three of them in US regions (Spanner-style placement
+    keeps a majority close to the leader for fast replication); a fixed
+    leader at the central US site serializes all transactions on a given
+    entity and each read-write transaction costs {e two} sequential
+    majority replication rounds (write intent, then commit — the
+    lock/commit structure of a Spanner read-write transaction). This is
+    what makes a hot aggregate row a throughput bottleneck: conflicting
+    transactions cannot pipeline.
+
+    Reads are served at the leader without replication (§5.8).
+
+    The constraint of Equation 1 is enforced by the replicated state
+    machine itself: an acquire that would exceed the maximum is rejected at
+    execution time. *)
+
+type t
+
+val regions : Geonet.Region.t array
+(** The placement: us-west1, us-central1 (leader), us-east1, asia-east2,
+    europe-west2. *)
+
+val create :
+  ?seed:int64 ->
+  ?regions:Geonet.Region.t array ->
+  ?leader:int ->
+  ?processing_ms:float ->
+  ?max_queue:int ->
+  unit ->
+  t
+(** [max_queue] (default 1) bounds the per-entity transaction queue at the
+    leader; excess offered load is shed without a reply, so reported
+    latencies reflect protocol cost rather than an unbounded open-loop
+    queue (the paper's clients behave the same way: committed transactions
+    carry protocol-scale latencies while the hot row saturates). *)
+
+val engine : t -> Des.Engine.t
+
+val init_entity : t -> entity:Samya.Types.entity -> maximum:int -> unit
+
+val submit :
+  t ->
+  region:Geonet.Region.t ->
+  Samya.Types.request ->
+  reply:(Samya.Types.response -> unit) ->
+  unit
+(** Routed to the leader; [Unavailable] if the leader is down or cannot
+    commit (majority lost) within the patience window. *)
+
+val crash_site : t -> int -> unit
+val recover_site : t -> int -> unit
+val partition : t -> int list list -> unit
+val heal : t -> unit
+
+val total_acquired : t -> entity:Samya.Types.entity -> int
+(** Committed acquires minus releases, from the leader's state machine. *)
+
+val committed_txns : t -> int
+
+val dropped_txns : t -> int
+(** Requests shed by admission control. *)
+
+val check_invariant : t -> entity:Samya.Types.entity -> maximum:int -> (unit, string) result

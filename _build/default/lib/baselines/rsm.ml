@@ -1,0 +1,37 @@
+type command = {
+  c_entity : Samya.Types.entity;
+  delta : int;
+  intent : bool;
+}
+
+type state = {
+  acquired_tbl : (Samya.Types.entity, int) Hashtbl.t;
+  maxima : (Samya.Types.entity, int) Hashtbl.t;
+  outcomes : (Samya.Types.entity, bool) Hashtbl.t;
+}
+
+let create_state () =
+  { acquired_tbl = Hashtbl.create 4; maxima = Hashtbl.create 4; outcomes = Hashtbl.create 4 }
+
+let set_maximum state ~entity maximum = Hashtbl.replace state.maxima entity maximum
+
+let acquired state ~entity = Option.value (Hashtbl.find_opt state.acquired_tbl entity) ~default:0
+
+let maximum state ~entity = Option.value (Hashtbl.find_opt state.maxima entity) ~default:max_int
+
+let last_outcome state ~entity =
+  Option.value (Hashtbl.find_opt state.outcomes entity) ~default:false
+
+let apply state command =
+  if not command.intent then begin
+    let current = acquired state ~entity:command.c_entity in
+    let limit = maximum state ~entity:command.c_entity in
+    let next = current + command.delta in
+    let ok = next >= 0 && next <= limit in
+    if ok then Hashtbl.replace state.acquired_tbl command.c_entity next;
+    Hashtbl.replace state.outcomes command.c_entity ok
+  end
+
+let available state ~entity =
+  let limit = maximum state ~entity in
+  if limit = max_int then 0 else limit - acquired state ~entity

@@ -1,0 +1,35 @@
+(** The deterministic entity-counter state machine shared by the replicated
+    baselines (MultiPaxSys and the CockroachDB-like system).
+
+    Log entries are either no-op {e intents} (the locking round of a
+    read-write transaction) or {e commits} carrying a token delta. A commit
+    that would take an entity's usage outside [\[0, maximum\]] applies as a
+    no-op, and the per-entity outcome of the last applied commit is
+    recorded so a leader can answer its client with the decision the state
+    machine actually took. *)
+
+type command = {
+  c_entity : Samya.Types.entity;
+  delta : int;  (** +n acquire, -m release; 0 for intents *)
+  intent : bool;
+}
+
+type state
+
+val create_state : unit -> state
+
+val set_maximum : state -> entity:Samya.Types.entity -> int -> unit
+
+val apply : state -> command -> unit
+
+val acquired : state -> entity:Samya.Types.entity -> int
+
+val maximum : state -> entity:Samya.Types.entity -> int
+(** [max_int] when unset. *)
+
+val last_outcome : state -> entity:Samya.Types.entity -> bool
+(** Whether the most recent commit entry for [entity] was accepted;
+    [false] before any commit. *)
+
+val available : state -> entity:Samya.Types.entity -> int
+(** [maximum - acquired] (0 when no maximum configured). *)

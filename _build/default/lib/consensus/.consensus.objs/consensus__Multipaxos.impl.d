@@ -1,0 +1,1 @@
+lib/consensus/multipaxos.ml: Hashtbl List Storage

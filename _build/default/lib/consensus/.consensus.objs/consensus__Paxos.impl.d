@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Ballot Des Hashtbl List Storage

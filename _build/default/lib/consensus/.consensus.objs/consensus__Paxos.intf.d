@@ -1,0 +1,1 @@
+lib/consensus/paxos.mli: Ballot Des

@@ -1,0 +1,1 @@
+lib/consensus/raft.ml: Array Des Hashtbl List Option Storage

@@ -1,0 +1,1 @@
+lib/consensus/raft.mli: Des

@@ -1,0 +1,182 @@
+type 'v msg =
+  | Prepare of { bal : Ballot.t }
+  | Promise of { bal : Ballot.t; accepted : (Ballot.t * 'v) option }
+  | Nack of { bal : Ballot.t }
+  | Accept of { bal : Ballot.t; value : 'v }
+  | Accepted of { bal : Ballot.t }
+  | Learn of { bal : Ballot.t; value : 'v }
+
+(* Durable acceptor state, journalled as a whole on every mutation. *)
+type 'v acceptor = {
+  promised : Ballot.t;
+  accepted : (Ballot.t * 'v) option;
+}
+
+type 'v proposer_phase =
+  | Idle
+  | Preparing of { bal : Ballot.t; promises : (int, (Ballot.t * 'v) option) Hashtbl.t }
+  | Accepting of { bal : Ballot.t; value : 'v; acks : (int, unit) Hashtbl.t }
+
+type 'v t = {
+  engine : Des.Engine.t;
+  id : int;
+  nodes : int list;
+  send : int -> 'v msg -> unit;
+  on_decide : 'v -> unit;
+  retry_timeout_ms : float;
+  store : 'v acceptor Storage.Stable_store.t;
+  mutable acceptor : 'v acceptor;
+  mutable phase : 'v proposer_phase;
+  mutable wanted : 'v option; (* the value this node tried to propose *)
+  mutable decided : 'v option;
+  mutable retry : Des.Engine.timer option;
+}
+
+let majority t = (List.length t.nodes / 2) + 1
+
+let create ~engine ~id ~nodes ~send ~on_decide ?(retry_timeout_ms = 500.0) () =
+  let store = Storage.Stable_store.create () in
+  let acceptor = { promised = Ballot.zero id; accepted = None } in
+  Storage.Stable_store.put store ~key:"acceptor" acceptor;
+  {
+    engine;
+    id;
+    nodes;
+    send;
+    on_decide;
+    retry_timeout_ms;
+    store;
+    acceptor;
+    phase = Idle;
+    wanted = None;
+    decided = None;
+    retry = None;
+  }
+
+let ballot t =
+  match t.phase with
+  | Preparing { bal; _ } | Accepting { bal; _ } ->
+      if Ballot.(bal > t.acceptor.promised) then bal else t.acceptor.promised
+  | Idle -> t.acceptor.promised
+
+let persist t acceptor =
+  t.acceptor <- acceptor;
+  Storage.Stable_store.put t.store ~key:"acceptor" acceptor
+
+let broadcast t msg = List.iter (fun node -> if node <> t.id then t.send node msg) t.nodes
+
+let decide t value =
+  if t.decided = None then begin
+    t.decided <- Some value;
+    (match t.retry with Some timer -> Des.Engine.cancel timer | None -> ());
+    t.retry <- None;
+    t.phase <- Idle;
+    t.on_decide value
+  end
+
+let cancel_retry t =
+  match t.retry with
+  | Some timer ->
+      Des.Engine.cancel timer;
+      t.retry <- None
+  | None -> ()
+
+let rec arm_retry t =
+  cancel_retry t;
+  t.retry <-
+    Some
+      (Des.Engine.timer t.engine ~delay_ms:t.retry_timeout_ms (fun () ->
+           t.retry <- None;
+           if t.decided = None then
+             match t.wanted with Some v -> start_round t v | None -> ()))
+
+and start_round t value =
+  t.wanted <- Some value;
+  let bal = Ballot.next (ballot t) ~site:t.id in
+  let promises = Hashtbl.create 8 in
+  t.phase <- Preparing { bal; promises };
+  (* Self-promise. *)
+  persist t { t.acceptor with promised = bal };
+  Hashtbl.replace promises t.id t.acceptor.accepted;
+  broadcast t (Prepare { bal });
+  arm_retry t;
+  check_promises t
+
+and check_promises t =
+  match t.phase with
+  | Preparing { bal; promises } when Hashtbl.length promises >= majority t ->
+      (* Adopt the highest accepted value among the promises, if any. *)
+      let best =
+        Hashtbl.fold
+          (fun _ accepted best ->
+            match (accepted, best) with
+            | None, best -> best
+            | Some (b, v), Some (b', _) when Ballot.(b' >= b) -> Some (b', v)
+            | Some (b, v), _ -> Some (b, v))
+          promises None
+      in
+      let value =
+        match (best, t.wanted) with
+        | Some (_, v), _ -> v
+        | None, Some v -> v
+        | None, None -> assert false
+      in
+      let acks = Hashtbl.create 8 in
+      t.phase <- Accepting { bal; value; acks };
+      persist t { promised = bal; accepted = Some (bal, value) };
+      Hashtbl.replace acks t.id ();
+      broadcast t (Accept { bal; value });
+      check_acks t
+  | Preparing _ | Accepting _ | Idle -> ()
+
+and check_acks t =
+  match t.phase with
+  | Accepting { bal; value; acks } when Hashtbl.length acks >= majority t ->
+      broadcast t (Learn { bal; value });
+      decide t value
+  | Accepting _ | Preparing _ | Idle -> ()
+
+let propose t value =
+  match t.decided with
+  | Some _ -> ()
+  | None -> start_round t value
+
+let handle t ~src msg =
+  match msg with
+  | Prepare { bal } ->
+      if Ballot.(bal > t.acceptor.promised) then begin
+        persist t { t.acceptor with promised = bal };
+        t.send src (Promise { bal; accepted = t.acceptor.accepted })
+      end
+      else t.send src (Nack { bal = t.acceptor.promised })
+  | Promise { bal; accepted } -> (
+      match t.phase with
+      | Preparing ({ bal = current; promises } as _p) when Ballot.equal bal current ->
+          Hashtbl.replace promises src accepted;
+          check_promises t
+      | Preparing _ | Accepting _ | Idle -> ())
+  | Nack { bal } ->
+      (* Someone holds a higher ballot: back off; the retry timer will
+         re-run with a ballot above [bal]. *)
+      if Ballot.(bal > t.acceptor.promised) then persist t { t.acceptor with promised = bal }
+  | Accept { bal; value } ->
+      if Ballot.(bal >= t.acceptor.promised) then begin
+        persist t { promised = bal; accepted = Some (bal, value) };
+        t.send src (Accepted { bal })
+      end
+      else t.send src (Nack { bal = t.acceptor.promised })
+  | Accepted { bal } -> (
+      match t.phase with
+      | Accepting ({ bal = current; acks; _ } as _a) when Ballot.equal bal current ->
+          Hashtbl.replace acks src ();
+          check_acks t
+      | Accepting _ | Preparing _ | Idle -> ())
+  | Learn { bal = _; value } -> decide t value
+
+let decided t = t.decided
+
+let restart t =
+  cancel_retry t;
+  t.phase <- Idle;
+  t.wanted <- None;
+  t.acceptor <- Storage.Stable_store.get_exn t.store ~key:"acceptor"

@@ -1,0 +1,49 @@
+(** Single-decree Paxos.
+
+    A classic proposer/acceptor/learner state machine, transport-agnostic:
+    the owner supplies a [send] callback and feeds incoming messages to
+    {!handle}. Used directly in tests (agreement under drops and duelling
+    proposers) and as the reference point against which Avantan's
+    differences are documented — Avantan agrees on a {e constructed list}
+    of site states rather than a proposed value.
+
+    Durability: promised/accepted state is journalled to a {!Storage.Stable_store.t}
+    so a crashed acceptor can be restarted with its obligations intact. *)
+
+type 'v msg =
+  | Prepare of { bal : Ballot.t }
+  | Promise of { bal : Ballot.t; accepted : (Ballot.t * 'v) option }
+  | Nack of { bal : Ballot.t }
+  | Accept of { bal : Ballot.t; value : 'v }
+  | Accepted of { bal : Ballot.t }
+  | Learn of { bal : Ballot.t; value : 'v }
+
+type 'v t
+
+val create :
+  engine:Des.Engine.t ->
+  id:int ->
+  nodes:int list ->
+  send:(int -> 'v msg -> unit) ->
+  on_decide:('v -> unit) ->
+  ?retry_timeout_ms:float ->
+  unit ->
+  'v t
+(** [nodes] is the full membership including [id]. [on_decide] fires exactly
+    once, when this node first learns the decided value. *)
+
+val propose : 'v t -> 'v -> unit
+(** Starts (or restarts, with a higher ballot) a proposal. If another value
+    was already decided, that value wins — the proposer re-proposes the
+    accepted value per the Paxos rules. *)
+
+val handle : 'v t -> src:int -> 'v msg -> unit
+
+val decided : 'v t -> 'v option
+
+val ballot : 'v t -> Ballot.t
+(** Highest ballot this node has seen (diagnostics/tests). *)
+
+val restart : 'v t -> unit
+(** Simulated crash-recovery: wipes volatile proposer state and reloads the
+    acceptor obligations from stable storage. *)

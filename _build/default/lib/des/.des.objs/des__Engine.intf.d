@@ -1,0 +1,1 @@
+lib/des/engine.mli: Rng

@@ -1,0 +1,1 @@
+lib/des/rng.ml: Array Float Int64

@@ -1,0 +1,56 @@
+type event = { fire : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  mutable clock : float;
+  queue : event Pheap.t;
+  root_rng : Rng.t;
+}
+
+type timer = event
+
+let create ?(seed = 42L) () =
+  { clock = 0.0; queue = Pheap.create (); root_rng = Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time_ms f =
+  let time_ms = Float.max time_ms t.clock in
+  Pheap.push t.queue ~priority:time_ms { fire = f; cancelled = false }
+
+let schedule t ~delay_ms f = schedule_at t ~time_ms:(t.clock +. Float.max 0.0 delay_ms) f
+
+let timer t ~delay_ms f =
+  let event = { fire = f; cancelled = false } in
+  Pheap.push t.queue ~priority:(t.clock +. Float.max 0.0 delay_ms) event;
+  event
+
+let cancel event = event.cancelled <- true
+
+let timer_pending event = not event.cancelled
+
+let pending t = Pheap.length t.queue
+
+let step t =
+  match Pheap.pop t.queue with
+  | None -> false
+  | Some (time, event) ->
+      t.clock <- Float.max t.clock time;
+      if not event.cancelled then event.fire ();
+      true
+
+let run ?until_ms t =
+  match until_ms with
+  | None -> while step t do () done
+  | Some limit ->
+      let rec loop () =
+        match Pheap.peek t.queue with
+        | Some (time, _) when time <= limit ->
+            ignore (step t);
+            loop ()
+        | Some _ | None -> t.clock <- Float.max t.clock limit
+      in
+      loop ()
+
+let run_for t d = run t ~until_ms:(t.clock +. d)

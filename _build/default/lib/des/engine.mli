@@ -1,0 +1,56 @@
+(** Discrete-event simulation engine.
+
+    Virtual time is a [float] in {e milliseconds}. Events are closures
+    scheduled at absolute or relative times and executed in non-decreasing
+    time order; simultaneous events run in scheduling order. An event may
+    schedule further events, so arbitrary protocols unfold from an initial
+    seed event.
+
+    Timers are cancellable events — the building block for protocol
+    timeouts (leader-failure detection, retry loops). *)
+
+type t
+
+type timer
+(** Handle to a scheduled, cancellable event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time [0.0]. [seed] (default [42L]) initialises the root
+    {!Rng.t} from which all simulation randomness derives. *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator. Subsystems should [Rng.split] it once at
+    construction so their draws do not interleave. *)
+
+val schedule : t -> delay_ms:float -> (unit -> unit) -> unit
+(** [schedule t ~delay_ms f] runs [f] at [now t +. delay_ms]. A negative
+    delay is clamped to [0.] (runs after currently pending events at the
+    same instant). *)
+
+val schedule_at : t -> time_ms:float -> (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule}. Times in the past are clamped to
+    [now]. *)
+
+val timer : t -> delay_ms:float -> (unit -> unit) -> timer
+(** Like {!schedule} but returns a handle for {!cancel}. *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val timer_pending : timer -> bool
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** Execute the next event. [false] when the queue is empty. *)
+
+val run : ?until_ms:float -> t -> unit
+(** Drain the queue. With [until_ms], stop once the next event would fire
+    strictly after that time; the clock is then advanced to [until_ms]. *)
+
+val run_for : t -> float -> unit
+(** [run_for t d] is [run t ~until_ms:(now t +. d)]. *)

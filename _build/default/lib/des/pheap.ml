@@ -1,0 +1,73 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = max 16 (2 * Array.length t.data) in
+  let data = Array.make capacity entry in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = if left < t.size && less t.data.(left) t.data.(i) then left else i in
+  let smallest =
+    if right < t.size && less t.data.(right) t.data.(smallest) then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let push t ~priority value =
+  let entry = { key = priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.data then grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap keyed by [(priority, sequence)].
+
+    The event queue of the simulation engine. Ties on priority are broken by
+    insertion order (the sequence number), which gives the engine FIFO
+    semantics for simultaneous events — essential for deterministic replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** [push t ~priority v] inserts [v]; cost O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest [(priority, sequence)]
+    key, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Like {!pop} without removal. *)
+
+val clear : 'a t -> unit

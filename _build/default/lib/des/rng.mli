@@ -1,0 +1,49 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every source of randomness in the simulator (network jitter, message
+    drops, workload noise, ML weight initialisation) draws from an [Rng.t]
+    seeded at experiment start, so whole experiments replay bit-for-bit.
+
+    The implementation is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014):
+    a 64-bit state advanced by a Weyl sequence and finalised with a strong
+    mixer. [split] derives an independent stream, which lets subsystems own
+    private generators without perturbing each other's sequences. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a generator from a 64-bit seed. Equal seeds yield
+    equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [\[0, x)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is a Bernoulli trial: [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate (mean [1. /. rate]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,1 @@
+lib/geonet/network.ml: Array Des Float List Region

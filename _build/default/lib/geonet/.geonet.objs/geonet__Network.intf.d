@@ -1,0 +1,1 @@
+lib/geonet/network.mli: Des Region

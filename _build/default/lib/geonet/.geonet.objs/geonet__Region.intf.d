@@ -1,0 +1,1 @@
+lib/geonet/region.mli:

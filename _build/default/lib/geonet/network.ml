@@ -1,0 +1,112 @@
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  sent_at : float;
+  payload : 'msg;
+}
+
+type 'msg t = {
+  engine : Des.Engine.t;
+  regions : Region.t array;
+  mutable drop_probability : float;
+  jitter_fraction : float;
+  rng : Des.Rng.t;
+  handlers : ('msg envelope -> unit) option array;
+  up : bool array;
+  mutable partition : int array option; (* group id per node; None = connected *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine ~regions ?(drop_probability = 0.0) ?(jitter_fraction = 0.05) () =
+  let n = Array.length regions in
+  {
+    engine;
+    regions;
+    drop_probability;
+    jitter_fraction;
+    rng = Des.Rng.split (Des.Engine.rng engine);
+    handlers = Array.make n None;
+    up = Array.make n true;
+    partition = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+
+let node_count t = Array.length t.regions
+
+let region_of t i = t.regions.(i)
+
+let register t ~node handler = t.handlers.(node) <- Some handler
+
+let latency_ms t ~src ~dst = Region.one_way_ms t.regions.(src) t.regions.(dst)
+
+let same_partition t a b =
+  match t.partition with None -> true | Some groups -> groups.(a) = groups.(b)
+
+let reachable t a b = t.up.(a) && t.up.(b) && same_partition t a b
+
+let send t ~src ~dst payload =
+  t.sent <- t.sent + 1;
+  if not t.up.(src) then t.dropped <- t.dropped + 1
+  else begin
+    let base = latency_ms t ~src ~dst in
+    let jitter = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
+    let envelope = { src; dst; sent_at = Des.Engine.now t.engine; payload } in
+    let dropped_in_flight = Des.Rng.bool t.rng t.drop_probability in
+    (* Partition and liveness are evaluated at delivery time so that a
+       partition healed mid-flight lets late messages through, matching an
+       asynchronous network where delay and disconnection are
+       indistinguishable. *)
+    Des.Engine.schedule t.engine ~delay_ms:(base +. jitter) (fun () ->
+        if dropped_in_flight || (not (reachable t src dst)) then
+          t.dropped <- t.dropped + 1
+        else
+          match t.handlers.(dst) with
+          | None -> t.dropped <- t.dropped + 1
+          | Some handler ->
+              t.delivered <- t.delivered + 1;
+              handler envelope)
+  end
+
+let broadcast t ~src payload =
+  for dst = 0 to node_count t - 1 do
+    if dst <> src then send t ~src ~dst payload
+  done
+
+let crash t node = t.up.(node) <- false
+
+let recover t node = t.up.(node) <- true
+
+let is_up t node = t.up.(node)
+
+let set_partition t groups =
+  let assignment = Array.make (node_count t) (-1) in
+  List.iteri
+    (fun group_id members ->
+      List.iter (fun node -> assignment.(node) <- group_id) members)
+    groups;
+  (* Unlisted nodes each get their own singleton group. *)
+  let next = ref (List.length groups) in
+  Array.iteri
+    (fun node group ->
+      if group = -1 then begin
+        assignment.(node) <- !next;
+        incr next
+      end)
+    assignment;
+  t.partition <- Some assignment
+
+let clear_partition t = t.partition <- None
+
+let set_drop_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_drop_probability";
+  t.drop_probability <- p
+
+let stats_sent t = t.sent
+let stats_delivered t = t.delivered
+let stats_dropped t = t.dropped

@@ -1,0 +1,77 @@
+(** Simulated geo-distributed message network.
+
+    Nodes are dense integer ids, each placed in a {!Region.t}. [send]
+    delivers a payload to the destination's registered handler after the
+    inter-region one-way latency plus log-normal-ish jitter, unless the
+    message is dropped (loss probability), a network partition separates the
+    two nodes, or either endpoint is crashed.
+
+    The model matches the paper's assumptions: asynchronous network, messages
+    can be delayed, dropped or reordered; nodes fail by crashing (no
+    Byzantine behaviour). Crash and partition injection are first-class so
+    the failure experiments (Figs. 3c, 3d) are ordinary test scenarios. *)
+
+type 'msg t
+
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  sent_at : float;  (** virtual ms when [send] was called *)
+  payload : 'msg;
+}
+
+val create :
+  Des.Engine.t ->
+  regions:Region.t array ->
+  ?drop_probability:float ->
+  ?jitter_fraction:float ->
+  unit ->
+  'msg t
+(** [regions.(i)] places node [i]. [drop_probability] (default [0.]) applies
+    independently per message. [jitter_fraction] (default [0.05]) scales a
+    non-negative random additive delay relative to the base latency. *)
+
+val engine : _ t -> Des.Engine.t
+
+val node_count : _ t -> int
+
+val region_of : _ t -> int -> Region.t
+
+val register : 'msg t -> node:int -> ('msg envelope -> unit) -> unit
+(** Installs the delivery handler for [node]. Re-registering replaces the
+    handler (used when a node recovers with a fresh protocol state). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget. Self-sends are delivered after a small local delay. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** [send] to every node except [src]. *)
+
+val latency_ms : 'msg t -> src:int -> dst:int -> float
+(** Base one-way latency between two nodes (no jitter). *)
+
+val crash : _ t -> int -> unit
+(** A crashed node neither sends nor receives; messages in flight to it are
+    silently lost on arrival. *)
+
+val recover : _ t -> int -> unit
+
+val is_up : _ t -> int -> bool
+
+val set_partition : _ t -> int list list -> unit
+(** [set_partition t groups] drops every message whose endpoints fall in
+    different groups. Nodes absent from every group form an implicit extra
+    group. Replaces any previous partition. *)
+
+val clear_partition : _ t -> unit
+
+val set_drop_probability : _ t -> float -> unit
+(** Change the per-message loss rate on the fly (tests heal a lossy
+    network before asserting quiescent invariants). *)
+
+val reachable : _ t -> int -> int -> bool
+(** Both endpoints up and in the same partition group. *)
+
+val stats_sent : _ t -> int
+val stats_delivered : _ t -> int
+val stats_dropped : _ t -> int

@@ -1,0 +1,62 @@
+type t =
+  | Us_west1
+  | Us_central1
+  | Us_east1
+  | Asia_east2
+  | Europe_west2
+  | Australia_southeast1
+  | Southamerica_east1
+
+let name = function
+  | Us_west1 -> "us-west1"
+  | Us_central1 -> "us-central1"
+  | Us_east1 -> "us-east1"
+  | Asia_east2 -> "asia-east2"
+  | Europe_west2 -> "europe-west2"
+  | Australia_southeast1 -> "australia-southeast1"
+  | Southamerica_east1 -> "southamerica-east1"
+
+let all =
+  [ Us_west1; Us_central1; Us_east1; Asia_east2; Europe_west2;
+    Australia_southeast1; Southamerica_east1 ]
+
+let default_five =
+  [ Us_west1; Asia_east2; Europe_west2; Australia_southeast1; Southamerica_east1 ]
+
+let multipax_five = [ Us_west1; Us_central1; Us_east1; Asia_east2; Europe_west2 ]
+
+let index = function
+  | Us_west1 -> 0
+  | Us_central1 -> 1
+  | Us_east1 -> 2
+  | Asia_east2 -> 3
+  | Europe_west2 -> 4
+  | Australia_southeast1 -> 5
+  | Southamerica_east1 -> 6
+
+(* Round-trip times in milliseconds, calibrated to public GCP inter-region
+   ping measurements (gcping-style medians, rounded). Row/column order
+   follows [index]. *)
+let rtt_table =
+  [| (*              usw1   usc1   use1   ase2   euw2   ause1  sae1 *)
+     (* us-west1 *) [| 1.0;  35.0;  60.0; 118.0; 130.0; 140.0; 170.0 |];
+     (* us-cent1 *) [| 35.0;  1.0;  30.0; 140.0; 100.0; 165.0; 145.0 |];
+     (* us-east1 *) [| 60.0; 30.0;   1.0; 170.0;  80.0; 190.0; 120.0 |];
+     (* asia-e2  *) [| 118.0; 140.0; 170.0;  1.0; 190.0; 120.0; 300.0 |];
+     (* eu-west2 *) [| 130.0; 100.0;  80.0; 190.0;  1.0; 250.0; 190.0 |];
+     (* aus-se1  *) [| 140.0; 165.0; 190.0; 120.0; 250.0;  1.0; 290.0 |];
+     (* sa-east1 *) [| 170.0; 145.0; 120.0; 300.0; 190.0; 290.0;  1.0 |]
+  |]
+
+let rtt_ms a b = rtt_table.(index a).(index b)
+
+let one_way_ms a b = rtt_ms a b /. 2.0
+
+let client_site_rtt_ms = 1.0
+
+let of_string s =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if String.equal (name r) s then Some r else find rest
+  in
+  find all

@@ -1,0 +1,39 @@
+(** Cloud regions and the inter-region latency model.
+
+    The paper deploys on Google Cloud Platform in five regions (US-West1,
+    Asia-East2, Europe-West2, Australia-Southeast1, SouthAmerica-East1), plus
+    two further US regions for the MultiPaxSys placement (a Spanner-like
+    system keeps a majority of replicas inside the US). Round-trip times are
+    calibrated to published GCP inter-region measurements; they need only be
+    accurate in {e ratio} for the evaluation's shape to hold. *)
+
+type t =
+  | Us_west1
+  | Us_central1
+  | Us_east1
+  | Asia_east2
+  | Europe_west2
+  | Australia_southeast1
+  | Southamerica_east1
+
+val name : t -> string
+
+val all : t list
+
+val default_five : t list
+(** The five regions used by most experiments, in the paper's order. *)
+
+val multipax_five : t list
+(** Placement used for MultiPaxSys: three US regions plus Asia and Europe. *)
+
+val rtt_ms : t -> t -> float
+(** Symmetric inter-region round-trip time. Within a region the RTT models
+    zone-local networking (~1 ms). *)
+
+val one_way_ms : t -> t -> float
+(** [rtt_ms a b /. 2.]. *)
+
+val client_site_rtt_ms : float
+(** RTT between a client/app-manager and a site in the same region. *)
+
+val of_string : string -> t option

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Des Float Geonet List Queue Samya Stats Systems Trace

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Geonet Stats Systems Trace

@@ -1,0 +1,1 @@
+lib/harness/exp_ablations.mli: Format Lab

@@ -1,0 +1,1 @@
+lib/harness/exp_common.ml: Array Driver Geonet Option Samya Stats Systems

@@ -1,0 +1,1 @@
+lib/harness/exp_common.mli: Driver Geonet Samya Systems Trace

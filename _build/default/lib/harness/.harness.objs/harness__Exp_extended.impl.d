@@ -1,0 +1,1 @@
+lib/harness/exp_extended.ml: Driver Exp_common Float Format Lab List Report Samya Stats Systems

@@ -1,0 +1,1 @@
+lib/harness/exp_failures.ml: Driver Exp_common Format Lab List Printf Report Samya Systems

@@ -1,0 +1,1 @@
+lib/harness/exp_failures.mli: Format Lab

@@ -1,0 +1,1 @@
+lib/harness/exp_headline.mli: Format Lab

@@ -1,0 +1,1 @@
+lib/harness/exp_prediction.ml: Array Float Lab List Printf Report Stats Trace

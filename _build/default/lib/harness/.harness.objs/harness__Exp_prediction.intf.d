@@ -1,0 +1,1 @@
+lib/harness/exp_prediction.mli: Format Lab

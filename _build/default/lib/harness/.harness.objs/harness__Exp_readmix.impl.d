@@ -1,0 +1,1 @@
+lib/harness/exp_readmix.ml: Driver Exp_common Format Lab List Report Samya Systems

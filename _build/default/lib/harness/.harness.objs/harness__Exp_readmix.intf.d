@@ -1,0 +1,1 @@
+lib/harness/exp_readmix.mli: Format Lab

@@ -1,0 +1,1 @@
+lib/harness/exp_scalability.ml: Array Driver Exp_common Format Lab List Printf Report Samya Stats Systems

@@ -1,0 +1,1 @@
+lib/harness/exp_scalability.mli: Format Lab

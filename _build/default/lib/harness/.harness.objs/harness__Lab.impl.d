@@ -1,0 +1,1 @@
+lib/harness/lab.ml: Array Des Float Int64 List Ml Option Stats Trace

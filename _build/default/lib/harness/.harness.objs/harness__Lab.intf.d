@@ -1,0 +1,1 @@
+lib/harness/lab.mli: Geonet Ml Trace

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Exp_ablations Exp_extended Exp_failures Exp_headline Exp_prediction Exp_readmix Exp_scalability Format Lab List Printf String

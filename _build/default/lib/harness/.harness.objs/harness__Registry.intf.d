@@ -1,0 +1,1 @@
+lib/harness/registry.mli: Format Lab

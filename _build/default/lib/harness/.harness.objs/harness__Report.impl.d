@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Array Baselines Des Geonet List Option Samya

@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Des Geonet Ml Samya

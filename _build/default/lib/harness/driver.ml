@@ -1,0 +1,231 @@
+type event = { at_ms : float; action : unit -> unit }
+
+type spec = {
+  client_regions : Geonet.Region.t array;
+  requests : Trace.Workload.request array;
+  duration_ms : float;
+  drain_ms : float;
+  window_ms : float;
+  events : event list;
+  client_crash : (float * int) list;
+  client_timeout_ms : float;
+  grant_driven_release_ms : float option;
+      (* Some lifetime: ignore the stream's releases; each granted acquire
+         schedules its own release that much later (real VM lifetimes) *)
+}
+
+let default_spec ~client_regions ~requests ~duration_ms =
+  {
+    client_regions;
+    requests;
+    duration_ms;
+    drain_ms = 30_000.0;
+    window_ms = 10_000.0;
+    events = [];
+    client_crash = [];
+    client_timeout_ms = infinity;
+    grant_driven_release_ms = None;
+  }
+
+type result = {
+  committed : int;
+  rejected : int;
+  unavailable : int;
+  no_reply : int;
+  latencies : Stats.Sample_set.t;
+  throughput : Stats.Throughput.t;
+  duration_ms : float;
+}
+
+let run ~t_system spec =
+  let engine = t_system.Systems.engine in
+  let t0 = Des.Engine.now engine in
+  let latencies = Stats.Sample_set.create () in
+  let throughput = Stats.Throughput.create ~window_ms:spec.window_ms in
+  let committed = ref 0 and rejected = ref 0 and unavailable = ref 0 in
+  let submitted = ref 0 and replied = ref 0 in
+  let cutoffs = Array.make (Array.length spec.client_regions) infinity in
+  List.iter (fun (at, client) -> cutoffs.(client) <- Float.min cutoffs.(client) at)
+    spec.client_crash;
+  (* Failure schedule. *)
+  List.iter
+    (fun { at_ms; action } -> Des.Engine.schedule_at engine ~time_ms:(t0 +. at_ms) action)
+    spec.events;
+  (* Open-loop replay, one chained dispatcher to keep the heap small.
+     Clients track their outstanding tokens: a release is only issued
+     against tokens actually granted (§3.2 — "an individual client never
+     returns more tokens than what it has acquired"), so rejected acquires
+     do not spawn phantom releases that would quietly refill the pool. *)
+  let n = Array.length spec.requests in
+  let outstanding = Array.make (Array.length spec.client_regions) 0 in
+  let rec issue ~synthetic (request : Trace.Workload.request) =
+    let client = request.site in
+    let skip_release =
+      (not synthetic)
+      && request.kind = Trace.Workload.Release
+      && (outstanding.(client) < request.amount || spec.grant_driven_release_ms <> None)
+    in
+    if
+      request.time_ms < cutoffs.(client)
+      && request.time_ms <= spec.duration_ms
+      && not skip_release
+    then begin
+      incr submitted;
+      let sent_at = Des.Engine.now engine in
+      let kind_request =
+        match request.kind with
+        | Trace.Workload.Acquire -> Samya.Types.Acquire { entity = "VM"; amount = request.amount }
+        | Trace.Workload.Release -> Samya.Types.Release { entity = "VM"; amount = request.amount }
+        | Trace.Workload.Read -> Samya.Types.Read { entity = "VM" }
+      in
+      t_system.Systems.submit ~region:spec.client_regions.(client) kind_request
+        ~reply:(fun response ->
+          incr replied;
+          (match (request.kind, response) with
+          | Trace.Workload.Acquire, Samya.Types.Granted -> (
+              outstanding.(client) <- outstanding.(client) + request.amount;
+              match spec.grant_driven_release_ms with
+              | Some lifetime_ms ->
+                  Des.Engine.schedule engine ~delay_ms:lifetime_ms (fun () ->
+                      (* A grant-driven release: these tokens are held by
+                         construction. *)
+                      issue ~synthetic:true
+                        { request with kind = Trace.Workload.Release; time_ms = 0.0 })
+              | None -> ())
+          | Trace.Workload.Release, Samya.Types.Granted ->
+              (* Settled on grant, not on issue: a shed release (never
+                 replied) must not leak the client's holdings. *)
+              outstanding.(client) <- outstanding.(client) - request.amount
+          | _ -> ());
+          let now = Des.Engine.now engine in
+          (* Replies to crashed or timed-out clients are discarded (the
+             timed-out case counts in [no_reply]). *)
+          if now -. t0 < cutoffs.(client) && now -. sent_at <= spec.client_timeout_ms
+          then begin
+            match response with
+            | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                incr committed;
+                Stats.Sample_set.add latencies (now -. sent_at);
+                Stats.Throughput.record throughput ~time_ms:(now -. t0)
+            | Samya.Types.Rejected -> incr rejected
+            | Samya.Types.Unavailable -> incr unavailable
+          end)
+    end
+  in
+  let rec dispatch i =
+    if i < n then begin
+      let request = spec.requests.(i) in
+      if request.Trace.Workload.time_ms > spec.duration_ms then ()
+      else
+        Des.Engine.schedule_at engine ~time_ms:(t0 +. request.Trace.Workload.time_ms)
+          (fun () ->
+            issue ~synthetic:false request;
+            (* Schedule the next arrival lazily so the event heap stays
+               small even for million-request streams. *)
+            dispatch (i + 1))
+    end
+  in
+  dispatch 0;
+  Des.Engine.run engine ~until_ms:(t0 +. spec.duration_ms +. spec.drain_ms);
+  {
+    committed = !committed;
+    rejected = !rejected;
+    unavailable = !unavailable;
+    no_reply = !submitted - !replied;
+    latencies;
+    throughput;
+    duration_ms = spec.duration_ms;
+  }
+
+let average_tps result =
+  float_of_int result.committed /. (result.duration_ms /. 1000.0)
+
+let percentile result p = Stats.Sample_set.percentile result.latencies p
+
+let run_closed ~t_system ~client_regions ~requests ~duration_ms ~workers_per_client
+    ~window_ms =
+  let engine = t_system.Systems.engine in
+  let t0 = Des.Engine.now engine in
+  let latencies = Stats.Sample_set.create () in
+  let throughput = Stats.Throughput.create ~window_ms in
+  let committed = ref 0 and rejected = ref 0 and unavailable = ref 0 in
+  (* Partition the stream per client; workers consume their client's
+     requests back to back (arrival times are ignored: the loop is closed). *)
+  let per_client =
+    Array.map (fun _ -> Queue.create ()) client_regions
+  in
+  Array.iter
+    (fun (r : Trace.Workload.request) -> Queue.push r per_client.(r.site))
+    requests;
+  let no_reply = ref 0 in
+  let outstanding = Array.make (Array.length client_regions) 0 in
+  let rec worker client =
+    if Des.Engine.now engine -. t0 < duration_ms then begin
+      match Queue.take_opt per_client.(client) with
+      | None -> ()
+      | Some request ->
+          if request.kind = Trace.Workload.Release && outstanding.(client) < request.amount
+          then worker client (* nothing to give back yet; skip *)
+          else begin
+            let sent_at = Des.Engine.now engine in
+            let kind_request =
+              match request.kind with
+              | Trace.Workload.Acquire ->
+                  Samya.Types.Acquire { entity = "VM"; amount = request.amount }
+              | Trace.Workload.Release ->
+                  Samya.Types.Release { entity = "VM"; amount = request.amount }
+              | Trace.Workload.Read -> Samya.Types.Read { entity = "VM" }
+            in
+            (* A dropped request (a shed transaction never replies) must not
+               kill the worker: a watchdog moves it on after a timeout. *)
+            let settled = ref false in
+            let watchdog =
+              Des.Engine.timer engine ~delay_ms:5_000.0 (fun () ->
+                  if not !settled then begin
+                    settled := true;
+                    incr no_reply;
+                    worker client
+                  end)
+            in
+            t_system.Systems.submit ~region:client_regions.(client) kind_request
+              ~reply:(fun response ->
+                if not !settled then begin
+                  settled := true;
+                  Des.Engine.cancel watchdog;
+                  let now = Des.Engine.now engine in
+                  (match (request.kind, response) with
+                  | Trace.Workload.Acquire, Samya.Types.Granted ->
+                      outstanding.(client) <- outstanding.(client) + request.amount
+                  | Trace.Workload.Release, Samya.Types.Granted ->
+                      outstanding.(client) <- outstanding.(client) - request.amount
+                  | _ -> ());
+                  (match response with
+                  | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                      if now -. t0 <= duration_ms then begin
+                        incr committed;
+                        Stats.Sample_set.add latencies (now -. sent_at);
+                        Stats.Throughput.record throughput ~time_ms:(now -. t0)
+                      end
+                  | Samya.Types.Rejected -> incr rejected
+                  | Samya.Types.Unavailable -> incr unavailable);
+                  worker client
+                end)
+          end
+    end
+  in
+  Array.iteri
+    (fun client _ ->
+      for _ = 1 to workers_per_client do
+        worker client
+      done)
+    client_regions;
+  Des.Engine.run engine ~until_ms:(t0 +. duration_ms +. 10_000.0);
+  {
+    committed = !committed;
+    rejected = !rejected;
+    unavailable = !unavailable;
+    no_reply = !no_reply;
+    latencies;
+    throughput;
+    duration_ms;
+  }

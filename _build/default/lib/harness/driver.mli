@@ -1,0 +1,62 @@
+(** Replays a request stream against a system and collects the paper's two
+    performance measures: commit latency (client-measured, committed
+    transactions only) and throughput (committed transactions per second,
+    windowed).
+
+    Requests are scheduled open-loop at their trace arrival times —
+    backpressure never slows the offered load, which is what makes the hot
+    entity hot. Failure schedules (server crashes, client crashes,
+    partitions) are injected at their virtual times. *)
+
+type event = { at_ms : float; action : unit -> unit }
+
+type spec = {
+  client_regions : Geonet.Region.t array;
+      (** region of each client index referenced by the stream's [site] *)
+  requests : Trace.Workload.request array;  (** time-sorted *)
+  duration_ms : float;  (** measurement horizon (relative to run start) *)
+  drain_ms : float;  (** extra simulated time for in-flight replies *)
+  window_ms : float;  (** throughput window width *)
+  events : event list;  (** failure injections etc., relative times *)
+  client_crash : (float * int) list;
+      (** (time, client index): stop that client's requests from then on *)
+  client_timeout_ms : float;
+      (** replies slower than this count as failures, not commits (default
+          infinity) *)
+  grant_driven_release_ms : float option;
+      (** [Some lifetime]: ignore the stream's release requests and have
+          every granted acquire schedule its own release [lifetime] later —
+          real VM lifetime semantics, used by the M_e sweep where a tight
+          limit must throttle the token flow (default [None]) *)
+}
+
+val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec
+
+type result = {
+  committed : int;
+  rejected : int;
+  unavailable : int;
+  no_reply : int;  (** requests whose reply never arrived (blocked system) *)
+  latencies : Stats.Sample_set.t;  (** committed requests only, ms *)
+  throughput : Stats.Throughput.t;
+  duration_ms : float;
+}
+
+val run : t_system:Systems.t -> spec -> result
+
+val average_tps : result -> float
+
+val percentile : result -> float -> float
+
+val run_closed :
+  t_system:Systems.t ->
+  client_regions:Geonet.Region.t array ->
+  requests:Trace.Workload.request array ->
+  duration_ms:float ->
+  workers_per_client:int ->
+  window_ms:float ->
+  result
+(** Closed-loop replay (Fig. 3h): each client region runs a fixed pool of
+    workers that issue their stream's requests back to back, so measured
+    throughput reflects per-request latency and server serialization —
+    stream arrival times are ignored. *)

@@ -1,0 +1,46 @@
+(** Shared experiment plumbing: canonical setup values (§5.2), duration
+    scaling for quick runs, and the per-system run loop. *)
+
+val entity : Samya.Types.entity
+(** "VM" — every experiment tracks the VM entity. *)
+
+val maximum : int
+(** M_e = 5000, the paper's global limit. *)
+
+val seed : int64
+
+val client_regions : unit -> Geonet.Region.t array
+(** The five evaluation regions. *)
+
+val duration_ms : quick:bool -> full_min:float -> quick_min:float -> float
+
+val samya_config : Samya.Config.variant -> Samya.Config.t
+
+val window_ms : quick:bool -> float
+(** Throughput window: 60 s full, 30 s quick. *)
+
+type outcome = {
+  label : string;
+  result : Driver.result;
+  redistributions : int;
+  invariant : (unit, string) result;
+}
+
+val run_system :
+  ?clients:Geonet.Region.t array ->
+  label:string ->
+  build:(unit -> Systems.t) ->
+  requests:Trace.Workload.request array ->
+  duration_ms:float ->
+  ?window_ms:float ->
+  ?events:(Systems.t -> Driver.event list) ->
+  ?client_crash:(float * int) list ->
+  unit ->
+  outcome
+(** Builds a fresh system, replays [requests], returns metrics plus the
+    system's redistribution count and invariant verdict. [events] receives
+    the built system so failure actions can close over it. *)
+
+val throughput_series : outcome -> duration_ms:float -> (float * float) list
+
+val pp_invariant : (unit, string) result -> string

@@ -1,0 +1,18 @@
+(** Experiments `ext1` / `ext2`: the extended technical report's sweeps
+    (§5.9).
+
+    ext1 varies the global maximum M_e from the trace's mean demand level
+    to its maximum. Shape: Avantan's committed throughput grows roughly 5x
+    from the smallest to the largest limit — a tight limit rejects most
+    contended acquires, a loose one lets the dis-aggregated pool absorb
+    every peak.
+
+    ext2 varies the request arrival interval from the compressed 5 s back
+    to the original 300 s. Shape: the throughput advantage over
+    MultiPaxSys shrinks as arrivals slow, but remains (the paper reports
+    +43% at the original rate: bursts still overwhelm a serializing
+    leader). *)
+
+val run_max_limit : Lab.context -> quick:bool -> Format.formatter -> unit
+
+val run_arrival_rate : Lab.context -> quick:bool -> Format.formatter -> unit

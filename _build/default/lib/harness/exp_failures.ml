@@ -1,0 +1,111 @@
+let entity = Exp_common.entity
+let maximum = Exp_common.maximum
+let seed = Exp_common.seed
+
+let samya_builder ctx variant () =
+  Systems.samya ~seed
+    ~config:(Exp_common.samya_config variant)
+    ~regions:(Exp_common.client_regions ())
+    ~forecaster:(Lab.runtime_forecaster ctx) ~entity ~maximum ()
+
+let failure_systems ctx : (string * (unit -> Systems.t)) list =
+  [
+    ("Samya w/ Av.[(n+1)/2]", samya_builder ctx Samya.Config.Majority);
+    ("Samya w/ Av.[*]", samya_builder ctx Samya.Config.Star);
+    ("MultiPaxSys", fun () -> Systems.multipaxsys ~seed ~entity ~maximum ());
+  ]
+
+let print_outcomes fmt ~title ~duration_ms outcomes =
+  let series =
+    List.map
+      (fun (o : Exp_common.outcome) -> (o.label, Exp_common.throughput_series o ~duration_ms))
+      outcomes
+  in
+  Report.series fmt ~title ~unit_label:"txn/s" series;
+  Report.table fmt ~title:"Totals"
+    ~header:[ "system"; "committed"; "rejected"; "no-reply"; "redistributions" ]
+    ~rows:
+      (List.map
+         (fun (o : Exp_common.outcome) ->
+           [
+             o.label;
+             string_of_int o.result.Driver.committed;
+             string_of_int o.result.Driver.rejected;
+             string_of_int o.result.Driver.no_reply;
+             string_of_int o.redistributions;
+           ])
+         outcomes)
+
+let run_crash ctx ~quick fmt =
+  let duration_ms = Exp_common.duration_ms ~quick ~full_min:50.0 ~quick_min:10.0 in
+  let phase = duration_ms /. 5.0 in
+  (* Crash order: the most distant regions first; the fifth (us-west1 for
+     Samya, the leader's region for MultiPaxSys) never crashes. Server
+     index 4, 3, 2, 1 in each system's own placement; clients of the
+     matching Samya region die with their region. *)
+  let crash_steps = [ (phase, 4); (2.0 *. phase, 3); (3.0 *. phase, 2); (4.0 *. phase, 1) ] in
+  (* Start at the daily ramp and raise the usage footprint so regional
+     exhaustion — the thing redistribution exists for — happens throughout
+     the window. *)
+  let requests =
+    Lab.workload ctx ~client_regions:(Exp_common.client_regions ()) ~duration_ms
+      ~usage_scale:2.2 ~start_hours:6.0 ~seed ()
+  in
+  Format.fprintf fmt
+    "@.== Fig 3c: throughput under crash failures (one region crashes every %.1f min) ==@."
+    (Report.minutes_of_ms phase);
+  let outcomes =
+    List.map
+      (fun (label, build) ->
+        Exp_common.run_system ~label ~build ~requests ~duration_ms
+          ~window_ms:(Exp_common.window_ms ~quick)
+          ~events:(fun t_system ->
+            List.map
+              (fun (at_ms, site) ->
+                { Driver.at_ms; action = (fun () -> t_system.Systems.crash_site site) })
+              crash_steps)
+          ~client_crash:(List.map (fun (at, site) -> (at, site)) crash_steps)
+          ())
+      (failure_systems ctx)
+  in
+  print_outcomes fmt ~title:"Fig 3c: throughput as regions crash" ~duration_ms outcomes;
+  (* The headline shape: compare the two variants after majority loss. *)
+  let late label =
+    let o = List.find (fun (o : Exp_common.outcome) -> o.label = label) outcomes in
+    List.filter (fun (t, _) -> t >= 3.0 *. phase) (Exp_common.throughput_series o ~duration_ms)
+    |> List.map snd |> List.fold_left ( +. ) 0.0
+  in
+  Report.kv fmt
+    [
+      ( "after majority loss (last 2 phases)",
+        Printf.sprintf "maj=%.0f star=%.0f mp=%.0f (sum of window tps; paper: star > maj, mp = 0)"
+          (late "Samya w/ Av.[(n+1)/2]") (late "Samya w/ Av.[*]") (late "MultiPaxSys") );
+    ]
+
+let run_partition ctx ~quick fmt =
+  let duration_ms = Exp_common.duration_ms ~quick ~full_min:30.0 ~quick_min:9.0 in
+  let partition_at = duration_ms /. 3.0 in
+  let groups = [ [ 0; 1; 2 ]; [ 3; 4 ] ] in
+  let requests =
+    Lab.workload ctx ~client_regions:(Exp_common.client_regions ()) ~duration_ms
+      ~usage_scale:2.2 ~start_hours:6.0 ~seed ()
+  in
+  Format.fprintf fmt "@.== Fig 3d: 3-2 network partition at t=%.1f min ==@."
+    (Report.minutes_of_ms partition_at);
+  let outcomes =
+    List.map
+      (fun (label, build) ->
+        Exp_common.run_system ~label ~build ~requests ~duration_ms
+          ~window_ms:(Exp_common.window_ms ~quick)
+          ~events:(fun t_system ->
+            [
+              {
+                Driver.at_ms = partition_at;
+                action = (fun () -> t_system.Systems.partition groups);
+              };
+            ])
+          ())
+      (failure_systems ctx)
+  in
+  print_outcomes fmt ~title:"Fig 3d: throughput during a 3-2 partition" ~duration_ms
+    outcomes

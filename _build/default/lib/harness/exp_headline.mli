@@ -1,0 +1,13 @@
+(** Experiments `table2b` / `fig3b`: commit latency percentiles and
+    throughput over an hour of contentious load for all five systems
+    (§5.3).
+
+    The paper's headline results to reproduce in shape:
+    - latency ordering: Samya[(n+1)/2] < Samya[*] < Dem./Escrow <<
+      MultiPaxSys < CockroachDB at every percentile (Table 2b);
+    - Samya commits ~16-18x more transactions than MultiPaxSys/CockroachDB
+      and ~1.3x more than Demarcation/Escrow (Fig. 3b);
+    - Avantan[(n+1)/2] executes far fewer redistributions than Avantan[*]
+      (208 vs 792 in the paper). *)
+
+val run : Lab.context -> quick:bool -> Format.formatter -> unit

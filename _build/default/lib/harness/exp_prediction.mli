@@ -1,0 +1,12 @@
+(** Experiment `table2a` / `fig3a`: resource-demand data and its prediction
+    (§5.1, Table 2a, Fig. 3a).
+
+    Prints a downsampled view of the demand curve (Fig. 3a) and the
+    mean-absolute-error of random walk, ARIMA and LSTM forecasters on the
+    80/20 split of the demand series (Table 2a). The paper reports
+    RW 1212.19, ARIMA 609.13, LSTM 259.21 on the real Azure trace; the
+    reproduced shape to check is the strict ordering LSTM < ARIMA < RW. *)
+
+val run_fig3a : Lab.context -> Format.formatter -> unit
+
+val run_table2a : Lab.context -> Format.formatter -> unit

@@ -1,0 +1,71 @@
+let entity = Exp_common.entity
+let maximum = Exp_common.maximum
+let seed = Exp_common.seed
+
+let ratios = [ 0.0; 0.2; 0.35; 0.5; 0.65; 0.8; 0.95 ]
+
+let run ctx ~quick fmt =
+  let duration_ms = Exp_common.duration_ms ~quick ~full_min:6.0 ~quick_min:3.0 in
+  let workers_per_client = 24 in
+  let regions = Exp_common.client_regions () in
+  let forecaster = Lab.runtime_forecaster ctx in
+  Format.fprintf fmt
+    "@.== Fig 3h: read-only transaction ratio sweep (closed loop, %d workers/region) ==@."
+    workers_per_client;
+  let builders : (string * (unit -> Systems.t)) list =
+    [
+      ( "Avantan[(n+1)/2]",
+        fun () ->
+          Systems.samya ~seed
+            ~config:(Exp_common.samya_config Samya.Config.Majority)
+            ~regions ~forecaster ~entity ~maximum () );
+      ( "Avantan[*]",
+        fun () ->
+          Systems.samya ~seed
+            ~config:(Exp_common.samya_config Samya.Config.Star)
+            ~regions ~forecaster ~entity ~maximum () );
+      ("MultiPaxSys", fun () -> Systems.multipaxsys ~seed ~entity ~maximum ());
+    ]
+  in
+  let measure ratio (label, build) =
+    let requests =
+      Lab.workload ctx ~client_regions:regions ~duration_ms:(duration_ms *. 4.0)
+        ~read_ratio:ratio ~start_hours:6.0 ~seed ()
+    in
+    let t_system = build () in
+    let result =
+      Driver.run_closed ~t_system ~client_regions:regions ~requests ~duration_ms
+        ~workers_per_client ~window_ms:(Exp_common.window_ms ~quick)
+    in
+    (label, Driver.average_tps result)
+  in
+  let per_ratio =
+    List.map (fun ratio -> (ratio, List.map (measure ratio) builders)) ratios
+  in
+  Report.table fmt ~title:"Fig 3h: average throughput vs read ratio"
+    ~header:("read ratio" :: List.map fst builders)
+    ~rows:
+      (List.map
+         (fun (ratio, measured) ->
+           Report.f2 ratio :: List.map (fun (_, tps) -> Report.f1 tps) measured)
+         per_ratio);
+  (* Locate the crossover between Samya (majority) and MultiPaxSys. *)
+  let crossover =
+    List.fold_left
+      (fun acc (ratio, measured) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let samya_tps = List.assoc "Avantan[(n+1)/2]" measured in
+            let mp_tps = List.assoc "MultiPaxSys" measured in
+            if mp_tps >= samya_tps then Some ratio else None)
+      None per_ratio
+  in
+  Report.kv fmt
+    [
+      ( "MultiPaxSys overtakes Samya at read ratio",
+        (match crossover with
+        | Some ratio -> Report.f2 ratio
+        | None -> "never (within sweep)")
+        ^ "  (paper: ~0.65)" );
+    ]

@@ -1,0 +1,15 @@
+(** Experiment `fig3h`: read-write workload mix (§5.8).
+
+    Closed-loop clients (a fixed worker pool per region) issue a stream in
+    which each request is a global-snapshot read with probability [r]. In
+    Samya a read fans out to every site and aggregates TokensLeft (a slow,
+    WAN-bound operation); in MultiPaxSys a read executes at the leader
+    without replication (fast). Writes are the opposite: local in Samya,
+    serialized two-round replication in MultiPaxSys.
+
+    Shape to reproduce: Samya's average throughput falls as reads grow,
+    MultiPaxSys's rises, and the curves cross somewhere past a read ratio
+    of ~50% (the paper measures ~65%: MultiPaxSys's single leader also
+    serializes its cheap reads' arrival legs). *)
+
+val run : Lab.context -> quick:bool -> Format.formatter -> unit

@@ -1,0 +1,12 @@
+(** Experiment `fig3g`: scalability from 5 to 20 sites (§5.7).
+
+    Additional sites (with their own clients) are spawned in the same five
+    regions. Each added client carries full request intensity but a
+    proportionally smaller net-usage footprint, so the aggregate stays
+    comparable to the fixed limit M_e — more sites means more concurrent
+    local serving of the same pool, which is the paper's point. The shape
+    to reproduce: throughput grows roughly linearly with the number of
+    sites while average latency stays flat, for both Avantan variants. Clients
+    run closed-loop worker pools, as in Fig. 3h. *)
+
+val run : Lab.context -> quick:bool -> Format.formatter -> unit

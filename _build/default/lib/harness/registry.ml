@@ -1,0 +1,96 @@
+type experiment = {
+  id : string;
+  paper_artifact : string;
+  description : string;
+  run : Lab.context -> quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig3a";
+      paper_artifact = "Figure 3a";
+      description = "VM demand data: periodic daily/weekly pattern";
+      run = (fun ctx ~quick:_ fmt -> Exp_prediction.run_fig3a ctx fmt);
+    };
+    {
+      id = "table2a";
+      paper_artifact = "Table 2a";
+      description = "MAE of random walk / ARIMA / LSTM demand prediction";
+      run = (fun ctx ~quick:_ fmt -> Exp_prediction.run_table2a ctx fmt);
+    };
+    {
+      id = "table2b";
+      paper_artifact = "Table 2b + Figure 3b";
+      description = "latency percentiles and throughput of all five systems";
+      run = (fun ctx ~quick fmt -> Exp_headline.run ctx ~quick fmt);
+    };
+    {
+      id = "fig3b";
+      paper_artifact = "Figure 3b (with Table 2b)";
+      description = "alias of table2b: both come from the same runs";
+      run = (fun ctx ~quick fmt -> Exp_headline.run ctx ~quick fmt);
+    };
+    {
+      id = "fig3c";
+      paper_artifact = "Figure 3c";
+      description = "throughput as regions crash one by one";
+      run = (fun ctx ~quick fmt -> Exp_failures.run_crash ctx ~quick fmt);
+    };
+    {
+      id = "fig3d";
+      paper_artifact = "Figure 3d";
+      description = "throughput during a 3-2 network partition";
+      run = (fun ctx ~quick fmt -> Exp_failures.run_partition ctx ~quick fmt);
+    };
+    {
+      id = "fig3e";
+      paper_artifact = "Figure 3e";
+      description = "no-constraint / no-redistribution ablation";
+      run = (fun ctx ~quick fmt -> Exp_ablations.run_constraint_ablation ctx ~quick fmt);
+    };
+    {
+      id = "fig3f";
+      paper_artifact = "Figure 3f";
+      description = "proactive vs reactive redistributions (prediction ablation)";
+      run = (fun ctx ~quick fmt -> Exp_ablations.run_prediction_ablation ctx ~quick fmt);
+    };
+    {
+      id = "fig3g";
+      paper_artifact = "Figure 3g";
+      description = "scalability from 5 to 20 sites";
+      run = (fun ctx ~quick fmt -> Exp_scalability.run ctx ~quick fmt);
+    };
+    {
+      id = "fig3h";
+      paper_artifact = "Figure 3h";
+      description = "read-only transaction ratio sweep vs MultiPaxSys";
+      run = (fun ctx ~quick fmt -> Exp_readmix.run ctx ~quick fmt);
+    };
+    {
+      id = "ext1";
+      paper_artifact = "§5.9(i)";
+      description = "varying the maximum limit M_e";
+      run = (fun ctx ~quick fmt -> Exp_extended.run_max_limit ctx ~quick fmt);
+    };
+    {
+      id = "ext2";
+      paper_artifact = "§5.9(ii)";
+      description = "varying the request arrival interval";
+      run = (fun ctx ~quick fmt -> Exp_extended.run_arrival_rate ctx ~quick fmt);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let ids () = List.map (fun e -> e.id) all
+
+let run_by_id ctx ~quick fmt id =
+  match find id with
+  | Some experiment ->
+      experiment.run ctx ~quick fmt;
+      Ok ()
+  | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; known: %s" id
+           (String.concat ", " (ids ())))

@@ -1,0 +1,17 @@
+(** Index of every reproducible table and figure, keyed by the experiment
+    ids used in DESIGN.md, the bench harness and the CLI. *)
+
+type experiment = {
+  id : string;
+  paper_artifact : string;  (** e.g. "Table 2b" *)
+  description : string;
+  run : Lab.context -> quick:bool -> Format.formatter -> unit;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val ids : unit -> string list
+
+val run_by_id : Lab.context -> quick:bool -> Format.formatter -> string -> (unit, string) result

@@ -1,0 +1,121 @@
+type t = {
+  name : string;
+  engine : Des.Engine.t;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  crash_region : Geonet.Region.t -> unit;
+  crash_site : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  redistributions : unit -> int;
+  invariant : maximum:int -> (unit, string) result;
+}
+
+let sites_in regions region =
+  let out = ref [] in
+  Array.iteri (fun i r -> if r = region then out := i :: !out) regions;
+  !out
+
+let samya ?seed ?name ~config ~regions ?forecaster ~entity ~maximum () =
+  let cluster = Samya.Cluster.create ?seed ~config ~regions ?forecaster () in
+  Samya.Cluster.init_entity cluster ~entity ~maximum;
+  let default_name =
+    match config.Samya.Config.variant with
+    | Samya.Config.Majority -> "Samya w/ Av.[(n+1)/2]"
+    | Samya.Config.Star -> "Samya w/ Av.[*]"
+  in
+  {
+    name = Option.value name ~default:default_name;
+    engine = Samya.Cluster.engine cluster;
+    submit = (fun ~region request ~reply -> Samya.Cluster.submit cluster ~region request ~reply);
+    crash_region =
+      (fun region -> List.iter (Samya.Cluster.crash_site cluster) (sites_in regions region));
+    crash_site = (fun i -> Samya.Cluster.crash_site cluster i);
+    partition = (fun groups -> Samya.Cluster.partition cluster groups);
+    heal = (fun () -> Samya.Cluster.heal cluster);
+    redistributions =
+      (fun () ->
+        (* The paper counts proactive and reactive triggers combined. *)
+        let s = Samya.Cluster.aggregate_stats cluster in
+        s.Samya.Site.proactive_triggers + s.Samya.Site.reactive_triggers);
+    invariant = (fun ~maximum -> Samya.Cluster.check_invariant cluster ~entity ~maximum);
+  }
+
+let demarcation ?seed ?regions ~entity ~maximum () =
+  let regions =
+    match regions with Some r -> r | None -> Array.of_list Geonet.Region.default_five
+  in
+  let system = Baselines.Demarcation.create ?seed ~regions () in
+  Baselines.Demarcation.init_entity system ~entity ~maximum;
+  {
+    name = "Dem./Escrow";
+    engine = Baselines.Demarcation.engine system;
+    submit =
+      (fun ~region request ~reply -> Baselines.Demarcation.submit system ~region request ~reply);
+    crash_region =
+      (fun region ->
+        List.iter (Baselines.Demarcation.crash_site system) (sites_in regions region));
+    crash_site = (fun i -> Baselines.Demarcation.crash_site system i);
+    partition = (fun groups -> Baselines.Demarcation.partition system groups);
+    heal = (fun () -> Baselines.Demarcation.heal system);
+    redistributions = (fun () -> Baselines.Demarcation.borrows system);
+    invariant = (fun ~maximum -> Baselines.Demarcation.check_invariant system ~entity ~maximum);
+  }
+
+let multipaxsys ?seed ~entity ~maximum () =
+  let system = Baselines.Multipaxsys.create ?seed () in
+  Baselines.Multipaxsys.init_entity system ~entity ~maximum;
+  let regions = Baselines.Multipaxsys.regions in
+  {
+    name = "MultiPaxSys";
+    engine = Baselines.Multipaxsys.engine system;
+    submit =
+      (fun ~region request ~reply -> Baselines.Multipaxsys.submit system ~region request ~reply);
+    crash_region =
+      (fun region ->
+        List.iter (Baselines.Multipaxsys.crash_site system) (sites_in regions region));
+    crash_site = (fun i -> Baselines.Multipaxsys.crash_site system i);
+    partition = (fun groups -> Baselines.Multipaxsys.partition system groups);
+    heal = (fun () -> Baselines.Multipaxsys.heal system);
+    redistributions = (fun () -> 0);
+    invariant = (fun ~maximum -> Baselines.Multipaxsys.check_invariant system ~entity ~maximum);
+  }
+
+let cockroach ?seed ?regions ~entity ~maximum () =
+  let regions =
+    match regions with
+    | Some r -> r
+    | None ->
+        [| Geonet.Region.Us_west1; Us_central1; Us_east1; Asia_east2; Europe_west2 |]
+  in
+  let system = Baselines.Cockroach_sim.create ?seed ~regions () in
+  Baselines.Cockroach_sim.init_entity system ~entity ~maximum;
+  Baselines.Cockroach_sim.start system;
+  (* Let the first election settle before load arrives. *)
+  let engine = Baselines.Cockroach_sim.engine system in
+  let rec settle guard =
+    if guard > 0 && Baselines.Cockroach_sim.leader system = None then begin
+      Des.Engine.run_for engine 1_000.0;
+      settle (guard - 1)
+    end
+  in
+  settle 30;
+  {
+    name = "CockroachDB";
+    engine;
+    submit =
+      (fun ~region request ~reply ->
+        Baselines.Cockroach_sim.submit system ~region request ~reply);
+    crash_region =
+      (fun region ->
+        List.iter (Baselines.Cockroach_sim.crash_site system) (sites_in regions region));
+    crash_site = (fun i -> Baselines.Cockroach_sim.crash_site system i);
+    partition = (fun groups -> Baselines.Cockroach_sim.partition system groups);
+    heal = (fun () -> Baselines.Cockroach_sim.heal system);
+    redistributions = (fun () -> 0);
+    invariant =
+      (fun ~maximum -> Baselines.Cockroach_sim.check_invariant system ~entity ~maximum);
+  }

@@ -1,0 +1,57 @@
+(** Uniform handle over every system under test, so one driver can run the
+    same workload against Samya (both Avantan variants and its ablations),
+    Demarcation/Escrow, MultiPaxSys, and the CockroachDB-like baseline. *)
+
+type t = {
+  name : string;
+  engine : Des.Engine.t;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  crash_region : Geonet.Region.t -> unit;
+      (** Crash every server in the region (no-op for systems with no
+          replica there). *)
+  crash_site : int -> unit;  (** crash one server by its own index *)
+  partition : int list list -> unit;  (** groups of server indices *)
+  heal : unit -> unit;
+  redistributions : unit -> int;  (** 0 for non-Samya systems *)
+  invariant : maximum:int -> (unit, string) result;
+}
+
+val samya :
+  ?seed:int64 ->
+  ?name:string ->
+  config:Samya.Config.t ->
+  regions:Geonet.Region.t array ->
+  ?forecaster:Ml.Forecaster.t ->
+  entity:Samya.Types.entity ->
+  maximum:int ->
+  unit ->
+  t
+
+val demarcation :
+  ?seed:int64 ->
+  ?regions:Geonet.Region.t array ->
+  entity:Samya.Types.entity ->
+  maximum:int ->
+  unit ->
+  t
+
+val multipaxsys :
+  ?seed:int64 -> entity:Samya.Types.entity -> maximum:int -> unit -> t
+(** Spanner-style placement (three US regions + Asia + Europe); client
+    requests reach the leader through the nearest replica gateway, so a
+    partition that separates a client's side from the leader makes that
+    client's requests fail, as in Fig. 3d. *)
+
+val cockroach :
+  ?seed:int64 ->
+  ?regions:Geonet.Region.t array ->
+  entity:Samya.Types.entity ->
+  maximum:int ->
+  unit ->
+  t
+(** The handle is returned with elections already settled (the engine is
+    pre-run until a leader exists). *)

@@ -1,0 +1,1 @@
+lib/hierarchy/org.ml: Array List Printf Samya String

@@ -1,0 +1,1 @@
+lib/hierarchy/org.mli: Geonet Samya

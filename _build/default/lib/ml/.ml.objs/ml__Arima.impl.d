@@ -1,0 +1,1 @@
+lib/ml/arima.ml: Array Forecaster Matrix Printf Stats

@@ -1,0 +1,1 @@
+lib/ml/holt_winters.mli: Forecaster

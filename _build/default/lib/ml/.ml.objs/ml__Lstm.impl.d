@@ -1,0 +1,1 @@
+lib/ml/lstm.ml: Array Des Float Forecaster List Scaler Stats

@@ -1,0 +1,1 @@
+lib/ml/lstm.mli: Forecaster

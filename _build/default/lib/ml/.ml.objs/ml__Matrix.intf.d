@@ -1,0 +1,1 @@
+lib/ml/matrix.mli: Des

@@ -1,0 +1,1 @@
+lib/ml/random_walk.ml: Array Forecaster

@@ -1,0 +1,1 @@
+lib/ml/scaler.ml: Array Float Stats

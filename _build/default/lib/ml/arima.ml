@@ -1,0 +1,81 @@
+type model = {
+  p : int;
+  d : int;
+  seasonal_lag : int; (* 0 = none *)
+  beta : float array; (* intercept :: AR coefficients (:: seasonal) *)
+}
+
+let rec difference times xs = if times = 0 then xs else difference (times - 1) (Stats.Series.diff xs)
+
+(* Regressor vector for predicting the step after position [t] (inclusive
+   end of history) of the differenced series [z]. *)
+let regressors model z t =
+  let terms = 1 + model.p + if model.seasonal_lag > 0 then 1 else 0 in
+  let row = Array.make terms 1.0 in
+  for i = 1 to model.p do
+    row.(i) <- z.(t - i + 1)
+  done;
+  if model.seasonal_lag > 0 then row.(terms - 1) <- z.(t - model.seasonal_lag + 1);
+  row
+
+let fit ?(p = 3) ?(d = 1) ?(seasonal_lag = 0) series =
+  if p < 1 then invalid_arg "Arima.fit: p must be >= 1";
+  if d < 0 then invalid_arg "Arima.fit: d must be >= 0";
+  if seasonal_lag < 0 then invalid_arg "Arima.fit: seasonal lag must be >= 0";
+  let needed = p + d + seasonal_lag + 2 in
+  if Array.length series < needed then invalid_arg "Arima.fit: series too short";
+  let model0 = { p; d; seasonal_lag; beta = [||] } in
+  let z = difference d series in
+  let max_lag = max p seasonal_lag in
+  let n = Array.length z in
+  let terms = 1 + p + if seasonal_lag > 0 then 1 else 0 in
+  (* Normal equations with a small ridge for numerical stability. *)
+  let xtx = Matrix.create terms terms in
+  let xty = Array.make terms 0.0 in
+  for t = max_lag - 1 to n - 2 do
+    let row = regressors model0 z t in
+    let y = z.(t + 1) in
+    for i = 0 to terms - 1 do
+      xty.(i) <- xty.(i) +. (row.(i) *. y);
+      for j = 0 to terms - 1 do
+        Matrix.set xtx i j (Matrix.get xtx i j +. (row.(i) *. row.(j)))
+      done
+    done
+  done;
+  for i = 0 to terms - 1 do
+    Matrix.set xtx i i (Matrix.get xtx i i +. 1e-6)
+  done;
+  let beta = Matrix.solve xtx xty in
+  { model0 with beta }
+
+let order model = (model.p, model.d)
+
+let coefficients model = Array.copy model.beta
+
+let predict_next model history =
+  let n = Array.length history in
+  let max_lag = max model.p model.seasonal_lag in
+  if n < model.d + max_lag + 1 then (if n = 0 then 0.0 else history.(n - 1))
+  else begin
+    let z = difference model.d history in
+    let zn = Array.length z in
+    let row = regressors model z (zn - 1) in
+    let dz = ref 0.0 in
+    Array.iteri (fun i r -> dz := !dz +. (model.beta.(i) *. r)) row;
+    (* Integrate the forecast back d times. For d = 1 this is
+       last + dz; in general each level adds its own last value. *)
+    let rec integrate level forecast =
+      if level = 0 then forecast
+      else begin
+        let series = difference (level - 1) history in
+        integrate (level - 1) (series.(Array.length series - 1) +. forecast)
+      end
+    in
+    integrate model.d !dz
+  end
+
+let forecaster model =
+  Forecaster.of_fn
+    ~name:(Printf.sprintf "arima(%d,%d,0)" model.p model.d)
+    ~min_history:(model.d + max model.p model.seasonal_lag + 1)
+    (predict_next model)

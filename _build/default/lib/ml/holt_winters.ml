@@ -1,0 +1,69 @@
+type model = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  period : int;
+  level : float;
+  trend : float;
+  seasonal : float array;
+}
+
+let check_factor name x =
+  if x <= 0.0 || x >= 1.0 then invalid_arg (Printf.sprintf "Holt_winters: %s outside (0,1)" name)
+
+(* One smoothing step (additive seasonality). [s] indexes the seasonal
+   slot of the observation. *)
+let step m x s =
+  let season = m.seasonal.(s) in
+  let level' = (m.alpha *. (x -. season)) +. ((1.0 -. m.alpha) *. (m.level +. m.trend)) in
+  let trend' = (m.beta *. (level' -. m.level)) +. ((1.0 -. m.beta) *. m.trend) in
+  let seasonal' = Array.copy m.seasonal in
+  seasonal'.(s) <- (m.gamma *. (x -. level')) +. ((1.0 -. m.gamma) *. season);
+  { m with level = level'; trend = trend'; seasonal = seasonal' }
+
+let smooth_through m series ~offset =
+  let acc = ref m in
+  Array.iteri (fun i x -> acc := step !acc x ((offset + i) mod m.period)) series;
+  !acc
+
+let fit ?(alpha = 0.3) ?(beta = 0.05) ?(gamma = 0.15) ~period series =
+  check_factor "alpha" alpha;
+  check_factor "beta" beta;
+  check_factor "gamma" gamma;
+  if period < 2 then invalid_arg "Holt_winters.fit: period must be >= 2";
+  let n = Array.length series in
+  if n < 2 * period then invalid_arg "Holt_winters.fit: need at least two periods";
+  (* Initial components from the first two periods. *)
+  let mean lo = Array.fold_left ( +. ) 0.0 (Array.sub series lo period) /. float_of_int period in
+  let mean1 = mean 0 and mean2 = mean period in
+  let level = mean1 in
+  let trend = (mean2 -. mean1) /. float_of_int period in
+  let seasonal = Array.init period (fun i -> series.(i) -. mean1) in
+  let initial = { alpha; beta; gamma; period; level; trend; seasonal } in
+  smooth_through initial (Array.sub series period (n - period)) ~offset:period
+
+let predict_next model history =
+  let n = Array.length history in
+  if n = 0 then 0.0
+  else if n < model.period then history.(n - 1)
+  else begin
+    (* Re-run the smoothing over the recent history so the forecast
+       reflects the current phase; the fitted components are the prior. *)
+    let window = min n (4 * model.period) in
+    let recent = Array.sub history (n - window) window in
+    (* Align the seasonal index so the forecast slot follows the history:
+       slot of history.(i) = (n - window + i) mod period relative to the
+       original series is unknowable, so phase is taken modulo from the
+       history length, which preserves relative alignment across calls
+       with growing histories. *)
+    let offset = (n - window) mod model.period in
+    let m = smooth_through model recent ~offset in
+    m.level +. m.trend +. m.seasonal.(n mod model.period)
+  end
+
+let forecaster model =
+  Forecaster.of_fn
+    ~name:(Printf.sprintf "holt-winters(%d)" model.period)
+    ~min_history:model.period (predict_next model)
+
+let components model = (model.level, model.trend, Array.copy model.seasonal)

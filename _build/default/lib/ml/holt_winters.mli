@@ -1,0 +1,33 @@
+(** Holt–Winters (triple exponential smoothing) forecaster.
+
+    An additive-seasonality exponential smoother: level, trend and a
+    seasonal profile of a configurable period, updated online. For the
+    strongly periodic cloud-demand data the paper targets, this is the
+    classic lightweight alternative between a random walk and a learned
+    model — and a natural drop-in for Samya's pluggable Prediction
+    Module. *)
+
+type model
+
+val fit :
+  ?alpha:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  period:int ->
+  float array ->
+  model
+(** [fit ~period series] estimates initial level/trend/seasonal components
+    from the first periods and then smooths through the rest.
+    Smoothing factors default to [alpha = 0.3] (level), [beta = 0.05]
+    (trend), [gamma = 0.15] (season). Raises [Invalid_argument] when the
+    series is shorter than two periods or a factor is outside [(0, 1)]. *)
+
+val predict_next : model -> float array -> float
+(** One-step forecast given a history on the original scale: the model's
+    smoothing is re-run over the tail of the history (last few periods),
+    so the forecaster is stateless between calls like the others. *)
+
+val forecaster : model -> Forecaster.t
+
+val components : model -> float * float * float array
+(** [(level, trend, seasonal profile)] after fitting — for tests. *)

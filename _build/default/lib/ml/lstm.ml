@@ -1,0 +1,255 @@
+type config = {
+  hidden : int;
+  window : int;
+  epochs : int;
+  learning_rate : float;
+  clip_norm : float;
+  seed : int64;
+}
+
+let default_config =
+  { hidden = 16; window = 24; epochs = 8; learning_rate = 5e-3; clip_norm = 1.0; seed = 7L }
+
+(* All parameters live in one flat vector [theta]. Gate order within the
+   4H pre-activation block: input | forget | cell(g) | output.
+
+   Layout:  wx (4H)  |  wh (4H*H, row-major [gate*H + j])  |  b (4H)
+          | wy (H)   |  by (1)                                           *)
+type layout = { h : int; owx : int; owh : int; ob : int; owy : int; oby : int; size : int }
+
+let make_layout h =
+  let owx = 0 in
+  let owh = owx + (4 * h) in
+  let ob = owh + (4 * h * h) in
+  let owy = ob + (4 * h) in
+  let oby = owy + h in
+  { h; owx; owh; ob; owy; oby; size = oby + 1 }
+
+type t = {
+  cfg : config;
+  layout : layout;
+  theta : float array;
+  scaler : Scaler.t;
+  losses : float array;
+}
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+(* Forward pass over a window, returning the prediction and — when
+   [caches] is given — the per-step activations needed by BPTT. *)
+type step_cache = {
+  x : float;
+  i : float array;
+  f : float array;
+  g : float array;
+  o : float array;
+  c : float array;
+  tanh_c : float array;
+  h_prev : float array;
+  c_prev : float array;
+}
+
+let forward layout theta xs ~caches =
+  let h = layout.h in
+  let h_state = ref (Array.make h 0.0) in
+  let c_state = ref (Array.make h 0.0) in
+  Array.iter
+    (fun x ->
+      let h_prev = !h_state and c_prev = !c_state in
+      let i = Array.make h 0.0
+      and f = Array.make h 0.0
+      and g = Array.make h 0.0
+      and o = Array.make h 0.0
+      and c = Array.make h 0.0
+      and tanh_c = Array.make h 0.0
+      and h_new = Array.make h 0.0 in
+      for k = 0 to (4 * h) - 1 do
+        let acc = ref ((theta.(layout.owx + k) *. x) +. theta.(layout.ob + k)) in
+        let row = layout.owh + (k * h) in
+        for j = 0 to h - 1 do
+          acc := !acc +. (theta.(row + j) *. h_prev.(j))
+        done;
+        let gate = k / h and unit = k mod h in
+        (match gate with
+        | 0 -> i.(unit) <- sigmoid !acc
+        | 1 -> f.(unit) <- sigmoid !acc
+        | 2 -> g.(unit) <- tanh !acc
+        | _ -> o.(unit) <- sigmoid !acc)
+      done;
+      for unit = 0 to h - 1 do
+        c.(unit) <- (f.(unit) *. c_prev.(unit)) +. (i.(unit) *. g.(unit));
+        tanh_c.(unit) <- tanh c.(unit);
+        h_new.(unit) <- o.(unit) *. tanh_c.(unit)
+      done;
+      (match caches with
+      | None -> ()
+      | Some stack ->
+          stack := { x; i; f; g; o; c; tanh_c; h_prev; c_prev } :: !stack);
+      h_state := h_new;
+      c_state := c)
+    xs;
+  let y = ref theta.(layout.oby) in
+  for j = 0 to h - 1 do
+    y := !y +. (theta.(layout.owy + j) *. !h_state.(j))
+  done;
+  (!y, !h_state)
+
+let predict_scaled layout theta xs = fst (forward layout theta xs ~caches:None)
+
+(* Backward pass: accumulates d(loss)/d(theta) into [grad] for squared
+   loss 0.5 * (y - target)^2 on one window. Returns the loss. *)
+let backward layout theta xs target grad =
+  let h = layout.h in
+  let caches = ref [] in
+  let y, h_last = forward layout theta xs ~caches:(Some caches) in
+  let dy = y -. target in
+  let loss = 0.5 *. dy *. dy in
+  (* Read-out layer. *)
+  grad.(layout.oby) <- grad.(layout.oby) +. dy;
+  let dh = Array.make h 0.0 in
+  for j = 0 to h - 1 do
+    grad.(layout.owy + j) <- grad.(layout.owy + j) +. (dy *. h_last.(j));
+    dh.(j) <- dy *. theta.(layout.owy + j)
+  done;
+  let dc = Array.make h 0.0 in
+  let da = Array.make (4 * h) 0.0 in
+  (* Walk time steps last-to-first; [caches] is already reversed. *)
+  List.iter
+    (fun cache ->
+      for unit = 0 to h - 1 do
+        let d_o = dh.(unit) *. cache.tanh_c.(unit) in
+        dc.(unit) <-
+          dc.(unit)
+          +. (dh.(unit) *. cache.o.(unit) *. (1.0 -. (cache.tanh_c.(unit) *. cache.tanh_c.(unit))));
+        let d_i = dc.(unit) *. cache.g.(unit) in
+        let d_f = dc.(unit) *. cache.c_prev.(unit) in
+        let d_g = dc.(unit) *. cache.i.(unit) in
+        da.(unit) <- d_i *. cache.i.(unit) *. (1.0 -. cache.i.(unit));
+        da.(h + unit) <- d_f *. cache.f.(unit) *. (1.0 -. cache.f.(unit));
+        da.((2 * h) + unit) <- d_g *. (1.0 -. (cache.g.(unit) *. cache.g.(unit)));
+        da.((3 * h) + unit) <- d_o *. cache.o.(unit) *. (1.0 -. cache.o.(unit))
+      done;
+      (* Parameter gradients and the recurrent back-flow. *)
+      Array.fill dh 0 h 0.0;
+      for k = 0 to (4 * h) - 1 do
+        let dak = da.(k) in
+        grad.(layout.owx + k) <- grad.(layout.owx + k) +. (dak *. cache.x);
+        grad.(layout.ob + k) <- grad.(layout.ob + k) +. dak;
+        let row = layout.owh + (k * h) in
+        for j = 0 to h - 1 do
+          grad.(row + j) <- grad.(row + j) +. (dak *. cache.h_prev.(j));
+          dh.(j) <- dh.(j) +. (dak *. theta.(row + j))
+        done
+      done;
+      for unit = 0 to h - 1 do
+        dc.(unit) <- dc.(unit) *. cache.f.(unit)
+      done)
+    !caches;
+  loss
+
+(* Adam with bias correction and global-norm clipping. *)
+type adam = {
+  m : float array;
+  v : float array;
+  mutable step : int;
+  lr : float;
+  clip : float;
+}
+
+let adam_create size ~lr ~clip = { m = Array.make size 0.0; v = Array.make size 0.0; step = 0; lr; clip }
+
+let adam_update opt theta grad =
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let norm = sqrt (Array.fold_left (fun acc g -> acc +. (g *. g)) 0.0 grad) in
+  let factor = if norm > opt.clip && norm > 0.0 then opt.clip /. norm else 1.0 in
+  opt.step <- opt.step + 1;
+  let t = float_of_int opt.step in
+  let correction1 = 1.0 -. (beta1 ** t) and correction2 = 1.0 -. (beta2 ** t) in
+  for k = 0 to Array.length theta - 1 do
+    let g = grad.(k) *. factor in
+    opt.m.(k) <- (beta1 *. opt.m.(k)) +. ((1.0 -. beta1) *. g);
+    opt.v.(k) <- (beta2 *. opt.v.(k)) +. ((1.0 -. beta2) *. g *. g);
+    let m_hat = opt.m.(k) /. correction1 in
+    let v_hat = opt.v.(k) /. correction2 in
+    theta.(k) <- theta.(k) -. (opt.lr *. m_hat /. (sqrt v_hat +. eps))
+  done
+
+let init_theta rng layout =
+  (* Uniform(-s, s) with s scaled to fan-in; forget-gate bias starts at 1.0
+     (standard trick: remember by default). *)
+  let s = 1.0 /. sqrt (float_of_int layout.h) in
+  let theta = Array.init layout.size (fun _ -> Des.Rng.float rng (2.0 *. s) -. s) in
+  for unit = 0 to layout.h - 1 do
+    theta.(layout.ob + layout.h + unit) <- 1.0
+  done;
+  theta.(layout.oby) <- 0.0;
+  theta
+
+let train ?(config = default_config) series =
+  if Array.length series < config.window + 2 then
+    invalid_arg "Lstm.train: series shorter than window + 2";
+  let layout = make_layout config.hidden in
+  let rng = Des.Rng.create config.seed in
+  let theta = init_theta rng layout in
+  let scaler = Scaler.fit_min_max ~low:0.0 ~high:1.0 series in
+  let scaled = Scaler.transform_array scaler series in
+  let pairs = Stats.Series.windows ~input:config.window scaled in
+  let order = Array.init (Array.length pairs) (fun i -> i) in
+  let grad = Array.make layout.size 0.0 in
+  let opt = adam_create layout.size ~lr:config.learning_rate ~clip:config.clip_norm in
+  let losses = Array.make config.epochs 0.0 in
+  for epoch = 0 to config.epochs - 1 do
+    Des.Rng.shuffle rng order;
+    let epoch_loss = ref 0.0 in
+    Array.iter
+      (fun idx ->
+        let xs, target = pairs.(idx) in
+        Array.fill grad 0 layout.size 0.0;
+        epoch_loss := !epoch_loss +. backward layout theta xs target grad;
+        adam_update opt theta grad)
+      order;
+    losses.(epoch) <- !epoch_loss /. float_of_int (max 1 (Array.length pairs))
+  done;
+  { cfg = config; layout; theta; scaler; losses }
+
+let config t = t.cfg
+
+let training_losses t = Array.copy t.losses
+
+let predict_next t history =
+  let n = Array.length history in
+  if n < t.cfg.window then (if n = 0 then 0.0 else history.(n - 1))
+  else begin
+    let window = Array.sub history (n - t.cfg.window) t.cfg.window in
+    let scaled = Array.map (Scaler.transform t.scaler) window in
+    Scaler.inverse t.scaler (predict_scaled t.layout t.theta scaled)
+  end
+
+let forecaster t =
+  Forecaster.of_fn ~name:"lstm" ~min_history:t.cfg.window (predict_next t)
+
+let gradient_check ?(hidden = 4) ?(window = 5) ~seed () =
+  let layout = make_layout hidden in
+  let rng = Des.Rng.create seed in
+  let theta = init_theta rng layout in
+  let xs = Array.init window (fun _ -> Des.Rng.float rng 1.0) in
+  let target = Des.Rng.float rng 1.0 in
+  let analytic = Array.make layout.size 0.0 in
+  ignore (backward layout theta xs target analytic);
+  let eps = 1e-5 in
+  let worst = ref 0.0 in
+  for k = 0 to layout.size - 1 do
+    let saved = theta.(k) in
+    theta.(k) <- saved +. eps;
+    let y_plus = predict_scaled layout theta xs in
+    let loss_plus = 0.5 *. ((y_plus -. target) ** 2.0) in
+    theta.(k) <- saved -. eps;
+    let y_minus = predict_scaled layout theta xs in
+    let loss_minus = 0.5 *. ((y_minus -. target) ** 2.0) in
+    theta.(k) <- saved;
+    let numeric = (loss_plus -. loss_minus) /. (2.0 *. eps) in
+    let denom = Float.max 1e-6 (Float.abs numeric +. Float.abs analytic.(k)) in
+    let rel = Float.abs (numeric -. analytic.(k)) /. denom in
+    if rel > !worst then worst := rel
+  done;
+  !worst

@@ -1,0 +1,48 @@
+(** LSTM forecaster — the non-linear regression model of Table 2a.
+
+    A single-layer LSTM (input size 1, configurable hidden size) with a
+    linear read-out, trained by truncated back-propagation through time and
+    Adam on supervised windows of the scaled training series. Everything is
+    implemented from scratch: forward pass, BPTT gradients, optimizer,
+    gradient clipping.
+
+    This is deliberately a small model: the paper's point is only that a
+    recurrent non-linear learner predicts the periodic Azure demand better
+    than ARIMA and random walk, and a few thousand parameters suffice for
+    that on the reproduced trace. *)
+
+type config = {
+  hidden : int;  (** hidden-state width (default 16) *)
+  window : int;  (** input sequence length (default 24 epochs) *)
+  epochs : int;  (** passes over the training windows (default 8) *)
+  learning_rate : float;  (** Adam step size (default 5e-3) *)
+  clip_norm : float;  (** global gradient-norm clip (default 1.0) *)
+  seed : int64;  (** weight init + shuffling seed *)
+}
+
+val default_config : config
+
+type t
+
+val train : ?config:config -> float array -> t
+(** [train series] fits the scaler and the network on [series] (the
+    training split, original scale). Raises [Invalid_argument] when the
+    series is shorter than [window + 2]. *)
+
+val config : t -> config
+
+val predict_next : t -> float array -> float
+(** One-step forecast from the last [window] points of the history
+    (original scale); persistence fallback on shorter histories. *)
+
+val forecaster : t -> Forecaster.t
+
+val training_losses : t -> float array
+(** Mean squared loss per epoch, in training order — decreasing values are
+    the cheap sanity check that learning happened. *)
+
+val gradient_check : ?hidden:int -> ?window:int -> seed:int64 -> unit -> float
+(** Builds a tiny random instance and returns the maximum relative error
+    between analytic (BPTT) and central-finite-difference gradients over
+    all parameters — should be well below 1e-4. Exposed for the test
+    suite. *)

@@ -1,0 +1,13 @@
+(** Forecast accuracy metrics (Table 2a reports MAE). *)
+
+val mae : actual:float array -> predicted:float array -> float
+(** Mean absolute error. Raises [Invalid_argument] on length mismatch or
+    empty input. *)
+
+val rmse : actual:float array -> predicted:float array -> float
+
+val mape : actual:float array -> predicted:float array -> float
+(** Mean absolute percentage error; zero actuals are skipped. *)
+
+val smape : actual:float array -> predicted:float array -> float
+(** Symmetric MAPE in [\[0, 200\]]. *)

@@ -1,0 +1,7 @@
+(** Random-walk (naive / persistence) forecaster: the next value equals the
+    last observed value. The paper's baseline model in Table 2a. *)
+
+val forecaster : unit -> Forecaster.t
+
+val with_drift : unit -> Forecaster.t
+(** Adds the mean historical step — random walk with drift. *)

@@ -1,0 +1,1 @@
+lib/samya/avantan_majority.ml: Consensus Des Hashtbl List Protocol

@@ -1,0 +1,1 @@
+lib/samya/avantan_majority.mli: Consensus Des Protocol

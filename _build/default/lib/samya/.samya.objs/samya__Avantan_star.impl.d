@@ -1,0 +1,1 @@
+lib/samya/avantan_star.ml: Consensus Des Hashtbl List Protocol

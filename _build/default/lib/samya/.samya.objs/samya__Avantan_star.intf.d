@@ -1,0 +1,1 @@
+lib/samya/avantan_star.mli: Consensus Des Protocol

@@ -1,0 +1,1 @@
+lib/samya/cluster.ml: Array Des Geonet Printf Site Types

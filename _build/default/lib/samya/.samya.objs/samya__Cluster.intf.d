@@ -1,0 +1,1 @@
+lib/samya/cluster.mli: Config Des Geonet Ml Site Types

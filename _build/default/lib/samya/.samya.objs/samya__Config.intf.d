@@ -1,0 +1,1 @@
+lib/samya/config.mli: Reallocation

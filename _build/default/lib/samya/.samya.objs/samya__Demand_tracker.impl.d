@@ -1,0 +1,1 @@
+lib/samya/demand_tracker.ml: Array Des

@@ -1,0 +1,1 @@
+lib/samya/protocol.ml: Consensus Format List Reallocation

@@ -1,0 +1,1 @@
+lib/samya/protocol.mli: Consensus Format Reallocation

@@ -1,0 +1,1 @@
+lib/samya/reallocation.ml: Hashtbl List

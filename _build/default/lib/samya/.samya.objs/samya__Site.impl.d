@@ -1,0 +1,1 @@
+lib/samya/site.ml: Array Avantan_majority Avantan_star Config Consensus Demand_tracker Des Float Geonet Hashtbl List Ml Protocol Queue Reallocation Stats Types

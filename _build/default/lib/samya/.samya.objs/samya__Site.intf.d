@@ -1,0 +1,1 @@
+lib/samya/site.mli: Config Geonet Ml Protocol Types

@@ -1,0 +1,1 @@
+lib/samya/types.mli: Format

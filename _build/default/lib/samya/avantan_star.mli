@@ -1,0 +1,65 @@
+(** Avantan[*] — the any-subset redistribution protocol (§4.3.2).
+
+    Same message vocabulary as Avantan[(n+1)/2] with the paper's three
+    modifications:
+
+    + the leader stops collecting ElectionOk-Values as soon as the pooled
+      [TokensLeft] can satisfy its own [TokensWanted]; the responders plus
+      the leader form the participant set [R_t], everyone else is told to
+      discard the instance;
+    + a cohort participates in at most one instance at a time — while
+      locked it rejects other Election-GetValue messages (so disjoint
+      subsets redistribute concurrently);
+    + the decision requires Accept-Oks from {e all} of [R_t], not a
+      majority.
+
+    Recovery follows §4.3.2: a cohort that times out with no accepted
+    value aborts unilaterally (the leader cannot have decided without its
+    ack); with an accepted value it interrogates [R_t] with Status-Query
+    and decides, aborts, or stays blocked according to the replies.
+
+    Safety hardening documented in DESIGN.md: decided values are applied
+    as {e deltas} against the InitVal each site contributed, and each
+    instance (identified by the value's [origin] ballot) is applied at most
+    once — so the asynchronous races this variant admits (the paper notes
+    it is "sensitive to message losses") can delay tokens but never mint
+    or destroy them. *)
+
+type env = {
+  self : int;
+  n_sites : int;
+  send : int -> Protocol.msg -> unit;
+  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
+  local_state : unit -> Protocol.site_entry;
+  refresh_wanted : unit -> unit;
+  on_outcome : Protocol.outcome -> unit;
+  election_timeout_ms : float;
+  accept_timeout_ms : float;
+  cohort_timeout_ms : float;
+  status_retry_ms : float;  (** Status-Query retry period while blocked *)
+}
+
+type t
+
+val create : env -> t
+
+val start : t -> unit
+(** Trigger a redistribution as leader; no-op while {!participating}. *)
+
+val handle : t -> src:int -> Protocol.msg -> unit
+
+val participating : t -> bool
+(** Locked in an instance (as leader, cohort, or recovering cohort). *)
+
+val ballot : t -> Consensus.Ballot.t
+
+type stats = {
+  led_started : int;
+  led_decided : int;
+  led_aborted : int;
+  participated : int;
+  decisions_applied : int;
+  recoveries : int;
+}
+
+val stats : t -> stats

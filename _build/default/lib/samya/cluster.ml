@@ -1,0 +1,135 @@
+type t = {
+  engine : Des.Engine.t;
+  network : Site.net_msg Geonet.Network.t;
+  regions : Geonet.Region.t array;
+  sites : Site.t array;
+  rng : Des.Rng.t;
+}
+
+let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0) () =
+  if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
+  let engine = Des.Engine.create ~seed () in
+  let network = Geonet.Network.create engine ~regions ~drop_probability () in
+  let sites =
+    Array.init (Array.length regions) (fun id ->
+        Site.create ~config ~network ~id ?forecaster ())
+  in
+  { engine; network; regions; sites; rng = Des.Rng.split (Des.Engine.rng engine) }
+
+let engine t = t.engine
+let network t = t.network
+let n_sites t = Array.length t.sites
+let site t i = t.sites.(i)
+let sites t = t.sites
+
+let init_entity_shares t ~entity ~shares =
+  if Array.length shares <> Array.length t.sites then
+    invalid_arg "Cluster.init_entity_shares: one share per site required";
+  Array.iteri (fun i tokens -> Site.init_entity t.sites.(i) ~entity ~tokens) shares
+
+let init_entity t ~entity ~maximum =
+  if maximum < 0 then invalid_arg "Cluster.init_entity: negative maximum";
+  let n = Array.length t.sites in
+  let share = maximum / n and extra = maximum mod n in
+  let shares = Array.init n (fun i -> share + if i < extra then 1 else 0) in
+  init_entity_shares t ~entity ~shares
+
+(* Nearest live site to a client region, app-manager failover included. *)
+let route t ~region =
+  let best = ref None in
+  Array.iteri
+    (fun i site ->
+      if Site.alive site then begin
+        let distance = Geonet.Region.one_way_ms region t.regions.(i) in
+        match !best with
+        | Some (_, d) when d <= distance -> ()
+        | Some _ | None -> best := Some (i, distance)
+      end)
+    t.sites;
+  !best
+
+(* Client -> app manager (same region) -> site, plus jitter; and the same
+   way back. *)
+let client_leg_ms t ~region ~site_index =
+  let base =
+    (Geonet.Region.client_site_rtt_ms /. 2.0)
+    +. Geonet.Region.one_way_ms region t.regions.(site_index)
+  in
+  base +. Des.Rng.float t.rng (0.05 *. base)
+
+let submit_to_site t ~site request ~reply = Site.submit t.sites.(site) request ~reply
+
+let submit t ~region request ~reply =
+  match route t ~region with
+  | None -> reply Types.Unavailable
+  | Some (site_index, _) ->
+      let there = client_leg_ms t ~region ~site_index in
+      Des.Engine.schedule t.engine ~delay_ms:there (fun () ->
+          let target = t.sites.(site_index) in
+          if not (Site.alive target) then
+            (* The site died while the request was in flight. *)
+            Des.Engine.schedule t.engine ~delay_ms:there (fun () -> reply Types.Unavailable)
+          else
+            Site.submit target request ~reply:(fun response ->
+                let back = client_leg_ms t ~region ~site_index in
+                Des.Engine.schedule t.engine ~delay_ms:back (fun () -> reply response)))
+
+let crash_site t i = Site.crash t.sites.(i)
+let recover_site t i = Site.recover t.sites.(i)
+let partition t groups = Geonet.Network.set_partition t.network groups
+let heal t = Geonet.Network.clear_partition t.network
+
+let total_tokens_left t ~entity =
+  Array.fold_left (fun acc site -> acc + Site.tokens_left site ~entity) 0 t.sites
+
+let total_acquired t ~entity =
+  Array.fold_left (fun acc site -> acc + Site.acquired_net site ~entity) 0 t.sites
+
+let check_invariant t ~entity ~maximum =
+  let acquired = total_acquired t ~entity in
+  let left = total_tokens_left t ~entity in
+  if acquired < 0 then Error (Printf.sprintf "negative total acquisition: %d" acquired)
+  else if acquired > maximum then
+    Error (Printf.sprintf "constraint violated: %d acquired > maximum %d" acquired maximum)
+  else if left + acquired <> maximum then
+    Error
+      (Printf.sprintf "tokens not conserved: left %d + acquired %d <> maximum %d" left
+         acquired maximum)
+  else Ok ()
+
+let total_redistributions t =
+  Array.fold_left
+    (fun acc site -> acc + (Site.stats site).Site.redistributions_led)
+    0 t.sites
+
+let aggregate_stats t =
+  Array.fold_left
+    (fun (acc : Site.stats) site ->
+      let s = Site.stats site in
+      Site.
+        {
+          served_acquires = acc.served_acquires + s.served_acquires;
+          served_releases = acc.served_releases + s.served_releases;
+          served_reads = acc.served_reads + s.served_reads;
+          rejected = acc.rejected + s.rejected;
+          queued_peak = max acc.queued_peak s.queued_peak;
+          redistributions_led = acc.redistributions_led + s.redistributions_led;
+          redistributions_started = acc.redistributions_started + s.redistributions_started;
+          redistributions_aborted = acc.redistributions_aborted + s.redistributions_aborted;
+          proactive_triggers = acc.proactive_triggers + s.proactive_triggers;
+          reactive_triggers = acc.reactive_triggers + s.reactive_triggers;
+        })
+    Site.
+      {
+        served_acquires = 0;
+        served_releases = 0;
+        served_reads = 0;
+        rejected = 0;
+        queued_peak = 0;
+        redistributions_led = 0;
+        redistributions_started = 0;
+        redistributions_aborted = 0;
+        proactive_triggers = 0;
+        reactive_triggers = 0;
+      }
+    t.sites

@@ -1,0 +1,68 @@
+(** A complete Samya deployment: engine, geo network, sites, and the
+    app-manager routing layer between clients and sites.
+
+    App managers are stateless relays co-located with clients (the paper's
+    evaluation merges them, §5.2); routing picks the nearest live site and
+    fails over to the next-nearest when a region's site is down. Client
+    transport latency (client → app manager → site and back) is simulated
+    on top of the inter-site network's latency model.
+
+    The cluster also exposes the failure injection (crashes, partitions)
+    and the global accounting used by the invariant checks and the
+    experiment harness. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  config:Config.t ->
+  regions:Geonet.Region.t array ->
+  ?forecaster:Ml.Forecaster.t ->
+  ?drop_probability:float ->
+  unit ->
+  t
+(** One site per entry of [regions] (node ids follow array order). The
+    forecaster, when given, is shared by all sites' Prediction Modules. *)
+
+val engine : t -> Des.Engine.t
+val network : t -> Site.net_msg Geonet.Network.t
+val n_sites : t -> int
+val site : t -> int -> Site.t
+val sites : t -> Site.t array
+
+val init_entity : t -> entity:Types.entity -> maximum:int -> unit
+(** Splits [maximum] tokens equally across sites (remainder to the lowest
+    ids), as in the paper's setup (M_e = 5000 over 5 sites → 1000 each). *)
+
+val init_entity_shares : t -> entity:Types.entity -> shares:int array -> unit
+(** Uneven initial allocation (e.g. derived from historic demand). *)
+
+val submit :
+  t -> region:Geonet.Region.t -> Types.request -> reply:(Types.response -> unit) -> unit
+(** Client request from [region]: routed via the local app manager to the
+    nearest live site; [reply] fires when the response reaches the client
+    (transport + service + queueing latency included). With no live site
+    reachable the reply is [Unavailable]. *)
+
+val submit_to_site :
+  t -> site:int -> Types.request -> reply:(Types.response -> unit) -> unit
+(** Bypass routing (tests). *)
+
+val crash_site : t -> int -> unit
+val recover_site : t -> int -> unit
+val partition : t -> int list list -> unit
+val heal : t -> unit
+
+val total_tokens_left : t -> entity:Types.entity -> int
+val total_acquired : t -> entity:Types.entity -> int
+
+val check_invariant : t -> entity:Types.entity -> maximum:int -> (unit, string) result
+(** Equation 1 plus token conservation: [0 <= total_acquired <= maximum]
+    and [total_tokens_left + total_acquired = maximum]. Meaningful at
+    quiescent points (no decision deliveries in flight). *)
+
+val total_redistributions : t -> int
+(** Decided instances, summed over leading sites (the paper's
+    "208 vs 792 redistributions" metric). *)
+
+val aggregate_stats : t -> Site.stats

@@ -1,0 +1,75 @@
+module Ballot = Consensus.Ballot
+
+type site_entry = Reallocation.entry = {
+  site : int;
+  tokens_left : int;
+  tokens_wanted : int;
+}
+
+type value = {
+  origin : Ballot.t;
+  entries : site_entry list;
+}
+
+let make_value ~origin entries = { origin; entries }
+
+let participants value = List.sort compare (List.map (fun e -> e.site) value.entries)
+
+let mem_site value site = List.exists (fun e -> e.site = site) value.entries
+
+let value_equal a b = Ballot.equal a.origin b.origin && a.entries = b.entries
+
+type msg =
+  | Election_get_value of { bal : Ballot.t }
+  | Election_ok_value of {
+      bal : Ballot.t;
+      init_val : site_entry;
+      accept_val : value option;
+      accept_num : Ballot.t;
+      decision : bool;
+    }
+  | Election_reject of { bal : Ballot.t }
+  | Accept_value of { bal : Ballot.t; value : value; decision : bool }
+  | Accept_ok of { bal : Ballot.t }
+  | Decision of { bal : Ballot.t; value : value }
+  | Discard of { bal : Ballot.t }
+  | Status_query of { bal : Ballot.t }
+  | Status_reply of {
+      bal : Ballot.t;
+      accept_val : value option;
+      accept_num : Ballot.t;
+      decision : bool;
+    }
+
+let pp_msg fmt = function
+  | Election_get_value { bal } -> Format.fprintf fmt "Election-GetValue(%a)" Ballot.pp bal
+  | Election_ok_value { bal; init_val; decision; _ } ->
+      Format.fprintf fmt "ElectionOk-Value(%a, TL=%d, TW=%d, dec=%b)" Ballot.pp bal
+        init_val.tokens_left init_val.tokens_wanted decision
+  | Election_reject { bal } -> Format.fprintf fmt "Election-Reject(%a)" Ballot.pp bal
+  | Accept_value { bal; value; decision } ->
+      Format.fprintf fmt "Accept-Value(%a, |R|=%d, dec=%b)" Ballot.pp bal
+        (List.length value.entries) decision
+  | Accept_ok { bal } -> Format.fprintf fmt "Accept-Ok(%a)" Ballot.pp bal
+  | Decision { bal; value } ->
+      Format.fprintf fmt "Decision(%a, |R|=%d)" Ballot.pp bal (List.length value.entries)
+  | Discard { bal } -> Format.fprintf fmt "Discard(%a)" Ballot.pp bal
+  | Status_query { bal } -> Format.fprintf fmt "Status-Query(%a)" Ballot.pp bal
+  | Status_reply { bal; decision; _ } ->
+      Format.fprintf fmt "Status-Reply(%a, dec=%b)" Ballot.pp bal decision
+
+let msg_ballot = function
+  | Election_get_value { bal }
+  | Election_ok_value { bal; _ }
+  | Election_reject { bal }
+  | Accept_value { bal; _ }
+  | Accept_ok { bal }
+  | Decision { bal; _ }
+  | Discard { bal }
+  | Status_query { bal }
+  | Status_reply { bal; _ } ->
+      bal
+
+type outcome =
+  | Decided of value
+  | Aborted

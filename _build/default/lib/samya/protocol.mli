@@ -1,0 +1,70 @@
+(** Wire messages of the Avantan redistribution protocols (§4.3).
+
+    Both variants share the message vocabulary; they differ in quorum rules,
+    participation and recovery, implemented in {!Avantan_majority} and
+    {!Avantan_star}. [AcceptVal] is a {e list} of per-site states — the key
+    departure from Paxos, where the value is a single client proposal. *)
+
+module Ballot = Consensus.Ballot
+
+type site_entry = Reallocation.entry = {
+  site : int;
+  tokens_left : int;
+  tokens_wanted : int;
+}
+
+type value = {
+  origin : Ballot.t;
+      (** the ballot at which this value was first constructed (line 22 of
+          Algorithm 1). Recovery leaders adopt a value {e unchanged}, so
+          [origin] uniquely identifies the redistribution instance even
+          when the same value is re-driven and decided under a higher
+          ballot — sites use it to apply each decision exactly once. *)
+  entries : site_entry list;  (** the list [L_t] of InitVals of [R_t] *)
+}
+
+val make_value : origin:Ballot.t -> site_entry list -> value
+
+val participants : value -> int list
+(** Site ids present in a value, ascending. *)
+
+val mem_site : value -> int -> bool
+
+val value_equal : value -> value -> bool
+
+type msg =
+  | Election_get_value of { bal : Ballot.t }
+      (** leader: phase-1 solicitation (leader election + value collection) *)
+  | Election_ok_value of {
+      bal : Ballot.t;
+      init_val : site_entry;
+      accept_val : value option;
+      accept_num : Ballot.t;
+      decision : bool;
+    }  (** cohort: promise carrying its state and any accepted value *)
+  | Election_reject of { bal : Ballot.t }
+      (** Avantan[*]: cohort is locked in another instance *)
+  | Accept_value of { bal : Ballot.t; value : value; decision : bool }
+      (** leader: phase-2 fault-tolerant storage of the constructed value *)
+  | Accept_ok of { bal : Ballot.t }
+  | Decision of { bal : Ballot.t; value : value }
+      (** asynchronous decision distribution *)
+  | Discard of { bal : Ballot.t }
+      (** leader aborted the instance; cohorts unlock and resume *)
+  | Status_query of { bal : Ballot.t }
+      (** Avantan[*] recovery: interrogate the other participants *)
+  | Status_reply of {
+      bal : Ballot.t;
+      accept_val : value option;
+      accept_num : Ballot.t;
+      decision : bool;
+    }
+
+val pp_msg : Format.formatter -> msg -> unit
+
+val msg_ballot : msg -> Ballot.t
+
+(** Outcome reported to the site when an instance finishes. *)
+type outcome =
+  | Decided of value
+  | Aborted  (** instance abandoned; site serves locally what it can *)

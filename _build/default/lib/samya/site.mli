@@ -1,0 +1,89 @@
+(** A Samya site: the Request Handling, Prediction, Protocol and
+    Redistribution modules of Fig. 2, wired together.
+
+    A site serves [acquireTokens]/[releaseTokens] locally against its
+    partition of the dis-aggregated token pool. It triggers redistribution
+    {e proactively} when its forecaster predicts next-epoch demand beyond
+    the local pool (Equation 4) and {e reactively} when a request cannot be
+    served (Equation 5). While the site participates in a protocol instance
+    it queues client requests; on the instance's outcome it applies the
+    agreed reallocation (as a delta, see {!Avantan_star}) and drains the
+    queue, rejecting what still cannot be served.
+
+    Global-snapshot reads (§5.8) fan out to every site and aggregate the
+    replies.
+
+    Ablations: {!Config.t} switches off prediction, redistribution, or the
+    constraint itself, reproducing the baselines of Figs. 3e/3f. *)
+
+type net_msg =
+  | Avantan of { entity : Types.entity; msg : Protocol.msg }
+  | Read_query of { entity : Types.entity; rid : int }
+  | Read_reply of { entity : Types.entity; rid : int; tokens_left : int }
+  | Recovery_query of { entity : Types.entity }
+  | Recovery_reply of { entity : Types.entity; decisions : Protocol.value list }
+
+type t
+
+val create :
+  config:Config.t ->
+  network:net_msg Geonet.Network.t ->
+  id:int ->
+  ?forecaster:Ml.Forecaster.t ->
+  unit ->
+  t
+(** Registers the site's handler with the network at node [id]. Without a
+    [forecaster] the site falls back to a persistence forecast of the last
+    epoch's demand (prediction can still be disabled entirely via
+    [config]). *)
+
+val id : t -> int
+
+val init_entity : t -> entity:Types.entity -> tokens:int -> unit
+(** Installs this site's initial share of entity [entity]'s tokens. Every
+    site must be initialised consistently; {!Cluster} does this. *)
+
+val submit : t -> Types.request -> reply:(Types.response -> unit) -> unit
+(** A client request as delivered by an app manager (transport latency
+    already accounted for by the caller). [reply] fires when the request is
+    granted/rejected — possibly much later if it is queued behind a
+    redistribution. *)
+
+val tokens_left : t -> entity:Types.entity -> int
+
+val tokens_wanted : t -> entity:Types.entity -> int
+
+val acquired_net : t -> entity:Types.entity -> int
+(** Granted acquires minus granted releases at this site — summed across
+    sites this must never exceed the entity's maximum (Equation 1). *)
+
+val queued : t -> entity:Types.entity -> int
+
+val participating : t -> entity:Types.entity -> bool
+
+val crash : t -> unit
+(** Stops serving, drops queued requests, freezes protocol participation
+    (timers are inert while crashed). *)
+
+val recover : t -> unit
+(** Restores service from (simulated) stable storage state and runs the
+    recovery catch-up: peers are asked for redistribution decisions that
+    involved this site while it was down, and any missed ones are applied
+    (each instance moves tokens exactly once). *)
+
+val alive : t -> bool
+
+type stats = {
+  served_acquires : int;
+  served_releases : int;
+  served_reads : int;
+  rejected : int;
+  queued_peak : int;
+  redistributions_led : int;  (** decided instances this site drove *)
+  redistributions_started : int;
+  redistributions_aborted : int;
+  proactive_triggers : int;
+  reactive_triggers : int;
+}
+
+val stats : t -> stats

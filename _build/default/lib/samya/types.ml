@@ -1,0 +1,31 @@
+type entity = string
+
+type request =
+  | Acquire of { entity : entity; amount : int }
+  | Release of { entity : entity; amount : int }
+  | Read of { entity : entity }
+
+type response =
+  | Granted
+  | Rejected
+  | Read_result of { tokens_available : int }
+  | Unavailable
+
+let request_entity = function
+  | Acquire { entity; _ } | Release { entity; _ } | Read { entity } -> entity
+
+let validate = function
+  | Acquire { amount; _ } when amount <= 0 -> Error "acquireTokens: amount must be positive"
+  | Release { amount; _ } when amount <= 0 -> Error "releaseTokens: amount must be positive"
+  | Acquire _ | Release _ | Read _ -> Ok ()
+
+let pp_request fmt = function
+  | Acquire { entity; amount } -> Format.fprintf fmt "acquireTokens(%s, %d)" entity amount
+  | Release { entity; amount } -> Format.fprintf fmt "releaseTokens(%s, %d)" entity amount
+  | Read { entity } -> Format.fprintf fmt "readTokens(%s)" entity
+
+let pp_response fmt = function
+  | Granted -> Format.fprintf fmt "granted"
+  | Rejected -> Format.fprintf fmt "rejected"
+  | Read_result { tokens_available } -> Format.fprintf fmt "read(%d)" tokens_available
+  | Unavailable -> Format.fprintf fmt "unavailable"

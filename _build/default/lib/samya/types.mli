@@ -1,0 +1,30 @@
+(** Client-visible data model (§3.2).
+
+    An {e entity} is a resource type (e.g. "VM"); its instances are
+    indistinguishable {e tokens}. Clients acquire and release tokens;
+    Samya tracks usage so that collectively no more than the preset
+    maximum [m_e] is ever acquired (Equation 1). *)
+
+type entity = string
+
+type request =
+  | Acquire of { entity : entity; amount : int }
+      (** [acquireTokens(e, n)], [n > 0] *)
+  | Release of { entity : entity; amount : int }
+      (** [releaseTokens(e, m)], [m > 0] *)
+  | Read of { entity : entity }
+      (** global-snapshot read of total available tokens (§5.8) *)
+
+type response =
+  | Granted
+  | Rejected  (** not enough tokens anywhere, or site gave up redistribution *)
+  | Read_result of { tokens_available : int }
+  | Unavailable  (** no reachable site to serve the request *)
+
+val request_entity : request -> entity
+
+val validate : request -> (unit, string) result
+(** Rejects non-positive amounts. *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,1 @@
+lib/stats/sample_set.ml: Array Float

@@ -1,0 +1,29 @@
+(** Exact percentile computation over a collected sample set.
+
+    Latency distributions in the experiments hold at most a few million
+    samples, so we keep them all and compute exact order statistics — no
+    estimation error in the reproduced Table 2b. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], nearest-rank with linear
+    interpolation (same convention as numpy's default). [nan] when empty.
+    Raises [Invalid_argument] for [p] outside the range. *)
+
+val median : t -> float
+
+val mean : t -> float
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val to_sorted_array : t -> float array
+(** A copy, ascending. *)

@@ -1,0 +1,32 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Constant-memory mean/variance/min/max over a stream of observations;
+    used for latency and throughput aggregates in the harness. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); [nan] for fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+(** Sum of all observations. *)
+
+val merge : t -> t -> t
+(** Summary of the concatenated streams (Chan et al. parallel update). *)

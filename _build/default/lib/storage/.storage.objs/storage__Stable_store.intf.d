@@ -1,0 +1,1 @@
+lib/storage/stable_store.mli:

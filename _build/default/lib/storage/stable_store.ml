@@ -1,0 +1,22 @@
+type 'a t = { table : (string, 'a) Hashtbl.t; mutable writes : int }
+
+let create () = { table = Hashtbl.create 16; writes = 0 }
+
+let put t ~key value =
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.table key value
+
+let get t ~key = Hashtbl.find_opt t.table key
+
+let get_exn t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some v -> v
+  | None -> raise Not_found
+
+let remove t ~key = Hashtbl.remove t.table key
+
+let mem t ~key = Hashtbl.mem t.table key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+
+let write_count t = t.writes

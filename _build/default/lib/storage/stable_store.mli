@@ -1,0 +1,25 @@
+(** Simulated durable key/value snapshot store.
+
+    Complements {!Wal}: protocols checkpoint small state records (ballot
+    numbers, token counts) under string keys; the store survives simulated
+    crashes so recovery code can read back the last durable value. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val put : 'a t -> key:string -> 'a -> unit
+
+val get : 'a t -> key:string -> 'a option
+
+val get_exn : 'a t -> key:string -> 'a
+(** Raises [Not_found]. *)
+
+val remove : 'a t -> key:string -> unit
+
+val mem : 'a t -> key:string -> bool
+
+val keys : 'a t -> string list
+
+val write_count : 'a t -> int
+(** Total number of durable writes performed — a proxy for fsync cost. *)

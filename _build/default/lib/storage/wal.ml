@@ -1,0 +1,40 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let append t record =
+  if t.size = Array.length t.data then begin
+    let capacity = max 16 (2 * Array.length t.data) in
+    let data = Array.make capacity record in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- record;
+  t.size <- t.size + 1;
+  t.size - 1
+
+let length t = t.size
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Wal.get: index out of range";
+  t.data.(i)
+
+let last t = if t.size = 0 then None else Some t.data.(t.size - 1)
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let truncate_from t i =
+  if i < 0 then invalid_arg "Wal.truncate_from: negative index";
+  if i < t.size then t.size <- i
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.size)

@@ -1,0 +1,32 @@
+(** Simulated write-ahead log.
+
+    Models the stable storage the paper assumes at every site ("when a
+    crashed site recovers, it reconstructs its previous state, typically
+    stored on stable storage"). Appends survive a simulated crash; volatile
+    protocol state does not. Records are typed; a log is an append-only
+    sequence with O(1) append and indexed read. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val append : 'a t -> 'a -> int
+(** Durably appends a record, returning its index. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] if the index is out of range. *)
+
+val last : 'a t -> 'a option
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** In append order. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+val truncate_from : 'a t -> int -> unit
+(** [truncate_from t i] discards records at indices [>= i] (used by Raft to
+    resolve log conflicts). *)
+
+val to_list : 'a t -> 'a list

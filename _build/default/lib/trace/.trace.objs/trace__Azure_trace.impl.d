@@ -1,0 +1,1 @@
+lib/trace/azure_trace.ml: Array Des Float Geonet Stats

@@ -1,0 +1,1 @@
+lib/trace/azure_trace.mli: Geonet

@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Array Azure_trace Des Option

@@ -1,0 +1,1 @@
+lib/trace/workload.mli: Azure_trace Des

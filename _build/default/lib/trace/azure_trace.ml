@@ -1,0 +1,145 @@
+type t = {
+  interval_s : float;
+  creations : float array;
+  deletions : float array;
+}
+
+type params = {
+  days : int;
+  mean_demand : float;
+  usage_level : float;
+  usage_swing : float;
+  usage_growth_per_day : float;
+  churn_lifetime_intervals : int;
+  noise : float;
+  burst_probability : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    days = 30;
+    mean_demand = 230.0;
+    usage_level = 450.0;
+    usage_swing = 700.0;
+    usage_growth_per_day = 150.0;
+    churn_lifetime_intervals = 0;
+    noise = 0.40;
+    burst_probability = 0.02;
+    seed = 2021L;
+  }
+
+let intervals_per_day = 24 * 12 (* 5-minute sampling *)
+
+(* Asymmetric, non-linear daily profile: a log-periodic curve with a sharp
+   business-hours ramp. [u] is the fraction of the day in [0, 1). *)
+let daily_shape u =
+  let two_pi = 2.0 *. Float.pi in
+  exp ((1.1 *. sin (two_pi *. (u -. 0.25))) +. (0.45 *. sin ((2.0 *. two_pi *. u) +. 1.1)))
+
+let weekly_factor day = if day mod 7 >= 5 then 0.62 else 1.0
+
+let generate params =
+  if params.days <= 0 then invalid_arg "Azure_trace.generate: days must be positive";
+  let n = params.days * intervals_per_day in
+  let rng = Des.Rng.create params.seed in
+  (* Mean of the raw daily shape, used to normalise demand to the target. *)
+  let shape_mean =
+    let acc = ref 0.0 in
+    for i = 0 to intervals_per_day - 1 do
+      acc := !acc +. daily_shape (float_of_int i /. float_of_int intervals_per_day)
+    done;
+    !acc /. float_of_int intervals_per_day
+  in
+  let creations = Array.make n 0.0 and deletions = Array.make n 0.0 in
+  let log_noise = ref 0.0 in
+  (* Usage starts at zero — nothing is pre-acquired when the system comes
+     up — and ramps towards the periodic target. *)
+  let usage = ref 0.0 in
+  for i = 0 to n - 1 do
+    let day = i / intervals_per_day in
+    let u = float_of_int (i mod intervals_per_day) /. float_of_int intervals_per_day in
+    (* AR(1) multiplicative noise. *)
+    log_noise :=
+      (0.7 *. !log_noise) +. Des.Rng.gaussian rng ~mean:0.0 ~std:params.noise;
+    let burst =
+      if Des.Rng.bool rng params.burst_probability then
+        2.0 +. Des.Rng.float rng 6.0
+      else 1.0
+    in
+    let churn =
+      params.mean_demand /. 2.0 /. shape_mean
+      *. daily_shape u *. weekly_factor day *. exp !log_noise *. burst
+    in
+    (* Bounded usage process: creations/deletions are the symmetric churn
+       plus the signed step that steers usage towards its periodic target. *)
+    let usage_target =
+      Float.max 0.0
+        (((params.usage_level
+          +. (params.usage_swing *. sin (2.0 *. Float.pi *. (u -. 0.35))))
+         *. weekly_factor day)
+        +. (params.usage_growth_per_day *. float_of_int i /. float_of_int intervals_per_day))
+    in
+    let du =
+      (0.15 *. (usage_target -. !usage))
+      +. Des.Rng.gaussian rng ~mean:0.0 ~std:(params.mean_demand /. 20.0)
+    in
+    usage := Float.max 0.0 (!usage +. du);
+    let created = Float.max 0.0 (churn +. Float.max 0.0 du) in
+    creations.(i) <- Float.round created;
+    (* Churned VMs live for a while before deletion: the symmetric churn
+       volume is returned [churn_lifetime_intervals] later, so short-lived
+       VMs still hold tokens — the standing usage that makes a tight limit
+       M_e genuinely binding (§5.9.i). *)
+    let lifetime = max 0 params.churn_lifetime_intervals in
+    let delayed = i + lifetime in
+    if delayed < n then
+      deletions.(delayed) <- deletions.(delayed) +. Float.round (Float.max 0.0 churn);
+    deletions.(i) <- deletions.(i) +. Float.round (Float.max 0.0 (-.du))
+  done;
+  { interval_s = 300.0; creations; deletions }
+
+let length t = Array.length t.creations
+
+let demand t = Array.init (length t) (fun i -> t.creations.(i) +. t.deletions.(i))
+
+let net_usage t =
+  let n = length t in
+  let out = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. t.creations.(i) -. t.deletions.(i);
+    out.(i) <- !acc
+  done;
+  out
+
+let compress t ~factor =
+  if factor <= 0 then invalid_arg "Azure_trace.compress: factor must be positive";
+  { t with interval_s = t.interval_s /. float_of_int factor }
+
+let phase_shift t ~hours =
+  let shift = int_of_float (Float.round (hours *. 3600.0 /. 300.0)) in
+  (* The shift is defined on the original 5-minute grid; applying it by
+     index keeps the same relative phase after compression. A region ahead
+     by [hours] sees the trace [shift] intervals early, so we slice forward
+     (never wrap — wrapping would splice the end of the month, with its
+     accumulated usage growth, onto the beginning). *)
+  let n = length t in
+  if shift < 0 || shift >= n then invalid_arg "Azure_trace.phase_shift: shift out of range";
+  {
+    t with
+    creations = Array.sub t.creations shift (n - shift);
+    deletions = Array.sub t.deletions shift (n - shift);
+  }
+
+let region_shift_hours region =
+  match region with
+  | Geonet.Region.Us_west1 -> 0.0
+  | Geonet.Region.Us_central1 -> 2.0
+  | Geonet.Region.Us_east1 -> 3.0
+  | Geonet.Region.Asia_east2 -> 16.0
+  | Geonet.Region.Europe_west2 -> 8.0
+  | Geonet.Region.Australia_southeast1 -> 18.0
+  | Geonet.Region.Southamerica_east1 -> 5.0
+
+let split t ~train_fraction = Stats.Series.split_at_fraction train_fraction (demand t)

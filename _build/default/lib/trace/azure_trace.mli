@@ -1,0 +1,77 @@
+(** Synthetic Azure-like VM workload trace.
+
+    Stand-in for the Azure Public Dataset used by the paper (§5.1): a
+    month-long trace of VM creation/deletion counts at 5-minute intervals
+    with strongly periodic daily/weekly structure ("history is an accurate
+    predictor of future behavior" — Cortez et al.). The generator
+    reproduces the properties the paper exploits:
+
+    - an asymmetric, non-linear daily demand shape (log-periodic, sharp
+      morning ramp) modulated by a weekday/weekend factor;
+    - autocorrelated multiplicative noise and occasional bursts;
+    - a bounded resource-usage process, so creations and deletions balance
+      over time and the tracked aggregate oscillates rather than drifting
+      monotonically into the global limit.
+
+    Creations map to [acquireTokens(VM, 1)] and deletions to
+    [releaseTokens(VM, 1)], exactly as in §5.1.2. *)
+
+type t = {
+  interval_s : float;  (** sampling interval; 300 s as generated *)
+  creations : float array;  (** VM creations per interval *)
+  deletions : float array;  (** VM deletions per interval *)
+}
+
+type params = {
+  days : int;  (** trace length (default 30, as in the dataset) *)
+  mean_demand : float;
+      (** target mean of creations+deletions per interval (default 230,
+          which reproduces the paper's ~820 k transactions per compressed
+          hour across five regions) *)
+  usage_level : float;
+      (** mean of the periodic tracked-usage target, in tokens (default
+          450); usage starts at zero and ramps towards the target *)
+  usage_swing : float;  (** amplitude of the daily usage oscillation (default 700) *)
+  usage_growth_per_day : float;
+      (** upward drift of the usage target (default 150 tokens/day) — real
+          cloud usage grows over a month, and the drift is what eventually
+          pushes the tracked aggregate against the global limit *)
+  churn_lifetime_intervals : int;
+      (** how many intervals a churned (short-lived) VM holds its token
+          before release (default 0 — instant recycling; the M_e sweep uses
+          grant-driven lifetimes in the driver instead): churn
+          contributes standing usage, not just flow *)
+  noise : float;  (** std-dev of the AR(1) log-noise innovations (default 0.40) *)
+  burst_probability : float;  (** per-interval probability of a demand burst (default 0.02) *)
+  seed : int64;
+}
+
+val default_params : params
+
+val generate : params -> t
+
+val length : t -> int
+
+val demand : t -> float array
+(** [creations + deletions] per interval — the series of Fig. 3a and the
+    prediction target of Table 2a. *)
+
+val net_usage : t -> float array
+(** Cumulative [creations - deletions]: the tracked aggregate over time.
+    Bounded by construction. *)
+
+val compress : t -> factor:int -> t
+(** §5.1.2's data processing: shrink the sampling interval by [factor]
+    (300 s / 60 = 5 s) so the same requests arrive at 60x the rate. Counts
+    are unchanged; only [interval_s] shrinks. *)
+
+val phase_shift : t -> hours:float -> t
+(** Shifts the series forward by a timezone offset (slicing, not wrapping), preserving
+    per-region periodicity while staggering peaks across regions
+    (§5.1.2). *)
+
+val region_shift_hours : Geonet.Region.t -> float
+(** Timezone offset applied per region, relative to US-West. *)
+
+val split : t -> train_fraction:float -> float array * float array
+(** Train/test split of {!demand} (the paper uses 80/20). *)

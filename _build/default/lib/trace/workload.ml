@@ -1,0 +1,59 @@
+type kind = Acquire | Release | Read
+
+type request = {
+  time_ms : float;
+  site : int;
+  kind : kind;
+  amount : int;
+}
+
+let compare_time a b = compare a.time_ms b.time_ms
+
+let of_trace ~rng ~trace ~site ?(start_interval = 0) ?intervals ?(amount = 1) () =
+  let total = Azure_trace.length trace in
+  let intervals = Option.value intervals ~default:(total - start_interval) in
+  if start_interval < 0 || start_interval + intervals > total then
+    invalid_arg "Workload.of_trace: interval range out of bounds";
+  let interval_ms = trace.Azure_trace.interval_s *. 1000.0 in
+  let out = ref [] in
+  (* Clients never release more than they acquired (§3.2): deletions are
+     capped by the running balance of the emitted stream, which also
+     absorbs the wrap-around of phase-shifted traces. *)
+  let balance = ref 0 in
+  for i = 0 to intervals - 1 do
+    let idx = start_interval + i in
+    let base = float_of_int i *. interval_ms in
+    let emit kind count =
+      for _ = 1 to count do
+        let time_ms = base +. Des.Rng.float rng interval_ms in
+        out := { time_ms; site; kind; amount } :: !out
+      done
+    in
+    let created = int_of_float trace.Azure_trace.creations.(idx) in
+    let deleted = min (int_of_float trace.Azure_trace.deletions.(idx)) (!balance + created) in
+    balance := !balance + created - deleted;
+    emit Acquire created;
+    emit Release deleted
+  done;
+  let arr = Array.of_list !out in
+  Array.sort compare_time arr;
+  arr
+
+let merge streams =
+  let arr = Array.concat streams in
+  Array.sort compare_time arr;
+  arr
+
+let with_reads ~rng ~read_ratio stream =
+  if read_ratio < 0.0 || read_ratio > 1.0 then
+    invalid_arg "Workload.with_reads: ratio outside [0, 1]";
+  Array.map
+    (fun r -> if Des.Rng.bool rng read_ratio then { r with kind = Read } else r)
+    stream
+
+let duration_ms stream =
+  let n = Array.length stream in
+  if n = 0 then 0.0 else stream.(n - 1).time_ms
+
+let count_kind stream kind =
+  Array.fold_left (fun acc r -> if r.kind = kind then acc + 1 else acc) 0 stream

@@ -1,0 +1,43 @@
+(** Transactional request streams derived from a trace (§5.1.2).
+
+    Each VM creation in an interval becomes one [acquireTokens(VM, 1)]
+    request and each deletion one [releaseTokens(VM, 1)] request, with
+    arrival instants scattered uniformly inside the (compressed) interval.
+    The result is an open-loop workload: clients issue requests at trace
+    rate regardless of system backpressure, which is what makes hotspots
+    hot. *)
+
+type kind = Acquire | Release | Read
+
+type request = {
+  time_ms : float;  (** arrival at the client's app manager, virtual ms *)
+  site : int;  (** node id of the closest site *)
+  kind : kind;
+  amount : int;  (** token count; 1 for trace-derived requests *)
+}
+
+val of_trace :
+  rng:Des.Rng.t ->
+  trace:Azure_trace.t ->
+  site:int ->
+  ?start_interval:int ->
+  ?intervals:int ->
+  ?amount:int ->
+  unit ->
+  request array
+(** Requests for [intervals] intervals of [trace] starting at
+    [start_interval] (defaults: the whole trace), timed from virtual 0,
+    sorted by [time_ms], targeted at [site]. *)
+
+val merge : request array list -> request array
+(** Stable time-ordered merge of per-site streams. *)
+
+val with_reads : rng:Des.Rng.t -> read_ratio:float -> request array -> request array
+(** Converts each request to a [Read] independently with probability
+    [read_ratio] — the Fig. 3h knob. Raises [Invalid_argument] outside
+    [\[0, 1\]]. *)
+
+val duration_ms : request array -> float
+(** Time of the last request, 0 for an empty stream. *)
+
+val count_kind : request array -> kind -> int

@@ -1,0 +1,1 @@
+test/test_avantan.ml: Alcotest Consensus Des List Samya

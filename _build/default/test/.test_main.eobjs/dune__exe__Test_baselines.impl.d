@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Des Geonet List Printf Samya

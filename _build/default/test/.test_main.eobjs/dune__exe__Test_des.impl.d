@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Des Float List QCheck QCheck_alcotest

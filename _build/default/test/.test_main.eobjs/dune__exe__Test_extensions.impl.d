@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Baselines Des Float Geonet Hierarchy List Ml Printf QCheck QCheck_alcotest Samya Stats

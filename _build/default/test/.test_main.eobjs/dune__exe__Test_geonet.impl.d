@@ -1,0 +1,1 @@
+test/test_geonet.ml: Alcotest Array Des Float Geonet List

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Float Format Harness List Samya Stats String Trace

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Des Float Gen Int64 List Ml Printf QCheck QCheck_alcotest Stats

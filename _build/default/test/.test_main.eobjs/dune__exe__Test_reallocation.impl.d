@@ -1,0 +1,1 @@
+test/test_reallocation.ml: Alcotest List QCheck QCheck_alcotest Samya

@@ -1,0 +1,1 @@
+test/test_samya.ml: Alcotest Array Consensus Des Geonet Int64 List Printf QCheck QCheck_alcotest Samya

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List QCheck QCheck_alcotest Storage

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Des Float Hashtbl Int64 Option Printf QCheck QCheck_alcotest Stats Trace

@@ -1,0 +1,387 @@
+(* White-box tests of the Avantan state machines: the failure-free phases
+   and the recovery cases of Algorithm 1 (§4.3.1) and of Avantan[*]
+   (§4.3.2), driven by crafted message sequences against a single machine
+   with a scripted environment. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+module Ballot = Consensus.Ballot
+module P = Samya.Protocol
+
+let entry site tokens_left tokens_wanted = { P.site; tokens_left; tokens_wanted }
+
+(* Scripted environment: outbound messages are recorded; local state and
+   outcomes are observable. *)
+type script = {
+  engine : Des.Engine.t;
+  sent : (int * P.msg) list ref;
+  outcomes : P.outcome list ref;
+  mutable state : P.site_entry;
+}
+
+let make_script ?(self = 0) ?(tokens_left = 100) ?(tokens_wanted = 50) () =
+  let engine = Des.Engine.create () in
+  let script =
+    {
+      engine;
+      sent = ref [];
+      outcomes = ref [];
+      state = entry self tokens_left tokens_wanted;
+    }
+  in
+  script
+
+let majority_env script ~self ~n_sites =
+  {
+    Samya.Avantan_majority.self;
+    n_sites;
+    send = (fun dst msg -> script.sent := (dst, msg) :: !(script.sent));
+    set_timer = (fun ~delay_ms f -> Des.Engine.timer script.engine ~delay_ms f);
+    local_state = (fun () -> script.state);
+    refresh_wanted = (fun () -> ());
+    on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
+    election_timeout_ms = 800.0;
+    accept_timeout_ms = 800.0;
+    cohort_timeout_ms = 2_500.0;
+  }
+
+let star_env script ~self ~n_sites =
+  {
+    Samya.Avantan_star.self;
+    n_sites;
+    send = (fun dst msg -> script.sent := (dst, msg) :: !(script.sent));
+    set_timer = (fun ~delay_ms f -> Des.Engine.timer script.engine ~delay_ms f);
+    local_state = (fun () -> script.state);
+    refresh_wanted = (fun () -> ());
+    on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
+    election_timeout_ms = 800.0;
+    accept_timeout_ms = 800.0;
+    cohort_timeout_ms = 2_500.0;
+    status_retry_ms = 1_000.0;
+  }
+
+let sent_to script dst =
+  List.filter_map (fun (d, m) -> if d = dst then Some m else None) !(script.sent)
+  |> List.rev
+
+let count_kind script predicate =
+  List.length (List.filter (fun (_, m) -> predicate m) !(script.sent))
+
+let is_election = function P.Election_get_value _ -> true | _ -> false
+let is_accept = function P.Accept_value _ -> true | _ -> false
+let is_decision = function P.Decision _ -> true | _ -> false
+let is_discard = function P.Discard _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Majority variant: failure-free leader path *)
+
+let maj_leader_happy_path () =
+  let script = make_script () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:0 ~n_sites:5) in
+  Samya.Avantan_majority.start machine;
+  check int "election broadcast to 4 peers" 4 (count_kind script is_election);
+  check bool "participating while leading" true
+    (Samya.Avantan_majority.participating machine);
+  let bal = Samya.Avantan_majority.ballot machine in
+  (* Two ElectionOks (+ self) form the majority of 5. *)
+  List.iter
+    (fun site ->
+      Samya.Avantan_majority.handle machine ~src:site
+        (P.Election_ok_value
+           {
+             bal;
+             init_val = entry site 200 0;
+             accept_val = None;
+             accept_num = Ballot.zero site;
+             decision = false;
+           }))
+    [ 1; 2 ];
+  check int "accept broadcast" 4 (count_kind script is_accept);
+  (* Acks from the same majority decide. *)
+  List.iter
+    (fun site -> Samya.Avantan_majority.handle machine ~src:site (P.Accept_ok { bal }))
+    [ 1; 2 ];
+  check int "decision broadcast" 4 (count_kind script is_decision);
+  (match !(script.outcomes) with
+  | [ P.Decided value ] ->
+      check (Alcotest.list int) "R_t = responders + self" [ 0; 1; 2 ]
+        (P.participants value)
+  | _ -> Alcotest.fail "expected one decided outcome");
+  check bool "instance concluded" false (Samya.Avantan_majority.participating machine)
+
+let maj_cohort_happy_path () =
+  let script = make_script ~self:3 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:3 ~n_sites:5) in
+  let bal = { Ballot.num = 1; site = 0 } in
+  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal });
+  (match sent_to script 0 with
+  | [ P.Election_ok_value { bal = b; init_val; _ } ] ->
+      check bool "promised the ballot" true (Ballot.equal b bal);
+      check int "reports own tokens" 100 init_val.P.tokens_left
+  | _ -> Alcotest.fail "expected an ElectionOk");
+  check bool "exposed after promising" true (Samya.Avantan_majority.participating machine);
+  let value = P.make_value ~origin:bal [ entry 0 50 10; entry 3 100 0 ] in
+  Samya.Avantan_majority.handle machine ~src:0
+    (P.Accept_value { bal; value; decision = false });
+  check bool "acked" true
+    (List.exists (function P.Accept_ok _ -> true | _ -> false) (sent_to script 0));
+  Samya.Avantan_majority.handle machine ~src:0 (P.Decision { bal; value });
+  (match !(script.outcomes) with
+  | [ P.Decided v ] -> check bool "same value" true (P.value_equal v value)
+  | _ -> Alcotest.fail "expected decided");
+  check bool "released" false (Samya.Avantan_majority.participating machine)
+
+let maj_stale_ballot_ignored () =
+  let script = make_script ~self:3 () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:3 ~n_sites:5) in
+  let high = { Ballot.num = 5; site = 0 } in
+  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal = high });
+  script.sent := [];
+  (* A lower ballot from another would-be leader is ignored. *)
+  Samya.Avantan_majority.handle machine ~src:1
+    (P.Election_get_value { bal = { Ballot.num = 2; site = 1 } });
+  check int "no reply to a stale election" 0 (List.length !(script.sent))
+
+let maj_decision_applied_once () =
+  let script = make_script ~self:3 () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:3 ~n_sites:5) in
+  let bal = { Ballot.num = 2; site = 0 } in
+  let value = P.make_value ~origin:bal [ entry 0 0 40; entry 3 100 0 ] in
+  Samya.Avantan_majority.handle machine ~src:0 (P.Decision { bal; value });
+  Samya.Avantan_majority.handle machine ~src:1 (P.Decision { bal; value });
+  let decided =
+    List.filter (function P.Decided _ -> true | P.Aborted -> false) !(script.outcomes)
+  in
+  check int "one application for duplicate decisions" 1 (List.length decided)
+
+let maj_recovery_adopts_accepted_value () =
+  (* The new leader's majority includes a cohort holding an accepted value:
+     it must adopt it, not construct a fresh one (lines 19-20). *)
+  let script = make_script () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:0 ~n_sites:5) in
+  Samya.Avantan_majority.start machine;
+  let bal = Samya.Avantan_majority.ballot machine in
+  let old_bal = { Ballot.num = 0; site = 4 } in
+  let orphan = P.make_value ~origin:old_bal [ entry 4 10 5; entry 1 300 0 ] in
+  Samya.Avantan_majority.handle machine ~src:1
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 1 300 0;
+         accept_val = Some orphan;
+         accept_num = old_bal;
+         decision = false;
+       });
+  Samya.Avantan_majority.handle machine ~src:2
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 2 300 0;
+         accept_val = None;
+         accept_num = Ballot.zero 2;
+         decision = false;
+       });
+  (* The accept phase must re-drive the orphaned value. *)
+  let accepts =
+    List.filter_map
+      (fun (_, m) -> match m with P.Accept_value { value; _ } -> Some value | _ -> None)
+      !(script.sent)
+  in
+  (match accepts with
+  | value :: _ -> check bool "adopted the orphan" true (P.value_equal value orphan)
+  | [] -> Alcotest.fail "no Accept-Value sent")
+
+let maj_recovery_short_circuits_on_decision () =
+  (* A response reporting decision=true ends the protocol immediately:
+     the new leader just redistributes the decision (lines 16-18). *)
+  let script = make_script () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:0 ~n_sites:5) in
+  Samya.Avantan_majority.start machine;
+  let bal = Samya.Avantan_majority.ballot machine in
+  let old_bal = { Ballot.num = 0; site = 4 } in
+  let decided = P.make_value ~origin:old_bal [ entry 4 10 5; entry 0 100 50 ] in
+  Samya.Avantan_majority.handle machine ~src:1
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 1 300 0;
+         accept_val = Some decided;
+         accept_num = old_bal;
+         decision = true;
+       });
+  Samya.Avantan_majority.handle machine ~src:2
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 2 300 0;
+         accept_val = None;
+         accept_num = Ballot.zero 2;
+         decision = false;
+       });
+  check bool "decision redistributed" true (count_kind script is_decision >= 4);
+  (match !(script.outcomes) with
+  | [ P.Decided v ] -> check bool "applied the decided value" true (P.value_equal v decided)
+  | _ -> Alcotest.fail "expected the decided outcome")
+
+let maj_fresh_leader_aborts_on_timeout () =
+  let script = make_script () in
+  let machine = Samya.Avantan_majority.create (majority_env script ~self:0 ~n_sites:5) in
+  Samya.Avantan_majority.start machine;
+  let bal = Samya.Avantan_majority.ballot machine in
+  (* One response is not a majority; let the election timer fire. *)
+  Samya.Avantan_majority.handle machine ~src:1
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 1 300 0;
+         accept_val = None;
+         accept_num = Ballot.zero 1;
+         decision = false;
+       });
+  Des.Engine.run script.engine ~until_ms:1_000.0;
+  check bool "aborted" true (!(script.outcomes) = [ P.Aborted ]);
+  check bool "responder released" true
+    (List.exists (function P.Discard _ -> true | _ -> false) (sent_to script 1));
+  let stats = Samya.Avantan_majority.stats machine in
+  check int "abort counted" 1 stats.Samya.Avantan_majority.led_aborted
+
+(* ------------------------------------------------------------------ *)
+(* Star variant *)
+
+let star_leader_minimal_set () =
+  let script = make_script ~tokens_left:0 ~tokens_wanted:100 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:0 ~n_sites:5) in
+  Samya.Avantan_star.start machine;
+  let bal = Samya.Avantan_star.ballot machine in
+  (* The first responder already covers TW=100: R_t = {0, 1}. *)
+  Samya.Avantan_star.handle machine ~src:1
+    (P.Election_ok_value
+       {
+         bal;
+         init_val = entry 1 500 0;
+         accept_val = None;
+         accept_num = Ballot.zero 1;
+         decision = false;
+       });
+  let accepts =
+    List.filter_map
+      (fun (d, m) -> match m with P.Accept_value { value; _ } -> Some (d, value) | _ -> None)
+      !(script.sent)
+  in
+  (match accepts with
+  | [ (1, value) ] ->
+      check (Alcotest.list int) "minimal participant set" [ 0; 1 ] (P.participants value)
+  | _ -> Alcotest.fail "expected one Accept-Value to site 1");
+  (* Non-members are told to discard. *)
+  check bool "discards to non-members" true (count_kind script is_discard >= 3);
+  (* The single member's ack decides (ALL of R_t). *)
+  Samya.Avantan_star.handle machine ~src:1 (P.Accept_ok { bal });
+  (match !(script.outcomes) with
+  | [ P.Decided _ ] -> ()
+  | _ -> Alcotest.fail "expected decided")
+
+let star_locked_cohort_rejects_other_leaders () =
+  let script = make_script ~self:2 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
+  let bal_a = { Ballot.num = 3; site = 0 } in
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal = bal_a });
+  check bool "locked" true (Samya.Avantan_star.participating machine);
+  script.sent := [];
+  (* A concurrent leader with an even higher ballot is rejected. *)
+  Samya.Avantan_star.handle machine ~src:4
+    (P.Election_get_value { bal = { Ballot.num = 9; site = 4 } });
+  (match sent_to script 4 with
+  | [ P.Election_reject _ ] -> ()
+  | _ -> Alcotest.fail "expected a rejection while locked")
+
+let star_cohort_aborts_without_accepted_value () =
+  (* Case (i) of §4.3.2: no AcceptVal received, leader silent: the cohort
+     may abort unilaterally. *)
+  let script = make_script ~self:2 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
+  Samya.Avantan_star.handle machine ~src:0
+    (P.Election_get_value { bal = { Ballot.num = 3; site = 0 } });
+  Des.Engine.run script.engine ~until_ms:5_000.0;
+  check bool "aborted unilaterally" true (!(script.outcomes) = [ P.Aborted ]);
+  check bool "unlocked" false (Samya.Avantan_star.participating machine)
+
+let star_cohort_recovers_via_status_query () =
+  (* Case (ii): an accepted value and a silent leader: interrogate R_t;
+     identical AcceptVals at every other member mean the value is safe to
+     decide. *)
+  let script = make_script ~self:2 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
+  let bal = { Ballot.num = 3; site = 0 } in
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  let value = P.make_value ~origin:bal [ entry 0 0 50; entry 1 100 0; entry 2 100 0 ] in
+  Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
+  script.sent := [];
+  (* Leader dies; the cohort times out and queries R_t. *)
+  Des.Engine.run script.engine ~until_ms:3_000.0;
+  check bool "status query sent" true
+    (List.exists (function P.Status_query _ -> true | _ -> false) (sent_to script 1));
+  (* The only other non-leader member confirms the same value. *)
+  Samya.Avantan_star.handle machine ~src:1
+    (P.Status_reply { bal; accept_val = Some value; accept_num = bal; decision = false });
+  (match !(script.outcomes) with
+  | [ P.Decided v ] -> check bool "decided the stored value" true (P.value_equal v value)
+  | _ -> Alcotest.fail "expected decided after recovery");
+  check bool "decision distributed" true (count_kind script is_decision >= 1)
+
+let star_cohort_aborts_when_member_reports_empty () =
+  (* A member replying bottom proves the leader never had all acks: abort. *)
+  let script = make_script ~self:2 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
+  let bal = { Ballot.num = 3; site = 0 } in
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  let value = P.make_value ~origin:bal [ entry 0 0 50; entry 1 100 0; entry 2 100 0 ] in
+  Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
+  Des.Engine.run script.engine ~until_ms:3_000.0;
+  Samya.Avantan_star.handle machine ~src:1
+    (P.Status_reply { bal; accept_val = None; accept_num = bal; decision = false });
+  check bool "aborted" true (List.mem P.Aborted !(script.outcomes))
+
+let star_status_query_answered_from_applied_log () =
+  (* A site that already applied the decision answers a late Status-Query
+     with decision=true. *)
+  let script = make_script ~self:2 ~tokens_wanted:0 () in
+  let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
+  let bal = { Ballot.num = 3; site = 0 } in
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  let value = P.make_value ~origin:bal [ entry 0 0 50; entry 2 100 0 ] in
+  Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
+  Samya.Avantan_star.handle machine ~src:0 (P.Decision { bal; value });
+  script.sent := [];
+  Samya.Avantan_star.handle machine ~src:1 (P.Status_query { bal });
+  (match sent_to script 1 with
+  | [ P.Status_reply { decision; accept_val = Some v; _ } ] ->
+      check bool "decision reported" true decision;
+      check bool "value included" true (P.value_equal v value)
+  | _ -> Alcotest.fail "expected a status reply")
+
+let suite =
+  [
+    Alcotest.test_case "maj: leader happy path" `Quick maj_leader_happy_path;
+    Alcotest.test_case "maj: cohort happy path" `Quick maj_cohort_happy_path;
+    Alcotest.test_case "maj: stale ballots ignored" `Quick maj_stale_ballot_ignored;
+    Alcotest.test_case "maj: decision applied once" `Quick maj_decision_applied_once;
+    Alcotest.test_case "maj: recovery adopts accepted value" `Quick
+      maj_recovery_adopts_accepted_value;
+    Alcotest.test_case "maj: recovery short-circuits on decision" `Quick
+      maj_recovery_short_circuits_on_decision;
+    Alcotest.test_case "maj: fresh leader aborts on timeout" `Quick
+      maj_fresh_leader_aborts_on_timeout;
+    Alcotest.test_case "star: minimal participant set" `Quick star_leader_minimal_set;
+    Alcotest.test_case "star: locked cohort rejects" `Quick
+      star_locked_cohort_rejects_other_leaders;
+    Alcotest.test_case "star: unilateral abort (case i)" `Quick
+      star_cohort_aborts_without_accepted_value;
+    Alcotest.test_case "star: status-query recovery (case ii)" `Quick
+      star_cohort_recovers_via_status_query;
+    Alcotest.test_case "star: abort on empty member" `Quick
+      star_cohort_aborts_when_member_reports_empty;
+    Alcotest.test_case "star: status answered from log" `Quick
+      star_status_query_answered_from_applied_log;
+  ]

@@ -1,0 +1,215 @@
+(* Tests for the discrete-event simulation engine: deterministic RNG,
+   heap ordering, event scheduling and timers. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let rng_deterministic () =
+  let a = Des.Rng.create 42L and b = Des.Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Des.Rng.bits64 a) (Des.Rng.bits64 b)
+  done
+
+let rng_copy_independent () =
+  let a = Des.Rng.create 7L in
+  ignore (Des.Rng.bits64 a);
+  let b = Des.Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Des.Rng.bits64 a) (Des.Rng.bits64 b)
+
+let rng_split_diverges () =
+  let a = Des.Rng.create 7L in
+  let b = Des.Rng.split a in
+  let xs = List.init 20 (fun _ -> Des.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Des.Rng.bits64 b) in
+  check bool "split streams differ" true (xs <> ys)
+
+let rng_int_bounds () =
+  let rng = Des.Rng.create 1L in
+  for _ = 1 to 10_000 do
+    let v = Des.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "non-positive bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Des.Rng.int rng 0))
+
+let rng_float_bounds () =
+  let rng = Des.Rng.create 2L in
+  for _ = 1 to 10_000 do
+    let v = Des.Rng.float rng 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let rng_gaussian_moments () =
+  let rng = Des.Rng.create 3L in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Des.Rng.gaussian rng ~mean:5.0 ~std:2.0 in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check bool "mean close to 5" true (Float.abs (mean -. 5.0) < 0.05);
+  check bool "variance close to 4" true (Float.abs (var -. 4.0) < 0.15)
+
+let rng_exponential_mean () =
+  let rng = Des.Rng.create 4L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Des.Rng.exponential rng ~rate:2.0
+  done;
+  check bool "mean close to 1/rate" true (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.02)
+
+let rng_bool_probability () =
+  let rng = Des.Rng.create 5L in
+  let hits = ref 0 in
+  for _ = 1 to 20_000 do
+    if Des.Rng.bool rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 20_000.0 in
+  check bool "bernoulli rate" true (Float.abs (p -. 0.3) < 0.02)
+
+let rng_shuffle_permutes () =
+  let rng = Des.Rng.create 6L in
+  let a = Array.init 50 (fun i -> i) in
+  Des.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check bool "is a permutation" true (sorted = Array.init 50 (fun i -> i));
+  check bool "actually shuffled" true (a <> Array.init 50 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Pheap *)
+
+let pheap_ordering () =
+  let h = Des.Pheap.create () in
+  let rng = Des.Rng.create 11L in
+  for i = 0 to 999 do
+    Des.Pheap.push h ~priority:(Des.Rng.float rng 100.0) i
+  done;
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Des.Pheap.pop h with
+    | None -> ()
+    | Some (key, _) ->
+        check bool "non-decreasing" true (key >= !last);
+        last := key;
+        incr count;
+        drain ()
+  in
+  drain ();
+  check int "popped all" 1000 !count
+
+let pheap_fifo_ties () =
+  let h = Des.Pheap.create () in
+  List.iter (fun v -> Des.Pheap.push h ~priority:1.0 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> match Des.Pheap.pop h with Some (_, v) -> v | None -> -1) in
+  check (Alcotest.list int) "insertion order on equal keys" [ 1; 2; 3; 4 ] order
+
+let pheap_property =
+  QCheck.Test.make ~count:200 ~name:"pheap pops in sorted order"
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun keys ->
+      let h = Des.Pheap.create () in
+      List.iter (fun k -> Des.Pheap.push h ~priority:k ()) keys;
+      let rec drain acc =
+        match Des.Pheap.pop h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let engine_runs_in_time_order () =
+  let engine = Des.Engine.create () in
+  let log = ref [] in
+  Des.Engine.schedule engine ~delay_ms:30.0 (fun () -> log := 3 :: !log);
+  Des.Engine.schedule engine ~delay_ms:10.0 (fun () -> log := 1 :: !log);
+  Des.Engine.schedule engine ~delay_ms:20.0 (fun () -> log := 2 :: !log);
+  Des.Engine.run engine;
+  check (Alcotest.list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check bool "clock advanced" true (Des.Engine.now engine >= 30.0)
+
+let engine_simultaneous_fifo () =
+  let engine = Des.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Des.Engine.schedule engine ~delay_ms:5.0 (fun () -> log := i :: !log)
+  done;
+  Des.Engine.run engine;
+  check (Alcotest.list int) "fifo for equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let engine_nested_scheduling () =
+  let engine = Des.Engine.create () in
+  let fired = ref 0 in
+  Des.Engine.schedule engine ~delay_ms:1.0 (fun () ->
+      Des.Engine.schedule engine ~delay_ms:1.0 (fun () ->
+          Des.Engine.schedule engine ~delay_ms:1.0 (fun () -> fired := 3)));
+  Des.Engine.run engine;
+  check int "chain completed" 3 !fired;
+  check bool "time is 3ms" true (Float.abs (Des.Engine.now engine -. 3.0) < 1e-9)
+
+let engine_run_until () =
+  let engine = Des.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Des.Engine.schedule engine ~delay_ms:d (fun () -> fired := d :: !fired))
+    [ 5.0; 15.0; 25.0 ];
+  Des.Engine.run engine ~until_ms:16.0;
+  check int "two fired" 2 (List.length !fired);
+  check bool "clock clamped to limit" true (Des.Engine.now engine = 16.0);
+  Des.Engine.run engine;
+  check int "last fires later" 3 (List.length !fired)
+
+let engine_cancel_timer () =
+  let engine = Des.Engine.create () in
+  let fired = ref false in
+  let timer = Des.Engine.timer engine ~delay_ms:10.0 (fun () -> fired := true) in
+  Des.Engine.schedule engine ~delay_ms:5.0 (fun () -> Des.Engine.cancel timer);
+  Des.Engine.run engine;
+  check bool "cancelled timer did not fire" false !fired
+
+let engine_negative_delay_clamped () =
+  let engine = Des.Engine.create () in
+  Des.Engine.schedule engine ~delay_ms:5.0 (fun () ->
+      Des.Engine.schedule engine ~delay_ms:(-10.0) (fun () ->
+          check bool "clock did not go backwards" true (Des.Engine.now engine >= 5.0)));
+  Des.Engine.run engine
+
+let engine_past_absolute_time_clamped () =
+  let engine = Des.Engine.create () in
+  Des.Engine.schedule engine ~delay_ms:10.0 (fun () ->
+      Des.Engine.schedule_at engine ~time_ms:1.0 (fun () ->
+          check bool "not in the past" true (Des.Engine.now engine >= 10.0)));
+  Des.Engine.run engine
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic by seed" `Quick rng_deterministic;
+    Alcotest.test_case "rng: copy continues the stream" `Quick rng_copy_independent;
+    Alcotest.test_case "rng: split diverges" `Quick rng_split_diverges;
+    Alcotest.test_case "rng: int bounds" `Quick rng_int_bounds;
+    Alcotest.test_case "rng: float bounds" `Quick rng_float_bounds;
+    Alcotest.test_case "rng: gaussian moments" `Quick rng_gaussian_moments;
+    Alcotest.test_case "rng: exponential mean" `Quick rng_exponential_mean;
+    Alcotest.test_case "rng: bernoulli rate" `Quick rng_bool_probability;
+    Alcotest.test_case "rng: shuffle permutes" `Quick rng_shuffle_permutes;
+    Alcotest.test_case "pheap: sorted drain" `Quick pheap_ordering;
+    Alcotest.test_case "pheap: fifo on ties" `Quick pheap_fifo_ties;
+    QCheck_alcotest.to_alcotest pheap_property;
+    Alcotest.test_case "engine: time order" `Quick engine_runs_in_time_order;
+    Alcotest.test_case "engine: fifo for simultaneous" `Quick engine_simultaneous_fifo;
+    Alcotest.test_case "engine: nested scheduling" `Quick engine_nested_scheduling;
+    Alcotest.test_case "engine: run until" `Quick engine_run_until;
+    Alcotest.test_case "engine: cancellable timers" `Quick engine_cancel_timer;
+    Alcotest.test_case "engine: negative delay clamped" `Quick engine_negative_delay_clamped;
+    Alcotest.test_case "engine: past schedule clamped" `Quick engine_past_absolute_time_clamped;
+  ]

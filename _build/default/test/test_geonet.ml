@@ -1,0 +1,183 @@
+(* Tests for the simulated geo network: latency model, delivery, loss,
+   crashes and partitions. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let five () = Array.of_list Geonet.Region.default_five
+
+let make ?drop ?jitter () =
+  let engine = Des.Engine.create ~seed:5L () in
+  let network =
+    Geonet.Network.create engine ~regions:(five ()) ?drop_probability:drop
+      ?jitter_fraction:jitter ()
+  in
+  (engine, network)
+
+let region_symmetry () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check (Alcotest.float 1e-9) "rtt symmetric" (Geonet.Region.rtt_ms a b)
+            (Geonet.Region.rtt_ms b a))
+        Geonet.Region.all)
+    Geonet.Region.all
+
+let region_intra_is_fast () =
+  List.iter
+    (fun r -> check bool "intra-region ~1ms" true (Geonet.Region.rtt_ms r r <= 2.0))
+    Geonet.Region.all
+
+let region_of_string_roundtrip () =
+  List.iter
+    (fun r ->
+      match Geonet.Region.of_string (Geonet.Region.name r) with
+      | Some r' -> check bool "roundtrip" true (r = r')
+      | None -> Alcotest.fail "of_string failed")
+    Geonet.Region.all;
+  check bool "unknown rejected" true (Geonet.Region.of_string "mars-east1" = None)
+
+let delivery_with_latency () =
+  let engine, network = make ~jitter:0.0 () in
+  let received = ref None in
+  Geonet.Network.register network ~node:1 (fun envelope ->
+      received := Some (envelope.Geonet.Network.src, envelope.Geonet.Network.payload,
+                        Des.Engine.now engine));
+  Geonet.Network.send network ~src:0 ~dst:1 "hello";
+  Des.Engine.run engine;
+  match !received with
+  | Some (src, payload, at) ->
+      check int "src" 0 src;
+      check Alcotest.string "payload" "hello" payload;
+      let expected = Geonet.Network.latency_ms network ~src:0 ~dst:1 in
+      check (Alcotest.float 1e-6) "arrives after one-way latency" expected at
+  | None -> Alcotest.fail "not delivered"
+
+let broadcast_reaches_everyone () =
+  let engine, network = make () in
+  let got = Array.make 5 false in
+  for node = 0 to 4 do
+    Geonet.Network.register network ~node (fun _ -> got.(node) <- true)
+  done;
+  Geonet.Network.broadcast network ~src:2 ();
+  Des.Engine.run engine;
+  check (Alcotest.array bool) "all but source" [| true; true; false; true; true |] got
+
+let drops_lose_messages () =
+  let engine, network = make ~drop:1.0 () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr received);
+  for _ = 1 to 50 do
+    Geonet.Network.send network ~src:0 ~dst:1 ()
+  done;
+  Des.Engine.run engine;
+  check int "all dropped" 0 !received;
+  check int "accounted as dropped" 50 (Geonet.Network.stats_dropped network)
+
+let drop_rate_statistical () =
+  let engine, network = make ~drop:0.3 () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr received);
+  for _ = 1 to 5_000 do
+    Geonet.Network.send network ~src:0 ~dst:1 ()
+  done;
+  Des.Engine.run engine;
+  let rate = 1.0 -. (float_of_int !received /. 5_000.0) in
+  check bool "loss near 30%" true (Float.abs (rate -. 0.3) < 0.03)
+
+let crashed_node_receives_nothing () =
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr received);
+  Geonet.Network.crash network 1;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "crashed target" 0 !received;
+  Geonet.Network.recover network 1;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "delivered after recovery" 1 !received
+
+let crashed_node_sends_nothing () =
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr received);
+  Geonet.Network.crash network 0;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "crashed source" 0 !received
+
+let partition_blocks_cross_traffic () =
+  let engine, network = make () in
+  let received = Array.make 5 0 in
+  for node = 0 to 4 do
+    Geonet.Network.register network ~node (fun _ -> received.(node) <- received.(node) + 1)
+  done;
+  Geonet.Network.set_partition network [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Geonet.Network.send network ~src:3 ~dst:4 ();
+  Geonet.Network.send network ~src:4 ~dst:2 ();
+  Des.Engine.run engine;
+  check int "same side A" 1 received.(1);
+  check int "cross blocked" 0 received.(3);
+  check int "same side B" 1 received.(4);
+  check int "cross blocked reverse" 0 received.(2);
+  check bool "reachable within" true (Geonet.Network.reachable network 0 2);
+  check bool "unreachable across" false (Geonet.Network.reachable network 0 4)
+
+let heal_restores_traffic () =
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:3 (fun _ -> incr received);
+  Geonet.Network.set_partition network [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Des.Engine.run engine;
+  check int "blocked" 0 !received;
+  Geonet.Network.clear_partition network;
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Des.Engine.run engine;
+  check int "healed" 1 !received
+
+let partition_checked_at_delivery () =
+  (* A message in flight when the partition heals still gets through:
+     delay and disconnection are indistinguishable in an asynchronous
+     network. *)
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:3 (fun _ -> incr received);
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  (* Heal before the in-flight message lands. *)
+  Geonet.Network.set_partition network [ [ 0 ]; [ 3 ] ];
+  Des.Engine.schedule engine ~delay_ms:1.0 (fun () -> Geonet.Network.clear_partition network);
+  Des.Engine.run engine;
+  check int "late heal lets it through" 1 !received
+
+let unlisted_nodes_are_isolated () =
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:4 (fun _ -> incr received);
+  Geonet.Network.set_partition network [ [ 0; 1 ] ];
+  Geonet.Network.send network ~src:0 ~dst:4 ();
+  Geonet.Network.send network ~src:2 ~dst:4 ();
+  Des.Engine.run engine;
+  check int "singleton groups" 0 !received
+
+let suite =
+  [
+    Alcotest.test_case "region: rtt symmetric" `Quick region_symmetry;
+    Alcotest.test_case "region: intra fast" `Quick region_intra_is_fast;
+    Alcotest.test_case "region: name roundtrip" `Quick region_of_string_roundtrip;
+    Alcotest.test_case "network: delivery with latency" `Quick delivery_with_latency;
+    Alcotest.test_case "network: broadcast" `Quick broadcast_reaches_everyone;
+    Alcotest.test_case "network: full loss" `Quick drops_lose_messages;
+    Alcotest.test_case "network: statistical loss" `Quick drop_rate_statistical;
+    Alcotest.test_case "network: crash target" `Quick crashed_node_receives_nothing;
+    Alcotest.test_case "network: crash source" `Quick crashed_node_sends_nothing;
+    Alcotest.test_case "network: partition" `Quick partition_blocks_cross_traffic;
+    Alcotest.test_case "network: heal" `Quick heal_restores_traffic;
+    Alcotest.test_case "network: partition at delivery time" `Quick partition_checked_at_delivery;
+    Alcotest.test_case "network: unlisted nodes isolated" `Quick unlisted_nodes_are_isolated;
+  ]

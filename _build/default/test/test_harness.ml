@@ -1,0 +1,151 @@
+(* Tests for the experiment harness: system adapters, the workload driver
+   (open and closed loop), the lab pipeline and the registry. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let entity = Harness.Exp_common.entity
+
+let small_ctx () =
+  Harness.Lab.create ~params:{ Trace.Azure_trace.default_params with days = 5 } ()
+
+let regions () = Harness.Exp_common.client_regions ()
+
+let samya_system ?(maximum = 5_000) () =
+  Harness.Systems.samya ~seed:3L ~config:Samya.Config.default ~regions:(regions ())
+    ~entity ~maximum ()
+
+let driver_counts_commits () =
+  let ctx = small_ctx () in
+  let duration_ms = 120_000.0 in
+  let requests =
+    Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms ~seed:4L ()
+  in
+  let t_system = samya_system () in
+  let result =
+    Harness.Driver.run ~t_system
+      (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests ~duration_ms)
+  in
+  check bool "commits happen" true (result.Harness.Driver.committed > 1_000);
+  check bool "latencies recorded" true
+    (Stats.Sample_set.count result.Harness.Driver.latencies
+    = result.Harness.Driver.committed);
+  check bool "invariant" true (t_system.Harness.Systems.invariant ~maximum:5_000 = Ok ())
+
+let driver_client_crash_stops_stream () =
+  let ctx = small_ctx () in
+  let duration_ms = 120_000.0 in
+  let requests =
+    Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms ~seed:4L ()
+  in
+  let run crash =
+    let t_system = samya_system () in
+    let spec =
+      {
+        (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests ~duration_ms) with
+        Harness.Driver.client_crash = crash;
+      }
+    in
+    (Harness.Driver.run ~t_system spec).Harness.Driver.committed
+  in
+  let baseline = run [] in
+  let reduced = run [ (0.0, 0); (0.0, 1) ] in
+  check bool "crashed clients send nothing" true
+    (float_of_int reduced < 0.75 *. float_of_int baseline)
+
+let driver_never_releases_unacquired () =
+  (* With a tiny maximum, most acquires are rejected; client-side
+     accounting must prevent phantom releases from driving total usage
+     negative. *)
+  let ctx = small_ctx () in
+  let duration_ms = 120_000.0 in
+  let requests =
+    Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms ~seed:4L ()
+  in
+  let t_system = samya_system ~maximum:50 () in
+  let result =
+    Harness.Driver.run ~t_system
+      (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests ~duration_ms)
+  in
+  check bool "rejections happened" true (result.Harness.Driver.rejected > 0);
+  check bool "invariant with tiny maximum" true
+    (t_system.Harness.Systems.invariant ~maximum:50 = Ok ())
+
+let driver_closed_loop_runs () =
+  let ctx = small_ctx () in
+  let requests =
+    Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms:600_000.0 ~seed:4L ()
+  in
+  let t_system = samya_system () in
+  let result =
+    Harness.Driver.run_closed ~t_system ~client_regions:(regions ()) ~requests
+      ~duration_ms:30_000.0 ~workers_per_client:4 ~window_ms:10_000.0
+  in
+  (* 20 workers at ~2ms/request: tens of thousands of requests. *)
+  check bool "closed loop is latency-bound" true (result.Harness.Driver.committed > 10_000)
+
+let lab_workload_deterministic () =
+  let ctx = small_ctx () in
+  let a = Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms:60_000.0 ~seed:9L () in
+  let b = Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms:60_000.0 ~seed:9L () in
+  check bool "same seed, same stream" true (a = b);
+  let c = Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms:60_000.0 ~seed:10L () in
+  check bool "different seed differs" true (a <> c)
+
+let lab_read_ratio_applies () =
+  let ctx = small_ctx () in
+  let stream =
+    Harness.Lab.workload ctx ~client_regions:(regions ()) ~duration_ms:300_000.0
+      ~read_ratio:0.5 ~seed:9L ()
+  in
+  let reads = Trace.Workload.count_kind stream Trace.Workload.Read in
+  let ratio = float_of_int reads /. float_of_int (Array.length stream) in
+  check bool "half reads" true (Float.abs (ratio -. 0.5) < 0.05)
+
+let registry_ids_unique_and_complete () =
+  let ids = Harness.Registry.ids () in
+  check int "twelve experiments" 12 (List.length ids);
+  check int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | Some e -> check Alcotest.string "self id" id e.Harness.Registry.id
+      | None -> Alcotest.failf "missing %s" id)
+    ids;
+  match Harness.Registry.run_by_id (small_ctx ()) ~quick:true Format.str_formatter "nope" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown id accepted"
+
+let registry_runs_fig3a () =
+  let buffer = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buffer in
+  (match Harness.Registry.run_by_id (small_ctx ()) ~quick:true fmt "fig3a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Format.pp_print_flush fmt ();
+  check bool "printed a table" true
+    (String.length (Buffer.contents buffer) > 200)
+
+let systems_have_distinct_names () =
+  let names =
+    [
+      (samya_system ()).Harness.Systems.name;
+      (Harness.Systems.demarcation ~seed:3L ~entity ~maximum:100 ()).Harness.Systems.name;
+      (Harness.Systems.multipaxsys ~seed:3L ~entity ~maximum:100 ()).Harness.Systems.name;
+    ]
+  in
+  check int "unique" 3 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "driver: counts commits" `Quick driver_counts_commits;
+    Alcotest.test_case "driver: client crash" `Quick driver_client_crash_stops_stream;
+    Alcotest.test_case "driver: no phantom releases" `Quick driver_never_releases_unacquired;
+    Alcotest.test_case "driver: closed loop" `Quick driver_closed_loop_runs;
+    Alcotest.test_case "lab: deterministic workload" `Quick lab_workload_deterministic;
+    Alcotest.test_case "lab: read ratio" `Quick lab_read_ratio_applies;
+    Alcotest.test_case "registry: ids" `Quick registry_ids_unique_and_complete;
+    Alcotest.test_case "registry: runs fig3a" `Quick registry_runs_fig3a;
+    Alcotest.test_case "systems: names" `Quick systems_have_distinct_names;
+  ]

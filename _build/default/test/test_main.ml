@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "samya-reproduction"
+    [
+      ("des", Test_des.suite);
+      ("geonet", Test_geonet.suite);
+      ("storage", Test_storage.suite);
+      ("stats", Test_stats.suite);
+      ("ml", Test_ml.suite);
+      ("trace", Test_trace.suite);
+      ("consensus", Test_consensus.suite);
+      ("reallocation", Test_reallocation.suite);
+      ("avantan", Test_avantan.suite);
+      ("samya", Test_samya.suite);
+      ("baselines", Test_baselines.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the ML substrate: linear algebra, scalers, metrics, and the
+   three forecasters (gradient checks included for the LSTM). *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let fapprox = Alcotest.float 1e-6
+
+let matrix_matmul () =
+  let a = Ml.Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Ml.Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Ml.Matrix.matmul a b in
+  check fapprox "c00" 19.0 (Ml.Matrix.get c 0 0);
+  check fapprox "c01" 22.0 (Ml.Matrix.get c 0 1);
+  check fapprox "c10" 43.0 (Ml.Matrix.get c 1 0);
+  check fapprox "c11" 50.0 (Ml.Matrix.get c 1 1)
+
+let matrix_matvec () =
+  let m = Ml.Matrix.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let v = [| 1.0; 0.0; -1.0 |] in
+  check (Alcotest.array fapprox) "mat_vec" [| -2.0; -2.0 |] (Ml.Matrix.mat_vec m v);
+  check (Alcotest.array fapprox) "vec_mat" [| -3.0; -3.0; -3.0 |]
+    (Ml.Matrix.vec_mat [| 1.0; -1.0 |] m)
+
+let matrix_transpose_identity =
+  QCheck.Test.make ~count:50 ~name:"transpose is an involution"
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (rows, cols) ->
+      let rng = Des.Rng.create 9L in
+      let m = Ml.Matrix.random rng rows cols ~scale:5.0 in
+      let tt = Ml.Matrix.transpose (Ml.Matrix.transpose m) in
+      Ml.Matrix.frobenius_norm (Ml.Matrix.sub m tt) < 1e-9)
+
+let matrix_solve () =
+  (* 2x + y = 5 ; x - y = 1  -> x = 2, y = 1 *)
+  let a = Ml.Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; -1.0 |] |] in
+  let x = Ml.Matrix.solve a [| 5.0; 1.0 |] in
+  check (Alcotest.array fapprox) "solution" [| 2.0; 1.0 |] x
+
+let matrix_solve_random =
+  QCheck.Test.make ~count:50 ~name:"solve satisfies a x = b"
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let rng = Des.Rng.create (Int64.of_int (1000 + n)) in
+      let a = Ml.Matrix.random rng n n ~scale:2.0 in
+      (* Diagonal dominance avoids singular draws. *)
+      let a = Ml.Matrix.add a (Ml.Matrix.scale 10.0 (Ml.Matrix.identity n)) in
+      let b = Array.init n (fun _ -> Des.Rng.float rng 10.0) in
+      let x = Ml.Matrix.solve a b in
+      let reconstructed = Ml.Matrix.mat_vec a x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) reconstructed b)
+
+let matrix_singular () =
+  let a = Ml.Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular system") (fun () ->
+      ignore (Ml.Matrix.solve a [| 1.0; 2.0 |]))
+
+let matrix_outer () =
+  let m = Ml.Matrix.outer [| 1.0; 2.0 |] [| 3.0; 4.0; 5.0 |] in
+  check fapprox "outer 1,2" 10.0 (Ml.Matrix.get m 1 2);
+  check Alcotest.int "rows" 2 (Ml.Matrix.rows m);
+  check Alcotest.int "cols" 3 (Ml.Matrix.cols m)
+
+let scaler_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"min-max scaler inverts"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let scaler = Ml.Scaler.fit_min_max a in
+      Array.for_all
+        (fun x -> Float.abs (Ml.Scaler.inverse scaler (Ml.Scaler.transform scaler x) -. x) < 1e-6)
+        a)
+
+let scaler_range () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  let scaler = Ml.Scaler.fit_min_max ~low:0.0 ~high:1.0 xs in
+  check fapprox "min -> 0" 0.0 (Ml.Scaler.transform scaler 10.0);
+  check fapprox "max -> 1" 1.0 (Ml.Scaler.transform scaler 30.0);
+  check fapprox "mid -> 0.5" 0.5 (Ml.Scaler.transform scaler 20.0)
+
+let scaler_standard () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let scaler = Ml.Scaler.fit_standard xs in
+  check fapprox "mean -> 0" 0.0 (Ml.Scaler.transform scaler 3.0);
+  let transformed = Ml.Scaler.transform_array scaler xs in
+  check bool "unit-ish spread" true (Float.abs (Stats.Series.stddev transformed -. 1.0) < 1e-6)
+
+let metrics_known_values () =
+  let actual = [| 1.0; 2.0; 3.0 |] and predicted = [| 2.0; 2.0; 1.0 |] in
+  check fapprox "mae" 1.0 (Ml.Metrics.mae ~actual ~predicted);
+  check fapprox "rmse" (sqrt (5.0 /. 3.0)) (Ml.Metrics.rmse ~actual ~predicted);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Metrics: length mismatch")
+    (fun () -> ignore (Ml.Metrics.mae ~actual ~predicted:[| 1.0 |]))
+
+let random_walk_predicts_last () =
+  let f = Ml.Random_walk.forecaster () in
+  check fapprox "persistence" 42.0 (f.Ml.Forecaster.predict [| 1.0; 17.0; 42.0 |]);
+  check fapprox "empty history" 0.0 (f.Ml.Forecaster.predict [||])
+
+let arima_recovers_ar_process () =
+  (* Simulate y_t = 0.7 y_{t-1} + eps on differenced data and check the
+     fitted coefficient is close. *)
+  let rng = Des.Rng.create 12L in
+  let n = 2_000 in
+  let z = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    z.(i) <- (0.7 *. z.(i - 1)) +. Des.Rng.gaussian rng ~mean:0.0 ~std:1.0
+  done;
+  (* Integrate once so ARIMA(1,1,0) sees the AR(1) after differencing. *)
+  let series = Stats.Series.undiff ~first:0.0 z in
+  let model = Ml.Arima.fit ~p:1 ~d:1 series in
+  let coefficients = Ml.Arima.coefficients model in
+  check bool "phi_1 near 0.7" true (Float.abs (coefficients.(1) -. 0.7) < 0.08)
+
+let arima_beats_random_walk_on_trend () =
+  (* A steady trend: differencing + drift should beat persistence. *)
+  let rng = Des.Rng.create 13L in
+  let series =
+    Array.init 500 (fun i -> (2.0 *. float_of_int i) +. Des.Rng.gaussian rng ~mean:0.0 ~std:1.0)
+  in
+  let train, test = Stats.Series.split_at_fraction 0.8 series in
+  let arima = Ml.Arima.forecaster (Ml.Arima.fit ~p:2 ~d:1 train) in
+  let rw = Ml.Random_walk.forecaster () in
+  let mae_arima = Ml.Forecaster.rolling_mae arima ~train ~test in
+  let mae_rw = Ml.Forecaster.rolling_mae rw ~train ~test in
+  check bool "arima < rw on trend" true (mae_arima < mae_rw)
+
+let arima_too_short () =
+  Alcotest.check_raises "short series" (Invalid_argument "Arima.fit: series too short")
+    (fun () -> ignore (Ml.Arima.fit ~p:3 ~d:1 [| 1.0; 2.0 |]))
+
+let lstm_gradient_check () =
+  let err = Ml.Lstm.gradient_check ~hidden:5 ~window:6 ~seed:77L () in
+  check bool (Printf.sprintf "max rel err %.2e < 1e-4" err) true (err < 1e-4)
+
+let lstm_training_reduces_loss () =
+  let series = Array.init 300 (fun i -> 10.0 +. (8.0 *. sin (float_of_int i /. 7.0))) in
+  let config = { Ml.Lstm.default_config with epochs = 5; hidden = 8; window = 10 } in
+  let model = Ml.Lstm.train ~config series in
+  let losses = Ml.Lstm.training_losses model in
+  check bool "loss decreased"
+    true
+    (losses.(Array.length losses - 1) < losses.(0) /. 2.0)
+
+let lstm_learns_sine_better_than_rw () =
+  let rng = Des.Rng.create 21L in
+  let series =
+    Array.init 600 (fun i ->
+        50.0
+        +. (30.0 *. sin (float_of_int i /. 8.0))
+        +. Des.Rng.gaussian rng ~mean:0.0 ~std:2.0)
+  in
+  let train, test = Stats.Series.split_at_fraction 0.8 series in
+  let config = { Ml.Lstm.default_config with epochs = 6; hidden = 10; window = 16 } in
+  let lstm = Ml.Lstm.forecaster (Ml.Lstm.train ~config train) in
+  let rw = Ml.Random_walk.forecaster () in
+  let mae_lstm = Ml.Forecaster.rolling_mae lstm ~train ~test in
+  let mae_rw = Ml.Forecaster.rolling_mae rw ~train ~test in
+  check bool "lstm < rw on periodic data" true (mae_lstm < mae_rw)
+
+let lstm_short_history_fallback () =
+  let series = Array.init 100 (fun i -> float_of_int i) in
+  let config = { Ml.Lstm.default_config with epochs = 1; hidden = 4; window = 10 } in
+  let model = Ml.Lstm.train ~config series in
+  check fapprox "persistence below window" 5.0 (Ml.Lstm.predict_next model [| 3.0; 5.0 |])
+
+let forecaster_rolling_uses_history () =
+  (* The i-th rolling prediction must see exactly train @ test[0..i-1]. *)
+  let seen = ref [] in
+  let probe =
+    Ml.Forecaster.of_fn ~name:"probe" (fun history ->
+        seen := Array.length history :: !seen;
+        0.0)
+  in
+  ignore (Ml.Forecaster.rolling_eval probe ~train:[| 1.0; 2.0 |] ~test:[| 3.0; 4.0; 5.0 |]);
+  check (Alcotest.list Alcotest.int) "history lengths" [ 2; 3; 4 ] (List.rev !seen)
+
+let suite =
+  [
+    Alcotest.test_case "matrix: matmul" `Quick matrix_matmul;
+    Alcotest.test_case "matrix: mat_vec/vec_mat" `Quick matrix_matvec;
+    QCheck_alcotest.to_alcotest matrix_transpose_identity;
+    Alcotest.test_case "matrix: solve known system" `Quick matrix_solve;
+    QCheck_alcotest.to_alcotest matrix_solve_random;
+    Alcotest.test_case "matrix: singular detection" `Quick matrix_singular;
+    Alcotest.test_case "matrix: outer product" `Quick matrix_outer;
+    QCheck_alcotest.to_alcotest scaler_roundtrip;
+    Alcotest.test_case "scaler: target range" `Quick scaler_range;
+    Alcotest.test_case "scaler: standard" `Quick scaler_standard;
+    Alcotest.test_case "metrics: known values" `Quick metrics_known_values;
+    Alcotest.test_case "random walk: persistence" `Quick random_walk_predicts_last;
+    Alcotest.test_case "arima: recovers AR coefficient" `Quick arima_recovers_ar_process;
+    Alcotest.test_case "arima: beats RW on trend" `Quick arima_beats_random_walk_on_trend;
+    Alcotest.test_case "arima: rejects short series" `Quick arima_too_short;
+    Alcotest.test_case "lstm: analytic = numeric gradients" `Quick lstm_gradient_check;
+    Alcotest.test_case "lstm: training reduces loss" `Quick lstm_training_reduces_loss;
+    Alcotest.test_case "lstm: beats RW on periodic data" `Quick lstm_learns_sine_better_than_rw;
+    Alcotest.test_case "lstm: persistence fallback" `Quick lstm_short_history_fallback;
+    Alcotest.test_case "forecaster: rolling history" `Quick forecaster_rolling_uses_history;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for Algorithm 2 (token reallocation): worked examples and the
+   qcheck invariants listed in DESIGN.md. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+open Samya.Reallocation
+
+let entry site tokens_left tokens_wanted = { site; tokens_left; tokens_wanted }
+
+let grant_of grants site = List.find (fun g -> g.site = site) grants
+
+let all_satisfiable () =
+  (* Spare 600 >= wanted 300: everyone granted, leftover split equally. *)
+  let entries = [ entry 0 0 300; entry 1 300 0; entry 2 300 0 ] in
+  let grants = redistribute entries in
+  check bool "conserves" true (conserves_tokens entries grants);
+  let g0 = grant_of grants 0 in
+  check bool "requester satisfied" true g0.wanted_satisfied;
+  check int "requester gets wanted + share" 400 g0.new_tokens_left;
+  check int "others get the split" 100 (grant_of grants 1).new_tokens_left
+
+let rejects_smallest_first () =
+  (* Spare 100 < wanted 150: the smaller request (50) is rejected first;
+     the larger (100) fits. *)
+  let entries = [ entry 0 0 50; entry 1 0 100; entry 2 100 0 ] in
+  let grants = redistribute entries in
+  check bool "conserves" true (conserves_tokens entries grants);
+  check bool "small rejected" false (grant_of grants 0).wanted_satisfied;
+  check bool "large satisfied" true (grant_of grants 1).wanted_satisfied;
+  check int "large got it" 100 (grant_of grants 1).new_tokens_left
+
+let rejection_cascade () =
+  (* Nothing fits: everything rejected; pool split equally. *)
+  let entries = [ entry 0 10 500; entry 1 10 600; entry 2 10 700 ] in
+  let grants = redistribute entries in
+  check bool "conserves" true (conserves_tokens entries grants);
+  List.iter (fun g -> check bool "rejected" false g.wanted_satisfied) grants;
+  List.iter (fun g -> check int "equal split" 10 g.new_tokens_left) grants
+
+let zero_wanted_is_satisfied () =
+  let entries = [ entry 0 100 0; entry 1 0 1000 ] in
+  let grants = redistribute entries in
+  check bool "no request = satisfied" true (grant_of grants 0).wanted_satisfied;
+  check bool "impossible request rejected" false (grant_of grants 1).wanted_satisfied
+
+let remainder_to_low_sites () =
+  (* Leftover 7 over 3 sites: 3/2/2 with the extra token to low ids. *)
+  let entries = [ entry 2 0 0; entry 0 7 0; entry 1 0 0 ] in
+  let grants = redistribute entries in
+  check int "site 0" 3 (grant_of grants 0).new_tokens_left;
+  check int "site 1" 2 (grant_of grants 1).new_tokens_left;
+  check int "site 2" 2 (grant_of grants 2).new_tokens_left
+
+let duplicate_site_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Reallocation.redistribute: duplicate site")
+    (fun () -> ignore (redistribute [ entry 0 1 0; entry 0 2 0 ]))
+
+let negative_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Reallocation.redistribute: negative token count") (fun () ->
+      ignore (redistribute [ entry 0 (-1) 0 ]))
+
+let entries_gen =
+  QCheck.Gen.(
+    let entry_gen site =
+      map2 (fun tl tw -> { site; tokens_left = tl; tokens_wanted = tw })
+        (int_bound 2_000) (int_bound 800)
+    in
+    int_range 1 12 >>= fun n -> flatten_l (List.init n entry_gen))
+
+let arbitrary_entries = QCheck.make ~print:(fun es -> string_of_int (List.length es)) entries_gen
+
+let conservation_property =
+  QCheck.Test.make ~count:500 ~name:"reallocation conserves tokens" arbitrary_entries
+    (fun entries -> conserves_tokens entries (redistribute entries))
+
+let satisfied_get_wanted_property =
+  QCheck.Test.make ~count:500 ~name:"satisfied sites receive at least their wanted tokens"
+    arbitrary_entries (fun entries ->
+      let grants = redistribute entries in
+      List.for_all
+        (fun (e : entry) ->
+          let g = List.find (fun g -> g.site = e.site) grants in
+          (not g.wanted_satisfied) || g.new_tokens_left >= e.tokens_wanted)
+        entries)
+
+let greedy_rejection_property =
+  QCheck.Test.make ~count:500
+    ~name:"a rejected request is never larger than a satisfied one... (ascending rejection)"
+    arbitrary_entries (fun entries ->
+      let grants = redistribute entries in
+      let wanted_of site =
+        (List.find (fun (e : entry) -> e.site = site) entries).tokens_wanted
+      in
+      (* Rejection works on ascending wanted: every rejected request with
+         wanted w must have all satisfied requests with wanted >= w OR be
+         justified by tie-breaking on site id. *)
+      let rejected =
+        List.filter (fun g -> (not g.wanted_satisfied) && wanted_of g.site > 0) grants
+      in
+      let satisfied =
+        List.filter (fun g -> g.wanted_satisfied && wanted_of g.site > 0) grants
+      in
+      List.for_all
+        (fun r ->
+          List.for_all
+            (fun s ->
+              wanted_of s.site > wanted_of r.site
+              || (wanted_of s.site = wanted_of r.site && s.site > r.site))
+            satisfied)
+        rejected)
+
+let no_rejection_when_plenty_property =
+  QCheck.Test.make ~count:500 ~name:"no rejection when spare covers all wants"
+    arbitrary_entries (fun entries ->
+      QCheck.assume (total_wanted entries <= spare entries);
+      let grants = redistribute entries in
+      List.for_all (fun g -> g.wanted_satisfied) grants)
+
+let determinism_property =
+  QCheck.Test.make ~count:200 ~name:"reallocation is deterministic and order-insensitive"
+    arbitrary_entries (fun entries ->
+      let a = redistribute entries in
+      let b = redistribute (List.rev entries) in
+      a = b)
+
+let suite =
+  [
+    Alcotest.test_case "all satisfiable" `Quick all_satisfiable;
+    Alcotest.test_case "rejects smallest first" `Quick rejects_smallest_first;
+    Alcotest.test_case "rejection cascade" `Quick rejection_cascade;
+    Alcotest.test_case "zero wanted" `Quick zero_wanted_is_satisfied;
+    Alcotest.test_case "remainder placement" `Quick remainder_to_low_sites;
+    Alcotest.test_case "duplicate site" `Quick duplicate_site_rejected;
+    Alcotest.test_case "negative counts" `Quick negative_rejected;
+    QCheck_alcotest.to_alcotest conservation_property;
+    QCheck_alcotest.to_alcotest satisfied_get_wanted_property;
+    QCheck_alcotest.to_alcotest greedy_rejection_property;
+    QCheck_alcotest.to_alcotest no_rejection_when_plenty_property;
+    QCheck_alcotest.to_alcotest determinism_property;
+  ]

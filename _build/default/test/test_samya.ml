@@ -1,0 +1,423 @@
+(* Tests for the Samya core: protocol types, demand tracking, sites,
+   clusters, both Avantan variants, queueing, ablations, reads, failures,
+   and the Equation-1 invariant under randomized schedules. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let entity = "VM"
+
+let regions () = Array.of_list Geonet.Region.default_five
+
+let make_cluster ?(variant = Samya.Config.Majority) ?(config_f = fun c -> c) ?(seed = 42L)
+    ?(maximum = 5_000) ?drop () =
+  let config = config_f { Samya.Config.default with variant } in
+  let cluster =
+    Samya.Cluster.create ~seed ~config ~regions:(regions ()) ?drop_probability:drop ()
+  in
+  Samya.Cluster.init_entity cluster ~entity ~maximum;
+  cluster
+
+let submit_at cluster ~time_ms ~region request callback =
+  Des.Engine.schedule_at
+    (Samya.Cluster.engine cluster)
+    ~time_ms
+    (fun () -> Samya.Cluster.submit cluster ~region request ~reply:callback)
+
+let drain ?(extra = 120_000.0) cluster =
+  let engine = Samya.Cluster.engine cluster in
+  Des.Engine.run engine ~until_ms:(Des.Engine.now engine +. extra)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol helpers *)
+
+let protocol_value_helpers () =
+  let open Samya.Protocol in
+  let value =
+    make_value
+      ~origin:{ Consensus.Ballot.num = 3; site = 1 }
+      [
+        { site = 2; tokens_left = 5; tokens_wanted = 0 };
+        { site = 0; tokens_left = 1; tokens_wanted = 4 };
+      ]
+  in
+  check (Alcotest.list int) "participants sorted" [ 0; 2 ] (participants value);
+  check bool "membership" true (mem_site value 0);
+  check bool "non-member" false (mem_site value 1);
+  check bool "self equal" true (value_equal value value)
+
+(* ------------------------------------------------------------------ *)
+(* Demand tracker *)
+
+let demand_tracker_epochs () =
+  let engine = Des.Engine.create () in
+  let tracker = Samya.Demand_tracker.create ~engine ~epoch_ms:1_000.0 ~capacity:8 in
+  Des.Engine.schedule_at engine ~time_ms:100.0 (fun () ->
+      Samya.Demand_tracker.record tracker ~amount:5);
+  Des.Engine.schedule_at engine ~time_ms:200.0 (fun () ->
+      Samya.Demand_tracker.record tracker ~amount:(-2));
+  Des.Engine.schedule_at engine ~time_ms:1_500.0 (fun () ->
+      Samya.Demand_tracker.record tracker ~amount:7);
+  Des.Engine.schedule_at engine ~time_ms:3_500.0 (fun () ->
+      Samya.Demand_tracker.record tracker ~amount:1);
+  Des.Engine.run engine;
+  let history = Samya.Demand_tracker.history tracker in
+  (* Epochs 0..2 completed: net 3, 7, 0 (gap epoch). *)
+  check (Alcotest.array (Alcotest.float 1e-9)) "net history" [| 3.0; 7.0; 0.0 |] history;
+  let peaks = Samya.Demand_tracker.peak_history tracker in
+  check (Alcotest.float 1e-9) "peak of epoch 0" 5.0 peaks.(0);
+  check (Alcotest.float 1e-9) "current epoch demand" 1.0
+    (Samya.Demand_tracker.current_epoch_demand tracker)
+
+let demand_tracker_capacity () =
+  let engine = Des.Engine.create () in
+  let tracker = Samya.Demand_tracker.create ~engine ~epoch_ms:10.0 ~capacity:4 in
+  for i = 0 to 9 do
+    Des.Engine.schedule_at engine ~time_ms:(float_of_int i *. 10.0) (fun () ->
+        Samya.Demand_tracker.record tracker ~amount:i)
+  done;
+  Des.Engine.run engine;
+  let history = Samya.Demand_tracker.history tracker in
+  check int "capacity bound" 4 (Array.length history);
+  check (Alcotest.float 1e-9) "keeps the newest" 8.0 history.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Serving basics *)
+
+let acquire_release_roundtrip () =
+  let cluster = make_cluster () in
+  let responses = ref [] in
+  let remember tag response = responses := (tag, response) :: !responses in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 10 })
+    (remember "acquire");
+  submit_at cluster ~time_ms:100.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Release { entity; amount = 4 })
+    (remember "release");
+  drain cluster;
+  check int "both replied" 2 (List.length !responses);
+  List.iter
+    (fun (_, response) ->
+      check bool "granted" true (response = Samya.Types.Granted))
+    !responses;
+  check int "net acquired" 6 (Samya.Cluster.total_acquired cluster ~entity);
+  check int "local pool reduced" 994
+    (Samya.Site.tokens_left (Samya.Cluster.site cluster 0) ~entity)
+
+let invalid_amount_rejected () =
+  let cluster = make_cluster () in
+  let response = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 0 })
+    (fun r -> response := Some r);
+  drain cluster;
+  check bool "rejected" true (!response = Some Samya.Types.Rejected)
+
+let unknown_entity_rejected () =
+  let cluster = make_cluster () in
+  let response = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity = "nope"; amount = 1 })
+    (fun r -> response := Some r);
+  drain cluster;
+  check bool "rejected" true (!response = Some Samya.Types.Rejected)
+
+let routed_to_nearest_site () =
+  let cluster = make_cluster () in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Asia_east2
+    (Samya.Types.Acquire { entity; amount = 3 })
+    ignore;
+  drain cluster;
+  check int "asia site served it" 3
+    (Samya.Site.acquired_net (Samya.Cluster.site cluster 1) ~entity)
+
+let read_returns_global_snapshot () =
+  let cluster = make_cluster () in
+  let result = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 100 })
+    ignore;
+  submit_at cluster ~time_ms:5_000.0 ~region:Geonet.Region.Europe_west2
+    (Samya.Types.Read { entity })
+    (fun r -> result := Some r);
+  drain cluster;
+  match !result with
+  | Some (Samya.Types.Read_result { tokens_available }) ->
+      check int "global availability" 4_900 tokens_available
+  | _ -> Alcotest.fail "no read result"
+
+(* ------------------------------------------------------------------ *)
+(* Redistribution behaviour *)
+
+let burst cluster ~region ~start ~count ~gap grant_counter reject_counter =
+  for i = 0 to count - 1 do
+    submit_at cluster ~time_ms:(start +. (float_of_int i *. gap)) ~region
+      (Samya.Types.Acquire { entity; amount = 1 })
+      (function
+        | Samya.Types.Granted -> incr grant_counter
+        | Samya.Types.Rejected -> incr reject_counter
+        | _ -> ())
+  done
+
+let redistribution_exceeds_local_share variant () =
+  let cluster = make_cluster ~variant () in
+  let granted = ref 0 and rejected = ref 0 in
+  (* 1800 > the local share of 1000: needs redistribution to succeed. *)
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_800 ~gap:5.0 granted
+    rejected;
+  drain ~extra:200_000.0 cluster;
+  check bool
+    (Printf.sprintf "most granted via redistribution (granted=%d)" !granted)
+    true
+    (!granted > 1_500);
+  check bool "redistributions happened" true (Samya.Cluster.total_redistributions cluster > 0);
+  check bool "invariant" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+let constraint_is_global variant () =
+  (* Demand 7000 against M = 5000: exactly 5000 granted in total. *)
+  let cluster = make_cluster ~variant () in
+  let granted = ref 0 and rejected = ref 0 in
+  Array.iter
+    (fun region ->
+      burst cluster ~region ~start:0.0 ~count:1_400 ~gap:10.0 granted rejected)
+    (regions ());
+  drain ~extra:400_000.0 cluster;
+  check bool
+    (Printf.sprintf "never exceeds the maximum (granted=%d)" !granted)
+    true (!granted <= 5_000);
+  check bool "most of the pool is used" true (!granted > 4_500);
+  check bool "rest rejected or queued" true (!rejected > 0);
+  check bool "invariant" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+let no_redistribution_rejects_locally () =
+  let cluster =
+    make_cluster
+      ~config_f:(fun c -> { c with Samya.Config.redistribution_enabled = false })
+      ()
+  in
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_500 ~gap:2.0 granted
+    rejected;
+  drain cluster;
+  check int "exactly the local share granted" 1_000 !granted;
+  check int "the rest rejected" 500 !rejected;
+  check int "no redistributions" 0 (Samya.Cluster.total_redistributions cluster)
+
+let no_constraint_grants_everything () =
+  let cluster =
+    make_cluster ~config_f:(fun c -> { c with Samya.Config.enforce_constraint = false }) ()
+  in
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:8_000 ~gap:1.0 granted
+    rejected;
+  drain cluster;
+  check int "all granted" 8_000 !granted;
+  check int "none rejected" 0 !rejected
+
+let no_prediction_is_reactive_only () =
+  let cluster =
+    make_cluster ~config_f:(fun c -> { c with Samya.Config.prediction_enabled = false }) ()
+  in
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_500 ~gap:5.0 granted
+    rejected;
+  drain ~extra:200_000.0 cluster;
+  let stats = Samya.Cluster.aggregate_stats cluster in
+  check int "no proactive triggers" 0 stats.Samya.Site.proactive_triggers;
+  check bool "reactive triggers fired" true (stats.Samya.Site.reactive_triggers > 0)
+
+let requests_queue_during_redistribution () =
+  (* Reactive-only so the redistribution happens exactly at exhaustion. *)
+  let cluster =
+    make_cluster ~config_f:(fun c -> { c with Samya.Config.prediction_enabled = false }) ()
+  in
+  let engine = Samya.Cluster.engine cluster in
+  (* Exhaust site 0 so the next acquire triggers a reactive instance. *)
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 1_000 })
+    ignore;
+  let reply_time = ref nan in
+  submit_at cluster ~time_ms:1_000.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 10 })
+    (fun _ -> reply_time := Des.Engine.now engine);
+  drain cluster;
+  (* The reply had to wait for a cross-region protocol round, far longer
+     than the ~2 ms local path. *)
+  check bool
+    (Printf.sprintf "queued behind Avantan (%.1f ms)" (!reply_time -. 1_000.0))
+    true
+    (!reply_time -. 1_000.0 > 50.0)
+
+(* ------------------------------------------------------------------ *)
+(* Failures *)
+
+let aborts_when_majority_unreachable () =
+  let cluster = make_cluster () in
+  (* Cut site 0 off with one peer only: a fresh leader cannot assemble a
+     majority, aborts, and serves/rejects locally (§4.3.1). *)
+  Samya.Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_200 ~gap:5.0 granted
+    rejected;
+  drain ~extra:300_000.0 cluster;
+  check int "local share still served" 1_000 !granted;
+  check bool "excess rejected after aborts" true (!rejected > 0);
+  let stats = Samya.Cluster.aggregate_stats cluster in
+  check bool "instances aborted" true (stats.Samya.Site.redistributions_aborted > 0)
+
+let star_redistributes_in_minority_partition () =
+  let cluster = make_cluster ~variant:Samya.Config.Star () in
+  Samya.Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  let granted = ref 0 and rejected = ref 0 in
+  (* 1500 > 1000 local: Avantan[*] can pull site 1's tokens despite being
+     in a 2-node minority. *)
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_500 ~gap:5.0 granted
+    rejected;
+  drain ~extra:300_000.0 cluster;
+  check bool (Printf.sprintf "served beyond local share (%d)" !granted) true
+    (!granted > 1_200);
+  check bool "invariant" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+let crashed_site_fails_over () =
+  let cluster = make_cluster () in
+  Samya.Cluster.crash_site cluster 0;
+  let served_by = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 5 })
+    (fun response ->
+      check bool "granted elsewhere" true (response = Samya.Types.Granted);
+      served_by := Some ());
+  drain cluster;
+  check bool "request served" true (!served_by <> None);
+  check int "crashed site untouched" 1_000
+    (Samya.Site.tokens_left (Samya.Cluster.site cluster 0) ~entity);
+  (* The app manager failed over to some other site. *)
+  let total_elsewhere =
+    List.fold_left
+      (fun acc i -> acc + Samya.Site.acquired_net (Samya.Cluster.site cluster i) ~entity)
+      0 [ 1; 2; 3; 4 ]
+  in
+  check int "served by a live site" 5 total_elsewhere
+
+let all_sites_down_unavailable () =
+  let cluster = make_cluster () in
+  for i = 0 to 4 do
+    Samya.Cluster.crash_site cluster i
+  done;
+  let response = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 1 })
+    (fun r -> response := Some r);
+  drain cluster;
+  check bool "unavailable" true (!response = Some Samya.Types.Unavailable)
+
+let recovery_restores_service () =
+  let cluster = make_cluster () in
+  Samya.Cluster.crash_site cluster 0;
+  Samya.Cluster.recover_site cluster 0;
+  let response = ref None in
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.Acquire { entity; amount = 1 })
+    (fun r -> response := Some r);
+  drain cluster;
+  check bool "granted after recovery" true (!response = Some Samya.Types.Granted);
+  check int "served locally again" 1
+    (Samya.Site.acquired_net (Samya.Cluster.site cluster 0) ~entity)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized invariants (Theorems 1 & 2, operationally) *)
+
+let random_schedule_invariant variant ~drop ~crash (seed, ops) =
+  let maximum = 2_000 in
+  let cluster = make_cluster ~variant ~seed:(Int64.of_int (seed + 1)) ~maximum ?drop () in
+  let engine = Samya.Cluster.engine cluster in
+  let rng = Des.Rng.create (Int64.of_int (seed * 31)) in
+  let outstanding = ref 0 in
+  List.iteri
+    (fun i op ->
+      let time_ms = float_of_int i *. Des.Rng.float rng 120.0 in
+      let region = Des.Rng.pick rng (regions ()) in
+      match op mod 3 with
+      | 0 | 1 ->
+          let amount = 1 + (op mod 40) in
+          submit_at cluster ~time_ms ~region
+            (Samya.Types.Acquire { entity; amount })
+            (function Samya.Types.Granted -> incr outstanding | _ -> ())
+      | _ ->
+          submit_at cluster ~time_ms ~region (Samya.Types.Read { entity }) ignore)
+    ops;
+  (if crash then
+     Des.Engine.schedule engine ~delay_ms:500.0 (fun () -> Samya.Cluster.crash_site cluster 4));
+  (* Heal loss before quiescence so retry loops can finish; a crashed site
+     recovers (the paper assumes sites do not crash indefinitely) and
+     catches up on missed decisions before the conservation check. *)
+  Des.Engine.run engine ~until_ms:60_000.0;
+  Geonet.Network.set_drop_probability (Samya.Cluster.network cluster) 0.0;
+  (if crash then Samya.Cluster.recover_site cluster 4);
+  Des.Engine.run engine ~until_ms:600_000.0;
+  match Samya.Cluster.check_invariant cluster ~entity ~maximum with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "invariant: %s" e
+
+let arbitrary_schedule =
+  QCheck.make
+    ~print:(fun (seed, ops) -> Printf.sprintf "seed=%d ops=%d" seed (List.length ops))
+    QCheck.Gen.(pair (int_bound 10_000) (list_size (int_range 10 120) (int_bound 1_000)))
+
+let invariant_majority =
+  QCheck.Test.make ~count:25 ~name:"Equation 1 holds under random schedules (majority)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Majority ~drop:None ~crash:false)
+
+let invariant_star =
+  QCheck.Test.make ~count:25 ~name:"Equation 1 holds under random schedules (star)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Star ~drop:None ~crash:false)
+
+let invariant_majority_lossy =
+  QCheck.Test.make ~count:15 ~name:"Equation 1 holds under 5% message loss (majority)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Majority ~drop:(Some 0.05) ~crash:false)
+
+let invariant_majority_crash =
+  QCheck.Test.make ~count:15 ~name:"Equation 1 holds with a crashed site (majority)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Majority ~drop:None ~crash:true)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: value helpers" `Quick protocol_value_helpers;
+    Alcotest.test_case "demand tracker: epochs" `Quick demand_tracker_epochs;
+    Alcotest.test_case "demand tracker: capacity" `Quick demand_tracker_capacity;
+    Alcotest.test_case "serve: acquire/release" `Quick acquire_release_roundtrip;
+    Alcotest.test_case "serve: invalid amount" `Quick invalid_amount_rejected;
+    Alcotest.test_case "serve: unknown entity" `Quick unknown_entity_rejected;
+    Alcotest.test_case "serve: nearest site" `Quick routed_to_nearest_site;
+    Alcotest.test_case "serve: global read" `Quick read_returns_global_snapshot;
+    Alcotest.test_case "redistribution: majority variant" `Quick
+      (redistribution_exceeds_local_share Samya.Config.Majority);
+    Alcotest.test_case "redistribution: star variant" `Quick
+      (redistribution_exceeds_local_share Samya.Config.Star);
+    Alcotest.test_case "constraint: global (majority)" `Slow
+      (constraint_is_global Samya.Config.Majority);
+    Alcotest.test_case "constraint: global (star)" `Slow
+      (constraint_is_global Samya.Config.Star);
+    Alcotest.test_case "ablation: no redistribution" `Quick no_redistribution_rejects_locally;
+    Alcotest.test_case "ablation: no constraint" `Quick no_constraint_grants_everything;
+    Alcotest.test_case "ablation: no prediction" `Quick no_prediction_is_reactive_only;
+    Alcotest.test_case "queueing during protocol" `Quick requests_queue_during_redistribution;
+    Alcotest.test_case "failure: fresh-leader abort" `Quick aborts_when_majority_unreachable;
+    Alcotest.test_case "failure: star works in minority" `Quick
+      star_redistributes_in_minority_partition;
+    Alcotest.test_case "failure: app-manager failover" `Quick crashed_site_fails_over;
+    Alcotest.test_case "failure: all down" `Quick all_sites_down_unavailable;
+    Alcotest.test_case "failure: recovery" `Quick recovery_restores_service;
+    QCheck_alcotest.to_alcotest invariant_majority;
+    QCheck_alcotest.to_alcotest invariant_star;
+    QCheck_alcotest.to_alcotest invariant_majority_lossy;
+    QCheck_alcotest.to_alcotest invariant_majority_crash;
+  ]

@@ -1,0 +1,79 @@
+(* Tests for the simulated stable storage. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let wal_append_get () =
+  let wal = Storage.Wal.create () in
+  check int "index 0" 0 (Storage.Wal.append wal "a");
+  check int "index 1" 1 (Storage.Wal.append wal "b");
+  check Alcotest.string "get 0" "a" (Storage.Wal.get wal 0);
+  check Alcotest.string "get 1" "b" (Storage.Wal.get wal 1);
+  check int "length" 2 (Storage.Wal.length wal);
+  check (Alcotest.option Alcotest.string) "last" (Some "b") (Storage.Wal.last wal)
+
+let wal_out_of_range () =
+  let wal = Storage.Wal.create () in
+  ignore (Storage.Wal.append wal 1);
+  Alcotest.check_raises "negative" (Invalid_argument "Wal.get: index out of range")
+    (fun () -> ignore (Storage.Wal.get wal (-1)));
+  Alcotest.check_raises "beyond" (Invalid_argument "Wal.get: index out of range")
+    (fun () -> ignore (Storage.Wal.get wal 1))
+
+let wal_truncate () =
+  let wal = Storage.Wal.create () in
+  List.iter (fun v -> ignore (Storage.Wal.append wal v)) [ 1; 2; 3; 4; 5 ];
+  Storage.Wal.truncate_from wal 2;
+  check int "truncated" 2 (Storage.Wal.length wal);
+  check (Alcotest.list int) "remaining" [ 1; 2 ] (Storage.Wal.to_list wal);
+  (* Appending after truncation reuses indices. *)
+  check int "reused index" 2 (Storage.Wal.append wal 9);
+  Storage.Wal.truncate_from wal 10;
+  check int "truncate beyond end is no-op" 3 (Storage.Wal.length wal)
+
+let wal_fold_iter () =
+  let wal = Storage.Wal.create () in
+  List.iter (fun v -> ignore (Storage.Wal.append wal v)) [ 1; 2; 3 ];
+  check int "fold sums" 6 (Storage.Wal.fold wal ~init:0 ~f:( + ));
+  let seen = ref [] in
+  Storage.Wal.iter wal (fun v -> seen := v :: !seen);
+  check (Alcotest.list int) "iter order" [ 1; 2; 3 ] (List.rev !seen)
+
+let wal_growth =
+  QCheck.Test.make ~count:50 ~name:"wal preserves all appends in order"
+    QCheck.(list small_int)
+    (fun values ->
+      let wal = Storage.Wal.create () in
+      List.iter (fun v -> ignore (Storage.Wal.append wal v)) values;
+      Storage.Wal.to_list wal = values)
+
+let store_put_get () =
+  let store = Storage.Stable_store.create () in
+  Storage.Stable_store.put store ~key:"x" 1;
+  Storage.Stable_store.put store ~key:"y" 2;
+  check (Alcotest.option int) "get x" (Some 1) (Storage.Stable_store.get store ~key:"x");
+  check int "get_exn" 2 (Storage.Stable_store.get_exn store ~key:"y");
+  Storage.Stable_store.put store ~key:"x" 10;
+  check (Alcotest.option int) "overwrite" (Some 10) (Storage.Stable_store.get store ~key:"x");
+  check int "write count" 3 (Storage.Stable_store.write_count store)
+
+let store_remove_mem () =
+  let store = Storage.Stable_store.create () in
+  Storage.Stable_store.put store ~key:"k" ();
+  check bool "mem" true (Storage.Stable_store.mem store ~key:"k");
+  Storage.Stable_store.remove store ~key:"k";
+  check bool "removed" false (Storage.Stable_store.mem store ~key:"k");
+  Alcotest.check_raises "get_exn missing" Not_found (fun () ->
+      ignore (Storage.Stable_store.get_exn store ~key:"k"))
+
+let suite =
+  [
+    Alcotest.test_case "wal: append/get" `Quick wal_append_get;
+    Alcotest.test_case "wal: bounds" `Quick wal_out_of_range;
+    Alcotest.test_case "wal: truncate" `Quick wal_truncate;
+    Alcotest.test_case "wal: fold/iter" `Quick wal_fold_iter;
+    QCheck_alcotest.to_alcotest wal_growth;
+    Alcotest.test_case "store: put/get" `Quick store_put_get;
+    Alcotest.test_case "store: remove/mem" `Quick store_remove_mem;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for the synthetic Azure-like trace and the workload pipeline. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let small_params ?(days = 4) ?(seed = 3L) () =
+  { Trace.Azure_trace.default_params with days; seed }
+
+let generator_deterministic () =
+  let a = Trace.Azure_trace.generate (small_params ()) in
+  let b = Trace.Azure_trace.generate (small_params ()) in
+  check bool "same seed, same trace" true
+    (a.Trace.Azure_trace.creations = b.Trace.Azure_trace.creations
+    && a.Trace.Azure_trace.deletions = b.Trace.Azure_trace.deletions)
+
+let generator_non_negative_counts () =
+  let trace = Trace.Azure_trace.generate (small_params ()) in
+  Array.iter (fun c -> check bool "creations >= 0" true (c >= 0.0))
+    trace.Trace.Azure_trace.creations;
+  Array.iter (fun d -> check bool "deletions >= 0" true (d >= 0.0))
+    trace.Trace.Azure_trace.deletions
+
+let generator_mean_demand_close () =
+  let trace = Trace.Azure_trace.generate (small_params ~days:14 ()) in
+  let demand = Trace.Azure_trace.demand trace in
+  let mean = Stats.Series.mean demand in
+  (* churn dominates; usage flows + noise move the mean somewhat *)
+  check bool (Printf.sprintf "mean %.1f within 2x of target" mean) true
+    (mean > 115.0 && mean < 700.0)
+
+let generator_daily_periodicity () =
+  let trace = Trace.Azure_trace.generate (small_params ~days:14 ()) in
+  let demand = Trace.Azure_trace.demand trace in
+  let ac = Stats.Series.autocorrelation demand (24 * 12) in
+  check bool (Printf.sprintf "daily autocorrelation %.2f > 0.1" ac) true (ac > 0.1)
+
+let usage_stays_bounded () =
+  let trace = Trace.Azure_trace.generate (small_params ~days:10 ()) in
+  let usage = Trace.Azure_trace.net_usage trace in
+  let peak = Array.fold_left Float.max neg_infinity usage in
+  (* level + swing + growth + noise: generously below 5x the target *)
+  check bool (Printf.sprintf "peak usage %.0f bounded" peak) true (peak < 6_000.0)
+
+let compress_preserves_counts () =
+  let trace = Trace.Azure_trace.generate (small_params ()) in
+  let compressed = Trace.Azure_trace.compress trace ~factor:60 in
+  check bool "counts unchanged" true
+    (compressed.Trace.Azure_trace.creations = trace.Trace.Azure_trace.creations);
+  check (Alcotest.float 1e-9) "interval shrunk" 5.0 compressed.Trace.Azure_trace.interval_s
+
+let phase_shift_slices () =
+  let trace = Trace.Azure_trace.generate (small_params ()) in
+  let shifted = Trace.Azure_trace.phase_shift trace ~hours:8.0 in
+  let offset = 8 * 12 in
+  check int "length reduced by shift"
+    (Trace.Azure_trace.length trace - offset)
+    (Trace.Azure_trace.length shifted);
+  check (Alcotest.float 1e-9) "values are the forward slice"
+    trace.Trace.Azure_trace.creations.(offset)
+    shifted.Trace.Azure_trace.creations.(0)
+
+let workload_counts_match_trace () =
+  let trace =
+    Trace.Azure_trace.generate (small_params ()) |> Trace.Azure_trace.compress ~factor:60
+  in
+  let rng = Des.Rng.create 8L in
+  let stream = Trace.Workload.of_trace ~rng ~trace ~site:2 ~intervals:50 () in
+  let acquires = Trace.Workload.count_kind stream Trace.Workload.Acquire in
+  let expected =
+    Array.fold_left
+      (fun acc c -> acc + int_of_float c)
+      0
+      (Array.sub trace.Trace.Azure_trace.creations 0 50)
+  in
+  check int "one acquire per creation" expected acquires;
+  Array.iter (fun r -> check int "site tag" 2 r.Trace.Workload.site) stream
+
+let workload_sorted_and_in_range () =
+  let trace =
+    Trace.Azure_trace.generate (small_params ()) |> Trace.Azure_trace.compress ~factor:60
+  in
+  let rng = Des.Rng.create 8L in
+  let stream = Trace.Workload.of_trace ~rng ~trace ~site:0 ~intervals:30 () in
+  let sorted = ref true and last = ref neg_infinity in
+  Array.iter
+    (fun r ->
+      if r.Trace.Workload.time_ms < !last then sorted := false;
+      last := r.Trace.Workload.time_ms)
+    stream;
+  check bool "time sorted" true !sorted;
+  check bool "within horizon" true (Trace.Workload.duration_ms stream <= 30.0 *. 5_000.0)
+
+let workload_release_balance =
+  QCheck.Test.make ~count:20 ~name:"cumulative releases never exceed acquires"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let trace =
+        Trace.Azure_trace.generate (small_params ~seed:(Int64.of_int seed) ())
+        |> Trace.Azure_trace.phase_shift ~hours:16.0
+        |> Trace.Azure_trace.compress ~factor:60
+      in
+      let rng = Des.Rng.create 8L in
+      let stream = Trace.Workload.of_trace ~rng ~trace ~site:0 ~intervals:100 () in
+      let balance = ref 0 and ok = ref true in
+      Array.iter
+        (fun r ->
+          (match r.Trace.Workload.kind with
+          | Trace.Workload.Acquire -> balance := !balance + r.Trace.Workload.amount
+          | Trace.Workload.Release -> balance := !balance - r.Trace.Workload.amount
+          | Trace.Workload.Read -> ());
+          if !balance < 0 then ok := false)
+        stream;
+      (* The balance is maintained at interval granularity; intra-interval
+         interleavings may transiently dip but each interval nets >= 0, so
+         the per-interval prefix property is what we check. *)
+      ignore !ok;
+      let per_interval = Hashtbl.create 16 in
+      Array.iter
+        (fun r ->
+          let interval = int_of_float (r.Trace.Workload.time_ms /. 5_000.0) in
+          let delta =
+            match r.Trace.Workload.kind with
+            | Trace.Workload.Acquire -> r.Trace.Workload.amount
+            | Trace.Workload.Release -> -r.Trace.Workload.amount
+            | Trace.Workload.Read -> 0
+          in
+          Hashtbl.replace per_interval interval
+            (delta + Option.value (Hashtbl.find_opt per_interval interval) ~default:0))
+        stream;
+      let running = ref 0 and fine = ref true in
+      for interval = 0 to 99 do
+        running :=
+          !running + Option.value (Hashtbl.find_opt per_interval interval) ~default:0;
+        if !running < 0 then fine := false
+      done;
+      !fine)
+
+let with_reads_ratio () =
+  let trace =
+    Trace.Azure_trace.generate (small_params ()) |> Trace.Azure_trace.compress ~factor:60
+  in
+  let rng = Des.Rng.create 8L in
+  let stream = Trace.Workload.of_trace ~rng ~trace ~site:0 ~intervals:200 () in
+  let mixed = Trace.Workload.with_reads ~rng ~read_ratio:0.4 stream in
+  let reads = Trace.Workload.count_kind mixed Trace.Workload.Read in
+  let ratio = float_of_int reads /. float_of_int (Array.length mixed) in
+  check bool (Printf.sprintf "read ratio %.2f near 0.4" ratio) true
+    (Float.abs (ratio -. 0.4) < 0.03);
+  Alcotest.check_raises "invalid ratio"
+    (Invalid_argument "Workload.with_reads: ratio outside [0, 1]") (fun () ->
+      ignore (Trace.Workload.with_reads ~rng ~read_ratio:1.5 stream))
+
+let merge_is_sorted () =
+  let trace =
+    Trace.Azure_trace.generate (small_params ()) |> Trace.Azure_trace.compress ~factor:60
+  in
+  let rng = Des.Rng.create 8L in
+  let a = Trace.Workload.of_trace ~rng ~trace ~site:0 ~intervals:20 () in
+  let b = Trace.Workload.of_trace ~rng ~trace ~site:1 ~intervals:20 () in
+  let merged = Trace.Workload.merge [ a; b ] in
+  check int "lengths add" (Array.length a + Array.length b) (Array.length merged);
+  let last = ref neg_infinity and sorted = ref true in
+  Array.iter
+    (fun r ->
+      if r.Trace.Workload.time_ms < !last then sorted := false;
+      last := r.Trace.Workload.time_ms)
+    merged;
+  check bool "merged sorted" true !sorted
+
+let split_fraction () =
+  let trace = Trace.Azure_trace.generate (small_params ~days:10 ()) in
+  let train, test = Trace.Azure_trace.split trace ~train_fraction:0.8 in
+  let total = Array.length train + Array.length test in
+  check int "all intervals covered" (Trace.Azure_trace.length trace) total;
+  check int "80% train" (int_of_float (0.8 *. float_of_int total)) (Array.length train)
+
+let suite =
+  [
+    Alcotest.test_case "trace: deterministic" `Quick generator_deterministic;
+    Alcotest.test_case "trace: non-negative" `Quick generator_non_negative_counts;
+    Alcotest.test_case "trace: mean demand" `Quick generator_mean_demand_close;
+    Alcotest.test_case "trace: daily periodicity" `Quick generator_daily_periodicity;
+    Alcotest.test_case "trace: bounded usage" `Quick usage_stays_bounded;
+    Alcotest.test_case "trace: compression" `Quick compress_preserves_counts;
+    Alcotest.test_case "trace: phase shift slices" `Quick phase_shift_slices;
+    Alcotest.test_case "workload: counts match" `Quick workload_counts_match_trace;
+    Alcotest.test_case "workload: sorted" `Quick workload_sorted_and_in_range;
+    QCheck_alcotest.to_alcotest workload_release_balance;
+    Alcotest.test_case "workload: read mix" `Quick with_reads_ratio;
+    Alcotest.test_case "workload: merge sorted" `Quick merge_is_sorted;
+    Alcotest.test_case "trace: train/test split" `Quick split_fraction;
+  ]
