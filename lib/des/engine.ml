@@ -1,12 +1,17 @@
-type event = { fire : unit -> unit; mutable cancelled : bool }
+(* The queue holds bare closures: a plain [schedule] costs one heap push and
+   nothing else. Timers wrap their callback in a closure that consults a
+   small state record, so cancellation and the fired/pending distinction
+   need no per-event bookkeeping on the hot path. *)
 
 type t = {
   mutable clock : float;
-  queue : event Pheap.t;
+  queue : (unit -> unit) Pheap.t;
   root_rng : Rng.t;
 }
 
-type timer = event
+type timer_state = Pending | Fired | Cancelled
+
+type timer = { mutable state : timer_state }
 
 let create ?(seed = 42L) () =
   { clock = 0.0; queue = Pheap.create (); root_rng = Rng.create seed }
@@ -16,41 +21,43 @@ let now t = t.clock
 let rng t = t.root_rng
 
 let schedule_at t ~time_ms f =
-  let time_ms = Float.max time_ms t.clock in
-  Pheap.push t.queue ~priority:time_ms { fire = f; cancelled = false }
+  let time_ms = if time_ms > t.clock then time_ms else t.clock in
+  Pheap.push t.queue ~priority:time_ms f
 
 let schedule t ~delay_ms f = schedule_at t ~time_ms:(t.clock +. Float.max 0.0 delay_ms) f
 
 let timer t ~delay_ms f =
-  let event = { fire = f; cancelled = false } in
-  Pheap.push t.queue ~priority:(t.clock +. Float.max 0.0 delay_ms) event;
-  event
+  let tm = { state = Pending } in
+  schedule t ~delay_ms (fun () ->
+      if tm.state = Pending then begin
+        tm.state <- Fired;
+        f ()
+      end);
+  tm
 
-let cancel event = event.cancelled <- true
+let cancel tm = if tm.state = Pending then tm.state <- Cancelled
 
-let timer_pending event = not event.cancelled
+let timer_pending tm = tm.state = Pending
 
 let pending t = Pheap.length t.queue
 
 let step t =
-  match Pheap.pop t.queue with
-  | None -> false
-  | Some (time, event) ->
-      t.clock <- Float.max t.clock time;
-      if not event.cancelled then event.fire ();
-      true
+  if Pheap.is_empty t.queue then false
+  else begin
+    let time = Pheap.min_key t.queue in
+    let fire = Pheap.pop_unsafe t.queue in
+    if time > t.clock then t.clock <- time;
+    fire ();
+    true
+  end
 
 let run ?until_ms t =
   match until_ms with
   | None -> while step t do () done
   | Some limit ->
-      let rec loop () =
-        match Pheap.peek t.queue with
-        | Some (time, _) when time <= limit ->
-            ignore (step t);
-            loop ()
-        | Some _ | None -> t.clock <- Float.max t.clock limit
-      in
-      loop ()
+      while (not (Pheap.is_empty t.queue)) && Pheap.min_key t.queue <= limit do
+        ignore (step t)
+      done;
+      if t.clock < limit then t.clock <- limit
 
 let run_for t d = run t ~until_ms:(t.clock +. d)

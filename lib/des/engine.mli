@@ -41,6 +41,8 @@ val cancel : timer -> unit
 (** Cancelling an already-fired or cancelled timer is a no-op. *)
 
 val timer_pending : timer -> bool
+(** [true] while the timer is scheduled and has neither fired nor been
+    cancelled. *)
 
 val pending : t -> int
 (** Number of events still queued. *)

@@ -1,73 +1,113 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap. Keys live in a flat [float array]
+   (unboxed), so neither push nor pop allocates once capacity exists; the
+   sift loops insert into a moving hole instead of swapping, halving the
+   writes of the classic swap-chain formulation. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let grow t entry =
-  let capacity = max 16 (2 * Array.length t.data) in
-  let data = Array.make capacity entry in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = if left < t.size && less t.data.(left) t.data.(i) then left else i in
-  let smallest =
-    if right < t.size && less t.data.(right) t.data.(smallest) then right else smallest
-  in
-  if smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(smallest);
-    t.data.(smallest) <- tmp;
-    sift_down t smallest
-  end
+let grow t value =
+  let capacity = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make capacity 0.0 in
+  let seqs = Array.make capacity 0 in
+  let values = Array.make capacity value in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.values <- values
 
 let push t ~priority value =
-  let entry = { key = priority; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.data then grow t entry;
-  t.data.(t.size) <- entry;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.size = Array.length t.keys then grow t value;
+  let keys = t.keys and seqs = t.seqs and values = t.values in
+  (* Bubble a hole up from the new leaf; parents slide down into it. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let placed = ref false in
+  while (not !placed) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pk = keys.(parent) in
+    if priority < pk || (priority = pk && seq < seqs.(parent)) then begin
+      keys.(!i) <- pk;
+      seqs.(!i) <- seqs.(parent);
+      values.(!i) <- values.(parent);
+      i := parent
+    end
+    else placed := true
+  done;
+  keys.(!i) <- priority;
+  seqs.(!i) <- seq;
+  values.(!i) <- value
+
+(* Re-insert the entry [(key, seq, value)] into the hole at the root:
+   smaller children slide up into the hole until the entry fits. *)
+let sift_down_into_root t key seq value =
+  let keys = t.keys and seqs = t.seqs and values = t.values in
+  let size = t.size in
+  let i = ref 0 in
+  let placed = ref false in
+  while not !placed do
+    let left = (2 * !i) + 1 in
+    if left >= size then placed := true
+    else begin
+      let right = left + 1 in
+      let child =
+        if
+          right < size
+          && (keys.(right) < keys.(left)
+             || (keys.(right) = keys.(left) && seqs.(right) < seqs.(left)))
+        then right
+        else left
+      in
+      let ck = keys.(child) in
+      if ck < key || (ck = key && seqs.(child) < seq) then begin
+        keys.(!i) <- ck;
+        seqs.(!i) <- seqs.(child);
+        values.(!i) <- values.(child);
+        i := child
+      end
+      else placed := true
+    end
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  values.(!i) <- value
+
+let min_key t = t.keys.(0)
+
+let pop_unsafe t =
+  let top = t.values.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then sift_down_into_root t t.keys.(last) t.seqs.(last) t.values.(last);
+  top
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.value)
+    let key = t.keys.(0) in
+    Some (key, pop_unsafe t)
   end
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
 
 let clear t =
-  t.data <- [||];
+  t.keys <- [||];
+  t.seqs <- [||];
+  t.values <- [||];
   t.size <- 0;
   t.next_seq <- 0

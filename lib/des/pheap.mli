@@ -2,7 +2,13 @@
 
     The event queue of the simulation engine. Ties on priority are broken by
     insertion order (the sequence number), which gives the engine FIFO
-    semantics for simultaneous events — essential for deterministic replay. *)
+    semantics for simultaneous events — essential for deterministic replay.
+
+    The representation is structure-of-arrays (keys in an unboxed
+    [float array]), so the steady-state push/pop cycle of the engine's
+    drain loop performs no allocation: use {!is_empty}, {!min_key} and
+    {!pop_unsafe} on the hot path; {!pop}/{!peek} remain as the safe,
+    option-returning API. *)
 
 type 'a t
 
@@ -13,7 +19,17 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> priority:float -> 'a -> unit
-(** [push t ~priority v] inserts [v]; cost O(log n). *)
+(** [push t ~priority v] inserts [v]; cost O(log n), no allocation unless
+    the backing arrays must grow. *)
+
+val min_key : 'a t -> float
+(** Priority of the minimum entry. Undefined when the heap is empty (may
+    raise [Invalid_argument]); guard with {!is_empty}. *)
+
+val pop_unsafe : 'a t -> 'a
+(** Removes and returns the minimum entry's value without allocating.
+    Undefined when the heap is empty (may raise [Invalid_argument]);
+    guard with {!is_empty}. Read {!min_key} first if the key is needed. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest [(priority, sequence)]

@@ -56,12 +56,13 @@ let send t ~src ~dst payload =
   else begin
     let base = latency_ms t ~src ~dst in
     let jitter = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
-    let envelope = { src; dst; sent_at = Des.Engine.now t.engine; payload } in
+    let sent_at = Des.Engine.now t.engine in
     let dropped_in_flight = Des.Rng.bool t.rng t.drop_probability in
     (* Partition and liveness are evaluated at delivery time so that a
        partition healed mid-flight lets late messages through, matching an
        asynchronous network where delay and disconnection are
-       indistinguishable. *)
+       indistinguishable. The envelope is only materialised on delivery, so
+       a dropped message costs nothing beyond its in-flight closure. *)
     Des.Engine.schedule t.engine ~delay_ms:(base +. jitter) (fun () ->
         if dropped_in_flight || (not (reachable t src dst)) then
           t.dropped <- t.dropped + 1
@@ -70,7 +71,7 @@ let send t ~src ~dst payload =
           | None -> t.dropped <- t.dropped + 1
           | Some handler ->
               t.delivered <- t.delivered + 1;
-              handler envelope)
+              handler { src; dst; sent_at; payload })
   end
 
 let broadcast t ~src payload =

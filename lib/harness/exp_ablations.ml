@@ -2,10 +2,10 @@ let entity = Exp_common.entity
 let maximum = Exp_common.maximum
 let seed = Exp_common.seed
 
-let samya ctx ?name config () =
+let samya ~forecaster ?name config () =
   Systems.samya ~seed ?name ~config
     ~regions:(Exp_common.client_regions ())
-    ~forecaster:(Lab.runtime_forecaster ctx) ~entity ~maximum ()
+    ~forecaster ~entity ~maximum ()
 
 let totals_table fmt outcomes =
   Report.table fmt ~title:"Totals"
@@ -36,11 +36,12 @@ let run_group ctx ~quick ~full_min ~quick_min variants =
     Lab.workload ctx ~client_regions:(Exp_common.client_regions ()) ~duration_ms
       ~usage_scale:2.2 ~start_hours:6.0 ~seed ()
   in
+  let forecaster = Lab.runtime_forecaster ctx in
   let outcomes =
-    List.map
+    Pool.map
       (fun (label, config) ->
-        Exp_common.run_system ~label ~build:(samya ctx ~name:label config) ~requests
-          ~duration_ms ~window_ms:(Exp_common.window_ms ~quick) ())
+        Exp_common.run_system ~label ~build:(samya ~forecaster ~name:label config)
+          ~requests ~duration_ms ~window_ms:(Exp_common.window_ms ~quick) ())
       variants
   in
   (duration_ms, outcomes)
@@ -93,10 +94,11 @@ let run_prediction_ablation ctx ~quick fmt =
     Lab.workload ctx ~client_regions:(Exp_common.client_regions ()) ~duration_ms
       ~usage_scale:2.2 ~start_hours:6.0 ~seed ()
   in
+  let forecaster = Lab.runtime_forecaster ctx in
   let outcomes =
-    List.map
+    Pool.map
       (fun (label, config) ->
-        let t_system = samya ctx ~name:label config () in
+        let t_system = samya ~forecaster ~name:label config () in
         let spec =
           {
             (Driver.default_spec ~client_regions:(Exp_common.client_regions ()) ~requests

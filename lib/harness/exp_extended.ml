@@ -14,12 +14,13 @@ let run_max_limit _ctx ~quick fmt =
   let requests =
     Lab.workload ctx ~client_regions:regions ~duration_ms ~start_hours:6.0 ~seed ()
   in
+  let forecaster = Lab.runtime_forecaster ctx in
   Format.fprintf fmt "@.== ext1 (§5.9.i): varying the maximum limit M_e ==@.";
   let measure variant maximum =
     let t_system =
       Systems.samya ~seed
         ~config:(Exp_common.samya_config variant)
-        ~regions ~forecaster:(Lab.runtime_forecaster ctx) ~entity ~maximum ()
+        ~regions ~forecaster ~entity ~maximum ()
     in
     let spec =
       {
@@ -42,7 +43,7 @@ let run_max_limit _ctx ~quick fmt =
     | _ -> List.fold_left (fun acc (_, v) -> acc +. v) 0.0 points /. float_of_int (List.length points)
   in
   let rows =
-    List.map
+    Pool.map
       (fun maximum ->
         let maj = measure Samya.Config.Majority maximum in
         let star = measure Samya.Config.Star maximum in
@@ -92,19 +93,19 @@ let run_arrival_rate ctx ~quick fmt =
     in
     (label, outcome.Exp_common.result.Driver.committed)
   in
+  let forecaster = Lab.runtime_forecaster ctx in
   let builders : (string * (unit -> Systems.t)) list =
     [
       ( "Avantan[(n+1)/2]",
         fun () ->
           Systems.samya ~seed
             ~config:(Exp_common.samya_config Samya.Config.Majority)
-            ~regions ~forecaster:(Lab.runtime_forecaster ctx) ~entity
-            ~maximum:Exp_common.maximum () );
+            ~regions ~forecaster ~entity ~maximum:Exp_common.maximum () );
       ("MultiPaxSys", fun () -> Systems.multipaxsys ~seed ~entity ~maximum:Exp_common.maximum ());
     ]
   in
   let rows =
-    List.map
+    Pool.map
       (fun (compress, interval_label) ->
         let measured = List.map (measure compress) builders in
         let samya_committed = List.assoc "Avantan[(n+1)/2]" measured in

@@ -2,11 +2,15 @@ let entity = Exp_common.entity
 let maximum = Exp_common.maximum
 let seed = Exp_common.seed
 
-let samya_builder ctx variant () =
-  Systems.samya ~seed
-    ~config:(Exp_common.samya_config variant)
-    ~regions:(Exp_common.client_regions ())
-    ~forecaster:(Lab.runtime_forecaster ctx) ~entity ~maximum ()
+let samya_builder ctx variant =
+  (* Force the fitted forecaster now, before the builder is handed to a
+     pool worker: training happens once, off the parallel critical path. *)
+  let forecaster = Lab.runtime_forecaster ctx in
+  fun () ->
+    Systems.samya ~seed
+      ~config:(Exp_common.samya_config variant)
+      ~regions:(Exp_common.client_regions ())
+      ~forecaster ~entity ~maximum ()
 
 let failure_systems ctx : (string * (unit -> Systems.t)) list =
   [
@@ -55,7 +59,7 @@ let run_crash ctx ~quick fmt =
     "@.== Fig 3c: throughput under crash failures (one region crashes every %.1f min) ==@."
     (Report.minutes_of_ms phase);
   let outcomes =
-    List.map
+    Pool.map
       (fun (label, build) ->
         Exp_common.run_system ~label ~build ~requests ~duration_ms
           ~window_ms:(Exp_common.window_ms ~quick)
@@ -93,7 +97,7 @@ let run_partition ctx ~quick fmt =
   Format.fprintf fmt "@.== Fig 3d: 3-2 network partition at t=%.1f min ==@."
     (Report.minutes_of_ms partition_at);
   let outcomes =
-    List.map
+    Pool.map
       (fun (label, build) ->
         Exp_common.run_system ~label ~build ~requests ~duration_ms
           ~window_ms:(Exp_common.window_ms ~quick)

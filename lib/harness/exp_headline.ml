@@ -37,7 +37,7 @@ let run ctx ~quick fmt =
     (Array.length requests)
     (Report.minutes_of_ms duration_ms);
   let outcomes =
-    List.map
+    Pool.map
       (fun (label, build) ->
         Exp_common.run_system ~label ~build ~requests ~duration_ms
           ~window_ms:(Exp_common.window_ms ~quick) ())

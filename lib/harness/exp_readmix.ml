@@ -40,7 +40,7 @@ let run ctx ~quick fmt =
     (label, Driver.average_tps result)
   in
   let per_ratio =
-    List.map (fun ratio -> (ratio, List.map (measure ratio) builders)) ratios
+    Pool.map (fun ratio -> (ratio, Pool.map (measure ratio) builders)) ratios
   in
   Report.table fmt ~title:"Fig 3h: average throughput vs read ratio"
     ~header:("read ratio" :: List.map fst builders)

@@ -41,7 +41,7 @@ let run ctx ~quick fmt =
   in
   let print_variant name variant =
     let measured =
-      List.map
+      Pool.map
         (fun n ->
           let tps, latency, redist, invariant = measure variant n in
           (n, tps, latency, redist, invariant))

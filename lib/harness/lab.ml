@@ -1,12 +1,23 @@
 type context = {
   params : Trace.Azure_trace.params;
   base : Trace.Azure_trace.t;
+  (* The two fit caches are filled lazily and may be raced by parallel
+     experiments (Pool.map); [lock] serialises the fill. Fitting is
+     deterministic, so whichever domain computes first stores the value
+     every other domain would have. *)
+  lock : Mutex.t;
   mutable table2a_cache : (string * Ml.Forecaster.t * float) list option;
   mutable runtime_cache : Ml.Forecaster.t option;
 }
 
 let create ?(params = Trace.Azure_trace.default_params) () =
-  { params; base = Trace.Azure_trace.generate params; table2a_cache = None; runtime_cache = None }
+  {
+    params;
+    base = Trace.Azure_trace.generate params;
+    lock = Mutex.create ();
+    table2a_cache = None;
+    runtime_cache = None;
+  }
 
 let params t = t.params
 
@@ -29,10 +40,28 @@ let train_lstm ?(config = lstm_config) series =
    bursty count data; the random walk is invariant to it. *)
 let log1p_array = Array.map (fun x -> log (1.0 +. Float.max 0.0 x))
 
-let fit_table2a t =
-  match t.table2a_cache with
-  | Some cached -> cached
+(* Double-checked fill of a cache slot under [t.lock]. *)
+let cached t ~get ~set fit =
+  match get t with
+  | Some value -> value
   | None ->
+      Mutex.lock t.lock;
+      let value =
+        match get t with
+        | Some value -> value (* another domain won the race *)
+        | None ->
+            let value = try fit () with exn -> Mutex.unlock t.lock; raise exn in
+            set t value;
+            value
+      in
+      Mutex.unlock t.lock;
+      value
+
+let fit_table2a t =
+  cached t
+    ~get:(fun t -> t.table2a_cache)
+    ~set:(fun t v -> t.table2a_cache <- Some v)
+    (fun () ->
       let train, test = Trace.Azure_trace.split t.base ~train_fraction:0.8 in
       let random_walk = Ml.Random_walk.forecaster () in
       let arima_model = Ml.Arima.fit ~p:3 ~d:1 (log1p_array train) in
@@ -46,14 +75,10 @@ let fit_table2a t =
           (fun history ->
             Float.max 0.0 (exp (Ml.Lstm.predict_next lstm_model (log1p_array history)) -. 1.0))
       in
-      let evaluated =
-        List.map
-          (fun (name, forecaster) ->
-            (name, forecaster, Ml.Forecaster.rolling_mae forecaster ~train ~test))
-          [ ("Random Walk", random_walk); ("ARIMA", arima); ("LSTM", lstm) ]
-      in
-      t.table2a_cache <- Some evaluated;
-      evaluated
+      List.map
+        (fun (name, forecaster) ->
+          (name, forecaster, Ml.Forecaster.rolling_mae forecaster ~train ~test))
+        [ ("Random Walk", random_walk); ("ARIMA", arima); ("LSTM", lstm) ])
 
 let demand_forecasters t =
   List.map (fun (name, forecaster, _) -> (name, forecaster)) (fit_table2a t)
@@ -61,9 +86,10 @@ let demand_forecasters t =
 let table2a t = List.map (fun (name, _, mae) -> (name, mae)) (fit_table2a t)
 
 let runtime_forecaster t =
-  match t.runtime_cache with
-  | Some f -> f
-  | None ->
+  cached t
+    ~get:(fun t -> t.runtime_cache)
+    ~set:(fun t v -> t.runtime_cache <- Some v)
+    (fun () ->
       (* The runtime Prediction Module forecasts per-epoch NET consumption
          (creations minus deletions): that is the quantity a site must
          cover with tokens. *)
@@ -74,9 +100,9 @@ let runtime_forecaster t =
             t.base.Trace.Azure_trace.creations.(i) -. t.base.Trace.Azure_trace.deletions.(i))
       in
       let train, _ = Stats.Series.split_at_fraction 0.8 net in
-      let f = Ml.Lstm.forecaster (train_lstm train) in
-      t.runtime_cache <- Some f;
-      f
+      Ml.Lstm.forecaster (train_lstm train))
+
+let prepare t = ignore (runtime_forecaster t)
 
 let mix_seed seed i = Int64.add seed (Int64.of_int ((i + 1) * 7_919))
 

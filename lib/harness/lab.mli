@@ -8,6 +8,12 @@ type context
 
 val create : ?params:Trace.Azure_trace.params -> unit -> context
 
+val prepare : context -> unit
+(** Force the expensive fitted-model caches now, on the calling domain.
+    The caches are mutex-guarded and safe to fill lazily from [Pool]
+    workers, but pre-warming before a fan-out keeps the slow LSTM training
+    off the parallel critical path. *)
+
 val params : context -> Trace.Azure_trace.params
 
 val base_trace : context -> Trace.Azure_trace.t

@@ -85,12 +85,35 @@ let find id = List.find_opt (fun e -> String.equal e.id id) all
 
 let ids () = List.map (fun e -> e.id) all
 
+let unknown_message id =
+  Printf.sprintf "unknown experiment %S; known: %s" id (String.concat ", " (ids ()))
+
+let validate requested =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | id :: rest -> (
+        match find id with
+        | Some experiment -> collect (experiment :: acc) rest
+        | None -> Error (unknown_message id))
+  in
+  collect [] requested
+
 let run_by_id ctx ~quick fmt id =
   match find id with
   | Some experiment ->
       experiment.run ctx ~quick fmt;
       Ok ()
-  | None ->
-      Error
-        (Printf.sprintf "unknown experiment %S; known: %s" id
-           (String.concat ", " (ids ())))
+  | None -> Error (unknown_message id)
+
+type rendered = { experiment : experiment; output : string; seconds : float }
+
+let run_many ?(time = fun () -> 0.0) ctx ~quick experiments =
+  Pool.map
+    (fun experiment ->
+      let buffer = Buffer.create 4096 in
+      let fmt = Format.formatter_of_buffer buffer in
+      let t0 = time () in
+      experiment.run ctx ~quick fmt;
+      Format.pp_print_flush fmt ();
+      { experiment; output = Buffer.contents buffer; seconds = time () -. t0 })
+    experiments

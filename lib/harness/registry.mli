@@ -14,4 +14,23 @@ val find : string -> experiment option
 
 val ids : unit -> string list
 
+val validate : string list -> (experiment list, string) result
+(** Resolve a list of requested ids up front; [Error] names the first
+    unknown id, so a typo fails before any experiment runs. *)
+
 val run_by_id : Lab.context -> quick:bool -> Format.formatter -> string -> (unit, string) result
+
+type rendered = {
+  experiment : experiment;
+  output : string;  (** everything the experiment wrote to its formatter *)
+  seconds : float;  (** wall-clock spent inside the run, per [time] *)
+}
+
+val run_many :
+  ?time:(unit -> float) -> Lab.context -> quick:bool -> experiment list -> rendered list
+(** Run the experiments on the {!Pool} (inline when [Pool.jobs () = 1]),
+    each rendering into a private buffer, and return the captured outputs
+    {e in submission order} — printing them in sequence is byte-identical
+    to a sequential run. [time] supplies wall-clock timestamps (default:
+    always [0.], i.e. timing disabled); the harness takes it as a
+    parameter so the library itself needs no clock dependency. *)

@@ -125,6 +125,75 @@ let pheap_property =
       let popped = drain [] in
       popped = List.sort compare keys)
 
+(* Model-based property: arbitrary interleavings of pushes (Some key) and
+   pops (None) against a stable sorted-list model. Keys are drawn from a
+   tiny domain so equal-priority ties are common, exercising the FIFO
+   tie-break through every push/pop/sift path. Values are push sequence
+   numbers, so FIFO violations are directly observable. *)
+let pheap_interleaving_property =
+  (* Insert before the first strictly-greater key: stable among equals. *)
+  let rec model_insert entry model =
+    match model with
+    | [] -> [ entry ]
+    | (key, _) :: _ when fst entry < key -> entry :: model
+    | head :: rest -> head :: model_insert entry rest
+  in
+  QCheck.Test.make ~count:500
+    ~name:"pheap: push/pop interleavings match stable sorted model"
+    QCheck.(list (option (int_bound 7)))
+    (fun ops ->
+      let h = Des.Pheap.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some k ->
+              let key = float_of_int k in
+              Des.Pheap.push h ~priority:key !next;
+              model := model_insert (key, !next) !model;
+              incr next
+          | None -> (
+              match (Des.Pheap.pop h, !model) with
+              | None, [] -> ()
+              | Some (key, value), (mkey, mvalue) :: rest ->
+                  if key <> mkey || value <> mvalue then ok := false
+                  else model := rest
+              | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      (* Drain whatever is left and check it too. *)
+      let rec drain () =
+        match (Des.Pheap.pop h, !model) with
+        | None, [] -> ()
+        | Some (key, value), (mkey, mvalue) :: rest ->
+            if key <> mkey || value <> mvalue then ok := false
+            else begin
+              model := rest;
+              drain ()
+            end
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      drain ();
+      !ok && Des.Pheap.is_empty h)
+
+let pheap_pop_unsafe_matches_pop () =
+  let h = Des.Pheap.create () in
+  let rng = Des.Rng.create 23L in
+  for i = 0 to 499 do
+    Des.Pheap.push h ~priority:(float_of_int (Des.Rng.int rng 10)) i
+  done;
+  let previous_key = ref neg_infinity in
+  let count = ref 0 in
+  while not (Des.Pheap.is_empty h) do
+    let key = Des.Pheap.min_key h in
+    ignore (Des.Pheap.pop_unsafe h);
+    check bool "min_key non-decreasing" true (key >= !previous_key);
+    previous_key := key;
+    incr count
+  done;
+  check int "drained all" 500 !count
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -177,6 +246,20 @@ let engine_cancel_timer () =
   Des.Engine.run engine;
   check bool "cancelled timer did not fire" false !fired
 
+let engine_timer_pending_lifecycle () =
+  let engine = Des.Engine.create () in
+  let armed = Des.Engine.timer engine ~delay_ms:5.0 (fun () -> ()) in
+  let cancelled = Des.Engine.timer engine ~delay_ms:10.0 (fun () -> ()) in
+  check bool "armed timer pending" true (Des.Engine.timer_pending armed);
+  Des.Engine.cancel cancelled;
+  check bool "cancelled timer not pending" false (Des.Engine.timer_pending cancelled);
+  Des.Engine.run engine;
+  check bool "fired timer not pending" false (Des.Engine.timer_pending armed);
+  (* Cancelling after firing stays a no-op: the timer is Fired, not
+     Cancelled, and remains not pending. *)
+  Des.Engine.cancel armed;
+  check bool "cancel after fire is no-op" false (Des.Engine.timer_pending armed)
+
 let engine_negative_delay_clamped () =
   let engine = Des.Engine.create () in
   Des.Engine.schedule engine ~delay_ms:5.0 (fun () ->
@@ -204,12 +287,15 @@ let suite =
     Alcotest.test_case "rng: shuffle permutes" `Quick rng_shuffle_permutes;
     Alcotest.test_case "pheap: sorted drain" `Quick pheap_ordering;
     Alcotest.test_case "pheap: fifo on ties" `Quick pheap_fifo_ties;
+    Alcotest.test_case "pheap: pop_unsafe/min_key drain" `Quick pheap_pop_unsafe_matches_pop;
     QCheck_alcotest.to_alcotest pheap_property;
+    QCheck_alcotest.to_alcotest pheap_interleaving_property;
     Alcotest.test_case "engine: time order" `Quick engine_runs_in_time_order;
     Alcotest.test_case "engine: fifo for simultaneous" `Quick engine_simultaneous_fifo;
     Alcotest.test_case "engine: nested scheduling" `Quick engine_nested_scheduling;
     Alcotest.test_case "engine: run until" `Quick engine_run_until;
     Alcotest.test_case "engine: cancellable timers" `Quick engine_cancel_timer;
+    Alcotest.test_case "engine: timer_pending lifecycle" `Quick engine_timer_pending_lifecycle;
     Alcotest.test_case "engine: negative delay clamped" `Quick engine_negative_delay_clamped;
     Alcotest.test_case "engine: past schedule clamped" `Quick engine_past_absolute_time_clamped;
   ]

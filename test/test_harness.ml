@@ -137,6 +137,58 @@ let systems_have_distinct_names () =
   in
   check int "unique" 3 (List.length (List.sort_uniq compare names))
 
+(* ------------------------------------------------------------------ *)
+(* Pool and the parallel runner *)
+
+let with_jobs jobs f =
+  Harness.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Harness.Pool.set_jobs 1) f
+
+let pool_map_preserves_order () =
+  with_jobs 4 (fun () ->
+      let expected = List.init 100 (fun i -> i * i) in
+      check (Alcotest.list int) "ordered results" expected
+        (Harness.Pool.map (fun i -> i * i) (List.init 100 Fun.id)))
+
+let pool_nested_map_runs_inline () =
+  with_jobs 3 (fun () ->
+      let out =
+        Harness.Pool.map
+          (fun i -> Harness.Pool.map (fun j -> (i * 10) + j) [ 0; 1; 2 ])
+          [ 1; 2; 3; 4 ]
+      in
+      check
+        (Alcotest.list (Alcotest.list int))
+        "nested fan-out"
+        [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+        out)
+
+let pool_map_reraises () =
+  with_jobs 2 (fun () ->
+      match Harness.Pool.map (fun i -> if i = 3 then failwith "boom" else i) [ 1; 2; 3; 4 ] with
+      | _ -> Alcotest.fail "expected the worker exception to resurface"
+      | exception Failure message -> check Alcotest.string "exception message" "boom" message)
+
+let registry_parallel_run_deterministic () =
+  (* The paper-headline experiment, quick, on a small trace: a parallel
+     registry run must render byte-identically to --jobs 1. *)
+  let ctx = small_ctx () in
+  let experiment =
+    match Harness.Registry.find "table2b" with
+    | Some e -> e
+    | None -> Alcotest.fail "table2b not registered"
+  in
+  let render jobs =
+    with_jobs jobs (fun () ->
+        match Harness.Registry.run_many ctx ~quick:true [ experiment ] with
+        | [ r ] -> r.Harness.Registry.output
+        | _ -> Alcotest.fail "expected exactly one rendered experiment")
+  in
+  let sequential = render 1 in
+  let parallel = render 4 in
+  check bool "produced output" true (String.length sequential > 200);
+  check Alcotest.string "parallel run byte-identical to --jobs 1" sequential parallel
+
 let suite =
   [
     Alcotest.test_case "driver: counts commits" `Quick driver_counts_commits;
@@ -148,4 +200,9 @@ let suite =
     Alcotest.test_case "registry: ids" `Quick registry_ids_unique_and_complete;
     Alcotest.test_case "registry: runs fig3a" `Quick registry_runs_fig3a;
     Alcotest.test_case "systems: names" `Quick systems_have_distinct_names;
+    Alcotest.test_case "pool: ordered map" `Quick pool_map_preserves_order;
+    Alcotest.test_case "pool: nested map" `Quick pool_nested_map_runs_inline;
+    Alcotest.test_case "pool: exception propagation" `Quick pool_map_reraises;
+    Alcotest.test_case "registry: parallel run deterministic" `Slow
+      registry_parallel_run_deterministic;
   ]
