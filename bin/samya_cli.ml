@@ -96,12 +96,33 @@ let trace_cmd =
 
 let demo_cmd =
   let star = Arg.(value & flag & info [ "star" ] ~doc:"Use Avantan[*].") in
-  let run star =
+  let events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Print the structured protocol-event feed (elections, accepts, decisions).")
+  in
+  let run star events =
     let variant = if star then Samya.Config.Star else Samya.Config.Majority in
     let config = { Samya.Config.default with variant } in
     let regions = Array.of_list Geonet.Region.default_five in
-    let cluster = Samya.Cluster.create ~config ~regions () in
+    (* The hook needs the virtual clock, which only exists once the cluster
+       does: close over a forward cell. *)
+    let engine_cell = ref None in
+    let on_protocol_event =
+      if not events then None
+      else
+        Some
+          (fun ~site ~entity:_ event ->
+            let now =
+              match !engine_cell with Some e -> Des.Engine.now e | None -> 0.0
+            in
+            Format.printf "  [%8.1f ms] site %d: %a@." now site
+              Samya.Avantan_core.pp_event event)
+    in
+    let cluster = Samya.Cluster.create ~config ~regions ?on_protocol_event () in
     let engine = Samya.Cluster.engine cluster in
+    engine_cell := Some engine;
     Samya.Cluster.init_entity cluster ~entity:"VM" ~maximum:5_000;
     Format.printf "5-site Samya cluster, M_e(VM) = 5000, variant %s@."
       (match variant with Samya.Config.Majority -> "Avantan[(n+1)/2]" | _ -> "Avantan[*]");
@@ -135,7 +156,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Drive a small cluster end to end and show redistribution.")
-    Term.(const run $ star)
+    Term.(const run $ star $ events)
 
 let () =
   let doc = "Samya (ICDE 2021) reproduction: geo-distributed aggregate data system" in

@@ -19,8 +19,10 @@ let sites_in regions region =
   Array.iteri (fun i r -> if r = region then out := i :: !out) regions;
   !out
 
-let samya ?seed ?name ~config ~regions ?forecaster ~entity ~maximum () =
-  let cluster = Samya.Cluster.create ?seed ~config ~regions ?forecaster () in
+let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~maximum () =
+  let cluster =
+    Samya.Cluster.create ?seed ~config ~regions ?forecaster ?on_protocol_event ()
+  in
   Samya.Cluster.init_entity cluster ~entity ~maximum;
   let default_name =
     match config.Samya.Config.variant with

@@ -26,10 +26,16 @@ val samya :
   config:Samya.Config.t ->
   regions:Geonet.Region.t array ->
   ?forecaster:Ml.Forecaster.t ->
+  ?on_protocol_event:
+    (site:int -> entity:Samya.Types.entity -> Samya.Avantan_core.event -> unit) ->
   entity:Samya.Types.entity ->
   maximum:int ->
   unit ->
   t
+(** [on_protocol_event] taps the structured {!Samya.Avantan_core.event}
+    feed of every site (elections, accepts, recoveries, decisions, aborts
+    with round counts) — protocol observability for experiments without
+    touching the workload path. *)
 
 val demarcation :
   ?seed:int64 ->

@@ -1,328 +1,42 @@
-module Ballot = Consensus.Ballot
+type t = Avantan_core.t
 
-type env = {
-  self : int;
-  n_sites : int;
-  send : int -> Protocol.msg -> unit;
-  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-  refresh_wanted : unit -> unit;
-  on_outcome : Protocol.outcome -> unit;
-  election_timeout_ms : float;
-  accept_timeout_ms : float;
-  cohort_timeout_ms : float;
-}
+type env = Avantan_core.env
 
-(* What a cohort tells a prospective leader; the leader's own state is
-   stored in the same form. *)
-type report = {
-  init_val : Protocol.site_entry;
-  r_accept_val : Protocol.value option;
-  r_accept_num : Ballot.t;
-  r_decision : bool;
-}
-
-type phase =
-  | Idle
-  | Leading_election of { responses : (int, report) Hashtbl.t }
-  | Leading_accept of { value : Protocol.value; acks : (int, unit) Hashtbl.t }
-  | Cohort_waiting  (** promised; InitVal exposed; awaiting Accept-Value *)
-  | Cohort_accepted  (** accepted a value; awaiting Decision *)
-
-type stats = {
+type stats = Avantan_core.stats = {
   led_started : int;
   led_decided : int;
   led_aborted : int;
   participated : int;
   decisions_applied : int;
+  recoveries : int;
 }
 
-type t = {
-  env : env;
-  mutable ballot : Ballot.t;
-  mutable accept_val : Protocol.value option;
-  mutable accept_num : Ballot.t;
-  mutable decision : bool;
-  mutable phase : phase;
-  mutable exposed : bool;
-      (* true from the moment our InitVal leaves this site (leading, or an
-         ElectionOk sent) until the instance concludes; while exposed the
-         site queues client traffic *)
-  mutable timer : Des.Engine.timer option;
-  mutable in_recovery : bool;
-      (* true while re-running the leader code because a leader we promised
-         to went silent; if we also hold an accepted value, election
-         timeouts must retry (stay blocked) rather than abort, since that
-         value may have been decided (§4.3.1) *)
-  mutable last_applied_origin : Ballot.t option;
-  mutable s_led_started : int;
-  mutable s_led_decided : int;
-  mutable s_led_aborted : int;
-  mutable s_participated : int;
-  mutable s_applied : int;
-}
-
-let create env =
+let policy =
   {
-    env;
-    ballot = Ballot.zero env.self;
-    accept_val = None;
-    accept_num = Ballot.zero env.self;
-    decision = false;
-    phase = Idle;
-    exposed = false;
-    timer = None;
-    in_recovery = false;
-    last_applied_origin = None;
-    s_led_started = 0;
-    s_led_decided = 0;
-    s_led_aborted = 0;
-    s_participated = 0;
-    s_applied = 0;
+    Avantan_core.name = "Avantan[(n+1)/2]";
+    seed_self = true;
+    carry_accept_state = true;
+    busy_cohort_rejects = false;
+    scope_to_participants = false;
+    abort_when_all_reported = false;
+    discard_unheard_on_abort = false;
+    discard_stragglers = false;
+    cohort_recovery = `Rerun_leader;
+    construct_ready =
+      (fun ~n_sites ~own:_ ~reports -> Hashtbl.length reports >= (n_sites / 2) + 1);
+    salvage_on_timeout = (fun ~reports:_ -> false);
+    decide_ready =
+      (fun ~n_sites ~participants:_ ~acks -> Hashtbl.length acks >= (n_sites / 2) + 1);
   }
 
-let majority t = (t.env.n_sites / 2) + 1
+let create env = Avantan_core.create ~policy env
 
-let participating t = t.exposed
+let start = Avantan_core.start
 
-let ballot t = t.ballot
+let handle = Avantan_core.handle
 
-let stats t =
-  {
-    led_started = t.s_led_started;
-    led_decided = t.s_led_decided;
-    led_aborted = t.s_led_aborted;
-    participated = t.s_participated;
-    decisions_applied = t.s_applied;
-  }
+let participating = Avantan_core.participating
 
-let stop_timer t =
-  (match t.timer with Some timer -> Des.Engine.cancel timer | None -> ());
-  t.timer <- None
+let ballot = Avantan_core.ballot
 
-let arm_timer t delay f =
-  stop_timer t;
-  t.timer <- Some (t.env.set_timer ~delay_ms:delay f)
-
-let broadcast t msg =
-  for node = 0 to t.env.n_sites - 1 do
-    if node <> t.env.self then t.env.send node msg
-  done
-
-(* Instance over: reset the Table 1c variables (BallotNum survives) and
-   report the outcome so the site can reallocate / drain its queue. *)
-let conclude t outcome =
-  stop_timer t;
-  t.phase <- Idle;
-  t.exposed <- false;
-  t.in_recovery <- false;
-  t.accept_val <- None;
-  t.accept_num <- Ballot.zero t.env.self;
-  t.decision <- false;
-  t.env.on_outcome outcome
-
-let apply_decision t value =
-  let fresh =
-    match t.last_applied_origin with
-    | Some origin -> Ballot.(value.Protocol.origin > origin)
-    | None -> true
-  in
-  if fresh then begin
-    t.last_applied_origin <- Some value.Protocol.origin;
-    t.s_applied <- t.s_applied + 1;
-    conclude t (Protocol.Decided value)
-  end
-  else if t.exposed || t.phase <> Idle then
-    (* A re-delivered decision for an instance we already applied still
-       releases us from any residual participation. *)
-    conclude t Protocol.Aborted
-
-let my_report t =
-  {
-    init_val = t.env.local_state ();
-    r_accept_val = t.accept_val;
-    r_accept_num = t.accept_num;
-    r_decision = t.decision;
-  }
-
-(* Value construction (Algorithm 1, lines 15-23) over the collected
-   reports, the leader's own included. *)
-let choose_value t responses =
-  let reports = Hashtbl.fold (fun _ r acc -> r :: acc) responses [] in
-  let decided = List.find_opt (fun r -> r.r_decision) reports in
-  match decided with
-  | Some { r_accept_val = Some v; _ } -> (v, true)
-  | Some { r_accept_val = None; _ } | None -> (
-      let best_accepted =
-        List.fold_left
-          (fun best r ->
-            match r.r_accept_val with
-            | None -> best
-            | Some v -> (
-                match best with
-                | Some (num, _) when Ballot.(num >= r.r_accept_num) -> best
-                | Some _ | None -> Some (r.r_accept_num, v)))
-          None reports
-      in
-      match best_accepted with
-      | Some (_, v) -> (v, false)
-      | None ->
-          (* Fresh construction: concatenate the InitVals, one per site,
-             deterministically ordered. *)
-          let entries =
-            Hashtbl.fold (fun site r acc -> (site, r.init_val) :: acc) responses []
-            |> List.sort compare |> List.map snd
-          in
-          (Protocol.make_value ~origin:t.ballot entries, false))
-
-let rec start t =
-  if not t.exposed then begin
-    t.ballot <- Ballot.next t.ballot ~site:t.env.self;
-    t.s_led_started <- t.s_led_started + 1;
-    let responses = Hashtbl.create 8 in
-    Hashtbl.replace responses t.env.self (my_report t);
-    t.phase <- Leading_election { responses };
-    t.exposed <- true;
-    broadcast t (Protocol.Election_get_value { bal = t.ballot });
-    arm_timer t t.env.election_timeout_ms (fun () -> on_election_timeout t);
-    (* Degenerate single-site system: we are our own majority. *)
-    try_construct t
-  end
-
-(* Recovery: run the same leader code with a higher ballot (§4.3.1). *)
-and recover t =
-  t.exposed <- false;
-  t.in_recovery <- true;
-  start t
-
-and on_election_timeout t =
-  match t.phase with
-  | Leading_election { responses } when t.in_recovery && t.accept_val <> None ->
-      (* We hold an accepted value that may have been decided elsewhere: we
-         must stay blocked until a majority tells us its fate — the
-         paper's blocked-until-majority case. Retry with a higher ballot. *)
-      ignore responses;
-      t.exposed <- false;
-      start t
-  | Leading_election { responses } ->
-      (* Fresh trigger with no majority: nothing was constructed, abort is
-         safe (§4.3.1); release any cohorts that did promise. *)
-      t.s_led_aborted <- t.s_led_aborted + 1;
-      Hashtbl.iter
-        (fun site _ ->
-          if site <> t.env.self then t.env.send site (Protocol.Discard { bal = t.ballot }))
-        responses;
-      conclude t Protocol.Aborted
-  | Leading_accept _ | Cohort_waiting | Cohort_accepted | Idle -> ()
-
-and try_construct t =
-  match t.phase with
-  | Leading_election { responses } when Hashtbl.length responses >= majority t ->
-      let value, known_decided = choose_value t responses in
-      t.accept_val <- Some value;
-      t.accept_num <- t.ballot;
-      t.decision <- known_decided;
-      if known_decided then begin
-        (* The instance was already decided by a failed leader: just
-           redistribute the decision. *)
-        broadcast t (Protocol.Decision { bal = t.ballot; value });
-        t.s_led_decided <- t.s_led_decided + 1;
-        apply_decision t value
-      end
-      else begin
-        let acks = Hashtbl.create 8 in
-        Hashtbl.replace acks t.env.self ();
-        t.phase <- Leading_accept { value; acks };
-        broadcast t (Protocol.Accept_value { bal = t.ballot; value; decision = false });
-        arm_timer t t.env.accept_timeout_ms (fun () -> on_accept_timeout t);
-        try_decide t
-      end
-  | Leading_election _ | Leading_accept _ | Cohort_waiting | Cohort_accepted | Idle -> ()
-
-and on_accept_timeout t =
-  match t.phase with
-  | Leading_accept { value; _ } ->
-      (* Value constructed but not yet fault-tolerant: the paper's blocking
-         case. Keep re-broadcasting until a majority is back (a higher
-         ballot can still supersede us). *)
-      broadcast t (Protocol.Accept_value { bal = t.ballot; value; decision = false });
-      arm_timer t t.env.accept_timeout_ms (fun () -> on_accept_timeout t)
-  | Leading_election _ | Cohort_waiting | Cohort_accepted | Idle -> ()
-
-and try_decide t =
-  match t.phase with
-  | Leading_accept { value; acks } when Hashtbl.length acks >= majority t ->
-      t.decision <- true;
-      t.s_led_decided <- t.s_led_decided + 1;
-      broadcast t (Protocol.Decision { bal = t.ballot; value });
-      apply_decision t value
-  | Leading_accept _ | Leading_election _ | Cohort_waiting | Cohort_accepted | Idle -> ()
-
-let handle t ~src msg =
-  match msg with
-  | Protocol.Election_get_value { bal } ->
-      if Ballot.(bal > t.ballot) then begin
-        t.ballot <- bal;
-        (* Lines 9-11: refresh TokensWanted from the local prediction
-           before exposing our state. *)
-        t.env.refresh_wanted ();
-        let report = my_report t in
-        (match t.phase with
-        | Idle | Leading_election _ | Leading_accept _ ->
-            (* Any leadership attempt of ours is superseded; our accepted
-               value (if any) rides along in the report. *)
-            t.s_participated <- t.s_participated + 1
-        | Cohort_waiting | Cohort_accepted -> ());
-        t.phase <- Cohort_waiting;
-        t.exposed <- true;
-        t.env.send src
-          (Protocol.Election_ok_value
-             {
-               bal;
-               init_val = report.init_val;
-               accept_val = report.r_accept_val;
-               accept_num = report.r_accept_num;
-               decision = report.r_decision;
-             });
-        arm_timer t t.env.cohort_timeout_ms (fun () -> recover t)
-      end
-  | Protocol.Election_ok_value { bal; init_val; accept_val; accept_num; decision } -> (
-      match t.phase with
-      | Leading_election { responses } when Ballot.equal bal t.ballot ->
-          Hashtbl.replace responses src
-            { init_val; r_accept_val = accept_val; r_accept_num = accept_num;
-              r_decision = decision };
-          try_construct t
-      | Leading_election _ | Leading_accept _ | Cohort_waiting | Cohort_accepted | Idle -> ())
-  | Protocol.Accept_value { bal; value; decision } ->
-      if Ballot.(bal >= t.ballot) then begin
-        t.ballot <- bal;
-        t.accept_val <- Some value;
-        t.accept_num <- bal;
-        t.decision <- decision;
-        t.env.send src (Protocol.Accept_ok { bal });
-        if decision then apply_decision t value
-        else begin
-          (match t.phase with
-          | Leading_election _ | Leading_accept _ ->
-              (* Our own attempt is superseded by an equal-or-higher ballot. *)
-              ()
-          | Idle | Cohort_waiting | Cohort_accepted -> ());
-          t.phase <- Cohort_accepted;
-          arm_timer t t.env.cohort_timeout_ms (fun () -> recover t)
-        end
-      end
-  | Protocol.Accept_ok { bal } -> (
-      match t.phase with
-      | Leading_accept { acks; _ } when Ballot.equal bal t.ballot ->
-          Hashtbl.replace acks src ();
-          try_decide t
-      | Leading_accept _ | Leading_election _ | Cohort_waiting | Cohort_accepted | Idle -> ())
-  | Protocol.Decision { bal = _; value } -> apply_decision t value
-  | Protocol.Discard { bal } -> (
-      match t.phase with
-      | Cohort_waiting when Ballot.equal bal t.ballot -> conclude t Protocol.Aborted
-      | Cohort_waiting | Cohort_accepted | Leading_election _ | Leading_accept _ | Idle -> ())
-  | Protocol.Election_reject _ | Protocol.Status_query _ | Protocol.Status_reply _ ->
-      (* Avantan[*]-only traffic; inert in the majority variant. *)
-      ()
+let stats = Avantan_core.stats

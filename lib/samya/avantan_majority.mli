@@ -1,52 +1,27 @@
 (** Avantan[(n+1)/2] — the majority-quorum redistribution protocol
-    (Algorithm 1, §4.3.1).
+    (Algorithm 1, §4.3.1), as an instantiation of {!Avantan_core}.
 
-    Three rounds / five phases per instance:
-
-    + {b Election-GetValue}: the triggering site increments its ballot and
-      solicits every site's entity state.
-    + {b ElectionOk-Value}: cohorts with a lower ballot promise, refresh
-      their [TokensWanted] from their own prediction, and reply with their
-      InitVal plus any previously accepted value (for recovery).
-    + {b Accept-Value}: with a majority of replies the leader constructs
-      [AcceptVal] — a decided value from any reply that has one, else the
-      highest-[AcceptNum] accepted value, else the concatenation of the
-      collected InitVals — and stores it fault-tolerantly.
-    + {b Accept-Ok}: cohorts with ballot at most the leader's accept.
-    + {b Decision}: on a majority of acks the leader decides and
-      distributes the decision asynchronously.
-
-    Recovery follows the paper: a cohort that times out runs the same
-    leader code with a higher ballot; quorum intersection forces it to
-    adopt any possibly-decided value (Theorem 1). A leader that cannot
-    assemble a majority in phase 1 aborts (it constructed nothing), telling
-    responders to discard; a leader that stored a value but cannot gather
-    majority acks re-broadcasts until a majority is back — the blocking
-    case §4.3.1 describes.
+    The policy: the construction quorum is a majority of all [n] sites
+    (the leader's own report included), the decision quorum is a majority
+    of acknowledgements, accepted values persist across instances and ride
+    along in election replies (so quorum intersection forces a recovering
+    leader to adopt any possibly-decided value — Theorem 1), and a cohort
+    whose leader goes silent re-runs the same leader code with a higher
+    ballot. A leader that cannot assemble a majority in phase 1 aborts (it
+    constructed nothing), telling responders to discard; a leader that
+    stored a value but cannot gather majority acks re-broadcasts until a
+    majority is back — the blocking case §4.3.1 describes.
 
     The machine is transport-agnostic and engine-driven like the
     {!Consensus} protocols; {!Site} owns request queueing and applies
     decided values through {!Reallocation}. *)
 
-type env = {
-  self : int;
-  n_sites : int;
-  send : int -> Protocol.msg -> unit;
-  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-      (** snapshot of the entity's [TokensLeft]/[TokensWanted] at this site *)
-  refresh_wanted : unit -> unit;
-      (** lines 9–11: re-predict and raise [TokensWanted] before answering
-          an election (a no-op when prediction is disabled) *)
-  on_outcome : Protocol.outcome -> unit;
-      (** participation ended: a value was decided (apply it and drain the
-          queue) or the instance aborted *)
-  election_timeout_ms : float;
-  accept_timeout_ms : float;
-  cohort_timeout_ms : float;
-}
+type t = Avantan_core.t
 
-type t
+type env = Avantan_core.env
+
+val policy : Avantan_core.policy
+(** Majority-of-n construction and decision quorums. *)
 
 val create : env -> t
 
@@ -62,12 +37,13 @@ val participating : t -> bool
 
 val ballot : t -> Consensus.Ballot.t
 
-type stats = {
+type stats = Avantan_core.stats = {
   led_started : int;  (** instances this site started or recovered *)
   led_decided : int;  (** instances this site drove to decision *)
   led_aborted : int;  (** phase-1 aborts *)
   participated : int;  (** instances joined as cohort *)
   decisions_applied : int;
+  recoveries : int;  (** always 0 in this variant *)
 }
 
 val stats : t -> stats

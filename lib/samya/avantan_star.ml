@@ -1,30 +1,8 @@
-module Ballot = Consensus.Ballot
+type t = Avantan_core.t
 
-type env = {
-  self : int;
-  n_sites : int;
-  send : int -> Protocol.msg -> unit;
-  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-  refresh_wanted : unit -> unit;
-  on_outcome : Protocol.outcome -> unit;
-  election_timeout_ms : float;
-  accept_timeout_ms : float;
-  cohort_timeout_ms : float;
-  status_retry_ms : float;
-}
+type env = Avantan_core.env
 
-type status = { s_accept_val : Protocol.value option; s_decision : bool }
-
-type phase =
-  | Idle
-  | Leading_election of { bal : Ballot.t; responses : (int, Protocol.site_entry) Hashtbl.t }
-  | Leading_accept of { bal : Ballot.t; value : Protocol.value; acks : (int, unit) Hashtbl.t }
-  | Cohort_waiting of { bal : Ballot.t; leader : int }
-  | Cohort_accepted of { bal : Ballot.t; leader : int; value : Protocol.value }
-  | Recovering of { bal : Ballot.t; value : Protocol.value; replies : (int, status) Hashtbl.t }
-
-type stats = {
+type stats = Avantan_core.stats = {
   led_started : int;
   led_decided : int;
   led_aborted : int;
@@ -33,331 +11,41 @@ type stats = {
   recoveries : int;
 }
 
-type t = {
-  env : env;
-  mutable ballot : Ballot.t; (* highest ballot seen; instance ballots live in [phase] *)
-  mutable phase : phase;
-  mutable timer : Des.Engine.timer option;
-  applied : (Ballot.t, Protocol.value) Hashtbl.t; (* origin -> decided value *)
-  mutable s_led_started : int;
-  mutable s_led_decided : int;
-  mutable s_led_aborted : int;
-  mutable s_participated : int;
-  mutable s_applied : int;
-  mutable s_recoveries : int;
-}
+let pooled_tokens reports =
+  Hashtbl.fold
+    (fun _ (r : Avantan_core.report) acc -> acc + r.init_val.Protocol.tokens_left)
+    reports 0
 
-let create env =
+let policy =
   {
-    env;
-    ballot = Ballot.zero env.self;
-    phase = Idle;
-    timer = None;
-    applied = Hashtbl.create 32;
-    s_led_started = 0;
-    s_led_decided = 0;
-    s_led_aborted = 0;
-    s_participated = 0;
-    s_applied = 0;
-    s_recoveries = 0;
+    Avantan_core.name = "Avantan[*]";
+    seed_self = false;
+    carry_accept_state = false;
+    busy_cohort_rejects = true;
+    scope_to_participants = true;
+    abort_when_all_reported = true;
+    discard_unheard_on_abort = true;
+    discard_stragglers = true;
+    cohort_recovery = `Interrogate;
+    (* The leader proceeds once the pooled spare can cover its own wants. *)
+    construct_ready =
+      (fun ~n_sites:_ ~own ~reports ->
+        pooled_tokens reports >= own.Protocol.tokens_wanted);
+    salvage_on_timeout = (fun ~reports -> pooled_tokens reports > 0);
+    (* The decision requires Accept-Oks from all of R_t, not a majority. *)
+    decide_ready =
+      (fun ~n_sites:_ ~participants ~acks ->
+        List.for_all (fun site -> Hashtbl.mem acks site) participants);
   }
 
-let participating t = t.phase <> Idle
+let create env = Avantan_core.create ~policy env
 
-let ballot t = t.ballot
+let start = Avantan_core.start
 
-let stats t =
-  {
-    led_started = t.s_led_started;
-    led_decided = t.s_led_decided;
-    led_aborted = t.s_led_aborted;
-    participated = t.s_participated;
-    decisions_applied = t.s_applied;
-    recoveries = t.s_recoveries;
-  }
+let handle = Avantan_core.handle
 
-let stop_timer t =
-  (match t.timer with Some timer -> Des.Engine.cancel timer | None -> ());
-  t.timer <- None
+let participating = Avantan_core.participating
 
-let arm_timer t delay f =
-  stop_timer t;
-  t.timer <- Some (t.env.set_timer ~delay_ms:delay f)
+let ballot = Avantan_core.ballot
 
-let members value = Protocol.participants value
-
-let send_members t value msg =
-  List.iter (fun site -> if site <> t.env.self then t.env.send site msg) (members value)
-
-let conclude t outcome =
-  stop_timer t;
-  t.phase <- Idle;
-  t.env.on_outcome outcome
-
-let apply_decision t (value : Protocol.value) =
-  if Hashtbl.mem t.applied value.origin then begin
-    if participating t then conclude t Protocol.Aborted
-  end
-  else begin
-    Hashtbl.replace t.applied value.origin value;
-    t.s_applied <- t.s_applied + 1;
-    conclude t (Protocol.Decided value)
-  end
-
-(* The leader proceeds once the pooled spare can cover its own wants. *)
-let satisfied t responses =
-  let own = t.env.local_state () in
-  let pooled =
-    Hashtbl.fold (fun _ (e : Protocol.site_entry) acc -> acc + e.tokens_left) responses
-      own.tokens_left
-  in
-  pooled >= own.tokens_wanted + own.tokens_left
-
-let rec start t =
-  if not (participating t) then begin
-    t.ballot <- Ballot.next t.ballot ~site:t.env.self;
-    t.s_led_started <- t.s_led_started + 1;
-    let responses = Hashtbl.create 8 in
-    let bal = t.ballot in
-    t.phase <- Leading_election { bal; responses };
-    for node = 0 to t.env.n_sites - 1 do
-      if node <> t.env.self then t.env.send node (Protocol.Election_get_value { bal })
-    done;
-    arm_timer t t.env.election_timeout_ms (fun () -> on_election_timeout t);
-    try_form t
-  end
-
-and on_election_timeout t =
-  match t.phase with
-  | Leading_election { bal; responses } ->
-      let pooled =
-        Hashtbl.fold (fun _ (e : Protocol.site_entry) acc -> acc + e.tokens_left) responses 0
-      in
-      if pooled > 0 then
-        (* No more responders are coming, but those who answered do hold
-           spare: form R_t from them — a partial redistribution keeps the
-           minority partition serving (Fig. 3d). *)
-        force_form t
-      else begin
-        (* Nothing to pool: abort and release everyone who may have locked
-           onto this instance. *)
-        t.s_led_aborted <- t.s_led_aborted + 1;
-        Hashtbl.iter (fun site _ -> t.env.send site (Protocol.Discard { bal })) responses;
-        for node = 0 to t.env.n_sites - 1 do
-          if node <> t.env.self && not (Hashtbl.mem responses node) then
-            t.env.send node (Protocol.Discard { bal })
-        done;
-        conclude t Protocol.Aborted
-      end
-  | Leading_accept _ | Cohort_waiting _ | Cohort_accepted _ | Recovering _ | Idle -> ()
-
-and form t bal responses =
-  let entries =
-    (t.env.self, t.env.local_state ())
-    :: Hashtbl.fold (fun site e acc -> (site, e) :: acc) responses []
-    |> List.sort compare |> List.map snd
-  in
-  let value = Protocol.make_value ~origin:bal entries in
-  (* Everyone outside R_t discards this instance. *)
-  for node = 0 to t.env.n_sites - 1 do
-    if node <> t.env.self && not (Protocol.mem_site value node) then
-      t.env.send node (Protocol.Discard { bal })
-  done;
-  let acks = Hashtbl.create 8 in
-  Hashtbl.replace acks t.env.self ();
-  t.phase <- Leading_accept { bal; value; acks };
-  send_members t value (Protocol.Accept_value { bal; value; decision = false });
-  arm_timer t t.env.accept_timeout_ms (fun () -> on_accept_timeout t);
-  try_decide t
-
-and force_form t =
-  match t.phase with
-  | Leading_election { bal; responses } -> form t bal responses
-  | Leading_accept _ | Cohort_waiting _ | Cohort_accepted _ | Recovering _ | Idle -> ()
-
-and try_form t =
-  match t.phase with
-  | Leading_election { bal; responses } when satisfied t responses ->
-      form t bal responses
-  | Leading_election _ | Leading_accept _ | Cohort_waiting _ | Cohort_accepted _
-  | Recovering _ | Idle ->
-      ()
-
-and on_accept_timeout t =
-  match t.phase with
-  | Leading_accept { bal; value; acks } ->
-      (* Blocked until every participant acks: re-send to the laggards. *)
-      List.iter
-        (fun site ->
-          if site <> t.env.self && not (Hashtbl.mem acks site) then
-            t.env.send site (Protocol.Accept_value { bal; value; decision = false }))
-        (members value);
-      arm_timer t t.env.accept_timeout_ms (fun () -> on_accept_timeout t)
-  | Leading_election _ | Cohort_waiting _ | Cohort_accepted _ | Recovering _ | Idle -> ()
-
-and try_decide t =
-  match t.phase with
-  | Leading_accept { bal; value; acks }
-    when List.for_all (fun site -> Hashtbl.mem acks site) (members value) ->
-      t.s_led_decided <- t.s_led_decided + 1;
-      send_members t value (Protocol.Decision { bal; value });
-      apply_decision t value
-  | Leading_accept _ | Leading_election _ | Cohort_waiting _ | Cohort_accepted _
-  | Recovering _ | Idle ->
-      ()
-
-and on_cohort_timeout t =
-  match t.phase with
-  | Cohort_waiting _ ->
-      (* Case (i): we never accepted a value, so the leader cannot have
-         decided without our Accept-Ok — abort unilaterally. *)
-      conclude t Protocol.Aborted
-  | Cohort_accepted { bal; value; leader = _ } ->
-      (* Case (ii): interrogate the participant set. *)
-      t.s_recoveries <- t.s_recoveries + 1;
-      let replies = Hashtbl.create 8 in
-      t.phase <- Recovering { bal; value; replies };
-      send_members t value (Protocol.Status_query { bal });
-      arm_timer t t.env.status_retry_ms (fun () -> on_status_retry t)
-  | Recovering _ | Leading_election _ | Leading_accept _ | Idle -> ()
-
-and on_status_retry t =
-  match t.phase with
-  | Recovering { bal; value; replies } ->
-      List.iter
-        (fun site ->
-          if site <> t.env.self && not (Hashtbl.mem replies site) then
-            t.env.send site (Protocol.Status_query { bal }))
-        (members value);
-      arm_timer t t.env.status_retry_ms (fun () -> on_status_retry t)
-  | Cohort_waiting _ | Cohort_accepted _ | Leading_election _ | Leading_accept _ | Idle -> ()
-
-and evaluate_recovery t =
-  match t.phase with
-  | Recovering { bal; value; replies } ->
-      let decided =
-        Hashtbl.fold
-          (fun _ s acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> if s.s_decision then s.s_accept_val else None)
-          replies None
-      in
-      (match decided with
-      | Some decided_value ->
-          send_members t decided_value (Protocol.Decision { bal; value = decided_value });
-          apply_decision t decided_value
-      | None ->
-          let someone_empty =
-            Hashtbl.fold (fun _ s acc -> acc || s.s_accept_val = None) replies false
-          in
-          if someone_empty then begin
-            (* Same as case (i): the leader can never assemble all acks. *)
-            send_members t value (Protocol.Discard { bal });
-            conclude t Protocol.Aborted
-          end
-          else begin
-            (* Decide once every participant except the (failed) leader has
-               confirmed the identical accepted value. *)
-            let leader = value.Protocol.origin.Ballot.site in
-            let needed =
-              List.filter (fun site -> site <> t.env.self && site <> leader) (members value)
-            in
-            if List.for_all (fun site -> Hashtbl.mem replies site) needed then begin
-              send_members t value (Protocol.Decision { bal; value });
-              apply_decision t value
-            end
-          end)
-  | Cohort_waiting _ | Cohort_accepted _ | Leading_election _ | Leading_accept _ | Idle -> ()
-
-let status_for t ~bal =
-  match t.phase with
-  | Cohort_accepted { bal = b; value; _ } when Ballot.equal b bal ->
-      { s_accept_val = Some value; s_decision = false }
-  | Recovering { bal = b; value; _ } when Ballot.equal b bal ->
-      { s_accept_val = Some value; s_decision = false }
-  | Leading_accept { bal = b; value; _ } when Ballot.equal b bal ->
-      { s_accept_val = Some value; s_decision = false }
-  | _ -> (
-      match Hashtbl.find_opt t.applied bal with
-      | Some value -> { s_accept_val = Some value; s_decision = true }
-      | None -> { s_accept_val = None; s_decision = false })
-
-let handle t ~src msg =
-  match msg with
-  | Protocol.Election_get_value { bal } ->
-      if participating t then t.env.send src (Protocol.Election_reject { bal = t.ballot })
-      else if Ballot.(bal > t.ballot) then begin
-        t.ballot <- bal;
-        t.env.refresh_wanted ();
-        let init_val = t.env.local_state () in
-        t.s_participated <- t.s_participated + 1;
-        t.phase <- Cohort_waiting { bal; leader = src };
-        t.env.send src
-          (Protocol.Election_ok_value
-             { bal; init_val; accept_val = None; accept_num = Ballot.zero t.env.self;
-               decision = false });
-        arm_timer t t.env.cohort_timeout_ms (fun () -> on_cohort_timeout t)
-      end
-      else t.env.send src (Protocol.Election_reject { bal = t.ballot })
-  | Protocol.Election_ok_value { bal; init_val; _ } -> (
-      match t.phase with
-      | Leading_election { bal = b; responses } when Ballot.equal b bal ->
-          Hashtbl.replace responses src init_val;
-          try_form t;
-          (* Everyone answered and nothing can be pooled: waiting out the
-             timer helps nobody, abort now. *)
-          (match t.phase with
-          | Leading_election { responses; _ }
-            when Hashtbl.length responses >= t.env.n_sites - 1 ->
-              on_election_timeout t
-          | _ -> ())
-      | Leading_election _ | Leading_accept _ | Cohort_waiting _ | Cohort_accepted _
-      | Recovering _ | Idle ->
-          (* Straggler from a closed collection: release it. *)
-          t.env.send src (Protocol.Discard { bal }))
-  | Protocol.Election_reject { bal } ->
-      (* Keep our counter ahead so the next attempt is acceptable. *)
-      if Ballot.(bal > t.ballot) then t.ballot <- { bal with Ballot.site = t.env.self }
-  | Protocol.Accept_value { bal; value; decision = _ } -> (
-      match t.phase with
-      | Cohort_waiting { bal = b; leader } when Ballot.equal b bal && leader = src ->
-          t.phase <- Cohort_accepted { bal; leader; value };
-          t.env.send src (Protocol.Accept_ok { bal });
-          arm_timer t t.env.cohort_timeout_ms (fun () -> on_cohort_timeout t)
-      | Cohort_accepted { bal = b; leader; _ } when Ballot.equal b bal && leader = src ->
-          (* Duplicate (leader retrying): re-ack. *)
-          t.env.send src (Protocol.Accept_ok { bal })
-      | Cohort_waiting _ | Cohort_accepted _ | Leading_election _ | Leading_accept _
-      | Recovering _ | Idle ->
-          ())
-  | Protocol.Accept_ok { bal } -> (
-      match t.phase with
-      | Leading_accept { bal = b; acks; _ } when Ballot.equal b bal ->
-          Hashtbl.replace acks src ();
-          try_decide t
-      | Leading_accept _ | Leading_election _ | Cohort_waiting _ | Cohort_accepted _
-      | Recovering _ | Idle ->
-          ())
-  | Protocol.Decision { bal = _; value } -> apply_decision t value
-  | Protocol.Discard { bal } -> (
-      match t.phase with
-      | Cohort_waiting { bal = b; _ } when Ballot.equal b bal -> conclude t Protocol.Aborted
-      | Cohort_accepted { bal = b; _ } when Ballot.equal b bal -> conclude t Protocol.Aborted
-      | Recovering { bal = b; _ } when Ballot.equal b bal -> conclude t Protocol.Aborted
-      | Cohort_waiting _ | Cohort_accepted _ | Recovering _ | Leading_election _
-      | Leading_accept _ | Idle ->
-          ())
-  | Protocol.Status_query { bal } ->
-      let { s_accept_val; s_decision } = status_for t ~bal in
-      t.env.send src
-        (Protocol.Status_reply
-           { bal; accept_val = s_accept_val; accept_num = bal; decision = s_decision })
-  | Protocol.Status_reply { bal; accept_val; accept_num = _; decision } -> (
-      match t.phase with
-      | Recovering { bal = b; replies; _ } when Ballot.equal b bal ->
-          Hashtbl.replace replies src { s_accept_val = accept_val; s_decision = decision };
-          evaluate_recovery t
-      | Recovering _ | Cohort_waiting _ | Cohort_accepted _ | Leading_election _
-      | Leading_accept _ | Idle ->
-          ())
+let stats = Avantan_core.stats

@@ -1,7 +1,8 @@
-(** Avantan[*] — the any-subset redistribution protocol (§4.3.2).
+(** Avantan[*] — the any-subset redistribution protocol (§4.3.2), as an
+    instantiation of {!Avantan_core}.
 
     Same message vocabulary as Avantan[(n+1)/2] with the paper's three
-    modifications:
+    modifications, expressed as the quorum policy:
 
     + the leader stops collecting ElectionOk-Values as soon as the pooled
       [TokensLeft] can satisfy its own [TokensWanted]; the responders plus
@@ -25,21 +26,12 @@
     it is "sensitive to message losses") can delay tokens but never mint
     or destroy them. *)
 
-type env = {
-  self : int;
-  n_sites : int;
-  send : int -> Protocol.msg -> unit;
-  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-  refresh_wanted : unit -> unit;
-  on_outcome : Protocol.outcome -> unit;
-  election_timeout_ms : float;
-  accept_timeout_ms : float;
-  cohort_timeout_ms : float;
-  status_retry_ms : float;  (** Status-Query retry period while blocked *)
-}
+type t = Avantan_core.t
 
-type t
+type env = Avantan_core.env
+
+val policy : Avantan_core.policy
+(** Token-satisfaction construction quorum, all-of-[R_t] decision quorum. *)
 
 val create : env -> t
 
@@ -53,7 +45,7 @@ val participating : t -> bool
 
 val ballot : t -> Consensus.Ballot.t
 
-type stats = {
+type stats = Avantan_core.stats = {
   led_started : int;
   led_decided : int;
   led_aborted : int;

@@ -6,13 +6,18 @@ type t = {
   rng : Des.Rng.t;
 }
 
-let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0) () =
+let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0)
+    ?on_protocol_event () =
   if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
   let engine = Des.Engine.create ~seed () in
   let network = Geonet.Network.create engine ~regions ~drop_probability () in
   let sites =
     Array.init (Array.length regions) (fun id ->
-        Site.create ~config ~network ~id ?forecaster ())
+        let on_protocol_event =
+          Option.map (fun f -> fun ~entity event -> f ~site:id ~entity event)
+            on_protocol_event
+        in
+        Site.create ~config ~network ~id ?forecaster ?on_protocol_event ())
   in
   { engine; network; regions; sites; rng = Des.Rng.split (Des.Engine.rng engine) }
 
@@ -101,6 +106,11 @@ let total_redistributions t =
   Array.fold_left
     (fun acc site -> acc + (Site.stats site).Site.redistributions_led)
     0 t.sites
+
+let aggregate_protocol_stats t =
+  Array.fold_left
+    (fun acc site -> Avantan_core.add_stats acc (Site.protocol_stats site))
+    Avantan_core.zero_stats t.sites
 
 let aggregate_stats t =
   Array.fold_left

@@ -19,10 +19,13 @@ val create :
   regions:Geonet.Region.t array ->
   ?forecaster:Ml.Forecaster.t ->
   ?drop_probability:float ->
+  ?on_protocol_event:(site:int -> entity:Types.entity -> Avantan_core.event -> unit) ->
   unit ->
   t
 (** One site per entry of [regions] (node ids follow array order). The
-    forecaster, when given, is shared by all sites' Prediction Modules. *)
+    forecaster, when given, is shared by all sites' Prediction Modules.
+    [on_protocol_event] observes every protocol instance of every site —
+    see {!Site.create}. *)
 
 val engine : t -> Des.Engine.t
 val network : t -> Site.net_msg Geonet.Network.t
@@ -66,3 +69,7 @@ val total_redistributions : t -> int
     "208 vs 792 redistributions" metric). *)
 
 val aggregate_stats : t -> Site.stats
+
+val aggregate_protocol_stats : t -> Avantan_core.stats
+(** The unified {!Avantan_core.stats}, summed over all sites and
+    entities (both variants share the one counter set). *)

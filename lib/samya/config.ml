@@ -18,6 +18,7 @@ type t = {
   local_processing_ms : float;
   read_timeout_ms : float;
   anti_entropy_ms : float;
+  decided_log_retention : int;
   reallocation_policy : Reallocation.policy;
 }
 
@@ -40,6 +41,7 @@ let default =
     local_processing_ms = 0.15;
     read_timeout_ms = 600.0;
     anti_entropy_ms = 30_000.0;
+    decided_log_retention = 1_024;
     reallocation_policy = Reallocation.default_policy;
   }
 
@@ -53,4 +55,5 @@ let validate t =
   else if t.cohort_timeout_ms <= t.election_timeout_ms then
     Error "cohort timeout must exceed the election timeout"
   else if t.local_processing_ms < 0.0 then Error "local_processing_ms must be >= 0"
+  else if t.decided_log_retention < 1 then Error "decided_log_retention must be >= 1"
   else Ok ()

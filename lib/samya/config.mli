@@ -42,6 +42,13 @@ type t = {
           periodically asks peers for decided redistributions involving it
           and applies any it missed (lost Decision messages, aborted
           recoveries). 0 disables it. Idempotent by instance origin. *)
+  decided_log_retention : int;
+      (** how many decided values each site keeps per entity (newest
+          first) to answer the Recovery-Query of a peer that was down when
+          they happened. A crashed site only ever misses decisions from
+          its own crash window, so recovery replays correctly as long as
+          fewer than this many instances decide while a peer is down;
+          older entries are dropped to bound site state. *)
   reallocation_policy : Reallocation.policy;
       (** the pluggable Redistribution Module (§4.4); must be identical at
           every site, since participants compute the outcome locally *)

@@ -1,0 +1,79 @@
+type t = {
+  entity : Types.entity;
+  mutable tokens_left : int;
+  mutable tokens_wanted : int;
+  mutable acquired_net : int;
+  queue : (Types.request * (Types.response -> unit)) Queue.t;
+  tracker : Demand_tracker.t;
+      (** per-epoch net token consumption and peak concurrent draw *)
+  applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;
+      (** decisions already applied — each instance moves tokens exactly
+          once, whether it arrives via the protocol or via recovery *)
+  mutable decided_log : Protocol.value list;
+      (** decisions this site has seen, newest first, capped at
+          [decided_log_retention]; answers the Recovery_query of a peer
+          that was down when they happened *)
+  mutable decided_log_len : int;
+  mutable av : Avantan_core.t option;
+  mutable last_redistribution_ms : float;
+  mutable last_proactive_check_ms : float;
+  mutable backoff_ms : float;
+      (** current redistribution spacing: the configured cooldown normally,
+          doubled (capped) after each instance that failed to satisfy this
+          site — triggering again during a global token famine only burns
+          synchronization rounds *)
+  mutable request_scale : float;
+      (** multiplier on the requested headroom, halved after each
+          unsatisfied instance: Algorithm 2's rejection is all-or-nothing,
+          so when the pool runs low a site must shrink its ask to drain
+          what remains instead of being rejected repeatedly *)
+}
+
+let create ~engine ~(config : Config.t) ~entity ~tokens =
+  if tokens < 0 then invalid_arg "Entity_state.create: negative tokens";
+  {
+    entity;
+    tokens_left = tokens;
+    tokens_wanted = 0;
+    acquired_net = 0;
+    queue = Queue.create ();
+    tracker =
+      Demand_tracker.create ~engine ~epoch_ms:config.Config.epoch_ms
+        ~capacity:config.Config.history_epochs;
+    applied_origins = Hashtbl.create 64;
+    decided_log = [];
+    decided_log_len = 0;
+    av = None;
+    last_redistribution_ms = neg_infinity;
+    last_proactive_check_ms = neg_infinity;
+    backoff_ms = config.Config.redistribution_cooldown_ms;
+    request_scale = 1.0;
+  }
+
+let entity t = t.entity
+
+let participating t =
+  match t.av with Some av -> Avantan_core.participating av | None -> false
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Remember a decided value for peer recovery, newest first, dropping
+   entries beyond the retention cap. *)
+let record_decision t ~retention value =
+  t.decided_log <- value :: t.decided_log;
+  if t.decided_log_len >= retention then
+    (* Already full: drop the oldest entry to make room. *)
+    t.decided_log <- take retention t.decided_log
+  else t.decided_log_len <- t.decided_log_len + 1
+
+let decided_log t = t.decided_log
+
+let decided_log_length t = t.decided_log_len
+
+(* The decisions that involve [peer]: those are the instances that may
+   have moved its tokens. *)
+let decisions_for t ~peer =
+  List.filter (fun value -> Protocol.mem_site value peer) t.decided_log

@@ -1,0 +1,58 @@
+(** Per-entity site state, shared by the four site modules.
+
+    A {!Site} is a thin coordinator over one of these records per entity:
+    {!Request_handler} serves and queues against [tokens_left] and
+    [queue], {!Prediction} reads the demand [tracker] and raises
+    [tokens_wanted], {!Protocol_driver} runs the attached Avantan instance
+    and applies decided values, and {!Redistribution_policy} owns the
+    cooldown/backoff/request-scale fields. *)
+
+type t = {
+  entity : Types.entity;
+  mutable tokens_left : int;
+  mutable tokens_wanted : int;
+  mutable acquired_net : int;
+  queue : (Types.request * (Types.response -> unit)) Queue.t;
+  tracker : Demand_tracker.t;
+      (** per-epoch net token consumption and peak concurrent draw *)
+  applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;
+      (** decisions already applied — each instance moves tokens exactly
+          once, whether it arrives via the protocol or via recovery *)
+  mutable decided_log : Protocol.value list;
+      (** decisions this site has seen, newest first, capped at
+          {!Config.t.decided_log_retention}; answers the Recovery_query of
+          a peer that was down when they happened *)
+  mutable decided_log_len : int;
+  mutable av : Avantan_core.t option;
+  mutable last_redistribution_ms : float;
+  mutable last_proactive_check_ms : float;
+  mutable backoff_ms : float;
+      (** current redistribution spacing: the configured cooldown normally,
+          doubled (capped) after each instance that failed to satisfy this
+          site — see {!Redistribution_policy} *)
+  mutable request_scale : float;
+      (** multiplier on the requested headroom, halved after each
+          unsatisfied instance — see {!Redistribution_policy} *)
+}
+
+val create :
+  engine:Des.Engine.t -> config:Config.t -> entity:Types.entity -> tokens:int -> t
+(** Raises [Invalid_argument] on negative [tokens]. The protocol instance
+    ([av]) is attached separately by {!Protocol_driver.attach}. *)
+
+val entity : t -> Types.entity
+
+val participating : t -> bool
+(** [true] while the attached protocol instance holds this entity's state
+    exposed — the interval during which requests must queue. *)
+
+val record_decision : t -> retention:int -> Protocol.value -> unit
+(** Prepend a decided value to the recovery log, dropping the oldest entry
+    once [retention] values are held. *)
+
+val decided_log : t -> Protocol.value list
+
+val decided_log_length : t -> int
+
+val decisions_for : t -> peer:int -> Protocol.value list
+(** The retained decisions whose participant set includes [peer]. *)

@@ -1,0 +1,139 @@
+type t = {
+  config : Config.t;
+  engine : Des.Engine.t;
+  site_id : int;
+  n_sites : int;
+  send : entity:Types.entity -> dst:int -> Protocol.msg -> unit;
+  set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
+  refresh_wanted : Entity_state.t -> unit;
+  register_outcome : Entity_state.t -> satisfied:bool -> unit;
+  on_event : Types.entity -> Avantan_core.event -> unit;
+  mutable drain : Entity_state.t -> unit;
+      (** request handler's queue replay; wired after construction to
+          break the handler/driver cycle *)
+}
+
+let create ~config ~engine ~site_id ~n_sites ~send ~set_timer ~refresh_wanted
+    ~register_outcome ~on_event () =
+  {
+    config;
+    engine;
+    site_id;
+    n_sites;
+    send;
+    set_timer;
+    refresh_wanted;
+    register_outcome;
+    on_event;
+    drain = (fun _ -> ());
+  }
+
+let set_drain t f = t.drain <- f
+
+let now t = Des.Engine.now t.engine
+
+(* Apply a decided value's reallocation as a delta against the InitVal
+   this site contributed — idempotent per instance (origin-keyed) and
+   conserving under races; see DESIGN.md. Returns whether this site's
+   request was satisfied (None when the value does not involve it or was
+   already applied). *)
+let apply_value t (ctx : Entity_state.t) (value : Protocol.value) =
+  if Hashtbl.mem ctx.applied_origins value.Protocol.origin then None
+  else begin
+    Hashtbl.replace ctx.applied_origins value.Protocol.origin ();
+    Entity_state.record_decision ctx
+      ~retention:t.config.Config.decided_log_retention value;
+    let mine =
+      List.find_opt
+        (fun (e : Protocol.site_entry) -> e.site = t.site_id)
+        value.Protocol.entries
+    in
+    match mine with
+    | Some init_entry ->
+        let grants =
+          Reallocation.redistribute_with t.config.Config.reallocation_policy
+            value.Protocol.entries
+        in
+        let grant =
+          List.find (fun (g : Reallocation.grant) -> g.site = t.site_id) grants
+        in
+        let delta = grant.Reallocation.new_tokens_left - init_entry.tokens_left in
+        ctx.tokens_left <- ctx.tokens_left + delta;
+        Some (init_entry.tokens_wanted = 0 || grant.Reallocation.wanted_satisfied)
+    | None -> None
+  end
+
+(* Protocol instance finished: apply the decision, report satisfaction to
+   the redistribution policy, and hand the queue back to the request
+   handler. *)
+let on_outcome t (ctx : Entity_state.t) outcome =
+  ctx.last_redistribution_ms <- now t;
+  (match outcome with
+  | Protocol.Decided value ->
+      (match apply_value t ctx value with
+      | Some satisfied -> t.register_outcome ctx ~satisfied
+      | None -> ());
+      ctx.tokens_wanted <- 0
+  | Protocol.Aborted ->
+      t.register_outcome ctx ~satisfied:(ctx.tokens_wanted = 0);
+      ctx.tokens_wanted <- 0);
+  t.drain ctx
+
+(* Instantiate the configured Avantan variant for one entity: both are
+   the shared {!Avantan_core} machine under different quorum policies. *)
+let attach t (ctx : Entity_state.t) =
+  let env =
+    {
+      Avantan_core.self = t.site_id;
+      n_sites = t.n_sites;
+      send = (fun dst msg -> t.send ~entity:ctx.entity ~dst msg);
+      set_timer = t.set_timer;
+      local_state =
+        (fun () ->
+          {
+            Protocol.site = t.site_id;
+            tokens_left = ctx.tokens_left;
+            tokens_wanted = ctx.tokens_wanted;
+          });
+      refresh_wanted = (fun () -> t.refresh_wanted ctx);
+      on_outcome = (fun outcome -> on_outcome t ctx outcome);
+      on_event = (fun event -> t.on_event ctx.entity event);
+      election_timeout_ms = t.config.Config.election_timeout_ms;
+      accept_timeout_ms = t.config.Config.accept_timeout_ms;
+      cohort_timeout_ms = t.config.Config.cohort_timeout_ms;
+      status_retry_ms = t.config.Config.status_retry_ms;
+    }
+  in
+  let policy =
+    match t.config.Config.variant with
+    | Config.Majority -> Avantan_majority.policy
+    | Config.Star -> Avantan_star.policy
+  in
+  ctx.av <- Some (Avantan_core.create ~policy env)
+
+let trigger _t (ctx : Entity_state.t) =
+  match ctx.av with Some av -> Avantan_core.start av | None -> ()
+
+let handle _t (ctx : Entity_state.t) ~src msg =
+  match ctx.av with Some av -> Avantan_core.handle av ~src msg | None -> ()
+
+(* The retained decisions that involve [peer]: those are the instances
+   that may have moved its tokens while it was down. *)
+let recovery_decisions _t (ctx : Entity_state.t) ~peer =
+  Entity_state.decisions_for ctx ~peer
+
+(* Apply missed decisions in instance order; the origin-keyed dedupe
+   makes overlapping peer replies harmless. *)
+let apply_recovery t (ctx : Entity_state.t) decisions =
+  let ordered =
+    List.sort
+      (fun (a : Protocol.value) (b : Protocol.value) ->
+        Consensus.Ballot.compare a.Protocol.origin b.Protocol.origin)
+      decisions
+  in
+  List.iter (fun value -> ignore (apply_value t ctx value)) ordered
+
+let protocol_stats _t (ctx : Entity_state.t) =
+  match ctx.av with
+  | Some av -> Avantan_core.stats av
+  | None -> Avantan_core.zero_stats

@@ -1,0 +1,53 @@
+(** The protocol-facing module of a site: instantiates the configured
+    Avantan variant per entity (both are the shared {!Avantan_core}
+    machine under different quorum policies), applies decided values to
+    the local pool, and owns the recovery path over the bounded decided
+    log.
+
+    Decision application is idempotent per instance (origin-keyed) and
+    conserving under races: each site moves its own tokens by the delta
+    between its InitVal contribution and the grant the reallocation policy
+    computes from the decided value. *)
+
+type t
+
+val create :
+  config:Config.t ->
+  engine:Des.Engine.t ->
+  site_id:int ->
+  n_sites:int ->
+  send:(entity:Types.entity -> dst:int -> Protocol.msg -> unit) ->
+  set_timer:(delay_ms:float -> (unit -> unit) -> Des.Engine.timer) ->
+  refresh_wanted:(Entity_state.t -> unit) ->
+  register_outcome:(Entity_state.t -> satisfied:bool -> unit) ->
+  on_event:(Types.entity -> Avantan_core.event -> unit) ->
+  unit ->
+  t
+
+val set_drain : t -> (Entity_state.t -> unit) -> unit
+(** Wire the request handler's queue replay, called when an instance
+    ends. Deferred past construction to break the handler/driver cycle. *)
+
+val attach : t -> Entity_state.t -> unit
+(** Create the entity's protocol instance and store it in the state
+    record. *)
+
+val trigger : t -> Entity_state.t -> unit
+(** Start a redistribution as leader (no-op while already
+    participating). *)
+
+val handle : t -> Entity_state.t -> src:int -> Protocol.msg -> unit
+
+val apply_value : t -> Entity_state.t -> Protocol.value -> bool option
+(** Apply one decided value. [Some satisfied] when this site contributed
+    an InitVal and the value was new; [None] when it does not involve
+    this site or was already applied. *)
+
+val recovery_decisions : t -> Entity_state.t -> peer:int -> Protocol.value list
+(** What to answer a recovering peer: the retained decisions whose
+    participant set includes it. *)
+
+val apply_recovery : t -> Entity_state.t -> Protocol.value list -> unit
+(** Apply a peer's recovery reply in instance (ballot) order. *)
+
+val protocol_stats : t -> Entity_state.t -> Avantan_core.stats

@@ -1,0 +1,24 @@
+type t = { config : Config.t }
+
+let create ~config = { config }
+
+let cooldown_ok _t ~now (ctx : Entity_state.t) =
+  now -. ctx.last_redistribution_ms >= ctx.backoff_ms
+
+(* A reactive trigger has a client in hand that local tokens cannot serve:
+   it may redistribute immediately unless the site is backing off from a
+   token famine (recent instances failed to satisfy it). *)
+let reactive_ok t ~now (ctx : Entity_state.t) =
+  ctx.backoff_ms <= t.config.Config.redistribution_cooldown_ms || cooldown_ok t ~now ctx
+
+let register_outcome t (ctx : Entity_state.t) ~satisfied =
+  if satisfied then begin
+    ctx.backoff_ms <- t.config.Config.redistribution_cooldown_ms;
+    ctx.request_scale <- 1.0
+  end
+  else begin
+    ctx.backoff_ms <-
+      Float.min (2.0 *. ctx.backoff_ms)
+        (32.0 *. t.config.Config.redistribution_cooldown_ms);
+    ctx.request_scale <- Float.max (ctx.request_scale /. 2.0) 0.05
+  end

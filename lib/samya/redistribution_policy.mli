@@ -1,0 +1,25 @@
+(** When a site may trigger a redistribution, and how it adapts to token
+    famine.
+
+    Owns the cooldown/backoff/request-scale fields of {!Entity_state.t}:
+    the spacing between instances one site triggers, exponential backoff
+    (capped at 32x the configured cooldown) after instances that failed to
+    satisfy the site, and the matching shrink of the requested headroom —
+    Algorithm 2's rejection is all-or-nothing, so a site facing a
+    shrinking global pool must lower its ask to keep draining what
+    remains. *)
+
+type t
+
+val create : config:Config.t -> t
+
+val cooldown_ok : t -> now:float -> Entity_state.t -> bool
+(** Has the entity's current backoff elapsed since its last instance? *)
+
+val reactive_ok : t -> now:float -> Entity_state.t -> bool
+(** May a reactive trigger (client in hand) start an instance now?
+    Immediately unless the site is backing off from a famine. *)
+
+val register_outcome : t -> Entity_state.t -> satisfied:bool -> unit
+(** Record whether the instance satisfied this site's request: reset the
+    backoff and request scale on success, double/halve them on failure. *)

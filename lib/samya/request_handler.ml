@@ -1,0 +1,191 @@
+type read_ctx = {
+  r_entity : Types.entity;
+  mutable acc : int;
+  mutable replies : int;
+  r_reply : Types.response -> unit;
+  mutable r_timer : Des.Engine.timer option;
+}
+
+(* What request handling needs from the rest of the site: the prediction
+   module's ask sizing and proactive check, the redistribution policy's
+   famine gate, and the protocol driver's trigger. *)
+type deps = {
+  alive : unit -> bool;
+  reactive_ok : Entity_state.t -> bool;
+  reactive_wanted : Entity_state.t -> amount:int -> int;
+  trigger : Entity_state.t -> unit;
+  proactive : Entity_state.t -> unit;
+  broadcast_read_query : entity:Types.entity -> rid:int -> unit;
+}
+
+type t = {
+  config : Config.t;
+  engine : Des.Engine.t;
+  n_sites : int;
+  deps : deps;
+  pending_reads : (int, read_ctx) Hashtbl.t;
+  mutable next_rid : int;
+  mutable busy_until : float;
+  mutable s_acquires : int;
+  mutable s_releases : int;
+  mutable s_reads : int;
+  mutable s_rejected : int;
+  mutable s_queued_peak : int;
+  mutable s_reactive : int;
+}
+
+let create ~config ~engine ~n_sites deps =
+  {
+    config;
+    engine;
+    n_sites;
+    deps;
+    pending_reads = Hashtbl.create 16;
+    next_rid = 0;
+    busy_until = 0.0;
+    s_acquires = 0;
+    s_releases = 0;
+    s_reads = 0;
+    s_rejected = 0;
+    s_queued_peak = 0;
+    s_reactive = 0;
+  }
+
+let now t = Des.Engine.now t.engine
+
+let served_acquires t = t.s_acquires
+let served_releases t = t.s_releases
+let served_reads t = t.s_reads
+let rejected t = t.s_rejected
+let queued_peak t = t.s_queued_peak
+let reactive_triggers t = t.s_reactive
+
+(* Requests occupy the site's CPU for [local_processing_ms] each; the
+   reply carries the queueing-for-CPU delay, which is what saturates a
+   hot site during demand spikes. *)
+let reply_after_processing t reply response =
+  let start = Float.max (now t) t.busy_until in
+  let finish = start +. t.config.Config.local_processing_ms in
+  t.busy_until <- finish;
+  Des.Engine.schedule_at t.engine ~time_ms:finish (fun () -> reply response)
+
+(* Serve a single acquire/release against local state. In [drain] mode the
+   request was queued behind a redistribution that just ended, and an
+   unservable acquire is rejected rather than triggering another
+   instance. *)
+let serve_local t (ctx : Entity_state.t) request reply ~drain =
+  match request with
+  | Types.Release { amount; _ } ->
+      ctx.tokens_left <- ctx.tokens_left + amount;
+      ctx.acquired_net <- ctx.acquired_net - amount;
+      t.s_releases <- t.s_releases + 1;
+      reply_after_processing t reply Types.Granted
+  | Types.Acquire { amount; _ } ->
+      if not t.config.Config.enforce_constraint then begin
+        ctx.acquired_net <- ctx.acquired_net + amount;
+        t.s_acquires <- t.s_acquires + 1;
+        reply_after_processing t reply Types.Granted
+      end
+      else if ctx.tokens_left >= amount then begin
+        ctx.tokens_left <- ctx.tokens_left - amount;
+        ctx.acquired_net <- ctx.acquired_net + amount;
+        t.s_acquires <- t.s_acquires + 1;
+        reply_after_processing t reply Types.Granted;
+        if not drain then t.deps.proactive ctx
+      end
+      else if
+        (not drain)
+        && t.config.Config.redistribution_enabled
+        && (not (Entity_state.participating ctx))
+        && t.deps.reactive_ok ctx
+      then begin
+        (* Reactive redistribution (Equation 5): queue the client behind
+           the instance the prediction module sizes for us. *)
+        t.s_reactive <- t.s_reactive + 1;
+        let wanted = t.deps.reactive_wanted ctx ~amount in
+        ctx.tokens_wanted <- max ctx.tokens_wanted wanted;
+        ctx.last_redistribution_ms <- now t;
+        Queue.push (request, reply) ctx.queue;
+        t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+        t.deps.trigger ctx
+      end
+      else begin
+        t.s_rejected <- t.s_rejected + 1;
+        reply_after_processing t reply Types.Rejected
+      end
+  | Types.Read _ -> (* handled before dispatch *) assert false
+
+let drain_queue t (ctx : Entity_state.t) =
+  let items = Queue.length ctx.queue in
+  for _ = 1 to items do
+    let request, reply = Queue.pop ctx.queue in
+    if Entity_state.participating ctx then
+      (* A re-triggered instance started while draining: keep queueing. *)
+      Queue.push (request, reply) ctx.queue
+    else
+      (* [drain:false] lets an unservable acquire re-trigger a reactive
+         redistribution (subject to famine backoff) instead of being
+         rejected outright. *)
+      serve_local t ctx request reply ~drain:false
+  done
+
+(* Entry point for an acquire/release on a known entity: record demand,
+   then serve locally — or queue while a redistribution holds the
+   entity's state exposed. *)
+let accept t (ctx : Entity_state.t) request reply =
+  let record_and_dispatch ~net =
+    Demand_tracker.record ctx.tracker ~amount:net;
+    if Entity_state.participating ctx then begin
+      Queue.push (request, reply) ctx.queue;
+      t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue)
+    end
+    else serve_local t ctx request reply ~drain:false
+  in
+  match request with
+  | Types.Acquire { amount; _ } -> record_and_dispatch ~net:amount
+  | Types.Release { amount; _ } -> record_and_dispatch ~net:(-amount)
+  | Types.Read _ -> (* handled before dispatch *) assert false
+
+(* ------------------------------------------------------------------ *)
+(* Reads: global snapshot by fan-out (§5.8)                             *)
+
+let finish_read t rid =
+  match Hashtbl.find_opt t.pending_reads rid with
+  | None -> ()
+  | Some read ->
+      (match read.r_timer with Some timer -> Des.Engine.cancel timer | None -> ());
+      Hashtbl.remove t.pending_reads rid;
+      t.s_reads <- t.s_reads + 1;
+      reply_after_processing t read.r_reply
+        (Types.Read_result { tokens_available = read.acc })
+
+let serve_read t ~entity ~own reply =
+  if t.n_sites = 1 then begin
+    t.s_reads <- t.s_reads + 1;
+    reply_after_processing t reply (Types.Read_result { tokens_available = own })
+  end
+  else begin
+    let rid = t.next_rid in
+    t.next_rid <- t.next_rid + 1;
+    let read =
+      { r_entity = entity; acc = own; replies = 0; r_reply = reply; r_timer = None }
+    in
+    Hashtbl.replace t.pending_reads rid read;
+    read.r_timer <-
+      Some
+        (Des.Engine.timer t.engine ~delay_ms:t.config.Config.read_timeout_ms (fun () ->
+             if t.deps.alive () then finish_read t rid));
+    t.deps.broadcast_read_query ~entity ~rid
+  end
+
+let on_read_reply t ~rid ~tokens_left =
+  match Hashtbl.find_opt t.pending_reads rid with
+  | None -> ()
+  | Some read ->
+      read.acc <- read.acc + tokens_left;
+      read.replies <- read.replies + 1;
+      if read.replies >= t.n_sites - 1 then finish_read t rid
+
+(* A crash drops in-flight reads; their timers fire into the dead rid and
+   no-op. *)
+let on_crash t = Hashtbl.reset t.pending_reads

@@ -1,0 +1,56 @@
+(** The Request Handler Module of a site (§4.1): serves acquires and
+    releases against the local token pool, models the per-request CPU
+    occupancy, queues clients while a redistribution holds the entity's
+    state exposed, and fans global-snapshot reads out to all peers
+    (§5.8).
+
+    It is wired to the other three site modules through {!deps} closures:
+    {!Prediction} sizes reactive asks and runs the proactive check,
+    {!Redistribution_policy} gates triggers during famine, and
+    {!Protocol_driver} starts instances and drains the queue when they
+    end. *)
+
+type deps = {
+  alive : unit -> bool;
+  reactive_ok : Entity_state.t -> bool;
+  reactive_wanted : Entity_state.t -> amount:int -> int;
+  trigger : Entity_state.t -> unit;
+  proactive : Entity_state.t -> unit;
+  broadcast_read_query : entity:Types.entity -> rid:int -> unit;
+}
+
+type t
+
+val create : config:Config.t -> engine:Des.Engine.t -> n_sites:int -> deps -> t
+
+val accept :
+  t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> unit
+(** Dispatch a validated acquire/release: record demand, then serve
+    locally or queue while the entity is redistributing. Read requests
+    must go to {!serve_read} instead. *)
+
+val serve_local :
+  t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> drain:bool -> unit
+(** Serve one acquire/release. In [drain] mode (queue replay after an
+    instance ended) an unservable acquire is rejected rather than
+    re-triggering. *)
+
+val drain_queue : t -> Entity_state.t -> unit
+(** Replay the queue after an instance ended; requests re-queue if a new
+    instance started meanwhile. *)
+
+val serve_read : t -> entity:Types.entity -> own:int -> (Types.response -> unit) -> unit
+(** Start a global-snapshot read: [own] tokens plus a fan-out to peers,
+    answered after quorum-of-all or timeout. *)
+
+val on_read_reply : t -> rid:int -> tokens_left:int -> unit
+
+val on_crash : t -> unit
+(** Drop in-flight reads (their timers no-op on the dead read id). *)
+
+val served_acquires : t -> int
+val served_releases : t -> int
+val served_reads : t -> int
+val rejected : t -> int
+val queued_peak : t -> int
+val reactive_triggers : t -> int

@@ -7,45 +7,6 @@ type net_msg =
           missed while crashed *)
   | Recovery_reply of { entity : Types.entity; decisions : Protocol.value list }
 
-type av = Maj of Avantan_majority.t | St of Avantan_star.t
-
-type entity_ctx = {
-  entity : Types.entity;
-  mutable tokens_left : int;
-  mutable tokens_wanted : int;
-  mutable acquired_net : int;
-  queue : (Types.request * (Types.response -> unit)) Queue.t;
-  tracker : Demand_tracker.t;
-      (** per-epoch net token consumption and peak concurrent draw *)
-  applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;
-      (** decisions already applied — each instance moves tokens exactly
-          once, whether it arrives via the protocol or via recovery *)
-  mutable decided_log : Protocol.value list;
-      (** decisions this site has seen, newest first; answers the
-          Recovery_query of a peer that was down when they happened *)
-  mutable av : av option;
-  mutable last_redistribution_ms : float;
-  mutable last_proactive_check_ms : float;
-  mutable backoff_ms : float;
-      (** current redistribution spacing: the configured cooldown normally,
-          doubled (capped) after each instance that failed to satisfy this
-          site — triggering again during a global token famine only burns
-          synchronization rounds *)
-  mutable request_scale : float;
-      (** multiplier on the requested headroom, halved after each
-          unsatisfied instance: Algorithm 2's rejection is all-or-nothing,
-          so when the pool runs low a site must shrink its ask to drain
-          what remains instead of being rejected repeatedly *)
-}
-
-type read_ctx = {
-  r_entity : Types.entity;
-  mutable acc : int;
-  mutable replies : int;
-  r_reply : Types.response -> unit;
-  mutable r_timer : Des.Engine.timer option;
-}
-
 type stats = {
   served_acquires : int;
   served_releases : int;
@@ -59,330 +20,132 @@ type stats = {
   reactive_triggers : int;
 }
 
+(* The site is a thin coordinator: per-entity state lives in
+   {!Entity_state}, and the four Fig. 2 modules — {!Request_handler},
+   {!Prediction}, {!Protocol_driver}, {!Redistribution_policy} — are
+   wired to each other through closures built in {!create}. *)
 type t = {
   config : Config.t;
   engine : Des.Engine.t;
   network : net_msg Geonet.Network.t;
   site_id : int;
   n_sites : int;
-  forecaster : Ml.Forecaster.t option;
-  entities : (Types.entity, entity_ctx) Hashtbl.t;
-  pending_reads : (int, read_ctx) Hashtbl.t;
-  mutable next_rid : int;
-  mutable is_alive : bool;
-  mutable busy_until : float;
-  mutable s_acquires : int;
-  mutable s_releases : int;
-  mutable s_reads : int;
-  mutable s_rejected : int;
-  mutable s_queued_peak : int;
-  mutable s_proactive : int;
-  mutable s_reactive : int;
+  entities : (Types.entity, Entity_state.t) Hashtbl.t;
+  is_alive : bool ref;
+  prediction : Prediction.t;
+  handler : Request_handler.t;
+  driver : Protocol_driver.t;
 }
 
 let id t = t.site_id
 
-let alive t = t.is_alive
+let alive t = !(t.is_alive)
+
+let get_ctx t entity = Hashtbl.find_opt t.entities entity
 
 (* ------------------------------------------------------------------ *)
-(* Avantan plumbing                                                     *)
+(* Network dispatch                                                     *)
 
-let av_start = function Maj a -> Avantan_majority.start a | St a -> Avantan_star.start a
-
-let av_handle av ~src msg =
-  match av with
-  | Maj a -> Avantan_majority.handle a ~src msg
-  | St a -> Avantan_star.handle a ~src msg
-
-let av_participating = function
-  | Maj a -> Avantan_majority.participating a
-  | St a -> Avantan_star.participating a
-
-let participating_ctx ctx = match ctx.av with Some av -> av_participating av | None -> false
-
-(* ------------------------------------------------------------------ *)
-(* Prediction                                                           *)
-
-(* The token pool a site wants to hold: [buffer_epochs] worth of the
-   predicted per-epoch net consumption (the forecaster's job), plus
-   working capital covering the peak concurrent draw observed in recent
-   epochs (intra-epoch bursts that releases later replenish). *)
-let predicted_need t ctx =
-  let net_history = Demand_tracker.history ctx.tracker in
-  let net =
-    match t.forecaster with
-    | Some f -> f.Ml.Forecaster.predict net_history
-    | None ->
-        let n = Array.length net_history in
-        if n = 0 then Demand_tracker.current_epoch_demand ctx.tracker
-        else net_history.(n - 1)
-  in
-  let peaks = Demand_tracker.peak_history ctx.tracker in
-  let capital =
-    let n = Array.length peaks in
-    if n = 0 then Demand_tracker.current_epoch_peak ctx.tracker
-    else begin
-      let window = min n 6 in
-      Stats.Series.mean (Array.sub peaks (n - window) window)
-    end
-  in
-  let target =
-    (Float.max 0.0 net *. float_of_int t.config.Config.buffer_epochs)
-    +. Float.max 0.0 capital
-  in
-  int_of_float (Float.ceil target)
-
-(* High watermark: what a triggered redistribution asks for, shrunk while
-   previous instances could not satisfy this site — Algorithm 2's
-   rejection is all-or-nothing, so a site facing a shrinking pool must
-   lower its ask to keep draining what remains. *)
-let requested_pool t ctx need =
-  int_of_float
-    (Float.ceil (t.config.Config.request_headroom *. ctx.request_scale *. float_of_int need))
-
-(* Algorithm 1 lines 9-11, run by cohorts before answering an election. *)
-let refresh_wanted t ctx () =
-  if t.config.Config.prediction_enabled then begin
-    let need = predicted_need t ctx in
-    if need > ctx.tokens_left then
-      ctx.tokens_wanted <- max ctx.tokens_wanted (requested_pool t ctx need - ctx.tokens_left)
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Serving                                                              *)
-
-let now t = Des.Engine.now t.engine
-
-(* Requests occupy the site's CPU for [local_processing_ms] each; the
-   reply carries the queueing-for-CPU delay, which is what saturates a
-   hot site during demand spikes. *)
-let reply_after_processing t reply response =
-  let start = Float.max (now t) t.busy_until in
-  let finish = start +. t.config.Config.local_processing_ms in
-  t.busy_until <- finish;
-  Des.Engine.schedule_at t.engine ~time_ms:finish (fun () -> reply response)
-
-let cooldown_ok t ctx = now t -. ctx.last_redistribution_ms >= ctx.backoff_ms
-
-(* A reactive trigger has a client in hand that local tokens cannot serve:
-   it may redistribute immediately unless the site is backing off from a
-   token famine (recent instances failed to satisfy it). *)
-let reactive_ok t ctx =
-  ctx.backoff_ms <= t.config.Config.redistribution_cooldown_ms || cooldown_ok t ctx
-
-let register_outcome_satisfaction t ctx ~satisfied =
-  if satisfied then begin
-    ctx.backoff_ms <- t.config.Config.redistribution_cooldown_ms;
-    ctx.request_scale <- 1.0
-  end
-  else begin
-    ctx.backoff_ms <-
-      Float.min (2.0 *. ctx.backoff_ms) (32.0 *. t.config.Config.redistribution_cooldown_ms);
-    ctx.request_scale <- Float.max (ctx.request_scale /. 2.0) 0.05
-  end
-
-(* Serve a single acquire/release against local state. In [drain] mode the
-   request was queued behind a redistribution that just ended, and an
-   unservable acquire is rejected rather than triggering another
-   instance. Returns [true] when served. *)
-let rec serve_local t ctx request reply ~drain =
-  match request with
-  | Types.Release { amount; _ } ->
-      ctx.tokens_left <- ctx.tokens_left + amount;
-      ctx.acquired_net <- ctx.acquired_net - amount;
-      t.s_releases <- t.s_releases + 1;
-      reply_after_processing t reply Types.Granted
-  | Types.Acquire { amount; _ } ->
-      if not t.config.Config.enforce_constraint then begin
-        ctx.acquired_net <- ctx.acquired_net + amount;
-        t.s_acquires <- t.s_acquires + 1;
-        reply_after_processing t reply Types.Granted
-      end
-      else if ctx.tokens_left >= amount then begin
-        ctx.tokens_left <- ctx.tokens_left - amount;
-        ctx.acquired_net <- ctx.acquired_net + amount;
-        t.s_acquires <- t.s_acquires + 1;
-        reply_after_processing t reply Types.Granted;
-        if not drain then proactive_check t ctx
-      end
-      else if
-        (not drain)
-        && t.config.Config.redistribution_enabled
-        && (not (participating_ctx ctx))
-        && reactive_ok t ctx
-      then begin
-        (* Reactive redistribution (Equation 5); with prediction enabled
-           the site folds its forecast buffer into the request so one
-           synchronization covers the demand that is about to follow. *)
-        t.s_reactive <- t.s_reactive + 1;
-        let wanted =
-          if t.config.Config.prediction_enabled then
-            max amount (requested_pool t ctx (predicted_need t ctx) - ctx.tokens_left)
-          else amount
+let handle_net t ~src msg =
+  if !(t.is_alive) then
+    match msg with
+    | Avantan { entity; msg } -> (
+        match get_ctx t entity with
+        | Some ctx -> Protocol_driver.handle t.driver ctx ~src msg
+        | None -> ())
+    | Read_query { entity; rid } ->
+        let tokens_left =
+          match get_ctx t entity with
+          | Some ctx -> ctx.Entity_state.tokens_left
+          | None -> 0
         in
-        ctx.tokens_wanted <- max ctx.tokens_wanted wanted;
-        ctx.last_redistribution_ms <- now t;
-        Queue.push (request, reply) ctx.queue;
-        t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
-        match ctx.av with Some av -> av_start av | None -> ()
-      end
-      else begin
-        t.s_rejected <- t.s_rejected + 1;
-        reply_after_processing t reply Types.Rejected
-      end
-  | Types.Read _ -> (* handled before dispatch *) assert false
-
-(* Proactive redistribution (Equation 4): after serving an acquire,
-   predict the next epoch in the background and trigger when the forecast
-   exceeds the local pool. *)
-and proactive_check t ctx =
-  if
-    t.config.Config.prediction_enabled
-    && t.config.Config.redistribution_enabled
-    && now t -. ctx.last_proactive_check_ms >= t.config.Config.proactive_check_ms
-  then begin
-    ctx.last_proactive_check_ms <- now t;
-    let need = predicted_need t ctx in
-    if need > ctx.tokens_left && (not (participating_ctx ctx)) && cooldown_ok t ctx then begin
-      let wanted = requested_pool t ctx need - ctx.tokens_left in
-      if wanted > 0 then begin
-        t.s_proactive <- t.s_proactive + 1;
-        ctx.tokens_wanted <- wanted;
-        ctx.last_redistribution_ms <- now t;
-        match ctx.av with Some av -> av_start av | None -> ()
-      end
-    end
-  end
-
-let drain_queue t ctx =
-  let items = Queue.length ctx.queue in
-  for _ = 1 to items do
-    let request, reply = Queue.pop ctx.queue in
-    if participating_ctx ctx then
-      (* A re-triggered instance started while draining: keep queueing. *)
-      Queue.push (request, reply) ctx.queue
-    else
-      (* [drain:false] lets an unservable acquire re-trigger a reactive
-         redistribution (subject to famine backoff) instead of being
-         rejected outright. *)
-      serve_local t ctx request reply ~drain:false
-  done
-
-(* Apply a decided value's reallocation as a delta against the InitVal
-   this site contributed — idempotent per instance (origin-keyed) and
-   conserving under races; see DESIGN.md. Returns whether this site's
-   request was satisfied (None when the value does not involve it or was
-   already applied). *)
-let apply_value t ctx (value : Protocol.value) =
-  if Hashtbl.mem ctx.applied_origins value.Protocol.origin then None
-  else begin
-    Hashtbl.replace ctx.applied_origins value.Protocol.origin ();
-    ctx.decided_log <- value :: ctx.decided_log;
-    let mine =
-      List.find_opt (fun (e : Protocol.site_entry) -> e.site = t.site_id)
-        value.Protocol.entries
-    in
-    match mine with
-    | Some init_entry ->
-        let grants =
-          Reallocation.redistribute_with t.config.Config.reallocation_policy
-            value.Protocol.entries
-        in
-        let grant = List.find (fun (g : Reallocation.grant) -> g.site = t.site_id) grants in
-        let delta = grant.Reallocation.new_tokens_left - init_entry.tokens_left in
-        ctx.tokens_left <- ctx.tokens_left + delta;
-        Some (init_entry.tokens_wanted = 0 || grant.Reallocation.wanted_satisfied)
-    | None -> None
-  end
-
-(* Protocol instance finished: apply the decision and serve the queue. *)
-let on_outcome t ctx outcome =
-  ctx.last_redistribution_ms <- now t;
-  (match outcome with
-  | Protocol.Decided value ->
-      (match apply_value t ctx value with
-      | Some satisfied -> register_outcome_satisfaction t ctx ~satisfied
-      | None -> ());
-      ctx.tokens_wanted <- 0
-  | Protocol.Aborted ->
-      register_outcome_satisfaction t ctx ~satisfied:(ctx.tokens_wanted = 0);
-      ctx.tokens_wanted <- 0);
-  drain_queue t ctx
+        Geonet.Network.send t.network ~src:t.site_id ~dst:src
+          (Read_reply { entity; rid; tokens_left })
+    | Read_reply { entity = _; rid; tokens_left } ->
+        Request_handler.on_read_reply t.handler ~rid ~tokens_left
+    | Recovery_query { entity } -> (
+        match get_ctx t entity with
+        | None -> ()
+        | Some ctx ->
+            let relevant = Protocol_driver.recovery_decisions t.driver ctx ~peer:src in
+            if relevant <> [] then
+              Geonet.Network.send t.network ~src:t.site_id ~dst:src
+                (Recovery_reply { entity; decisions = relevant }))
+    | Recovery_reply { entity; decisions } -> (
+        match get_ctx t entity with
+        | None -> ()
+        | Some ctx -> Protocol_driver.apply_recovery t.driver ctx decisions)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
 
-let make_av t ctx =
-  let send dst msg =
-    Geonet.Network.send t.network ~src:t.site_id ~dst (Avantan { entity = ctx.entity; msg })
+let create ~config ~network ~id ?forecaster ?on_protocol_event () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Site.create: " ^ reason));
+  let engine = Geonet.Network.engine network in
+  let n_sites = Geonet.Network.node_count network in
+  let is_alive = ref true in
+  let now () = Des.Engine.now engine in
+  let prediction = Prediction.create ~config ?forecaster () in
+  let rpolicy = Redistribution_policy.create ~config in
+  let driver =
+    Protocol_driver.create ~config ~engine ~site_id:id ~n_sites
+      ~send:(fun ~entity ~dst msg ->
+        Geonet.Network.send network ~src:id ~dst (Avantan { entity; msg }))
+      ~set_timer:(fun ~delay_ms f ->
+        Des.Engine.timer engine ~delay_ms (fun () -> if !is_alive then f ()))
+      ~refresh_wanted:(Prediction.refresh_wanted prediction)
+      ~register_outcome:(Redistribution_policy.register_outcome rpolicy)
+      ~on_event:
+        (match on_protocol_event with
+        | Some f -> fun entity event -> f ~entity event
+        | None -> fun _ _ -> ())
+      ()
   in
-  let set_timer ~delay_ms f =
-    Des.Engine.timer t.engine ~delay_ms (fun () -> if t.is_alive then f ())
+  let handler =
+    Request_handler.create ~config ~engine ~n_sites
+      {
+        Request_handler.alive = (fun () -> !is_alive);
+        reactive_ok =
+          (fun ctx -> Redistribution_policy.reactive_ok rpolicy ~now:(now ()) ctx);
+        reactive_wanted = Prediction.reactive_wanted prediction;
+        trigger = Protocol_driver.trigger driver;
+        proactive =
+          (fun ctx ->
+            Prediction.proactive_check prediction ~now:(now ())
+              ~cooldown_ok:(fun () ->
+                Redistribution_policy.cooldown_ok rpolicy ~now:(now ()) ctx)
+              ~trigger:(fun () -> Protocol_driver.trigger driver ctx)
+              ctx);
+        broadcast_read_query =
+          (fun ~entity ~rid ->
+            Geonet.Network.broadcast network ~src:id (Read_query { entity; rid }));
+      }
   in
-  let local_state () =
+  Protocol_driver.set_drain driver (Request_handler.drain_queue handler);
+  let t =
     {
-      Protocol.site = t.site_id;
-      tokens_left = ctx.tokens_left;
-      tokens_wanted = ctx.tokens_wanted;
+      config;
+      engine;
+      network;
+      site_id = id;
+      n_sites;
+      entities = Hashtbl.create 4;
+      is_alive;
+      prediction;
+      handler;
+      driver;
     }
   in
-  match t.config.Config.variant with
-  | Config.Majority ->
-      Maj
-        (Avantan_majority.create
-           {
-             Avantan_majority.self = t.site_id;
-             n_sites = t.n_sites;
-             send;
-             set_timer;
-             local_state;
-             refresh_wanted = refresh_wanted t ctx;
-             on_outcome = on_outcome t ctx;
-             election_timeout_ms = t.config.Config.election_timeout_ms;
-             accept_timeout_ms = t.config.Config.accept_timeout_ms;
-             cohort_timeout_ms = t.config.Config.cohort_timeout_ms;
-           })
-  | Config.Star ->
-      St
-        (Avantan_star.create
-           {
-             Avantan_star.self = t.site_id;
-             n_sites = t.n_sites;
-             send;
-             set_timer;
-             local_state;
-             refresh_wanted = refresh_wanted t ctx;
-             on_outcome = on_outcome t ctx;
-             election_timeout_ms = t.config.Config.election_timeout_ms;
-             accept_timeout_ms = t.config.Config.accept_timeout_ms;
-             cohort_timeout_ms = t.config.Config.cohort_timeout_ms;
-             status_retry_ms = t.config.Config.status_retry_ms;
-           })
-
-let get_ctx t entity = Hashtbl.find_opt t.entities entity
+  Geonet.Network.register network ~node:id (fun envelope ->
+      handle_net t ~src:envelope.Geonet.Network.src envelope.Geonet.Network.payload);
+  t
 
 let init_entity t ~entity ~tokens =
   if tokens < 0 then invalid_arg "Site.init_entity: negative tokens";
-  let ctx =
-    {
-      entity;
-      tokens_left = tokens;
-      tokens_wanted = 0;
-      acquired_net = 0;
-      queue = Queue.create ();
-      tracker =
-        Demand_tracker.create ~engine:t.engine ~epoch_ms:t.config.Config.epoch_ms
-          ~capacity:t.config.Config.history_epochs;
-      applied_origins = Hashtbl.create 64;
-      decided_log = [];
-      av = None;
-      last_redistribution_ms = neg_infinity;
-      last_proactive_check_ms = neg_infinity;
-      backoff_ms = t.config.Config.redistribution_cooldown_ms;
-      request_scale = 1.0;
-    }
-  in
-  ctx.av <- Some (make_av t ctx);
+  let ctx = Entity_state.create ~engine:t.engine ~config:t.config ~entity ~tokens in
+  Protocol_driver.attach t.driver ctx;
   Hashtbl.replace t.entities entity ctx;
   (* Anti-entropy: periodically reconcile missed decisions (a lost
      Decision message or an aborted recovery must not leave this site's
@@ -390,7 +153,7 @@ let init_entity t ~entity ~tokens =
   if t.config.Config.anti_entropy_ms > 0.0 then begin
     let rec gossip () =
       Des.Engine.schedule t.engine ~delay_ms:t.config.Config.anti_entropy_ms (fun () ->
-          if t.is_alive then
+          if !(t.is_alive) then
             Geonet.Network.broadcast t.network ~src:t.site_id (Recovery_query { entity });
           gossip ())
     in
@@ -398,166 +161,53 @@ let init_entity t ~entity ~tokens =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Reads: global snapshot by fan-out (§5.8)                             *)
-
-let finish_read t rid =
-  match Hashtbl.find_opt t.pending_reads rid with
-  | None -> ()
-  | Some read ->
-      (match read.r_timer with Some timer -> Des.Engine.cancel timer | None -> ());
-      Hashtbl.remove t.pending_reads rid;
-      t.s_reads <- t.s_reads + 1;
-      reply_after_processing t read.r_reply
-        (Types.Read_result { tokens_available = read.acc })
-
-let serve_read t ~entity reply =
-  let own = match get_ctx t entity with Some ctx -> ctx.tokens_left | None -> 0 in
-  if t.n_sites = 1 then begin
-    t.s_reads <- t.s_reads + 1;
-    reply_after_processing t reply (Types.Read_result { tokens_available = own })
-  end
-  else begin
-    let rid = t.next_rid in
-    t.next_rid <- t.next_rid + 1;
-    let read = { r_entity = entity; acc = own; replies = 0; r_reply = reply; r_timer = None } in
-    Hashtbl.replace t.pending_reads rid read;
-    read.r_timer <-
-      Some
-        (Des.Engine.timer t.engine ~delay_ms:t.config.Config.read_timeout_ms (fun () ->
-             if t.is_alive then finish_read t rid));
-    Geonet.Network.broadcast t.network ~src:t.site_id (Read_query { entity; rid })
-  end
-
-(* ------------------------------------------------------------------ *)
 (* Entry points                                                         *)
 
 let submit t request ~reply =
-  if not t.is_alive then reply Types.Unavailable
+  if not !(t.is_alive) then reply Types.Unavailable
   else
     match Types.validate request with
     | Error _ -> reply Types.Rejected
     | Ok () -> (
         let entity = Types.request_entity request in
         match request with
-        | Types.Read _ -> serve_read t ~entity reply
-        | Types.Acquire { amount; _ } -> (
+        | Types.Read _ ->
+            let own =
+              match get_ctx t entity with
+              | Some ctx -> ctx.Entity_state.tokens_left
+              | None -> 0
+            in
+            Request_handler.serve_read t.handler ~entity ~own reply
+        | Types.Acquire _ | Types.Release _ -> (
             match get_ctx t entity with
             | None -> reply Types.Rejected
-            | Some ctx ->
-                Demand_tracker.record ctx.tracker ~amount;
-                if participating_ctx ctx then begin
-                  Queue.push (request, reply) ctx.queue;
-                  t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue)
-                end
-                else serve_local t ctx request reply ~drain:false)
-        | Types.Release { amount; _ } -> (
-            match get_ctx t entity with
-            | None -> reply Types.Rejected
-            | Some ctx ->
-                Demand_tracker.record ctx.tracker ~amount:(-amount);
-                if participating_ctx ctx then begin
-                  Queue.push (request, reply) ctx.queue;
-                  t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue)
-                end
-                else serve_local t ctx request reply ~drain:false))
-
-let handle_net t ~src msg =
-  if t.is_alive then
-    match msg with
-    | Avantan { entity; msg } -> (
-        match get_ctx t entity with
-        | Some ctx -> ( match ctx.av with Some av -> av_handle av ~src msg | None -> ())
-        | None -> ())
-    | Read_query { entity; rid } ->
-        let tokens_left =
-          match get_ctx t entity with Some ctx -> ctx.tokens_left | None -> 0
-        in
-        Geonet.Network.send t.network ~src:t.site_id ~dst:src
-          (Read_reply { entity; rid; tokens_left })
-    | Read_reply { entity = _; rid; tokens_left } -> (
-        match Hashtbl.find_opt t.pending_reads rid with
-        | None -> ()
-        | Some read ->
-            read.acc <- read.acc + tokens_left;
-            read.replies <- read.replies + 1;
-            if read.replies >= t.n_sites - 1 then finish_read t rid)
-    | Recovery_query { entity } -> (
-        match get_ctx t entity with
-        | None -> ()
-        | Some ctx ->
-            (* Send back the decisions that involve the recovering peer:
-               those are the instances that may have moved its tokens. *)
-            let relevant =
-              List.filter (fun value -> Protocol.mem_site value src) ctx.decided_log
-            in
-            if relevant <> [] then
-              Geonet.Network.send t.network ~src:t.site_id ~dst:src
-                (Recovery_reply { entity; decisions = relevant }))
-    | Recovery_reply { entity; decisions } -> (
-        match get_ctx t entity with
-        | None -> ()
-        | Some ctx ->
-            (* Apply missed decisions in instance order; the origin-keyed
-               dedupe makes overlapping peer replies harmless. *)
-            let ordered =
-              List.sort
-                (fun (a : Protocol.value) (b : Protocol.value) ->
-                  Consensus.Ballot.compare a.Protocol.origin b.Protocol.origin)
-                decisions
-            in
-            List.iter (fun value -> ignore (apply_value t ctx value)) ordered)
-
-let create ~config ~network ~id ?forecaster () =
-  (match Config.validate config with
-  | Ok () -> ()
-  | Error reason -> invalid_arg ("Site.create: " ^ reason));
-  let t =
-    {
-      config;
-      engine = Geonet.Network.engine network;
-      network;
-      site_id = id;
-      n_sites = Geonet.Network.node_count network;
-      forecaster;
-      entities = Hashtbl.create 4;
-      pending_reads = Hashtbl.create 16;
-      next_rid = 0;
-      is_alive = true;
-      busy_until = 0.0;
-      s_acquires = 0;
-      s_releases = 0;
-      s_reads = 0;
-      s_rejected = 0;
-      s_queued_peak = 0;
-      s_proactive = 0;
-      s_reactive = 0;
-    }
-  in
-  Geonet.Network.register network ~node:id (fun envelope ->
-      handle_net t ~src:envelope.Geonet.Network.src envelope.Geonet.Network.payload);
-  t
+            | Some ctx -> Request_handler.accept t.handler ctx request reply))
 
 (* ------------------------------------------------------------------ *)
 (* Accessors / failure injection                                        *)
 
 let with_ctx t entity f = match get_ctx t entity with Some ctx -> f ctx | None -> 0
 
-let tokens_left t ~entity = with_ctx t entity (fun ctx -> ctx.tokens_left)
-let tokens_wanted t ~entity = with_ctx t entity (fun ctx -> ctx.tokens_wanted)
-let acquired_net t ~entity = with_ctx t entity (fun ctx -> ctx.acquired_net)
-let queued t ~entity = with_ctx t entity (fun ctx -> Queue.length ctx.queue)
+let tokens_left t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.tokens_left)
+let tokens_wanted t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.tokens_wanted)
+let acquired_net t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.acquired_net)
+let queued t ~entity = with_ctx t entity (fun ctx -> Queue.length ctx.Entity_state.queue)
+
+let decided_log_length t ~entity = with_ctx t entity Entity_state.decided_log_length
 
 let participating t ~entity =
-  match get_ctx t entity with Some ctx -> participating_ctx ctx | None -> false
+  match get_ctx t entity with
+  | Some ctx -> Entity_state.participating ctx
+  | None -> false
 
 let crash t =
-  t.is_alive <- false;
+  t.is_alive := false;
   Geonet.Network.crash t.network t.site_id;
-  Hashtbl.iter (fun _ ctx -> Queue.clear ctx.queue) t.entities;
-  Hashtbl.reset t.pending_reads
+  Hashtbl.iter (fun _ (ctx : Entity_state.t) -> Queue.clear ctx.Entity_state.queue) t.entities;
+  Request_handler.on_crash t.handler
 
 let recover t =
-  t.is_alive <- true;
+  t.is_alive := true;
   Geonet.Network.recover t.network t.site_id;
   (* Catch up on redistributions decided while we were down: peers answer
      with any decision our InitVal took part in. *)
@@ -566,33 +216,23 @@ let recover t =
       Geonet.Network.broadcast t.network ~src:t.site_id (Recovery_query { entity }))
     t.entities
 
+let protocol_stats t =
+  Hashtbl.fold
+    (fun _ ctx acc ->
+      Avantan_core.add_stats acc (Protocol_driver.protocol_stats t.driver ctx))
+    t.entities Avantan_core.zero_stats
+
 let stats t =
-  let led, started, aborted =
-    Hashtbl.fold
-      (fun _ ctx (led, started, aborted) ->
-        match ctx.av with
-        | Some (Maj a) ->
-            let s = Avantan_majority.stats a in
-            ( led + s.Avantan_majority.led_decided,
-              started + s.Avantan_majority.led_started,
-              aborted + s.Avantan_majority.led_aborted )
-        | Some (St a) ->
-            let s = Avantan_star.stats a in
-            ( led + s.Avantan_star.led_decided,
-              started + s.Avantan_star.led_started,
-              aborted + s.Avantan_star.led_aborted )
-        | None -> (led, started, aborted))
-      t.entities (0, 0, 0)
-  in
+  let proto = protocol_stats t in
   {
-    served_acquires = t.s_acquires;
-    served_releases = t.s_releases;
-    served_reads = t.s_reads;
-    rejected = t.s_rejected;
-    queued_peak = t.s_queued_peak;
-    redistributions_led = led;
-    redistributions_started = started;
-    redistributions_aborted = aborted;
-    proactive_triggers = t.s_proactive;
-    reactive_triggers = t.s_reactive;
+    served_acquires = Request_handler.served_acquires t.handler;
+    served_releases = Request_handler.served_releases t.handler;
+    served_reads = Request_handler.served_reads t.handler;
+    rejected = Request_handler.rejected t.handler;
+    queued_peak = Request_handler.queued_peak t.handler;
+    redistributions_led = proto.Avantan_core.led_decided;
+    redistributions_started = proto.Avantan_core.led_started;
+    redistributions_aborted = proto.Avantan_core.led_aborted;
+    proactive_triggers = Prediction.proactive_triggers t.prediction;
+    reactive_triggers = Request_handler.reactive_triggers t.handler;
   }

@@ -1,17 +1,18 @@
-(** A Samya site: the Request Handling, Prediction, Protocol and
-    Redistribution modules of Fig. 2, wired together.
+(** A Samya site: the thin coordinator over the four Fig. 2 modules.
 
-    A site serves [acquireTokens]/[releaseTokens] locally against its
-    partition of the dis-aggregated token pool. It triggers redistribution
-    {e proactively} when its forecaster predicts next-epoch demand beyond
-    the local pool (Equation 4) and {e reactively} when a request cannot be
-    served (Equation 5). While the site participates in a protocol instance
-    it queues client requests; on the instance's outcome it applies the
-    agreed reallocation (as a delta, see {!Avantan_star}) and drains the
-    queue, rejecting what still cannot be served.
+    The behaviour lives in the per-module implementations, wired together
+    over shared {!Entity_state} records at {!create} time:
 
-    Global-snapshot reads (§5.8) fan out to every site and aggregate the
-    replies.
+    - {!Request_handler} — serve [acquireTokens]/[releaseTokens] locally,
+      queue while a redistribution holds the entity's state exposed, and
+      fan out global-snapshot reads (§5.8);
+    - {!Prediction} — forecaster integration ([predicted_need]), proactive
+      trigger checks (Equation 4) and reactive ask sizing (Equation 5);
+    - {!Protocol_driver} — per-entity Avantan instances (both variants are
+      {!Avantan_core} under different quorum policies), decided-value
+      application, and the bounded decided-log recovery path;
+    - {!Redistribution_policy} — cooldown, famine backoff, and
+      request-scale heuristics between instances.
 
     Ablations: {!Config.t} switches off prediction, redistribution, or the
     constraint itself, reproducing the baselines of Figs. 3e/3f. *)
@@ -21,6 +22,8 @@ type net_msg =
   | Read_query of { entity : Types.entity; rid : int }
   | Read_reply of { entity : Types.entity; rid : int; tokens_left : int }
   | Recovery_query of { entity : Types.entity }
+      (** a recovering site asks peers for decided values it may have
+          missed while crashed *)
   | Recovery_reply of { entity : Types.entity; decisions : Protocol.value list }
 
 type t
@@ -30,12 +33,15 @@ val create :
   network:net_msg Geonet.Network.t ->
   id:int ->
   ?forecaster:Ml.Forecaster.t ->
+  ?on_protocol_event:(entity:Types.entity -> Avantan_core.event -> unit) ->
   unit ->
   t
 (** Registers the site's handler with the network at node [id]. Without a
     [forecaster] the site falls back to a persistence forecast of the last
     epoch's demand (prediction can still be disabled entirely via
-    [config]). *)
+    [config]). [on_protocol_event] observes every {!Avantan_core.event} of
+    every entity's protocol instance — elections, accepts, aborts,
+    decisions with round counts — without touching protocol state. *)
 
 val id : t -> int
 
@@ -58,6 +64,10 @@ val acquired_net : t -> entity:Types.entity -> int
     sites this must never exceed the entity's maximum (Equation 1). *)
 
 val queued : t -> entity:Types.entity -> int
+
+val decided_log_length : t -> entity:Types.entity -> int
+(** Entries currently retained for peer recovery; never exceeds
+    {!Config.t.decided_log_retention}. *)
 
 val participating : t -> entity:Types.entity -> bool
 
@@ -87,3 +97,6 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val protocol_stats : t -> Avantan_core.stats
+(** The unified protocol counters, aggregated over this site's entities. *)

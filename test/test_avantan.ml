@@ -12,12 +12,14 @@ module P = Samya.Protocol
 
 let entry site tokens_left tokens_wanted = { P.site; tokens_left; tokens_wanted }
 
-(* Scripted environment: outbound messages are recorded; local state and
-   outcomes are observable. *)
+(* Scripted environment: outbound messages, outcomes, and the structured
+   protocol events of the {!Avantan_core.on_event} hook are all recorded
+   so tests can assert on them. *)
 type script = {
   engine : Des.Engine.t;
   sent : (int * P.msg) list ref;
   outcomes : P.outcome list ref;
+  events : Samya.Avantan_core.event list ref;  (* newest first *)
   mutable state : P.site_entry;
 }
 
@@ -28,39 +30,35 @@ let make_script ?(self = 0) ?(tokens_left = 100) ?(tokens_wanted = 50) () =
       engine;
       sent = ref [];
       outcomes = ref [];
+      events = ref [];
       state = entry self tokens_left tokens_wanted;
     }
   in
   script
 
-let majority_env script ~self ~n_sites =
+(* Both variants now share one env type: the policy, not the env, is what
+   distinguishes them. *)
+let core_env script ~self ~n_sites =
   {
-    Samya.Avantan_majority.self;
+    Samya.Avantan_core.self;
     n_sites;
     send = (fun dst msg -> script.sent := (dst, msg) :: !(script.sent));
     set_timer = (fun ~delay_ms f -> Des.Engine.timer script.engine ~delay_ms f);
     local_state = (fun () -> script.state);
     refresh_wanted = (fun () -> ());
     on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
-    election_timeout_ms = 800.0;
-    accept_timeout_ms = 800.0;
-    cohort_timeout_ms = 2_500.0;
-  }
-
-let star_env script ~self ~n_sites =
-  {
-    Samya.Avantan_star.self;
-    n_sites;
-    send = (fun dst msg -> script.sent := (dst, msg) :: !(script.sent));
-    set_timer = (fun ~delay_ms f -> Des.Engine.timer script.engine ~delay_ms f);
-    local_state = (fun () -> script.state);
-    refresh_wanted = (fun () -> ());
-    on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
+    on_event = (fun event -> script.events := event :: !(script.events));
     election_timeout_ms = 800.0;
     accept_timeout_ms = 800.0;
     cohort_timeout_ms = 2_500.0;
     status_retry_ms = 1_000.0;
   }
+
+let majority_env = core_env
+
+let star_env = core_env
+
+let has_event script predicate = List.exists predicate !(script.events)
 
 let sent_to script dst =
   List.filter_map (fun (d, m) -> if d = dst then Some m else None) !(script.sent)
@@ -109,7 +107,20 @@ let maj_leader_happy_path () =
       check (Alcotest.list int) "R_t = responders + self" [ 0; 1; 2 ]
         (P.participants value)
   | _ -> Alcotest.fail "expected one decided outcome");
-  check bool "instance concluded" false (Samya.Avantan_majority.participating machine)
+  check bool "instance concluded" false (Samya.Avantan_majority.participating machine);
+  (* The structured event feed saw the whole instance. *)
+  check bool "election event" true
+    (has_event script (function
+      | Samya.Avantan_core.Election_started { round = 1; _ } -> true
+      | _ -> false));
+  check bool "construction event" true
+    (has_event script (function
+      | Samya.Avantan_core.Value_constructed { participants = 3; _ } -> true
+      | _ -> false));
+  check bool "decided event as leader, one round" true
+    (has_event script (function
+      | Samya.Avantan_core.Decided { led = true; rounds = 1; participants = 3; _ } -> true
+      | _ -> false))
 
 let maj_cohort_happy_path () =
   let script = make_script ~self:3 ~tokens_wanted:0 () in
@@ -131,7 +142,19 @@ let maj_cohort_happy_path () =
   (match !(script.outcomes) with
   | [ P.Decided v ] -> check bool "same value" true (P.value_equal v value)
   | _ -> Alcotest.fail "expected decided");
-  check bool "released" false (Samya.Avantan_majority.participating machine)
+  check bool "released" false (Samya.Avantan_majority.participating machine);
+  check bool "joined event names the leader" true
+    (has_event script (function
+      | Samya.Avantan_core.Election_joined { leader = 0; _ } -> true
+      | _ -> false));
+  check bool "accepted event" true
+    (has_event script (function
+      | Samya.Avantan_core.Value_accepted { leader = 0; _ } -> true
+      | _ -> false));
+  check bool "decided event as pure cohort" true
+    (has_event script (function
+      | Samya.Avantan_core.Decided { led = false; rounds = 0; _ } -> true
+      | _ -> false))
 
 let maj_stale_ballot_ignored () =
   let script = make_script ~self:3 () in
@@ -245,7 +268,11 @@ let maj_fresh_leader_aborts_on_timeout () =
   check bool "responder released" true
     (List.exists (function P.Discard _ -> true | _ -> false) (sent_to script 1));
   let stats = Samya.Avantan_majority.stats machine in
-  check int "abort counted" 1 stats.Samya.Avantan_majority.led_aborted
+  check int "abort counted" 1 stats.Samya.Avantan_majority.led_aborted;
+  check bool "abort event as leader" true
+    (has_event script (function
+      | Samya.Avantan_core.Instance_aborted { led = true; rounds = 1; _ } -> true
+      | _ -> false))
 
 (* ------------------------------------------------------------------ *)
 (* Star variant *)
@@ -328,7 +355,11 @@ let star_cohort_recovers_via_status_query () =
   (match !(script.outcomes) with
   | [ P.Decided v ] -> check bool "decided the stored value" true (P.value_equal v value)
   | _ -> Alcotest.fail "expected decided after recovery");
-  check bool "decision distributed" true (count_kind script is_decision >= 1)
+  check bool "decision distributed" true (count_kind script is_decision >= 1);
+  check bool "recovery event" true
+    (has_event script (function
+      | Samya.Avantan_core.Recovery_started _ -> true
+      | _ -> false))
 
 let star_cohort_aborts_when_member_reports_empty () =
   (* A member replying bottom proves the leader never had all acks: abort. *)

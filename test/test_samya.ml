@@ -329,11 +329,75 @@ let recovery_restores_service () =
     (Samya.Site.acquired_net (Samya.Cluster.site cluster 0) ~entity)
 
 (* ------------------------------------------------------------------ *)
+(* Decided-log bounding *)
+
+let decided_log_stays_bounded () =
+  (* Retention 2 while many instances decide: the recovery log must stay
+     capped and token conservation must survive the dropped history. *)
+  let cluster =
+    make_cluster
+      ~config_f:(fun c -> { c with Samya.Config.decided_log_retention = 2 })
+      ()
+  in
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_800 ~gap:5.0 granted
+    rejected;
+  drain ~extra:200_000.0 cluster;
+  check bool "several instances decided" true
+    (Samya.Cluster.total_redistributions cluster > 1);
+  for i = 0 to 4 do
+    let len =
+      Samya.Site.decided_log_length (Samya.Cluster.site cluster i) ~entity
+    in
+    check bool (Printf.sprintf "site %d log capped (%d)" i len) true (len <= 2)
+  done;
+  check bool "invariant" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-event hook *)
+
+let event_hook_observes_protocol () =
+  (* The structured on_event feed must agree with the unified stats: what
+     the sites count is exactly what an observer sees, with no
+     printf-scraping. *)
+  let started = ref 0 and decided = ref 0 and aborted = ref 0 and joined = ref 0 in
+  let config = { Samya.Config.default with Samya.Config.variant = Samya.Config.Majority } in
+  let cluster =
+    Samya.Cluster.create ~seed:42L ~config ~regions:(regions ())
+      ~on_protocol_event:(fun ~site ~entity:e event ->
+        check bool "site id in range" true (site >= 0 && site < 5);
+        check bool "known entity" true (e = entity);
+        match event with
+        | Samya.Avantan_core.Election_started _ -> incr started
+        | Samya.Avantan_core.Election_joined _ -> incr joined
+        | Samya.Avantan_core.Decided _ -> incr decided
+        | Samya.Avantan_core.Instance_aborted _ -> incr aborted
+        | _ -> ())
+      ()
+  in
+  Samya.Cluster.init_entity cluster ~entity ~maximum:5_000;
+  let granted = ref 0 and rejected = ref 0 in
+  burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_800 ~gap:5.0 granted
+    rejected;
+  drain ~extra:200_000.0 cluster;
+  let proto = Samya.Cluster.aggregate_protocol_stats cluster in
+  check bool "elections observed" true (!started > 0);
+  check bool "cohort joins observed" true (!joined > 0);
+  check int "election events = led_started" proto.Samya.Avantan_core.led_started !started;
+  check int "decided events = decisions applied"
+    proto.Samya.Avantan_core.decisions_applied !decided;
+  check int "cohort joins = participations" proto.Samya.Avantan_core.participated !joined
+
+(* ------------------------------------------------------------------ *)
 (* Randomized invariants (Theorems 1 & 2, operationally) *)
 
-let random_schedule_invariant variant ~drop ~crash (seed, ops) =
+let random_schedule_invariant variant ~drop ~crash ?(part = false)
+    ?(config_f = fun c -> c) (seed, ops) =
   let maximum = 2_000 in
-  let cluster = make_cluster ~variant ~seed:(Int64.of_int (seed + 1)) ~maximum ?drop () in
+  let cluster =
+    make_cluster ~variant ~seed:(Int64.of_int (seed + 1)) ~maximum ~config_f ?drop ()
+  in
   let engine = Samya.Cluster.engine cluster in
   let rng = Des.Rng.create (Int64.of_int (seed * 31)) in
   let outstanding = ref 0 in
@@ -352,11 +416,16 @@ let random_schedule_invariant variant ~drop ~crash (seed, ops) =
     ops;
   (if crash then
      Des.Engine.schedule engine ~delay_ms:500.0 (fun () -> Samya.Cluster.crash_site cluster 4));
-  (* Heal loss before quiescence so retry loops can finish; a crashed site
-     recovers (the paper assumes sites do not crash indefinitely) and
-     catches up on missed decisions before the conservation check. *)
+  (if part then
+     Des.Engine.schedule engine ~delay_ms:800.0 (fun () ->
+         Samya.Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3; 4 ] ]));
+  (* Heal loss and partitions before quiescence so retry loops can finish;
+     a crashed site recovers (the paper assumes sites do not crash
+     indefinitely) and catches up on missed decisions before the
+     conservation check. *)
   Des.Engine.run engine ~until_ms:60_000.0;
   Geonet.Network.set_drop_probability (Samya.Cluster.network cluster) 0.0;
+  (if part then Samya.Cluster.heal cluster);
   (if crash then Samya.Cluster.recover_site cluster 4);
   Des.Engine.run engine ~until_ms:600_000.0;
   match Samya.Cluster.check_invariant cluster ~entity ~maximum with
@@ -388,6 +457,38 @@ let invariant_majority_crash =
     arbitrary_schedule
     (random_schedule_invariant Samya.Config.Majority ~drop:None ~crash:true)
 
+(* The unified core must keep both instantiations token-conserving under
+   the same chaos: loss and crashes for the star variant too, and a 2-3
+   partition window for both. *)
+let invariant_star_lossy =
+  QCheck.Test.make ~count:15 ~name:"Equation 1 holds under 5% message loss (star)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Star ~drop:(Some 0.05) ~crash:false)
+
+let invariant_star_crash =
+  QCheck.Test.make ~count:15 ~name:"Equation 1 holds with a crashed site (star)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Star ~drop:None ~crash:true)
+
+let invariant_majority_partition =
+  QCheck.Test.make ~count:10 ~name:"Equation 1 holds across a partition (majority)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Majority ~drop:None ~crash:false ~part:true)
+
+let invariant_star_partition =
+  QCheck.Test.make ~count:10 ~name:"Equation 1 holds across a partition (star)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Star ~drop:None ~crash:false ~part:true)
+
+(* Recovery must replay correctly when the peers only retain a handful of
+   decided values: loss + crash with decided_log_retention = 4. *)
+let invariant_small_log_cap =
+  QCheck.Test.make ~count:10
+    ~name:"recovery replays within a small decided-log cap (majority)"
+    arbitrary_schedule
+    (random_schedule_invariant Samya.Config.Majority ~drop:(Some 0.05) ~crash:true
+       ~config_f:(fun c -> { c with Samya.Config.decided_log_retention = 4 }))
+
 let suite =
   [
     Alcotest.test_case "protocol: value helpers" `Quick protocol_value_helpers;
@@ -410,6 +511,8 @@ let suite =
     Alcotest.test_case "ablation: no constraint" `Quick no_constraint_grants_everything;
     Alcotest.test_case "ablation: no prediction" `Quick no_prediction_is_reactive_only;
     Alcotest.test_case "queueing during protocol" `Quick requests_queue_during_redistribution;
+    Alcotest.test_case "decided log stays bounded" `Quick decided_log_stays_bounded;
+    Alcotest.test_case "event hook matches stats" `Quick event_hook_observes_protocol;
     Alcotest.test_case "failure: fresh-leader abort" `Quick aborts_when_majority_unreachable;
     Alcotest.test_case "failure: star works in minority" `Quick
       star_redistributes_in_minority_partition;
@@ -420,4 +523,9 @@ let suite =
     QCheck_alcotest.to_alcotest invariant_star;
     QCheck_alcotest.to_alcotest invariant_majority_lossy;
     QCheck_alcotest.to_alcotest invariant_majority_crash;
+    QCheck_alcotest.to_alcotest invariant_star_lossy;
+    QCheck_alcotest.to_alcotest invariant_star_crash;
+    QCheck_alcotest.to_alcotest invariant_majority_partition;
+    QCheck_alcotest.to_alcotest invariant_star_partition;
+    QCheck_alcotest.to_alcotest invariant_small_log_cap;
   ]
