@@ -4,7 +4,8 @@
    samya-cli run table2b [--quick]    -- run one experiment
    samya-cli run-all [--quick]        -- every experiment
    samya-cli trace [--days N]         -- inspect the synthetic Azure trace
-   samya-cli demo [--star]            -- drive a small cluster end to end *)
+   samya-cli demo [--star]            -- drive a small cluster end to end
+   samya-cli chaos --seed N           -- one audited nemesis run, replayable *)
 
 open Cmdliner
 
@@ -158,7 +159,70 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Drive a small cluster end to end and show redistribution.")
     Term.(const run $ star $ events)
 
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for the whole run (workload, cluster, fault schedule).")
+  in
+  let variant =
+    let variant_conv =
+      Arg.enum [ ("majority", Samya.Config.Majority); ("star", Samya.Config.Star) ]
+    in
+    Arg.(
+      value
+      & opt variant_conv Samya.Config.Majority
+      & info [ "variant" ] ~docv:"VARIANT" ~doc:"Avantan variant: $(b,majority) or $(b,star).")
+  in
+  let freeze =
+    Arg.(
+      value & flag
+      & info [ "freeze" ]
+          ~doc:"Use the legacy freeze crash model instead of crash-amnesia recovery.")
+  in
+  let sync =
+    let sync_conv =
+      Arg.enum
+        [
+          ("always", Storage.Durable.Sync_always);
+          ("batched", Storage.Durable.Sync_batched 8);
+          ("never", Storage.Durable.Sync_never);
+        ]
+    in
+    Arg.(
+      value
+      & opt sync_conv Storage.Durable.Sync_always
+      & info [ "sync" ] ~docv:"POLICY"
+          ~doc:
+            "Durability sync policy: $(b,always), $(b,batched) (group of 8) or \
+             $(b,never). With $(b,never) the auditor is expected to catch \
+             ballot-reuse divergence under unlucky seeds.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 120.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds of client traffic (virtual time).")
+  in
+  let sites =
+    Arg.(value & opt int 5 & info [ "sites" ] ~doc:"Number of sites (>= 2).")
+  in
+  let run seed variant freeze sync duration sites =
+    let report =
+      Chaos.Soak.run ~n_sites:sites ~duration_ms:(duration *. 1_000.0)
+        ~amnesia:(not freeze) ~sync ~variant ~seed ()
+    in
+    Format.printf "%a@." Chaos.Soak.pp_report report;
+    if Chaos.Soak.passed report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run one seed-reproducible nemesis schedule (crashes, partitions, \
+          drops, duplication, latency spikes) against a Samya cluster and \
+          audit token conservation.")
+    Term.(const run $ seed $ variant $ freeze $ sync $ duration $ sites)
+
 let () =
   let doc = "Samya (ICDE 2021) reproduction: geo-distributed aggregate data system" in
   let info = Cmd.info "samya-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; trace_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; trace_cmd; demo_cmd; chaos_cmd ]))

@@ -243,6 +243,7 @@ let submit t ~region request ~reply =
                   Des.Engine.schedule t.engine ~delay_ms:back (fun () -> reply response))))
 
 let crash_site t i = Geonet.Network.crash t.network i
+let recover_site t i = Geonet.Network.recover t.network i
 let partition t groups = Geonet.Network.set_partition t.network groups
 let heal t = Geonet.Network.clear_partition t.network
 

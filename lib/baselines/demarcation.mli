@@ -45,6 +45,10 @@ val submit :
   unit
 
 val crash_site : t -> int -> unit
+
+val recover_site : t -> int -> unit
+(** Bring a crashed site back; escrow shares survive (freeze model). *)
+
 val partition : t -> int list list -> unit
 val heal : t -> unit
 

@@ -1,0 +1,107 @@
+module Ballot = Consensus.Ballot
+
+type violation = { check : string; site : int option; detail : string }
+
+let pp_violation fmt { check; site; detail } =
+  match site with
+  | Some site -> Format.fprintf fmt "[%s] site %d: %s" check site detail
+  | None -> Format.fprintf fmt "[%s] %s" check detail
+
+type t = {
+  variant : Samya.Config.variant;
+  last_decided : (int, Ballot.t) Hashtbl.t;
+      (* per site, the last origin its protocol instance applied in its
+         current incarnation; reset on recovery, since a rolled-back site
+         may legitimately re-apply instances its ledger lost *)
+  mutable live : violation list;
+}
+
+let create ~variant () = { variant; last_decided = Hashtbl.create 8; live = [] }
+
+let record t violation = t.live <- violation :: t.live
+
+(* Anytime check, fed from the protocol event stream: with carried accept
+   state (Avantan[(n+1)/2]) a site applies decisions in strictly
+   increasing origin order within one incarnation — Avantan[*] instances
+   are independent and may decide out of ballot order, so the check is
+   variant-gated. *)
+let on_protocol_event t ~site event =
+  match (t.variant, event) with
+  | Samya.Config.Majority, Samya.Avantan_core.Decided { origin; _ } -> (
+      match Hashtbl.find_opt t.last_decided site with
+      | Some previous when not Ballot.(origin > previous) ->
+          record t
+            {
+              check = "monotone-decided-prefix";
+              site = Some site;
+              detail =
+                Format.asprintf "applied %a after %a without an intervening recovery"
+                  Ballot.pp origin Ballot.pp previous;
+            }
+      | Some _ | None -> Hashtbl.replace t.last_decided site origin)
+  | _ -> ()
+
+let note_recovery t ~site = Hashtbl.remove t.last_decided site
+
+let live_violations t = List.rev t.live
+
+(* Decided-log checks, safe at any point (the logs only grow):
+   - per site, no origin may appear twice (each instance moves tokens
+     exactly once);
+   - across sites, two values recorded under one origin must be equal —
+     divergence means a ballot was reused for different values, which is
+     exactly the Paxos violation lost promises produce under weak sync. *)
+let check_logs logs =
+  let violations = ref [] in
+  let canonical : (Ballot.t, int * Samya.Protocol.value) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (site, log) ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (value : Samya.Protocol.value) ->
+          let origin = value.Samya.Protocol.origin in
+          if Hashtbl.mem seen origin then
+            violations :=
+              {
+                check = "duplicate-origin";
+                site = Some site;
+                detail =
+                  Format.asprintf "origin %a recorded twice in the decided log"
+                    Ballot.pp origin;
+              }
+              :: !violations
+          else Hashtbl.replace seen origin ();
+          match Hashtbl.find_opt canonical origin with
+          | None -> Hashtbl.replace canonical origin (site, value)
+          | Some (first_site, first_value) ->
+              if not (Samya.Protocol.value_equal first_value value) then
+                violations :=
+                  {
+                    check = "value-consistency";
+                    site = Some site;
+                    detail =
+                      Format.asprintf
+                        "origin %a decided differently here than at site %d"
+                        Ballot.pp origin first_site;
+                  }
+                  :: !violations)
+        log)
+    logs;
+  List.rev !violations
+
+let check_cluster t cluster ~entity ~maximum ~quiescent =
+  let logs =
+    List.init (Samya.Cluster.n_sites cluster) (fun i ->
+        (i, Samya.Site.decided_log (Samya.Cluster.site cluster i) ~entity))
+  in
+  let log_violations = check_logs logs in
+  let conservation =
+    if not quiescent then []
+    else
+      match Samya.Cluster.check_invariant cluster ~entity ~maximum with
+      | Ok () -> []
+      | Error detail -> [ { check = "token-conservation"; site = None; detail } ]
+  in
+  live_violations t @ log_violations @ conservation

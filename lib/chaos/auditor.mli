@@ -1,0 +1,48 @@
+(** The chaos invariant auditor.
+
+    Three families of checks:
+
+    - {b token conservation} (Equation 1): summed over sites,
+      [tokens_left + acquired_net = maximum] and [0 <= acquired <= maximum]
+      — only meaningful at quiescence (no decision deliveries in flight),
+      so gated behind [quiescent:true];
+    - {b decided-log integrity}, safe at any time: no origin applied twice
+      at one site, and any two sites that recorded a value under the same
+      origin recorded {e equal} values (divergence is the ballot-reuse
+      Paxos violation that lost promises produce under weak durability);
+    - {b monotone decided prefixes}, fed live from the protocol event
+      stream: an Avantan[(n+1)/2] site applies decisions in strictly
+      increasing origin order within one incarnation (Avantan[*] instances
+      are independent, so the check is variant-gated). *)
+
+type violation = { check : string; site : int option; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : variant:Samya.Config.variant -> unit -> t
+
+val on_protocol_event : t -> site:int -> Samya.Avantan_core.event -> unit
+(** Wire to {!Samya.Cluster.create}'s [on_protocol_event]. *)
+
+val note_recovery : t -> site:int -> unit
+(** A site recovered: reset its monotonicity baseline (a crash-amnesiac
+    site may legitimately re-apply instances its rolled-back ledger
+    lost). *)
+
+val live_violations : t -> violation list
+(** Violations collected from the event stream so far. *)
+
+val check_logs : (int * Samya.Protocol.value list) list -> violation list
+(** Decided-log checks over [(site, log)] pairs; callable mid-run. *)
+
+val check_cluster :
+  t ->
+  Samya.Cluster.t ->
+  entity:Samya.Types.entity ->
+  maximum:int ->
+  quiescent:bool ->
+  violation list
+(** Everything at once: live violations, log checks over every site's
+    decided log, and — when [quiescent] — token conservation. *)

@@ -1,0 +1,93 @@
+type fault_kind =
+  | Crash of { site : int }
+  | Partition of { groups : int list list }
+  | One_way_cut of { src : int; dst : int }
+  | Drop_surge of { probability : float }
+  | Latency_spike of { src : int; dst : int; extra_ms : float }
+  | Duplication of { probability : float }
+
+type fault = { kind : fault_kind; at_ms : float; heal_ms : float }
+
+type schedule = {
+  seed : int;
+  n_sites : int;
+  duration_ms : float;
+  faults : fault list;
+}
+
+let pp_kind fmt = function
+  | Crash { site } -> Format.fprintf fmt "crash(site %d)" site
+  | Partition { groups } ->
+      Format.fprintf fmt "partition(%s)"
+        (String.concat " | "
+           (List.map
+              (fun group -> String.concat "," (List.map string_of_int group))
+              groups))
+  | One_way_cut { src; dst } -> Format.fprintf fmt "one-way-cut(%d -> %d)" src dst
+  | Drop_surge { probability } -> Format.fprintf fmt "drop-surge(p=%.2f)" probability
+  | Latency_spike { src; dst; extra_ms } ->
+      Format.fprintf fmt "latency-spike(%d -> %d, +%.0f ms)" src dst extra_ms
+  | Duplication { probability } -> Format.fprintf fmt "duplication(p=%.2f)" probability
+
+let pp_fault fmt { kind; at_ms; heal_ms } =
+  Format.fprintf fmt "@[t=%8.0f ms .. %8.0f ms  %a@]" at_ms heal_ms pp_kind kind
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>nemesis schedule (seed %d, %d sites, %.0f ms):" t.seed
+    t.n_sites t.duration_ms;
+  List.iter (fun fault -> Format.fprintf fmt "@,  %a" pp_fault fault) t.faults;
+  Format.fprintf fmt "@]"
+
+(* A random two-group split with both sides non-empty. *)
+let random_partition rng n_sites =
+  let order = Array.init n_sites (fun i -> i) in
+  Des.Rng.shuffle rng order;
+  let cut = 1 + Des.Rng.int rng (n_sites - 1) in
+  let a = ref [] and b = ref [] in
+  Array.iteri (fun i site -> if i < cut then a := site :: !a else b := site :: !b) order;
+  [ List.sort compare !a; List.sort compare !b ]
+
+let random_link rng n_sites =
+  let src = Des.Rng.int rng n_sites in
+  let dst = (src + 1 + Des.Rng.int rng (n_sites - 1)) mod n_sites in
+  (src, dst)
+
+let generate ~seed ~n_sites ~duration_ms =
+  if n_sites < 2 then invalid_arg "Nemesis.generate: need at least 2 sites";
+  if duration_ms <= 0.0 then invalid_arg "Nemesis.generate: non-positive duration";
+  let rng = Des.Rng.create (Int64.of_int seed) in
+  (* Fault density scales with the run length; every fault heals by 70% of
+     the run so the tail is a guaranteed quiet window for recovery,
+     catch-up and the quiescent audit. *)
+  let n_faults =
+    max 3 (int_of_float (duration_ms /. 30_000.0)) + Des.Rng.int rng 3
+  in
+  let faults =
+    List.init n_faults (fun _ ->
+        let at_ms = duration_ms *. (0.05 +. Des.Rng.float rng 0.55) in
+        let hold_ms = duration_ms *. (0.04 +. Des.Rng.float rng 0.20) in
+        let heal_ms = Float.min (at_ms +. hold_ms) (duration_ms *. 0.7) in
+        let kind =
+          match Des.Rng.int rng 6 with
+          | 0 -> Crash { site = Des.Rng.int rng n_sites }
+          | 1 -> Partition { groups = random_partition rng n_sites }
+          | 2 ->
+              let src, dst = random_link rng n_sites in
+              One_way_cut { src; dst }
+          | 3 -> Drop_surge { probability = 0.2 +. Des.Rng.float rng 0.6 }
+          | 4 ->
+              let src, dst = random_link rng n_sites in
+              Latency_spike { src; dst; extra_ms = 100.0 +. Des.Rng.float rng 400.0 }
+          | _ -> Duplication { probability = 0.1 +. Des.Rng.float rng 0.4 }
+        in
+        { kind; at_ms; heal_ms })
+    |> List.sort (fun a b -> compare a.at_ms b.at_ms)
+  in
+  { seed; n_sites; duration_ms; faults }
+
+let crash_faults t =
+  List.filter_map
+    (function
+      | { kind = Crash { site }; at_ms; heal_ms } -> Some (site, at_ms, heal_ms)
+      | _ -> None)
+    t.faults

@@ -1,0 +1,37 @@
+(** Seed-driven fault-schedule generation.
+
+    A schedule is a pure function of [(seed, n_sites, duration_ms)]:
+    generating twice with the same inputs yields the same faults, which is
+    what makes every chaos run reproducible from the one printed seed. The
+    schedule composes crash/restart cycles, symmetric partitions, one-way
+    link cuts, drop-rate surges, per-link latency spikes and message
+    duplication; every fault heals by 70% of the run, leaving a guaranteed
+    quiet tail for recovery, catch-up and the quiescent audit. *)
+
+type fault_kind =
+  | Crash of { site : int }
+  | Partition of { groups : int list list }
+  | One_way_cut of { src : int; dst : int }
+  | Drop_surge of { probability : float }
+  | Latency_spike of { src : int; dst : int; extra_ms : float }
+  | Duplication of { probability : float }
+
+type fault = { kind : fault_kind; at_ms : float; heal_ms : float }
+
+type schedule = {
+  seed : int;
+  n_sites : int;
+  duration_ms : float;
+  faults : fault list;  (** sorted by injection time *)
+}
+
+val generate : seed:int -> n_sites:int -> duration_ms:float -> schedule
+(** Deterministic. Raises [Invalid_argument] on [n_sites < 2] or a
+    non-positive duration. *)
+
+val crash_faults : schedule -> (int * float * float) list
+(** [(site, at_ms, heal_ms)] for every crash in the schedule (recovery
+    probes target these). *)
+
+val pp : Format.formatter -> schedule -> unit
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,191 @@
+let entity = "VM"
+
+type report = {
+  seed : int;
+  variant : Samya.Config.variant;
+  amnesia : bool;
+  sync : Storage.Durable.sync_policy;
+  schedule : Nemesis.schedule;
+  injected : int;
+  healed : int;
+  granted : int;
+  rejected : int;
+  unavailable : int;
+  redistributions : int;
+  recovery_probes : (int * float) list;
+  durable_syncs : int;
+  duplicated : int;
+  violations : Auditor.violation list;
+}
+
+let passed report = report.violations = []
+
+let variant_name = function
+  | Samya.Config.Majority -> "majority"
+  | Samya.Config.Star -> "star"
+
+let sync_name = function
+  | Storage.Durable.Sync_always -> "always"
+  | Storage.Durable.Sync_batched n -> Printf.sprintf "batched:%d" n
+  | Storage.Durable.Sync_never -> "never"
+
+let repro_line report =
+  Printf.sprintf "samya_cli chaos --seed %d --variant %s%s%s" report.seed
+    (variant_name report.variant)
+    (if report.amnesia then "" else " --freeze")
+    (match report.sync with
+    | Storage.Durable.Sync_always -> ""
+    | Storage.Durable.Sync_batched _ -> " --sync batched"
+    | Storage.Durable.Sync_never -> " --sync never")
+
+let pp_report fmt report =
+  Format.fprintf fmt "@[<v>%a@," Nemesis.pp report.schedule;
+  Format.fprintf fmt
+    "variant=%s model=%s sync=%s  faults=%d/%d  granted=%d rejected=%d \
+     unavailable=%d  redistributions=%d  syncs=%d dup-deliveries=%d@,"
+    (variant_name report.variant)
+    (if report.amnesia then "crash-amnesia" else "freeze")
+    (sync_name report.sync) report.injected report.healed report.granted
+    report.rejected report.unavailable report.redistributions report.durable_syncs
+    report.duplicated;
+  (match report.recovery_probes with
+  | [] -> ()
+  | probes ->
+      Format.fprintf fmt "recovery-to-service:";
+      List.iter
+        (fun (site, ms) -> Format.fprintf fmt " site%d=%.0fms" site ms)
+        probes;
+      Format.fprintf fmt "@,");
+  (match report.violations with
+  | [] -> Format.fprintf fmt "auditor: OK@]"
+  | violations ->
+      Format.fprintf fmt "auditor: %d VIOLATION(S)@," (List.length violations);
+      List.iter (fun v -> Format.fprintf fmt "  %a@," Auditor.pp_violation v) violations;
+      Format.fprintf fmt "repro: %s@]" (repro_line report))
+
+(* One client loop per region: acquires with bounded-outstanding releases,
+   all randomness from a stream split off the seed so the whole run —
+   workload, cluster, fault schedule — replays from one integer. *)
+let spawn_client ~engine ~cluster ~rng ~region ~duration_ms ~granted ~rejected
+    ~unavailable =
+  let outstanding = ref 0 in
+  let count = function
+    | Samya.Types.Granted -> incr granted
+    | Samya.Types.Rejected -> incr rejected
+    | Samya.Types.Unavailable -> incr unavailable
+    | Samya.Types.Read_result _ -> ()
+  in
+  let rec step () =
+    let delay = Des.Rng.exponential rng ~rate:(1.0 /. 120.0) in
+    Des.Engine.schedule engine ~delay_ms:delay (fun () ->
+        if Des.Engine.now engine < duration_ms then begin
+          (if !outstanding > 0 && Des.Rng.bool rng 0.4 then begin
+             (* Never release more than this client still holds, or the
+                auditor would see client-caused negative acquisition. *)
+             let amount = 1 + Des.Rng.int rng (min 3 !outstanding) in
+             outstanding := !outstanding - amount;
+             Samya.Cluster.submit cluster ~region
+               (Samya.Types.Release { entity; amount })
+               ~reply:count
+           end
+           else
+             let amount = 1 + Des.Rng.int rng 4 in
+             Samya.Cluster.submit cluster ~region
+               (Samya.Types.Acquire { entity; amount })
+               ~reply:(fun response ->
+                 count response;
+                 if response = Samya.Types.Granted then
+                   outstanding := !outstanding + amount));
+          step ()
+        end)
+  in
+  step ()
+
+let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
+    ?(amnesia = true) ?(sync = Storage.Durable.Sync_always) ~variant ~seed () =
+  let schedule = Nemesis.generate ~seed ~n_sites ~duration_ms in
+  let root = Des.Rng.create (Int64.of_int seed) in
+  let cluster_seed = Des.Rng.bits64 root in
+  let config =
+    {
+      Samya.Config.default with
+      variant;
+      amnesia_on_crash = amnesia;
+      durability_sync = sync;
+    }
+  in
+  let all_regions = Array.of_list Geonet.Region.all in
+  let regions =
+    Array.init n_sites (fun i -> all_regions.(i mod Array.length all_regions))
+  in
+  let auditor = Auditor.create ~variant () in
+  let cluster =
+    Samya.Cluster.create ~seed:cluster_seed ~config ~regions
+      ~on_protocol_event:(fun ~site ~entity:_ event ->
+        Auditor.on_protocol_event auditor ~site event)
+      ()
+  in
+  Samya.Cluster.init_entity cluster ~entity ~maximum;
+  let engine = Samya.Cluster.engine cluster in
+  let network = Samya.Cluster.network cluster in
+  let injector =
+    Injector.install ~engine ~network
+      ~crash:(Samya.Cluster.crash_site cluster)
+      ~recover:(fun site ->
+        Auditor.note_recovery auditor ~site;
+        Samya.Cluster.recover_site cluster site)
+      schedule
+  in
+  (* Recovery-to-service probes: right after each crash heals, one direct
+     acquire against the recovered site measures how long until it answers
+     anything at all. *)
+  let recovery_probes = ref [] in
+  List.iter
+    (fun (site, _at_ms, heal_ms) ->
+      Des.Engine.schedule_at engine ~time_ms:(heal_ms +. 1.0) (fun () ->
+          let sent = Des.Engine.now engine in
+          Samya.Cluster.submit_to_site cluster ~site
+            (Samya.Types.Acquire { entity; amount = 1 })
+            ~reply:(fun _ ->
+              recovery_probes :=
+                (site, Des.Engine.now engine -. sent) :: !recovery_probes)))
+    (Nemesis.crash_faults schedule);
+  let granted = ref 0 and rejected = ref 0 and unavailable = ref 0 in
+  Array.iter
+    (fun region ->
+      let rng = Des.Rng.split root in
+      spawn_client ~engine ~cluster ~rng ~region ~duration_ms ~granted ~rejected
+        ~unavailable)
+    regions;
+  (* Drain: traffic stops at [duration_ms] and every fault healed by 70%
+     of it; the tail covers in-flight instances, recovery catch-up and a
+     few anti-entropy rounds before the quiescent audit. The engine never
+     runs dry on its own (gossip reschedules forever), hence the explicit
+     horizon. *)
+  let drain_ms = Float.max 240_000.0 (4.0 *. config.Samya.Config.anti_entropy_ms) in
+  Des.Engine.run engine ~until_ms:(duration_ms +. drain_ms);
+  let violations =
+    Auditor.check_cluster auditor cluster ~entity ~maximum ~quiescent:true
+  in
+  let durable_syncs =
+    Array.fold_left
+      (fun acc site -> acc + Samya.Site.durable_syncs site)
+      0 (Samya.Cluster.sites cluster)
+  in
+  {
+    seed;
+    variant;
+    amnesia;
+    sync;
+    schedule;
+    injected = Injector.injected injector;
+    healed = Injector.healed injector;
+    granted = !granted;
+    rejected = !rejected;
+    unavailable = !unavailable;
+    redistributions = Samya.Cluster.total_redistributions cluster;
+    recovery_probes = List.rev !recovery_probes;
+    durable_syncs;
+    duplicated = Geonet.Network.stats_duplicated network;
+    violations;
+  }

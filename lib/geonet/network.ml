@@ -5,34 +5,57 @@ type 'msg envelope = {
   payload : 'msg;
 }
 
+(* Per-link fault overrides (chaos injection). A link is the directed pair
+   (src, dst); absent entries mean "no override". *)
+type link = {
+  mutable l_drop : float option;  (* overrides the global drop probability *)
+  mutable l_extra_ms : float;  (* added to the base one-way latency *)
+  mutable l_blocked : bool;  (* one-way cut: src -> dst delivers nothing *)
+}
+
 type 'msg t = {
   engine : Des.Engine.t;
   regions : Region.t array;
   mutable drop_probability : float;
+  mutable duplicate_probability : float;
   jitter_fraction : float;
   rng : Des.Rng.t;
   handlers : ('msg envelope -> unit) option array;
   up : bool array;
   mutable partition : int array option; (* group id per node; None = connected *)
+  links : (int * int, link) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable duplicated : int;
 }
 
+let check_probability ~what p =
+  (* [not (p >= 0 && p <= 1)] rather than [p < 0 || p > 1]: NaN fails every
+     comparison, so the naive form would silently accept it. *)
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Network.%s: probability must be in [0, 1]" what)
+
 let create engine ~regions ?(drop_probability = 0.0) ?(jitter_fraction = 0.05) () =
+  check_probability ~what:"create (drop_probability)" drop_probability;
+  if not (jitter_fraction >= 0.0) then
+    invalid_arg "Network.create: jitter_fraction must be >= 0";
   let n = Array.length regions in
   {
     engine;
     regions;
     drop_probability;
+    duplicate_probability = 0.0;
     jitter_fraction;
     rng = Des.Rng.split (Des.Engine.rng engine);
     handlers = Array.make n None;
     up = Array.make n true;
     partition = None;
+    links = Hashtbl.create 8;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    duplicated = 0;
   }
 
 let engine t = t.engine
@@ -48,30 +71,63 @@ let latency_ms t ~src ~dst = Region.one_way_ms t.regions.(src) t.regions.(dst)
 let same_partition t a b =
   match t.partition with None -> true | Some groups -> groups.(a) = groups.(b)
 
+let link t ~src ~dst = Hashtbl.find_opt t.links (src, dst)
+
+let edit_link t ~src ~dst f =
+  match link t ~src ~dst with
+  | Some l -> f l
+  | None ->
+      let l = { l_drop = None; l_extra_ms = 0.0; l_blocked = false } in
+      f l;
+      Hashtbl.replace t.links (src, dst) l
+
+let link_blocked t ~src ~dst =
+  match link t ~src ~dst with Some l -> l.l_blocked | None -> false
+
 let reachable t a b = t.up.(a) && t.up.(b) && same_partition t a b
+
+let link_open t ~src ~dst = reachable t src dst && not (link_blocked t ~src ~dst)
+
+let deliver t ~src ~dst ~sent_at ~dropped_in_flight payload delay_ms =
+  (* Partition, liveness and one-way cuts are evaluated at delivery time so
+     that a fault healed mid-flight lets late messages through, matching an
+     asynchronous network where delay and disconnection are
+     indistinguishable. The envelope is only materialised on delivery, so a
+     dropped message costs nothing beyond its in-flight closure. *)
+  Des.Engine.schedule t.engine ~delay_ms (fun () ->
+      if dropped_in_flight || not (link_open t ~src ~dst) then
+        t.dropped <- t.dropped + 1
+      else
+        match t.handlers.(dst) with
+        | None -> t.dropped <- t.dropped + 1
+        | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler { src; dst; sent_at; payload })
 
 let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
   if not t.up.(src) then t.dropped <- t.dropped + 1
   else begin
-    let base = latency_ms t ~src ~dst in
+    let override = link t ~src ~dst in
+    let extra = match override with Some l -> l.l_extra_ms | None -> 0.0 in
+    let base = latency_ms t ~src ~dst +. extra in
     let jitter = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
     let sent_at = Des.Engine.now t.engine in
-    let dropped_in_flight = Des.Rng.bool t.rng t.drop_probability in
-    (* Partition and liveness are evaluated at delivery time so that a
-       partition healed mid-flight lets late messages through, matching an
-       asynchronous network where delay and disconnection are
-       indistinguishable. The envelope is only materialised on delivery, so
-       a dropped message costs nothing beyond its in-flight closure. *)
-    Des.Engine.schedule t.engine ~delay_ms:(base +. jitter) (fun () ->
-        if dropped_in_flight || (not (reachable t src dst)) then
-          t.dropped <- t.dropped + 1
-        else
-          match t.handlers.(dst) with
-          | None -> t.dropped <- t.dropped + 1
-          | Some handler ->
-              t.delivered <- t.delivered + 1;
-              handler { src; dst; sent_at; payload })
+    let drop_p =
+      match override with
+      | Some { l_drop = Some p; _ } -> Float.max p t.drop_probability
+      | Some _ | None -> t.drop_probability
+    in
+    let dropped_in_flight = Des.Rng.bool t.rng drop_p in
+    deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
+    (* The guard keeps the RNG stream identical for configurations that
+       never enable duplication (byte-identical legacy runs). *)
+    if t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
+    then begin
+      t.duplicated <- t.duplicated + 1;
+      let jitter' = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
+      deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload (base +. jitter')
+    end
   end
 
 let broadcast t ~src payload =
@@ -105,9 +161,33 @@ let set_partition t groups =
 let clear_partition t = t.partition <- None
 
 let set_drop_probability t p =
-  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_drop_probability";
+  check_probability ~what:"set_drop_probability" p;
   t.drop_probability <- p
+
+let drop_probability t = t.drop_probability
+
+let set_duplicate_probability t p =
+  check_probability ~what:"set_duplicate_probability" p;
+  t.duplicate_probability <- p
+
+let set_link_drop t ~src ~dst p =
+  (match p with
+  | Some p -> check_probability ~what:"set_link_drop" p
+  | None -> ());
+  edit_link t ~src ~dst (fun l -> l.l_drop <- p)
+
+let set_link_extra_latency t ~src ~dst extra_ms =
+  if not (extra_ms >= 0.0) then
+    invalid_arg "Network.set_link_extra_latency: extra latency must be >= 0";
+  edit_link t ~src ~dst (fun l -> l.l_extra_ms <- extra_ms)
+
+let block_one_way t ~src ~dst = edit_link t ~src ~dst (fun l -> l.l_blocked <- true)
+
+let unblock_one_way t ~src ~dst = edit_link t ~src ~dst (fun l -> l.l_blocked <- false)
+
+let clear_link_overrides t = Hashtbl.reset t.links
 
 let stats_sent t = t.sent
 let stats_delivered t = t.delivered
 let stats_dropped t = t.dropped
+let stats_duplicated t = t.duplicated

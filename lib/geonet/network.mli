@@ -29,7 +29,10 @@ val create :
   'msg t
 (** [regions.(i)] places node [i]. [drop_probability] (default [0.]) applies
     independently per message. [jitter_fraction] (default [0.05]) scales a
-    non-negative random additive delay relative to the base latency. *)
+    non-negative random additive delay relative to the base latency.
+
+    Raises [Invalid_argument] if [drop_probability] is NaN or outside
+    [[0, 1]], or if [jitter_fraction] is NaN or negative. *)
 
 val engine : _ t -> Des.Engine.t
 
@@ -67,11 +70,58 @@ val clear_partition : _ t -> unit
 
 val set_drop_probability : _ t -> float -> unit
 (** Change the per-message loss rate on the fly (tests heal a lossy
-    network before asserting quiescent invariants). *)
+    network before asserting quiescent invariants). Raises
+    [Invalid_argument] on NaN or out-of-[[0, 1]] values. *)
+
+val drop_probability : _ t -> float
+(** Current global per-message loss rate. *)
+
+(** {2 Per-link fault injection}
+
+    Chaos schedules need asymmetric faults the global knobs cannot express:
+    one lossy or slow direction of one link, or a one-way cut where [a]
+    hears [b] but not vice versa. Overrides are keyed by the directed pair
+    [(src, dst)] and compose with the global settings. *)
+
+val set_link_drop : _ t -> src:int -> dst:int -> float option -> unit
+(** Override the loss rate on the directed link [src -> dst]; the effective
+    rate is the max of the override and the global probability. [None]
+    removes the override. Raises [Invalid_argument] on NaN or
+    out-of-[[0, 1]] values. *)
+
+val set_link_extra_latency : _ t -> src:int -> dst:int -> float -> unit
+(** Add [extra_ms] of one-way latency on [src -> dst] (latency spike on one
+    direction of one link). Jitter scales with the inflated base. Raises
+    [Invalid_argument] on NaN or negative values. *)
+
+val block_one_way : _ t -> src:int -> dst:int -> unit
+(** Cut the directed link: nothing sent [src -> dst] is delivered while the
+    block holds (evaluated at delivery time, like partitions), while
+    [dst -> src] traffic is unaffected. *)
+
+val unblock_one_way : _ t -> src:int -> dst:int -> unit
+
+val clear_link_overrides : _ t -> unit
+(** Drop every per-link override (heal-all before quiescent audits). *)
+
+val set_duplicate_probability : _ t -> float -> unit
+(** Probability that a sent message is delivered twice (the duplicate takes
+    an independent jitter draw, so it may arrive before the original —
+    exercising at-most-once application logic). Default [0.]; while it is
+    exactly [0.] no extra randomness is consumed, keeping legacy runs
+    byte-identical. Raises [Invalid_argument] on NaN or out-of-[[0, 1]]
+    values. *)
 
 val reachable : _ t -> int -> int -> bool
 (** Both endpoints up and in the same partition group. *)
 
+val link_open : _ t -> src:int -> dst:int -> bool
+(** [reachable] and the directed link is not one-way blocked — the exact
+    delivery-time predicate. *)
+
 val stats_sent : _ t -> int
 val stats_delivered : _ t -> int
 val stats_dropped : _ t -> int
+
+val stats_duplicated : _ t -> int
+(** Number of messages that were queued for duplicate delivery. *)

@@ -1,0 +1,7 @@
+(** Randomized chaos soak (robustness extension, not a paper artifact):
+    for each Avantan variant, K {!Chaos.Soak} runs under seed-derived
+    Nemesis fault schedules with crash-amnesia durable recovery, reporting
+    survived-seed counts, recovery-to-service latency and any auditor
+    violations with their one-command repro lines. *)
+
+val run : Lab.context -> quick:bool -> Format.formatter -> unit

@@ -75,7 +75,18 @@ let run_crash ctx ~quick fmt =
   print_outcomes fmt ~title:"Fig 3c: throughput as regions crash" ~duration_ms outcomes;
   (* The headline shape: compare the two variants after majority loss. *)
   let late label =
-    let o = List.find (fun (o : Exp_common.outcome) -> o.label = label) outcomes in
+    let o =
+      match List.find_opt (fun (o : Exp_common.outcome) -> o.label = label) outcomes with
+      | Some o -> o
+      | None ->
+          failwith
+            (Printf.sprintf
+               "fig3c: no outcome labelled %S (have: %s) — a failure_systems \
+                label changed without updating the headline comparison"
+               label
+               (String.concat ", "
+                  (List.map (fun (o : Exp_common.outcome) -> o.label) outcomes)))
+    in
     List.filter (fun (t, _) -> t >= 3.0 *. phase) (Exp_common.throughput_series o ~duration_ms)
     |> List.map snd |> List.fold_left ( +. ) 0.0
   in

@@ -79,6 +79,12 @@ let all =
       description = "varying the request arrival interval";
       run = (fun ctx ~quick fmt -> Exp_extended.run_arrival_rate ctx ~quick fmt);
     };
+    {
+      id = "chaos";
+      paper_artifact = "robustness ext.";
+      description = "multi-seed nemesis soak with crash-amnesia recovery + auditor";
+      run = (fun ctx ~quick fmt -> Exp_chaos.run ctx ~quick fmt);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

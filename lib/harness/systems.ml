@@ -8,6 +8,7 @@ type t = {
     unit;
   crash_region : Geonet.Region.t -> unit;
   crash_site : int -> unit;
+  recover_site : int -> unit;
   partition : int list list -> unit;
   heal : unit -> unit;
   redistributions : unit -> int;
@@ -36,6 +37,7 @@ let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~m
     crash_region =
       (fun region -> List.iter (Samya.Cluster.crash_site cluster) (sites_in regions region));
     crash_site = (fun i -> Samya.Cluster.crash_site cluster i);
+    recover_site = (fun i -> Samya.Cluster.recover_site cluster i);
     partition = (fun groups -> Samya.Cluster.partition cluster groups);
     heal = (fun () -> Samya.Cluster.heal cluster);
     redistributions =
@@ -61,6 +63,7 @@ let demarcation ?seed ?regions ~entity ~maximum () =
       (fun region ->
         List.iter (Baselines.Demarcation.crash_site system) (sites_in regions region));
     crash_site = (fun i -> Baselines.Demarcation.crash_site system i);
+    recover_site = (fun i -> Baselines.Demarcation.recover_site system i);
     partition = (fun groups -> Baselines.Demarcation.partition system groups);
     heal = (fun () -> Baselines.Demarcation.heal system);
     redistributions = (fun () -> Baselines.Demarcation.borrows system);
@@ -80,6 +83,7 @@ let multipaxsys ?seed ~entity ~maximum () =
       (fun region ->
         List.iter (Baselines.Multipaxsys.crash_site system) (sites_in regions region));
     crash_site = (fun i -> Baselines.Multipaxsys.crash_site system i);
+    recover_site = (fun i -> Baselines.Multipaxsys.recover_site system i);
     partition = (fun groups -> Baselines.Multipaxsys.partition system groups);
     heal = (fun () -> Baselines.Multipaxsys.heal system);
     redistributions = (fun () -> 0);
@@ -115,6 +119,7 @@ let cockroach ?seed ?regions ~entity ~maximum () =
       (fun region ->
         List.iter (Baselines.Cockroach_sim.crash_site system) (sites_in regions region));
     crash_site = (fun i -> Baselines.Cockroach_sim.crash_site system i);
+    recover_site = (fun i -> Baselines.Cockroach_sim.recover_site system i);
     partition = (fun groups -> Baselines.Cockroach_sim.partition system groups);
     heal = (fun () -> Baselines.Cockroach_sim.heal system);
     redistributions = (fun () -> 0);

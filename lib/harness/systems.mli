@@ -14,6 +14,9 @@ type t = {
       (** Crash every server in the region (no-op for systems with no
           replica there). *)
   crash_site : int -> unit;  (** crash one server by its own index *)
+  recover_site : int -> unit;
+      (** bring a crashed server back (Samya honours
+          [Config.amnesia_on_crash]; baselines restore frozen state) *)
   partition : int list list -> unit;  (** groups of server indices *)
   heal : unit -> unit;
   redistributions : unit -> int;  (** 0 for non-Samya systems *)

@@ -35,6 +35,7 @@ type env = {
   refresh_wanted : unit -> unit;
   on_outcome : Protocol.outcome -> unit;
   on_event : event -> unit;
+  persist : unit -> unit;
   election_timeout_ms : float;
   accept_timeout_ms : float;
   cohort_timeout_ms : float;
@@ -153,6 +154,43 @@ let participating t = if t.pol.carry_accept_state then t.exposed else t.phase <>
 
 let ballot t = t.ballot
 
+(* ------------------------------------------------------------------ *)
+(* Durable image (crash-amnesia recovery)                               *)
+
+type image = {
+  i_ballot : Ballot.t;
+  i_accept_val : Protocol.value option;
+  i_accept_num : Ballot.t;
+  i_decision : bool;
+  i_last_applied_origin : Ballot.t option;
+  i_applied : (Ballot.t * Protocol.value) list;
+}
+
+let snapshot t =
+  (* Without carried accept state the accepted value lives in the phase,
+     not in the mutable fields: only a cohort-held acceptance must survive
+     a crash (an in-flight leadership attempt of our own dies with us and
+     is recovered by the cohorts' own failure detectors). *)
+  let accept_val, accept_num =
+    if t.pol.carry_accept_state then (t.accept_val, t.accept_num)
+    else
+      match t.phase with
+      | Cohort_accepted { bal; value; _ } | Recovering { bal; value; _ } ->
+          (Some value, bal)
+      | Idle | Leading_election _ | Leading_accept _ | Cohort_waiting _ ->
+          (None, Ballot.zero t.env.self)
+  in
+  {
+    i_ballot = t.ballot;
+    i_accept_val = accept_val;
+    i_accept_num = accept_num;
+    i_decision = t.decision;
+    i_last_applied_origin = t.last_applied_origin;
+    i_applied =
+      Hashtbl.fold (fun origin value acc -> (origin, value) :: acc) t.applied []
+      |> List.sort (fun (a, _) (b, _) -> Ballot.compare a b);
+  }
+
 let stats t =
   {
     led_started = t.s_led_started;
@@ -228,7 +266,11 @@ let conclude t outcome =
            })
   | Protocol.Aborted ->
       t.env.on_event (Instance_aborted { ballot = t.ballot; led; rounds }));
-  t.env.on_outcome outcome
+  t.env.on_outcome outcome;
+  (* One durability point covers the whole conclusion: the applied ledger
+     update (on_outcome runs decision application and the queue drain) and
+     the reset accept state land in the same image. *)
+  t.env.persist ()
 
 let apply_decision t (value : Protocol.value) =
   if t.pol.carry_accept_state then begin
@@ -326,6 +368,9 @@ let rec start t =
     t.phase <- Leading_election { bal = t.ballot; responses };
     t.exposed <- true;
     t.env.on_event (Election_started { ballot = t.ballot; round = t.rounds });
+    (* The bumped ballot must be durable before any site hears it, or an
+       amnesiac restart could reuse it for a different instance. *)
+    t.env.persist ();
     broadcast t (Protocol.Election_get_value { bal = t.ballot });
     arm_timer t t.env.election_timeout_ms (fun () -> on_election_timeout t);
     (* Degenerate single-site system: we are our own quorum. *)
@@ -375,7 +420,9 @@ and construct t bal responses =
   if t.pol.carry_accept_state then begin
     t.accept_val <- Some value;
     t.accept_num <- bal;
-    t.decision <- known_decided
+    t.decision <- known_decided;
+    (* The leader self-accepts: durable before the value leaves. *)
+    t.env.persist ()
   end;
   if known_decided then begin
     (* The instance was already decided by a failed leader: just
@@ -517,6 +564,37 @@ let evaluate_recovery t =
     ->
       ()
 
+let restore t (image : image) =
+  t.ballot <- image.i_ballot;
+  t.last_applied_origin <- image.i_last_applied_origin;
+  Hashtbl.reset t.applied;
+  List.iter
+    (fun (origin, value) -> Hashtbl.replace t.applied origin value)
+    image.i_applied;
+  if t.pol.carry_accept_state then begin
+    t.accept_val <- image.i_accept_val;
+    t.accept_num <- image.i_accept_num;
+    t.decision <- image.i_decision;
+    match image.i_accept_val with
+    | Some _ ->
+        (* We hold a possibly-decided value: re-run the leader code with a
+           higher ballot until a quorum tells us its fate (§4.3.1) — the
+           same discipline as outliving a silent leader. *)
+        recover_as_leader t
+    | None -> ()
+  end
+  else
+    match image.i_accept_val with
+    | Some value ->
+        (* A cohort that accepted before crashing resumes in
+           Cohort_accepted, so the leader's Accept-Value retries are
+           re-acked; if the leader died meanwhile the re-armed cohort
+           timeout interrogates the participant set as usual. *)
+        let leader = value.Protocol.origin.Ballot.site in
+        t.phase <- Cohort_accepted { bal = image.i_accept_num; leader; value };
+        arm_timer t t.env.cohort_timeout_ms (fun () -> on_cohort_timeout t)
+    | None -> ()
+
 let status_for t ~bal =
   match t.phase with
   | Cohort_accepted { bal = b; value; _ } when Ballot.equal b bal ->
@@ -550,6 +628,10 @@ let handle t ~src msg =
         t.phase <- Cohort_waiting { bal; leader = src };
         t.exposed <- true;
         t.env.on_event (Election_joined { ballot = bal; leader = src });
+        (* Paxos promise discipline: the promised ballot must be durable
+           before the promise is sent, or a crash-and-restart could promise
+           a smaller ballot to a second leader. *)
+        t.env.persist ();
         t.env.send src
           (Protocol.Election_ok_value
              {
@@ -589,8 +671,10 @@ let handle t ~src msg =
           if t.pol.discard_stragglers then t.env.send src (Protocol.Discard { bal }))
   | Protocol.Election_reject { bal } ->
       (* Keep our counter ahead so the next attempt is acceptable. *)
-      if t.pol.busy_cohort_rejects && Ballot.(bal > t.ballot) then
-        t.ballot <- { bal with Ballot.site = t.env.self }
+      if t.pol.busy_cohort_rejects && Ballot.(bal > t.ballot) then begin
+        t.ballot <- { bal with Ballot.site = t.env.self };
+        t.env.persist ()
+      end
   | Protocol.Accept_value { bal; value; decision } ->
       if t.pol.carry_accept_state then begin
         if Ballot.(bal >= t.ballot) then begin
@@ -598,6 +682,9 @@ let handle t ~src msg =
           t.accept_val <- Some value;
           t.accept_num <- bal;
           t.decision <- decision;
+          (* Accepted state must be durable before the Accept-Ok leaves:
+             the leader counts this ack toward the decision quorum. *)
+          t.env.persist ();
           t.env.send src (Protocol.Accept_ok { bal });
           if decision then apply_decision t value
           else begin
@@ -612,6 +699,7 @@ let handle t ~src msg =
         | Cohort_waiting { bal = b; leader } when Ballot.equal b bal && leader = src ->
             t.phase <- Cohort_accepted { bal; leader; value };
             t.env.on_event (Value_accepted { ballot = bal; leader = src });
+            t.env.persist ();
             t.env.send src (Protocol.Accept_ok { bal });
             arm_timer t t.env.cohort_timeout_ms (fun () -> on_cohort_timeout t)
         | Cohort_accepted { bal = b; leader; _ } when Ballot.equal b bal && leader = src

@@ -70,6 +70,12 @@ type env = {
       (** participation ended: a value was decided (apply it and drain the
           queue) or the instance aborted *)
   on_event : event -> unit;  (** structured observation hook; use [ignore] *)
+  persist : unit -> unit;
+      (** durability hook, called whenever protocol-critical state
+          (promised ballot, accepted value, applied ledger) changes and
+          {e before} the message that reveals the change is sent — the
+          Paxos write-ahead discipline. The site wires this to its durable
+          image under crash-amnesia; use [ignore] for the freeze model. *)
   election_timeout_ms : float;
   accept_timeout_ms : float;
   cohort_timeout_ms : float;
@@ -141,6 +147,22 @@ val participating : t -> bool
     interval during which the owning site must queue client requests. *)
 
 val ballot : t -> Ballot.t
+
+(** {1 Durable image (crash-amnesia recovery)} *)
+
+type image
+(** The protocol-critical state that must survive a crash for the safety
+    argument to hold: the promised ballot, any accepted (possibly-decided)
+    value, and the applied-instance log that answers Status-Query. *)
+
+val snapshot : t -> image
+
+val restore : t -> image -> unit
+(** Rebuild a freshly-created machine from a durable image and resume:
+    with carried accept state a restored accepted value re-runs the leader
+    code under a higher ballot (it may have been decided); without it a
+    restored cohort acceptance re-enters [Cohort_accepted] with the
+    failure detector re-armed. Call once, immediately after {!create}. *)
 
 type stats = {
   led_started : int;  (** instances this site started or recovered *)

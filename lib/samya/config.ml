@@ -20,6 +20,8 @@ type t = {
   anti_entropy_ms : float;
   decided_log_retention : int;
   reallocation_policy : Reallocation.policy;
+  amnesia_on_crash : bool;
+  durability_sync : Storage.Durable.sync_policy;
 }
 
 let default =
@@ -43,6 +45,8 @@ let default =
     anti_entropy_ms = 30_000.0;
     decided_log_retention = 1_024;
     reallocation_policy = Reallocation.default_policy;
+    amnesia_on_crash = false;
+    durability_sync = Storage.Durable.Sync_always;
   }
 
 let validate t =
@@ -56,4 +60,7 @@ let validate t =
     Error "cohort timeout must exceed the election timeout"
   else if t.local_processing_ms < 0.0 then Error "local_processing_ms must be >= 0"
   else if t.decided_log_retention < 1 then Error "decided_log_retention must be >= 1"
-  else Ok ()
+  else
+    match Storage.Durable.validate_policy t.durability_sync with
+    | Error reason -> Error ("durability_sync: " ^ reason)
+    | Ok () -> Ok ()

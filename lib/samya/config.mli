@@ -52,6 +52,20 @@ type t = {
   reallocation_policy : Reallocation.policy;
       (** the pluggable Redistribution Module (§4.4); must be identical at
           every site, since participants compute the outcome locally *)
+  amnesia_on_crash : bool;
+      (** failure model. [false] (default) is the historical freeze model:
+          a crashed site keeps its in-memory state and resumes from it —
+          equivalent to assuming every update hits stable storage for
+          free. [true] is crash-amnesia: a crash discards all volatile
+          state and recovery rebuilds from the durable image (written
+          under [durability_sync]) plus decided-log catch-up from peers. *)
+  durability_sync : Storage.Durable.sync_policy;
+      (** when protocol-critical state (promised/accepted ballots, the
+          token ledger, the applied-origins dedupe set) reaches stable
+          storage; only meaningful with [amnesia_on_crash]. The default
+          [Sync_always] is the Paxos-safe write-through discipline; weaker
+          policies trade durability for fewer (simulated) fsyncs and are
+          what the chaos auditor exists to catch. *)
 }
 
 val default : t

@@ -1,0 +1,19 @@
+type t = {
+  tokens_left : int;
+  acquired_net : int;
+  applied_origins : Consensus.Ballot.t list;
+  decided_log : Protocol.value list;
+  protocol : Avantan_core.image option;
+}
+
+let capture (ctx : Entity_state.t) =
+  {
+    tokens_left = ctx.Entity_state.tokens_left;
+    acquired_net = ctx.Entity_state.acquired_net;
+    applied_origins =
+      Hashtbl.fold (fun origin () acc -> origin :: acc)
+        ctx.Entity_state.applied_origins []
+      |> List.sort Consensus.Ballot.compare;
+    decided_log = Entity_state.decided_log ctx;
+    protocol = Option.map Avantan_core.snapshot ctx.Entity_state.av;
+  }

@@ -52,6 +52,29 @@ let create ~engine ~(config : Config.t) ~entity ~tokens =
 
 let entity t = t.entity
 
+(* Crash-amnesia recovery: overwrite the ledger with the durable image and
+   reset everything volatile. The demand tracker is deliberately left
+   alone — it is soft state that only steers prediction quality, and the
+   recovering process has no better estimate than the history it kept
+   in the simulated stable store of the harness (a fresh tracker would
+   merely predict zero for a few epochs). The protocol instance ([av]) is
+   reattached separately by {!Protocol_driver}. *)
+let restore t ~(config : Config.t) ~tokens_left ~acquired_net ~applied_origins
+    ~decided_log =
+  t.tokens_left <- tokens_left;
+  t.tokens_wanted <- 0;
+  t.acquired_net <- acquired_net;
+  Queue.clear t.queue;
+  Hashtbl.reset t.applied_origins;
+  List.iter (fun origin -> Hashtbl.replace t.applied_origins origin ()) applied_origins;
+  t.decided_log <- decided_log;
+  t.decided_log_len <- List.length decided_log;
+  t.av <- None;
+  t.last_redistribution_ms <- neg_infinity;
+  t.last_proactive_check_ms <- neg_infinity;
+  t.backoff_ms <- config.Config.redistribution_cooldown_ms;
+  t.request_scale <- 1.0
+
 let participating t =
   match t.av with Some av -> Avantan_core.participating av | None -> false
 

@@ -42,6 +42,19 @@ val create :
 
 val entity : t -> Types.entity
 
+val restore :
+  t ->
+  config:Config.t ->
+  tokens_left:int ->
+  acquired_net:int ->
+  applied_origins:Consensus.Ballot.t list ->
+  decided_log:Protocol.value list ->
+  unit
+(** Crash-amnesia recovery: overwrite the ledger fields with a durable
+    image and reset all volatile state (queue, wanted, pacing). The demand
+    tracker is left intact (soft state, prediction quality only); the
+    protocol instance is cleared and must be reattached. *)
+
 val participating : t -> bool
 (** [true] while the attached protocol instance holds this entity's state
     exposed — the interval during which requests must queue. *)

@@ -8,13 +8,15 @@ type t = {
   refresh_wanted : Entity_state.t -> unit;
   register_outcome : Entity_state.t -> satisfied:bool -> unit;
   on_event : Types.entity -> Avantan_core.event -> unit;
+  persist : Entity_state.t -> unit;
+      (** durability hook (crash-amnesia); a no-op under the freeze model *)
   mutable drain : Entity_state.t -> unit;
       (** request handler's queue replay; wired after construction to
           break the handler/driver cycle *)
 }
 
 let create ~config ~engine ~site_id ~n_sites ~send ~set_timer ~refresh_wanted
-    ~register_outcome ~on_event () =
+    ~register_outcome ~on_event ?(persist = fun _ -> ()) () =
   {
     config;
     engine;
@@ -25,6 +27,7 @@ let create ~config ~engine ~site_id ~n_sites ~send ~set_timer ~refresh_wanted
     refresh_wanted;
     register_outcome;
     on_event;
+    persist;
     drain = (fun _ -> ());
   }
 
@@ -80,8 +83,10 @@ let on_outcome t (ctx : Entity_state.t) outcome =
   t.drain ctx
 
 (* Instantiate the configured Avantan variant for one entity: both are
-   the shared {!Avantan_core} machine under different quorum policies. *)
-let attach t (ctx : Entity_state.t) =
+   the shared {!Avantan_core} machine under different quorum policies.
+   With [restore] the fresh machine is rebuilt from a durable image and
+   resumes any surviving acceptance (crash-amnesia recovery). *)
+let attach t ?restore (ctx : Entity_state.t) =
   let env =
     {
       Avantan_core.self = t.site_id;
@@ -98,6 +103,7 @@ let attach t (ctx : Entity_state.t) =
       refresh_wanted = (fun () -> t.refresh_wanted ctx);
       on_outcome = (fun outcome -> on_outcome t ctx outcome);
       on_event = (fun event -> t.on_event ctx.entity event);
+      persist = (fun () -> t.persist ctx);
       election_timeout_ms = t.config.Config.election_timeout_ms;
       accept_timeout_ms = t.config.Config.accept_timeout_ms;
       cohort_timeout_ms = t.config.Config.cohort_timeout_ms;
@@ -109,7 +115,9 @@ let attach t (ctx : Entity_state.t) =
     | Config.Majority -> Avantan_majority.policy
     | Config.Star -> Avantan_star.policy
   in
-  ctx.av <- Some (Avantan_core.create ~policy env)
+  let av = Avantan_core.create ~policy env in
+  ctx.av <- Some av;
+  match restore with Some image -> Avantan_core.restore av image | None -> ()
 
 let trigger _t (ctx : Entity_state.t) =
   match ctx.av with Some av -> Avantan_core.start av | None -> ()
@@ -131,7 +139,8 @@ let apply_recovery t (ctx : Entity_state.t) decisions =
         Consensus.Ballot.compare a.Protocol.origin b.Protocol.origin)
       decisions
   in
-  List.iter (fun value -> ignore (apply_value t ctx value)) ordered
+  List.iter (fun value -> ignore (apply_value t ctx value)) ordered;
+  if ordered <> [] then t.persist ctx
 
 let protocol_stats _t (ctx : Entity_state.t) =
   match ctx.av with

@@ -21,16 +21,22 @@ val create :
   refresh_wanted:(Entity_state.t -> unit) ->
   register_outcome:(Entity_state.t -> satisfied:bool -> unit) ->
   on_event:(Types.entity -> Avantan_core.event -> unit) ->
+  ?persist:(Entity_state.t -> unit) ->
   unit ->
   t
+(** [persist] is the crash-amnesia durability hook, invoked whenever an
+    entity's protocol-critical state changes (see
+    {!Avantan_core.env.persist}) and after recovery replay; defaults to a
+    no-op (freeze model). *)
 
 val set_drain : t -> (Entity_state.t -> unit) -> unit
 (** Wire the request handler's queue replay, called when an instance
     ends. Deferred past construction to break the handler/driver cycle. *)
 
-val attach : t -> Entity_state.t -> unit
+val attach : t -> ?restore:Avantan_core.image -> Entity_state.t -> unit
 (** Create the entity's protocol instance and store it in the state
-    record. *)
+    record. [restore] rebuilds the fresh machine from a durable image and
+    resumes any surviving acceptance (crash-amnesia recovery). *)
 
 val trigger : t -> Entity_state.t -> unit
 (** Start a redistribution as leader (no-op while already

@@ -16,6 +16,9 @@ type deps = {
   trigger : Entity_state.t -> unit;
   proactive : Entity_state.t -> unit;
   broadcast_read_query : entity:Types.entity -> rid:int -> unit;
+  persist : Entity_state.t -> unit;
+      (** durability hook after a served request moves the token ledger;
+          a no-op under the freeze model *)
 }
 
 type t = {
@@ -79,17 +82,20 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
       ctx.tokens_left <- ctx.tokens_left + amount;
       ctx.acquired_net <- ctx.acquired_net - amount;
       t.s_releases <- t.s_releases + 1;
+      t.deps.persist ctx;
       reply_after_processing t reply Types.Granted
   | Types.Acquire { amount; _ } ->
       if not t.config.Config.enforce_constraint then begin
         ctx.acquired_net <- ctx.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
+        t.deps.persist ctx;
         reply_after_processing t reply Types.Granted
       end
       else if ctx.tokens_left >= amount then begin
         ctx.tokens_left <- ctx.tokens_left - amount;
         ctx.acquired_net <- ctx.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
+        t.deps.persist ctx;
         reply_after_processing t reply Types.Granted;
         if not drain then t.deps.proactive ctx
       end

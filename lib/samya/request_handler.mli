@@ -17,6 +17,9 @@ type deps = {
   trigger : Entity_state.t -> unit;
   proactive : Entity_state.t -> unit;
   broadcast_read_query : entity:Types.entity -> rid:int -> unit;
+  persist : Entity_state.t -> unit;
+      (** durability hook after a served request moves the token ledger;
+          a no-op under the freeze model *)
 }
 
 type t

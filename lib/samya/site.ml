@@ -32,6 +32,12 @@ type t = {
   n_sites : int;
   entities : (Types.entity, Entity_state.t) Hashtbl.t;
   is_alive : bool ref;
+  incarnation : int ref;
+      (* bumped on each amnesia crash so timers armed by a previous
+         incarnation's protocol instances never fire into the recovered
+         process (ghost timers would resurrect discarded state) *)
+  durable : Durable_image.t Storage.Durable.t option;
+      (* Some iff [config.amnesia_on_crash]: one image per entity *)
   prediction : Prediction.t;
   handler : Request_handler.t;
   driver : Protocol_driver.t;
@@ -86,6 +92,22 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
   let engine = Geonet.Network.engine network in
   let n_sites = Geonet.Network.node_count network in
   let is_alive = ref true in
+  let incarnation = ref 0 in
+  let durable =
+    if config.Config.amnesia_on_crash then
+      Some (Storage.Durable.create ~policy:config.Config.durability_sync ())
+    else None
+  in
+  let persist (ctx : Entity_state.t) =
+    match durable with
+    | None -> ()
+    | Some store ->
+        (* Whole-image writes keep the ledger, the dedupe set and the
+           protocol state consistent with each other under any sync
+           policy: a crash rolls them back together. *)
+        Storage.Durable.put store ~key:ctx.Entity_state.entity
+          (Durable_image.capture ctx)
+  in
   let now () = Des.Engine.now engine in
   let prediction = Prediction.create ~config ?forecaster () in
   let rpolicy = Redistribution_policy.create ~config in
@@ -94,14 +116,16 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
       ~send:(fun ~entity ~dst msg ->
         Geonet.Network.send network ~src:id ~dst (Avantan { entity; msg }))
       ~set_timer:(fun ~delay_ms f ->
-        Des.Engine.timer engine ~delay_ms (fun () -> if !is_alive then f ()))
+        let inc = !incarnation in
+        Des.Engine.timer engine ~delay_ms (fun () ->
+            if !is_alive && !incarnation = inc then f ()))
       ~refresh_wanted:(Prediction.refresh_wanted prediction)
       ~register_outcome:(Redistribution_policy.register_outcome rpolicy)
       ~on_event:
         (match on_protocol_event with
         | Some f -> fun entity event -> f ~entity event
         | None -> fun _ _ -> ())
-      ()
+      ~persist ()
   in
   let handler =
     Request_handler.create ~config ~engine ~n_sites
@@ -121,6 +145,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
         broadcast_read_query =
           (fun ~entity ~rid ->
             Geonet.Network.broadcast network ~src:id (Read_query { entity; rid }));
+        persist;
       }
   in
   Protocol_driver.set_drain driver (Request_handler.drain_queue handler);
@@ -133,6 +158,8 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
       n_sites;
       entities = Hashtbl.create 4;
       is_alive;
+      incarnation;
+      durable;
       prediction;
       handler;
       driver;
@@ -147,6 +174,11 @@ let init_entity t ~entity ~tokens =
   let ctx = Entity_state.create ~engine:t.engine ~config:t.config ~entity ~tokens in
   Protocol_driver.attach t.driver ctx;
   Hashtbl.replace t.entities entity ctx;
+  (* The initial allocation is written through regardless of sync policy:
+     a site must not serve before its starting share is durable. *)
+  (match t.durable with
+  | None -> ()
+  | Some store -> Storage.Durable.force store ~key:entity (Durable_image.capture ctx));
   (* Anti-entropy: periodically reconcile missed decisions (a lost
      Decision message or an aborted recovery must not leave this site's
      contribution un-applied forever). *)
@@ -195,6 +227,12 @@ let queued t ~entity = with_ctx t entity (fun ctx -> Queue.length ctx.Entity_sta
 
 let decided_log_length t ~entity = with_ctx t entity Entity_state.decided_log_length
 
+let decided_log t ~entity =
+  match get_ctx t entity with Some ctx -> Entity_state.decided_log ctx | None -> []
+
+let durable_syncs t =
+  match t.durable with Some store -> Storage.Durable.sync_count store | None -> 0
+
 let participating t ~entity =
   match get_ctx t entity with
   | Some ctx -> Entity_state.participating ctx
@@ -204,11 +242,39 @@ let crash t =
   t.is_alive := false;
   Geonet.Network.crash t.network t.site_id;
   Hashtbl.iter (fun _ (ctx : Entity_state.t) -> Queue.clear ctx.Entity_state.queue) t.entities;
-  Request_handler.on_crash t.handler
+  Request_handler.on_crash t.handler;
+  match t.durable with
+  | None -> () (* freeze model: in-memory state survives the crash *)
+  | Some store ->
+      (* Crash-amnesia: everything volatile dies with the process. The
+         in-memory records are rebuilt from the durable images at recovery;
+         bumping the incarnation fences off every timer the dead process
+         armed, so the discarded protocol instances stay dead. *)
+      incr t.incarnation;
+      ignore (Storage.Durable.lose_unsynced store)
 
 let recover t =
   t.is_alive := true;
   Geonet.Network.recover t.network t.site_id;
+  (match t.durable with
+  | None -> ()
+  | Some store ->
+      Hashtbl.iter
+        (fun entity ctx ->
+          match Storage.Durable.load store ~key:entity with
+          | None -> () (* unreachable: the initial image is forced *)
+          | Some image ->
+              Entity_state.restore ctx ~config:t.config
+                ~tokens_left:image.Durable_image.tokens_left
+                ~acquired_net:image.Durable_image.acquired_net
+                ~applied_origins:image.Durable_image.applied_origins
+                ~decided_log:image.Durable_image.decided_log;
+              (* Reattaching resumes any acceptance that survived in the
+                 image (possibly broadcasting, hence after the network
+                 knows we are back up). *)
+              Protocol_driver.attach t.driver ?restore:image.Durable_image.protocol
+                ctx)
+        t.entities);
   (* Catch up on redistributions decided while we were down: peers answer
      with any decision our InitVal took part in. *)
   Hashtbl.iter

@@ -69,17 +69,32 @@ val decided_log_length : t -> entity:Types.entity -> int
 (** Entries currently retained for peer recovery; never exceeds
     {!Config.t.decided_log_retention}. *)
 
+val decided_log : t -> entity:Types.entity -> Protocol.value list
+(** The retained decided values, newest first (the chaos auditor checks
+    cross-site consistency and per-site origin uniqueness over these). *)
+
+val durable_syncs : t -> int
+(** Stable-storage flushes performed so far (0 under the freeze model) —
+    a proxy for the fsync cost of the configured
+    {!Config.t.durability_sync} policy. *)
+
 val participating : t -> entity:Types.entity -> bool
 
 val crash : t -> unit
 (** Stops serving, drops queued requests, freezes protocol participation
-    (timers are inert while crashed). *)
+    (timers are inert while crashed). With {!Config.t.amnesia_on_crash}
+    the crash additionally discards all volatile state: unsynced durable
+    writes are lost and every timer of the dead incarnation is fenced
+    off. *)
 
 val recover : t -> unit
-(** Restores service from (simulated) stable storage state and runs the
-    recovery catch-up: peers are asked for redistribution decisions that
-    involved this site while it was down, and any missed ones are applied
-    (each instance moves tokens exactly once). *)
+(** Restores service and runs the recovery catch-up: peers are asked for
+    redistribution decisions that involved this site while it was down,
+    and any missed ones are applied (each instance moves tokens exactly
+    once). With {!Config.t.amnesia_on_crash} the per-entity state is first
+    rebuilt from the durable image — token ledger, applied-origins dedupe
+    set, decided log, and protocol state, resuming any acceptance that
+    survived the crash. *)
 
 val alive : t -> bool
 

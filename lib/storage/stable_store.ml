@@ -17,6 +17,7 @@ let remove t ~key = Hashtbl.remove t.table key
 
 let mem t ~key = Hashtbl.mem t.table key
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+let keys t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
 
 let write_count t = t.writes

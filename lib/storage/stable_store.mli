@@ -20,6 +20,8 @@ val remove : 'a t -> key:string -> unit
 val mem : 'a t -> key:string -> bool
 
 val keys : 'a t -> string list
+(** Sorted ascending, so iteration order is deterministic across OCaml
+    versions and hash-table layouts. *)
 
 val write_count : 'a t -> int
 (** Total number of durable writes performed — a proxy for fsync cost. *)

@@ -35,6 +35,14 @@ let fold t ~init ~f =
 
 let truncate_from t i =
   if i < 0 then invalid_arg "Wal.truncate_from: negative index";
-  if i < t.size then t.size <- i
+  if i < t.size then begin
+    (* Clear the dropped slots so truncation actually releases the records:
+       keeping them referenced is a space leak under repeated
+       truncate/append cycles. Index 0 gone means no live record is left to
+       fill with, so the whole buffer is released. *)
+    if i = 0 then t.data <- [||]
+    else Array.fill t.data i (Array.length t.data - i) t.data.(i - 1);
+    t.size <- i
+  end
 
 let to_list t = Array.to_list (Array.sub t.data 0 t.size)

@@ -48,6 +48,7 @@ let core_env script ~self ~n_sites =
     refresh_wanted = (fun () -> ());
     on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
     on_event = (fun event -> script.events := event :: !(script.events));
+    persist = (fun () -> ());
     election_timeout_ms = 800.0;
     accept_timeout_ms = 800.0;
     cohort_timeout_ms = 2_500.0;

@@ -1,0 +1,121 @@
+(* Tests for the chaos engine: nemesis schedule determinism and shape,
+   auditor log checks, and seed-sweep soak properties (token conservation
+   and a clean audit under crash-amnesia recovery, both Avantan
+   variants). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let nemesis_deterministic () =
+  let a = Chaos.Nemesis.generate ~seed:42 ~n_sites:5 ~duration_ms:120_000.0 in
+  let b = Chaos.Nemesis.generate ~seed:42 ~n_sites:5 ~duration_ms:120_000.0 in
+  check bool "same seed, identical schedule" true (a = b);
+  let c = Chaos.Nemesis.generate ~seed:43 ~n_sites:5 ~duration_ms:120_000.0 in
+  check bool "different seed, different schedule" true (a.Chaos.Nemesis.faults <> c.Chaos.Nemesis.faults)
+
+let nemesis_shape () =
+  (* Over many seeds: faults ordered by injection time, every heal after
+     its injection and inside the pre-quiescence window, every site index
+     in range. *)
+  for seed = 1 to 50 do
+    let duration_ms = 120_000.0 in
+    let schedule = Chaos.Nemesis.generate ~seed ~n_sites:5 ~duration_ms in
+    check bool "at least three faults" true (List.length schedule.Chaos.Nemesis.faults >= 3);
+    let previous = ref neg_infinity in
+    List.iter
+      (fun (fault : Chaos.Nemesis.fault) ->
+        check bool "sorted by injection time" true (fault.at_ms >= !previous);
+        previous := fault.at_ms;
+        check bool "heals after injection" true (fault.heal_ms > fault.at_ms);
+        check bool "heals before the drain window" true
+          (fault.heal_ms <= 0.7 *. duration_ms);
+        let site_ok s = s >= 0 && s < 5 in
+        match fault.kind with
+        | Chaos.Nemesis.Crash { site } -> check bool "crash site in range" true (site_ok site)
+        | Chaos.Nemesis.One_way_cut { src; dst } ->
+            check bool "cut endpoints" true (site_ok src && site_ok dst && src <> dst)
+        | Chaos.Nemesis.Latency_spike { src; dst; extra_ms } ->
+            check bool "spike endpoints" true (site_ok src && site_ok dst && src <> dst);
+            check bool "spike positive" true (extra_ms > 0.0)
+        | Chaos.Nemesis.Partition { groups } ->
+            let members = List.concat groups in
+            check bool "partition covers all sites" true
+              (List.sort compare members = [ 0; 1; 2; 3; 4 ])
+        | Chaos.Nemesis.Drop_surge { probability } | Chaos.Nemesis.Duplication { probability }
+          ->
+            check bool "probability in (0, 1]" true (probability > 0.0 && probability <= 1.0))
+      schedule.Chaos.Nemesis.faults
+  done
+
+let nemesis_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "rejects one site" true
+    (invalid (fun () -> Chaos.Nemesis.generate ~seed:1 ~n_sites:1 ~duration_ms:10_000.0));
+  check bool "rejects non-positive duration" true
+    (invalid (fun () -> Chaos.Nemesis.generate ~seed:1 ~n_sites:5 ~duration_ms:0.0))
+
+let ballot num site = { Consensus.Ballot.num; site }
+
+let auditor_flags_duplicate_origin () =
+  let value = Samya.Protocol.make_value ~origin:(ballot 3 1) [] in
+  let violations = Chaos.Auditor.check_logs [ (0, [ value; value ]) ] in
+  check int "one violation" 1 (List.length violations);
+  check Alcotest.string "duplicate-origin" "duplicate-origin"
+    (List.hd violations).Chaos.Auditor.check
+
+let auditor_flags_divergent_values () =
+  let origin = ballot 3 1 in
+  let entry tokens : Samya.Protocol.site_entry =
+    { site = 0; tokens_left = tokens; tokens_wanted = 0 }
+  in
+  let a = Samya.Protocol.make_value ~origin [ entry 10 ] in
+  let b = Samya.Protocol.make_value ~origin [ entry 20 ] in
+  let violations = Chaos.Auditor.check_logs [ (0, [ a ]); (1, [ b ]) ] in
+  check int "one violation" 1 (List.length violations);
+  check Alcotest.string "value-consistency" "value-consistency"
+    (List.hd violations).Chaos.Auditor.check;
+  (* Equal values under one origin at two sites are the normal case. *)
+  check int "agreement is clean" 0
+    (List.length (Chaos.Auditor.check_logs [ (0, [ a ]); (1, [ a ]) ]))
+
+let soak_replays_exactly () =
+  let run () = Chaos.Soak.run ~duration_ms:30_000.0 ~variant:Samya.Config.Star ~seed:7 () in
+  let a = run () and b = run () in
+  let fingerprint (r : Chaos.Soak.report) =
+    (r.granted, r.rejected, r.unavailable, r.redistributions, r.durable_syncs, r.duplicated)
+  in
+  check bool "same seed, same outcome" true (fingerprint a = fingerprint b);
+  check bool "faults all healed" true (a.injected = a.healed);
+  check Alcotest.string "repro line" "samya_cli chaos --seed 7 --variant star"
+    (Chaos.Soak.repro_line a)
+
+(* The headline robustness property: across random nemesis seeds and both
+   Avantan variants, a crash-amnesiac cluster with write-through
+   durability finishes with a clean audit — tokens conserved (Equation 1),
+   no origin applied twice, no divergent decision, monotone decided
+   prefixes. *)
+let soak_conserves_tokens variant name =
+  QCheck.Test.make ~count:20 ~name
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let report = Chaos.Soak.run ~duration_ms:45_000.0 ~variant ~seed () in
+      if not (Chaos.Soak.passed report) then
+        QCheck.Test.fail_reportf "%s@." (Chaos.Soak.repro_line report)
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "nemesis: deterministic per seed" `Quick nemesis_deterministic;
+    Alcotest.test_case "nemesis: schedule shape" `Quick nemesis_shape;
+    Alcotest.test_case "nemesis: parameter validation" `Quick nemesis_validation;
+    Alcotest.test_case "auditor: duplicate origin" `Quick auditor_flags_duplicate_origin;
+    Alcotest.test_case "auditor: divergent values" `Quick auditor_flags_divergent_values;
+    Alcotest.test_case "soak: replays exactly" `Quick soak_replays_exactly;
+    QCheck_alcotest.to_alcotest
+      (soak_conserves_tokens Samya.Config.Majority
+         "chaos soak: clean audit across seeds (Avantan[(n+1)/2])");
+    QCheck_alcotest.to_alcotest
+      (soak_conserves_tokens Samya.Config.Star
+         "chaos soak: clean audit across seeds (Avantan[*])");
+  ]

@@ -165,6 +165,141 @@ let unlisted_nodes_are_isolated () =
   Des.Engine.run engine;
   check int "singleton groups" 0 !received
 
+let reregistration_replaces_handler () =
+  (* A recovering site re-registers; the fresh handler must win or stale
+     closures over discarded state would keep receiving traffic. *)
+  let engine, network = make () in
+  let old_handler = ref 0 and new_handler = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr old_handler);
+  Geonet.Network.register network ~node:1 (fun _ -> incr new_handler);
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "old handler silent" 0 !old_handler;
+  check int "new handler receives" 1 !new_handler
+
+let crash_while_partitioned_no_stale () =
+  (* Messages sent at a site that is crashed behind a partition must not
+     surface after both faults heal: the target was down at delivery
+     time, so the sends are gone, not queued. *)
+  let engine, network = make () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:3 (fun _ -> incr received);
+  Geonet.Network.set_partition network [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  Geonet.Network.crash network 3;
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Geonet.Network.send network ~src:4 ~dst:3 ();
+  Geonet.Network.clear_partition network;
+  Des.Engine.run engine;
+  check int "dropped while down" 0 !received;
+  Geonet.Network.recover network 3;
+  Des.Engine.run engine;
+  check int "nothing stale after recovery" 0 !received;
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Des.Engine.run engine;
+  check int "fresh traffic flows" 1 !received
+
+let one_way_cut_is_directional () =
+  let engine, network = make () in
+  let at_0 = ref 0 and at_3 = ref 0 in
+  Geonet.Network.register network ~node:0 (fun _ -> incr at_0);
+  Geonet.Network.register network ~node:3 (fun _ -> incr at_3);
+  Geonet.Network.block_one_way network ~src:0 ~dst:3;
+  check bool "cut direction closed" false (Geonet.Network.link_open network ~src:0 ~dst:3);
+  check bool "reverse open" true (Geonet.Network.link_open network ~src:3 ~dst:0);
+  let dropped_before = Geonet.Network.stats_dropped network in
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Geonet.Network.send network ~src:3 ~dst:0 ();
+  Des.Engine.run engine;
+  check int "cut direction blocked" 0 !at_3;
+  check int "reverse delivered" 1 !at_0;
+  check int "blocked send counted dropped" (dropped_before + 1)
+    (Geonet.Network.stats_dropped network);
+  Geonet.Network.unblock_one_way network ~src:0 ~dst:3;
+  Geonet.Network.send network ~src:0 ~dst:3 ();
+  Des.Engine.run engine;
+  check int "unblocked" 1 !at_3
+
+let duplication_delivers_twice () =
+  let engine, network = make ~drop:0.0 () in
+  let received = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr received);
+  Geonet.Network.set_duplicate_probability network 1.0;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "delivered twice" 2 !received;
+  check int "duplication counted" 1 (Geonet.Network.stats_duplicated network);
+  check int "one logical send" 1 (Geonet.Network.stats_sent network);
+  Geonet.Network.set_duplicate_probability network 0.0;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "single again" 3 !received
+
+let link_drop_override () =
+  let engine, network = make ~drop:0.0 () in
+  let at_1 = ref 0 and at_2 = ref 0 in
+  Geonet.Network.register network ~node:1 (fun _ -> incr at_1);
+  Geonet.Network.register network ~node:2 (fun _ -> incr at_2);
+  Geonet.Network.set_link_drop network ~src:0 ~dst:1 (Some 1.0);
+  for _ = 1 to 10 do
+    Geonet.Network.send network ~src:0 ~dst:1 ();
+    Geonet.Network.send network ~src:0 ~dst:2 ()
+  done;
+  Des.Engine.run engine;
+  check int "surged link loses all" 0 !at_1;
+  check int "other link untouched" 10 !at_2;
+  Geonet.Network.clear_link_overrides network;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  check int "override cleared" 1 !at_1
+
+let latency_spike_delays_arrival () =
+  let engine, network = make ~jitter:0.0 () in
+  let arrived_at = ref nan in
+  Geonet.Network.register network ~node:1 (fun _ -> arrived_at := Des.Engine.now engine);
+  Geonet.Network.set_link_extra_latency network ~src:0 ~dst:1 250.0;
+  Geonet.Network.send network ~src:0 ~dst:1 ();
+  Des.Engine.run engine;
+  let base = Geonet.Network.latency_ms network ~src:0 ~dst:1 in
+  check (Alcotest.float 1e-6) "base + spike" (base +. 250.0) !arrived_at
+
+let fault_parameter_validation () =
+  let invalid f = try f (); false with Invalid_argument _ -> true in
+  let engine = Des.Engine.create ~seed:5L () in
+  let fresh () = Geonet.Network.create engine ~regions:(five ()) () in
+  check bool "create rejects p > 1" true
+    (invalid (fun () ->
+         ignore (Geonet.Network.create engine ~regions:(five ()) ~drop_probability:1.5 ())));
+  check bool "create rejects p < 0" true
+    (invalid (fun () ->
+         ignore
+           (Geonet.Network.create engine ~regions:(five ()) ~drop_probability:(-0.1) ())));
+  check bool "create rejects NaN drop" true
+    (invalid (fun () ->
+         ignore (Geonet.Network.create engine ~regions:(five ()) ~drop_probability:nan ())));
+  check bool "create rejects negative jitter" true
+    (invalid (fun () ->
+         ignore (Geonet.Network.create engine ~regions:(five ()) ~jitter_fraction:(-0.5) ())));
+  check bool "create rejects NaN jitter" true
+    (invalid (fun () ->
+         ignore (Geonet.Network.create engine ~regions:(five ()) ~jitter_fraction:nan ())));
+  check bool "set_drop_probability rejects NaN" true
+    (invalid (fun () -> Geonet.Network.set_drop_probability (fresh ()) nan));
+  check bool "set_drop_probability rejects 2.0" true
+    (invalid (fun () -> Geonet.Network.set_drop_probability (fresh ()) 2.0));
+  check bool "set_duplicate_probability rejects NaN" true
+    (invalid (fun () -> Geonet.Network.set_duplicate_probability (fresh ()) nan));
+  check bool "set_link_drop rejects out-of-range" true
+    (invalid (fun () -> Geonet.Network.set_link_drop (fresh ()) ~src:0 ~dst:1 (Some 1.2)));
+  check bool "set_link_extra_latency rejects negative" true
+    (invalid (fun () ->
+         Geonet.Network.set_link_extra_latency (fresh ()) ~src:0 ~dst:1 (-1.0)));
+  (* In-range values still accepted. *)
+  let network = fresh () in
+  Geonet.Network.set_drop_probability network 0.5;
+  Geonet.Network.set_link_drop network ~src:0 ~dst:1 (Some 0.0);
+  Geonet.Network.set_link_drop network ~src:0 ~dst:1 None;
+  check bool "valid values accepted" true (Geonet.Network.drop_probability network = 0.5)
+
 let suite =
   [
     Alcotest.test_case "region: rtt symmetric" `Quick region_symmetry;
@@ -180,4 +315,14 @@ let suite =
     Alcotest.test_case "network: heal" `Quick heal_restores_traffic;
     Alcotest.test_case "network: partition at delivery time" `Quick partition_checked_at_delivery;
     Alcotest.test_case "network: unlisted nodes isolated" `Quick unlisted_nodes_are_isolated;
+    Alcotest.test_case "network: re-registration replaces handler" `Quick
+      reregistration_replaces_handler;
+    Alcotest.test_case "network: crash behind partition leaves nothing stale" `Quick
+      crash_while_partitioned_no_stale;
+    Alcotest.test_case "network: one-way cut is directional" `Quick one_way_cut_is_directional;
+    Alcotest.test_case "network: duplication delivers twice" `Quick duplication_delivers_twice;
+    Alcotest.test_case "network: per-link drop override" `Quick link_drop_override;
+    Alcotest.test_case "network: latency spike delays arrival" `Quick
+      latency_spike_delays_arrival;
+    Alcotest.test_case "network: fault parameter validation" `Quick fault_parameter_validation;
   ]

@@ -14,4 +14,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
+      ("chaos", Test_chaos.suite);
     ]

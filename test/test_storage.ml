@@ -67,6 +67,67 @@ let store_remove_mem () =
   Alcotest.check_raises "get_exn missing" Not_found (fun () ->
       ignore (Storage.Stable_store.get_exn store ~key:"k"))
 
+let store_keys_sorted () =
+  let store = Storage.Stable_store.create () in
+  List.iter
+    (fun key -> Storage.Stable_store.put store ~key ())
+    [ "zeta"; "alpha"; "mid"; "beta" ];
+  check (Alcotest.list Alcotest.string) "sorted ascending"
+    [ "alpha"; "beta"; "mid"; "zeta" ]
+    (Storage.Stable_store.keys store)
+
+let durable_sync_always () =
+  let d = Storage.Durable.create ~policy:Storage.Durable.Sync_always () in
+  Storage.Durable.put d ~key:"a" 1;
+  check (Alcotest.option int) "durable immediately" (Some 1)
+    (Storage.Durable.load d ~key:"a");
+  Storage.Durable.put d ~key:"a" 2;
+  check int "nothing pending" 0 (Storage.Durable.pending_count d);
+  check int "no unsynced loss" 0 (Storage.Durable.lose_unsynced d);
+  check (Alcotest.option int) "latest survives crash" (Some 2)
+    (Storage.Durable.load d ~key:"a");
+  check int "one sync per put" 2 (Storage.Durable.sync_count d)
+
+let durable_sync_batched () =
+  let d = Storage.Durable.create ~policy:(Storage.Durable.Sync_batched 3) () in
+  Storage.Durable.put d ~key:"a" 1;
+  Storage.Durable.put d ~key:"b" 2;
+  check (Alcotest.option int) "unsynced invisible" None (Storage.Durable.load d ~key:"a");
+  check int "two pending" 2 (Storage.Durable.pending_count d);
+  Storage.Durable.put d ~key:"c" 3;
+  (* Third write fills the batch: everything flushes. *)
+  check int "batch flushed" 0 (Storage.Durable.pending_count d);
+  check (Alcotest.option int) "now durable" (Some 1) (Storage.Durable.load d ~key:"a");
+  check int "one group commit" 1 (Storage.Durable.sync_count d);
+  Storage.Durable.put d ~key:"a" 9;
+  check int "partial batch lost on crash" 1 (Storage.Durable.lose_unsynced d);
+  check (Alcotest.option int) "rolls back to synced image" (Some 1)
+    (Storage.Durable.load d ~key:"a")
+
+let durable_sync_never_and_force () =
+  let d = Storage.Durable.create ~policy:Storage.Durable.Sync_never () in
+  Storage.Durable.force d ~key:"init" 0;
+  Storage.Durable.put d ~key:"init" 5;
+  Storage.Durable.put d ~key:"other" 7;
+  check (Alcotest.option int) "puts never durable" (Some 0)
+    (Storage.Durable.load d ~key:"init");
+  check int "crash loses both" 2 (Storage.Durable.lose_unsynced d);
+  check (Alcotest.option int) "forced image survives" (Some 0)
+    (Storage.Durable.load d ~key:"init");
+  check (Alcotest.option int) "unforced gone" None (Storage.Durable.load d ~key:"other");
+  (* Explicit sync still makes pending writes durable. *)
+  Storage.Durable.put d ~key:"other" 8;
+  Storage.Durable.sync d;
+  check (Alcotest.option int) "explicit sync" (Some 8) (Storage.Durable.load d ~key:"other")
+
+let durable_validate_policy () =
+  (match Storage.Durable.validate_policy (Storage.Durable.Sync_batched 0) with
+  | Ok () -> Alcotest.fail "batch size 0 accepted"
+  | Error _ -> ());
+  Alcotest.check_raises "create rejects batch 0"
+    (Invalid_argument "Durable.create: Sync_batched batch size must be >= 1") (fun () ->
+      ignore (Storage.Durable.create ~policy:(Storage.Durable.Sync_batched 0) ()))
+
 let suite =
   [
     Alcotest.test_case "wal: append/get" `Quick wal_append_get;
@@ -76,4 +137,9 @@ let suite =
     QCheck_alcotest.to_alcotest wal_growth;
     Alcotest.test_case "store: put/get" `Quick store_put_get;
     Alcotest.test_case "store: remove/mem" `Quick store_remove_mem;
+    Alcotest.test_case "store: keys sorted" `Quick store_keys_sorted;
+    Alcotest.test_case "durable: write-through" `Quick durable_sync_always;
+    Alcotest.test_case "durable: group commit" `Quick durable_sync_batched;
+    Alcotest.test_case "durable: never + force" `Quick durable_sync_never_and_force;
+    Alcotest.test_case "durable: policy validation" `Quick durable_validate_policy;
   ]
