@@ -1,6 +1,5 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (see DESIGN.md for the experiment index), plus bechamel
-   micro-benchmarks of the core data-path operations.
+(* Benchmark harness entry point — all logic lives in Cli.Bench_cmd, which
+   samya_cli mounts as its `bench` subcommand.
 
    Usage:
      dune exec bench/main.exe                 -- everything, full durations
@@ -9,238 +8,10 @@
      dune exec bench/main.exe -- micro        -- bechamel micro-benchmarks
      dune exec bench/main.exe -- --jobs 4     -- parallel trial runner
      dune exec bench/main.exe -- --json PATH  -- machine-readable results
+     dune exec bench/main.exe -- --metrics-out PATH  -- metrics JSON
 
    Independent trials run on a domain pool (--jobs, env SAMYA_BENCH_JOBS);
    the experiment output is byte-identical at every jobs level.
    SAMYA_BENCH_QUICK=1 in the environment is equivalent to --quick. *)
 
-let usage () =
-  String.concat "\n"
-    [
-      "usage: main.exe [options] [experiment ids...]";
-      "";
-      "ids (default: every experiment except fig3b, then micro):";
-      Printf.sprintf "  %s micro" (String.concat " " (Harness.Registry.ids ()));
-      "";
-      "options:";
-      "  --quick      short durations (env SAMYA_BENCH_QUICK=1)";
-      "  --jobs N     worker domains for independent trials (env SAMYA_BENCH_JOBS;";
-      "               default: hardware parallelism); output is identical for any N";
-      "  --json PATH  also write a machine-readable BENCH_*.json results file";
-      "  --help       show this message";
-      "";
-    ]
-
-let die message =
-  prerr_string (message ^ "\n\n" ^ usage ());
-  exit 2
-
-type options = {
-  quick : bool;
-  jobs : int;
-  json : string option;
-  ids : string list;
-}
-
-let parse_args argv =
-  let quick = ref (Sys.getenv_opt "SAMYA_BENCH_QUICK" = Some "1") in
-  let jobs = ref None in
-  let json = ref None in
-  let ids = ref [] in
-  let positive_int ~flag value =
-    match int_of_string_opt value with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> die (Printf.sprintf "%s expects a positive integer, got %S" flag value)
-  in
-  let rec parse = function
-    | [] -> ()
-    | "--" :: rest -> parse rest
-    | ("--help" | "-h" | "-help") :: _ ->
-        print_string (usage ());
-        exit 0
-    | "--quick" :: rest ->
-        quick := true;
-        parse rest
-    | "--jobs" :: value :: rest ->
-        jobs := Some (positive_int ~flag:"--jobs" value);
-        parse rest
-    | [ "--jobs" ] -> die "--jobs requires a value"
-    | "--json" :: path :: rest ->
-        json := Some path;
-        parse rest
-    | [ "--json" ] -> die "--json requires a value"
-    | arg :: rest when String.length arg > 1 && arg.[0] = '-' -> (
-        match String.index_opt arg '=' with
-        | Some eq -> parse (String.sub arg 0 eq :: String.sub arg (eq + 1) (String.length arg - eq - 1) :: rest)
-        | None -> die (Printf.sprintf "unknown option %S" arg))
-    | id :: rest ->
-        ids := id :: !ids;
-        parse rest
-  in
-  parse (List.tl (Array.to_list argv));
-  let jobs =
-    match !jobs with
-    | Some n -> n
-    | None -> (
-        match Sys.getenv_opt "SAMYA_BENCH_JOBS" with
-        | Some v -> (
-            match int_of_string_opt v with
-            | Some n when n >= 1 -> n
-            | Some _ | None -> die (Printf.sprintf "SAMYA_BENCH_JOBS must be a positive integer, got %S" v))
-        | None -> Harness.Pool.default_jobs ())
-  in
-  { quick = !quick; jobs; json = !json; ids = List.rev !ids }
-
-(* ------------------------------------------------------------------ *)
-(* Micro benchmarks (bechamel) *)
-
-let micro_benchmarks () =
-  let open Bechamel in
-  let rng = Des.Rng.create 99L in
-  let entries =
-    List.init 16 (fun site ->
-        {
-          Samya.Reallocation.site;
-          tokens_left = Des.Rng.int rng 2_000;
-          tokens_wanted = Des.Rng.int rng 500;
-        })
-  in
-  let realloc =
-    Test.make ~name:"reallocation.redistribute(16 sites)"
-      (Staged.stage (fun () -> ignore (Samya.Reallocation.redistribute entries)))
-  in
-  let heap =
-    Test.make ~name:"pheap.push+pop(1k)"
-      (Staged.stage (fun () ->
-           let h = Des.Pheap.create () in
-           for i = 0 to 999 do
-             Des.Pheap.push h ~priority:(float_of_int ((i * 7) mod 997)) i
-           done;
-           while Des.Pheap.pop h <> None do
-             ()
-           done))
-  in
-  let a = Ml.Matrix.random (Des.Rng.create 3L) 64 64 ~scale:1.0 in
-  let b = Ml.Matrix.random (Des.Rng.create 4L) 64 64 ~scale:1.0 in
-  let matmul =
-    Test.make ~name:"matrix.matmul(64x64)"
-      (Staged.stage (fun () -> ignore (Ml.Matrix.matmul a b)))
-  in
-  let series = Array.init 400 (fun i -> 50.0 +. (40.0 *. sin (float_of_int i /. 9.0))) in
-  let model =
-    Ml.Lstm.train
-      ~config:{ Ml.Lstm.default_config with epochs = 2; hidden = 8; window = 12 }
-      series
-  in
-  let lstm =
-    Test.make ~name:"lstm.predict_next(w=12,h=8)"
-      (Staged.stage (fun () -> ignore (Ml.Lstm.predict_next model series)))
-  in
-  let grouped = Test.make_grouped ~name:"core" [ realloc; heap; matmul; lstm ] in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
-  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Format.printf "@.== micro: bechamel benchmarks of core operations ==@.";
-  let measured = ref [] in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ time_ns ] ->
-          measured := (name, time_ns) :: !measured;
-          Format.printf "  %-42s %12.1f ns/run@." name time_ns
-      | Some _ | None -> ())
-    analyzed;
-  Format.printf "@.";
-  List.sort (fun (a, _) (b, _) -> String.compare a b) !measured
-
-(* ------------------------------------------------------------------ *)
-(* Machine-readable results (BENCH_*.json) *)
-
-let json_escape s =
-  let buffer = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buffer "\\\""
-      | '\\' -> Buffer.add_string buffer "\\\\"
-      | '\n' -> Buffer.add_string buffer "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.contents buffer
-
-let write_json ~path ~options ~experiments ~micro ~total_wall_s =
-  let out = Buffer.create 1024 in
-  let add fmt = Printf.ksprintf (Buffer.add_string out) fmt in
-  add "{\n";
-  add "  \"schema\": \"samya-bench/1\",\n";
-  add "  \"generated_at_unix\": %.0f,\n" (Unix.gettimeofday ());
-  add "  \"quick\": %b,\n" options.quick;
-  add "  \"jobs\": %d,\n" options.jobs;
-  add "  \"seed\": %Ld,\n" Harness.Exp_common.seed;
-  add "  \"experiments\": [";
-  List.iteri
-    (fun i (id, seconds) ->
-      add "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f}" (if i = 0 then "" else ",") (json_escape id) seconds)
-    experiments;
-  add "%s],\n" (if experiments = [] then "" else "\n  ");
-  add "  \"micro\": [";
-  List.iteri
-    (fun i (name, ns) ->
-      add "%s\n    {\"name\": \"%s\", \"ns_per_run\": %.1f}" (if i = 0 then "" else ",") (json_escape name) ns)
-    micro;
-  add "%s],\n" (if micro = [] then "" else "\n  ");
-  add "  \"total_wall_s\": %.3f\n" total_wall_s;
-  add "}\n";
-  let channel = open_out path in
-  output_string channel (Buffer.contents out);
-  close_out channel
-
-(* ------------------------------------------------------------------ *)
-
-let () =
-  let options = parse_args Sys.argv in
-  let run_micro = options.ids = [] || List.mem "micro" options.ids in
-  let experiment_ids =
-    if options.ids = [] then Harness.Registry.ids () |> List.filter (fun id -> id <> "fig3b")
-    else List.filter (fun id -> id <> "micro") options.ids
-  in
-  let experiments =
-    match Harness.Registry.validate experiment_ids with
-    | Ok experiments -> experiments
-    | Error message -> die ("error: " ^ message)
-  in
-  (* Fail before the sweep, not after it, if the JSON target is unwritable. *)
-  (match options.json with
-  | Some path -> (
-      match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
-      | channel -> close_out channel
-      | exception Sys_error reason -> die ("error: cannot write --json file: " ^ reason))
-  | None -> ());
-  Harness.Pool.set_jobs options.jobs;
-  (* Runner metadata goes to stderr: stdout is byte-identical at any
-     --jobs level, so two runs can be diffed directly. *)
-  Format.eprintf "jobs: %d@." options.jobs;
-  Format.printf
-    "Samya reproduction benchmarks (%s durations; seed fixed, fully deterministic)@."
-    (if options.quick then "quick" else "paper-scale");
-  let started = Unix.gettimeofday () in
-  let ctx = Harness.Lab.create () in
-  let rendered =
-    Harness.Registry.run_many ~time:Unix.gettimeofday ctx ~quick:options.quick experiments
-  in
-  List.iter (fun (r : Harness.Registry.rendered) -> print_string r.output) rendered;
-  let micro = if run_micro then micro_benchmarks () else [] in
-  let total_wall_s = Unix.gettimeofday () -. started in
-  (match options.json with
-  | Some path ->
-      let experiments =
-        List.map
-          (fun (r : Harness.Registry.rendered) -> (r.experiment.Harness.Registry.id, r.seconds))
-          rendered
-      in
-      write_json ~path ~options ~experiments ~micro ~total_wall_s;
-      Format.eprintf "wrote %s@." path
-  | None -> ());
-  Format.printf "@.done.@."
+let () = exit (Cmdliner.Cmd.eval' Cli.Bench_cmd.cmd)

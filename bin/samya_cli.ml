@@ -3,7 +3,9 @@
    samya-cli list                     -- experiment index
    samya-cli run table2b [--quick]    -- run one experiment
    samya-cli run-all [--quick]        -- every experiment
-   samya-cli trace [--days N]         -- inspect the synthetic Azure trace
+   samya-cli bench [ids...] [--quick] -- the full benchmark runner
+   samya-cli trace headline [--quick] -- export a Chrome trace of a run
+   samya-cli workload [--days N]      -- inspect the synthetic Azure trace
    samya-cli demo [--star]            -- drive a small cluster end to end
    samya-cli chaos --seed N           -- one audited nemesis run, replayable *)
 
@@ -56,7 +58,7 @@ let run_all_cmd =
     (Cmd.info "run-all" ~doc:"Run every experiment in DESIGN.md order.")
     Term.(const run $ quick_flag)
 
-let trace_cmd =
+let workload_cmd =
   let days =
     Arg.(value & opt int 7 & info [ "days" ] ~doc:"Days of trace to generate.")
   in
@@ -92,7 +94,7 @@ let trace_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Generate and summarise the synthetic workload trace.")
+    (Cmd.info "workload" ~doc:"Generate and summarise the synthetic workload trace.")
     Term.(const run $ days)
 
 let demo_cmd =
@@ -225,4 +227,14 @@ let () =
   let info = Cmd.info "samya-cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; trace_cmd; demo_cmd; chaos_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            run_all_cmd;
+            Cli.Bench_cmd.cmd;
+            Cli.Trace_cmd.cmd;
+            workload_cmd;
+            demo_cmd;
+            chaos_cmd;
+          ]))

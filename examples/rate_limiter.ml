@@ -79,7 +79,7 @@ let () =
       | Ok () -> Format.printf "  %-12s in-flight never exceeded the quota.@." ""
       | Error e -> Format.printf "  %-12s QUOTA VIOLATED: %s@." "" e)
     tiers;
-  let stats = Samya.Cluster.aggregate_stats cluster in
+  let stats = Samya.Cluster.aggregate_site_stats cluster in
   Format.printf "@.quota rebalancing: %d proactive + %d reactive triggers, %d decided@."
     stats.Samya.Site.proactive_triggers stats.Samya.Site.reactive_triggers
     (Samya.Cluster.total_redistributions cluster)

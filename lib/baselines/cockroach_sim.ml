@@ -71,6 +71,13 @@ let create ?(seed = 42L) ?regions ?(processing_ms = 0.15) ?(max_queue = 1) () =
 
 let engine t = t.engine
 
+let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let net_stats t =
+  ( Geonet.Network.stats_sent t.network,
+    Geonet.Network.stats_delivered t.network,
+    Geonet.Network.stats_dropped t.network )
+
 let start t = Array.iter Consensus.Raft.start t.rafts
 
 let init_entity t ~entity ~maximum =

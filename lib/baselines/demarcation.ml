@@ -38,6 +38,13 @@ let default_regions () = Array.of_list Geonet.Region.default_five
 
 let engine t = t.engine
 
+let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let net_stats t =
+  ( Geonet.Network.stats_sent t.network,
+    Geonet.Network.stats_delivered t.network,
+    Geonet.Network.stats_dropped t.network )
+
 let ctx_of t site entity =
   match Hashtbl.find_opt t.sites.(site).entities entity with
   | Some ctx -> ctx

@@ -35,6 +35,13 @@ val create :
 
 val engine : t -> Des.Engine.t
 
+val set_net_tracer : t -> Geonet.Network.tracer option -> unit
+(** Install a message-hop observer on the internal network (the network
+    itself is not exposed); [None] removes it. *)
+
+val net_stats : t -> int * int * int
+(** [(sent, delivered, dropped)] counters of the internal network. *)
+
 val init_entity : t -> entity:Samya.Types.entity -> maximum:int -> unit
 
 val submit :

@@ -73,6 +73,13 @@ let create ?(seed = 42L) ?(regions = regions) ?(leader = 1) ?(processing_ms = 0.
 
 let engine t = t.engine
 
+let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let net_stats t =
+  ( Geonet.Network.stats_sent t.network,
+    Geonet.Network.stats_delivered t.network,
+    Geonet.Network.stats_dropped t.network )
+
 let init_entity t ~entity ~maximum =
   Array.iter (fun state -> Rsm.set_maximum state ~entity maximum) t.states
 

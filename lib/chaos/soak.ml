@@ -65,9 +65,10 @@ let pp_report fmt report =
 
 (* One client loop per region: acquires with bounded-outstanding releases,
    all randomness from a stream split off the seed so the whole run —
-   workload, cluster, fault schedule — replays from one integer. *)
-let spawn_client ~engine ~cluster ~rng ~region ~duration_ms ~granted ~rejected
-    ~unavailable =
+   workload, cluster, fault schedule — replays from one integer. Clients
+   speak the facade verbs only (the entity is bound at construction). *)
+let spawn_client ~engine ~(facade : Facade.t) ~rng ~region ~duration_ms ~granted
+    ~rejected ~unavailable =
   let outstanding = ref 0 in
   let count = function
     | Samya.Types.Granted -> incr granted
@@ -84,15 +85,11 @@ let spawn_client ~engine ~cluster ~rng ~region ~duration_ms ~granted ~rejected
                 auditor would see client-caused negative acquisition. *)
              let amount = 1 + Des.Rng.int rng (min 3 !outstanding) in
              outstanding := !outstanding - amount;
-             Samya.Cluster.submit cluster ~region
-               (Samya.Types.Release { entity; amount })
-               ~reply:count
+             facade.Facade.release ~region ~amount ~reply:count
            end
            else
              let amount = 1 + Des.Rng.int rng 4 in
-             Samya.Cluster.submit cluster ~region
-               (Samya.Types.Acquire { entity; amount })
-               ~reply:(fun response ->
+             facade.Facade.acquire ~region ~amount ~reply:(fun response ->
                  count response;
                  if response = Samya.Types.Granted then
                    outstanding := !outstanding + amount));
@@ -119,21 +116,31 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
     Array.init n_sites (fun i -> all_regions.(i mod Array.length all_regions))
   in
   let auditor = Auditor.create ~variant () in
-  let cluster =
-    Samya.Cluster.create ~seed:cluster_seed ~config ~regions
+  let hooks =
+    Facade.samya_hooks
       ~on_protocol_event:(fun ~site ~entity:_ event ->
         Auditor.on_protocol_event auditor ~site event)
       ()
   in
+  let cluster =
+    Samya.Cluster.create ~seed:cluster_seed ~config ~regions
+      ~on_protocol_event:(Facade.protocol_event_hook hooks)
+      ~obs:(Facade.obs_port hooks) ()
+  in
   Samya.Cluster.init_entity cluster ~entity ~maximum;
-  let engine = Samya.Cluster.engine cluster in
+  (* Clients and the fault injector drive the cluster through the same
+     facade record the experiment harness uses; only the quiescent audit
+     and the recovery probes reach inside (the probes bypass routing on
+     purpose — they must target the recovered site itself). *)
+  let facade = Facade.of_samya_cluster ~hooks ~regions ~entity cluster in
+  let engine = facade.Facade.engine in
   let network = Samya.Cluster.network cluster in
   let injector =
     Injector.install ~engine ~network
-      ~crash:(Samya.Cluster.crash_site cluster)
+      ~crash:facade.Facade.crash_site
       ~recover:(fun site ->
         Auditor.note_recovery auditor ~site;
-        Samya.Cluster.recover_site cluster site)
+        facade.Facade.recover_site site)
       schedule
   in
   (* Recovery-to-service probes: right after each crash heals, one direct
@@ -154,7 +161,7 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
   Array.iter
     (fun region ->
       let rng = Des.Rng.split root in
-      spawn_client ~engine ~cluster ~rng ~region ~duration_ms ~granted ~rejected
+      spawn_client ~engine ~facade ~rng ~region ~duration_ms ~granted ~rejected
         ~unavailable)
     regions;
   (* Drain: traffic stops at [duration_ms] and every fault healed by 70%

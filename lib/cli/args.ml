@@ -1,0 +1,55 @@
+open Cmdliner
+
+(* The env fallbacks are resolved by hand rather than with [Arg.info ~env]:
+   SAMYA_BENCH_QUICK=1 predates this module and cmdliner's boolean env
+   parser only accepts true/false. *)
+
+let quick =
+  let flag =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Short durations (smoke mode; env SAMYA_BENCH_QUICK=1).")
+  in
+  Term.(
+    const (fun explicit ->
+        explicit || Sys.getenv_opt "SAMYA_BENCH_QUICK" = Some "1")
+    $ flag)
+
+let jobs =
+  let opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for independent trials (env SAMYA_BENCH_JOBS; \
+             default: hardware parallelism). Output is identical for any N.")
+  in
+  let resolve = function
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (Printf.sprintf "--jobs expects a positive integer, got %d" n)
+    | None -> (
+        match Sys.getenv_opt "SAMYA_BENCH_JOBS" with
+        | None -> Ok (Harness.Pool.default_jobs ())
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> Ok n
+            | Some _ | None ->
+                Error
+                  (Printf.sprintf
+                     "SAMYA_BENCH_JOBS must be a positive integer, got %S" v)))
+  in
+  Term.term_result' Term.(const resolve $ opt)
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:"Also write the flat metrics JSON (samya-metrics/1) to $(docv).")
+
+let write_file ~path contents =
+  let channel = open_out path in
+  output_string channel contents;
+  close_out channel

@@ -1,0 +1,15 @@
+(** Argument terms shared by every subcommand of [samya_cli] and the bench
+    runner, so both front ends parse [--quick]/[--jobs] (and their
+    SAMYA_BENCH_* environment fallbacks) identically. *)
+
+val quick : bool Cmdliner.Term.t
+(** [--quick], or the env fallback SAMYA_BENCH_QUICK=1. *)
+
+val jobs : int Cmdliner.Term.t
+(** [--jobs N], the env fallback SAMYA_BENCH_JOBS, or the hardware
+    parallelism. Always >= 1. *)
+
+val metrics_out : string option Cmdliner.Term.t
+(** [--metrics-out PATH]. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,7 @@
+(** The benchmark runner as a Cmdliner command: experiment sweep (domain
+    pool, byte-identical stdout at any [--jobs]), bechamel micro
+    benchmarks (time and minor allocation), [--json] results file and
+    [--metrics-out] metrics JSON. [bench/main.exe] evaluates {!cmd} as its
+    whole program; [samya_cli bench] mounts it as a subcommand. *)
+
+val cmd : int Cmdliner.Cmd.t

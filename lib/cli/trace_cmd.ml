@@ -1,0 +1,64 @@
+open Cmdliner
+
+let run experiment quick jobs out metrics_out =
+  Harness.Pool.set_jobs jobs;
+  Format.eprintf "jobs: %d@." jobs;
+  let ctx = Harness.Lab.create () in
+  match Harness.Exp_trace.run ctx ~quick ~experiment with
+  | Error message ->
+      Format.eprintf "error: %s@." message;
+      2
+  | Ok captures -> (
+      let out =
+        Option.value out ~default:(Printf.sprintf "trace-%s.json" experiment)
+      in
+      let trace = Harness.Exp_trace.trace_json captures in
+      Args.write_file ~path:out trace;
+      Harness.Exp_trace.summary Format.std_formatter captures;
+      (match metrics_out with
+      | Some path ->
+          Args.write_file ~path
+            (Harness.Exp_trace.metrics_json
+               ~meta:
+                 [
+                   ("experiment", experiment);
+                   ("quick", string_of_bool quick);
+                   ("seed", Int64.to_string Harness.Exp_common.seed);
+                 ]
+               captures);
+          Format.printf "metrics: %s@." path
+      | None -> ());
+      match Obs.Export.validate_trace trace with
+      | Ok events ->
+          Format.printf "trace: %s (%d events, load in chrome://tracing or ui.perfetto.dev)@."
+            out events;
+          0
+      | Error reason ->
+          Format.eprintf "error: emitted trace failed validation: %s@." reason;
+          1)
+
+let cmd =
+  let experiment =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            (Printf.sprintf "Traceable experiment: %s."
+               (String.concat ", " Harness.Exp_trace.experiments)))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Trace output path (default trace-$(i,EXPERIMENT).json).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Re-run an experiment with full observability and export a \
+          Chrome-loadable trace_event JSON (plus optional metrics JSON). \
+          Deterministic: same seed and experiment give a byte-identical \
+          trace at any --jobs level.")
+    Term.(const run $ experiment $ Args.quick $ Args.jobs $ out $ Args.metrics_out)

@@ -1,0 +1,4 @@
+(** [samya_cli trace EXPERIMENT]: trace capture + export with built-in
+    schema validation of the emitted document. *)
+
+val cmd : int Cmdliner.Cmd.t

@@ -3,10 +3,17 @@
    small state record, so cancellation and the fired/pending distinction
    need no per-event bookkeeping on the hot path. *)
 
+type tracer = {
+  on_timer_fired : label:string -> armed_ms:float -> now_ms:float -> unit;
+  on_timer_cancelled : label:string -> armed_ms:float -> now_ms:float -> unit;
+  after_step : now_ms:float -> pending:int -> unit;
+}
+
 type t = {
   mutable clock : float;
   queue : (unit -> unit) Pheap.t;
   root_rng : Rng.t;
+  mutable tracer : tracer option;
 }
 
 type timer_state = Pending | Fired | Cancelled
@@ -14,7 +21,9 @@ type timer_state = Pending | Fired | Cancelled
 type timer = { mutable state : timer_state }
 
 let create ?(seed = 42L) () =
-  { clock = 0.0; queue = Pheap.create (); root_rng = Rng.create seed }
+  { clock = 0.0; queue = Pheap.create (); root_rng = Rng.create seed; tracer = None }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let now t = t.clock
 
@@ -26,13 +35,33 @@ let schedule_at t ~time_ms f =
 
 let schedule t ~delay_ms f = schedule_at t ~time_ms:(t.clock +. Float.max 0.0 delay_ms) f
 
-let timer t ~delay_ms f =
+(* Unlabelled timers keep the lean PR-1 closure; labelled ones capture the
+   arming time so a tracer can attribute fire/cancel events. Both shapes
+   are allocation-equivalent when no tracer is installed. *)
+let timer ?label t ~delay_ms f =
   let tm = { state = Pending } in
-  schedule t ~delay_ms (fun () ->
-      if tm.state = Pending then begin
-        tm.state <- Fired;
-        f ()
-      end);
+  (match label with
+  | None ->
+      schedule t ~delay_ms (fun () ->
+          if tm.state = Pending then begin
+            tm.state <- Fired;
+            f ()
+          end)
+  | Some label ->
+      let armed_ms = t.clock in
+      schedule t ~delay_ms (fun () ->
+          match tm.state with
+          | Pending ->
+              tm.state <- Fired;
+              (match t.tracer with
+              | Some tr -> tr.on_timer_fired ~label ~armed_ms ~now_ms:t.clock
+              | None -> ());
+              f ()
+          | Cancelled -> (
+              match t.tracer with
+              | Some tr -> tr.on_timer_cancelled ~label ~armed_ms ~now_ms:t.clock
+              | None -> ())
+          | Fired -> ()));
   tm
 
 let cancel tm = if tm.state = Pending then tm.state <- Cancelled
@@ -48,6 +77,9 @@ let step t =
     let fire = Pheap.pop_unsafe t.queue in
     if time > t.clock then t.clock <- time;
     fire ();
+    (match t.tracer with
+    | Some tr -> tr.after_step ~now_ms:t.clock ~pending:(Pheap.length t.queue)
+    | None -> ());
     true
   end
 

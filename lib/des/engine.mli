@@ -34,8 +34,10 @@ val schedule_at : t -> time_ms:float -> (unit -> unit) -> unit
 (** Absolute-time variant of {!schedule}. Times in the past are clamped to
     [now]. *)
 
-val timer : t -> delay_ms:float -> (unit -> unit) -> timer
-(** Like {!schedule} but returns a handle for {!cancel}. *)
+val timer : ?label:string -> t -> delay_ms:float -> (unit -> unit) -> timer
+(** Like {!schedule} but returns a handle for {!cancel}. A [label] makes
+    the timer visible to an installed {!tracer} (fired/cancelled events
+    attributed by name); unlabelled timers are never traced. *)
 
 val cancel : timer -> unit
 (** Cancelling an already-fired or cancelled timer is a no-op. *)
@@ -56,3 +58,24 @@ val run : ?until_ms:float -> t -> unit
 
 val run_for : t -> float -> unit
 (** [run_for t d] is [run t ~until_ms:(now t +. d)]. *)
+
+(** {2 Tracing}
+
+    A tracer observes the engine without perturbing it: callbacks fire at
+    the same virtual times and in the same order whether or not one is
+    installed, so enabling observability cannot change a run. The engine
+    deliberately knows nothing about the observability layer — the record
+    uses only primitive types and the wiring lives upstream. *)
+
+type tracer = {
+  on_timer_fired : label:string -> armed_ms:float -> now_ms:float -> unit;
+      (** a labelled timer's callback is about to run *)
+  on_timer_cancelled : label:string -> armed_ms:float -> now_ms:float -> unit;
+      (** a labelled timer's slot was reached after cancellation *)
+  after_step : now_ms:float -> pending:int -> unit;
+      (** after every executed event, with the queue depth *)
+}
+
+val set_tracer : t -> tracer option -> unit
+(** Install or remove the tracer. With [None] (the default) the only cost
+    is one load-and-branch per event. *)

@@ -1,0 +1,250 @@
+type stats = {
+  redistributions : int;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+}
+
+type t = {
+  name : string;
+  engine : Des.Engine.t;
+  acquire :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  release :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  crash_region : Geonet.Region.t -> unit;
+  crash_site : int -> unit;
+  recover_site : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  stats : unit -> stats;
+  subscribe : Obs.Sink.t -> unit;
+  invariant : maximum:int -> (unit, string) result;
+}
+
+let sites_in regions region =
+  let out = ref [] in
+  Array.iteri (fun i r -> if r = region then out := i :: !out) regions;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Observability wiring parts. Instruments are resolved once at
+   subscription, so the per-event cost while tracing is a field update
+   (metrics) or one list cons (spans).                                  *)
+
+let engine_tracer (sink : Obs.Sink.t) =
+  let m = sink.Obs.Sink.metrics in
+  let events = Obs.Metrics.counter m "des.events" in
+  let depth = Obs.Metrics.gauge m "des.queue.depth" in
+  let fired = Obs.Metrics.counter m "des.timer.fired" in
+  let cancelled = Obs.Metrics.counter m "des.timer.cancelled" in
+  {
+    Des.Engine.on_timer_fired =
+      (fun ~label ~armed_ms ~now_ms ->
+        (* A fired labelled timer is an expired timeout (protocol failure
+           detectors cancel on progress): span it armed -> fired. *)
+        Obs.Metrics.incr fired;
+        Obs.Span.complete sink.Obs.Sink.spans ~cat:"timer" ~name:label ~ts:armed_ms
+          ~dur:(now_ms -. armed_ms) ());
+    on_timer_cancelled =
+      (fun ~label:_ ~armed_ms:_ ~now_ms:_ -> Obs.Metrics.incr cancelled);
+    after_step =
+      (fun ~now_ms:_ ~pending ->
+        Obs.Metrics.incr events;
+        Obs.Metrics.set depth (float_of_int pending));
+  }
+
+let network_tracer (sink : Obs.Sink.t) =
+  let m = sink.Obs.Sink.metrics in
+  let sent = Obs.Metrics.counter m "net.sent" in
+  let delivered = Obs.Metrics.counter m "net.delivered" in
+  let dropped = Obs.Metrics.counter m "net.dropped" in
+  let hop_ms = Obs.Metrics.histogram m "net.hop_ms" in
+  {
+    Geonet.Network.on_send = (fun ~src:_ ~dst:_ ~now_ms:_ -> Obs.Metrics.incr sent);
+    on_deliver =
+      (fun ~src ~dst ~sent_at ~now_ms ->
+        Obs.Metrics.incr delivered;
+        Obs.Metrics.observe hop_ms (now_ms -. sent_at);
+        Obs.Span.complete sink.Obs.Sink.spans ~cat:"net" ~tid:dst ~name:"net.hop"
+          ~ts:sent_at ~dur:(now_ms -. sent_at)
+          ~args:[ ("src", string_of_int src); ("dst", string_of_int dst) ]
+          ());
+    on_drop =
+      (fun ~src ~dst ~sent_at ~now_ms:_ ->
+        Obs.Metrics.incr dropped;
+        Obs.Span.instant sink.Obs.Sink.spans ~cat:"net" ~tid:dst
+          ~args:[ ("src", string_of_int src); ("sent_at", Printf.sprintf "%.3f" sent_at) ]
+          "net.drop");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Avantan span observer: instance spans with role, rounds and outcome,
+   reconstructed from the structured protocol events of PR 2.            *)
+
+module Ballot = Consensus.Ballot
+
+let avantan_observer (sink : Obs.Sink.t) =
+  let m = sink.Obs.Sink.metrics in
+  let sp = sink.Obs.Sink.spans in
+  let elections = Obs.Metrics.counter m "avantan.elections" in
+  let joined = Obs.Metrics.counter m "avantan.joined" in
+  let decided = Obs.Metrics.counter m "avantan.decided" in
+  let aborted = Obs.Metrics.counter m "avantan.aborted" in
+  let recoveries = Obs.Metrics.counter m "avantan.recoveries" in
+  let rounds_h = Obs.Metrics.histogram m "avantan.rounds" in
+  (* One open span per (site, entity): a site participates in at most one
+     instance at a time, and Decided/Instance_aborted always closes it. *)
+  let open_spans : (int * string, Obs.Span.span) Hashtbl.t = Hashtbl.create 16 in
+  let ensure_open ~site ~entity =
+    let key = (site, entity) in
+    if not (Hashtbl.mem open_spans key) then
+      Hashtbl.replace open_spans key
+        (Obs.Span.start sp ~cat:"avantan" ~tid:site "avantan.instance")
+  in
+  let close ~site ~entity args =
+    let key = (site, entity) in
+    match Hashtbl.find_opt open_spans key with
+    | Some span ->
+        Hashtbl.remove open_spans key;
+        Obs.Span.finish sp ~args span
+    | None ->
+        (* Decision applied with no open instance here (e.g. delivered by
+           anti-entropy): record it as an instant instead. *)
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site ~args "avantan.apply"
+  in
+  fun ~site ~entity (event : Samya.Avantan_core.event) ->
+    match event with
+    | Samya.Avantan_core.Election_started { ballot; round } ->
+        Obs.Metrics.incr elections;
+        ensure_open ~site ~entity;
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site
+          ~args:
+            [ ("ballot", Ballot.to_string ballot); ("round", string_of_int round) ]
+          "election.started"
+    | Samya.Avantan_core.Election_joined { ballot; leader } ->
+        Obs.Metrics.incr joined;
+        ensure_open ~site ~entity;
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site
+          ~args:
+            [ ("ballot", Ballot.to_string ballot); ("leader", string_of_int leader) ]
+          "election.joined"
+    | Samya.Avantan_core.Value_constructed { ballot; participants } ->
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site
+          ~args:
+            [
+              ("ballot", Ballot.to_string ballot);
+              ("participants", string_of_int participants);
+            ]
+          "value.constructed"
+    | Samya.Avantan_core.Value_accepted { ballot; leader } ->
+        ensure_open ~site ~entity;
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site
+          ~args:
+            [ ("ballot", Ballot.to_string ballot); ("leader", string_of_int leader) ]
+          "value.accepted"
+    | Samya.Avantan_core.Recovery_started { ballot } ->
+        Obs.Metrics.incr recoveries;
+        ensure_open ~site ~entity;
+        Obs.Span.instant sp ~cat:"avantan" ~tid:site
+          ~args:[ ("ballot", Ballot.to_string ballot) ]
+          "recovery.started"
+    | Samya.Avantan_core.Decided { origin; participants; led; rounds } ->
+        Obs.Metrics.incr decided;
+        Obs.Metrics.observe rounds_h (float_of_int rounds);
+        close ~site ~entity
+          [
+            ("outcome", "decided");
+            ("origin", Ballot.to_string origin);
+            ("participants", string_of_int participants);
+            ("led", string_of_bool led);
+            ("rounds", string_of_int rounds);
+          ]
+    | Samya.Avantan_core.Instance_aborted { ballot; led; rounds } ->
+        Obs.Metrics.incr aborted;
+        Obs.Metrics.observe rounds_h (float_of_int rounds);
+        close ~site ~entity
+          [
+            ("outcome", "aborted");
+            ("ballot", Ballot.to_string ballot);
+            ("led", string_of_bool led);
+            ("rounds", string_of_int rounds);
+          ]
+
+(* ------------------------------------------------------------------ *)
+(* The Samya adapter                                                    *)
+
+type samya_hooks = {
+  sh_obs : Obs.Sink.port;
+  sh_user :
+    (site:int -> entity:Samya.Types.entity -> Samya.Avantan_core.event -> unit)
+    option;
+  mutable sh_observer :
+    (site:int -> entity:Samya.Types.entity -> Samya.Avantan_core.event -> unit)
+    option;
+}
+
+let samya_hooks ?on_protocol_event () =
+  { sh_obs = Obs.Sink.port (); sh_user = on_protocol_event; sh_observer = None }
+
+let obs_port hooks = hooks.sh_obs
+
+let protocol_event_hook hooks ~site ~entity event =
+  (match hooks.sh_user with Some f -> f ~site ~entity event | None -> ());
+  match hooks.sh_observer with Some f -> f ~site ~entity event | None -> ()
+
+let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
+  let engine = Samya.Cluster.engine cluster in
+  let network = Samya.Cluster.network cluster in
+  let submit ~region request ~reply =
+    Samya.Cluster.submit cluster ~region request ~reply
+  in
+  {
+    name;
+    engine;
+    acquire =
+      (fun ~region ~amount ~reply ->
+        submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
+    release =
+      (fun ~region ~amount ~reply ->
+        submit ~region (Samya.Types.Release { entity; amount }) ~reply);
+    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+    crash_region =
+      (fun region ->
+        List.iter (Samya.Cluster.crash_site cluster) (sites_in regions region));
+    crash_site = (fun i -> Samya.Cluster.crash_site cluster i);
+    recover_site = (fun i -> Samya.Cluster.recover_site cluster i);
+    partition = (fun groups -> Samya.Cluster.partition cluster groups);
+    heal = (fun () -> Samya.Cluster.heal cluster);
+    stats =
+      (fun () ->
+        (* The paper counts proactive and reactive triggers combined. *)
+        let s = Samya.Cluster.aggregate_site_stats cluster in
+        {
+          redistributions =
+            s.Samya.Site.proactive_triggers + s.Samya.Site.reactive_triggers;
+          messages_sent = Geonet.Network.stats_sent network;
+          messages_delivered = Geonet.Network.stats_delivered network;
+          messages_dropped = Geonet.Network.stats_dropped network;
+        });
+    subscribe =
+      (fun sink ->
+        Obs.Sink.attach hooks.sh_obs sink;
+        Des.Engine.set_tracer engine (Some (engine_tracer sink));
+        Geonet.Network.set_tracer network (Some (network_tracer sink));
+        hooks.sh_observer <- Some (avantan_observer sink);
+        Array.iteri
+          (fun i region ->
+            Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i
+              (Printf.sprintf "site %d (%s)" i (Geonet.Region.name region)))
+          regions);
+    invariant =
+      (fun ~maximum -> Samya.Cluster.check_invariant cluster ~entity ~maximum);
+  }

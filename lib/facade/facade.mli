@@ -1,0 +1,108 @@
+(** The unified system facade (the PR-4 API redesign).
+
+    Every system under test — Samya (both Avantan variants), MultiPaxSys,
+    Demarcation and the CockroachDB-like baseline — is driven through one
+    first-class record: the client verbs ([acquire]/[release]/[read]),
+    fault injection, a common [stats] surface, and [subscribe], which
+    installs an observability sink across every layer of the system (DES
+    timers, geonet hops, protocol events, request counters) in one call.
+    Experiments, the chaos soak and the trace exporter consume this
+    record only; nothing downstream pattern-matches on system names.
+
+    The facade is entity-scoped: builders bind the benchmark entity at
+    construction, so the verbs speak amounts and regions only.
+
+    This module also hosts the generic observability wiring
+    ({!engine_tracer}, {!network_tracer}) and the Samya adapter. Baseline
+    adapters live in [Harness.Systems] (they need no protocol feed), built
+    from the same parts. *)
+
+type stats = {
+  redistributions : int;
+      (** system-specific "coordination events" count: redistribution
+          triggers for Samya, borrows for Demarcation, 0 for the
+          consensus-per-request baselines *)
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+}
+
+type t = {
+  name : string;
+  engine : Des.Engine.t;
+  acquire :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  release :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  crash_region : Geonet.Region.t -> unit;
+  crash_site : int -> unit;
+  recover_site : int -> unit;
+  partition : int list list -> unit;
+  heal : unit -> unit;
+  stats : unit -> stats;
+  subscribe : Obs.Sink.t -> unit;
+      (** wire an observability sink through every layer of the system;
+          call at most once, before driving load *)
+  invariant : maximum:int -> (unit, string) result;
+}
+
+val sites_in : Geonet.Region.t array -> Geonet.Region.t -> int list
+(** Indices of the sites placed in [region] (for [crash_region]). *)
+
+(** {2 Observability wiring parts} *)
+
+val engine_tracer : Obs.Sink.t -> Des.Engine.tracer
+(** Labelled-timer spans (armed → fired, i.e. timeouts that expired), the
+    [des.events] counter and the [des.queue.depth] gauge. *)
+
+val network_tracer : Obs.Sink.t -> Geonet.Network.tracer
+(** Per-hop [net.hop] spans on the destination's lane, [net.*] counters
+    and the [net.hop_ms] latency histogram. *)
+
+(** {2 The Samya adapter} *)
+
+type samya_hooks
+(** Pre-construction hooks for a Samya cluster: the late-bound
+    observability port for {!Samya.Cluster.create}'s [?obs] and a
+    protocol-event hook that forwards to both the caller's observer and
+    (after [subscribe]) the span builder. Needed because the cluster's
+    hooks are fixed at creation, before anyone decides to observe the
+    run. *)
+
+val samya_hooks :
+  ?on_protocol_event:
+    (site:int -> entity:Samya.Types.entity -> Samya.Avantan_core.event -> unit) ->
+  unit ->
+  samya_hooks
+
+val obs_port : samya_hooks -> Obs.Sink.port
+
+val protocol_event_hook :
+  samya_hooks ->
+  site:int ->
+  entity:Samya.Types.entity ->
+  Samya.Avantan_core.event ->
+  unit
+(** Pass as [Cluster.create ~on_protocol_event]. Calls the user hook
+    first, then the subscribed observer (if any) — the observer never
+    mutates protocol state, so ordering is cosmetic. *)
+
+val of_samya_cluster :
+  ?name:string ->
+  hooks:samya_hooks ->
+  regions:Geonet.Region.t array ->
+  entity:Samya.Types.entity ->
+  Samya.Cluster.t ->
+  t
+(** Wrap a cluster created with [~obs:(obs_port hooks)
+    ~on_protocol_event:(protocol_event_hook hooks)]. [subscribe] attaches
+    the sink to the port, installs engine and network tracers, starts the
+    Avantan span observer (instance spans with ballot, rounds, role and
+    outcome), and names the per-site trace lanes. *)

@@ -13,6 +13,12 @@ type link = {
   mutable l_blocked : bool;  (* one-way cut: src -> dst delivers nothing *)
 }
 
+type tracer = {
+  on_send : src:int -> dst:int -> now_ms:float -> unit;
+  on_deliver : src:int -> dst:int -> sent_at:float -> now_ms:float -> unit;
+  on_drop : src:int -> dst:int -> sent_at:float -> now_ms:float -> unit;
+}
+
 type 'msg t = {
   engine : Des.Engine.t;
   regions : Region.t array;
@@ -28,6 +34,7 @@ type 'msg t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  mutable tracer : tracer option;
 }
 
 let check_probability ~what p =
@@ -56,9 +63,12 @@ let create engine ~regions ?(drop_probability = 0.0) ?(jitter_fraction = 0.05) (
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    tracer = None;
   }
 
 let engine t = t.engine
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let node_count t = Array.length t.regions
 
@@ -95,17 +105,34 @@ let deliver t ~src ~dst ~sent_at ~dropped_in_flight payload delay_ms =
      indistinguishable. The envelope is only materialised on delivery, so a
      dropped message costs nothing beyond its in-flight closure. *)
   Des.Engine.schedule t.engine ~delay_ms (fun () ->
-      if dropped_in_flight || not (link_open t ~src ~dst) then
-        t.dropped <- t.dropped + 1
+      let trace_drop () =
+        match t.tracer with
+        | Some tr ->
+            tr.on_drop ~src ~dst ~sent_at ~now_ms:(Des.Engine.now t.engine)
+        | None -> ()
+      in
+      if dropped_in_flight || not (link_open t ~src ~dst) then begin
+        t.dropped <- t.dropped + 1;
+        trace_drop ()
+      end
       else
         match t.handlers.(dst) with
-        | None -> t.dropped <- t.dropped + 1
+        | None ->
+            t.dropped <- t.dropped + 1;
+            trace_drop ()
         | Some handler ->
             t.delivered <- t.delivered + 1;
+            (match t.tracer with
+            | Some tr ->
+                tr.on_deliver ~src ~dst ~sent_at ~now_ms:(Des.Engine.now t.engine)
+            | None -> ());
             handler { src; dst; sent_at; payload })
 
 let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
+  (match t.tracer with
+  | Some tr -> tr.on_send ~src ~dst ~now_ms:(Des.Engine.now t.engine)
+  | None -> ());
   if not t.up.(src) then t.dropped <- t.dropped + 1
   else begin
     let override = link t ~src ~dst in

@@ -125,3 +125,23 @@ val stats_dropped : _ t -> int
 
 val stats_duplicated : _ t -> int
 (** Number of messages that were queued for duplicate delivery. *)
+
+(** {2 Tracing}
+
+    Message-level observer for the observability layer. Like the engine's
+    tracer, installing one cannot perturb the simulation: every random draw
+    and delivery happens identically with or without it. [on_send] fires
+    when a message leaves an up node; [on_deliver]/[on_drop] fire at the
+    delivery instant ([sent_at] preserves the send time, so the pair bounds
+    the hop). Messages from a crashed source are dropped before the tracer
+    sees a send. *)
+
+type tracer = {
+  on_send : src:int -> dst:int -> now_ms:float -> unit;
+  on_deliver : src:int -> dst:int -> sent_at:float -> now_ms:float -> unit;
+  on_drop : src:int -> dst:int -> sent_at:float -> now_ms:float -> unit;
+}
+
+val set_tracer : _ t -> tracer option -> unit
+(** Install or remove the observer; [None] (the default) costs one
+    load-and-branch per send and per delivery. *)

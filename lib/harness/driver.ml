@@ -12,6 +12,9 @@ type spec = {
   grant_driven_release_ms : float option;
       (* Some lifetime: ignore the stream's releases; each granted acquire
          schedules its own release that much later (real VM lifetimes) *)
+  obs : Obs.Sink.t option;
+      (* when set, the driver records per-request spans (client lanes,
+         tid 1000+) and driver.* metrics into the sink *)
 }
 
 let default_spec ~client_regions ~requests ~duration_ms =
@@ -25,6 +28,7 @@ let default_spec ~client_regions ~requests ~duration_ms =
     client_crash = [];
     client_timeout_ms = infinity;
     grant_driven_release_ms = None;
+    obs = None;
   }
 
 type result = {
@@ -37,7 +41,15 @@ type result = {
   duration_ms : float;
 }
 
-let run ~t_system spec =
+(* Client lanes live above the site lanes in the trace (tid 1000+). *)
+let client_tid client = 1000 + client
+
+let span_name = function
+  | Trace.Workload.Acquire -> "req.acquire"
+  | Trace.Workload.Release -> "req.release"
+  | Trace.Workload.Read -> "req.read"
+
+let run ~(t_system : Systems.facade) spec =
   let engine = t_system.Systems.engine in
   let t0 = Des.Engine.now engine in
   let latencies = Stats.Sample_set.create () in
@@ -47,6 +59,25 @@ let run ~t_system spec =
   let cutoffs = Array.make (Array.length spec.client_regions) infinity in
   List.iter (fun (at, client) -> cutoffs.(client) <- Float.min cutoffs.(client) at)
     spec.client_crash;
+  (* Observability: resolve the driver's instruments once, name the
+     client lanes. The un-observed path keeps a single None check. *)
+  let instrument =
+    match spec.obs with
+    | None -> None
+    | Some sink ->
+        let m = sink.Obs.Sink.metrics in
+        Array.iteri
+          (fun i region ->
+            Obs.Span.thread_name sink.Obs.Sink.spans ~tid:(client_tid i)
+              (Printf.sprintf "client %d (%s)" i (Geonet.Region.name region)))
+          spec.client_regions;
+        Some
+          ( sink,
+            Obs.Metrics.histogram m "driver.commit_latency_ms",
+            Obs.Metrics.counter m "driver.committed",
+            Obs.Metrics.counter m "driver.rejected",
+            Obs.Metrics.counter m "driver.unavailable" )
+  in
   (* Failure schedule. *)
   List.iter
     (fun { at_ms; action } -> Des.Engine.schedule_at engine ~time_ms:(t0 +. at_ms) action)
@@ -72,44 +103,73 @@ let run ~t_system spec =
     then begin
       incr submitted;
       let sent_at = Des.Engine.now engine in
-      let kind_request =
-        match request.kind with
-        | Trace.Workload.Acquire -> Samya.Types.Acquire { entity = "VM"; amount = request.amount }
-        | Trace.Workload.Release -> Samya.Types.Release { entity = "VM"; amount = request.amount }
-        | Trace.Workload.Read -> Samya.Types.Read { entity = "VM" }
+      let reply response =
+        incr replied;
+        (match (request.kind, response) with
+        | Trace.Workload.Acquire, Samya.Types.Granted -> (
+            outstanding.(client) <- outstanding.(client) + request.amount;
+            match spec.grant_driven_release_ms with
+            | Some lifetime_ms ->
+                Des.Engine.schedule engine ~delay_ms:lifetime_ms (fun () ->
+                    (* A grant-driven release: these tokens are held by
+                       construction. *)
+                    issue ~synthetic:true
+                      { request with kind = Trace.Workload.Release; time_ms = 0.0 })
+            | None -> ())
+        | Trace.Workload.Release, Samya.Types.Granted ->
+            (* Settled on grant, not on issue: a shed release (never
+               replied) must not leak the client's holdings. *)
+            outstanding.(client) <- outstanding.(client) - request.amount
+        | _ -> ());
+        let now = Des.Engine.now engine in
+        (* Replies to crashed or timed-out clients are discarded (the
+           timed-out case counts in [no_reply]). *)
+        if now -. t0 < cutoffs.(client) && now -. sent_at <= spec.client_timeout_ms
+        then begin
+          match response with
+          | Samya.Types.Granted | Samya.Types.Read_result _ ->
+              incr committed;
+              Stats.Sample_set.add latencies (now -. sent_at);
+              Stats.Throughput.record throughput ~time_ms:(now -. t0)
+          | Samya.Types.Rejected -> incr rejected
+          | Samya.Types.Unavailable -> incr unavailable
+        end
       in
-      t_system.Systems.submit ~region:spec.client_regions.(client) kind_request
-        ~reply:(fun response ->
-          incr replied;
-          (match (request.kind, response) with
-          | Trace.Workload.Acquire, Samya.Types.Granted -> (
-              outstanding.(client) <- outstanding.(client) + request.amount;
-              match spec.grant_driven_release_ms with
-              | Some lifetime_ms ->
-                  Des.Engine.schedule engine ~delay_ms:lifetime_ms (fun () ->
-                      (* A grant-driven release: these tokens are held by
-                         construction. *)
-                      issue ~synthetic:true
-                        { request with kind = Trace.Workload.Release; time_ms = 0.0 })
-              | None -> ())
-          | Trace.Workload.Release, Samya.Types.Granted ->
-              (* Settled on grant, not on issue: a shed release (never
-                 replied) must not leak the client's holdings. *)
-              outstanding.(client) <- outstanding.(client) - request.amount
-          | _ -> ());
-          let now = Des.Engine.now engine in
-          (* Replies to crashed or timed-out clients are discarded (the
-             timed-out case counts in [no_reply]). *)
-          if now -. t0 < cutoffs.(client) && now -. sent_at <= spec.client_timeout_ms
-          then begin
-            match response with
-            | Samya.Types.Granted | Samya.Types.Read_result _ ->
-                incr committed;
-                Stats.Sample_set.add latencies (now -. sent_at);
-                Stats.Throughput.record throughput ~time_ms:(now -. t0)
-            | Samya.Types.Rejected -> incr rejected
-            | Samya.Types.Unavailable -> incr unavailable
-          end)
+      let region = spec.client_regions.(client) in
+      let submit ~reply =
+        match request.kind with
+        | Trace.Workload.Acquire ->
+            t_system.Systems.acquire ~region ~amount:request.amount ~reply
+        | Trace.Workload.Release ->
+            t_system.Systems.release ~region ~amount:request.amount ~reply
+        | Trace.Workload.Read -> t_system.Systems.read ~region ~reply
+      in
+      match instrument with
+      | None -> submit ~reply
+      | Some (sink, lat_h, c_commit, c_rej, c_unavail) ->
+          let span =
+            Obs.Span.start sink.Obs.Sink.spans ~cat:"request"
+              ~tid:(client_tid client) (span_name request.kind)
+          in
+          submit ~reply:(fun response ->
+              let now = Des.Engine.now engine in
+              let outcome =
+                match response with
+                | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                    Obs.Metrics.incr c_commit;
+                    Obs.Metrics.observe lat_h (now -. sent_at);
+                    "granted"
+                | Samya.Types.Rejected ->
+                    Obs.Metrics.incr c_rej;
+                    "rejected"
+                | Samya.Types.Unavailable ->
+                    Obs.Metrics.incr c_unavail;
+                    "unavailable"
+              in
+              Obs.Span.finish sink.Obs.Sink.spans
+                ~args:[ ("outcome", outcome) ]
+                span;
+              reply response)
     end
   in
   let rec dispatch i =
@@ -142,8 +202,8 @@ let average_tps result =
 
 let percentile result p = Stats.Sample_set.percentile result.latencies p
 
-let run_closed ~t_system ~client_regions ~requests ~duration_ms ~workers_per_client
-    ~window_ms =
+let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_ms
+    ~workers_per_client ~window_ms =
   let engine = t_system.Systems.engine in
   let t0 = Des.Engine.now engine in
   let latencies = Stats.Sample_set.create () in
@@ -168,14 +228,6 @@ let run_closed ~t_system ~client_regions ~requests ~duration_ms ~workers_per_cli
           then worker client (* nothing to give back yet; skip *)
           else begin
             let sent_at = Des.Engine.now engine in
-            let kind_request =
-              match request.kind with
-              | Trace.Workload.Acquire ->
-                  Samya.Types.Acquire { entity = "VM"; amount = request.amount }
-              | Trace.Workload.Release ->
-                  Samya.Types.Release { entity = "VM"; amount = request.amount }
-              | Trace.Workload.Read -> Samya.Types.Read { entity = "VM" }
-            in
             (* A dropped request (a shed transaction never replies) must not
                kill the worker: a watchdog moves it on after a timeout. *)
             let settled = ref false in
@@ -187,29 +239,36 @@ let run_closed ~t_system ~client_regions ~requests ~duration_ms ~workers_per_cli
                     worker client
                   end)
             in
-            t_system.Systems.submit ~region:client_regions.(client) kind_request
-              ~reply:(fun response ->
-                if not !settled then begin
-                  settled := true;
-                  Des.Engine.cancel watchdog;
-                  let now = Des.Engine.now engine in
-                  (match (request.kind, response) with
-                  | Trace.Workload.Acquire, Samya.Types.Granted ->
-                      outstanding.(client) <- outstanding.(client) + request.amount
-                  | Trace.Workload.Release, Samya.Types.Granted ->
-                      outstanding.(client) <- outstanding.(client) - request.amount
-                  | _ -> ());
-                  (match response with
-                  | Samya.Types.Granted | Samya.Types.Read_result _ ->
-                      if now -. t0 <= duration_ms then begin
-                        incr committed;
-                        Stats.Sample_set.add latencies (now -. sent_at);
-                        Stats.Throughput.record throughput ~time_ms:(now -. t0)
-                      end
-                  | Samya.Types.Rejected -> incr rejected
-                  | Samya.Types.Unavailable -> incr unavailable);
-                  worker client
-                end)
+            let reply response =
+              if not !settled then begin
+                settled := true;
+                Des.Engine.cancel watchdog;
+                let now = Des.Engine.now engine in
+                (match (request.kind, response) with
+                | Trace.Workload.Acquire, Samya.Types.Granted ->
+                    outstanding.(client) <- outstanding.(client) + request.amount
+                | Trace.Workload.Release, Samya.Types.Granted ->
+                    outstanding.(client) <- outstanding.(client) - request.amount
+                | _ -> ());
+                (match response with
+                | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                    if now -. t0 <= duration_ms then begin
+                      incr committed;
+                      Stats.Sample_set.add latencies (now -. sent_at);
+                      Stats.Throughput.record throughput ~time_ms:(now -. t0)
+                    end
+                | Samya.Types.Rejected -> incr rejected
+                | Samya.Types.Unavailable -> incr unavailable);
+                worker client
+              end
+            in
+            let region = client_regions.(client) in
+            match request.kind with
+            | Trace.Workload.Acquire ->
+                t_system.Systems.acquire ~region ~amount:request.amount ~reply
+            | Trace.Workload.Release ->
+                t_system.Systems.release ~region ~amount:request.amount ~reply
+            | Trace.Workload.Read -> t_system.Systems.read ~region ~reply
           end
     end
   in

@@ -28,6 +28,11 @@ type spec = {
           every granted acquire schedule its own release [lifetime] later —
           real VM lifetime semantics, used by the M_e sweep where a tight
           limit must throttle the token flow (default [None]) *)
+  obs : Obs.Sink.t option;
+      (** when set, the driver records one span per request on the
+          issuing client's trace lane (tid 1000 + client, outcome in the
+          span args) plus [driver.*] counters and the
+          [driver.commit_latency_ms] histogram (default [None]) *)
 }
 
 val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec
@@ -42,14 +47,14 @@ type result = {
   duration_ms : float;
 }
 
-val run : t_system:Systems.t -> spec -> result
+val run : t_system:Systems.facade -> spec -> result
 
 val average_tps : result -> float
 
 val percentile : result -> float -> float
 
 val run_closed :
-  t_system:Systems.t ->
+  t_system:Systems.facade ->
   client_regions:Geonet.Region.t array ->
   requests:Trace.Workload.request array ->
   duration_ms:float ->

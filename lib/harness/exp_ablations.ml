@@ -112,7 +112,7 @@ let run_prediction_ablation ctx ~quick fmt =
         {
           Exp_common.label;
           result;
-          redistributions = t_system.Systems.redistributions ();
+          redistributions = (t_system.Systems.stats ()).Systems.redistributions;
           invariant = t_system.Systems.invariant ~maximum;
         })
       variants

@@ -36,7 +36,7 @@ let run_system ?clients ~label ~build ~requests ~duration_ms ?window_ms ?events
   {
     label;
     result;
-    redistributions = t_system.Systems.redistributions ();
+    redistributions = (t_system.Systems.stats ()).Systems.redistributions;
     invariant = t_system.Systems.invariant ~maximum;
   }
 

@@ -29,11 +29,11 @@ type outcome = {
 val run_system :
   ?clients:Geonet.Region.t array ->
   label:string ->
-  build:(unit -> Systems.t) ->
+  build:(unit -> Systems.facade) ->
   requests:Trace.Workload.request array ->
   duration_ms:float ->
   ?window_ms:float ->
-  ?events:(Systems.t -> Driver.event list) ->
+  ?events:(Systems.facade -> Driver.event list) ->
   ?client_crash:(float * int) list ->
   unit ->
   outcome

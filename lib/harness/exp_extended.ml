@@ -94,7 +94,7 @@ let run_arrival_rate ctx ~quick fmt =
     (label, outcome.Exp_common.result.Driver.committed)
   in
   let forecaster = Lab.runtime_forecaster ctx in
-  let builders : (string * (unit -> Systems.t)) list =
+  let builders : (string * (unit -> Systems.facade)) list =
     [
       ( "Avantan[(n+1)/2]",
         fun () ->

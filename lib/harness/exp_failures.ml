@@ -12,7 +12,7 @@ let samya_builder ctx variant =
       ~regions:(Exp_common.client_regions ())
       ~forecaster ~entity ~maximum ()
 
-let failure_systems ctx : (string * (unit -> Systems.t)) list =
+let failure_systems ctx : (string * (unit -> Systems.facade)) list =
   [
     ("Samya w/ Av.[(n+1)/2]", samya_builder ctx Samya.Config.Majority);
     ("Samya w/ Av.[*]", samya_builder ctx Samya.Config.Star);

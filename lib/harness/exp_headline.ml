@@ -1,4 +1,4 @@
-let builders ctx : (string * (unit -> Systems.t)) list =
+let builders ctx : (string * (unit -> Systems.facade)) list =
   let entity = Exp_common.entity and maximum = Exp_common.maximum in
   let seed = Exp_common.seed in
   let regions = Exp_common.client_regions () in

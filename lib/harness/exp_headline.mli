@@ -10,4 +10,8 @@
     - Avantan[(n+1)/2] executes far fewer redistributions than Avantan[*]
       (208 vs 792 in the paper). *)
 
+val builders : Lab.context -> (string * (unit -> Systems.facade)) list
+(** The five systems in fixed display order, as thunks (shared with the
+    trace capture, {!Exp_trace}). *)
+
 val run : Lab.context -> quick:bool -> Format.formatter -> unit

@@ -12,7 +12,7 @@ let run ctx ~quick fmt =
   Format.fprintf fmt
     "@.== Fig 3h: read-only transaction ratio sweep (closed loop, %d workers/region) ==@."
     workers_per_client;
-  let builders : (string * (unit -> Systems.t)) list =
+  let builders : (string * (unit -> Systems.facade)) list =
     [
       ( "Avantan[(n+1)/2]",
         fun () ->

@@ -36,7 +36,7 @@ let run ctx ~quick fmt =
     in
     ( Driver.average_tps result,
       Stats.Sample_set.mean result.Driver.latencies,
-      t_system.Systems.redistributions (),
+      (t_system.Systems.stats ()).Systems.redistributions,
       Exp_common.pp_invariant (t_system.Systems.invariant ~maximum) )
   in
   let print_variant name variant =

@@ -1,0 +1,75 @@
+type capture = {
+  label : string;
+  sink : Obs.Sink.t;
+  result : Driver.result;
+  stats : Systems.stats;
+}
+
+(* Accept the registry spellings of the headline run too. *)
+let experiments = [ "headline"; "table2b"; "fig3b" ]
+
+let capture_headline ctx ~quick =
+  (* Tracing is for inspecting behaviour, not reproducing the paper's
+     numbers: a shorter horizon keeps the trace loadable (every message
+     hop and protocol instance becomes a span). *)
+  (* The first proactive redistribution trigger fires around 90 s of
+     virtual time, so even the quick horizon runs past it. *)
+  let duration_ms = if quick then 100_000.0 else 180_000.0 in
+  let clients = Exp_common.client_regions () in
+  (* Start at the daily peak with an inflated usage footprint (the
+     fig3e/fig3c setup) so the short window still shows redistributions —
+     otherwise the protocol lanes of the trace would be empty. *)
+  let requests =
+    Lab.workload ctx ~client_regions:clients ~duration_ms ~usage_scale:2.2
+      ~start_hours:6.0 ~seed:Exp_common.seed ()
+  in
+  Pool.map
+    (fun (label, build) ->
+      let t_system = build () in
+      let sink =
+        Obs.Sink.create ~now:(fun () -> Des.Engine.now t_system.Systems.engine) ()
+      in
+      t_system.Systems.subscribe sink;
+      let spec =
+        {
+          (Driver.default_spec ~client_regions:clients ~requests ~duration_ms) with
+          drain_ms = 10_000.0;
+          obs = Some sink;
+        }
+      in
+      let result = Driver.run ~t_system spec in
+      { label; sink; result; stats = t_system.Systems.stats () })
+    (Exp_headline.builders ctx)
+
+let run ctx ~quick ~experiment =
+  if List.mem experiment experiments then Ok (capture_headline ctx ~quick)
+  else
+    Error
+      (Printf.sprintf "unknown traceable experiment %S; known: %s" experiment
+         (String.concat ", " experiments))
+
+let trace_json captures =
+  let buf = Buffer.create (1 lsl 16) in
+  Obs.Export.trace_json buf
+    (List.map (fun c -> (c.label, c.sink.Obs.Sink.spans)) captures);
+  Buffer.contents buf
+
+let metrics_json ?meta captures =
+  let buf = Buffer.create (1 lsl 14) in
+  Obs.Export.metrics_json buf ?meta
+    (List.map (fun c -> (c.label, c.sink.Obs.Sink.metrics)) captures);
+  Buffer.contents buf
+
+let summary fmt captures =
+  Report.table fmt ~title:"trace capture"
+    ~header:[ "system"; "committed"; "spans+instants"; "messages" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             c.label;
+             string_of_int c.result.Driver.committed;
+             string_of_int (Obs.Span.event_count c.sink.Obs.Sink.spans);
+             string_of_int c.stats.Systems.messages_sent;
+           ])
+         captures)

@@ -1,0 +1,31 @@
+(** Trace capture: re-runs an experiment's systems with an observability
+    sink subscribed to each facade (DES timers, network hops, Avantan
+    instances, request spans) and exports Chrome [trace_event] JSON plus
+    the flat metrics JSON.
+
+    Determinism: each system runs on its own engine with its own sink, and
+    captures are assembled in builder-list order, so the exported JSON is
+    byte-identical for a given seed regardless of [--jobs]. *)
+
+type capture = {
+  label : string;
+  sink : Obs.Sink.t;
+  result : Driver.result;
+  stats : Systems.stats;
+}
+
+val experiments : string list
+(** Traceable experiment ids ("headline" plus its registry aliases). *)
+
+val run :
+  Lab.context -> quick:bool -> experiment:string -> (capture list, string) result
+(** Runs every system of the experiment under tracing (shortened horizon:
+    100 s quick, 180 s full) and returns the captures in fixed order. *)
+
+val trace_json : capture list -> string
+(** One Chrome-loadable trace; each system is a process, sites and
+    clients are its threads. *)
+
+val metrics_json : ?meta:(string * string) list -> capture list -> string
+
+val summary : Format.formatter -> capture list -> unit

@@ -1,28 +1,45 @@
-type t = {
+(* Re-export the facade record so harness code reads
+   [t.Systems.engine]; the type lives in [lib/facade] (below chaos) so
+   the soak can drive clusters through the same interface. *)
+type stats = Facade.stats = {
+  redistributions : int;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+}
+
+type facade = Facade.t = {
   name : string;
   engine : Des.Engine.t;
-  submit :
+  acquire :
     region:Geonet.Region.t ->
-    Samya.Types.request ->
+    amount:int ->
     reply:(Samya.Types.response -> unit) ->
     unit;
+  release :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
   crash_region : Geonet.Region.t -> unit;
   crash_site : int -> unit;
   recover_site : int -> unit;
   partition : int list list -> unit;
   heal : unit -> unit;
-  redistributions : unit -> int;
+  stats : unit -> stats;
+  subscribe : Obs.Sink.t -> unit;
   invariant : maximum:int -> (unit, string) result;
 }
 
-let sites_in regions region =
-  let out = ref [] in
-  Array.iteri (fun i r -> if r = region then out := i :: !out) regions;
-  !out
+let sites_in = Facade.sites_in
 
 let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~maximum () =
+  let hooks = Facade.samya_hooks ?on_protocol_event () in
   let cluster =
-    Samya.Cluster.create ?seed ~config ~regions ?forecaster ?on_protocol_event ()
+    Samya.Cluster.create ?seed ~config ~regions ?forecaster
+      ~on_protocol_event:(Facade.protocol_event_hook hooks)
+      ~obs:(Facade.obs_port hooks) ()
   in
   Samya.Cluster.init_entity cluster ~entity ~maximum;
   let default_name =
@@ -30,22 +47,49 @@ let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~m
     | Samya.Config.Majority -> "Samya w/ Av.[(n+1)/2]"
     | Samya.Config.Star -> "Samya w/ Av.[*]"
   in
+  Facade.of_samya_cluster
+    ~name:(Option.value name ~default:default_name)
+    ~hooks ~regions ~entity cluster
+
+(* Baseline adapters share one shape: verbs bound to the entity, stats
+   from the internal network counters, subscribe = engine tracer +
+   network tracer + named site lanes. *)
+let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
+    ~partition ~heal ~redistributions ~net_stats ~set_net_tracer ~invariant =
   {
-    name = Option.value name ~default:default_name;
-    engine = Samya.Cluster.engine cluster;
-    submit = (fun ~region request ~reply -> Samya.Cluster.submit cluster ~region request ~reply);
-    crash_region =
-      (fun region -> List.iter (Samya.Cluster.crash_site cluster) (sites_in regions region));
-    crash_site = (fun i -> Samya.Cluster.crash_site cluster i);
-    recover_site = (fun i -> Samya.Cluster.recover_site cluster i);
-    partition = (fun groups -> Samya.Cluster.partition cluster groups);
-    heal = (fun () -> Samya.Cluster.heal cluster);
-    redistributions =
+    name;
+    engine;
+    acquire =
+      (fun ~region ~amount ~reply ->
+        submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
+    release =
+      (fun ~region ~amount ~reply ->
+        submit ~region (Samya.Types.Release { entity; amount }) ~reply);
+    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+    crash_region = (fun region -> List.iter crash_site (sites_in regions region));
+    crash_site;
+    recover_site;
+    partition;
+    heal;
+    stats =
       (fun () ->
-        (* The paper counts proactive and reactive triggers combined. *)
-        let s = Samya.Cluster.aggregate_stats cluster in
-        s.Samya.Site.proactive_triggers + s.Samya.Site.reactive_triggers);
-    invariant = (fun ~maximum -> Samya.Cluster.check_invariant cluster ~entity ~maximum);
+        let sent, delivered, dropped = net_stats () in
+        {
+          redistributions = redistributions ();
+          messages_sent = sent;
+          messages_delivered = delivered;
+          messages_dropped = dropped;
+        });
+    subscribe =
+      (fun sink ->
+        Des.Engine.set_tracer engine (Some (Facade.engine_tracer sink));
+        set_net_tracer (Some (Facade.network_tracer sink));
+        Array.iteri
+          (fun i region ->
+            Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i
+              (Printf.sprintf "site %d (%s)" i (Geonet.Region.name region)))
+          regions);
+    invariant;
   }
 
 let demarcation ?seed ?regions ~entity ~maximum () =
@@ -54,41 +98,39 @@ let demarcation ?seed ?regions ~entity ~maximum () =
   in
   let system = Baselines.Demarcation.create ?seed ~regions () in
   Baselines.Demarcation.init_entity system ~entity ~maximum;
-  {
-    name = "Dem./Escrow";
-    engine = Baselines.Demarcation.engine system;
-    submit =
-      (fun ~region request ~reply -> Baselines.Demarcation.submit system ~region request ~reply);
-    crash_region =
-      (fun region ->
-        List.iter (Baselines.Demarcation.crash_site system) (sites_in regions region));
-    crash_site = (fun i -> Baselines.Demarcation.crash_site system i);
-    recover_site = (fun i -> Baselines.Demarcation.recover_site system i);
-    partition = (fun groups -> Baselines.Demarcation.partition system groups);
-    heal = (fun () -> Baselines.Demarcation.heal system);
-    redistributions = (fun () -> Baselines.Demarcation.borrows system);
-    invariant = (fun ~maximum -> Baselines.Demarcation.check_invariant system ~entity ~maximum);
-  }
+  baseline ~name:"Dem./Escrow"
+    ~engine:(Baselines.Demarcation.engine system)
+    ~regions ~entity
+    ~submit:(fun ~region request ~reply ->
+      Baselines.Demarcation.submit system ~region request ~reply)
+    ~crash_site:(Baselines.Demarcation.crash_site system)
+    ~recover_site:(Baselines.Demarcation.recover_site system)
+    ~partition:(Baselines.Demarcation.partition system)
+    ~heal:(fun () -> Baselines.Demarcation.heal system)
+    ~redistributions:(fun () -> Baselines.Demarcation.borrows system)
+    ~net_stats:(fun () -> Baselines.Demarcation.net_stats system)
+    ~set_net_tracer:(Baselines.Demarcation.set_net_tracer system)
+    ~invariant:(fun ~maximum ->
+      Baselines.Demarcation.check_invariant system ~entity ~maximum)
 
 let multipaxsys ?seed ~entity ~maximum () =
   let system = Baselines.Multipaxsys.create ?seed () in
   Baselines.Multipaxsys.init_entity system ~entity ~maximum;
   let regions = Baselines.Multipaxsys.regions in
-  {
-    name = "MultiPaxSys";
-    engine = Baselines.Multipaxsys.engine system;
-    submit =
-      (fun ~region request ~reply -> Baselines.Multipaxsys.submit system ~region request ~reply);
-    crash_region =
-      (fun region ->
-        List.iter (Baselines.Multipaxsys.crash_site system) (sites_in regions region));
-    crash_site = (fun i -> Baselines.Multipaxsys.crash_site system i);
-    recover_site = (fun i -> Baselines.Multipaxsys.recover_site system i);
-    partition = (fun groups -> Baselines.Multipaxsys.partition system groups);
-    heal = (fun () -> Baselines.Multipaxsys.heal system);
-    redistributions = (fun () -> 0);
-    invariant = (fun ~maximum -> Baselines.Multipaxsys.check_invariant system ~entity ~maximum);
-  }
+  baseline ~name:"MultiPaxSys"
+    ~engine:(Baselines.Multipaxsys.engine system)
+    ~regions ~entity
+    ~submit:(fun ~region request ~reply ->
+      Baselines.Multipaxsys.submit system ~region request ~reply)
+    ~crash_site:(Baselines.Multipaxsys.crash_site system)
+    ~recover_site:(Baselines.Multipaxsys.recover_site system)
+    ~partition:(Baselines.Multipaxsys.partition system)
+    ~heal:(fun () -> Baselines.Multipaxsys.heal system)
+    ~redistributions:(fun () -> 0)
+    ~net_stats:(fun () -> Baselines.Multipaxsys.net_stats system)
+    ~set_net_tracer:(Baselines.Multipaxsys.set_net_tracer system)
+    ~invariant:(fun ~maximum ->
+      Baselines.Multipaxsys.check_invariant system ~entity ~maximum)
 
 let cockroach ?seed ?regions ~entity ~maximum () =
   let regions =
@@ -109,20 +151,15 @@ let cockroach ?seed ?regions ~entity ~maximum () =
     end
   in
   settle 30;
-  {
-    name = "CockroachDB";
-    engine;
-    submit =
-      (fun ~region request ~reply ->
-        Baselines.Cockroach_sim.submit system ~region request ~reply);
-    crash_region =
-      (fun region ->
-        List.iter (Baselines.Cockroach_sim.crash_site system) (sites_in regions region));
-    crash_site = (fun i -> Baselines.Cockroach_sim.crash_site system i);
-    recover_site = (fun i -> Baselines.Cockroach_sim.recover_site system i);
-    partition = (fun groups -> Baselines.Cockroach_sim.partition system groups);
-    heal = (fun () -> Baselines.Cockroach_sim.heal system);
-    redistributions = (fun () -> 0);
-    invariant =
-      (fun ~maximum -> Baselines.Cockroach_sim.check_invariant system ~entity ~maximum);
-  }
+  baseline ~name:"CockroachDB" ~engine ~regions ~entity
+    ~submit:(fun ~region request ~reply ->
+      Baselines.Cockroach_sim.submit system ~region request ~reply)
+    ~crash_site:(Baselines.Cockroach_sim.crash_site system)
+    ~recover_site:(Baselines.Cockroach_sim.recover_site system)
+    ~partition:(Baselines.Cockroach_sim.partition system)
+    ~heal:(fun () -> Baselines.Cockroach_sim.heal system)
+    ~redistributions:(fun () -> 0)
+    ~net_stats:(fun () -> Baselines.Cockroach_sim.net_stats system)
+    ~set_net_tracer:(Baselines.Cockroach_sim.set_net_tracer system)
+    ~invariant:(fun ~maximum ->
+      Baselines.Cockroach_sim.check_invariant system ~entity ~maximum)

@@ -1,15 +1,30 @@
-(** Uniform handle over every system under test, so one driver can run the
-    same workload against Samya (both Avantan variants and its ablations),
-    Demarcation/Escrow, MultiPaxSys, and the CockroachDB-like baseline. *)
+(** Builders for the four systems under test, all returning the unified
+    {!Facade.t} record (re-exported here as {!facade}). Experiments,
+    chaos and the trace exporter drive every system through this one
+    interface — there is no per-system dispatch downstream of this
+    module. *)
 
-type t = {
+type stats = Facade.stats = {
+  redistributions : int;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+}
+
+type facade = Facade.t = {
   name : string;
   engine : Des.Engine.t;
-  submit :
+  acquire :
     region:Geonet.Region.t ->
-    Samya.Types.request ->
+    amount:int ->
     reply:(Samya.Types.response -> unit) ->
     unit;
+  release :
+    region:Geonet.Region.t ->
+    amount:int ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+  read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
   crash_region : Geonet.Region.t -> unit;
       (** Crash every server in the region (no-op for systems with no
           replica there). *)
@@ -19,9 +34,16 @@ type t = {
           [Config.amnesia_on_crash]; baselines restore frozen state) *)
   partition : int list list -> unit;  (** groups of server indices *)
   heal : unit -> unit;
-  redistributions : unit -> int;  (** 0 for non-Samya systems *)
+  stats : unit -> stats;
+  subscribe : Obs.Sink.t -> unit;
+      (** wire an observability sink through every layer; call at most
+          once, before driving load *)
   invariant : maximum:int -> (unit, string) result;
 }
+
+val sites_in : Geonet.Region.t array -> Geonet.Region.t -> int list
+(** Indices of the sites placed in a region (re-export of
+    {!Facade.sites_in}). *)
 
 val samya :
   ?seed:int64 ->
@@ -34,11 +56,11 @@ val samya :
   entity:Samya.Types.entity ->
   maximum:int ->
   unit ->
-  t
-(** [on_protocol_event] taps the structured {!Samya.Avantan_core.event}
-    feed of every site (elections, accepts, recoveries, decisions, aborts
-    with round counts) — protocol observability for experiments without
-    touching the workload path. *)
+  facade
+(** A Samya cluster under either Avantan variant (named from
+    [config.variant] unless [?name] overrides). [on_protocol_event] taps
+    the structured {!Samya.Avantan_core.event} feed of every site; it
+    composes with the span observer installed by [subscribe]. *)
 
 val demarcation :
   ?seed:int64 ->
@@ -46,10 +68,12 @@ val demarcation :
   entity:Samya.Types.entity ->
   maximum:int ->
   unit ->
-  t
+  facade
+(** The demarcation/escrow baseline; [stats.redistributions] counts
+    completed borrows. *)
 
 val multipaxsys :
-  ?seed:int64 -> entity:Samya.Types.entity -> maximum:int -> unit -> t
+  ?seed:int64 -> entity:Samya.Types.entity -> maximum:int -> unit -> facade
 (** Spanner-style placement (three US regions + Asia + Europe); client
     requests reach the leader through the nearest replica gateway, so a
     partition that separates a client's side from the leader makes that
@@ -61,6 +85,6 @@ val cockroach :
   entity:Samya.Types.entity ->
   maximum:int ->
   unit ->
-  t
+  facade
 (** The handle is returned with elections already settled (the engine is
     pre-run until a leader exists). *)

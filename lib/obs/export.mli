@@ -1,0 +1,30 @@
+(** Exporters for recorded observability data.
+
+    {!trace_json} writes Chrome [trace_event] JSON Array Format (the object
+    form, [{"traceEvents": [...]}]) loadable in [chrome://tracing] and
+    Perfetto. Each named recorder becomes one process ([pid] = list index),
+    announced with a [process_name] metadata event; virtual milliseconds
+    become the format's microseconds. Output is a pure function of the
+    recorded events — byte-stable for byte-stable recordings.
+
+    {!metrics_json} writes a flat self-describing document
+    ([samya-metrics/1]) with one section per named registry. *)
+
+val trace_json : Buffer.t -> (string * Span.t) list -> unit
+(** [trace_json buf [(process, recorder); ...]] appends the trace document
+    to [buf]. *)
+
+val metrics_json :
+  Buffer.t -> ?meta:(string * string) list -> (string * Metrics.t) list -> unit
+(** [metrics_json buf ~meta [(section, registry); ...]]: flat metrics
+    document; [meta] becomes a string-valued header object. *)
+
+(** {2 Validation} — a self-contained structural check used by the CLI and
+    CI smoke step; no external JSON dependency. *)
+
+val validate_trace : string -> (int, string) result
+(** Parse [s] as JSON and check the [trace_event] schema: top-level object
+    with a [traceEvents] array; every event an object with string [name]
+    and [ph] plus numeric [ts]/[pid]/[tid] (metadata events exempt from
+    [ts]); [ph = "X"] events additionally need a numeric [dur]. Returns the
+    number of events. *)

@@ -1,0 +1,212 @@
+(* Log-bucketed histogram geometry: bucket 0 holds v <= lo, bucket i holds
+   lo * gamma^(i-1) < v <= lo * gamma^i. With gamma = 2^(1/4) and 160
+   buckets the range runs from 1e-3 up past 1e9 — nine decades at <10%
+   relative quantile error. *)
+let lo = 0.001
+let gamma = Float.pow 2.0 0.25
+let n_buckets = 160
+let inv_log_gamma = 1.0 /. Float.log gamma
+
+let bucket_of v =
+  if not (v > lo) then 0
+  else
+    let i = 1 + int_of_float (Float.floor (Float.log (v /. lo) *. inv_log_gamma)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_upper_bound i = if i <= 0 then lo else lo *. Float.pow gamma (float_of_int i)
+
+type counter = { c_name : string; mutable c_value : int; c_live : bool }
+
+type gauge = {
+  g_name : string;
+  mutable g_last : float;
+  mutable g_max : float;
+  mutable g_written : bool;
+  g_live : bool;
+}
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_live : bool;
+}
+
+type t = {
+  enabled : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create ?(enabled = true) () =
+  {
+    enabled;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let null = create ~enabled:false ()
+let enabled t = t.enabled
+
+let dead_counter = { c_name = ""; c_value = 0; c_live = false }
+
+let dead_gauge =
+  { g_name = ""; g_last = 0.0; g_max = 0.0; g_written = false; g_live = false }
+
+let dead_histogram =
+  {
+    h_name = "";
+    h_buckets = [||];
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.nan;
+    h_max = Float.nan;
+    h_live = false;
+  }
+
+let intern table ~dead ~make t name =
+  if not t.enabled then dead
+  else
+    match Hashtbl.find_opt table name with
+    | Some cell -> cell
+    | None ->
+        let cell = make name in
+        Hashtbl.add table name cell;
+        cell
+
+let counter t name =
+  intern t.counters ~dead:dead_counter
+    ~make:(fun c_name -> { c_name; c_value = 0; c_live = true })
+    t name
+
+let incr c = if c.c_live then c.c_value <- c.c_value + 1
+let add c n = if c.c_live then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge t name =
+  intern t.gauges ~dead:dead_gauge
+    ~make:(fun g_name ->
+      { g_name; g_last = 0.0; g_max = 0.0; g_written = false; g_live = true })
+    t name
+
+let set g v =
+  if g.g_live then begin
+    g.g_last <- v;
+    if (not g.g_written) || v > g.g_max then g.g_max <- v;
+    g.g_written <- true
+  end
+
+let gauge_value g = if g.g_written then Some g.g_last else None
+let gauge_max g = if g.g_written then Some g.g_max else None
+
+let histogram t name =
+  intern t.histograms ~dead:dead_histogram
+    ~make:(fun h_name ->
+      {
+        h_name;
+        h_buckets = Array.make n_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = Float.nan;
+        h_max = Float.nan;
+        h_live = true;
+      })
+    t name
+
+let observe h v =
+  if h.h_live && not (Float.is_nan v) then begin
+    let i = bucket_of v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if h.h_count = 1 then begin
+      h.h_min <- v;
+      h.h_max <- v
+    end
+    else begin
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end
+  end
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (int * int) list;
+}
+
+let snapshot_histogram h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets = !buckets }
+
+let merge a b =
+  let rec merge_buckets xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (i, ci) :: xs', (j, cj) :: ys' ->
+        if i < j then (i, ci) :: merge_buckets xs' ys
+        else if j < i then (j, cj) :: merge_buckets xs ys'
+        else (i, ci + cj) :: merge_buckets xs' ys'
+  in
+  let pick_min a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.min a b
+  in
+  let pick_max a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.max a b
+  in
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = pick_min a.min b.min;
+    max = pick_max a.max b.max;
+    buckets = merge_buckets a.buckets b.buckets;
+  }
+
+let quantile s q =
+  if s.count = 0 then Float.nan
+  else
+    let target =
+      let t = int_of_float (Float.ceil (q *. float_of_int s.count)) in
+      if t < 1 then 1 else if t > s.count then s.count else t
+    in
+    let rec scan acc = function
+      | [] -> s.max
+      | (i, c) :: rest ->
+          let acc = acc + c in
+          if acc >= target then bucket_upper_bound i else scan acc rest
+    in
+    scan 0 s.buckets
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let sorted_values table key =
+  Hashtbl.fold (fun _ v acc -> v :: acc) table []
+  |> List.sort (fun a b -> String.compare (key a) (key b))
+
+let snapshot (t : t) : snapshot =
+  {
+    counters =
+      sorted_values t.counters (fun c -> c.c_name)
+      |> List.map (fun c -> (c.c_name, c.c_value));
+    gauges =
+      sorted_values t.gauges (fun g -> g.g_name)
+      |> List.filter (fun g -> g.g_written)
+      |> List.map (fun g -> (g.g_name, g.g_last, g.g_max));
+    histograms =
+      sorted_values t.histograms (fun h -> h.h_name)
+      |> List.map (fun h -> (h.h_name, snapshot_histogram h));
+  }

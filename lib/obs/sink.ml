@@ -1,0 +1,12 @@
+type t = { spans : Span.t; metrics : Metrics.t }
+
+let create ~now () = { spans = Span.create ~now (); metrics = Metrics.create () }
+let null = { spans = Span.null; metrics = Metrics.null }
+let enabled t = Span.enabled t.spans || Metrics.enabled t.metrics
+
+type port = { mutable sink : t option }
+
+let port () = { sink = None }
+let attach port sink = port.sink <- Some sink
+let detach port = port.sink <- None
+let tap port = port.sink

@@ -1,0 +1,33 @@
+(** An observability sink bundles one span recorder with one metric
+    registry — the unit a system's [subscribe] accepts.
+
+    The {!port} half solves the wiring-order problem: instrumented modules
+    (request handler, protocol driver) are constructed before anyone decides
+    whether to observe the run, so they hold a [port] — a late-bound slot a
+    sink may be attached to afterwards. Until {!attach}, {!tap} is [None]
+    and the instrumented hot paths pay one load and one branch. *)
+
+type t = { spans : Span.t; metrics : Metrics.t }
+
+val create : now:(unit -> float) -> unit -> t
+(** Enabled sink over the given virtual clock. *)
+
+val null : t
+(** Disabled sink: recorder and registry are both no-ops. *)
+
+val enabled : t -> bool
+
+(** {2 Late-bound subscription} *)
+
+type port
+
+val port : unit -> port
+(** Fresh unattached slot. *)
+
+val attach : port -> t -> unit
+(** Attach a sink; replaces any previous attachment. *)
+
+val detach : port -> unit
+
+val tap : port -> t option
+(** The attached sink, if any — the single check on instrumented paths. *)

@@ -1,0 +1,76 @@
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      dur : float;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      args : (string * string) list;
+    }
+  | Counter_sample of { name : string; tid : int; ts : float; value : float }
+  | Thread_name of { tid : int; name : string }
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_ts : float;
+  mutable sp_open : bool;
+}
+
+type t = {
+  enabled : bool;
+  now : unit -> float;
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create ?(enabled = true) ~now () = { enabled; now; rev_events = []; count = 0 }
+let null = create ~enabled:false ~now:(fun () -> 0.0) ()
+let enabled t = t.enabled
+
+let record t event =
+  t.rev_events <- event :: t.rev_events;
+  t.count <- t.count + 1
+
+let dead_span = { sp_name = ""; sp_cat = ""; sp_tid = 0; sp_ts = 0.0; sp_open = false }
+
+let start t ?(cat = "") ?(tid = 0) name =
+  if not t.enabled then dead_span
+  else { sp_name = name; sp_cat = cat; sp_tid = tid; sp_ts = t.now (); sp_open = true }
+
+let finish t ?(args = []) span =
+  if t.enabled && span.sp_open then begin
+    span.sp_open <- false;
+    record t
+      (Complete
+         {
+           name = span.sp_name;
+           cat = span.sp_cat;
+           tid = span.sp_tid;
+           ts = span.sp_ts;
+           dur = t.now () -. span.sp_ts;
+           args;
+         })
+  end
+
+let complete t ?(cat = "") ?(tid = 0) ?(args = []) ~name ~ts ~dur () =
+  if t.enabled then record t (Complete { name; cat; tid; ts; dur; args })
+
+let instant t ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if t.enabled then record t (Instant { name; cat; tid; ts = t.now (); args })
+
+let counter_sample t ?(tid = 0) ~value name =
+  if t.enabled then record t (Counter_sample { name; tid; ts = t.now (); value })
+
+let thread_name t ~tid name = if t.enabled then record t (Thread_name { tid; name })
+
+let events t = List.rev t.rev_events
+let event_count t = t.count

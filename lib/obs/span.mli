@@ -1,0 +1,69 @@
+(** Span recorder stamped with DES virtual time.
+
+    A recorder is created over a clock closure (normally
+    [Des.Engine.now engine]) and accumulates trace events — complete spans,
+    instants, counter samples and thread-name metadata — in arrival order.
+    Because the clock is virtual and each system owns its recorder, the
+    event list is a pure function of the seed: traces are byte-reproducible
+    across [--jobs N].
+
+    Timestamps are virtual milliseconds; the Chrome exporter converts to
+    microseconds. [tid] is a free-form lane id — by convention sites use
+    their index, driver clients use [1000 + client]. *)
+
+type t
+
+type span
+(** In-flight span handle from {!start}, closed by {!finish}. *)
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      dur : float;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      ts : float;
+      args : (string * string) list;
+    }
+  | Counter_sample of { name : string; tid : int; ts : float; value : float }
+  | Thread_name of { tid : int; name : string }
+
+val create : ?enabled:bool -> now:(unit -> float) -> unit -> t
+val null : t
+(** Disabled recorder on a constant clock; every call is a no-op. *)
+
+val enabled : t -> bool
+
+val start : t -> ?cat:string -> ?tid:int -> string -> span
+(** Open a span at the current virtual time. On a disabled recorder this
+    returns a dead handle and allocates nothing beyond it. *)
+
+val finish : t -> ?args:(string * string) list -> span -> unit
+(** Close [span] now, recording a [Complete] event. Finishing a dead or
+    already-finished handle is a no-op. *)
+
+val complete :
+  t -> ?cat:string -> ?tid:int -> ?args:(string * string) list ->
+  name:string -> ts:float -> dur:float -> unit -> unit
+(** Record a [Complete] event with explicit bounds (for spans reconstructed
+    after the fact, e.g. a message hop recorded at delivery). *)
+
+val instant :
+  t -> ?cat:string -> ?tid:int -> ?args:(string * string) list -> string -> unit
+
+val counter_sample : t -> ?tid:int -> value:float -> string -> unit
+
+val thread_name : t -> tid:int -> string -> unit
+(** Label a lane; exported as Chrome [thread_name] metadata. *)
+
+val events : t -> event list
+(** Recorded events in arrival order. *)
+
+val event_count : t -> int

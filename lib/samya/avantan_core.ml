@@ -87,14 +87,40 @@ type phase =
       replies : (int, status) Hashtbl.t;
     }
 
-type stats = {
-  led_started : int;
-  led_decided : int;
-  led_aborted : int;
-  participated : int;
-  decisions_applied : int;
-  recoveries : int;
-}
+(* The one stats surface for every Avantan variant: the protocol modules
+   re-export this module wholesale instead of duplicating the record. *)
+module Stats = struct
+  type stats = {
+    led_started : int;
+    led_decided : int;
+    led_aborted : int;
+    participated : int;
+    decisions_applied : int;
+    recoveries : int;
+  }
+
+  let zero_stats =
+    {
+      led_started = 0;
+      led_decided = 0;
+      led_aborted = 0;
+      participated = 0;
+      decisions_applied = 0;
+      recoveries = 0;
+    }
+
+  let add_stats a b =
+    {
+      led_started = a.led_started + b.led_started;
+      led_decided = a.led_decided + b.led_decided;
+      led_aborted = a.led_aborted + b.led_aborted;
+      participated = a.participated + b.participated;
+      decisions_applied = a.decisions_applied + b.decisions_applied;
+      recoveries = a.recoveries + b.recoveries;
+    }
+end
+
+include Stats
 
 type t = {
   env : env;
@@ -199,26 +225,6 @@ let stats t =
     participated = t.s_participated;
     decisions_applied = t.s_applied;
     recoveries = t.s_recoveries;
-  }
-
-let zero_stats =
-  {
-    led_started = 0;
-    led_decided = 0;
-    led_aborted = 0;
-    participated = 0;
-    decisions_applied = 0;
-    recoveries = 0;
-  }
-
-let add_stats a b =
-  {
-    led_started = a.led_started + b.led_started;
-    led_decided = a.led_decided + b.led_decided;
-    led_aborted = a.led_aborted + b.led_aborted;
-    participated = a.participated + b.participated;
-    decisions_applied = a.decisions_applied + b.decisions_applied;
-    recoveries = a.recoveries + b.recoveries;
   }
 
 let stop_timer t =

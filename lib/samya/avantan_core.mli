@@ -164,17 +164,27 @@ val restore : t -> image -> unit
     restored cohort acceptance re-enters [Cohort_accepted] with the
     failure detector re-armed. Call once, immediately after {!create}. *)
 
-type stats = {
-  led_started : int;  (** instances this site started or recovered *)
-  led_decided : int;  (** instances this site drove to decision *)
-  led_aborted : int;  (** phase-1 aborts *)
-  participated : int;  (** instances joined as cohort *)
-  decisions_applied : int;
-  recoveries : int;  (** Status-Query interrogations started (Avantan[*]) *)
-}
+(** {1 Statistics}
+
+    One stats surface shared by every variant: {!Avantan_majority} and
+    {!Avantan_star} re-export {!Stats} with a single
+    [include module type of] instead of duplicating the record. *)
+
+module Stats : sig
+  type stats = {
+    led_started : int;  (** instances this site started or recovered *)
+    led_decided : int;  (** instances this site drove to decision *)
+    led_aborted : int;  (** phase-1 aborts *)
+    participated : int;  (** instances joined as cohort *)
+    decisions_applied : int;
+    recoveries : int;  (** Status-Query interrogations started (Avantan[*]) *)
+  }
+
+  val zero_stats : stats
+
+  val add_stats : stats -> stats -> stats
+end
+
+include module type of struct include Stats end
 
 val stats : t -> stats
-
-val zero_stats : stats
-
-val add_stats : stats -> stats -> stats

@@ -2,14 +2,7 @@ type t = Avantan_core.t
 
 type env = Avantan_core.env
 
-type stats = Avantan_core.stats = {
-  led_started : int;
-  led_decided : int;
-  led_aborted : int;
-  participated : int;
-  decisions_applied : int;
-  recoveries : int;
-}
+include Avantan_core.Stats
 
 let policy =
   {

@@ -37,13 +37,7 @@ val participating : t -> bool
 
 val ballot : t -> Consensus.Ballot.t
 
-type stats = Avantan_core.stats = {
-  led_started : int;  (** instances this site started or recovered *)
-  led_decided : int;  (** instances this site drove to decision *)
-  led_aborted : int;  (** phase-1 aborts *)
-  participated : int;  (** instances joined as cohort *)
-  decisions_applied : int;
-  recoveries : int;  (** always 0 in this variant *)
-}
+include module type of struct include Avantan_core.Stats end
+(** The shared stats surface; [recoveries] is always 0 in this variant. *)
 
 val stats : t -> stats

@@ -45,13 +45,8 @@ val participating : t -> bool
 
 val ballot : t -> Consensus.Ballot.t
 
-type stats = Avantan_core.stats = {
-  led_started : int;
-  led_decided : int;
-  led_aborted : int;
-  participated : int;
-  decisions_applied : int;
-  recoveries : int;
-}
+include module type of struct include Avantan_core.Stats end
+(** The shared stats surface; [recoveries] counts Status-Query
+    interrogations. *)
 
 val stats : t -> stats

@@ -7,7 +7,7 @@ type t = {
 }
 
 let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0)
-    ?on_protocol_event () =
+    ?on_protocol_event ?obs () =
   if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
   let engine = Des.Engine.create ~seed () in
   let network = Geonet.Network.create engine ~regions ~drop_probability () in
@@ -17,7 +17,7 @@ let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0)
           Option.map (fun f -> fun ~entity event -> f ~site:id ~entity event)
             on_protocol_event
         in
-        Site.create ~config ~network ~id ?forecaster ?on_protocol_event ())
+        Site.create ~config ~network ~id ?forecaster ?on_protocol_event ?obs ())
   in
   { engine; network; regions; sites; rng = Des.Rng.split (Des.Engine.rng engine) }
 
@@ -112,7 +112,7 @@ let aggregate_protocol_stats t =
     (fun acc site -> Avantan_core.add_stats acc (Site.protocol_stats site))
     Avantan_core.zero_stats t.sites
 
-let aggregate_stats t =
+let aggregate_site_stats t =
   Array.fold_left
     (fun (acc : Site.stats) site ->
       let s = Site.stats site in

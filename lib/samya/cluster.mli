@@ -20,12 +20,15 @@ val create :
   ?forecaster:Ml.Forecaster.t ->
   ?drop_probability:float ->
   ?on_protocol_event:(site:int -> entity:Types.entity -> Avantan_core.event -> unit) ->
+  ?obs:Obs.Sink.port ->
   unit ->
   t
 (** One site per entry of [regions] (node ids follow array order). The
     forecaster, when given, is shared by all sites' Prediction Modules.
     [on_protocol_event] observes every protocol instance of every site —
-    see {!Site.create}. *)
+    see {!Site.create}. [obs] is one late-bound observability port shared
+    by every site's request handler and protocol driver (a facade's
+    [subscribe] attaches a sink to it). *)
 
 val engine : t -> Des.Engine.t
 val network : t -> Site.net_msg Geonet.Network.t
@@ -68,7 +71,8 @@ val total_redistributions : t -> int
 (** Decided instances, summed over leading sites (the paper's
     "208 vs 792 redistributions" metric). *)
 
-val aggregate_stats : t -> Site.stats
+val aggregate_site_stats : t -> Site.stats
+(** {!Site.stats} summed over all sites ([queued_peak] takes the max). *)
 
 val aggregate_protocol_stats : t -> Avantan_core.stats
 (** The unified {!Avantan_core.stats}, summed over all sites and

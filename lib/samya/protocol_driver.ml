@@ -10,13 +10,15 @@ type t = {
   on_event : Types.entity -> Avantan_core.event -> unit;
   persist : Entity_state.t -> unit;
       (** durability hook (crash-amnesia); a no-op under the freeze model *)
+  obs : Obs.Sink.port;
   mutable drain : Entity_state.t -> unit;
       (** request handler's queue replay; wired after construction to
           break the handler/driver cycle *)
 }
 
 let create ~config ~engine ~site_id ~n_sites ~send ~set_timer ~refresh_wanted
-    ~register_outcome ~on_event ?(persist = fun _ -> ()) () =
+    ~register_outcome ~on_event ?(persist = fun _ -> ())
+    ?(obs = Obs.Sink.port ()) () =
   {
     config;
     engine;
@@ -28,8 +30,14 @@ let create ~config ~engine ~site_id ~n_sites ~send ~set_timer ~refresh_wanted
     register_outcome;
     on_event;
     persist;
+    obs;
     drain = (fun _ -> ());
   }
+
+let obs_incr t name =
+  match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink -> Obs.Metrics.incr (Obs.Metrics.counter sink.Obs.Sink.metrics name)
 
 let set_drain t f = t.drain <- f
 
@@ -62,6 +70,13 @@ let apply_value t (ctx : Entity_state.t) (value : Protocol.value) =
         in
         let delta = grant.Reallocation.new_tokens_left - init_entry.tokens_left in
         ctx.tokens_left <- ctx.tokens_left + delta;
+        (match Obs.Sink.tap t.obs with
+        | None -> ()
+        | Some sink ->
+            Obs.Metrics.observe
+              (Obs.Metrics.histogram sink.Obs.Sink.metrics
+                 "samya.apply.delta_tokens")
+              (Float.abs (float_of_int delta)));
         Some (init_entry.tokens_wanted = 0 || grant.Reallocation.wanted_satisfied)
     | None -> None
   end
@@ -73,11 +88,13 @@ let on_outcome t (ctx : Entity_state.t) outcome =
   ctx.last_redistribution_ms <- now t;
   (match outcome with
   | Protocol.Decided value ->
+      obs_incr t "samya.protocol.decided";
       (match apply_value t ctx value with
       | Some satisfied -> t.register_outcome ctx ~satisfied
       | None -> ());
       ctx.tokens_wanted <- 0
   | Protocol.Aborted ->
+      obs_incr t "samya.protocol.aborted";
       t.register_outcome ctx ~satisfied:(ctx.tokens_wanted = 0);
       ctx.tokens_wanted <- 0);
   t.drain ctx

@@ -22,12 +22,15 @@ val create :
   register_outcome:(Entity_state.t -> satisfied:bool -> unit) ->
   on_event:(Types.entity -> Avantan_core.event -> unit) ->
   ?persist:(Entity_state.t -> unit) ->
+  ?obs:Obs.Sink.port ->
   unit ->
   t
 (** [persist] is the crash-amnesia durability hook, invoked whenever an
     entity's protocol-critical state changes (see
     {!Avantan_core.env.persist}) and after recovery replay; defaults to a
-    no-op (freeze model). *)
+    no-op (freeze model). [obs] is the late-bound observability port (see
+    {!Request_handler.create}): with a sink attached, decisions, aborts
+    and applied token deltas feed the [samya.*] metrics. *)
 
 val set_drain : t -> (Entity_state.t -> unit) -> unit
 (** Wire the request handler's queue replay, called when an instance

@@ -26,6 +26,7 @@ type t = {
   engine : Des.Engine.t;
   n_sites : int;
   deps : deps;
+  obs : Obs.Sink.port;
   pending_reads : (int, read_ctx) Hashtbl.t;
   mutable next_rid : int;
   mutable busy_until : float;
@@ -37,12 +38,13 @@ type t = {
   mutable s_reactive : int;
 }
 
-let create ~config ~engine ~n_sites deps =
+let create ~config ~engine ~n_sites ?(obs = Obs.Sink.port ()) deps =
   {
     config;
     engine;
     n_sites;
     deps;
+    obs;
     pending_reads = Hashtbl.create 16;
     next_rid = 0;
     busy_until = 0.0;
@@ -53,6 +55,21 @@ let create ~config ~engine ~n_sites deps =
     s_queued_peak = 0;
     s_reactive = 0;
   }
+
+(* Cluster-level metrics, live only while a sink is attached to the port;
+   the unattached path is one load and one branch. *)
+let obs_incr t name =
+  match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink -> Obs.Metrics.incr (Obs.Metrics.counter sink.Obs.Sink.metrics name)
+
+let obs_queue_depth t depth =
+  match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge sink.Obs.Sink.metrics "samya.queue.depth")
+        (float_of_int depth)
 
 let now t = Des.Engine.now t.engine
 
@@ -82,12 +99,14 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
       ctx.tokens_left <- ctx.tokens_left + amount;
       ctx.acquired_net <- ctx.acquired_net - amount;
       t.s_releases <- t.s_releases + 1;
+      obs_incr t "samya.release.granted";
       t.deps.persist ctx;
       reply_after_processing t reply Types.Granted
   | Types.Acquire { amount; _ } ->
       if not t.config.Config.enforce_constraint then begin
         ctx.acquired_net <- ctx.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
+        obs_incr t "samya.acquire.granted";
         t.deps.persist ctx;
         reply_after_processing t reply Types.Granted
       end
@@ -95,6 +114,7 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         ctx.tokens_left <- ctx.tokens_left - amount;
         ctx.acquired_net <- ctx.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
+        obs_incr t "samya.acquire.granted";
         t.deps.persist ctx;
         reply_after_processing t reply Types.Granted;
         if not drain then t.deps.proactive ctx
@@ -108,15 +128,18 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         (* Reactive redistribution (Equation 5): queue the client behind
            the instance the prediction module sizes for us. *)
         t.s_reactive <- t.s_reactive + 1;
+        obs_incr t "samya.reactive.queued";
         let wanted = t.deps.reactive_wanted ctx ~amount in
         ctx.tokens_wanted <- max ctx.tokens_wanted wanted;
         ctx.last_redistribution_ms <- now t;
         Queue.push (request, reply) ctx.queue;
         t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+        obs_queue_depth t (Queue.length ctx.queue);
         t.deps.trigger ctx
       end
       else begin
         t.s_rejected <- t.s_rejected + 1;
+        obs_incr t "samya.acquire.rejected";
         reply_after_processing t reply Types.Rejected
       end
   | Types.Read _ -> (* handled before dispatch *) assert false
@@ -143,7 +166,8 @@ let accept t (ctx : Entity_state.t) request reply =
     Demand_tracker.record ctx.tracker ~amount:net;
     if Entity_state.participating ctx then begin
       Queue.push (request, reply) ctx.queue;
-      t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue)
+      t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+      obs_queue_depth t (Queue.length ctx.queue)
     end
     else serve_local t ctx request reply ~drain:false
   in
@@ -162,12 +186,14 @@ let finish_read t rid =
       (match read.r_timer with Some timer -> Des.Engine.cancel timer | None -> ());
       Hashtbl.remove t.pending_reads rid;
       t.s_reads <- t.s_reads + 1;
+      obs_incr t "samya.read.served";
       reply_after_processing t read.r_reply
         (Types.Read_result { tokens_available = read.acc })
 
 let serve_read t ~entity ~own reply =
   if t.n_sites = 1 then begin
     t.s_reads <- t.s_reads + 1;
+    obs_incr t "samya.read.served";
     reply_after_processing t reply (Types.Read_result { tokens_available = own })
   end
   else begin
@@ -179,7 +205,8 @@ let serve_read t ~entity ~own reply =
     Hashtbl.replace t.pending_reads rid read;
     read.r_timer <-
       Some
-        (Des.Engine.timer t.engine ~delay_ms:t.config.Config.read_timeout_ms (fun () ->
+        (Des.Engine.timer ~label:"samya.read.timeout" t.engine
+           ~delay_ms:t.config.Config.read_timeout_ms (fun () ->
              if t.deps.alive () then finish_read t rid));
     t.deps.broadcast_read_query ~entity ~rid
   end

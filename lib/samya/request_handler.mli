@@ -24,7 +24,17 @@ type deps = {
 
 type t
 
-val create : config:Config.t -> engine:Des.Engine.t -> n_sites:int -> deps -> t
+val create :
+  config:Config.t ->
+  engine:Des.Engine.t ->
+  n_sites:int ->
+  ?obs:Obs.Sink.port ->
+  deps ->
+  t
+(** [obs] is a late-bound observability port (default: a fresh, never
+    attached one). While no sink is attached the instrumented paths cost
+    one load-and-branch each; with a sink they feed the [samya.*]
+    counters and the queue-depth gauge. *)
 
 val accept :
   t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> unit

@@ -85,7 +85,7 @@ let handle_net t ~src msg =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
 
-let create ~config ~network ~id ?forecaster ?on_protocol_event () =
+let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
   (match Config.validate config with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Site.create: " ^ reason));
@@ -117,7 +117,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
         Geonet.Network.send network ~src:id ~dst (Avantan { entity; msg }))
       ~set_timer:(fun ~delay_ms f ->
         let inc = !incarnation in
-        Des.Engine.timer engine ~delay_ms (fun () ->
+        Des.Engine.timer ~label:"avantan.timer" engine ~delay_ms (fun () ->
             if !is_alive && !incarnation = inc then f ()))
       ~refresh_wanted:(Prediction.refresh_wanted prediction)
       ~register_outcome:(Redistribution_policy.register_outcome rpolicy)
@@ -125,10 +125,10 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event () =
         (match on_protocol_event with
         | Some f -> fun entity event -> f ~entity event
         | None -> fun _ _ -> ())
-      ~persist ()
+      ~persist ?obs ()
   in
   let handler =
-    Request_handler.create ~config ~engine ~n_sites
+    Request_handler.create ~config ~engine ~n_sites ?obs
       {
         Request_handler.alive = (fun () -> !is_alive);
         reactive_ok =

@@ -34,6 +34,7 @@ val create :
   id:int ->
   ?forecaster:Ml.Forecaster.t ->
   ?on_protocol_event:(entity:Types.entity -> Avantan_core.event -> unit) ->
+  ?obs:Obs.Sink.port ->
   unit ->
   t
 (** Registers the site's handler with the network at node [id]. Without a
@@ -41,7 +42,9 @@ val create :
     epoch's demand (prediction can still be disabled entirely via
     [config]). [on_protocol_event] observes every {!Avantan_core.event} of
     every entity's protocol instance — elections, accepts, aborts,
-    decisions with round counts — without touching protocol state. *)
+    decisions with round counts — without touching protocol state. [obs]
+    is the late-bound observability port shared by the site's request
+    handler and protocol driver. *)
 
 val id : t -> int
 

@@ -274,6 +274,34 @@ let engine_past_absolute_time_clamped () =
           check bool "not in the past" true (Des.Engine.now engine >= 10.0)));
   Des.Engine.run engine
 
+let drain_minor_words ~label =
+  let engine = Des.Engine.create () in
+  for i = 0 to 999 do
+    let delay_ms = float_of_int ((i * 7) mod 997) in
+    ignore
+      (match label with
+      | None -> Des.Engine.timer engine ~delay_ms (fun () -> ())
+      | Some label -> Des.Engine.timer ~label engine ~delay_ms (fun () -> ()))
+  done;
+  let before = Gc.minor_words () in
+  Des.Engine.run_for engine 1_000.0;
+  Gc.minor_words () -. before
+
+let engine_untraced_drain_no_extra_allocation () =
+  (* Labelled timers exist for the observability layer; with no tracer
+     installed, draining them must allocate exactly as much as draining
+     plain timers — the PR-1 hot-path budget must not regress when the
+     obs layer is off. First rounds warm both paths. *)
+  ignore (drain_minor_words ~label:None);
+  ignore (drain_minor_words ~label:(Some "t"));
+  let plain = drain_minor_words ~label:None in
+  let labelled = drain_minor_words ~label:(Some "t") in
+  check bool
+    (Printf.sprintf "labelled drain allocates no more (plain %.0f, labelled %.0f)"
+       plain labelled)
+    true
+    (labelled <= plain +. 64.0)
+
 let suite =
   [
     Alcotest.test_case "rng: deterministic by seed" `Quick rng_deterministic;
@@ -298,4 +326,6 @@ let suite =
     Alcotest.test_case "engine: timer_pending lifecycle" `Quick engine_timer_pending_lifecycle;
     Alcotest.test_case "engine: negative delay clamped" `Quick engine_negative_delay_clamped;
     Alcotest.test_case "engine: past schedule clamped" `Quick engine_past_absolute_time_clamped;
+    Alcotest.test_case "engine: obs-off drain allocation" `Quick
+      engine_untraced_drain_no_extra_allocation;
   ]

@@ -8,6 +8,7 @@ let () =
       ("ml", Test_ml.suite);
       ("trace", Test_trace.suite);
       ("consensus", Test_consensus.suite);
+      ("obs", Test_obs.suite);
       ("reallocation", Test_reallocation.suite);
       ("avantan", Test_avantan.suite);
       ("samya", Test_samya.suite);

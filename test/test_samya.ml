@@ -225,7 +225,7 @@ let no_prediction_is_reactive_only () =
   burst cluster ~region:Geonet.Region.Us_west1 ~start:0.0 ~count:1_500 ~gap:5.0 granted
     rejected;
   drain ~extra:200_000.0 cluster;
-  let stats = Samya.Cluster.aggregate_stats cluster in
+  let stats = Samya.Cluster.aggregate_site_stats cluster in
   check int "no proactive triggers" 0 stats.Samya.Site.proactive_triggers;
   check bool "reactive triggers fired" true (stats.Samya.Site.reactive_triggers > 0)
 
@@ -265,7 +265,7 @@ let aborts_when_majority_unreachable () =
   drain ~extra:300_000.0 cluster;
   check int "local share still served" 1_000 !granted;
   check bool "excess rejected after aborts" true (!rejected > 0);
-  let stats = Samya.Cluster.aggregate_stats cluster in
+  let stats = Samya.Cluster.aggregate_site_stats cluster in
   check bool "instances aborted" true (stats.Samya.Site.redistributions_aborted > 0)
 
 let star_redistributes_in_minority_partition () =
