@@ -5,6 +5,9 @@
    samya-cli run-all [--quick]        -- every experiment
    samya-cli bench [ids...] [--quick] -- the full benchmark runner
    samya-cli trace headline [--quick] -- export a Chrome trace of a run
+   samya-cli explain headline         -- critical-path latency attribution
+   samya-cli slo headline [--out F]   -- online SLO report (samya-slo/1)
+   samya-cli perf-gate --baseline ... -- CI micro-bench regression gate
    samya-cli workload [--days N]      -- inspect the synthetic Azure trace
    samya-cli demo [--star]            -- drive a small cluster end to end
    samya-cli chaos --seed N           -- one audited nemesis run, replayable *)
@@ -234,6 +237,9 @@ let () =
             run_all_cmd;
             Cli.Bench_cmd.cmd;
             Cli.Trace_cmd.cmd;
+            Cli.Explain_cmd.cmd;
+            Cli.Slo_cmd.cmd;
+            Cli.Perf_gate_cmd.cmd;
             workload_cmd;
             demo_cmd;
             chaos_cmd;

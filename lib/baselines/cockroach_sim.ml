@@ -3,6 +3,9 @@ module Types = Samya.Types
 type txn = {
   request : Types.request;
   reply : Types.response -> unit;
+  ctx : Des.Trace_context.t;
+      (* causal context the transaction arrived under, restored around its
+         serialized execution so its rounds are attributed to it *)
   mutable attempts : int;
 }
 
@@ -17,6 +20,7 @@ type t = {
   rng : Des.Rng.t;
   queues : (Types.entity, txn Queue.t) Hashtbl.t;
   in_flight : (Types.entity, unit) Hashtbl.t;
+  obs : Obs.Sink.port;
   mutable committed : int;
   mutable dropped : int;
 }
@@ -65,6 +69,7 @@ let create ?(seed = 42L) ?regions ?(processing_ms = 0.15) ?(max_queue = 1) () =
     rng = Des.Rng.split (Des.Engine.rng engine);
     queues = Hashtbl.create 4;
     in_flight = Hashtbl.create 4;
+    obs = Obs.Sink.port ();
     committed = 0;
     dropped = 0;
   }
@@ -72,6 +77,16 @@ let create ?(seed = 42L) ?regions ?(processing_ms = 0.15) ?(max_queue = 1) () =
 let engine t = t.engine
 
 let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let obs_port t = t.obs
+
+(* Record a causal event for [trace] if a sink is attached ([trace] is -1
+   when the transaction arrived untraced). *)
+let record_causal t ~trace event =
+  if trace >= 0 then
+    match Obs.Sink.tap t.obs with
+    | None -> ()
+    | Some sink -> Obs.Causal.record sink.Obs.Sink.causal event
 
 let net_stats t =
   ( Geonet.Network.stats_sent t.network,
@@ -126,33 +141,84 @@ let rec pump t entity =
               | Types.Release { amount; _ } -> -amount
               | Types.Read _ -> 0
             in
+            let trace =
+              if Des.Trace_context.is_none txn.ctx then -1
+              else txn.ctx.Des.Trace_context.trace
+            in
             let retry () =
               Hashtbl.remove t.in_flight entity;
+              (* Back on the queue: reopen its admission window so the
+                 retry delay is charged as queueing, not left uncovered. *)
+              record_causal t ~trace
+                (Obs.Causal.Enqueued
+                   {
+                     trace;
+                     site = leader_id;
+                     label = "admission";
+                     ts = Des.Engine.now t.engine;
+                   });
               Queue.push txn q;
               Des.Engine.schedule t.engine ~delay_ms:300.0 (fun () -> pump t entity)
             in
-            let submit_commit () =
-              match
-                Consensus.Raft.submit raft
-                  { Rsm.c_entity = entity; delta; intent = false }
-                  ~on_commit:(fun () ->
-                    let granted = Rsm.last_outcome state ~entity in
-                    if granted then t.committed <- t.committed + 1;
-                    Hashtbl.remove t.in_flight entity;
-                    Des.Engine.schedule t.engine ~delay_ms:t.processing_ms (fun () ->
-                        txn.reply (if granted then Types.Granted else Types.Rejected));
-                    pump t entity)
-              with
-              | Ok _ -> ()
-              | Error _ -> retry ()
-            in
-            match
-              Consensus.Raft.submit raft
-                { Rsm.c_entity = entity; delta = 0; intent = true }
-                ~on_commit:submit_commit
-            with
-            | Ok _ -> ()
-            | Error _ -> retry ()
+            (* Execution runs under the transaction's own context (pump may
+               be called from the previous transaction's commit), so the two
+               replication rounds and their WAN hops are charged to it. *)
+            Des.Engine.with_context t.engine txn.ctx (fun () ->
+                let t_intent = Des.Engine.now t.engine in
+                record_causal t ~trace
+                  (Obs.Causal.Dequeued { trace; site = leader_id; ts = t_intent });
+                let submit_commit () =
+                  let t_commit = Des.Engine.now t.engine in
+                  record_causal t ~trace
+                    (Obs.Causal.Phase
+                       {
+                         trace;
+                         site = leader_id;
+                         name = "replicate.intent";
+                         t0 = t_intent;
+                         t1 = t_commit;
+                       });
+                  match
+                    Consensus.Raft.submit raft
+                      { Rsm.c_entity = entity; delta; intent = false }
+                      ~on_commit:(fun () ->
+                        let granted = Rsm.last_outcome state ~entity in
+                        if granted then t.committed <- t.committed + 1;
+                        Hashtbl.remove t.in_flight entity;
+                        let t_done = Des.Engine.now t.engine in
+                        record_causal t ~trace
+                          (Obs.Causal.Phase
+                             {
+                               trace;
+                               site = leader_id;
+                               name = "replicate.commit";
+                               t0 = t_commit;
+                               t1 = t_done;
+                             });
+                        record_causal t ~trace
+                          (Obs.Causal.Service
+                             {
+                               trace;
+                               site = leader_id;
+                               t0 = t_done;
+                               t1 = t_done +. t.processing_ms;
+                             });
+                        Des.Engine.schedule t.engine ~delay_ms:t.processing_ms
+                          (fun () ->
+                            txn.reply
+                              (if granted then Types.Granted else Types.Rejected));
+                        pump t entity)
+                  with
+                  | Ok _ -> ()
+                  | Error _ -> retry ()
+                in
+                match
+                  Consensus.Raft.submit raft
+                    { Rsm.c_entity = entity; delta = 0; intent = true }
+                    ~on_commit:submit_commit
+                with
+                | Ok _ -> ()
+                | Error _ -> retry ())
           end)
     end
   end
@@ -186,10 +252,26 @@ let rec submit t ~region request ~reply =
                   let back = client_leg_ms t ~region ~dst:leader_id in
                   Des.Engine.schedule t.engine ~delay_ms:back (fun () -> reply response)
                 in
+                let ctx = Des.Engine.current_context t.engine in
+                let trace =
+                  if Des.Trace_context.is_none ctx then -1
+                  else ctx.Des.Trace_context.trace
+                in
+                let now = Des.Engine.now t.engine in
+                record_causal t ~trace
+                  (Obs.Causal.Accepted { trace; site = leader_id; ts = now });
                 match request with
                 | Types.Read { entity } ->
                     let state = t.states.(leader_id) in
                     t.committed <- t.committed + 1;
+                    record_causal t ~trace
+                      (Obs.Causal.Service
+                         {
+                           trace;
+                           site = leader_id;
+                           t0 = now;
+                           t1 = now +. t.processing_ms;
+                         });
                     Des.Engine.schedule t.engine ~delay_ms:t.processing_ms (fun () ->
                         reply
                           (Types.Read_result
@@ -199,7 +281,10 @@ let rec submit t ~region request ~reply =
                     let q = queue_for t entity in
                     if Queue.length q >= t.max_queue then t.dropped <- t.dropped + 1
                     else begin
-                      Queue.push { request; reply; attempts = 0 } q;
+                      record_causal t ~trace
+                        (Obs.Causal.Enqueued
+                           { trace; site = leader_id; label = "admission"; ts = now });
+                      Queue.push { request; reply; ctx; attempts = 0 } q;
                       pump t entity
                     end
               end))

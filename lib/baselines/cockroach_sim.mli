@@ -33,6 +33,9 @@ val set_net_tracer : t -> Geonet.Network.tracer option -> unit
 (** Install a message-hop observer on the internal network (the network
     itself is not exposed); [None] removes it. *)
 
+val obs_port : t -> Obs.Sink.port
+(** Late-bound observability port; see {!Multipaxsys.obs_port}. *)
+
 val net_stats : t -> int * int * int
 (** [(sent, delivered, dropped)] counters of the internal network. *)
 

@@ -12,7 +12,9 @@ type borrow = {
 type ctx = {
   mutable tokens_left : int;
   mutable acquired_net : int;
-  queue : (Types.request * (Types.response -> unit)) Queue.t;
+  queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
+      (* each entry keeps the causal context it arrived under, restored
+         around its eventual service so lineage survives the borrow *)
   mutable borrowing : borrow option;
 }
 
@@ -31,6 +33,7 @@ type t = {
   borrow_patience_ms : float;
   borrow_quantum : int;
   rng : Des.Rng.t;
+  obs : Obs.Sink.port;
   mutable borrow_count : int;
 }
 
@@ -39,6 +42,20 @@ let default_regions () = Array.of_list Geonet.Region.default_five
 let engine t = t.engine
 
 let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let obs_port t = t.obs
+
+(* Record a causal event for [trace] if a sink is attached ([trace] is -1
+   when the request arrived untraced). *)
+let record_causal t ~trace event =
+  if trace >= 0 then
+    match Obs.Sink.tap t.obs with
+    | None -> ()
+    | Some sink -> Obs.Causal.record sink.Obs.Sink.causal event
+
+let ambient_trace t =
+  let ctx = Des.Engine.current_context t.engine in
+  if Des.Trace_context.is_none ctx then -1 else ctx.Des.Trace_context.trace
 
 let net_stats t =
   ( Geonet.Network.stats_sent t.network,
@@ -66,9 +83,18 @@ let init_entity t ~entity ~maximum =
 
 let reply_after_processing t site reply response =
   let s = t.sites.(site) in
-  let start = Float.max (Des.Engine.now t.engine) s.busy_until in
+  let now = Des.Engine.now t.engine in
+  let start = Float.max now s.busy_until in
   let finish = start +. t.processing_ms in
   s.busy_until <- finish;
+  let trace = ambient_trace t in
+  if trace >= 0 then begin
+    if start > now then
+      record_causal t ~trace
+        (Obs.Causal.Wait { trace; site; label = "cpu"; t0 = now; t1 = start });
+    record_causal t ~trace
+      (Obs.Causal.Service { trace; site; t0 = start; t1 = finish })
+  end;
   Des.Engine.schedule_at t.engine ~time_ms:finish (fun () -> reply response)
 
 (* Peers in proximity order from a borrower's region. *)
@@ -83,7 +109,7 @@ let peers_by_proximity t site =
 
 let queued_acquire_total ctx =
   Queue.fold
-    (fun acc (request, _) ->
+    (fun acc (request, _, _) ->
       match request with Types.Acquire { amount; _ } -> acc + amount | _ -> acc)
     0 ctx.queue
 
@@ -99,20 +125,28 @@ let finish_borrow t site entity =
   ctx.borrowing <- None;
   let items = Queue.length ctx.queue in
   for _ = 1 to items do
-    let request, reply = Queue.pop ctx.queue in
-    match request with
-    | Types.Release { amount; _ } ->
-        ctx.tokens_left <- ctx.tokens_left + amount;
-        ctx.acquired_net <- ctx.acquired_net - amount;
-        reply_after_processing t site reply Types.Granted
-    | Types.Acquire { amount; _ } ->
-        if ctx.tokens_left >= amount then begin
-          ctx.tokens_left <- ctx.tokens_left - amount;
-          ctx.acquired_net <- ctx.acquired_net + amount;
-          reply_after_processing t site reply Types.Granted
-        end
-        else reply_after_processing t site reply Types.Rejected
-    | Types.Read _ -> reply_after_processing t site reply Types.Rejected
+    let request, reply, rctx = Queue.pop ctx.queue in
+    (* Service runs under the parked request's own context: the queue wait
+       closes on its trace and the CPU window is charged to it, not to
+       whichever grant delivery drained the queue. *)
+    Des.Engine.with_context t.engine rctx (fun () ->
+        (if not (Des.Trace_context.is_none rctx) then
+           let trace = rctx.Des.Trace_context.trace in
+           record_causal t ~trace
+             (Obs.Causal.Dequeued { trace; site; ts = Des.Engine.now t.engine }));
+        match request with
+        | Types.Release { amount; _ } ->
+            ctx.tokens_left <- ctx.tokens_left + amount;
+            ctx.acquired_net <- ctx.acquired_net - amount;
+            reply_after_processing t site reply Types.Granted
+        | Types.Acquire { amount; _ } ->
+            if ctx.tokens_left >= amount then begin
+              ctx.tokens_left <- ctx.tokens_left - amount;
+              ctx.acquired_net <- ctx.acquired_net + amount;
+              reply_after_processing t site reply Types.Granted
+            end
+            else reply_after_processing t site reply Types.Rejected
+        | Types.Read _ -> reply_after_processing t site reply Types.Rejected)
   done
 
 let ask_next t site entity =
@@ -148,27 +182,39 @@ let start_borrow t site entity =
 let serve t site request reply =
   let entity = Types.request_entity request in
   let ctx = ctx_of t site entity in
+  let rctx = Des.Engine.current_context t.engine in
+  let trace =
+    if Des.Trace_context.is_none rctx then -1 else rctx.Des.Trace_context.trace
+  in
+  record_causal t ~trace
+    (Obs.Causal.Accepted { trace; site; ts = Des.Engine.now t.engine });
+  let park () =
+    record_causal t ~trace
+      (Obs.Causal.Enqueued
+         { trace; site; label = "borrow"; ts = Des.Engine.now t.engine });
+    Queue.push (request, reply, rctx) ctx.queue
+  in
   match request with
   | Types.Read _ ->
       (* Demarcation serves reads from the local escrow view only. *)
       reply_after_processing t site reply
         (Types.Read_result { tokens_available = ctx.tokens_left })
   | Types.Release { amount; _ } ->
-      if ctx.borrowing <> None then Queue.push (request, reply) ctx.queue
+      if ctx.borrowing <> None then park ()
       else begin
         ctx.tokens_left <- ctx.tokens_left + amount;
         ctx.acquired_net <- ctx.acquired_net - amount;
         reply_after_processing t site reply Types.Granted
       end
   | Types.Acquire { amount; _ } ->
-      if ctx.borrowing <> None then Queue.push (request, reply) ctx.queue
+      if ctx.borrowing <> None then park ()
       else if ctx.tokens_left >= amount then begin
         ctx.tokens_left <- ctx.tokens_left - amount;
         ctx.acquired_net <- ctx.acquired_net + amount;
         reply_after_processing t site reply Types.Granted
       end
       else begin
-        Queue.push (request, reply) ctx.queue;
+        park ();
         start_borrow t site entity
       end
 
@@ -207,6 +253,7 @@ let create ?(seed = 42L) ?regions ?(processing_ms = 0.15) ?(borrow_patience_ms =
       borrow_patience_ms;
       borrow_quantum;
       rng = Des.Rng.split (Des.Engine.rng engine);
+      obs = Obs.Sink.port ();
       borrow_count = 0;
     }
   in

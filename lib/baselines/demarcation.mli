@@ -39,6 +39,12 @@ val set_net_tracer : t -> Geonet.Network.tracer option -> unit
 (** Install a message-hop observer on the internal network (the network
     itself is not exposed); [None] removes it. *)
 
+val obs_port : t -> Obs.Sink.port
+(** Late-bound observability port. With a sink attached, traced requests
+    record their causal lifecycle (site acceptance, borrow-queue windows,
+    CPU backlog waits, local service), so [explain] can attribute their
+    latency. *)
+
 val net_stats : t -> int * int * int
 (** [(sent, delivered, dropped)] counters of the internal network. *)
 

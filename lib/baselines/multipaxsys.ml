@@ -3,6 +3,9 @@ module Types = Samya.Types
 type txn = {
   request : Types.request;
   reply : Types.response -> unit;
+  ctx : Des.Trace_context.t;
+      (* causal context the transaction arrived under, restored around its
+         serialized execution so its rounds are attributed to it *)
 }
 
 type t = {
@@ -17,6 +20,7 @@ type t = {
   rng : Des.Rng.t;
   queues : (Types.entity, txn Queue.t) Hashtbl.t;
   in_flight : (Types.entity, unit) Hashtbl.t;
+  obs : Obs.Sink.port;
   mutable committed : int;
   mutable dropped : int;
 }
@@ -56,6 +60,7 @@ let create ?(seed = 42L) ?(regions = regions) ?(leader = 1) ?(processing_ms = 0.
       rng = Des.Rng.split (Des.Engine.rng engine);
       queues = Hashtbl.create 4;
       in_flight = Hashtbl.create 4;
+      obs = Obs.Sink.port ();
       committed = 0;
       dropped = 0;
     }
@@ -74,6 +79,16 @@ let create ?(seed = 42L) ?(regions = regions) ?(leader = 1) ?(processing_ms = 0.
 let engine t = t.engine
 
 let set_net_tracer t tracer = Geonet.Network.set_tracer t.network tracer
+
+let obs_port t = t.obs
+
+(* Record a causal event for [trace] if a sink is attached ([trace] is -1
+   when the transaction arrived untraced). *)
+let record_causal t ~trace event =
+  if trace >= 0 then
+    match Obs.Sink.tap t.obs with
+    | None -> ()
+    | Some sink -> Obs.Causal.record sink.Obs.Sink.causal event
 
 let net_stats t =
   ( Geonet.Network.stats_sent t.network,
@@ -109,19 +124,58 @@ let rec pump t entity =
       in
       let leader_replica = t.replicas.(t.leader) in
       let state = t.states.(t.leader) in
-      Consensus.Multipaxos.submit leader_replica
-        { Rsm.c_entity = entity; delta = 0; intent = true }
-        ~on_commit:(fun () ->
+      let trace =
+        if Des.Trace_context.is_none txn.ctx then -1
+        else txn.ctx.Des.Trace_context.trace
+      in
+      (* Execution runs under the transaction's own context (pump may be
+         called from the previous transaction's commit), so the two
+         replication rounds and their WAN hops are charged to it. *)
+      Des.Engine.with_context t.engine txn.ctx (fun () ->
+          let t_intent = Des.Engine.now t.engine in
+          record_causal t ~trace
+            (Obs.Causal.Dequeued { trace; site = t.leader; ts = t_intent });
           Consensus.Multipaxos.submit leader_replica
-            { Rsm.c_entity = entity; delta; intent = false }
+            { Rsm.c_entity = entity; delta = 0; intent = true }
             ~on_commit:(fun () ->
-              (* on_apply ran just before this callback. *)
-              let granted = Rsm.last_outcome state ~entity in
-              if granted then t.committed <- t.committed + 1;
-              Hashtbl.remove t.in_flight entity;
-              Des.Engine.schedule t.engine ~delay_ms:t.processing_ms (fun () ->
-                  txn.reply (if granted then Types.Granted else Types.Rejected));
-              pump t entity))
+              let t_commit = Des.Engine.now t.engine in
+              record_causal t ~trace
+                (Obs.Causal.Phase
+                   {
+                     trace;
+                     site = t.leader;
+                     name = "replicate.intent";
+                     t0 = t_intent;
+                     t1 = t_commit;
+                   });
+              Consensus.Multipaxos.submit leader_replica
+                { Rsm.c_entity = entity; delta; intent = false }
+                ~on_commit:(fun () ->
+                  (* on_apply ran just before this callback. *)
+                  let granted = Rsm.last_outcome state ~entity in
+                  if granted then t.committed <- t.committed + 1;
+                  Hashtbl.remove t.in_flight entity;
+                  let t_done = Des.Engine.now t.engine in
+                  record_causal t ~trace
+                    (Obs.Causal.Phase
+                       {
+                         trace;
+                         site = t.leader;
+                         name = "replicate.commit";
+                         t0 = t_commit;
+                         t1 = t_done;
+                       });
+                  record_causal t ~trace
+                    (Obs.Causal.Service
+                       {
+                         trace;
+                         site = t.leader;
+                         t0 = t_done;
+                         t1 = t_done +. t.processing_ms;
+                       });
+                  Des.Engine.schedule t.engine ~delay_ms:t.processing_ms (fun () ->
+                      txn.reply (if granted then Types.Granted else Types.Rejected));
+                  pump t entity)))
     end
   end
 
@@ -161,11 +215,22 @@ let submit t ~region request ~reply =
               let back = client_leg_ms t ~region in
               Des.Engine.schedule t.engine ~delay_ms:back (fun () -> reply response)
             in
+            let ctx = Des.Engine.current_context t.engine in
+            let trace =
+              if Des.Trace_context.is_none ctx then -1
+              else ctx.Des.Trace_context.trace
+            in
+            let now = Des.Engine.now t.engine in
+            record_causal t ~trace
+              (Obs.Causal.Accepted { trace; site = gateway; ts = now });
             match request with
             | Types.Read { entity } ->
                 (* Reads execute at the leader without replication (§5.8). *)
                 let state = t.states.(t.leader) in
                 t.committed <- t.committed + 1;
+                record_causal t ~trace
+                  (Obs.Causal.Service
+                     { trace; site = t.leader; t0 = now; t1 = now +. t.processing_ms });
                 Des.Engine.schedule t.engine ~delay_ms:t.processing_ms (fun () ->
                     reply (Types.Read_result { tokens_available = Rsm.available state ~entity }))
             | Types.Acquire { entity; _ } | Types.Release { entity; _ } ->
@@ -175,7 +240,10 @@ let submit t ~region request ~reply =
                 let q = queue_for t entity in
                 if Queue.length q >= t.max_queue then t.dropped <- t.dropped + 1
                 else begin
-                  Queue.push { request; reply } q;
+                  record_causal t ~trace
+                    (Obs.Causal.Enqueued
+                       { trace; site = t.leader; label = "admission"; ts = now });
+                  Queue.push { request; reply; ctx } q;
                   pump t entity
                 end
           end)

@@ -42,6 +42,12 @@ val set_net_tracer : t -> Geonet.Network.tracer option -> unit
 (** Install a message-hop observer on the internal network (the network
     itself is not exposed); [None] removes it. *)
 
+val obs_port : t -> Obs.Sink.port
+(** Late-bound observability port. With a sink attached, traced
+    transactions record their causal lifecycle (gateway acceptance,
+    admission queueing, the intent and commit replication phases, leader
+    service), so [explain] can attribute their latency. *)
+
 val net_stats : t -> int * int * int
 (** [(sent, delivered, dropped)] counters of the internal network. *)
 

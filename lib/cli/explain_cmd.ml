@@ -1,0 +1,46 @@
+(* `samya_cli explain EXPERIMENT` — causal critical-path analysis: re-runs
+   the experiment's systems under tracing and attributes each traced
+   request's latency to named components (client WAN legs, queueing,
+   protocol phases, replication hops, CPU backlog, local service). *)
+
+open Cmdliner
+
+let run experiment quick jobs slowest =
+  Harness.Pool.set_jobs jobs;
+  Format.eprintf "jobs: %d@." jobs;
+  let ctx = Harness.Lab.create () in
+  match Harness.Exp_trace.run ctx ~quick ~experiment with
+  | Error message ->
+      Format.eprintf "error: %s@." message;
+      2
+  | Ok captures ->
+      Format.printf "== explain: %s (%s horizon, seed %Ld) ==@." experiment
+        (if quick then "quick" else "full")
+        Harness.Exp_common.seed;
+      Harness.Exp_trace.explain Format.std_formatter ~slowest captures;
+      0
+
+let cmd =
+  let experiment =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            (Printf.sprintf "Traceable experiment: %s."
+               (String.concat ", " Harness.Exp_trace.experiments)))
+  in
+  let slowest =
+    Arg.(
+      value & opt int 5
+      & info [ "slowest" ] ~docv:"N"
+          ~doc:"Show the N slowest traced requests with their critical paths.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run an experiment under causal tracing and attribute request \
+          latency to named components (WAN legs, queueing, protocol phases, \
+          replication, service). Deterministic: byte-identical output at \
+          any --jobs level.")
+    Term.(const run $ experiment $ Args.quick $ Args.jobs $ slowest)

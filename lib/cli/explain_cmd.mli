@@ -1,0 +1,3 @@
+val cmd : int Cmdliner.Cmd.t
+(** [samya_cli explain EXPERIMENT [--slowest N]]: critical-path latency
+    attribution from the causal request log. *)

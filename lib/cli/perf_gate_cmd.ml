@@ -1,0 +1,144 @@
+(* `samya_cli perf-gate` — CI perf-regression gate. Compares the micro
+   benchmark ns/run numbers of a current run against a committed
+   baseline and fails when any metric regresses past the tolerance
+   factor. Reads either results format:
+
+   - samya-bench/1  (bench --json):       micro[].{name, ns_per_run}
+   - samya-metrics/1 (bench --metrics-out): gauges "micro.ns_per_run/<name>"
+
+   The tolerance is deliberately loose (default 3x): CI machines are
+   noisy, and the gate exists to catch order-of-magnitude mistakes
+   (accidental allocation in a hot loop, a debug build), not 10% drift. *)
+
+open Cmdliner
+
+let prefix = "micro.ns_per_run/"
+
+(* name -> ns_per_run from either schema; Error on unparseable input. *)
+let micro_metrics source text =
+  match Obs.Export.parse text with
+  | Error e -> Error (Printf.sprintf "%s: %s" source e)
+  | Ok json -> (
+      match Obs.Export.member "schema" json with
+      | Some (Obs.Export.Str "samya-bench/1") ->
+          let entries =
+            match Obs.Export.member "micro" json with
+            | Some (Obs.Export.Arr entries) -> entries
+            | _ -> []
+          in
+          Ok
+            (List.filter_map
+               (fun entry ->
+                 match
+                   ( Obs.Export.member "name" entry,
+                     Obs.Export.member "ns_per_run" entry )
+                 with
+                 | Some (Obs.Export.Str name), Some (Obs.Export.Num ns) ->
+                     Some (name, ns)
+                 | _ -> None)
+               entries)
+      | Some (Obs.Export.Str "samya-metrics/1") ->
+          let sections =
+            match Obs.Export.member "sections" json with
+            | Some (Obs.Export.Arr sections) -> sections
+            | _ -> []
+          in
+          let collect acc section =
+            match Obs.Export.member "gauges" section with
+            | Some (Obs.Export.Obj gauges) ->
+                List.fold_left
+                  (fun acc (name, value) ->
+                    if String.starts_with ~prefix name then
+                      match Obs.Export.member "last" value with
+                      | Some (Obs.Export.Num ns) ->
+                          ( String.sub name (String.length prefix)
+                              (String.length name - String.length prefix),
+                            ns )
+                          :: acc
+                      | _ -> acc
+                    else acc)
+                  acc gauges
+            | _ -> acc
+          in
+          Ok (List.rev (List.fold_left collect [] sections))
+      | Some (Obs.Export.Str schema) ->
+          Error (Printf.sprintf "%s: unsupported schema %S" source schema)
+      | _ -> Error (Printf.sprintf "%s: missing \"schema\" field" source))
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error e -> Error e
+
+let run baseline_path current_path tolerance =
+  let ( let* ) r f = match r with Error e -> Format.eprintf "error: %s@." e; 2 | Ok v -> f v in
+  let* baseline_text = read_file baseline_path in
+  let* current_text = read_file current_path in
+  let* baseline = micro_metrics baseline_path baseline_text in
+  let* current = micro_metrics current_path current_text in
+  if baseline = [] then begin
+    Format.eprintf "error: %s: no micro benchmark metrics@." baseline_path;
+    2
+  end
+  else begin
+    Format.printf "perf gate: %d baseline metric(s), tolerance %.2fx@."
+      (List.length baseline) tolerance;
+    let failures = ref 0 in
+    List.iter
+      (fun (name, base_ns) ->
+        match List.assoc_opt name current with
+        | None ->
+            incr failures;
+            Format.printf "  MISSING  %-45s baseline %.1f ns/run, absent from current run@."
+              name base_ns
+        | Some ns ->
+            let ratio = if base_ns > 0.0 then ns /. base_ns else 1.0 in
+            if ratio > tolerance then begin
+              incr failures;
+              Format.printf "  FAIL     %-45s %.1f -> %.1f ns/run (%.2fx > %.2fx)@."
+                name base_ns ns ratio tolerance
+            end
+            else
+              Format.printf "  ok       %-45s %.1f -> %.1f ns/run (%.2fx)@." name
+                base_ns ns ratio)
+      baseline;
+    if !failures > 0 then begin
+      Format.printf "perf gate: FAILED (%d regression(s))@." !failures;
+      1
+    end
+    else begin
+      Format.printf "perf gate: passed@.";
+      0
+    end
+  end
+
+let cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"PATH"
+          ~doc:"Committed baseline (samya-bench/1 or samya-metrics/1).")
+  in
+  let current =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "current" ] ~docv:"PATH"
+          ~doc:"Results of the current run (samya-bench/1 or samya-metrics/1).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 3.0
+      & info [ "tolerance" ] ~docv:"FACTOR"
+          ~doc:
+            "Maximum allowed current/baseline ns-per-run ratio before the \
+             gate fails.")
+  in
+  Cmd.v
+    (Cmd.info "perf-gate"
+       ~doc:
+         "Compare micro benchmark ns/run results against a committed \
+          baseline; exit non-zero if any metric regressed past the \
+          tolerance factor.")
+    Term.(const run $ baseline $ current $ tolerance)

@@ -1,0 +1,3 @@
+val cmd : int Cmdliner.Cmd.t
+(** [samya_cli perf-gate --baseline PATH --current PATH [--tolerance F]]:
+    CI perf-regression gate over micro benchmark ns/run metrics. *)

@@ -1,0 +1,78 @@
+(* `samya_cli slo EXPERIMENT` — online SLO monitoring: re-runs the
+   experiment's systems with the driver feeding per-window latency
+   sketches and abort-rate counters, then reports each objective's
+   violation windows. `--out` writes the samya-slo/1 document (the CI
+   artifact). *)
+
+open Cmdliner
+
+let run experiment quick jobs out strict =
+  Harness.Pool.set_jobs jobs;
+  Format.eprintf "jobs: %d@." jobs;
+  let ctx = Harness.Lab.create () in
+  match Harness.Exp_trace.run ctx ~quick ~experiment with
+  | Error message ->
+      Format.eprintf "error: %s@." message;
+      2
+  | Ok captures ->
+      Format.printf "== slo: %s (%s horizon, seed %Ld) ==@." experiment
+        (if quick then "quick" else "full")
+        Harness.Exp_common.seed;
+      Harness.Exp_trace.slo_summary Format.std_formatter captures;
+      Option.iter
+        (fun path ->
+          let meta =
+            [
+              ("experiment", experiment);
+              ("quick", string_of_bool quick);
+              ("seed", Int64.to_string Harness.Exp_common.seed);
+            ]
+          in
+          Args.write_file ~path (Harness.Exp_trace.slo_json ~meta captures);
+          Format.eprintf "slo report: %s@." path)
+        out;
+      let unhealthy =
+        List.filter
+          (fun c ->
+            not (Obs.Slo.healthy (Obs.Slo.report c.Harness.Exp_trace.slo)))
+          captures
+      in
+      if strict && unhealthy <> [] then begin
+        Format.eprintf "slo: %d system(s) in violation: %s@."
+          (List.length unhealthy)
+          (String.concat ", "
+             (List.map (fun c -> c.Harness.Exp_trace.label) unhealthy));
+        1
+      end
+      else 0
+
+let cmd =
+  let experiment =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            (Printf.sprintf "Traceable experiment: %s."
+               (String.concat ", " Harness.Exp_trace.experiments)))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Also write the samya-slo/1 JSON report to $(docv).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero if any system violates an objective.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Re-run an experiment with online SLO monitoring (windowed \
+          p50/p95/p99 latency quantile sketches plus abort rate) and \
+          report violation windows per system.")
+    Term.(const run $ experiment $ Args.quick $ Args.jobs $ out $ strict)

@@ -1,0 +1,3 @@
+val cmd : int Cmdliner.Cmd.t
+(** [samya_cli slo EXPERIMENT [--out PATH] [--strict]]: windowed SLO
+    report per system; [--out] writes the [samya-slo/1] document. *)

@@ -14,6 +14,8 @@ type t = {
   queue : (unit -> unit) Pheap.t;
   root_rng : Rng.t;
   mutable tracer : tracer option;
+  mutable current : Trace_context.t;
+  mutable next_id : int;
 }
 
 type timer_state = Pending | Fired | Cancelled
@@ -21,7 +23,14 @@ type timer_state = Pending | Fired | Cancelled
 type timer = { mutable state : timer_state }
 
 let create ?(seed = 42L) () =
-  { clock = 0.0; queue = Pheap.create (); root_rng = Rng.create seed; tracer = None }
+  {
+    clock = 0.0;
+    queue = Pheap.create ();
+    root_rng = Rng.create seed;
+    tracer = None;
+    current = Trace_context.none;
+    next_id = 0;
+  }
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -29,8 +38,36 @@ let now t = t.clock
 
 let rng t = t.root_rng
 
+let current_context t = t.current
+
+let with_context t ctx f =
+  let saved = t.current in
+  t.current <- ctx;
+  let r = f () in
+  t.current <- saved;
+  r
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+(* The context check is a pointer compare against the unique [none]: when
+   no trace is active the scheduling hot path pays one load and one branch
+   and allocates nothing beyond the PR-1 shape. With a context active the
+   closure is wrapped so the event inherits it ambiently — save/restore
+   keeps nesting correct when a traced event fires inside [with_context]. *)
 let schedule_at t ~time_ms f =
   let time_ms = if time_ms > t.clock then time_ms else t.clock in
+  let f =
+    if t.current == Trace_context.none then f
+    else
+      let ctx = t.current in
+      fun () ->
+        let saved = t.current in
+        t.current <- ctx;
+        f ();
+        t.current <- saved
+  in
   Pheap.push t.queue ~priority:time_ms f
 
 let schedule t ~delay_ms f = schedule_at t ~time_ms:(t.clock +. Float.max 0.0 delay_ms) f

@@ -79,3 +79,25 @@ type tracer = {
 val set_tracer : t -> tracer option -> unit
 (** Install or remove the tracer. With [None] (the default) the only cost
     is one load-and-branch per event. *)
+
+(** {2 Ambient trace context}
+
+    The engine carries the {!Trace_context.t} of the event currently
+    executing. {!schedule} (and therefore {!timer}) captures it: an event
+    scheduled while a context is active runs under that same context, so
+    lineage flows through arbitrary chains of timers and callbacks without
+    any signature change. When the ambient context is {!Trace_context.none}
+    — every untraced run — the capture is skipped entirely; the check is a
+    single physical-equality branch and allocates nothing. *)
+
+val current_context : t -> Trace_context.t
+(** Context of the event being executed, or {!Trace_context.none}. *)
+
+val with_context : t -> Trace_context.t -> (unit -> 'a) -> 'a
+(** [with_context t ctx f] runs [f] with [ctx] ambient, restoring the
+    previous context afterwards. Events scheduled inside inherit [ctx]. *)
+
+val fresh_id : t -> int
+(** Next id from the engine's deterministic counter (1, 2, …). Used for
+    trace ids and causal edge ids; drawing one consumes no simulation
+    randomness. *)

@@ -1,0 +1,13 @@
+type t = { trace : int; parent : int; hop : int }
+
+(* The inactive context is recognised by physical equality: the engine's
+   hot path asks "is a trace active?" with one pointer compare, never a
+   field read. Constructing another record with the same fields would not
+   be [none]. *)
+let none = { trace = 0; parent = 0; hop = 0 }
+
+let is_none t = t == none
+
+let root ~trace = { trace; parent = 0; hop = 0 }
+
+let child t ~edge = { trace = t.trace; parent = edge; hop = t.hop + 1 }

@@ -1,0 +1,27 @@
+(** Causal trace context.
+
+    A context names the request a computation belongs to ([trace]), the
+    causal edge that produced it ([parent] — an engine-issued edge id, 0
+    at the root), and how many WAN hops lie between the root and here
+    ([hop]). Contexts are immutable; propagation happens ambiently through
+    {!Engine.with_context}, which every scheduled closure inherits.
+
+    The layer is deliberately primitive — three [int]s, no dependency on
+    the observability library — so the engine can thread it at zero cost
+    and upstream layers give the ids meaning. *)
+
+type t = private { trace : int; parent : int; hop : int }
+
+val none : t
+(** The inactive context. Recognised by {b physical} equality ([==]) so
+    the engine's obs-off path is a single pointer compare; never rebuild
+    it structurally. *)
+
+val is_none : t -> bool
+
+val root : trace:int -> t
+(** A fresh lineage: hop 0, no parent edge. *)
+
+val child : t -> edge:int -> t
+(** The context on the far side of a causal edge (message delivery):
+    same trace, [parent] set to the edge id, hop count incremented. *)

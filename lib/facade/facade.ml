@@ -61,7 +61,7 @@ let engine_tracer (sink : Obs.Sink.t) =
         Obs.Metrics.set depth (float_of_int pending));
   }
 
-let network_tracer (sink : Obs.Sink.t) =
+let network_tracer ~engine (sink : Obs.Sink.t) =
   let m = sink.Obs.Sink.metrics in
   let sent = Obs.Metrics.counter m "net.sent" in
   let delivered = Obs.Metrics.counter m "net.delivered" in
@@ -76,7 +76,28 @@ let network_tracer (sink : Obs.Sink.t) =
         Obs.Span.complete sink.Obs.Sink.spans ~cat:"net" ~tid:dst ~name:"net.hop"
           ~ts:sent_at ~dur:(now_ms -. sent_at)
           ~args:[ ("src", string_of_int src); ("dst", string_of_int dst) ]
-          ());
+          ();
+        (* Delivery runs under the message's child context: its [parent]
+           field is the edge id minted at send, which keys both the causal
+           hop and the Perfetto flow arrow binding the two lanes. *)
+        let ctx = Des.Engine.current_context engine in
+        if not (Des.Trace_context.is_none ctx) then begin
+          let edge = ctx.Des.Trace_context.parent in
+          Obs.Causal.record sink.Obs.Sink.causal
+            (Obs.Causal.Hop
+               {
+                 trace = ctx.Des.Trace_context.trace;
+                 edge;
+                 src;
+                 dst;
+                 t0 = sent_at;
+                 t1 = now_ms;
+               });
+          Obs.Span.flow_start sink.Obs.Sink.spans ~cat:"net" ~tid:src ~ts:sent_at
+            ~id:edge "net.flow";
+          Obs.Span.flow_finish sink.Obs.Sink.spans ~cat:"net" ~tid:dst ~ts:now_ms
+            ~id:edge "net.flow"
+        end);
     on_drop =
       (fun ~src ~dst ~sent_at ~now_ms:_ ->
         Obs.Metrics.incr dropped;
@@ -91,7 +112,7 @@ let network_tracer (sink : Obs.Sink.t) =
 
 module Ballot = Consensus.Ballot
 
-let avantan_observer (sink : Obs.Sink.t) =
+let avantan_observer ~engine (sink : Obs.Sink.t) =
   let m = sink.Obs.Sink.metrics in
   let sp = sink.Obs.Sink.spans in
   let elections = Obs.Metrics.counter m "avantan.elections" in
@@ -103,6 +124,38 @@ let avantan_observer (sink : Obs.Sink.t) =
   (* One open span per (site, entity): a site participates in at most one
      instance at a time, and Decided/Instance_aborted always closes it. *)
   let open_spans : (int * string, Obs.Span.span) Hashtbl.t = Hashtbl.create 16 in
+  (* Causal phase windows: each (site, entity) is in at most one protocol
+     phase — election, accept, recovery — and the window is charged to the
+     trace that was ambient when the phase opened (the request whose
+     arrival triggered the instance). *)
+  let open_phases : (int * string, string * float * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let causal_trace () =
+    let ctx = Des.Engine.current_context engine in
+    if Des.Trace_context.is_none ctx then -1 else ctx.Des.Trace_context.trace
+  in
+  let close_phase ~site ~entity =
+    match Hashtbl.find_opt open_phases (site, entity) with
+    | None -> ()
+    | Some (name, t0, trace) ->
+        Hashtbl.remove open_phases (site, entity);
+        if trace >= 0 then
+          Obs.Causal.record sink.Obs.Sink.causal
+            (Obs.Causal.Phase
+               { trace; site; name; t0; t1 = Des.Engine.now engine })
+  in
+  let to_phase ~site ~entity name =
+    match Hashtbl.find_opt open_phases (site, entity) with
+    | Some (current, _, _) when String.equal current name -> ()
+    | Some _ ->
+        close_phase ~site ~entity;
+        Hashtbl.replace open_phases (site, entity)
+          (name, Des.Engine.now engine, causal_trace ())
+    | None ->
+        Hashtbl.replace open_phases (site, entity)
+          (name, Des.Engine.now engine, causal_trace ())
+  in
   let ensure_open ~site ~entity =
     let key = (site, entity) in
     if not (Hashtbl.mem open_spans key) then
@@ -125,6 +178,7 @@ let avantan_observer (sink : Obs.Sink.t) =
     | Samya.Avantan_core.Election_started { ballot; round } ->
         Obs.Metrics.incr elections;
         ensure_open ~site ~entity;
+        to_phase ~site ~entity "election";
         Obs.Span.instant sp ~cat:"avantan" ~tid:site
           ~args:
             [ ("ballot", Ballot.to_string ballot); ("round", string_of_int round) ]
@@ -132,11 +186,13 @@ let avantan_observer (sink : Obs.Sink.t) =
     | Samya.Avantan_core.Election_joined { ballot; leader } ->
         Obs.Metrics.incr joined;
         ensure_open ~site ~entity;
+        to_phase ~site ~entity "election";
         Obs.Span.instant sp ~cat:"avantan" ~tid:site
           ~args:
             [ ("ballot", Ballot.to_string ballot); ("leader", string_of_int leader) ]
           "election.joined"
     | Samya.Avantan_core.Value_constructed { ballot; participants } ->
+        to_phase ~site ~entity "accept";
         Obs.Span.instant sp ~cat:"avantan" ~tid:site
           ~args:
             [
@@ -146,6 +202,7 @@ let avantan_observer (sink : Obs.Sink.t) =
           "value.constructed"
     | Samya.Avantan_core.Value_accepted { ballot; leader } ->
         ensure_open ~site ~entity;
+        to_phase ~site ~entity "accept";
         Obs.Span.instant sp ~cat:"avantan" ~tid:site
           ~args:
             [ ("ballot", Ballot.to_string ballot); ("leader", string_of_int leader) ]
@@ -153,12 +210,14 @@ let avantan_observer (sink : Obs.Sink.t) =
     | Samya.Avantan_core.Recovery_started { ballot } ->
         Obs.Metrics.incr recoveries;
         ensure_open ~site ~entity;
+        to_phase ~site ~entity "recovery";
         Obs.Span.instant sp ~cat:"avantan" ~tid:site
           ~args:[ ("ballot", Ballot.to_string ballot) ]
           "recovery.started"
     | Samya.Avantan_core.Decided { origin; participants; led; rounds } ->
         Obs.Metrics.incr decided;
         Obs.Metrics.observe rounds_h (float_of_int rounds);
+        close_phase ~site ~entity;
         close ~site ~entity
           [
             ("outcome", "decided");
@@ -170,6 +229,7 @@ let avantan_observer (sink : Obs.Sink.t) =
     | Samya.Avantan_core.Instance_aborted { ballot; led; rounds } ->
         Obs.Metrics.incr aborted;
         Obs.Metrics.observe rounds_h (float_of_int rounds);
+        close_phase ~site ~entity;
         close ~site ~entity
           [
             ("outcome", "aborted");
@@ -238,8 +298,8 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
       (fun sink ->
         Obs.Sink.attach hooks.sh_obs sink;
         Des.Engine.set_tracer engine (Some (engine_tracer sink));
-        Geonet.Network.set_tracer network (Some (network_tracer sink));
-        hooks.sh_observer <- Some (avantan_observer sink);
+        Geonet.Network.set_tracer network (Some (network_tracer ~engine sink));
+        hooks.sh_observer <- Some (avantan_observer ~engine sink);
         Array.iteri
           (fun i region ->
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i

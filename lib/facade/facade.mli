@@ -62,9 +62,12 @@ val engine_tracer : Obs.Sink.t -> Des.Engine.tracer
 (** Labelled-timer spans (armed → fired, i.e. timeouts that expired), the
     [des.events] counter and the [des.queue.depth] gauge. *)
 
-val network_tracer : Obs.Sink.t -> Geonet.Network.tracer
+val network_tracer : engine:Des.Engine.t -> Obs.Sink.t -> Geonet.Network.tracer
 (** Per-hop [net.hop] spans on the destination's lane, [net.*] counters
-    and the [net.hop_ms] latency histogram. *)
+    and the [net.hop_ms] latency histogram. Deliveries that carry an
+    ambient {!Des.Trace_context} additionally record a causal [Hop] and a
+    Perfetto flow arrow ([s]/[f] pair keyed by the hop's edge id) from the
+    sender's lane to the receiver's. *)
 
 (** {2 The Samya adapter} *)
 

@@ -146,14 +146,37 @@ let send t ~src ~dst payload =
       | Some _ | None -> t.drop_probability
     in
     let dropped_in_flight = Des.Rng.bool t.rng drop_p in
-    deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
-    (* The guard keeps the RNG stream identical for configurations that
-       never enable duplication (byte-identical legacy runs). *)
-    if t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
-    then begin
-      t.duplicated <- t.duplicated + 1;
-      let jitter' = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
-      deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload (base +. jitter')
+    let ctx = Des.Engine.current_context t.engine in
+    if Des.Trace_context.is_none ctx then begin
+      deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
+      (* The guard keeps the RNG stream identical for configurations that
+         never enable duplication (byte-identical legacy runs). *)
+      if t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
+      then begin
+        t.duplicated <- t.duplicated + 1;
+        let jitter' = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
+        deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload (base +. jitter')
+      end
+    end
+    else begin
+      (* The message crosses a causal edge: delivery (and everything the
+         handler does) runs one hop further down the sender's lineage. All
+         randomness is drawn above this branch, so traced and untraced
+         runs see identical RNG streams. A duplicate reuses the edge — it
+         is the same logical message. *)
+      let child = Des.Trace_context.child ctx ~edge:(Des.Engine.fresh_id t.engine) in
+      Des.Engine.with_context t.engine child (fun () ->
+          deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
+          if
+            t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
+          then begin
+            t.duplicated <- t.duplicated + 1;
+            let jitter' =
+              Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0)
+            in
+            deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload
+              (base +. jitter')
+          end)
     end
   end
 

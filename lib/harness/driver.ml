@@ -15,6 +15,9 @@ type spec = {
   obs : Obs.Sink.t option;
       (* when set, the driver records per-request spans (client lanes,
          tid 1000+) and driver.* metrics into the sink *)
+  slo : Obs.Slo.t option;
+      (* when set, every counted reply feeds the online SLO monitor:
+         commits with their latency, rejections/unavailables as aborts *)
 }
 
 let default_spec ~client_regions ~requests ~duration_ms =
@@ -29,6 +32,7 @@ let default_spec ~client_regions ~requests ~duration_ms =
     client_timeout_ms = infinity;
     grant_driven_release_ms = None;
     obs = None;
+    slo = None;
   }
 
 type result = {
@@ -126,13 +130,22 @@ let run ~(t_system : Systems.facade) spec =
            timed-out case counts in [no_reply]). *)
         if now -. t0 < cutoffs.(client) && now -. sent_at <= spec.client_timeout_ms
         then begin
-          match response with
+          (match response with
           | Samya.Types.Granted | Samya.Types.Read_result _ ->
               incr committed;
               Stats.Sample_set.add latencies (now -. sent_at);
               Stats.Throughput.record throughput ~time_ms:(now -. t0)
           | Samya.Types.Rejected -> incr rejected
-          | Samya.Types.Unavailable -> incr unavailable
+          | Samya.Types.Unavailable -> incr unavailable);
+          match spec.slo with
+          | None -> ()
+          | Some slo -> (
+              match response with
+              | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                  Obs.Slo.commit slo ~now_ms:(now -. t0)
+                    ~latency_ms:(now -. sent_at)
+              | Samya.Types.Rejected | Samya.Types.Unavailable ->
+                  Obs.Slo.abort slo ~now_ms:(now -. t0))
         end
       in
       let region = spec.client_regions.(client) in
@@ -151,25 +164,38 @@ let run ~(t_system : Systems.facade) spec =
             Obs.Span.start sink.Obs.Sink.spans ~cat:"request"
               ~tid:(client_tid client) (span_name request.kind)
           in
-          submit ~reply:(fun response ->
-              let now = Des.Engine.now engine in
-              let outcome =
-                match response with
-                | Samya.Types.Granted | Samya.Types.Read_result _ ->
-                    Obs.Metrics.incr c_commit;
-                    Obs.Metrics.observe lat_h (now -. sent_at);
-                    "granted"
-                | Samya.Types.Rejected ->
-                    Obs.Metrics.incr c_rej;
-                    "rejected"
-                | Samya.Types.Unavailable ->
-                    Obs.Metrics.incr c_unavail;
-                    "unavailable"
-              in
-              Obs.Span.finish sink.Obs.Sink.spans
-                ~args:[ ("outcome", outcome) ]
-                span;
-              reply response)
+          (* Root of the causal trace: everything the system does on this
+             request's behalf (hops, queueing, protocol phases) inherits
+             the context through the engine's ambient propagation. *)
+          let trace = Des.Engine.fresh_id engine in
+          Obs.Causal.record sink.Obs.Sink.causal
+            (Obs.Causal.Submitted
+               { trace; client; kind = span_name request.kind; ts = sent_at });
+          let reply response =
+            let now = Des.Engine.now engine in
+            let outcome =
+              match response with
+              | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                  Obs.Metrics.incr c_commit;
+                  Obs.Metrics.observe lat_h (now -. sent_at);
+                  "granted"
+              | Samya.Types.Rejected ->
+                  Obs.Metrics.incr c_rej;
+                  "rejected"
+              | Samya.Types.Unavailable ->
+                  Obs.Metrics.incr c_unavail;
+                  "unavailable"
+            in
+            Obs.Span.finish sink.Obs.Sink.spans
+              ~args:[ ("outcome", outcome) ]
+              span;
+            Obs.Causal.record sink.Obs.Sink.causal
+              (Obs.Causal.Completed { trace; outcome; ts = now });
+            reply response
+          in
+          Des.Engine.with_context engine
+            (Des.Trace_context.root ~trace)
+            (fun () -> submit ~reply)
     end
   in
   let rec dispatch i =

@@ -32,7 +32,13 @@ type spec = {
       (** when set, the driver records one span per request on the
           issuing client's trace lane (tid 1000 + client, outcome in the
           span args) plus [driver.*] counters and the
-          [driver.commit_latency_ms] histogram (default [None]) *)
+          [driver.commit_latency_ms] histogram, and stamps a fresh causal
+          trace root on every request so the system's work on its behalf
+          is attributable (default [None]) *)
+  slo : Obs.Slo.t option;
+      (** when set, every counted reply feeds the online SLO monitor —
+          commits with their client-measured latency, rejections and
+          unavailables as aborts (default [None]) *)
 }
 
 val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec

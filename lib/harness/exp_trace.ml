@@ -1,14 +1,33 @@
 type capture = {
   label : string;
   sink : Obs.Sink.t;
+  slo : Obs.Slo.t;
   result : Driver.result;
   stats : Systems.stats;
 }
 
 (* Accept the registry spellings of the headline run too. *)
-let experiments = [ "headline"; "table2b"; "fig3b" ]
+let experiments = [ "headline"; "table2b"; "fig3b"; "prediction" ]
 
-let capture_headline ctx ~quick =
+(* The fig3f pair — prediction on vs off — captured through the same
+   facade/obs path as the headline systems, so the ablation is explainable
+   and SLO-monitored like everything else. *)
+let prediction_builders ctx : (string * (unit -> Systems.facade)) list =
+  let maj = Exp_common.samya_config Samya.Config.Majority in
+  let forecaster = Lab.runtime_forecaster ctx in
+  let samya ~name config () =
+    Systems.samya ~seed:Exp_common.seed ~name ~config
+      ~regions:(Exp_common.client_regions ())
+      ~forecaster ~entity:Exp_common.entity ~maximum:Exp_common.maximum ()
+  in
+  [
+    ("Samya w/ prediction", samya ~name:"Samya w/ prediction" maj);
+    ( "Samya w/o prediction",
+      samya ~name:"Samya w/o prediction"
+        { maj with Samya.Config.prediction_enabled = false } );
+  ]
+
+let capture ctx ~quick ~builders =
   (* Tracing is for inspecting behaviour, not reproducing the paper's
      numbers: a shorter horizon keeps the trace loadable (every message
      hop and protocol instance becomes a span). *)
@@ -30,19 +49,24 @@ let capture_headline ctx ~quick =
         Obs.Sink.create ~now:(fun () -> Des.Engine.now t_system.Systems.engine) ()
       in
       t_system.Systems.subscribe sink;
+      let slo = Obs.Slo.create () in
       let spec =
         {
           (Driver.default_spec ~client_regions:clients ~requests ~duration_ms) with
           drain_ms = 10_000.0;
           obs = Some sink;
+          slo = Some slo;
         }
       in
       let result = Driver.run ~t_system spec in
-      { label; sink; result; stats = t_system.Systems.stats () })
-    (Exp_headline.builders ctx)
+      { label; sink; slo; result; stats = t_system.Systems.stats () })
+    builders
 
 let run ctx ~quick ~experiment =
-  if List.mem experiment experiments then Ok (capture_headline ctx ~quick)
+  if experiment = "prediction" then
+    Ok (capture ctx ~quick ~builders:(prediction_builders ctx))
+  else if List.mem experiment experiments then
+    Ok (capture ctx ~quick ~builders:(Exp_headline.builders ctx))
   else
     Error
       (Printf.sprintf "unknown traceable experiment %S; known: %s" experiment
@@ -60,6 +84,14 @@ let metrics_json ?meta captures =
     (List.map (fun c -> (c.label, c.sink.Obs.Sink.metrics)) captures);
   Buffer.contents buf
 
+let slo_json ?meta captures =
+  let buf = Buffer.create (1 lsl 12) in
+  Obs.Export.slo_json buf ?meta
+    (List.map
+       (fun c -> (c.label, Obs.Slo.window_ms c.slo, Obs.Slo.report c.slo))
+       captures);
+  Buffer.contents buf
+
 let summary fmt captures =
   Report.table fmt ~title:"trace capture"
     ~header:[ "system"; "committed"; "spans+instants"; "messages" ]
@@ -73,3 +105,120 @@ let summary fmt captures =
              string_of_int c.stats.Systems.messages_sent;
            ])
          captures)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path explanation                                            *)
+
+let breakdowns c = Obs.Critical_path.analyze (Obs.Causal.events c.sink.Obs.Sink.causal)
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let explain fmt ~slowest captures =
+  List.iter
+    (fun c ->
+      let events = Obs.Causal.events c.sink.Obs.Sink.causal in
+      let bds = Obs.Critical_path.analyze events in
+      let n = List.length bds in
+      Format.fprintf fmt "@.== %s ==@." c.label;
+      if n = 0 then Format.fprintf fmt "no completed traced requests@."
+      else begin
+        let fractions = List.map Obs.Critical_path.attributed_fraction bds in
+        let min_f = List.fold_left Float.min 1.0 fractions in
+        let mean_f = List.fold_left ( +. ) 0.0 fractions /. float_of_int n in
+        Report.kv fmt
+          [
+            ( "traced requests",
+              Printf.sprintf "%d submitted, %d completed"
+                (Obs.Critical_path.submitted_count events)
+                n );
+            ( "latency attributed",
+              Printf.sprintf "mean %s, min %s of wall time" (pct mean_f) (pct min_f)
+            );
+          ];
+        (* Aggregate attribution across every completed request. *)
+        let totals : (string, float) Hashtbl.t = Hashtbl.create 16 in
+        let wall_total = ref 0.0 in
+        List.iter
+          (fun (b : Obs.Critical_path.breakdown) ->
+            wall_total := !wall_total +. b.Obs.Critical_path.wall_ms;
+            List.iter
+              (fun (comp : Obs.Critical_path.component) ->
+                let v =
+                  Option.value
+                    (Hashtbl.find_opt totals comp.Obs.Critical_path.comp)
+                    ~default:0.0
+                in
+                Hashtbl.replace totals comp.Obs.Critical_path.comp
+                  (v +. comp.Obs.Critical_path.ms))
+              b.Obs.Critical_path.components)
+          bds;
+        let rows =
+          Hashtbl.fold (fun comp ms acc -> (comp, ms) :: acc) totals []
+          |> List.sort (fun (ca, ma) (cb, mb) ->
+                 let c = Float.compare mb ma in
+                 if c <> 0 then c else String.compare ca cb)
+          |> List.map (fun (comp, ms) ->
+                 [
+                   comp;
+                   Report.ms ms;
+                   (if !wall_total > 0.0 then pct (ms /. !wall_total) else "-");
+                 ])
+        in
+        Report.table fmt ~title:"where the time went (all completed requests)"
+          ~header:[ "component"; "total"; "share of wall" ]
+          ~rows;
+        let top = Obs.Critical_path.slowest slowest bds in
+        Report.table fmt
+          ~title:(Printf.sprintf "slowest %d requests" (List.length top))
+          ~header:[ "trace"; "kind"; "outcome"; "wall"; "critical path" ]
+          ~rows:
+            (List.map
+               (fun (b : Obs.Critical_path.breakdown) ->
+                 let path =
+                   b.Obs.Critical_path.components
+                   |> List.map (fun (comp : Obs.Critical_path.component) ->
+                          Printf.sprintf "%s %s" comp.Obs.Critical_path.comp
+                            (Report.ms comp.Obs.Critical_path.ms))
+                   |> String.concat ", "
+                 in
+                 [
+                   string_of_int b.Obs.Critical_path.trace;
+                   b.Obs.Critical_path.kind;
+                   b.Obs.Critical_path.outcome;
+                   Report.ms b.Obs.Critical_path.wall_ms;
+                   path;
+                 ])
+               top)
+      end)
+    captures
+
+let slo_summary fmt captures =
+  List.iter
+    (fun c ->
+      let lines = Obs.Slo.report c.slo in
+      Format.fprintf fmt "@.== %s (window %.0f s) ==@." c.label
+        (Obs.Slo.window_ms c.slo /. 1000.0);
+      Report.table fmt
+        ~title:
+          (if Obs.Slo.healthy lines then "SLO: healthy"
+           else "SLO: VIOLATED")
+        ~header:[ "objective"; "target"; "windows"; "violations"; "worst"; "overall" ]
+        ~rows:
+          (List.map
+             (fun (l : Obs.Slo.report_line) ->
+               let value v =
+                 if Float.is_nan v then "-"
+                 else if l.Obs.Slo.kind = "latency" then Report.ms v
+                 else pct v
+               in
+               [
+                 l.Obs.Slo.name;
+                 (if l.Obs.Slo.kind = "latency" then Report.ms l.Obs.Slo.target
+                  else pct l.Obs.Slo.target);
+                 string_of_int l.Obs.Slo.windows;
+                 string_of_int l.Obs.Slo.violations;
+                 value l.Obs.Slo.worst;
+                 value l.Obs.Slo.overall;
+               ])
+             lines))
+    captures

@@ -1,21 +1,25 @@
 (** Trace capture: re-runs an experiment's systems with an observability
     sink subscribed to each facade (DES timers, network hops, Avantan
-    instances, request spans) and exports Chrome [trace_event] JSON plus
-    the flat metrics JSON.
+    instances, request spans, the causal request log) and an online SLO
+    monitor fed by the driver, then exports Chrome [trace_event] JSON,
+    the flat metrics JSON, the [samya-slo/1] report and the critical-path
+    explanation.
 
     Determinism: each system runs on its own engine with its own sink, and
-    captures are assembled in builder-list order, so the exported JSON is
+    captures are assembled in builder-list order, so every export is
     byte-identical for a given seed regardless of [--jobs]. *)
 
 type capture = {
   label : string;
   sink : Obs.Sink.t;
+  slo : Obs.Slo.t;
   result : Driver.result;
   stats : Systems.stats;
 }
 
 val experiments : string list
-(** Traceable experiment ids ("headline" plus its registry aliases). *)
+(** Traceable experiment ids: "headline" (plus its registry aliases) and
+    "prediction" (the fig3f prediction-on/off Samya pair). *)
 
 val run :
   Lab.context -> quick:bool -> experiment:string -> (capture list, string) result
@@ -24,8 +28,22 @@ val run :
 
 val trace_json : capture list -> string
 (** One Chrome-loadable trace; each system is a process, sites and
-    clients are its threads. *)
+    clients are its threads, WAN deliveries carry flow arrows. *)
 
 val metrics_json : ?meta:(string * string) list -> capture list -> string
 
+val slo_json : ?meta:(string * string) list -> capture list -> string
+(** The [samya-slo/1] document: one entry per system. *)
+
 val summary : Format.formatter -> capture list -> unit
+
+val breakdowns : capture -> Obs.Critical_path.breakdown list
+(** Per-request latency attributions from the capture's causal log. *)
+
+val explain : Format.formatter -> slowest:int -> capture list -> unit
+(** Per system: traced/completed counts, the attributed fraction of wall
+    latency, the aggregate where-the-time-went table and the [slowest]
+    requests with their critical paths. Deterministic and byte-identical
+    at any [--jobs]. *)
+
+val slo_summary : Format.formatter -> capture list -> unit

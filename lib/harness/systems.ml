@@ -55,7 +55,8 @@ let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~m
    from the internal network counters, subscribe = engine tracer +
    network tracer + named site lanes. *)
 let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
-    ~partition ~heal ~redistributions ~net_stats ~set_net_tracer ~invariant =
+    ~partition ~heal ~redistributions ~net_stats ~set_net_tracer ~obs_port
+    ~invariant =
   {
     name;
     engine;
@@ -82,8 +83,9 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
         });
     subscribe =
       (fun sink ->
+        Obs.Sink.attach obs_port sink;
         Des.Engine.set_tracer engine (Some (Facade.engine_tracer sink));
-        set_net_tracer (Some (Facade.network_tracer sink));
+        set_net_tracer (Some (Facade.network_tracer ~engine sink));
         Array.iteri
           (fun i region ->
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i
@@ -110,6 +112,7 @@ let demarcation ?seed ?regions ~entity ~maximum () =
     ~redistributions:(fun () -> Baselines.Demarcation.borrows system)
     ~net_stats:(fun () -> Baselines.Demarcation.net_stats system)
     ~set_net_tracer:(Baselines.Demarcation.set_net_tracer system)
+    ~obs_port:(Baselines.Demarcation.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Demarcation.check_invariant system ~entity ~maximum)
 
@@ -129,6 +132,7 @@ let multipaxsys ?seed ~entity ~maximum () =
     ~redistributions:(fun () -> 0)
     ~net_stats:(fun () -> Baselines.Multipaxsys.net_stats system)
     ~set_net_tracer:(Baselines.Multipaxsys.set_net_tracer system)
+    ~obs_port:(Baselines.Multipaxsys.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Multipaxsys.check_invariant system ~entity ~maximum)
 
@@ -161,5 +165,6 @@ let cockroach ?seed ?regions ~entity ~maximum () =
     ~redistributions:(fun () -> 0)
     ~net_stats:(fun () -> Baselines.Cockroach_sim.net_stats system)
     ~set_net_tracer:(Baselines.Cockroach_sim.set_net_tracer system)
+    ~obs_port:(Baselines.Cockroach_sim.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Cockroach_sim.check_invariant system ~entity ~maximum)

@@ -1,0 +1,37 @@
+type event =
+  | Submitted of { trace : int; client : int; kind : string; ts : float }
+  | Accepted of { trace : int; site : int; ts : float }
+  | Enqueued of { trace : int; site : int; label : string; ts : float }
+  | Dequeued of { trace : int; site : int; ts : float }
+  | Wait of { trace : int; site : int; label : string; t0 : float; t1 : float }
+  | Service of { trace : int; site : int; t0 : float; t1 : float }
+  | Phase of { trace : int; site : int; name : string; t0 : float; t1 : float }
+  | Hop of { trace : int; edge : int; src : int; dst : int; t0 : float; t1 : float }
+  | Completed of { trace : int; outcome : string; ts : float }
+
+type t = { enabled : bool; mutable rev_events : event list; mutable count : int }
+
+let create ?(enabled = true) () = { enabled; rev_events = []; count = 0 }
+let null = create ~enabled:false ()
+let enabled t = t.enabled
+
+let record t event =
+  if t.enabled then begin
+    t.rev_events <- event :: t.rev_events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.rev_events
+let event_count t = t.count
+
+let trace_of = function
+  | Submitted { trace; _ }
+  | Accepted { trace; _ }
+  | Enqueued { trace; _ }
+  | Dequeued { trace; _ }
+  | Wait { trace; _ }
+  | Service { trace; _ }
+  | Phase { trace; _ }
+  | Hop { trace; _ }
+  | Completed { trace; _ } ->
+      trace

@@ -1,0 +1,48 @@
+(** Causal request-lifecycle log.
+
+    While spans render timelines and metrics aggregate, the causal log
+    keeps the {e lineage} of each request: which site accepted it, when it
+    sat in an entity queue, which protocol phases and WAN hops ran on its
+    behalf, and when the client saw the outcome. {!Critical_path} walks
+    this log to attribute end-to-end latency to named components.
+
+    Traces and edges are plain [int]s issued by the simulation layer
+    ([Des.Engine.fresh_id]); this module stays dependency-free and gives
+    them no interpretation beyond equality. All timestamps are virtual
+    milliseconds; recording order is deterministic, so the log is
+    byte-reproducible like the other recorders. *)
+
+type event =
+  | Submitted of { trace : int; client : int; kind : string; ts : float }
+      (** root stamped by the workload driver; [kind] is the verb *)
+  | Accepted of { trace : int; site : int; ts : float }
+      (** the request reached its serving site (client WAN leg done) *)
+  | Enqueued of { trace : int; site : int; label : string; ts : float }
+      (** parked in a queue named [label] (e.g. ["redistribution"]) *)
+  | Dequeued of { trace : int; site : int; ts : float }
+  | Wait of { trace : int; site : int; label : string; t0 : float; t1 : float }
+      (** a named wait window recorded at its end (e.g. ["cpu"], ["read"]) *)
+  | Service of { trace : int; site : int; t0 : float; t1 : float }
+      (** local processing on the site CPU *)
+  | Phase of { trace : int; site : int; name : string; t0 : float; t1 : float }
+      (** a protocol phase run on behalf of the trace *)
+  | Hop of { trace : int; edge : int; src : int; dst : int; t0 : float; t1 : float }
+      (** one WAN message delivery; [edge] is the causal edge id *)
+  | Completed of { trace : int; outcome : string; ts : float }
+      (** the client observed the outcome (["granted"] / ["rejected"] /
+          ["unavailable"]) *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val null : t
+val enabled : t -> bool
+
+val record : t -> event -> unit
+(** No-op on a disabled log. *)
+
+val events : t -> event list
+(** In arrival order. *)
+
+val event_count : t -> int
+val trace_of : event -> int

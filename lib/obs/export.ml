@@ -77,7 +77,17 @@ let event_json buf ~pid event =
       common ~name:"thread_name" ~cat:"" ~ph:"M" ~tid;
       Buffer.add_string buf ",\"ts\":0,\"args\":{\"name\":";
       escape buf name;
-      Buffer.add_string buf "}");
+      Buffer.add_string buf "}"
+  | Span.Flow_start { name; cat; tid; ts; id } ->
+      common ~name ~cat ~ph:"s" ~tid;
+      Buffer.add_string buf (Printf.sprintf ",\"id\":%d,\"ts\":" id);
+      us buf ts
+  | Span.Flow_finish { name; cat; tid; ts; id } ->
+      common ~name ~cat ~ph:"f" ~tid;
+      (* bp:"e" binds the arrow to the enclosing slice, the pre-Perfetto
+         Chrome convention both viewers accept. *)
+      Buffer.add_string buf (Printf.sprintf ",\"id\":%d,\"bp\":\"e\",\"ts\":" id);
+      us buf ts);
   Buffer.add_string buf "}"
 
 let trace_json buf recorders =
@@ -162,6 +172,50 @@ let metrics_json buf ?(meta = []) registries =
         snap.Metrics.histograms;
       Buffer.add_string buf "}}")
     registries;
+  Buffer.add_string buf "]}\n"
+
+(* ------------------------------------------------------------------ *)
+(* SLO report document. *)
+
+let slo_json buf ?(meta = []) systems =
+  Buffer.add_string buf "{\"schema\":\"samya-slo/1\"";
+  if meta <> [] then begin
+    Buffer.add_string buf ",\n\"meta\":";
+    args_obj buf meta
+  end;
+  Buffer.add_string buf ",\n\"systems\":[";
+  List.iteri
+    (fun i (system, window_ms, lines) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n{\"system\":";
+      escape buf system;
+      Buffer.add_string buf ",\"window_ms\":";
+      number buf window_ms;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"healthy\":%b,\"objectives\":[" (Slo.healthy lines));
+      List.iteri
+        (fun j (line : Slo.report_line) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf "\n{\"name\":";
+          escape buf line.Slo.name;
+          Buffer.add_string buf ",\"kind\":";
+          escape buf line.Slo.kind;
+          if not (Float.is_nan line.Slo.q) then begin
+            Buffer.add_string buf ",\"q\":";
+            number buf line.Slo.q
+          end;
+          Buffer.add_string buf ",\"target\":";
+          number buf line.Slo.target;
+          Buffer.add_string buf
+            (Printf.sprintf ",\"windows\":%d,\"violations\":%d,\"worst\":"
+               line.Slo.windows line.Slo.violations);
+          number buf line.Slo.worst;
+          Buffer.add_string buf ",\"overall\":";
+          number buf line.Slo.overall;
+          Buffer.add_string buf "}")
+        lines;
+      Buffer.add_string buf "]}")
+    systems;
   Buffer.add_string buf "]}\n"
 
 (* ------------------------------------------------------------------ *)
@@ -312,6 +366,10 @@ let parse_json s =
   if !pos <> n then fail "trailing garbage";
   value
 
+let parse s = match parse_json s with exception Parse_error m -> Error m | v -> Ok v
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
 let validate_event i fields =
   let find key = List.assoc_opt key fields in
   let str key =
@@ -332,7 +390,8 @@ let validate_event i fields =
   let* () = num "pid" in
   let* () = num "tid" in
   let* () = if ph = "M" then Ok () else num "ts" in
-  if ph = "X" then num "dur" else Ok ()
+  let* () = if ph = "X" then num "dur" else Ok () in
+  if ph = "s" || ph = "t" || ph = "f" then num "id" else Ok ()
 
 let validate_trace s =
   match parse_json s with

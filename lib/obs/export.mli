@@ -19,6 +19,15 @@ val metrics_json :
 (** [metrics_json buf ~meta [(section, registry); ...]]: flat metrics
     document; [meta] becomes a string-valued header object. *)
 
+val slo_json :
+  Buffer.t ->
+  ?meta:(string * string) list ->
+  (string * float * Slo.report_line list) list ->
+  unit
+(** [slo_json buf ~meta [(system, window_ms, lines); ...]] writes the
+    [samya-slo/1] document: one entry per system with its window size, a
+    [healthy] verdict and one object per objective line. *)
+
 (** {2 Validation} — a self-contained structural check used by the CLI and
     CI smoke step; no external JSON dependency. *)
 
@@ -26,5 +35,22 @@ val validate_trace : string -> (int, string) result
 (** Parse [s] as JSON and check the [trace_event] schema: top-level object
     with a [traceEvents] array; every event an object with string [name]
     and [ph] plus numeric [ts]/[pid]/[tid] (metadata events exempt from
-    [ts]); [ph = "X"] events additionally need a numeric [dur]. Returns the
-    number of events. *)
+    [ts]); [ph = "X"] events additionally need a numeric [dur], flow
+    events ([ph] = "s"/"t"/"f") a numeric [id]. Returns the number of
+    events. *)
+
+(** {2 Generic JSON access} — the same parser, exposed for tools that
+    read the documents back (the CI perf-regression gate). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+
+val member : string -> json -> json option
+(** Object field lookup; [None] on non-objects. *)

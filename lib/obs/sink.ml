@@ -1,8 +1,12 @@
-type t = { spans : Span.t; metrics : Metrics.t }
+type t = { spans : Span.t; metrics : Metrics.t; causal : Causal.t }
 
-let create ~now () = { spans = Span.create ~now (); metrics = Metrics.create () }
-let null = { spans = Span.null; metrics = Metrics.null }
-let enabled t = Span.enabled t.spans || Metrics.enabled t.metrics
+let create ~now () =
+  { spans = Span.create ~now (); metrics = Metrics.create (); causal = Causal.create () }
+
+let null = { spans = Span.null; metrics = Metrics.null; causal = Causal.null }
+
+let enabled t =
+  Span.enabled t.spans || Metrics.enabled t.metrics || Causal.enabled t.causal
 
 type port = { mutable sink : t option }
 

@@ -1,5 +1,5 @@
-(** An observability sink bundles one span recorder with one metric
-    registry — the unit a system's [subscribe] accepts.
+(** An observability sink bundles one span recorder, one metric registry
+    and one causal request log — the unit a system's [subscribe] accepts.
 
     The {!port} half solves the wiring-order problem: instrumented modules
     (request handler, protocol driver) are constructed before anyone decides
@@ -7,7 +7,7 @@
     sink may be attached to afterwards. Until {!attach}, {!tap} is [None]
     and the instrumented hot paths pay one load and one branch. *)
 
-type t = { spans : Span.t; metrics : Metrics.t }
+type t = { spans : Span.t; metrics : Metrics.t; causal : Causal.t }
 
 val create : now:(unit -> float) -> unit -> t
 (** Enabled sink over the given virtual clock. *)

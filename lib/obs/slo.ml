@@ -1,0 +1,159 @@
+type objective =
+  | Latency of { name : string; q : float; target_ms : float }
+  | Abort_rate of { name : string; max_rate : float }
+
+(* The paper's service story: local serves keep the median at client-RTT
+   scale, redistribution stalls may push the tail to seconds, and
+   admission control should shed well under a twentieth of the load. A
+   geo-replicated baseline that pays a WAN round per operation blows the
+   median objective; a shedding one blows the abort objective. *)
+let default_objectives =
+  [
+    Latency { name = "p50_latency"; q = 0.50; target_ms = 250.0 };
+    Latency { name = "p95_latency"; q = 0.95; target_ms = 2_000.0 };
+    Latency { name = "p99_latency"; q = 0.99; target_ms = 10_000.0 };
+    Abort_rate { name = "abort_rate"; max_rate = 0.05 };
+  ]
+
+type t = {
+  window_ms : float;
+  objectives : objective array;
+  total : Quantile_sketch.t;
+  mutable total_commits : int;
+  mutable total_aborts : int;
+  mutable win : Quantile_sketch.t;
+  mutable win_commits : int;
+  mutable win_aborts : int;
+  mutable win_start : float;
+  mutable started : bool;
+  mutable windows : int;
+  violations : int array;
+  worst : float array;
+}
+
+let create ?(window_ms = 10_000.0) ?(objectives = default_objectives) () =
+  if not (window_ms > 0.0) then invalid_arg "Slo.create: window_ms must be positive";
+  let objectives = Array.of_list objectives in
+  {
+    window_ms;
+    objectives;
+    total = Quantile_sketch.create ();
+    total_commits = 0;
+    total_aborts = 0;
+    win = Quantile_sketch.create ();
+    win_commits = 0;
+    win_aborts = 0;
+    win_start = 0.0;
+    started = false;
+    windows = 0;
+    violations = Array.make (Array.length objectives) 0;
+    worst = Array.make (Array.length objectives) Float.nan;
+  }
+
+let window_ms t = t.window_ms
+
+let bump_worst t i v =
+  if Float.is_nan t.worst.(i) || v > t.worst.(i) then t.worst.(i) <- v
+
+(* Evaluate the current window against every objective, then reset it.
+   Only windows that saw traffic count — an idle tail would otherwise
+   dilute the violation ratio with vacuous passes. *)
+let close_window t =
+  let requests = t.win_commits + t.win_aborts in
+  if requests > 0 then begin
+    t.windows <- t.windows + 1;
+    Array.iteri
+      (fun i objective ->
+        match objective with
+        | Latency { q; target_ms; _ } ->
+            if Quantile_sketch.count t.win > 0 then begin
+              let v = Quantile_sketch.quantile t.win q in
+              bump_worst t i v;
+              if v > target_ms then t.violations.(i) <- t.violations.(i) + 1
+            end
+        | Abort_rate { max_rate; _ } ->
+            let rate = float_of_int t.win_aborts /. float_of_int requests in
+            bump_worst t i rate;
+            if rate > max_rate then t.violations.(i) <- t.violations.(i) + 1)
+      t.objectives
+  end;
+  t.win <- Quantile_sketch.create ();
+  t.win_commits <- 0;
+  t.win_aborts <- 0
+
+let roll t ~now_ms =
+  if not t.started then begin
+    t.started <- true;
+    t.win_start <- t.window_ms *. Float.of_int (int_of_float (now_ms /. t.window_ms))
+  end
+  else
+    while now_ms >= t.win_start +. t.window_ms do
+      close_window t;
+      t.win_start <- t.win_start +. t.window_ms;
+      (* After a long idle stretch the empty windows between are vacuous;
+         skip straight to the window containing [now_ms]. *)
+      if
+        t.win_commits = 0 && t.win_aborts = 0
+        && now_ms >= t.win_start +. t.window_ms
+      then
+        t.win_start <-
+          t.window_ms *. Float.of_int (int_of_float (now_ms /. t.window_ms))
+    done
+
+let commit t ~now_ms ~latency_ms =
+  roll t ~now_ms;
+  Quantile_sketch.add t.total latency_ms;
+  Quantile_sketch.add t.win latency_ms;
+  t.total_commits <- t.total_commits + 1;
+  t.win_commits <- t.win_commits + 1
+
+let abort t ~now_ms =
+  roll t ~now_ms;
+  t.total_aborts <- t.total_aborts + 1;
+  t.win_aborts <- t.win_aborts + 1
+
+type report_line = {
+  name : string;
+  kind : string;
+  q : float;
+  target : float;
+  windows : int;
+  violations : int;
+  worst : float;
+  overall : float;
+}
+
+let report t =
+  close_window t;
+  Array.to_list
+    (Array.mapi
+       (fun i objective ->
+         match objective with
+         | Latency { name; q; target_ms } ->
+             {
+               name;
+               kind = "latency";
+               q;
+               target = target_ms;
+               windows = t.windows;
+               violations = t.violations.(i);
+               worst = t.worst.(i);
+               overall = Quantile_sketch.quantile t.total q;
+             }
+         | Abort_rate { name; max_rate } ->
+             let requests = t.total_commits + t.total_aborts in
+             {
+               name;
+               kind = "abort_rate";
+               q = Float.nan;
+               target = max_rate;
+               windows = t.windows;
+               violations = t.violations.(i);
+               worst = t.worst.(i);
+               overall =
+                 (if requests = 0 then Float.nan
+                  else float_of_int t.total_aborts /. float_of_int requests);
+             })
+       t.objectives)
+
+let healthy lines = List.for_all (fun line -> line.violations = 0) lines

@@ -1,0 +1,51 @@
+(** Online SLO monitor over tumbling windows.
+
+    Each monitored system feeds every client-visible outcome in: committed
+    requests with their latency, aborted ones (rejected / unavailable)
+    bare. Samples land in the current tumbling window (default 10 s of
+    virtual time) {e and} a cumulative {!Quantile_sketch}; when the clock
+    crosses a window boundary the window is evaluated against every
+    objective — a latency objective is violated when the window's sketch
+    quantile exceeds its target, an abort-rate objective when the window's
+    abort fraction exceeds its cap. Windows with no traffic neither pass
+    nor fail.
+
+    Everything is deterministic in virtual time, so reports are
+    byte-reproducible across [--jobs]. *)
+
+type objective =
+  | Latency of { name : string; q : float; target_ms : float }
+  | Abort_rate of { name : string; max_rate : float }
+
+val default_objectives : objective list
+(** p50 ≤ 250 ms, p95 ≤ 2 s, p99 ≤ 10 s, abort rate ≤ 5% — chosen so a
+    system that serves most operations locally passes and one paying a
+    WAN round (or shedding) per operation does not. *)
+
+type t
+
+val create : ?window_ms:float -> ?objectives:objective list -> unit -> t
+
+val window_ms : t -> float
+
+val commit : t -> now_ms:float -> latency_ms:float -> unit
+
+val abort : t -> now_ms:float -> unit
+
+type report_line = {
+  name : string;
+  kind : string;  (** ["latency"] or ["abort_rate"] *)
+  q : float;  (** quantile for latency objectives, [nan] otherwise *)
+  target : float;  (** ms for latency, a fraction for abort rate *)
+  windows : int;  (** evaluated (non-empty) windows *)
+  violations : int;
+  worst : float;  (** worst window value seen, [nan] if none evaluated *)
+  overall : float;  (** whole-run value from the cumulative sketch *)
+}
+
+val report : t -> report_line list
+(** Closes (and evaluates) the in-progress window first — call once at
+    the end of a run. Lines appear in objective order. *)
+
+val healthy : report_line list -> bool
+(** No objective saw a violated window. *)

@@ -16,6 +16,8 @@ type event =
     }
   | Counter_sample of { name : string; tid : int; ts : float; value : float }
   | Thread_name of { tid : int; name : string }
+  | Flow_start of { name : string; cat : string; tid : int; ts : float; id : int }
+  | Flow_finish of { name : string; cat : string; tid : int; ts : float; id : int }
 
 type span = {
   sp_name : string;
@@ -71,6 +73,12 @@ let counter_sample t ?(tid = 0) ~value name =
   if t.enabled then record t (Counter_sample { name; tid; ts = t.now (); value })
 
 let thread_name t ~tid name = if t.enabled then record t (Thread_name { tid; name })
+
+let flow_start t ?(cat = "") ?(tid = 0) ~ts ~id name =
+  if t.enabled then record t (Flow_start { name; cat; tid; ts; id })
+
+let flow_finish t ?(cat = "") ?(tid = 0) ~ts ~id name =
+  if t.enabled then record t (Flow_finish { name; cat; tid; ts; id })
 
 let events t = List.rev t.rev_events
 let event_count t = t.count

@@ -34,6 +34,11 @@ type event =
     }
   | Counter_sample of { name : string; tid : int; ts : float; value : float }
   | Thread_name of { tid : int; name : string }
+  | Flow_start of { name : string; cat : string; tid : int; ts : float; id : int }
+      (** opening half of a causal arrow ([ph = "s"]); arrows with the same
+          [id], [name] and [cat] bind across lanes in Perfetto *)
+  | Flow_finish of { name : string; cat : string; tid : int; ts : float; id : int }
+      (** closing half ([ph = "f"]) *)
 
 val create : ?enabled:bool -> now:(unit -> float) -> unit -> t
 val null : t
@@ -62,6 +67,13 @@ val counter_sample : t -> ?tid:int -> value:float -> string -> unit
 
 val thread_name : t -> tid:int -> string -> unit
 (** Label a lane; exported as Chrome [thread_name] metadata. *)
+
+val flow_start : t -> ?cat:string -> ?tid:int -> ts:float -> id:int -> string -> unit
+(** Record the source end of a causal arrow at an explicit time (message
+    hops are reconstructed at delivery, so the send time is given, not
+    read from the clock). *)
+
+val flow_finish : t -> ?cat:string -> ?tid:int -> ts:float -> id:int -> string -> unit
 
 val events : t -> event list
 (** Recorded events in arrival order. *)

@@ -3,7 +3,7 @@ type t = {
   mutable tokens_left : int;
   mutable tokens_wanted : int;
   mutable acquired_net : int;
-  queue : (Types.request * (Types.response -> unit)) Queue.t;
+  queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
   tracker : Demand_tracker.t;
       (** per-epoch net token consumption and peak concurrent draw *)
   applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;

@@ -12,7 +12,9 @@ type t = {
   mutable tokens_left : int;
   mutable tokens_wanted : int;
   mutable acquired_net : int;
-  queue : (Types.request * (Types.response -> unit)) Queue.t;
+  queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
+      (** each entry keeps the causal context it arrived under, restored
+          around its eventual service so lineage survives the park *)
   tracker : Demand_tracker.t;
       (** per-epoch net token consumption and peak concurrent draw *)
   applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;

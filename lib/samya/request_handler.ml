@@ -4,6 +4,10 @@ type read_ctx = {
   mutable replies : int;
   r_reply : Types.response -> unit;
   mutable r_timer : Des.Engine.timer option;
+  r_ctx : Des.Trace_context.t;
+      (* the fan-out's own lineage, restored around the final reply (the
+         last peer answer arrives under its hop's context, not ours) *)
+  r_t0 : float;
 }
 
 (* What request handling needs from the rest of the site: the prediction
@@ -24,6 +28,7 @@ type deps = {
 type t = {
   config : Config.t;
   engine : Des.Engine.t;
+  site_id : int;
   n_sites : int;
   deps : deps;
   obs : Obs.Sink.port;
@@ -38,10 +43,11 @@ type t = {
   mutable s_reactive : int;
 }
 
-let create ~config ~engine ~n_sites ?(obs = Obs.Sink.port ()) deps =
+let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
   {
     config;
     engine;
+    site_id;
     n_sites;
     deps;
     obs;
@@ -71,6 +77,14 @@ let obs_queue_depth t depth =
         (Obs.Metrics.gauge sink.Obs.Sink.metrics "samya.queue.depth")
         (float_of_int depth)
 
+(* Causal lifecycle recording: the ambient trace id, or -1 when the
+   current event carries no lineage. Call sites match on [Obs.Sink.tap]
+   inline (never through a closure argument) so the unattached path stays
+   one load and one branch with no allocation. *)
+let causal_trace t =
+  let ctx = Des.Engine.current_context t.engine in
+  if Des.Trace_context.is_none ctx then -1 else ctx.Des.Trace_context.trace
+
 let now t = Des.Engine.now t.engine
 
 let served_acquires t = t.s_acquires
@@ -87,6 +101,20 @@ let reply_after_processing t reply response =
   let start = Float.max (now t) t.busy_until in
   let finish = start +. t.config.Config.local_processing_ms in
   t.busy_until <- finish;
+  (match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink ->
+      let trace = causal_trace t in
+      if trace >= 0 then begin
+        let log = sink.Obs.Sink.causal in
+        let arrived = now t in
+        if start > arrived then
+          Obs.Causal.record log
+            (Obs.Causal.Wait
+               { trace; site = t.site_id; label = "cpu"; t0 = arrived; t1 = start });
+        Obs.Causal.record log
+          (Obs.Causal.Service { trace; site = t.site_id; t0 = start; t1 = finish })
+      end);
   Des.Engine.schedule_at t.engine ~time_ms:finish (fun () -> reply response)
 
 (* Serve a single acquire/release against local state. In [drain] mode the
@@ -132,7 +160,15 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         let wanted = t.deps.reactive_wanted ctx ~amount in
         ctx.tokens_wanted <- max ctx.tokens_wanted wanted;
         ctx.last_redistribution_ms <- now t;
-        Queue.push (request, reply) ctx.queue;
+        Queue.push (request, reply, Des.Engine.current_context t.engine) ctx.queue;
+        (match Obs.Sink.tap t.obs with
+        | None -> ()
+        | Some sink ->
+            let trace = causal_trace t in
+            if trace >= 0 then
+              Obs.Causal.record sink.Obs.Sink.causal
+                (Obs.Causal.Enqueued
+                   { trace; site = t.site_id; label = "redistribution"; ts = now t }));
         t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
         obs_queue_depth t (Queue.length ctx.queue);
         t.deps.trigger ctx
@@ -147,25 +183,49 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
 let drain_queue t (ctx : Entity_state.t) =
   let items = Queue.length ctx.queue in
   for _ = 1 to items do
-    let request, reply = Queue.pop ctx.queue in
+    let ((request, reply, qctx) as entry) = Queue.pop ctx.queue in
     if Entity_state.participating ctx then
-      (* A re-triggered instance started while draining: keep queueing. *)
-      Queue.push (request, reply) ctx.queue
-    else
+      (* A re-triggered instance started while draining: keep queueing
+         (the causal queue window simply continues). *)
+      Queue.push entry ctx.queue
+    else if Des.Trace_context.is_none qctx then
       (* [drain:false] lets an unservable acquire re-trigger a reactive
          redistribution (subject to famine backoff) instead of being
          rejected outright. *)
       serve_local t ctx request reply ~drain:false
+    else
+      (* Serve under the parked request's own lineage, not whatever
+         decision event triggered the drain. *)
+      Des.Engine.with_context t.engine qctx (fun () ->
+          (match Obs.Sink.tap t.obs with
+          | None -> ()
+          | Some sink ->
+              Obs.Causal.record sink.Obs.Sink.causal
+                (Obs.Causal.Dequeued
+                   {
+                     trace = qctx.Des.Trace_context.trace;
+                     site = t.site_id;
+                     ts = now t;
+                   }));
+          serve_local t ctx request reply ~drain:false)
   done
 
 (* Entry point for an acquire/release on a known entity: record demand,
    then serve locally — or queue while a redistribution holds the
    entity's state exposed. *)
-let accept t (ctx : Entity_state.t) request reply =
+let accept_inner t (ctx : Entity_state.t) request reply =
   let record_and_dispatch ~net =
     Demand_tracker.record ctx.tracker ~amount:net;
     if Entity_state.participating ctx then begin
-      Queue.push (request, reply) ctx.queue;
+      Queue.push (request, reply, Des.Engine.current_context t.engine) ctx.queue;
+      (match Obs.Sink.tap t.obs with
+      | None -> ()
+      | Some sink ->
+          let trace = causal_trace t in
+          if trace >= 0 then
+            Obs.Causal.record sink.Obs.Sink.causal
+              (Obs.Causal.Enqueued
+                 { trace; site = t.site_id; label = "redistribution"; ts = now t }));
       t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
       obs_queue_depth t (Queue.length ctx.queue)
     end
@@ -175,6 +235,25 @@ let accept t (ctx : Entity_state.t) request reply =
   | Types.Acquire { amount; _ } -> record_and_dispatch ~net:amount
   | Types.Release { amount; _ } -> record_and_dispatch ~net:(-amount)
   | Types.Read _ -> (* handled before dispatch *) assert false
+
+let accept t (ctx : Entity_state.t) request reply =
+  match Obs.Sink.tap t.obs with
+  | None -> accept_inner t ctx request reply
+  | Some sink ->
+      (* A request arriving without lineage (no driver upstream) roots its
+         own trace here — sites stamp new roots — so site-local causality
+         exists even for bare [Site.submit] callers. *)
+      let stamp () =
+        let trace = causal_trace t in
+        if trace >= 0 then
+          Obs.Causal.record sink.Obs.Sink.causal
+            (Obs.Causal.Accepted { trace; site = t.site_id; ts = now t });
+        accept_inner t ctx request reply
+      in
+      if Des.Trace_context.is_none (Des.Engine.current_context t.engine) then
+        let root = Des.Trace_context.root ~trace:(Des.Engine.fresh_id t.engine) in
+        Des.Engine.with_context t.engine root stamp
+      else stamp ()
 
 (* ------------------------------------------------------------------ *)
 (* Reads: global snapshot by fan-out (§5.8)                             *)
@@ -187,10 +266,37 @@ let finish_read t rid =
       Hashtbl.remove t.pending_reads rid;
       t.s_reads <- t.s_reads + 1;
       obs_incr t "samya.read.served";
-      reply_after_processing t read.r_reply
-        (Types.Read_result { tokens_available = read.acc })
+      let serve () =
+        (match Obs.Sink.tap t.obs with
+        | None -> ()
+        | Some sink ->
+            let trace = causal_trace t in
+            if trace >= 0 then
+              Obs.Causal.record sink.Obs.Sink.causal
+                (Obs.Causal.Wait
+                   {
+                     trace;
+                     site = t.site_id;
+                     label = "read";
+                     t0 = read.r_t0;
+                     t1 = now t;
+                   }));
+        reply_after_processing t read.r_reply
+          (Types.Read_result { tokens_available = read.acc })
+      in
+      (* The closing event (last peer reply or the timeout) runs under its
+         own hop's context; restore the fan-out's lineage for the reply. *)
+      if Des.Trace_context.is_none read.r_ctx then serve ()
+      else Des.Engine.with_context t.engine read.r_ctx serve
 
-let serve_read t ~entity ~own reply =
+let serve_read_inner t ~entity ~own reply =
+  (match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink ->
+      let trace = causal_trace t in
+      if trace >= 0 then
+        Obs.Causal.record sink.Obs.Sink.causal
+          (Obs.Causal.Accepted { trace; site = t.site_id; ts = now t }));
   if t.n_sites = 1 then begin
     t.s_reads <- t.s_reads + 1;
     obs_incr t "samya.read.served";
@@ -200,7 +306,15 @@ let serve_read t ~entity ~own reply =
     let rid = t.next_rid in
     t.next_rid <- t.next_rid + 1;
     let read =
-      { r_entity = entity; acc = own; replies = 0; r_reply = reply; r_timer = None }
+      {
+        r_entity = entity;
+        acc = own;
+        replies = 0;
+        r_reply = reply;
+        r_timer = None;
+        r_ctx = Des.Engine.current_context t.engine;
+        r_t0 = now t;
+      }
     in
     Hashtbl.replace t.pending_reads rid read;
     read.r_timer <-
@@ -210,6 +324,16 @@ let serve_read t ~entity ~own reply =
              if t.deps.alive () then finish_read t rid));
     t.deps.broadcast_read_query ~entity ~rid
   end
+
+let serve_read t ~entity ~own reply =
+  match Obs.Sink.tap t.obs with
+  | None -> serve_read_inner t ~entity ~own reply
+  | Some _ ->
+      if Des.Trace_context.is_none (Des.Engine.current_context t.engine) then
+        let root = Des.Trace_context.root ~trace:(Des.Engine.fresh_id t.engine) in
+        Des.Engine.with_context t.engine root (fun () ->
+            serve_read_inner t ~entity ~own reply)
+      else serve_read_inner t ~entity ~own reply
 
 let on_read_reply t ~rid ~tokens_left =
   match Hashtbl.find_opt t.pending_reads rid with

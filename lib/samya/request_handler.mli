@@ -27,6 +27,7 @@ type t
 val create :
   config:Config.t ->
   engine:Des.Engine.t ->
+  site_id:int ->
   n_sites:int ->
   ?obs:Obs.Sink.port ->
   deps ->
@@ -34,7 +35,10 @@ val create :
 (** [obs] is a late-bound observability port (default: a fresh, never
     attached one). While no sink is attached the instrumented paths cost
     one load-and-branch each; with a sink they feed the [samya.*]
-    counters and the queue-depth gauge. *)
+    counters, the queue-depth gauge, and the causal request log
+    (accept / enqueue / dequeue / cpu-wait / service / read-fan-out
+    events stamped with [site_id]). Requests that arrive without an
+    ambient {!Des.Trace_context} get a fresh root stamped here. *)
 
 val accept :
   t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> unit

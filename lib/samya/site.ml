@@ -128,7 +128,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       ~persist ?obs ()
   in
   let handler =
-    Request_handler.create ~config ~engine ~n_sites ?obs
+    Request_handler.create ~config ~engine ~site_id:id ~n_sites ?obs
       {
         Request_handler.alive = (fun () -> !is_alive);
         reactive_ok =

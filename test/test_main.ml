@@ -9,6 +9,7 @@ let () =
       ("trace", Test_trace.suite);
       ("consensus", Test_consensus.suite);
       ("obs", Test_obs.suite);
+      ("tracing", Test_tracing.suite);
       ("reallocation", Test_reallocation.suite);
       ("avantan", Test_avantan.suite);
       ("samya", Test_samya.suite);
