@@ -35,7 +35,8 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run id quick =
+  let run id quick engine_jobs =
+    Harness.Pool.set_engine_jobs engine_jobs;
     let ctx = Harness.Lab.create () in
     match Harness.Registry.run_by_id ctx ~quick Format.std_formatter id with
     | Ok () -> 0
@@ -45,10 +46,11 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment by id (see `list`).")
-    Term.(const run $ id_arg $ quick_flag)
+    Term.(const run $ id_arg $ quick_flag $ Cli.Args.engine_jobs)
 
 let run_all_cmd =
-  let run quick =
+  let run quick engine_jobs =
+    Harness.Pool.set_engine_jobs engine_jobs;
     let ctx = Harness.Lab.create () in
     List.iter
       (fun e ->
@@ -59,7 +61,7 @@ let run_all_cmd =
   in
   Cmd.v
     (Cmd.info "run-all" ~doc:"Run every experiment in DESIGN.md order.")
-    Term.(const run $ quick_flag)
+    Term.(const run $ quick_flag $ Cli.Args.engine_jobs)
 
 let workload_cmd =
   let days =
@@ -209,10 +211,10 @@ let chaos_cmd =
   let sites =
     Arg.(value & opt int 5 & info [ "sites" ] ~doc:"Number of sites (>= 2).")
   in
-  let run seed variant freeze sync duration sites =
+  let run seed variant freeze sync duration sites engine_jobs =
     let report =
       Chaos.Soak.run ~n_sites:sites ~duration_ms:(duration *. 1_000.0)
-        ~amnesia:(not freeze) ~sync ~variant ~seed ()
+        ~amnesia:(not freeze) ~sync ~engine_jobs ~variant ~seed ()
     in
     Format.printf "%a@." Chaos.Soak.pp_report report;
     if Chaos.Soak.passed report then 0 else 1
@@ -223,7 +225,9 @@ let chaos_cmd =
          "Run one seed-reproducible nemesis schedule (crashes, partitions, \
           drops, duplication, latency spikes) against a Samya cluster and \
           audit token conservation.")
-    Term.(const run $ seed $ variant $ freeze $ sync $ duration $ sites)
+    Term.(
+      const run $ seed $ variant $ freeze $ sync $ duration $ sites
+      $ Cli.Args.engine_jobs)
 
 let () =
   let doc = "Samya (ICDE 2021) reproduction: geo-distributed aggregate data system" in

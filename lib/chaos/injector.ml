@@ -5,7 +5,6 @@ module N = Geonet.Network
    scalar knobs (drop rate, duplication, per-link latency, partition) are
    recomputed from the set of still-active faults after every change. *)
 type 'msg t = {
-  engine : Des.Engine.t;
   network : 'msg N.t;
   crash : int -> unit;
   recover : int -> unit;
@@ -18,9 +17,8 @@ type 'msg t = {
   mutable healed : int;
 }
 
-let create ~engine ~network ~crash ~recover () =
+let create ~network ~crash ~recover () =
   {
-    engine;
     network;
     crash;
     recover;
@@ -108,18 +106,23 @@ let heal t kind =
   | Nemesis.Latency_spike { src; dst; _ } -> refresh_latency t ~src ~dst
   | Nemesis.Duplication _ -> refresh_duplication t
 
-let install ?on_fault ~engine ~network ~crash ~recover (schedule : Nemesis.schedule) =
-  let t = create ~engine ~network ~crash ~recover () in
+(* [schedule_at] is the caller's scheduling slot: a plain engine
+   [schedule_at] on a legacy system, the facade's barrier-aligned
+   [schedule_global] on a region-sharded one (every fault mutates state
+   all lanes read, so it must run between windows there). *)
+let install ?on_fault ~schedule_at ~network ~crash ~recover
+    (schedule : Nemesis.schedule) =
+  let t = create ~network ~crash ~recover () in
   List.iter
     (fun (fault : Nemesis.fault) ->
       let id = t.next_id in
       t.next_id <- id + 1;
-      Des.Engine.schedule_at engine ~time_ms:fault.Nemesis.at_ms (fun () ->
+      schedule_at ~time_ms:fault.Nemesis.at_ms (fun () ->
           t.injected <- t.injected + 1;
           t.active <- (id, fault.Nemesis.kind) :: t.active;
           start t fault.Nemesis.kind;
           match on_fault with Some f -> f fault `Inject | None -> ());
-      Des.Engine.schedule_at engine ~time_ms:fault.Nemesis.heal_ms (fun () ->
+      schedule_at ~time_ms:fault.Nemesis.heal_ms (fun () ->
           t.healed <- t.healed + 1;
           t.active <- List.filter (fun (i, _) -> i <> id) t.active;
           heal t fault.Nemesis.kind;

@@ -12,15 +12,18 @@ type 'msg t
 
 val install :
   ?on_fault:(Nemesis.fault -> [ `Inject | `Heal ] -> unit) ->
-  engine:Des.Engine.t ->
+  schedule_at:(time_ms:float -> (unit -> unit) -> unit) ->
   network:'msg Geonet.Network.t ->
   crash:(int -> unit) ->
   recover:(int -> unit) ->
   Nemesis.schedule ->
   'msg t
-(** Schedules every fault's injection and heal on the engine. [crash] and
-    [recover] act on site indices (wire to {!Samya.Cluster.crash_site} /
-    [recover_site]); [on_fault] observes both edges of every fault. *)
+(** Schedules every fault's injection and heal through [schedule_at] —
+    pass {!Des.Engine.schedule_at} on a legacy system or the facade's
+    barrier-aligned [schedule_global] on a sharded one (faults mutate
+    state every lane reads). [crash] and [recover] act on site indices
+    (wire to {!Samya.Cluster.crash_site} / [recover_site]); [on_fault]
+    observes both edges of every fault. *)
 
 val injected : _ t -> int
 val healed : _ t -> int

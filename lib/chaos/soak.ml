@@ -99,7 +99,8 @@ let spawn_client ~engine ~(facade : Facade.t) ~rng ~region ~duration_ms ~granted
   step ()
 
 let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
-    ?(amnesia = true) ?(sync = Storage.Durable.Sync_always) ~variant ~seed () =
+    ?(amnesia = true) ?(sync = Storage.Durable.Sync_always) ?(engine_jobs = 0)
+    ~variant ~seed () =
   let schedule = Nemesis.generate ~seed ~n_sites ~duration_ms in
   let root = Des.Rng.create (Int64.of_int seed) in
   let cluster_seed = Des.Rng.bits64 root in
@@ -123,20 +124,26 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
       ()
   in
   let cluster =
-    Samya.Cluster.create ~seed:cluster_seed ~config ~regions
+    Samya.Cluster.create ~seed:cluster_seed ~config ~regions ~engine_jobs
       ~on_protocol_event:(Facade.protocol_event_hook hooks)
       ~obs:(Facade.obs_port hooks) ()
   in
+  (* The auditor taps every site's protocol stream into one shared
+     structure and the client counters span regions, so a sharded soak
+     drains its windows sequentially (same rule as observability): the
+     windowed scheduler, cross-lane channels and barrier-aligned faults
+     are all exercised, without cross-lane data races — and the report
+     is byte-identical at every [engine_jobs] setting. *)
+  Option.iter Des.Shard.force_sequential (Samya.Cluster.shard cluster);
   Samya.Cluster.init_entity cluster ~entity ~maximum;
   (* Clients and the fault injector drive the cluster through the same
      facade record the experiment harness uses; only the quiescent audit
      and the recovery probes reach inside (the probes bypass routing on
      purpose — they must target the recovered site itself). *)
   let facade = Facade.of_samya_cluster ~hooks ~regions ~entity cluster in
-  let engine = facade.Facade.engine in
   let network = Samya.Cluster.network cluster in
   let injector =
-    Injector.install ~engine ~network
+    Injector.install ~schedule_at:facade.Facade.schedule_global ~network
       ~crash:facade.Facade.crash_site
       ~recover:(fun site ->
         Auditor.note_recovery auditor ~site;
@@ -149,20 +156,24 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
   let recovery_probes = ref [] in
   List.iter
     (fun (site, _at_ms, heal_ms) ->
-      Des.Engine.schedule_at engine ~time_ms:(heal_ms +. 1.0) (fun () ->
-          let sent = Des.Engine.now engine in
+      (* [submit_to_site] calls straight into the site, so the probe must
+         fire on the site's own lane; its reply also lands there. *)
+      let probe_engine = facade.Facade.sched_region regions.(site) in
+      Des.Engine.schedule_at probe_engine ~time_ms:(heal_ms +. 1.0) (fun () ->
+          let sent = Des.Engine.now probe_engine in
           Samya.Cluster.submit_to_site cluster ~site
             (Samya.Types.Acquire { entity; amount = 1 })
             ~reply:(fun _ ->
               recovery_probes :=
-                (site, Des.Engine.now engine -. sent) :: !recovery_probes)))
+                (site, Des.Engine.now probe_engine -. sent) :: !recovery_probes)))
     (Nemesis.crash_faults schedule);
   let granted = ref 0 and rejected = ref 0 and unavailable = ref 0 in
   Array.iter
     (fun region ->
       let rng = Des.Rng.split root in
-      spawn_client ~engine ~facade ~rng ~region ~duration_ms ~granted ~rejected
-        ~unavailable)
+      spawn_client
+        ~engine:(facade.Facade.sched_region region)
+        ~facade ~rng ~region ~duration_ms ~granted ~rejected ~unavailable)
     regions;
   (* Drain: traffic stops at [duration_ms] and every fault healed by 70%
      of it; the tail covers in-flight instances, recovery catch-up and a
@@ -170,7 +181,7 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
      runs dry on its own (gossip reschedules forever), hence the explicit
      horizon. *)
   let drain_ms = Float.max 240_000.0 (4.0 *. config.Samya.Config.anti_entropy_ms) in
-  Des.Engine.run engine ~until_ms:(duration_ms +. drain_ms);
+  facade.Facade.run_until (duration_ms +. drain_ms);
   let violations =
     Auditor.check_cluster auditor cluster ~entity ~maximum ~quiescent:true
   in

@@ -33,12 +33,17 @@ val run :
   ?maximum:int ->
   ?amnesia:bool ->
   ?sync:Storage.Durable.sync_policy ->
+  ?engine_jobs:int ->
   variant:Samya.Config.variant ->
   seed:int ->
   unit ->
   report
 (** Defaults: 5 sites, 120 s of traffic (plus a drain tail), maximum 5000,
-    crash-amnesia with write-through ([Sync_always]) durability. *)
+    crash-amnesia with write-through ([Sync_always]) durability,
+    [engine_jobs = 0] (legacy single-engine simulation). [engine_jobs >= 1]
+    builds the cluster region-sharded; the soak forces sequential window
+    drains (the auditor and counters are cross-lane shared state), so the
+    report is byte-identical at every jobs setting. *)
 
 val passed : report -> bool
 (** No violations. *)

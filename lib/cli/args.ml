@@ -42,6 +42,35 @@ let jobs =
   in
   Term.term_result' Term.(const resolve $ opt)
 
+let engine_jobs =
+  let opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "engine-jobs" ] ~docv:"N"
+          ~doc:
+            "Region-sharded simulation: split the event loop into per-region \
+             lanes driven by N worker domains (env SAMYA_ENGINE_JOBS; \
+             default 0 = single-engine). Figure output is identical for any \
+             N >= 1; wall time is what changes.")
+  in
+  let resolve = function
+    | Some n when n >= 0 -> Ok n
+    | Some n ->
+        Error (Printf.sprintf "--engine-jobs expects a non-negative integer, got %d" n)
+    | None -> (
+        match Sys.getenv_opt "SAMYA_ENGINE_JOBS" with
+        | None -> Ok 0
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok n
+            | Some _ | None ->
+                Error
+                  (Printf.sprintf
+                     "SAMYA_ENGINE_JOBS must be a non-negative integer, got %S" v)))
+  in
+  Term.term_result' Term.(const resolve $ opt)
+
 let metrics_out =
   Arg.(
     value

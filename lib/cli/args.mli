@@ -9,6 +9,11 @@ val jobs : int Cmdliner.Term.t
 (** [--jobs N], the env fallback SAMYA_BENCH_JOBS, or the hardware
     parallelism. Always >= 1. *)
 
+val engine_jobs : int Cmdliner.Term.t
+(** [--engine-jobs N] or the env fallback SAMYA_ENGINE_JOBS; 0 (the
+    default) keeps the single-engine simulation, N >= 1 region-shards it
+    across N worker domains. Always >= 0. *)
+
 val metrics_out : string option Cmdliner.Term.t
 (** [--metrics-out PATH]. *)
 

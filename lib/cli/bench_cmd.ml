@@ -34,6 +34,17 @@ let micro_benchmarks () =
              ()
            done))
   in
+  (* The batched drain the sharded engine windows run on: same workload as
+     push+pop, emptied in one allocation-free sweep. *)
+  let heap_drain =
+    Test.make ~name:"pheap.push+drain_to(1k)"
+      (Staged.stage (fun () ->
+           let h = Des.Pheap.create () in
+           for i = 0 to 999 do
+             Des.Pheap.push h ~priority:(float_of_int ((i * 7) mod 997)) i
+           done;
+           Des.Pheap.drain_to h ~limit:1_000.0 (fun _ _ -> ())))
+  in
   let a = Ml.Matrix.random (Des.Rng.create 3L) 64 64 ~scale:1.0 in
   let b = Ml.Matrix.random (Des.Rng.create 4L) 64 64 ~scale:1.0 in
   let matmul =
@@ -75,7 +86,7 @@ let micro_benchmarks () =
   in
   let grouped =
     Test.make_grouped ~name:"core"
-      [ realloc; heap; matmul; lstm; engine_plain; engine_labelled ]
+      [ realloc; heap; heap_drain; matmul; lstm; engine_plain; engine_labelled ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -129,7 +140,7 @@ let json_escape s =
     s;
   Buffer.contents buffer
 
-let write_json ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
+let write_json ~path ~quick ~jobs ~engine_jobs ~experiments ~micro ~total_wall_s =
   let out = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string out) fmt in
   add "{\n";
@@ -137,6 +148,8 @@ let write_json ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
   add "  \"generated_at_unix\": %.0f,\n" (Unix.gettimeofday ());
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
+  add "  \"engine_jobs\": %d,\n" engine_jobs;
+  add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"seed\": %Ld,\n" Harness.Exp_common.seed;
   add "  \"experiments\": [";
   List.iteri
@@ -163,7 +176,7 @@ let write_json ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
 
 (* The same results through the observability exporter: wall times and
    micro measurements as one metrics registry. *)
-let write_metrics ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
+let write_metrics ~path ~quick ~jobs ~engine_jobs ~experiments ~micro ~total_wall_s =
   let m = Obs.Metrics.create () in
   let wall_h = Obs.Metrics.histogram m "bench.wall_s" in
   List.iter
@@ -189,6 +202,8 @@ let write_metrics ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
         ("tool", "bench");
         ("quick", string_of_bool quick);
         ("jobs", string_of_int jobs);
+        ("engine_jobs", string_of_int engine_jobs);
+        ("host_cores", string_of_int (Domain.recommended_domain_count ()));
         ("seed", Int64.to_string Harness.Exp_common.seed);
       ]
     [ ("bench", m) ];
@@ -196,7 +211,7 @@ let write_metrics ~path ~quick ~jobs ~experiments ~micro ~total_wall_s =
 
 (* ------------------------------------------------------------------ *)
 
-let run quick jobs json metrics_out ids =
+let run quick jobs engine_jobs json metrics_out ids =
   let run_micro = ids = [] || List.mem "micro" ids in
   let experiment_ids =
     if ids = [] then Harness.Registry.ids () |> List.filter (fun id -> id <> "fig3b")
@@ -224,9 +239,11 @@ let run quick jobs json metrics_out ids =
           2
       | Ok (), Ok () ->
           Harness.Pool.set_jobs jobs;
+          Harness.Pool.set_engine_jobs engine_jobs;
           (* Runner metadata goes to stderr: stdout is byte-identical at
-             any --jobs level, so two runs can be diffed directly. *)
-          Format.eprintf "jobs: %d@." jobs;
+             any --jobs or --engine-jobs level, so two runs can be diffed
+             directly. *)
+          Format.eprintf "jobs: %d, engine-jobs: %d@." jobs engine_jobs;
           Format.printf
             "Samya reproduction benchmarks (%s durations; seed fixed, fully \
              deterministic)@."
@@ -249,13 +266,14 @@ let run quick jobs json metrics_out ids =
           in
           (match json with
           | Some path ->
-              write_json ~path ~quick ~jobs ~experiments:timings ~micro ~total_wall_s;
+              write_json ~path ~quick ~jobs ~engine_jobs ~experiments:timings
+                ~micro ~total_wall_s;
               Format.eprintf "wrote %s@." path
           | None -> ());
           (match metrics_out with
           | Some path ->
-              write_metrics ~path ~quick ~jobs ~experiments:timings ~micro
-                ~total_wall_s;
+              write_metrics ~path ~quick ~jobs ~engine_jobs ~experiments:timings
+                ~micro ~total_wall_s;
               Format.eprintf "wrote %s@." path
           | None -> ());
           Format.printf "@.done.@.";
@@ -283,4 +301,6 @@ let cmd =
        ~doc:
          "Regenerate the paper's tables and figures and run the micro \
           benchmarks.")
-    Term.(const run $ Args.quick $ Args.jobs $ json $ Args.metrics_out $ ids)
+    Term.(
+      const run $ Args.quick $ Args.jobs $ Args.engine_jobs $ json
+      $ Args.metrics_out $ ids)

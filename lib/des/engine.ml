@@ -16,6 +16,7 @@ type t = {
   mutable tracer : tracer option;
   mutable current : Trace_context.t;
   mutable next_id : int;
+  mutable id_stride : int;
 }
 
 type timer_state = Pending | Fired | Cancelled
@@ -30,6 +31,7 @@ let create ?(seed = 42L) () =
     tracer = None;
     current = Trace_context.none;
     next_id = 0;
+    id_stride = 1;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
@@ -48,8 +50,18 @@ let with_context t ctx f =
   r
 
 let fresh_id t =
-  t.next_id <- t.next_id + 1;
+  t.next_id <- t.next_id + t.id_stride;
   t.next_id
+
+(* Lane [i] of a sharded run draws ids [base + k * stride] (stride = lane
+   count), so the id spaces of the per-region engines are disjoint and
+   each is deterministic on its own — trace/causal ids never collide
+   across lanes. The default [base = 0, stride = 1] is the legacy 1, 2, …
+   sequence. *)
+let set_id_namespace t ~base ~stride =
+  if base < 0 || stride < 1 then invalid_arg "Engine.set_id_namespace";
+  t.next_id <- base;
+  t.id_stride <- stride
 
 (* The context check is a pointer compare against the unique [none]: when
    no trace is active the scheduling hot path pays one load and one branch
@@ -124,9 +136,36 @@ let run ?until_ms t =
   match until_ms with
   | None -> while step t do () done
   | Some limit ->
-      while (not (Pheap.is_empty t.queue)) && Pheap.min_key t.queue <= limit do
-        ignore (step t)
-      done;
+      (match t.tracer with
+      | None ->
+          (* Batched drain: one root probe per event instead of the
+             is_empty/min_key pair, and no per-event tracer check. The
+             execution order is identical to the step loop. *)
+          Pheap.drain_to t.queue ~limit (fun time fire ->
+              if time > t.clock then t.clock <- time;
+              fire ())
+      | Some _ ->
+          while (not (Pheap.is_empty t.queue)) && Pheap.min_key t.queue <= limit do
+            ignore (step t)
+          done);
       if t.clock < limit then t.clock <- limit
 
 let run_for t d = run t ~until_ms:(t.clock +. d)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed execution (the sharded-engine drain primitives)             *)
+
+let next_due t = if Pheap.is_empty t.queue then infinity else Pheap.min_key t.queue
+
+let run_before t ~limit =
+  match t.tracer with
+  | None ->
+      Pheap.drain_below t.queue ~limit (fun time fire ->
+          if time > t.clock then t.clock <- time;
+          fire ())
+  | Some _ ->
+      while (not (Pheap.is_empty t.queue)) && Pheap.min_key t.queue < limit do
+        ignore (step t)
+      done
+
+let catch_up_to t ~time_ms = if time_ms > t.clock then t.clock <- time_ms

@@ -59,6 +59,35 @@ val run : ?until_ms:float -> t -> unit
 val run_for : t -> float -> unit
 (** [run_for t d] is [run t ~until_ms:(now t +. d)]. *)
 
+(** {2 Windowed execution}
+
+    The primitives {!Shard} builds conservative lookahead windows from.
+    They are ordinary single-engine operations — nothing here knows about
+    domains or lanes. *)
+
+val next_due : t -> float
+(** Time of the earliest pending event, or [infinity] when the queue is
+    empty — a shard coordinator derives the global horizon from the
+    minimum across lanes. *)
+
+val run_before : t -> limit:float -> unit
+(** Execute every event with timestamp {e strictly below} [limit], in
+    order. Unlike {!run}, the clock is left at the last executed event
+    (not forced to [limit]): the coordinator advances clocks explicitly
+    at window barriers. Events at exactly [limit] stay queued. *)
+
+val catch_up_to : t -> time_ms:float -> unit
+(** Advance the clock to [time_ms] if it is behind (never moves it
+    backwards). Called at window barriers so every lane agrees on the
+    time before barrier-aligned events (fault injections) execute. *)
+
+val set_id_namespace : t -> base:int -> stride:int -> unit
+(** Make {!fresh_id} draw from the arithmetic sequence
+    [base + stride, base + 2*stride, …]. Sharded runs give lane [i] the
+    namespace [(i, lanes)] so id spaces never collide across lanes; the
+    default is [(0, 1)] — the legacy 1, 2, … sequence. Raises
+    [Invalid_argument] if [base < 0] or [stride < 1]. *)
+
 (** {2 Tracing}
 
     A tracer observes the engine without perturbing it: callbacks fire at

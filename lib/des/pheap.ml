@@ -1,7 +1,9 @@
 (* Structure-of-arrays binary min-heap. Keys live in a flat [float array]
    (unboxed), so neither push nor pop allocates once capacity exists; the
    sift loops insert into a moving hole instead of swapping, halving the
-   writes of the classic swap-chain formulation. *)
+   writes of the classic swap-chain formulation. The loops use unchecked
+   array access: every index is bounded by [size], which never exceeds the
+   capacity of the (equal-length) backing arrays. *)
 
 type 'a t = {
   mutable keys : float array;
@@ -40,18 +42,18 @@ let push t ~priority value =
   let placed = ref false in
   while (not !placed) && !i > 0 do
     let parent = (!i - 1) / 2 in
-    let pk = keys.(parent) in
-    if priority < pk || (priority = pk && seq < seqs.(parent)) then begin
-      keys.(!i) <- pk;
-      seqs.(!i) <- seqs.(parent);
-      values.(!i) <- values.(parent);
+    let pk = Array.unsafe_get keys parent in
+    if priority < pk || (priority = pk && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set values !i (Array.unsafe_get values parent);
       i := parent
     end
     else placed := true
   done;
-  keys.(!i) <- priority;
-  seqs.(!i) <- seq;
-  values.(!i) <- value
+  Array.unsafe_set keys !i priority;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
 
 (* Re-insert the entry [(key, seq, value)] into the hole at the root:
    smaller children slide up into the hole until the entry fits. *)
@@ -65,27 +67,29 @@ let sift_down_into_root t key seq value =
     if left >= size then placed := true
     else begin
       let right = left + 1 in
+      let lk = Array.unsafe_get keys left in
       let child =
         if
           right < size
-          && (keys.(right) < keys.(left)
-             || (keys.(right) = keys.(left) && seqs.(right) < seqs.(left)))
+          && (let rk = Array.unsafe_get keys right in
+              rk < lk
+              || (rk = lk && Array.unsafe_get seqs right < Array.unsafe_get seqs left))
         then right
         else left
       in
-      let ck = keys.(child) in
-      if ck < key || (ck = key && seqs.(child) < seq) then begin
-        keys.(!i) <- ck;
-        seqs.(!i) <- seqs.(child);
-        values.(!i) <- values.(child);
+      let ck = Array.unsafe_get keys child in
+      if ck < key || (ck = key && Array.unsafe_get seqs child < seq) then begin
+        Array.unsafe_set keys !i ck;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs child);
+        Array.unsafe_set values !i (Array.unsafe_get values child);
         i := child
       end
       else placed := true
     end
   done;
-  keys.(!i) <- key;
-  seqs.(!i) <- seq;
-  values.(!i) <- value
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
 
 let min_key t = t.keys.(0)
 
@@ -93,7 +97,11 @@ let pop_unsafe t =
   let top = t.values.(0) in
   let last = t.size - 1 in
   t.size <- last;
-  if last > 0 then sift_down_into_root t t.keys.(last) t.seqs.(last) t.values.(last);
+  if last > 0 then
+    sift_down_into_root t
+      (Array.unsafe_get t.keys last)
+      (Array.unsafe_get t.seqs last)
+      (Array.unsafe_get t.values last);
   top
 
 let pop t =
@@ -104,6 +112,32 @@ let pop t =
   end
 
 let peek t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
+
+(* Batched drains: the per-event [is_empty]/[min_key] probing of a
+   caller-side loop collapses into one bounds-checked root read per
+   iteration. [f] may push back into the heap (events scheduling events);
+   the loop re-reads the root after every call, so newly inserted entries
+   below the limit are drained in the same pass. *)
+
+let drain_below t ~limit f =
+  let running = ref true in
+  while !running do
+    if t.size = 0 then running := false
+    else begin
+      let key = Array.unsafe_get t.keys 0 in
+      if key < limit then f key (pop_unsafe t) else running := false
+    end
+  done
+
+let drain_to t ~limit f =
+  let running = ref true in
+  while !running do
+    if t.size = 0 then running := false
+    else begin
+      let key = Array.unsafe_get t.keys 0 in
+      if key <= limit then f key (pop_unsafe t) else running := false
+    end
+  done
 
 let clear t =
   t.keys <- [||];

@@ -35,6 +35,17 @@ val pop : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest [(priority, sequence)]
     key, or [None] when empty. *)
 
+val drain_below : 'a t -> limit:float -> (float -> 'a -> unit) -> unit
+(** [drain_below t ~limit f] pops every entry with key strictly below
+    [limit] in order, calling [f key value] on each. [f] may push back
+    into the heap; entries it inserts below the limit drain in the same
+    pass. Allocation-free (one root probe per event instead of the
+    caller-side [is_empty]/[min_key] pair) — the batched window-drain
+    path of the sharded engine. *)
+
+val drain_to : 'a t -> limit:float -> (float -> 'a -> unit) -> unit
+(** Inclusive variant of {!drain_below}: drains keys [<= limit]. *)
+
 val peek : 'a t -> (float * 'a) option
 (** Like {!pop} without removal. *)
 

@@ -21,6 +21,15 @@ let split t =
   (* A second mix decorrelates the child stream from the parent's. *)
   { state = mix64 seed }
 
+(* Indexed stream derivation: a pure function of (seed, index), so lane
+   [i] of a sharded engine gets the same stream no matter how many other
+   lanes exist or in what order they are built. The [+ 1] keeps stream 0
+   distinct from the root seed itself. *)
+let stream_seed seed i =
+  mix64 (Int64.add seed (Int64.mul (Int64.of_int (i + 1)) golden_gamma))
+
+let stream seed i = create (stream_seed seed i)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.of_int max_int in

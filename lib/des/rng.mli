@@ -22,6 +22,16 @@ val split : t -> t
 (** [split t] advances [t] once and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)
 
+val stream_seed : int64 -> int -> int64
+(** [stream_seed seed i] is the seed of the [i]-th derived stream of
+    [seed]: a pure function (no generator state involved), so a sharded
+    engine can hand lane [i] the same stream regardless of how many lanes
+    exist. Distinct indices yield decorrelated seeds; index [i] never
+    collides with the root. *)
+
+val stream : int64 -> int -> t
+(** [stream seed i] is [create (stream_seed seed i)]. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

@@ -8,6 +8,11 @@ type stats = {
 type t = {
   name : string;
   engine : Des.Engine.t;
+  now : unit -> float;
+  sched_region : Geonet.Region.t -> Des.Engine.t;
+  schedule_global : time_ms:float -> (unit -> unit) -> unit;
+  run_until : float -> unit;
+  engine_lanes : int;
   acquire :
     region:Geonet.Region.t ->
     amount:int ->
@@ -61,7 +66,7 @@ let engine_tracer (sink : Obs.Sink.t) =
         Obs.Metrics.set depth (float_of_int pending));
   }
 
-let network_tracer ~engine (sink : Obs.Sink.t) =
+let network_tracer ~context (sink : Obs.Sink.t) =
   let m = sink.Obs.Sink.metrics in
   let sent = Obs.Metrics.counter m "net.sent" in
   let delivered = Obs.Metrics.counter m "net.delivered" in
@@ -80,7 +85,7 @@ let network_tracer ~engine (sink : Obs.Sink.t) =
         (* Delivery runs under the message's child context: its [parent]
            field is the edge id minted at send, which keys both the causal
            hop and the Perfetto flow arrow binding the two lanes. *)
-        let ctx = Des.Engine.current_context engine in
+        let ctx = context () in
         if not (Des.Trace_context.is_none ctx) then begin
           let edge = ctx.Des.Trace_context.parent in
           Obs.Causal.record sink.Obs.Sink.causal
@@ -112,7 +117,7 @@ let network_tracer ~engine (sink : Obs.Sink.t) =
 
 module Ballot = Consensus.Ballot
 
-let avantan_observer ~engine (sink : Obs.Sink.t) =
+let avantan_observer ~now ~context (sink : Obs.Sink.t) =
   let m = sink.Obs.Sink.metrics in
   let sp = sink.Obs.Sink.spans in
   let elections = Obs.Metrics.counter m "avantan.elections" in
@@ -132,7 +137,7 @@ let avantan_observer ~engine (sink : Obs.Sink.t) =
     Hashtbl.create 16
   in
   let causal_trace () =
-    let ctx = Des.Engine.current_context engine in
+    let ctx = context () in
     if Des.Trace_context.is_none ctx then -1 else ctx.Des.Trace_context.trace
   in
   let close_phase ~site ~entity =
@@ -142,19 +147,16 @@ let avantan_observer ~engine (sink : Obs.Sink.t) =
         Hashtbl.remove open_phases (site, entity);
         if trace >= 0 then
           Obs.Causal.record sink.Obs.Sink.causal
-            (Obs.Causal.Phase
-               { trace; site; name; t0; t1 = Des.Engine.now engine })
+            (Obs.Causal.Phase { trace; site; name; t0; t1 = now () })
   in
   let to_phase ~site ~entity name =
     match Hashtbl.find_opt open_phases (site, entity) with
     | Some (current, _, _) when String.equal current name -> ()
     | Some _ ->
         close_phase ~site ~entity;
-        Hashtbl.replace open_phases (site, entity)
-          (name, Des.Engine.now engine, causal_trace ())
+        Hashtbl.replace open_phases (site, entity) (name, now (), causal_trace ())
     | None ->
-        Hashtbl.replace open_phases (site, entity)
-          (name, Des.Engine.now engine, causal_trace ())
+        Hashtbl.replace open_phases (site, entity) (name, now (), causal_trace ())
   in
   let ensure_open ~site ~entity =
     let key = (site, entity) in
@@ -266,9 +268,24 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
   let submit ~region request ~reply =
     Samya.Cluster.submit cluster ~region request ~reply
   in
+  (* Ambient-context/now getters for the observability wiring. A sharded
+     run is forced sequential on subscribe, so "the executing engine" is
+     well-defined: the lane currently draining its window. *)
+  let current_engine =
+    match Samya.Cluster.shard cluster with
+    | None -> fun () -> engine
+    | Some shard -> fun () -> Des.Shard.current_engine shard
+  in
+  let context () = Des.Engine.current_context (current_engine ()) in
+  let obs_now () = Des.Engine.now (current_engine ()) in
   {
     name;
     engine;
+    now = (fun () -> Samya.Cluster.now cluster);
+    sched_region = (fun region -> Samya.Cluster.engine_of_region cluster region);
+    schedule_global = (fun ~time_ms f -> Samya.Cluster.schedule_global cluster ~time_ms f);
+    run_until = (fun until_ms -> Samya.Cluster.run_until cluster ~until_ms);
+    engine_lanes = Samya.Cluster.lanes cluster;
     acquire =
       (fun ~region ~amount ~reply ->
         submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
@@ -297,9 +314,19 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
     subscribe =
       (fun sink ->
         Obs.Sink.attach hooks.sh_obs sink;
-        Des.Engine.set_tracer engine (Some (engine_tracer sink));
-        Geonet.Network.set_tracer network (Some (network_tracer ~engine sink));
-        hooks.sh_observer <- Some (avantan_observer ~engine sink);
+        (* Observability callbacks are not thread-safe: a sharded run
+           drops to sequential windows (results are unchanged by
+           construction — only wall time). Every lane engine gets the
+           tracer so no event escapes observation. *)
+        (match Samya.Cluster.shard cluster with
+        | None -> Des.Engine.set_tracer engine (Some (engine_tracer sink))
+        | Some shard ->
+            Des.Shard.force_sequential shard;
+            Array.iter
+              (fun e -> Des.Engine.set_tracer e (Some (engine_tracer sink)))
+              (Des.Shard.engines shard));
+        Geonet.Network.set_tracer network (Some (network_tracer ~context sink));
+        hooks.sh_observer <- Some (avantan_observer ~now:obs_now ~context sink);
         Array.iteri
           (fun i region ->
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i

@@ -30,6 +30,21 @@ type stats = {
 type t = {
   name : string;
   engine : Des.Engine.t;
+      (** the single engine of a legacy system; lane 0's engine of a
+          region-sharded one (schedule client work via [sched_region]) *)
+  now : unit -> float;
+      (** virtual time; barrier time on a sharded system — stable at the
+          points the harness reads it (setup, global events, end of run) *)
+  sched_region : Geonet.Region.t -> Des.Engine.t;
+      (** the engine that executes events homed in a region — where the
+          driver schedules that region's client issue/reply events *)
+  schedule_global : time_ms:float -> (unit -> unit) -> unit;
+      (** barrier-aligned scheduling: the only safe slot for fault
+          injection on a sharded system (plain [schedule_at] otherwise) *)
+  run_until : float -> unit;
+      (** advance the whole simulation (all lanes) to an absolute time *)
+  engine_lanes : int;
+      (** number of simulation lanes (1 = single-engine legacy path) *)
   acquire :
     region:Geonet.Region.t ->
     amount:int ->
@@ -62,10 +77,13 @@ val engine_tracer : Obs.Sink.t -> Des.Engine.tracer
 (** Labelled-timer spans (armed → fired, i.e. timeouts that expired), the
     [des.events] counter and the [des.queue.depth] gauge. *)
 
-val network_tracer : engine:Des.Engine.t -> Obs.Sink.t -> Geonet.Network.tracer
+val network_tracer :
+  context:(unit -> Des.Trace_context.t) -> Obs.Sink.t -> Geonet.Network.tracer
 (** Per-hop [net.hop] spans on the destination's lane, [net.*] counters
-    and the [net.hop_ms] latency histogram. Deliveries that carry an
-    ambient {!Des.Trace_context} additionally record a causal [Hop] and a
+    and the [net.hop_ms] latency histogram. [context] reads the ambient
+    trace context of the engine executing the delivery (on a sharded
+    system, the current lane's engine). Deliveries that carry an ambient
+    {!Des.Trace_context} additionally record a causal [Hop] and a
     Perfetto flow arrow ([s]/[f] pair keyed by the hop's edge id) from the
     sender's lane to the receiver's. *)
 

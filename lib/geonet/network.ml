@@ -19,21 +19,37 @@ type tracer = {
   on_drop : src:int -> dst:int -> sent_at:float -> now_ms:float -> unit;
 }
 
+(* How the network schedules work. [Single] is the legacy shape: one
+   engine, one jitter/drop RNG split from its root — byte-identical to
+   the pre-sharding code. [Sharded] routes every event to the lane of
+   the node executing it: randomness comes from that lane's own stream
+   (so lane-local draw order — hence the whole run — is independent of
+   how many domains drain the windows) and counters are per-lane slots
+   summed on read (no racing increments). *)
+type sched =
+  | Single of { engine : Des.Engine.t; rng : Des.Rng.t }
+  | Sharded of {
+      shard : Des.Shard.t;
+      node_lane : int array;
+      lane_rngs : Des.Rng.t array;
+    }
+
 type 'msg t = {
-  engine : Des.Engine.t;
+  sched : sched;
   regions : Region.t array;
   mutable drop_probability : float;
   mutable duplicate_probability : float;
   jitter_fraction : float;
-  rng : Des.Rng.t;
   handlers : ('msg envelope -> unit) option array;
   up : bool array;
   mutable partition : int array option; (* group id per node; None = connected *)
   links : (int * int, link) Hashtbl.t;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable duplicated : int;
+  (* Counter slot per lane (a single slot in [Single] mode): a lane only
+     bumps its own slot mid-window, so parallel drains never race. *)
+  sent : int array;
+  delivered : int array;
+  dropped : int array;
+  duplicated : int array;
   mutable tracer : tracer option;
 }
 
@@ -43,30 +59,76 @@ let check_probability ~what p =
   if not (p >= 0.0 && p <= 1.0) then
     invalid_arg (Printf.sprintf "Network.%s: probability must be in [0, 1]" what)
 
-let create engine ~regions ?(drop_probability = 0.0) ?(jitter_fraction = 0.05) () =
+let check_create ~drop_probability ~jitter_fraction =
   check_probability ~what:"create (drop_probability)" drop_probability;
   if not (jitter_fraction >= 0.0) then
-    invalid_arg "Network.create: jitter_fraction must be >= 0";
+    invalid_arg "Network.create: jitter_fraction must be >= 0"
+
+let make sched ~regions ~drop_probability ~jitter_fraction ~lanes =
   let n = Array.length regions in
   {
-    engine;
+    sched;
     regions;
     drop_probability;
     duplicate_probability = 0.0;
     jitter_fraction;
-    rng = Des.Rng.split (Des.Engine.rng engine);
     handlers = Array.make n None;
     up = Array.make n true;
     partition = None;
     links = Hashtbl.create 8;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    duplicated = 0;
+    sent = Array.make lanes 0;
+    delivered = Array.make lanes 0;
+    dropped = Array.make lanes 0;
+    duplicated = Array.make lanes 0;
     tracer = None;
   }
 
-let engine t = t.engine
+let create engine ~regions ?(drop_probability = 0.0) ?(jitter_fraction = 0.05) () =
+  check_create ~drop_probability ~jitter_fraction;
+  let sched = Single { engine; rng = Des.Rng.split (Des.Engine.rng engine) } in
+  make sched ~regions ~drop_probability ~jitter_fraction ~lanes:1
+
+(* Lane RNG streams hang off namespace 63 of the root seed — a reserved
+   index far above any lane id, so they can never collide with the
+   per-lane engine streams (indices 0 .. lanes-1). *)
+let create_sharded shard ~node_lane ~seed ~regions ?(drop_probability = 0.0)
+    ?(jitter_fraction = 0.05) () =
+  check_create ~drop_probability ~jitter_fraction;
+  if Array.length node_lane <> Array.length regions then
+    invalid_arg "Network.create_sharded: node_lane/regions length mismatch";
+  let root = Des.Rng.stream_seed seed 63 in
+  let lanes = Des.Shard.lanes shard in
+  let lane_rngs = Array.init lanes (fun i -> Des.Rng.stream root i) in
+  let sched = Sharded { shard; node_lane; lane_rngs } in
+  make sched ~regions ~drop_probability ~jitter_fraction ~lanes
+
+let engine_of t ~node =
+  match t.sched with
+  | Single s -> s.engine
+  | Sharded s -> Des.Shard.engine s.shard s.node_lane.(node)
+
+let lane_of t node =
+  match t.sched with Single _ -> 0 | Sharded s -> s.node_lane.(node)
+
+let rng_for t ~src =
+  match t.sched with
+  | Single s -> s.rng
+  | Sharded s -> s.lane_rngs.(s.node_lane.(src))
+
+(* Shared-state mutations (liveness, partitions, link overrides) are read
+   by every lane mid-window; in a sharded run they must execute at a
+   window barrier ({!Des.Shard.schedule_global}) where no lane races the
+   write. Single-engine runs are inherently sequential — no constraint. *)
+let check_barrier t ~what =
+  match t.sched with
+  | Single _ -> ()
+  | Sharded s ->
+      if Des.Shard.in_window s.shard then
+        invalid_arg
+          (Printf.sprintf
+             "Network.%s: shared-state mutation inside a shard window \
+              (schedule it with Shard.schedule_global)"
+             what)
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -98,63 +160,97 @@ let reachable t a b = t.up.(a) && t.up.(b) && same_partition t a b
 
 let link_open t ~src ~dst = reachable t src dst && not (link_blocked t ~src ~dst)
 
+(* Route the delivery event to the destination node's lane. Same-lane (and
+   legacy single-engine) deliveries go straight into the local heap;
+   cross-lane ones travel over the shard's bounded channels and carry the
+   sender's ambient trace context explicitly, because the flush at the
+   window barrier happens outside any event — there is no ambient context
+   to inherit there. *)
+let schedule_delivery t ~src ~dst ~delay_ms f =
+  match t.sched with
+  | Single s -> Des.Engine.schedule s.engine ~delay_ms f
+  | Sharded s ->
+      let src_lane = s.node_lane.(src) and dst_lane = s.node_lane.(dst) in
+      let src_engine = Des.Shard.engine s.shard src_lane in
+      let time_ms = Des.Engine.now src_engine +. Float.max 0.0 delay_ms in
+      if src_lane = dst_lane then Des.Engine.schedule_at src_engine ~time_ms f
+      else begin
+        let ctx = Des.Engine.current_context src_engine in
+        let f =
+          if Des.Trace_context.is_none ctx then f
+          else begin
+            let dst_engine = Des.Shard.engine s.shard dst_lane in
+            fun () -> Des.Engine.with_context dst_engine ctx f
+          end
+        in
+        Des.Shard.schedule_cross s.shard ~src:src_lane ~dst:dst_lane ~time_ms f
+      end
+
 let deliver t ~src ~dst ~sent_at ~dropped_in_flight payload delay_ms =
   (* Partition, liveness and one-way cuts are evaluated at delivery time so
      that a fault healed mid-flight lets late messages through, matching an
      asynchronous network where delay and disconnection are
      indistinguishable. The envelope is only materialised on delivery, so a
      dropped message costs nothing beyond its in-flight closure. *)
-  Des.Engine.schedule t.engine ~delay_ms (fun () ->
+  schedule_delivery t ~src ~dst ~delay_ms (fun () ->
+      let lane = lane_of t dst in
       let trace_drop () =
         match t.tracer with
         | Some tr ->
-            tr.on_drop ~src ~dst ~sent_at ~now_ms:(Des.Engine.now t.engine)
+            tr.on_drop ~src ~dst ~sent_at ~now_ms:(Des.Engine.now (engine_of t ~node:dst))
         | None -> ()
       in
       if dropped_in_flight || not (link_open t ~src ~dst) then begin
-        t.dropped <- t.dropped + 1;
+        t.dropped.(lane) <- t.dropped.(lane) + 1;
         trace_drop ()
       end
       else
         match t.handlers.(dst) with
         | None ->
-            t.dropped <- t.dropped + 1;
+            t.dropped.(lane) <- t.dropped.(lane) + 1;
             trace_drop ()
         | Some handler ->
-            t.delivered <- t.delivered + 1;
+            t.delivered.(lane) <- t.delivered.(lane) + 1;
             (match t.tracer with
             | Some tr ->
-                tr.on_deliver ~src ~dst ~sent_at ~now_ms:(Des.Engine.now t.engine)
+                tr.on_deliver ~src ~dst ~sent_at
+                  ~now_ms:(Des.Engine.now (engine_of t ~node:dst))
             | None -> ());
             handler { src; dst; sent_at; payload })
 
+(* [send] always executes on the source node's lane (site protocol code
+   runs on its own engine; barrier-time globals run with no window open),
+   so the RNG draws and counter bumps below are lane-local. *)
 let send t ~src ~dst payload =
-  t.sent <- t.sent + 1;
+  let src_lane = lane_of t src in
+  let src_engine = engine_of t ~node:src in
+  let rng = rng_for t ~src in
+  t.sent.(src_lane) <- t.sent.(src_lane) + 1;
   (match t.tracer with
-  | Some tr -> tr.on_send ~src ~dst ~now_ms:(Des.Engine.now t.engine)
+  | Some tr -> tr.on_send ~src ~dst ~now_ms:(Des.Engine.now src_engine)
   | None -> ());
-  if not t.up.(src) then t.dropped <- t.dropped + 1
+  if not t.up.(src) then t.dropped.(src_lane) <- t.dropped.(src_lane) + 1
   else begin
     let override = link t ~src ~dst in
     let extra = match override with Some l -> l.l_extra_ms | None -> 0.0 in
     let base = latency_ms t ~src ~dst +. extra in
-    let jitter = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
-    let sent_at = Des.Engine.now t.engine in
+    let jitter = Des.Rng.float rng (t.jitter_fraction *. Float.max base 1.0) in
+    let sent_at = Des.Engine.now src_engine in
     let drop_p =
       match override with
       | Some { l_drop = Some p; _ } -> Float.max p t.drop_probability
       | Some _ | None -> t.drop_probability
     in
-    let dropped_in_flight = Des.Rng.bool t.rng drop_p in
-    let ctx = Des.Engine.current_context t.engine in
+    let dropped_in_flight = Des.Rng.bool rng drop_p in
+    let ctx = Des.Engine.current_context src_engine in
     if Des.Trace_context.is_none ctx then begin
       deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
       (* The guard keeps the RNG stream identical for configurations that
          never enable duplication (byte-identical legacy runs). *)
-      if t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
+      if t.duplicate_probability > 0.0 && Des.Rng.bool rng t.duplicate_probability
       then begin
-        t.duplicated <- t.duplicated + 1;
-        let jitter' = Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0) in
+        t.duplicated.(src_lane) <- t.duplicated.(src_lane) + 1;
+        let jitter' = Des.Rng.float rng (t.jitter_fraction *. Float.max base 1.0) in
         deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload (base +. jitter')
       end
     end
@@ -164,15 +260,15 @@ let send t ~src ~dst payload =
          randomness is drawn above this branch, so traced and untraced
          runs see identical RNG streams. A duplicate reuses the edge — it
          is the same logical message. *)
-      let child = Des.Trace_context.child ctx ~edge:(Des.Engine.fresh_id t.engine) in
-      Des.Engine.with_context t.engine child (fun () ->
+      let child = Des.Trace_context.child ctx ~edge:(Des.Engine.fresh_id src_engine) in
+      Des.Engine.with_context src_engine child (fun () ->
           deliver t ~src ~dst ~sent_at ~dropped_in_flight payload (base +. jitter);
           if
-            t.duplicate_probability > 0.0 && Des.Rng.bool t.rng t.duplicate_probability
+            t.duplicate_probability > 0.0 && Des.Rng.bool rng t.duplicate_probability
           then begin
-            t.duplicated <- t.duplicated + 1;
+            t.duplicated.(src_lane) <- t.duplicated.(src_lane) + 1;
             let jitter' =
-              Des.Rng.float t.rng (t.jitter_fraction *. Float.max base 1.0)
+              Des.Rng.float rng (t.jitter_fraction *. Float.max base 1.0)
             in
             deliver t ~src ~dst ~sent_at ~dropped_in_flight:false payload
               (base +. jitter')
@@ -185,13 +281,18 @@ let broadcast t ~src payload =
     if dst <> src then send t ~src ~dst payload
   done
 
-let crash t node = t.up.(node) <- false
+let crash t node =
+  check_barrier t ~what:"crash";
+  t.up.(node) <- false
 
-let recover t node = t.up.(node) <- true
+let recover t node =
+  check_barrier t ~what:"recover";
+  t.up.(node) <- true
 
 let is_up t node = t.up.(node)
 
 let set_partition t groups =
+  check_barrier t ~what:"set_partition";
   let assignment = Array.make (node_count t) (-1) in
   List.iteri
     (fun group_id members ->
@@ -208,36 +309,50 @@ let set_partition t groups =
     assignment;
   t.partition <- Some assignment
 
-let clear_partition t = t.partition <- None
+let clear_partition t =
+  check_barrier t ~what:"clear_partition";
+  t.partition <- None
 
 let set_drop_probability t p =
   check_probability ~what:"set_drop_probability" p;
+  check_barrier t ~what:"set_drop_probability";
   t.drop_probability <- p
 
 let drop_probability t = t.drop_probability
 
 let set_duplicate_probability t p =
   check_probability ~what:"set_duplicate_probability" p;
+  check_barrier t ~what:"set_duplicate_probability";
   t.duplicate_probability <- p
 
 let set_link_drop t ~src ~dst p =
   (match p with
   | Some p -> check_probability ~what:"set_link_drop" p
   | None -> ());
+  check_barrier t ~what:"set_link_drop";
   edit_link t ~src ~dst (fun l -> l.l_drop <- p)
 
 let set_link_extra_latency t ~src ~dst extra_ms =
   if not (extra_ms >= 0.0) then
     invalid_arg "Network.set_link_extra_latency: extra latency must be >= 0";
+  check_barrier t ~what:"set_link_extra_latency";
   edit_link t ~src ~dst (fun l -> l.l_extra_ms <- extra_ms)
 
-let block_one_way t ~src ~dst = edit_link t ~src ~dst (fun l -> l.l_blocked <- true)
+let block_one_way t ~src ~dst =
+  check_barrier t ~what:"block_one_way";
+  edit_link t ~src ~dst (fun l -> l.l_blocked <- true)
 
-let unblock_one_way t ~src ~dst = edit_link t ~src ~dst (fun l -> l.l_blocked <- false)
+let unblock_one_way t ~src ~dst =
+  check_barrier t ~what:"unblock_one_way";
+  edit_link t ~src ~dst (fun l -> l.l_blocked <- false)
 
-let clear_link_overrides t = Hashtbl.reset t.links
+let clear_link_overrides t =
+  check_barrier t ~what:"clear_link_overrides";
+  Hashtbl.reset t.links
 
-let stats_sent t = t.sent
-let stats_delivered t = t.delivered
-let stats_dropped t = t.dropped
-let stats_duplicated t = t.duplicated
+let sum = Array.fold_left ( + ) 0
+
+let stats_sent t = sum t.sent
+let stats_delivered t = sum t.delivered
+let stats_dropped t = sum t.dropped
+let stats_duplicated t = sum t.duplicated

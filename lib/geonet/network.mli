@@ -34,7 +34,32 @@ val create :
     Raises [Invalid_argument] if [drop_probability] is NaN or outside
     [[0, 1]], or if [jitter_fraction] is NaN or negative. *)
 
-val engine : _ t -> Des.Engine.t
+val create_sharded :
+  Des.Shard.t ->
+  node_lane:int array ->
+  seed:int64 ->
+  regions:Region.t array ->
+  ?drop_probability:float ->
+  ?jitter_fraction:float ->
+  unit ->
+  'msg t
+(** Region-sharded variant: node [i] lives on shard lane [node_lane.(i)]
+    (see {!Region.lane_assignment}); every delivery event is scheduled on
+    the destination node's lane, crossing lanes over the shard's bounded
+    channels. Jitter/drop randomness comes from one deterministic stream
+    per lane (derived from [seed] under a reserved namespace), so results
+    are independent of the domain count draining the windows. Shared-state
+    mutations (crash, partitions, link overrides, probabilities) must then
+    execute at a window barrier — via {!Des.Shard.schedule_global} — and
+    raise [Invalid_argument] if attempted mid-window.
+
+    Raises [Invalid_argument] on invalid probabilities or a [node_lane] /
+    [regions] length mismatch. *)
+
+val engine_of : _ t -> node:int -> Des.Engine.t
+(** The engine that runs [node]'s events: the single engine of a
+    {!create}-built network, the node's lane engine of a sharded one.
+    Protocol code (sites) schedules its timers here. *)
 
 val node_count : _ t -> int
 

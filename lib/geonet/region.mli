@@ -18,6 +18,10 @@ type t =
 
 val name : t -> string
 
+val index : t -> int
+(** Dense index of the region in {!all} (row/column order of the latency
+    table) — the key for per-region lane lookups in sharded runs. *)
+
 val all : t list
 
 val default_five : t list
@@ -35,5 +39,24 @@ val one_way_ms : t -> t -> float
 
 val client_site_rtt_ms : float
 (** RTT between a client/app-manager and a site in the same region. *)
+
+val min_cross_one_way_ms : unit -> float
+(** Smallest one-way latency between two {e distinct} regions, over the
+    full table (not just a deployment's hosting set). This is the
+    conservative lookahead of a region-sharded simulation: every
+    cross-region message takes at least this long, so events closer than
+    this to the global frontier cannot be affected by in-flight traffic
+    from another region. *)
+
+val lane_assignment : t array -> int array * int array * int
+(** [lane_assignment regions] maps a deployment (site [i] hosted in
+    [regions.(i)]) to simulation lanes:
+    [(node_lane, region_lane, lanes)] where [node_lane.(i)] is site [i]'s
+    lane, [region_lane.(index r)] is the lane handling region [r], and
+    [lanes] is the number of distinct lanes. Lanes are numbered densely
+    by first occurrence of each hosting region in [regions]; a region
+    hosting no site (a foreign client's home) rides the lane of its
+    nearest hosted region (ties to the lowest site index) — deterministic
+    in [regions] alone. *)
 
 val of_string : string -> t option

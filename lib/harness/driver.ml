@@ -53,14 +53,74 @@ let span_name = function
   | Trace.Workload.Release -> "req.release"
   | Trace.Workload.Read -> "req.read"
 
+(* Per-slot accumulators. On the legacy single-engine path there is one
+   slot and accumulation is exactly the historical global order (keeping
+   float sums bit-identical to earlier releases). On a sharded system a
+   client's replies execute on its region's lane, concurrently with other
+   lanes, so each client accumulates into its own slot and the slots are
+   merged in client order after the run — an order that is a function of
+   the simulation alone, never of the domain count. *)
+type acc = {
+  slots : int;
+  lat : Stats.Sample_set.t array;
+  tp : Stats.Throughput.t array;
+  committed : int array;
+  rejected : int array;
+  unavailable : int array;
+  submitted : int array;
+  replied : int array;
+}
+
+let acc_create ~lanes ~n_clients ~window_ms =
+  let slots = if lanes > 1 then n_clients else 1 in
+  {
+    slots;
+    lat = Array.init slots (fun _ -> Stats.Sample_set.create ());
+    tp = Array.init slots (fun _ -> Stats.Throughput.create ~window_ms);
+    committed = Array.make slots 0;
+    rejected = Array.make slots 0;
+    unavailable = Array.make slots 0;
+    submitted = Array.make slots 0;
+    replied = Array.make slots 0;
+  }
+
+let acc_slot acc client = if acc.slots = 1 then 0 else client
+
+let acc_result acc ~duration_ms : result =
+  let sum = Array.fold_left ( + ) 0 in
+  let latencies =
+    if acc.slots = 1 then acc.lat.(0)
+    else begin
+      let merged = Stats.Sample_set.create () in
+      Array.iter (fun s -> Stats.Sample_set.merge_into s ~into:merged) acc.lat;
+      merged
+    end
+  in
+  let throughput =
+    if acc.slots = 1 then acc.tp.(0)
+    else begin
+      let merged = Stats.Throughput.create ~window_ms:(Stats.Throughput.window_ms acc.tp.(0)) in
+      Array.iter (fun t -> Stats.Throughput.merge_into t ~into:merged) acc.tp;
+      merged
+    end
+  in
+  {
+    committed = sum acc.committed;
+    rejected = sum acc.rejected;
+    unavailable = sum acc.unavailable;
+    no_reply = sum acc.submitted - sum acc.replied;
+    latencies;
+    throughput;
+    duration_ms;
+  }
+
 let run ~(t_system : Systems.facade) spec =
-  let engine = t_system.Systems.engine in
-  let t0 = Des.Engine.now engine in
-  let latencies = Stats.Sample_set.create () in
-  let throughput = Stats.Throughput.create ~window_ms:spec.window_ms in
-  let committed = ref 0 and rejected = ref 0 and unavailable = ref 0 in
-  let submitted = ref 0 and replied = ref 0 in
-  let cutoffs = Array.make (Array.length spec.client_regions) infinity in
+  let n_clients = Array.length spec.client_regions in
+  let engines = Array.map t_system.Systems.sched_region spec.client_regions in
+  let lanes = t_system.Systems.engine_lanes in
+  let t0 = t_system.Systems.now () in
+  let acc = acc_create ~lanes ~n_clients ~window_ms:spec.window_ms in
+  let cutoffs = Array.make n_clients infinity in
   List.iter (fun (at, client) -> cutoffs.(client) <- Float.min cutoffs.(client) at)
     spec.client_crash;
   (* Observability: resolve the driver's instruments once, name the
@@ -82,19 +142,23 @@ let run ~(t_system : Systems.facade) spec =
             Obs.Metrics.counter m "driver.rejected",
             Obs.Metrics.counter m "driver.unavailable" )
   in
-  (* Failure schedule. *)
+  (* Failure schedule: crash/partition/heal actions mutate state every
+     lane reads, so on a sharded system they run at window barriers. *)
   List.iter
-    (fun { at_ms; action } -> Des.Engine.schedule_at engine ~time_ms:(t0 +. at_ms) action)
+    (fun { at_ms; action } ->
+      t_system.Systems.schedule_global ~time_ms:(t0 +. at_ms) action)
     spec.events;
-  (* Open-loop replay, one chained dispatcher to keep the heap small.
+  (* Open-loop replay with chained dispatchers to keep the heap small.
      Clients track their outstanding tokens: a release is only issued
      against tokens actually granted (§3.2 — "an individual client never
      returns more tokens than what it has acquired"), so rejected acquires
      do not spawn phantom releases that would quietly refill the pool. *)
   let n = Array.length spec.requests in
-  let outstanding = Array.make (Array.length spec.client_regions) 0 in
+  let outstanding = Array.make n_clients 0 in
   let rec issue ~synthetic (request : Trace.Workload.request) =
     let client = request.site in
+    let engine = engines.(client) in
+    let s = acc_slot acc client in
     let skip_release =
       (not synthetic)
       && request.kind = Trace.Workload.Release
@@ -105,10 +169,10 @@ let run ~(t_system : Systems.facade) spec =
       && request.time_ms <= spec.duration_ms
       && not skip_release
     then begin
-      incr submitted;
+      acc.submitted.(s) <- acc.submitted.(s) + 1;
       let sent_at = Des.Engine.now engine in
       let reply response =
-        incr replied;
+        acc.replied.(s) <- acc.replied.(s) + 1;
         (match (request.kind, response) with
         | Trace.Workload.Acquire, Samya.Types.Granted -> (
             outstanding.(client) <- outstanding.(client) + request.amount;
@@ -132,14 +196,17 @@ let run ~(t_system : Systems.facade) spec =
         then begin
           (match response with
           | Samya.Types.Granted | Samya.Types.Read_result _ ->
-              incr committed;
-              Stats.Sample_set.add latencies (now -. sent_at);
-              Stats.Throughput.record throughput ~time_ms:(now -. t0)
-          | Samya.Types.Rejected -> incr rejected
-          | Samya.Types.Unavailable -> incr unavailable);
+              acc.committed.(s) <- acc.committed.(s) + 1;
+              Stats.Sample_set.add acc.lat.(s) (now -. sent_at);
+              Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0)
+          | Samya.Types.Rejected -> acc.rejected.(s) <- acc.rejected.(s) + 1
+          | Samya.Types.Unavailable -> acc.unavailable.(s) <- acc.unavailable.(s) + 1);
           match spec.slo with
           | None -> ()
           | Some slo -> (
+              (* The SLO monitor is one shared accumulator: specs that set
+                 it run on the legacy backend (see Exp_slo/Exp_trace),
+                 where reply order is globally sequential. *)
               match response with
               | Samya.Types.Granted | Samya.Types.Read_result _ ->
                   Obs.Slo.commit slo ~now_ms:(now -. t0)
@@ -198,54 +265,80 @@ let run ~(t_system : Systems.facade) spec =
             (fun () -> submit ~reply)
     end
   in
-  let rec dispatch i =
-    if i < n then begin
-      let request = spec.requests.(i) in
-      if request.Trace.Workload.time_ms > spec.duration_ms then ()
-      else
-        Des.Engine.schedule_at engine ~time_ms:(t0 +. request.Trace.Workload.time_ms)
-          (fun () ->
-            issue ~synthetic:false request;
-            (* Schedule the next arrival lazily so the event heap stays
-               small even for million-request streams. *)
-            dispatch (i + 1))
-    end
-  in
-  dispatch 0;
-  Des.Engine.run engine ~until_ms:(t0 +. spec.duration_ms +. spec.drain_ms);
-  {
-    committed = !committed;
-    rejected = !rejected;
-    unavailable = !unavailable;
-    no_reply = !submitted - !replied;
-    latencies;
-    throughput;
-    duration_ms = spec.duration_ms;
-  }
+  if lanes <= 1 then begin
+    (* Legacy: one global chain, exactly the historical scheduling shape
+       (byte-identical event order to earlier releases). *)
+    let engine = t_system.Systems.engine in
+    let rec dispatch i =
+      if i < n then begin
+        let request = spec.requests.(i) in
+        if request.Trace.Workload.time_ms > spec.duration_ms then ()
+        else
+          Des.Engine.schedule_at engine ~time_ms:(t0 +. request.Trace.Workload.time_ms)
+            (fun () ->
+              issue ~synthetic:false request;
+              (* Schedule the next arrival lazily so the event heap stays
+                 small even for million-request streams. *)
+              dispatch (i + 1))
+      end
+    in
+    dispatch 0
+  end
+  else begin
+    (* Sharded: one chain per client on the client's own lane, so a lane
+       only ever schedules onto itself and the global chain never forces
+       a cross-lane dependency between consecutive arrivals. *)
+    let per_client = Array.make n_clients [] in
+    for i = n - 1 downto 0 do
+      let client = spec.requests.(i).Trace.Workload.site in
+      per_client.(client) <- i :: per_client.(client)
+    done;
+    Array.iteri
+      (fun client indices ->
+        let engine = engines.(client) in
+        let rec dispatch = function
+          | [] -> ()
+          | i :: rest ->
+              let request = spec.requests.(i) in
+              if request.Trace.Workload.time_ms > spec.duration_ms then ()
+              else
+                Des.Engine.schedule_at engine
+                  ~time_ms:(t0 +. request.Trace.Workload.time_ms)
+                  (fun () ->
+                    issue ~synthetic:false request;
+                    dispatch rest)
+        in
+        dispatch indices)
+      per_client
+  end;
+  t_system.Systems.run_until (t0 +. spec.duration_ms +. spec.drain_ms);
+  acc_result acc ~duration_ms:spec.duration_ms
 
-let average_tps result =
+let average_tps (result : result) =
   float_of_int result.committed /. (result.duration_ms /. 1000.0)
 
-let percentile result p = Stats.Sample_set.percentile result.latencies p
+let percentile (result : result) p = Stats.Sample_set.percentile result.latencies p
 
 let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_ms
     ~workers_per_client ~window_ms =
-  let engine = t_system.Systems.engine in
-  let t0 = Des.Engine.now engine in
-  let latencies = Stats.Sample_set.create () in
-  let throughput = Stats.Throughput.create ~window_ms in
-  let committed = ref 0 and rejected = ref 0 and unavailable = ref 0 in
+  let n_clients = Array.length client_regions in
+  let engines = Array.map t_system.Systems.sched_region client_regions in
+  let lanes = t_system.Systems.engine_lanes in
+  let t0 = t_system.Systems.now () in
+  let acc = acc_create ~lanes ~n_clients ~window_ms in
   (* Partition the stream per client; workers consume their client's
-     requests back to back (arrival times are ignored: the loop is closed). *)
-  let per_client =
-    Array.map (fun _ -> Queue.create ()) client_regions
-  in
+     requests back to back (arrival times are ignored: the loop is closed).
+     All of a client's state — its queue, outstanding tokens, worker
+     chains — lives on its region's lane. *)
+  let per_client = Array.map (fun _ -> Queue.create ()) client_regions in
   Array.iter
     (fun (r : Trace.Workload.request) -> Queue.push r per_client.(r.site))
     requests;
-  let no_reply = ref 0 in
-  let outstanding = Array.make (Array.length client_regions) 0 in
+  let no_reply = Array.make acc.slots 0 in
+  let outstanding = Array.make n_clients 0 in
   let rec worker client =
+    let engine = engines.(client) in
+    let s = acc_slot acc client in
     if Des.Engine.now engine -. t0 < duration_ms then begin
       match Queue.take_opt per_client.(client) with
       | None -> ()
@@ -261,7 +354,7 @@ let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_
               Des.Engine.timer engine ~delay_ms:5_000.0 (fun () ->
                   if not !settled then begin
                     settled := true;
-                    incr no_reply;
+                    no_reply.(s) <- no_reply.(s) + 1;
                     worker client
                   end)
             in
@@ -279,12 +372,13 @@ let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_
                 (match response with
                 | Samya.Types.Granted | Samya.Types.Read_result _ ->
                     if now -. t0 <= duration_ms then begin
-                      incr committed;
-                      Stats.Sample_set.add latencies (now -. sent_at);
-                      Stats.Throughput.record throughput ~time_ms:(now -. t0)
+                      acc.committed.(s) <- acc.committed.(s) + 1;
+                      Stats.Sample_set.add acc.lat.(s) (now -. sent_at);
+                      Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0)
                     end
-                | Samya.Types.Rejected -> incr rejected
-                | Samya.Types.Unavailable -> incr unavailable);
+                | Samya.Types.Rejected -> acc.rejected.(s) <- acc.rejected.(s) + 1
+                | Samya.Types.Unavailable ->
+                    acc.unavailable.(s) <- acc.unavailable.(s) + 1);
                 worker client
               end
             in
@@ -304,13 +398,6 @@ let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_
         worker client
       done)
     client_regions;
-  Des.Engine.run engine ~until_ms:(t0 +. duration_ms +. 10_000.0);
-  {
-    committed = !committed;
-    rejected = !rejected;
-    unavailable = !unavailable;
-    no_reply = !no_reply;
-    latencies;
-    throughput;
-    duration_ms;
-  }
+  t_system.Systems.run_until (t0 +. duration_ms +. 10_000.0);
+  let result = acc_result acc ~duration_ms in
+  { result with no_reply = Array.fold_left ( + ) 0 no_reply }

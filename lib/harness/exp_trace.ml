@@ -11,12 +11,17 @@ let experiments = [ "headline"; "table2b"; "fig3b"; "prediction" ]
 
 (* The fig3f pair — prediction on vs off — captured through the same
    facade/obs path as the headline systems, so the ablation is explainable
-   and SLO-monitored like everything else. *)
+   and SLO-monitored like everything else.
+
+   Trace capture pins [engine_jobs] to 0: full observability forces
+   sequential window drains on a sharded system anyway, so sharding buys
+   nothing here — pinning keeps trace/explain/SLO output byte-identical at
+   every --engine-jobs setting. *)
 let prediction_builders ctx : (string * (unit -> Systems.facade)) list =
   let maj = Exp_common.samya_config Samya.Config.Majority in
   let forecaster = Lab.runtime_forecaster ctx in
   let samya ~name config () =
-    Systems.samya ~seed:Exp_common.seed ~name ~config
+    Systems.samya ~engine_jobs:0 ~seed:Exp_common.seed ~name ~config
       ~regions:(Exp_common.client_regions ())
       ~forecaster ~entity:Exp_common.entity ~maximum:Exp_common.maximum ()
   in
@@ -66,7 +71,7 @@ let run ctx ~quick ~experiment =
   if experiment = "prediction" then
     Ok (capture ctx ~quick ~builders:(prediction_builders ctx))
   else if List.mem experiment experiments then
-    Ok (capture ctx ~quick ~builders:(Exp_headline.builders ctx))
+    Ok (capture ctx ~quick ~builders:(Exp_headline.builders ~engine_jobs:0 ctx))
   else
     Error
       (Printf.sprintf "unknown traceable experiment %S; known: %s" experiment

@@ -11,6 +11,11 @@ type stats = Facade.stats = {
 type facade = Facade.t = {
   name : string;
   engine : Des.Engine.t;
+  now : unit -> float;
+  sched_region : Geonet.Region.t -> Des.Engine.t;
+  schedule_global : time_ms:float -> (unit -> unit) -> unit;
+  run_until : float -> unit;
+  engine_lanes : int;
   acquire :
     region:Geonet.Region.t ->
     amount:int ->
@@ -34,10 +39,17 @@ type facade = Facade.t = {
 
 let sites_in = Facade.sites_in
 
-let samya ?seed ?name ~config ~regions ?forecaster ?on_protocol_event ~entity ~maximum () =
+let samya ?seed ?engine_jobs ?name ~config ~regions ?forecaster ?on_protocol_event
+    ~entity ~maximum () =
   let hooks = Facade.samya_hooks ?on_protocol_event () in
+  (* The CLI's --engine-jobs knob reaches every Samya built by the
+     experiment registry through the Pool default; an explicit argument
+     (tests, the trace path) overrides it. *)
+  let engine_jobs =
+    match engine_jobs with Some n -> n | None -> Pool.engine_jobs ()
+  in
   let cluster =
-    Samya.Cluster.create ?seed ~config ~regions ?forecaster
+    Samya.Cluster.create ?seed ~engine_jobs ~config ~regions ?forecaster
       ~on_protocol_event:(Facade.protocol_event_hook hooks)
       ~obs:(Facade.obs_port hooks) ()
   in
@@ -60,6 +72,13 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
   {
     name;
     engine;
+    (* Baselines stay on the legacy single-engine path: the record's
+       scheduling surface degenerates to the plain engine operations. *)
+    now = (fun () -> Des.Engine.now engine);
+    sched_region = (fun _ -> engine);
+    schedule_global = (fun ~time_ms f -> Des.Engine.schedule_at engine ~time_ms f);
+    run_until = (fun until_ms -> Des.Engine.run engine ~until_ms);
+    engine_lanes = 1;
     acquire =
       (fun ~region ~amount ~reply ->
         submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
@@ -85,7 +104,11 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
       (fun sink ->
         Obs.Sink.attach obs_port sink;
         Des.Engine.set_tracer engine (Some (Facade.engine_tracer sink));
-        set_net_tracer (Some (Facade.network_tracer ~engine sink));
+        set_net_tracer
+          (Some
+             (Facade.network_tracer
+                ~context:(fun () -> Des.Engine.current_context engine)
+                sink));
         Array.iteri
           (fun i region ->
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i

@@ -14,6 +14,14 @@ type stats = Facade.stats = {
 type facade = Facade.t = {
   name : string;
   engine : Des.Engine.t;
+      (** single engine of a legacy system; lane 0's of a sharded one *)
+  now : unit -> float;  (** virtual (barrier) time *)
+  sched_region : Geonet.Region.t -> Des.Engine.t;
+      (** engine executing a region's client events *)
+  schedule_global : time_ms:float -> (unit -> unit) -> unit;
+      (** barrier-aligned slot for fault injection *)
+  run_until : float -> unit;  (** advance all lanes to an absolute time *)
+  engine_lanes : int;  (** simulation lanes; 1 = legacy single engine *)
   acquire :
     region:Geonet.Region.t ->
     amount:int ->
@@ -47,6 +55,7 @@ val sites_in : Geonet.Region.t array -> Geonet.Region.t -> int list
 
 val samya :
   ?seed:int64 ->
+  ?engine_jobs:int ->
   ?name:string ->
   config:Samya.Config.t ->
   regions:Geonet.Region.t array ->
@@ -60,7 +69,10 @@ val samya :
 (** A Samya cluster under either Avantan variant (named from
     [config.variant] unless [?name] overrides). [on_protocol_event] taps
     the structured {!Samya.Avantan_core.event} feed of every site; it
-    composes with the span observer installed by [subscribe]. *)
+    composes with the span observer installed by [subscribe].
+    [engine_jobs] selects the simulation backend as in
+    {!Samya.Cluster.create}; when omitted it follows the process-wide
+    {!Pool.engine_jobs} default (the CLI's [--engine-jobs] knob). *)
 
 val demarcation :
   ?seed:int64 ->

@@ -1,27 +1,88 @@
+(* Legacy deployments run on one engine with one client-leg RNG split
+   from its root — byte-identical to the pre-sharding code. A sharded
+   deployment ([engine_jobs >= 1] with at least two hosting regions)
+   places each site on its region's shard lane and gives every lane its
+   own deterministic client-leg stream: leg jitter is drawn by whichever
+   lane executes the leg (client lane outbound, site lane for the
+   return), so the draw order — and therefore the whole run — does not
+   depend on how many domains drain the windows. *)
+type sched =
+  | Single of { engine : Des.Engine.t; rng : Des.Rng.t }
+  | Sharded of {
+      shard : Des.Shard.t;
+      region_lane : int array; (* lane per Region.index *)
+      lane_leg_rngs : Des.Rng.t array;
+    }
+
 type t = {
-  engine : Des.Engine.t;
+  sched : sched;
   network : Site.net_msg Geonet.Network.t;
   regions : Geonet.Region.t array;
   sites : Site.t array;
-  rng : Des.Rng.t;
 }
 
-let create ?(seed = 42L) ~config ~regions ?forecaster ?(drop_probability = 0.0)
-    ?on_protocol_event ?obs () =
-  if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
-  let engine = Des.Engine.create ~seed () in
-  let network = Geonet.Network.create engine ~regions ~drop_probability () in
-  let sites =
-    Array.init (Array.length regions) (fun id ->
-        let on_protocol_event =
-          Option.map (fun f -> fun ~entity event -> f ~site:id ~entity event)
-            on_protocol_event
-        in
-        Site.create ~config ~network ~id ?forecaster ?on_protocol_event ?obs ())
-  in
-  { engine; network; regions; sites; rng = Des.Rng.split (Des.Engine.rng engine) }
+let make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () =
+  Array.init (Array.length regions) (fun id ->
+      let on_protocol_event =
+        Option.map (fun f -> fun ~entity event -> f ~site:id ~entity event)
+          on_protocol_event
+      in
+      Site.create ~config ~network ~id ?forecaster ?on_protocol_event ?obs ())
 
-let engine t = t.engine
+let create ?(seed = 42L) ?(engine_jobs = 0) ~config ~regions ?forecaster
+    ?(drop_probability = 0.0) ?on_protocol_event ?obs () =
+  if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
+  let node_lane, region_lane, lanes = Geonet.Region.lane_assignment regions in
+  if engine_jobs >= 1 && lanes >= 2 then begin
+    let lookahead_ms = Geonet.Region.min_cross_one_way_ms () in
+    let shard = Des.Shard.create ~seed ~workers:engine_jobs ~lanes ~lookahead_ms () in
+    let network =
+      Geonet.Network.create_sharded shard ~node_lane ~seed ~regions ~drop_probability ()
+    in
+    let sites = make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () in
+    (* Leg streams hang off reserved namespace 62 of the root seed — the
+       network uses 63, lane engines use 0 .. lanes-1; none overlap. *)
+    let root = Des.Rng.stream_seed seed 62 in
+    let lane_leg_rngs = Array.init lanes (Des.Rng.stream root) in
+    { sched = Sharded { shard; region_lane; lane_leg_rngs }; network; regions; sites }
+  end
+  else begin
+    let engine = Des.Engine.create ~seed () in
+    let network = Geonet.Network.create engine ~regions ~drop_probability () in
+    let sites = make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () in
+    let sched = Single { engine; rng = Des.Rng.split (Des.Engine.rng engine) } in
+    { sched; network; regions; sites }
+  end
+
+let engine t =
+  match t.sched with
+  | Single s -> s.engine
+  | Sharded s -> Des.Shard.engine s.shard 0
+
+let shard t = match t.sched with Single _ -> None | Sharded s -> Some s.shard
+
+let lanes t = match t.sched with Single _ -> 1 | Sharded s -> Des.Shard.lanes s.shard
+
+let engine_of_region t region =
+  match t.sched with
+  | Single s -> s.engine
+  | Sharded s -> Des.Shard.engine s.shard s.region_lane.(Geonet.Region.index region)
+
+let now t =
+  match t.sched with
+  | Single s -> Des.Engine.now s.engine
+  | Sharded s -> Des.Shard.now s.shard
+
+let run_until t ~until_ms =
+  match t.sched with
+  | Single s -> Des.Engine.run s.engine ~until_ms
+  | Sharded s -> Des.Shard.run s.shard ~until_ms
+
+let schedule_global t ~time_ms f =
+  match t.sched with
+  | Single s -> Des.Engine.schedule_at s.engine ~time_ms f
+  | Sharded s -> Des.Shard.schedule_global s.shard ~time_ms f
+
 let network t = t.network
 let n_sites t = Array.length t.sites
 let site t i = t.sites.(i)
@@ -54,30 +115,63 @@ let route t ~region =
   !best
 
 (* Client -> app manager (same region) -> site, plus jitter; and the same
-   way back. *)
-let client_leg_ms t ~region ~site_index =
+   way back. [rng] is the leg stream of the lane executing the draw. *)
+let client_leg_ms t rng ~region ~site_index =
   let base =
     (Geonet.Region.client_site_rtt_ms /. 2.0)
     +. Geonet.Region.one_way_ms region t.regions.(site_index)
   in
-  base +. Des.Rng.float t.rng (0.05 *. base)
+  base +. Des.Rng.float rng (0.05 *. base)
 
 let submit_to_site t ~site request ~reply = Site.submit t.sites.(site) request ~reply
+
+(* Schedule a client leg between the client's lane and the site's lane.
+   A cross-lane leg always joins distinct regions, so its latency is at
+   least the shard lookahead — exactly the safety contract
+   [Shard.schedule_cross] enforces. Same-lane legs (client co-located
+   with the site, or homed to it as nearest hosted region) stay local. *)
+let schedule_leg t ~from_lane ~to_lane ~delay_ms f =
+  match t.sched with
+  | Single s -> Des.Engine.schedule s.engine ~delay_ms f
+  | Sharded s ->
+      let src_engine = Des.Shard.engine s.shard from_lane in
+      let time_ms = Des.Engine.now src_engine +. delay_ms in
+      if from_lane = to_lane then Des.Engine.schedule_at src_engine ~time_ms f
+      else Des.Shard.schedule_cross s.shard ~src:from_lane ~dst:to_lane ~time_ms f
+
+let leg_rng t ~lane =
+  match t.sched with Single s -> s.rng | Sharded s -> s.lane_leg_rngs.(lane)
 
 let submit t ~region request ~reply =
   match route t ~region with
   | None -> reply Types.Unavailable
   | Some (site_index, _) ->
-      let there = client_leg_ms t ~region ~site_index in
-      Des.Engine.schedule t.engine ~delay_ms:there (fun () ->
+      let client_lane =
+        match t.sched with
+        | Single _ -> 0
+        | Sharded s -> s.region_lane.(Geonet.Region.index region)
+      in
+      let site_lane =
+        match t.sched with
+        | Single _ -> 0
+        | Sharded s -> s.region_lane.(Geonet.Region.index t.regions.(site_index))
+      in
+      (* Executes on the client's lane: the outbound draw comes from it. *)
+      let there = client_leg_ms t (leg_rng t ~lane:client_lane) ~region ~site_index in
+      schedule_leg t ~from_lane:client_lane ~to_lane:site_lane ~delay_ms:there (fun () ->
           let target = t.sites.(site_index) in
           if not (Site.alive target) then
             (* The site died while the request was in flight. *)
-            Des.Engine.schedule t.engine ~delay_ms:there (fun () -> reply Types.Unavailable)
+            schedule_leg t ~from_lane:site_lane ~to_lane:client_lane ~delay_ms:there
+              (fun () -> reply Types.Unavailable)
           else
             Site.submit target request ~reply:(fun response ->
-                let back = client_leg_ms t ~region ~site_index in
-                Des.Engine.schedule t.engine ~delay_ms:back (fun () -> reply response)))
+                (* Executes on the site's lane: the return draw is its. *)
+                let back =
+                  client_leg_ms t (leg_rng t ~lane:site_lane) ~region ~site_index
+                in
+                schedule_leg t ~from_lane:site_lane ~to_lane:client_lane ~delay_ms:back
+                  (fun () -> reply response)))
 
 let crash_site t i = Site.crash t.sites.(i)
 let recover_site t i = Site.recover t.sites.(i)

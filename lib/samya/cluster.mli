@@ -15,6 +15,7 @@ type t
 
 val create :
   ?seed:int64 ->
+  ?engine_jobs:int ->
   config:Config.t ->
   regions:Geonet.Region.t array ->
   ?forecaster:Ml.Forecaster.t ->
@@ -28,9 +29,43 @@ val create :
     [on_protocol_event] observes every protocol instance of every site —
     see {!Site.create}. [obs] is one late-bound observability port shared
     by every site's request handler and protocol driver (a facade's
-    [subscribe] attaches a sink to it). *)
+    [subscribe] attaches a sink to it).
+
+    [engine_jobs] (default [0]) selects the simulation backend. [0] is
+    the legacy single-engine path, byte-identical to earlier releases.
+    [n >= 1] shards the simulation by hosting region onto one engine per
+    lane (see {!Des.Shard}), drained by up to [n] domains; results are
+    byte-identical for every [n >= 1] — the value changes wall time
+    only. Falls back to the legacy path when fewer than two distinct
+    regions host sites. *)
 
 val engine : t -> Des.Engine.t
+(** The engine of a legacy deployment; lane 0's engine of a sharded one
+    (callers that need a specific lane use {!engine_of_region}). *)
+
+val shard : t -> Des.Shard.t option
+(** The shard coordinator of a sharded deployment, [None] on legacy. *)
+
+val lanes : t -> int
+(** Number of simulation lanes ([1] on the legacy path). *)
+
+val engine_of_region : t -> Geonet.Region.t -> Des.Engine.t
+(** The engine that executes events homed in [region] — where the driver
+    schedules that region's client issue events. *)
+
+val now : t -> float
+(** Virtual time. On a sharded deployment, barrier time (meaningful
+    between {!run_until} windows and at global events). *)
+
+val run_until : t -> until_ms:float -> unit
+(** Advance the simulation to [until_ms] (all lanes, on a sharded
+    deployment). *)
+
+val schedule_global : t -> time_ms:float -> (unit -> unit) -> unit
+(** Schedule a barrier-aligned event — the only safe way to mutate
+    cross-lane shared state (crashes, partitions, link faults) in a
+    sharded run. On the legacy path this is plain [schedule_at]. *)
+
 val network : t -> Site.net_msg Geonet.Network.t
 val n_sites : t -> int
 val site : t -> int -> Site.t

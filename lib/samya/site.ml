@@ -89,7 +89,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
   (match Config.validate config with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Site.create: " ^ reason));
-  let engine = Geonet.Network.engine network in
+  let engine = Geonet.Network.engine_of network ~node:id in
   let n_sites = Geonet.Network.node_count network in
   let is_alive = ref true in
   let incarnation = ref 0 in

@@ -49,6 +49,15 @@ let min_value t = percentile t 0.0
 
 let max_value t = percentile t 100.0
 
+(* Element-by-element append: the destination's running [sum] follows the
+   same left-to-right association as if every sample had been [add]ed to
+   it directly, so merged statistics are a deterministic function of the
+   merge order alone. *)
+let merge_into src ~into =
+  for i = 0 to src.size - 1 do
+    add into src.data.(i)
+  done
+
 let to_sorted_array t =
   ensure_sorted t;
   Array.sub t.data 0 t.size

@@ -25,5 +25,12 @@ val min_value : t -> float
 
 val max_value : t -> float
 
+val merge_into : t -> into:t -> unit
+(** [merge_into src ~into] appends [src]'s samples to [into] in [src]'s
+    current storage order, updating the running sum sample-by-sample — so
+    merging per-slot sets in a fixed order yields bit-identical statistics
+    to having added the samples to one set in that order. [src] is
+    unchanged. *)
+
 val to_sorted_array : t -> float array
 (** A copy, ascending. *)

@@ -40,6 +40,21 @@ let series t ?until_ms () =
   in
   build last_window []
 
+let merge_into src ~into =
+  if src.window_width <> into.window_width then
+    invalid_arg "Throughput.merge_into: window width mismatch";
+  (* Windows walk in index order, so the merge is deterministic even
+     though the counts live in hash tables. *)
+  for window = 0 to src.max_window do
+    match Hashtbl.find_opt src.counts window with
+    | None -> ()
+    | Some n ->
+        let current = Option.value (Hashtbl.find_opt into.counts window) ~default:0 in
+        Hashtbl.replace into.counts window (current + n);
+        into.total <- into.total + n;
+        if window > into.max_window then into.max_window <- window
+  done
+
 let average_tps t ~duration_ms =
   if duration_ms <= 0.0 then nan
   else float_of_int t.total /. (duration_ms /. 1000.0)

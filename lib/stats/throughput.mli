@@ -22,5 +22,11 @@ val series : t -> ?until_ms:float -> unit -> (float * float) list
 (** [(window_start_ms, events_per_second)] for every window from 0 to the
     latest recorded event (or [until_ms]), including empty windows. *)
 
+val merge_into : t -> into:t -> unit
+(** [merge_into src ~into] adds [src]'s per-window counts into [into],
+    walking windows in index order (deterministic despite the hash-table
+    representation). Raises [Invalid_argument] on window-width mismatch.
+    [src] is unchanged. *)
+
 val average_tps : t -> duration_ms:float -> float
 (** [total / duration] in events per second. *)

@@ -90,6 +90,23 @@ let soak_replays_exactly () =
   check Alcotest.string "repro line" "samya_cli chaos --seed 7 --variant star"
     (Chaos.Soak.repro_line a)
 
+let soak_engine_jobs_sweep () =
+  (* A region-sharded soak must report byte-identically at every worker
+     count — one domain or four, same windows, same channel flush order,
+     same report — and still pass the auditor. (Seed 5 is a seed whose
+     sharded run genuinely diverges from the legacy single-engine one, so
+     this exercises the sharded scheduler, not a degenerate fallback.) *)
+  let render (r : Chaos.Soak.report) = Format.asprintf "%a" Chaos.Soak.pp_report r in
+  let run engine_jobs =
+    Chaos.Soak.run ~duration_ms:30_000.0 ~engine_jobs ~variant:Samya.Config.Majority
+      ~seed:5 ()
+  in
+  let r1 = run 1 in
+  check bool "sharded soak passes the audit" true (Chaos.Soak.passed r1);
+  let s1 = render r1 in
+  check Alcotest.string "engine-jobs 2 byte-identical" s1 (render (run 2));
+  check Alcotest.string "engine-jobs 4 byte-identical" s1 (render (run 4))
+
 (* The headline robustness property: across random nemesis seeds and both
    Avantan variants, a crash-amnesiac cluster with write-through
    durability finishes with a clean audit — tokens conserved (Equation 1),
@@ -112,6 +129,8 @@ let suite =
     Alcotest.test_case "auditor: duplicate origin" `Quick auditor_flags_duplicate_origin;
     Alcotest.test_case "auditor: divergent values" `Quick auditor_flags_divergent_values;
     Alcotest.test_case "soak: replays exactly" `Quick soak_replays_exactly;
+    Alcotest.test_case "soak: engine-jobs sweep byte-identical" `Slow
+      soak_engine_jobs_sweep;
     QCheck_alcotest.to_alcotest
       (soak_conserves_tokens Samya.Config.Majority
          "chaos soak: clean audit across seeds (Avantan[(n+1)/2])");

@@ -177,6 +177,25 @@ let pheap_interleaving_property =
       drain ();
       !ok && Des.Pheap.is_empty h)
 
+let pheap_drain_below_and_to () =
+  let h = Des.Pheap.create () in
+  for i = 0 to 9 do
+    Des.Pheap.push h ~priority:(float_of_int i) i
+  done;
+  let seen = ref [] in
+  Des.Pheap.drain_below h ~limit:5.0 (fun key value ->
+      seen := (key, value) :: !seen;
+      (* A push below the limit during the drain joins the same pass. *)
+      if value = 2 then Des.Pheap.push h ~priority:2.5 99);
+  check bool "strictly-below drain includes the re-entrant push" true
+    (List.rev !seen
+    = [ (0.0, 0); (1.0, 1); (2.0, 2); (2.5, 99); (3.0, 3); (4.0, 4) ]);
+  seen := [];
+  Des.Pheap.drain_to h ~limit:7.0 (fun key value -> seen := (key, value) :: !seen);
+  check bool "inclusive drain takes the limit key" true
+    (List.rev !seen = [ (5.0, 5); (6.0, 6); (7.0, 7) ]);
+  check int "rest stays queued" 2 (Des.Pheap.length h)
+
 let pheap_pop_unsafe_matches_pop () =
   let h = Des.Pheap.create () in
   let rng = Des.Rng.create 23L in
@@ -302,6 +321,183 @@ let engine_untraced_drain_no_extra_allocation () =
     true
     (labelled <= plain +. 64.0)
 
+(* ------------------------------------------------------------------ *)
+(* Shard: region-sharded engines under conservative lookahead *)
+
+let shard_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "rejects zero lanes" true
+    (invalid (fun () -> Des.Shard.create ~lanes:0 ~lookahead_ms:1.0 ()));
+  check bool "rejects zero lookahead" true
+    (invalid (fun () -> Des.Shard.create ~lanes:2 ~lookahead_ms:0.0 ()));
+  check bool "rejects nan lookahead" true
+    (invalid (fun () -> Des.Shard.create ~lanes:2 ~lookahead_ms:Float.nan ()))
+
+let shard_cross_lane_ping_pong () =
+  let shard = Des.Shard.create ~lanes:2 ~lookahead_ms:10.0 () in
+  check int "two lanes" 2 (Des.Shard.lanes shard);
+  let log = ref [] in
+  let rec ping lane time =
+    log := (lane, time) :: !log;
+    if time < 95.0 then
+      Des.Shard.schedule_cross shard ~src:lane ~dst:(1 - lane)
+        ~time_ms:(time +. 10.0)
+        (fun () -> ping (1 - lane) (time +. 10.0))
+  in
+  Des.Shard.schedule_cross shard ~src:0 ~dst:0 ~time_ms:0.0 (fun () -> ping 0 0.0);
+  Des.Shard.run shard ~until_ms:200.0;
+  let expected = List.init 11 (fun i -> (i mod 2, float_of_int (10 * i))) in
+  check bool "alternating cross-lane deliveries in time order" true
+    (List.rev !log = expected);
+  check bool "barrier clock ends at the limit" true (Des.Shard.now shard = 200.0)
+
+let shard_horizon_guard () =
+  (* The conservative-lookahead safety contract: a mid-window cross send
+     below the window horizon would race a lane that may already have
+     drained past it, so it must be rejected loudly, and globals may only
+     be armed between windows. *)
+  let shard = Des.Shard.create ~lanes:2 ~lookahead_ms:10.0 () in
+  let cross_rejected = ref false and global_rejected = ref false in
+  Des.Shard.schedule_cross shard ~src:0 ~dst:0 ~time_ms:5.0 (fun () ->
+      (try Des.Shard.schedule_cross shard ~src:0 ~dst:1 ~time_ms:6.0 (fun () -> ())
+       with Invalid_argument _ -> cross_rejected := true);
+      (try Des.Shard.schedule_global shard ~time_ms:50.0 (fun () -> ())
+       with Invalid_argument _ -> global_rejected := true));
+  Des.Shard.run shard ~until_ms:100.0;
+  check bool "below-horizon cross send rejected" true !cross_rejected;
+  check bool "mid-window global rejected" true !global_rejected
+
+let shard_global_barrier_aligns_clocks () =
+  let shard = Des.Shard.create ~lanes:3 ~lookahead_ms:5.0 () in
+  for lane = 0 to 2 do
+    for k = 1 to 9 do
+      Des.Shard.schedule_cross shard ~src:lane ~dst:lane
+        ~time_ms:(float_of_int ((k * 7) + lane))
+        (fun () -> ())
+    done
+  done;
+  let observed = ref [] in
+  Des.Shard.schedule_global shard ~time_ms:33.0 (fun () ->
+      observed := Array.to_list (Array.map Des.Engine.now (Des.Shard.engines shard)));
+  Des.Shard.run shard ~until_ms:100.0;
+  check bool "every lane clock agrees when the global runs" true
+    (!observed = [ 33.0; 33.0; 33.0 ]);
+  check bool "no window open afterwards" false (Des.Shard.in_window shard)
+
+let shard_fleet_matches_sequential () =
+  (* The worker-domain count moves wall time only: the same cascade run
+     with 1 and 4 domains must produce identical per-lane logs. Each lane
+     writes only its own slot, so the logs are race-free under the fleet;
+     the window barriers and the final joins publish them. *)
+  let lanes = 4 in
+  let run workers =
+    let shard = Des.Shard.create ~seed:11L ~workers ~lanes ~lookahead_ms:4.0 () in
+    let logs = Array.init lanes (fun _ -> ref []) in
+    let rec hop lane time ttl =
+      logs.(lane) := (time, ttl) :: !(logs.(lane));
+      if ttl > 0 then begin
+        let dst = (lane + ttl) mod lanes in
+        Des.Shard.schedule_cross shard ~src:lane ~dst ~time_ms:(time +. 4.0)
+          (fun () -> hop dst (time +. 4.0) (ttl - 1));
+        Des.Engine.schedule (Des.Shard.engine shard lane) ~delay_ms:1.0 (fun () ->
+            logs.(lane) := (time +. 1.0, -ttl) :: !(logs.(lane)))
+      end
+    in
+    for lane = 0 to lanes - 1 do
+      for k = 0 to 7 do
+        let start = float_of_int ((lane * 3) + (k * 5)) in
+        Des.Shard.schedule_cross shard ~src:lane ~dst:lane ~time_ms:start
+          (fun () -> hop lane start (2 + ((lane + k) mod 3)))
+      done
+    done;
+    Des.Shard.run shard ~until_ms:500.0;
+    Array.map (fun log -> List.rev !log) logs
+  in
+  check bool "fleet run identical to sequential" true (run 1 = run 4)
+
+let shard_lookahead_monotone_property =
+  (* Conservative-lookahead soundness is monotone: any lookahead that is
+     still a lower bound on the cross-lane delivery delay yields the same
+     per-lane timelines — only the window widths change. (The order in
+     which a sequential drain interleaves *different* lanes within a
+     window is a scheduling artifact, invisible to the simulation: lanes
+     observe each other through messages only, and those land on the
+     destination's own timeline.) Random cascades whose cross messages
+     travel exactly 20ms ahead must log identically at L = 1, 7 and 20. *)
+  QCheck.Test.make ~count:60 ~name:"shard: lookahead-horizon monotonicity"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 20)
+        (triple (int_bound 2) (int_bound 40) (int_bound 3)))
+    (fun seeds ->
+      let lanes = 3 in
+      let run lookahead_ms =
+        let shard = Des.Shard.create ~lanes ~lookahead_ms () in
+        let logs = Array.init lanes (fun _ -> ref []) in
+        let rec hop lane time ttl =
+          logs.(lane) := (time, ttl) :: !(logs.(lane));
+          if ttl > 0 then
+            let dst = (lane + 1) mod lanes in
+            Des.Shard.schedule_cross shard ~src:lane ~dst ~time_ms:(time +. 20.0)
+              (fun () -> hop dst (time +. 20.0) (ttl - 1))
+        in
+        List.iter
+          (fun (lane, start, ttl) ->
+            let start = float_of_int start in
+            Des.Shard.schedule_cross shard ~src:lane ~dst:lane ~time_ms:start
+              (fun () -> hop lane start ttl))
+          seeds;
+        Des.Shard.run shard ~until_ms:300.0;
+        Array.map (fun log -> List.rev !log) logs
+      in
+      let reference = run 20.0 in
+      run 7.0 = reference && run 1.0 = reference)
+
+let shard_cross_delivery_order_property =
+  (* Deliveries buffered during one window flush in (dst, src, append)
+     order, so a destination executes same-time messages in source order,
+     then emission order — a pure function of the simulation, never of
+     domain scheduling. The model predicts the exact sequence. *)
+  QCheck.Test.make ~count:100 ~name:"shard: cross-domain delivery ordering"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 25)
+        (triple (int_bound 2) (int_bound 2) (int_bound 1)))
+    (fun messages ->
+      let lanes = 3 in
+      let shard = Des.Shard.create ~lanes ~lookahead_ms:10.0 () in
+      let tagged = List.mapi (fun i (src, dst, late) -> (i, src, dst, late)) messages in
+      let delivery_ms late = if late = 1 then 150.0 else 100.0 in
+      let logs = Array.make lanes [] in
+      (* One emitter event per source lane at t=0 sends that source's
+         messages in list order; all three emitters share one window. *)
+      for src = 0 to lanes - 1 do
+        Des.Shard.schedule_cross shard ~src ~dst:src ~time_ms:0.0 (fun () ->
+            List.iter
+              (fun (tag, msg_src, dst, late) ->
+                if msg_src = src then
+                  Des.Shard.schedule_cross shard ~src ~dst
+                    ~time_ms:(delivery_ms late) (fun () ->
+                      logs.(dst) <- tag :: logs.(dst)))
+              tagged)
+      done;
+      Des.Shard.run shard ~until_ms:200.0;
+      let expected dst =
+        let at time =
+          List.concat_map
+            (fun src ->
+              List.filter_map
+                (fun (tag, msg_src, msg_dst, late) ->
+                  if msg_src = src && msg_dst = dst && delivery_ms late = time then
+                    Some tag
+                  else None)
+                tagged)
+            [ 0; 1; 2 ]
+        in
+        at 100.0 @ at 150.0
+      in
+      List.for_all (fun dst -> List.rev logs.(dst) = expected dst) [ 0; 1; 2 ])
+
 let suite =
   [
     Alcotest.test_case "rng: deterministic by seed" `Quick rng_deterministic;
@@ -315,6 +511,7 @@ let suite =
     Alcotest.test_case "rng: shuffle permutes" `Quick rng_shuffle_permutes;
     Alcotest.test_case "pheap: sorted drain" `Quick pheap_ordering;
     Alcotest.test_case "pheap: fifo on ties" `Quick pheap_fifo_ties;
+    Alcotest.test_case "pheap: drain_below / drain_to" `Quick pheap_drain_below_and_to;
     Alcotest.test_case "pheap: pop_unsafe/min_key drain" `Quick pheap_pop_unsafe_matches_pop;
     QCheck_alcotest.to_alcotest pheap_property;
     QCheck_alcotest.to_alcotest pheap_interleaving_property;
@@ -328,4 +525,13 @@ let suite =
     Alcotest.test_case "engine: past schedule clamped" `Quick engine_past_absolute_time_clamped;
     Alcotest.test_case "engine: obs-off drain allocation" `Quick
       engine_untraced_drain_no_extra_allocation;
+    Alcotest.test_case "shard: parameter validation" `Quick shard_validation;
+    Alcotest.test_case "shard: cross-lane ping-pong" `Quick shard_cross_lane_ping_pong;
+    Alcotest.test_case "shard: horizon guard" `Quick shard_horizon_guard;
+    Alcotest.test_case "shard: global barrier aligns clocks" `Quick
+      shard_global_barrier_aligns_clocks;
+    Alcotest.test_case "shard: fleet matches sequential" `Quick
+      shard_fleet_matches_sequential;
+    QCheck_alcotest.to_alcotest shard_lookahead_monotone_property;
+    QCheck_alcotest.to_alcotest shard_cross_delivery_order_property;
   ]

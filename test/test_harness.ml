@@ -189,6 +189,31 @@ let registry_parallel_run_deterministic () =
   check bool "produced output" true (String.length sequential > 200);
   check Alcotest.string "parallel run byte-identical to --jobs 1" sequential parallel
 
+let with_engine_jobs engine_jobs f =
+  Harness.Pool.set_engine_jobs engine_jobs;
+  Fun.protect ~finally:(fun () -> Harness.Pool.set_engine_jobs 0) f
+
+let registry_engine_jobs_sweep_deterministic () =
+  (* The region-sharded simulation contract: the same experiment renders
+     byte-identically at --engine-jobs 1, 2 and 4 — the worker-domain
+     count moves wall time only, never results. *)
+  let ctx = small_ctx () in
+  let experiment =
+    match Harness.Registry.find "table2b" with
+    | Some e -> e
+    | None -> Alcotest.fail "table2b not registered"
+  in
+  let render engine_jobs =
+    with_engine_jobs engine_jobs (fun () ->
+        match Harness.Registry.run_many ctx ~quick:true [ experiment ] with
+        | [ r ] -> r.Harness.Registry.output
+        | _ -> Alcotest.fail "expected exactly one rendered experiment")
+  in
+  let one = render 1 in
+  check bool "produced output" true (String.length one > 200);
+  check Alcotest.string "engine-jobs 2 byte-identical" one (render 2);
+  check Alcotest.string "engine-jobs 4 byte-identical" one (render 4)
+
 let suite =
   [
     Alcotest.test_case "driver: counts commits" `Quick driver_counts_commits;
@@ -205,4 +230,6 @@ let suite =
     Alcotest.test_case "pool: exception propagation" `Quick pool_map_reraises;
     Alcotest.test_case "registry: parallel run deterministic" `Slow
       registry_parallel_run_deterministic;
+    Alcotest.test_case "registry: engine-jobs sweep deterministic" `Slow
+      registry_engine_jobs_sweep_deterministic;
   ]
