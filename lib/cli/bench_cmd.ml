@@ -61,6 +61,60 @@ let micro_benchmarks () =
     Test.make ~name:"lstm.predict_next(w=12,h=8)"
       (Staged.stage (fun () -> ignore (Ml.Lstm.predict_next model series)))
   in
+  (* The sharded entity arena at gateway-fleet scale: a million registered
+     keys, a Zipfian-shaped access mix of hot head and cold tail. Lookups
+     and updates must stay flat in the fleet size (hash into a shard) and
+     iteration must stay linear — these are the operations every request
+     and every batch-scope freeze pays. The ~100 MB arena is allocated per
+     test and compacted away afterwards (make_with_resource): kept resident
+     it inflates every later allocating benchmark's numbers, since each
+     minor collection then drags a major-heap slice over the arena. *)
+  let fleet = 1_000_000 in
+  let fleet_name = Printf.sprintf "key%07d" in
+  let allocate_arena () =
+    let map : unit Samya.Entity_map.t =
+      Samya.Entity_map.create ~shards:256 ~capacity:fleet ()
+    in
+    for r = 0 to fleet - 1 do
+      ignore (Samya.Entity_map.register map ~entity:(fleet_name r) ~tokens:10)
+    done;
+    (* 512 hot-head keys and 512 spread across the cold tail. *)
+    let mix =
+      Array.init 1_024 (fun i ->
+          fleet_name (if i < 512 then i else (i - 512) * (fleet / 512)))
+    in
+    (map, mix)
+  in
+  let free_arena _ = Gc.compact () in
+  let entity_find =
+    Test.make_with_resource ~name:"entity_map.find(1M keys,hot/cold mix)"
+      Test.uniq ~allocate:allocate_arena ~free:free_arena
+      (Staged.stage (fun (arena, mix) ->
+           Array.iter (fun key -> ignore (Samya.Entity_map.find arena key)) mix))
+  in
+  let entity_update =
+    Test.make_with_resource ~name:"entity_map.update(1M keys,hot/cold mix)"
+      Test.uniq ~allocate:allocate_arena ~free:free_arena
+      (Staged.stage (fun (arena, mix) ->
+           Array.iter
+             (fun key ->
+               match Samya.Entity_map.find arena key with
+               | Some core ->
+                   core.Samya.Entity_map.tokens_left <-
+                     core.Samya.Entity_map.tokens_left lxor 1
+               | None -> assert false)
+             mix))
+  in
+  let entity_iterate =
+    Test.make_with_resource ~name:"entity_map.iterate(1M keys)" Test.uniq
+      ~allocate:allocate_arena ~free:free_arena
+      (Staged.stage (fun (arena, _mix) ->
+           let alive = ref 0 in
+           Samya.Entity_map.iter
+             (fun core -> if core.Samya.Entity_map.tokens_left > 0 then incr alive)
+             arena;
+           ignore !alive))
+  in
   (* Instrumentation-off drains: the observability layer must not put
      allocation or measurable time on the DES hot path when no sink is
      subscribed (the PR-1 Pheap optimisation budget, ~160 µs/run). *)
@@ -86,7 +140,18 @@ let micro_benchmarks () =
   in
   let grouped =
     Test.make_grouped ~name:"core"
-      [ realloc; heap; heap_drain; matmul; lstm; engine_plain; engine_labelled ]
+      [
+        realloc;
+        heap;
+        heap_drain;
+        matmul;
+        lstm;
+        entity_find;
+        entity_update;
+        entity_iterate;
+        engine_plain;
+        engine_labelled;
+      ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]

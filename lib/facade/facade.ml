@@ -24,6 +24,11 @@ type t = {
     reply:(Samya.Types.response -> unit) ->
     unit;
   read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
   crash_region : Geonet.Region.t -> unit;
   crash_site : int -> unit;
   recover_site : int -> unit;
@@ -293,6 +298,7 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
       (fun ~region ~amount ~reply ->
         submit ~region (Samya.Types.Release { entity; amount }) ~reply);
     read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+    submit;
     crash_region =
       (fun region ->
         List.iter (Samya.Cluster.crash_site cluster) (sites_in regions region));

@@ -10,7 +10,10 @@
     record only; nothing downstream pattern-matches on system names.
 
     The facade is entity-scoped: builders bind the benchmark entity at
-    construction, so the verbs speak amounts and regions only.
+    construction, so the verbs speak amounts and regions only. Since the
+    multi-entity core the record also carries a generic [submit] verb
+    whose request names its own entity — the path the gateway-fleet
+    workloads use against a bulk-registered {!Samya.Cluster}.
 
     This module also hosts the generic observability wiring
     ({!engine_tracer}, {!network_tracer}) and the Samya adapter. Baseline
@@ -56,6 +59,13 @@ type t = {
     reply:(Samya.Types.response -> unit) ->
     unit;
   read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
+      (** generic verb carrying a full request — the multi-entity path:
+          the request names its own entity instead of the bound one *)
   crash_region : Geonet.Region.t -> unit;
   crash_site : int -> unit;
   recover_site : int -> unit;

@@ -18,6 +18,10 @@ type spec = {
   slo : Obs.Slo.t option;
       (* when set, every counted reply feeds the online SLO monitor:
          commits with their latency, rejections/unavailables as aborts *)
+  track_entities : bool;
+      (* when set, counted replies of entity-named requests additionally
+         accumulate per-entity outcome counts and latency sums (the
+         gateway-fleet per-key attribution) *)
 }
 
 let default_spec ~client_regions ~requests ~duration_ms =
@@ -33,7 +37,16 @@ let default_spec ~client_regions ~requests ~duration_ms =
     grant_driven_release_ms = None;
     obs = None;
     slo = None;
+    track_entities = false;
   }
+
+type entity_stats = {
+  e_committed : int;
+  e_rejected : int;
+  e_unavailable : int;
+  e_latency_sum_ms : float;
+  e_latency_max_ms : float;
+}
 
 type result = {
   committed : int;
@@ -43,6 +56,7 @@ type result = {
   latencies : Stats.Sample_set.t;
   throughput : Stats.Throughput.t;
   duration_ms : float;
+  by_entity : (string * entity_stats) list;
 }
 
 (* Client lanes live above the site lanes in the trace (tid 1000+). *)
@@ -60,6 +74,14 @@ let span_name = function
    lanes, so each client accumulates into its own slot and the slots are
    merged in client order after the run — an order that is a function of
    the simulation alone, never of the domain count. *)
+type ent_acc = {
+  mutable ec : int;
+  mutable er : int;
+  mutable eu : int;
+  mutable elsum : float;
+  mutable elmax : float;
+}
+
 type acc = {
   slots : int;
   lat : Stats.Sample_set.t array;
@@ -69,6 +91,10 @@ type acc = {
   unavailable : int array;
   submitted : int array;
   replied : int array;
+  ents : (string, ent_acc) Hashtbl.t array;
+  (* deferred SLO events on a sharded system, newest first per slot:
+     (reply time rel. t0, commit latency, was a commit) *)
+  slo_buf : (float * float * bool) list ref array;
 }
 
 let acc_create ~lanes ~n_clients ~window_ms =
@@ -82,7 +108,17 @@ let acc_create ~lanes ~n_clients ~window_ms =
     unavailable = Array.make slots 0;
     submitted = Array.make slots 0;
     replied = Array.make slots 0;
+    ents = Array.init slots (fun _ -> Hashtbl.create 16);
+    slo_buf = Array.init slots (fun _ -> ref []);
   }
+
+let ent_for tbl entity =
+  match Hashtbl.find_opt tbl entity with
+  | Some e -> e
+  | None ->
+      let e = { ec = 0; er = 0; eu = 0; elsum = 0.0; elmax = 0.0 } in
+      Hashtbl.add tbl entity e;
+      e
 
 let acc_slot acc client = if acc.slots = 1 then 0 else client
 
@@ -104,6 +140,35 @@ let acc_result acc ~duration_ms : result =
       merged
     end
   in
+  (* Per-entity merge: slots in slot order, each slot's entries in entity
+     order — a deterministic order whatever the hash-table iteration
+     happens to be, so sharded runs stay reproducible. *)
+  let by_entity =
+    let merged : (string, ent_acc) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun tbl ->
+        Hashtbl.fold (fun entity e l -> (entity, e) :: l) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (entity, (e : ent_acc)) ->
+               let m = ent_for merged entity in
+               m.ec <- m.ec + e.ec;
+               m.er <- m.er + e.er;
+               m.eu <- m.eu + e.eu;
+               m.elsum <- m.elsum +. e.elsum;
+               if e.elmax > m.elmax then m.elmax <- e.elmax))
+      acc.ents;
+    Hashtbl.fold (fun entity m l -> (entity, m) :: l) merged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (entity, (m : ent_acc)) ->
+           ( entity,
+             {
+               e_committed = m.ec;
+               e_rejected = m.er;
+               e_unavailable = m.eu;
+               e_latency_sum_ms = m.elsum;
+               e_latency_max_ms = m.elmax;
+             } ))
+  in
   {
     committed = sum acc.committed;
     rejected = sum acc.rejected;
@@ -112,6 +177,7 @@ let acc_result acc ~duration_ms : result =
     latencies;
     throughput;
     duration_ms;
+    by_entity;
   }
 
 let run ~(t_system : Systems.facade) spec =
@@ -201,28 +267,64 @@ let run ~(t_system : Systems.facade) spec =
               Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0)
           | Samya.Types.Rejected -> acc.rejected.(s) <- acc.rejected.(s) + 1
           | Samya.Types.Unavailable -> acc.unavailable.(s) <- acc.unavailable.(s) + 1);
+          if spec.track_entities && request.entity <> "" then begin
+            let e = ent_for acc.ents.(s) request.entity in
+            match response with
+            | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                e.ec <- e.ec + 1;
+                let l = now -. sent_at in
+                e.elsum <- e.elsum +. l;
+                if l > e.elmax then e.elmax <- l
+            | Samya.Types.Rejected -> e.er <- e.er + 1
+            | Samya.Types.Unavailable -> e.eu <- e.eu + 1
+          end;
           match spec.slo with
           | None -> ()
-          | Some slo -> (
-              (* The SLO monitor is one shared accumulator: specs that set
-                 it run on the legacy backend (see Exp_slo/Exp_trace),
-                 where reply order is globally sequential. *)
-              match response with
-              | Samya.Types.Granted | Samya.Types.Read_result _ ->
+          | Some slo ->
+              let committed =
+                match response with
+                | Samya.Types.Granted | Samya.Types.Read_result _ -> true
+                | Samya.Types.Rejected | Samya.Types.Unavailable -> false
+              in
+              if acc.slots = 1 then
+                (* Legacy backend: reply order is globally sequential, so
+                   the shared monitor is fed online (the historical path,
+                   byte-identical to earlier releases). *)
+                if committed then
                   Obs.Slo.commit slo ~now_ms:(now -. t0)
                     ~latency_ms:(now -. sent_at)
-              | Samya.Types.Rejected | Samya.Types.Unavailable ->
-                  Obs.Slo.abort slo ~now_ms:(now -. t0))
+                else Obs.Slo.abort slo ~now_ms:(now -. t0)
+              else
+                (* Sharded backend: lanes reply concurrently, so events are
+                   buffered per slot and replayed in merged time order
+                   after the run — deterministic at any domain count. *)
+                acc.slo_buf.(s) :=
+                  (now -. t0, now -. sent_at, committed) :: !(acc.slo_buf.(s))
         end
       in
       let region = spec.client_regions.(client) in
       let submit ~reply =
-        match request.kind with
-        | Trace.Workload.Acquire ->
-            t_system.Systems.acquire ~region ~amount:request.amount ~reply
-        | Trace.Workload.Release ->
-            t_system.Systems.release ~region ~amount:request.amount ~reply
-        | Trace.Workload.Read -> t_system.Systems.read ~region ~reply
+        if request.entity <> "" then
+          (* Multi-entity path: the request names its own key; the facade's
+             generic verb carries it to the cluster untranslated. *)
+          let r =
+            match request.kind with
+            | Trace.Workload.Acquire ->
+                Samya.Types.Acquire
+                  { entity = request.entity; amount = request.amount }
+            | Trace.Workload.Release ->
+                Samya.Types.Release
+                  { entity = request.entity; amount = request.amount }
+            | Trace.Workload.Read -> Samya.Types.Read { entity = request.entity }
+          in
+          t_system.Systems.submit ~region r ~reply
+        else
+          match request.kind with
+          | Trace.Workload.Acquire ->
+              t_system.Systems.acquire ~region ~amount:request.amount ~reply
+          | Trace.Workload.Release ->
+              t_system.Systems.release ~region ~amount:request.amount ~reply
+          | Trace.Workload.Read -> t_system.Systems.read ~region ~reply
       in
       match instrument with
       | None -> submit ~reply
@@ -237,7 +339,13 @@ let run ~(t_system : Systems.facade) spec =
           let trace = Des.Engine.fresh_id engine in
           Obs.Causal.record sink.Obs.Sink.causal
             (Obs.Causal.Submitted
-               { trace; client; kind = span_name request.kind; ts = sent_at });
+               {
+                 trace;
+                 client;
+                 kind = span_name request.kind;
+                 entity = request.entity;
+                 ts = sent_at;
+               });
           let reply response =
             let now = Des.Engine.now engine in
             let outcome =
@@ -312,6 +420,32 @@ let run ~(t_system : Systems.facade) spec =
       per_client
   end;
   t_system.Systems.run_until (t0 +. spec.duration_ms +. spec.drain_ms);
+  (match spec.slo with
+  | Some slo when acc.slots > 1 ->
+      (* Replay the buffered SLO events in (time, slot, arrival) order —
+         a pure function of the simulation, never of the domain count. *)
+      let events = ref [] in
+      Array.iteri
+        (fun s buf ->
+          List.iteri
+            (fun i (t, lat, committed) -> events := (t, s, i, lat, committed) :: !events)
+            (List.rev !buf))
+        acc.slo_buf;
+      let arr = Array.of_list !events in
+      Array.sort
+        (fun (ta, sa, ia, _, _) (tb, sb, ib, _, _) ->
+          let c = Float.compare ta tb in
+          if c <> 0 then c
+          else
+            let c = Int.compare sa sb in
+            if c <> 0 then c else Int.compare ia ib)
+        arr;
+      Array.iter
+        (fun (t, _, _, lat, committed) ->
+          if committed then Obs.Slo.commit slo ~now_ms:t ~latency_ms:lat
+          else Obs.Slo.abort slo ~now_ms:t)
+        arr
+  | _ -> ());
   acc_result acc ~duration_ms:spec.duration_ms
 
 let average_tps (result : result) =

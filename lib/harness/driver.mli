@@ -36,12 +36,28 @@ type spec = {
           trace root on every request so the system's work on its behalf
           is attributable (default [None]) *)
   slo : Obs.Slo.t option;
-      (** when set, every counted reply feeds the online SLO monitor —
-          commits with their client-measured latency, rejections and
-          unavailables as aborts (default [None]) *)
+      (** when set, every counted reply feeds the SLO monitor — commits
+          with their client-measured latency, rejections and unavailables
+          as aborts. On the legacy backend the monitor is fed online; on a
+          sharded system events buffer per client and replay in merged
+          (time, client) order after the run, so the report is identical
+          at every [--engine-jobs] setting (default [None]) *)
+  track_entities : bool;
+      (** when set, counted replies of entity-named requests (the stream's
+          [entity <> ""]) additionally accumulate per-entity outcome counts
+          and latency aggregates into [result.by_entity] — the
+          gateway-fleet per-key attribution (default [false]) *)
 }
 
 val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec
+
+type entity_stats = {
+  e_committed : int;
+  e_rejected : int;
+  e_unavailable : int;
+  e_latency_sum_ms : float;  (** committed requests only *)
+  e_latency_max_ms : float;
+}
 
 type result = {
   committed : int;
@@ -51,6 +67,10 @@ type result = {
   latencies : Stats.Sample_set.t;  (** committed requests only, ms *)
   throughput : Stats.Throughput.t;
   duration_ms : float;
+  by_entity : (string * entity_stats) list;
+      (** sorted by entity name; empty unless [spec.track_entities] — the
+          merge across client slots is deterministic (slot order, then
+          entity order), so sharded runs reproduce byte-identically *)
 }
 
 val run : t_system:Systems.facade -> spec -> result

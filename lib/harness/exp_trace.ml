@@ -7,7 +7,7 @@ type capture = {
 }
 
 (* Accept the registry spellings of the headline run too. *)
-let experiments = [ "headline"; "table2b"; "fig3b"; "prediction" ]
+let experiments = [ "headline"; "table2b"; "fig3b"; "prediction"; "gateway" ]
 
 (* The fig3f pair — prediction on vs off — captured through the same
    facade/obs path as the headline systems, so the ablation is explainable
@@ -68,7 +68,22 @@ let capture ctx ~quick ~builders =
     builders
 
 let run ctx ~quick ~experiment =
-  if experiment = "prediction" then
+  if experiment = "gateway" then begin
+    (* The multi-entity fleet, captured through the same obs/SLO path.
+       [engine_jobs] pinned like the other trace captures (see above). *)
+    let g = Exp_gateway.capture ~engine_jobs:0 ~observe:true ~quick () in
+    Ok
+      [
+        {
+          label = "Samya gateway fleet";
+          sink = Option.get g.Exp_gateway.sink;
+          slo = g.Exp_gateway.slo;
+          result = g.Exp_gateway.result;
+          stats = g.Exp_gateway.stats;
+        };
+      ]
+  end
+  else if experiment = "prediction" then
     Ok (capture ctx ~quick ~builders:(prediction_builders ctx))
   else if List.mem experiment experiments then
     Ok (capture ctx ~quick ~builders:(Exp_headline.builders ~engine_jobs:0 ctx))
@@ -188,7 +203,12 @@ let explain fmt ~slowest captures =
                  in
                  [
                    string_of_int b.Obs.Critical_path.trace;
-                   b.Obs.Critical_path.kind;
+                   (* entity-named requests (the gateway fleet) show their
+                      key; the bound-entity experiments stay as before *)
+                   (if b.Obs.Critical_path.entity = "" then
+                      b.Obs.Critical_path.kind
+                    else
+                      b.Obs.Critical_path.kind ^ "@" ^ b.Obs.Critical_path.entity);
                    b.Obs.Critical_path.outcome;
                    Report.ms b.Obs.Critical_path.wall_ms;
                    path;

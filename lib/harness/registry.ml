@@ -85,6 +85,12 @@ let all =
       description = "multi-seed nemesis soak with crash-amnesia recovery + auditor";
       run = (fun ctx ~quick fmt -> Exp_chaos.run ctx ~quick fmt);
     };
+    {
+      id = "gateway";
+      paper_artifact = "multi-entity ext.";
+      description = "million-key gateway fleet: Zipfian load over batched Avantan";
+      run = (fun ctx ~quick fmt -> Exp_gateway.run ctx ~quick fmt);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -27,6 +27,11 @@ type facade = Facade.t = {
     reply:(Samya.Types.response -> unit) ->
     unit;
   read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
   crash_region : Geonet.Region.t -> unit;
   crash_site : int -> unit;
   recover_site : int -> unit;
@@ -86,6 +91,7 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
       (fun ~region ~amount ~reply ->
         submit ~region (Samya.Types.Release { entity; amount }) ~reply);
     read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+    submit;
     crash_region = (fun region -> List.iter crash_site (sites_in regions region));
     crash_site;
     recover_site;

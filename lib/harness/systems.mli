@@ -33,6 +33,11 @@ type facade = Facade.t = {
     reply:(Samya.Types.response -> unit) ->
     unit;
   read : region:Geonet.Region.t -> reply:(Samya.Types.response -> unit) -> unit;
+  submit :
+    region:Geonet.Region.t ->
+    Samya.Types.request ->
+    reply:(Samya.Types.response -> unit) ->
+    unit;
   crash_region : Geonet.Region.t -> unit;
       (** Crash every server in the region (no-op for systems with no
           replica there). *)

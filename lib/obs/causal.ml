@@ -1,5 +1,11 @@
 type event =
-  | Submitted of { trace : int; client : int; kind : string; ts : float }
+  | Submitted of {
+      trace : int;
+      client : int;
+      kind : string;
+      entity : string;
+      ts : float;
+    }
   | Accepted of { trace : int; site : int; ts : float }
   | Enqueued of { trace : int; site : int; label : string; ts : float }
   | Dequeued of { trace : int; site : int; ts : float }

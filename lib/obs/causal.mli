@@ -13,8 +13,16 @@
     byte-reproducible like the other recorders. *)
 
 type event =
-  | Submitted of { trace : int; client : int; kind : string; ts : float }
-      (** root stamped by the workload driver; [kind] is the verb *)
+  | Submitted of {
+      trace : int;
+      client : int;
+      kind : string;
+      entity : string;
+      ts : float;
+    }
+      (** root stamped by the workload driver; [kind] is the verb and
+          [entity] the aggregate object it targets ([""] when the driven
+          system serves a single implicit entity) *)
   | Accepted of { trace : int; site : int; ts : float }
       (** the request reached its serving site (client WAN leg done) *)
   | Enqueued of { trace : int; site : int; label : string; ts : float }

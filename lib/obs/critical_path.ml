@@ -16,6 +16,7 @@ type breakdown = {
   trace : int;
   client : int;
   kind : string;
+  entity : string;
   outcome : string;
   submitted_ms : float;
   wall_ms : float;
@@ -44,6 +45,7 @@ let wait_component = function
 type acc = {
   mutable client : int;
   mutable kind : string;
+  mutable entity : string;
   mutable t0 : float;
   mutable has_submit : bool;
   mutable outcome : string option;
@@ -58,6 +60,7 @@ let fresh_acc () =
   {
     client = -1;
     kind = "";
+    entity = "";
     t0 = 0.0;
     has_submit = false;
     outcome = None;
@@ -81,10 +84,11 @@ let collect events =
   List.iter
     (fun (event : Causal.event) ->
       match event with
-      | Causal.Submitted { trace; client; kind; ts } ->
+      | Causal.Submitted { trace; client; kind; entity; ts } ->
           let a = acc_for table trace in
           a.client <- client;
           a.kind <- kind;
+          a.entity <- entity;
           a.t0 <- ts;
           a.has_submit <- true
       | Causal.Accepted _ -> ()
@@ -239,6 +243,7 @@ let analyze events =
               trace;
               client = a.client;
               kind = a.kind;
+              entity = a.entity;
               outcome;
               submitted_ms = t0;
               wall_ms = wall;

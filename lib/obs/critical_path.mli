@@ -19,6 +19,7 @@ type breakdown = {
   trace : int;
   client : int;
   kind : string;  (** request verb, from the [Submitted] root *)
+  entity : string;  (** target entity from the root; [""] = implicit *)
   outcome : string;
   submitted_ms : float;
   wall_ms : float;

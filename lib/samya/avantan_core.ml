@@ -31,8 +31,9 @@ type env = {
   n_sites : int;
   send : int -> Protocol.msg -> unit;
   set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-  refresh_wanted : unit -> unit;
+  local_state : scope:string list -> Protocol.contrib list;
+  refresh_wanted : scope:string list -> unit;
+  my_scope : unit -> string list;
   on_outcome : Protocol.outcome -> unit;
   on_event : event -> unit;
   persist : unit -> unit;
@@ -46,7 +47,7 @@ type env = {
    stored in the same form. Policies without carried accept state leave
    the accept fields at their zero values. *)
 type report = {
-  init_val : Protocol.site_entry;
+  contribs : Protocol.contrib list;
   r_accept_val : Protocol.value option;
   r_accept_num : Ballot.t;
   r_decision : bool;
@@ -65,7 +66,7 @@ type policy = {
   discard_stragglers : bool;
   cohort_recovery : [ `Rerun_leader | `Interrogate ];
   construct_ready :
-    n_sites:int -> own:Protocol.site_entry -> reports:(int, report) Hashtbl.t -> bool;
+    n_sites:int -> own:Protocol.contrib list -> reports:(int, report) Hashtbl.t -> bool;
   salvage_on_timeout : reports:(int, report) Hashtbl.t -> bool;
   decide_ready :
     n_sites:int -> participants:int list -> acks:(int, unit) Hashtbl.t -> bool;
@@ -127,6 +128,10 @@ type t = {
   pol : policy;
   mutable ballot : Ballot.t;
   mutable phase : phase;
+  mutable scope : string list;
+      (* entities piggybacked on the current instance: frozen from
+         [env.my_scope] when we lead, adopted from Election-GetValue when
+         we join; [[]] on per-entity machines (and between instances) *)
   mutable exposed : bool;
       (* exposure-based participation (carried-accept-state policies): true
          from the moment our InitVal leaves this site until the instance
@@ -159,6 +164,7 @@ let create ~policy env =
     pol = policy;
     ballot = Ballot.zero env.self;
     phase = Idle;
+    scope = [];
     exposed = false;
     in_recovery = false;
     accept_val = None;
@@ -254,6 +260,7 @@ let conclude t outcome =
   let rounds = t.rounds in
   stop_timer t;
   t.phase <- Idle;
+  t.scope <- [];
   t.exposed <- false;
   t.in_recovery <- false;
   t.accept_val <- None;
@@ -266,7 +273,7 @@ let conclude t outcome =
         (Decided
            {
              origin = value.Protocol.origin;
-             participants = List.length value.Protocol.entries;
+             participants = List.length (Protocol.participants value);
              led;
              rounds;
            })
@@ -308,18 +315,37 @@ let apply_decision t (value : Protocol.value) =
 let my_report t =
   if t.pol.carry_accept_state then
     {
-      init_val = t.env.local_state ();
+      contribs = t.env.local_state ~scope:t.scope;
       r_accept_val = t.accept_val;
       r_accept_num = t.accept_num;
       r_decision = t.decision;
     }
   else
     {
-      init_val = t.env.local_state ();
+      contribs = t.env.local_state ~scope:t.scope;
       r_accept_val = None;
       r_accept_num = Ballot.zero t.env.self;
       r_decision = false;
     }
+
+(* Fresh construction: group the collected InitVals by entity, each group's
+   entries deterministically ordered by (site, entry). With a single entity
+   this degenerates to the old flat per-site concatenation. *)
+let fresh_value origin contribs_by_site =
+  let triples =
+    List.concat_map
+      (fun (site, cs) -> List.map (fun (entity, entry) -> (entity, (site, entry))) cs)
+      contribs_by_site
+    |> List.sort compare
+  in
+  let rec gather = function
+    | [] -> []
+    | (entity, first) :: rest ->
+        let same, others = List.partition (fun (e, _) -> String.equal e entity) rest in
+        let pairs = first :: List.map snd same in
+        { Protocol.g_entity = entity; g_entries = List.map snd pairs } :: gather others
+  in
+  Protocol.make_batched ~origin (gather triples)
 
 (* Value construction over the collected reports. With carried accept
    state this is Algorithm 1 lines 15-23 (decided value > highest-ballot
@@ -347,28 +373,24 @@ let construct_value t origin responses =
         match best_accepted with
         | Some (_, v) -> (v, false)
         | None ->
-            (* Fresh construction: concatenate the InitVals, one per site,
-               deterministically ordered. *)
-            let entries =
-              Hashtbl.fold (fun site r acc -> (site, r.init_val) :: acc) responses []
-              |> List.sort compare |> List.map snd
-            in
-            (Protocol.make_value ~origin entries, false))
+            ( fresh_value origin
+                (Hashtbl.fold (fun site r acc -> (site, r.contribs) :: acc) responses []),
+              false ))
   end
-  else begin
-    let entries =
-      (t.env.self, t.env.local_state ())
-      :: Hashtbl.fold (fun site r acc -> (site, r.init_val) :: acc) responses []
-      |> List.sort compare |> List.map snd
-    in
-    (Protocol.make_value ~origin entries, false)
-  end
+  else
+    ( fresh_value origin
+        ((t.env.self, t.env.local_state ~scope:t.scope)
+        :: Hashtbl.fold (fun site r acc -> (site, r.contribs) :: acc) responses []),
+      false )
 
 let rec start t =
   if not (participating t) then begin
     t.ballot <- Ballot.next t.ballot ~site:t.env.self;
     t.s_led_started <- t.s_led_started + 1;
     t.rounds <- t.rounds + 1;
+    (* Freeze the instance scope on the first attempt; retries within the
+       instance (recovery re-runs) keep soliciting the same entities. *)
+    if t.scope = [] then t.scope <- t.env.my_scope ();
     let responses = Hashtbl.create 8 in
     if t.pol.seed_self then Hashtbl.replace responses t.env.self (my_report t);
     t.phase <- Leading_election { bal = t.ballot; responses };
@@ -377,7 +399,7 @@ let rec start t =
     (* The bumped ballot must be durable before any site hears it, or an
        amnesiac restart could reuse it for a different instance. *)
     t.env.persist ();
-    broadcast t (Protocol.Election_get_value { bal = t.ballot });
+    broadcast t (Protocol.Election_get_value { bal = t.ballot; scope = t.scope });
     arm_timer t t.env.election_timeout_ms (fun () -> on_election_timeout t);
     (* Degenerate single-site system: we are our own quorum. *)
     try_construct t
@@ -439,7 +461,8 @@ and construct t bal responses =
   end
   else begin
     t.env.on_event
-      (Value_constructed { ballot = bal; participants = List.length value.Protocol.entries });
+      (Value_constructed
+         { ballot = bal; participants = List.length (Protocol.participants value) });
     if t.pol.scope_to_participants then
       (* Everyone outside R_t discards this instance. *)
       for node = 0 to t.env.n_sites - 1 do
@@ -459,8 +482,8 @@ and construct t bal responses =
 and try_construct t =
   match t.phase with
   | Leading_election { bal; responses }
-    when t.pol.construct_ready ~n_sites:t.env.n_sites ~own:(t.env.local_state ())
-           ~reports:responses ->
+    when t.pol.construct_ready ~n_sites:t.env.n_sites
+           ~own:(t.env.local_state ~scope:t.scope) ~reports:responses ->
       construct t bal responses
   | Leading_election _ | Leading_accept _ | Cohort_waiting _ | Cohort_accepted _
   | Recovering _ | Idle ->
@@ -616,14 +639,15 @@ let status_for t ~bal =
 
 let handle t ~src msg =
   match msg with
-  | Protocol.Election_get_value { bal } ->
+  | Protocol.Election_get_value { bal; scope } ->
       if t.pol.busy_cohort_rejects && participating t then
         t.env.send src (Protocol.Election_reject { bal = t.ballot })
       else if Ballot.(bal > t.ballot) then begin
         t.ballot <- bal;
+        t.scope <- scope;
         (* Lines 9-11: refresh TokensWanted from the local prediction
            before exposing our state. *)
-        t.env.refresh_wanted ();
+        t.env.refresh_wanted ~scope;
         let report = my_report t in
         (match t.phase with
         | Idle | Leading_election _ | Leading_accept _ ->
@@ -642,7 +666,7 @@ let handle t ~src msg =
           (Protocol.Election_ok_value
              {
                bal;
-               init_val = report.init_val;
+               contribs = report.contribs;
                accept_val = report.r_accept_val;
                accept_num = report.r_accept_num;
                decision = report.r_decision;
@@ -651,12 +675,12 @@ let handle t ~src msg =
       end
       else if t.pol.busy_cohort_rejects then
         t.env.send src (Protocol.Election_reject { bal = t.ballot })
-  | Protocol.Election_ok_value { bal; init_val; accept_val; accept_num; decision } -> (
+  | Protocol.Election_ok_value { bal; contribs; accept_val; accept_num; decision } -> (
       match t.phase with
       | Leading_election { bal = b; responses } when Ballot.equal b bal ->
           Hashtbl.replace responses src
             {
-              init_val;
+              contribs;
               r_accept_val = accept_val;
               r_accept_num = accept_num;
               r_decision = decision;

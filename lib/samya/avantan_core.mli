@@ -60,12 +60,18 @@ type env = {
   n_sites : int;
   send : int -> Protocol.msg -> unit;
   set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
-  local_state : unit -> Protocol.site_entry;
-      (** snapshot of the entity's [TokensLeft]/[TokensWanted] at this site *)
-  refresh_wanted : unit -> unit;
+  local_state : scope:string list -> Protocol.contrib list;
+      (** snapshot of [TokensLeft]/[TokensWanted] at this site for each
+          entity in [scope] ([scope = []] on per-entity machines: the one
+          bound entity, labelled [""]) *)
+  refresh_wanted : scope:string list -> unit;
       (** Algorithm 1 lines 9–11: re-predict and raise [TokensWanted]
           before answering an election (a no-op when prediction is
           disabled) *)
+  my_scope : unit -> string list;
+      (** called once when this site starts leading an instance: the
+          entities to piggyback on it. Per-entity machines return [[]];
+          the batched driver drains its pending set here. *)
   on_outcome : Protocol.outcome -> unit;
       (** participation ended: a value was decided (apply it and drain the
           queue) or the instance aborted *)
@@ -85,7 +91,7 @@ type env = {
 (** {1 Quorum policy} *)
 
 type report = {
-  init_val : Protocol.site_entry;
+  contribs : Protocol.contrib list;
   r_accept_val : Protocol.value option;
   r_accept_num : Ballot.t;
   r_decision : bool;
@@ -121,7 +127,7 @@ type policy = {
           ballot (quorum intersection adopts any possibly-decided value)
           vs. interrogate [R_t] with Status-Query *)
   construct_ready :
-    n_sites:int -> own:Protocol.site_entry -> reports:(int, report) Hashtbl.t -> bool;
+    n_sites:int -> own:Protocol.contrib list -> reports:(int, report) Hashtbl.t -> bool;
       (** may the leader construct a value from these reports now? *)
   salvage_on_timeout : reports:(int, report) Hashtbl.t -> bool;
       (** may an election that timed out still construct from the partial

@@ -6,7 +6,10 @@ include Avantan_core.Stats
 
 let pooled_tokens reports =
   Hashtbl.fold
-    (fun _ (r : Avantan_core.report) acc -> acc + r.init_val.Protocol.tokens_left)
+    (fun _ (r : Avantan_core.report) acc ->
+      List.fold_left
+        (fun acc (_, e) -> acc + e.Protocol.tokens_left)
+        acc r.Avantan_core.contribs)
     reports 0
 
 let policy =
@@ -23,7 +26,10 @@ let policy =
     (* The leader proceeds once the pooled spare can cover its own wants. *)
     construct_ready =
       (fun ~n_sites:_ ~own ~reports ->
-        pooled_tokens reports >= own.Protocol.tokens_wanted);
+        let wanted =
+          List.fold_left (fun acc (_, e) -> acc + e.Protocol.tokens_wanted) 0 own
+        in
+        pooled_tokens reports >= wanted);
     salvage_on_timeout = (fun ~reports -> pooled_tokens reports > 0);
     (* The decision requires Accept-Oks from all of R_t, not a majority. *)
     decide_ready =

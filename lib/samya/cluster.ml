@@ -100,6 +100,35 @@ let init_entity t ~entity ~maximum =
   let shares = Array.init n (fun i -> share + if i < extra then 1 else 0) in
   init_entity_shares t ~entity ~shares
 
+(* Bulk fleet registration: the same equal split as [init_entity], but the
+   entities start cold at every site (see {!Site.register_entities}). Each
+   site receives the full list in one call, in list order, so dense entity
+   ids agree across sites. *)
+let register_entities t entities =
+  let n = Array.length t.sites in
+  let split =
+    List.map
+      (fun (entity, maximum) ->
+        if maximum < 0 then
+          invalid_arg "Cluster.register_entities: negative maximum";
+        (entity, maximum / n, maximum mod n))
+      entities
+  in
+  Array.iteri
+    (fun i site ->
+      Site.register_entities site
+        (List.map
+           (fun (entity, share, extra) ->
+             (entity, (share + if i < extra then 1 else 0)))
+           split))
+    t.sites
+
+let entity_count t =
+  if Array.length t.sites = 0 then 0 else Site.entity_count t.sites.(0)
+
+let hot_entities t =
+  Array.fold_left (fun acc site -> acc + Site.hot_entities site) 0 t.sites
+
 (* Nearest live site to a client region, app-manager failover included. *)
 let route t ~region =
   let best = ref None in

@@ -78,6 +78,18 @@ val init_entity : t -> entity:Types.entity -> maximum:int -> unit
 val init_entity_shares : t -> entity:Types.entity -> shares:int array -> unit
 (** Uneven initial allocation (e.g. derived from historic demand). *)
 
+val register_entities : t -> (Types.entity * int) list -> unit
+(** Bulk fleet registration: each [(entity, maximum)] is split equally
+    across sites like {!init_entity}, but the entities start cold —
+    compact cores that heat on first contention ({!Site.register_entities}).
+    List order fixes the dense entity ids identically at every site. *)
+
+val entity_count : t -> int
+(** Registered entities (identical at every site by construction). *)
+
+val hot_entities : t -> int
+(** Materialised hot entities, summed over sites. *)
+
 val submit :
   t -> region:Geonet.Region.t -> Types.request -> reply:(Types.response -> unit) -> unit
 (** Client request from [region]: routed via the local app manager to the

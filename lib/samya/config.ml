@@ -22,6 +22,9 @@ type t = {
   reallocation_policy : Reallocation.policy;
   amnesia_on_crash : bool;
   durability_sync : Storage.Durable.sync_policy;
+  entity_shards : int;
+  entity_capacity : int;
+  protocol_batch : int;
 }
 
 let default =
@@ -47,6 +50,9 @@ let default =
     reallocation_policy = Reallocation.default_policy;
     amnesia_on_crash = false;
     durability_sync = Storage.Durable.Sync_always;
+    entity_shards = 1;
+    entity_capacity = 16;
+    protocol_batch = 1;
   }
 
 let validate t =
@@ -60,6 +66,21 @@ let validate t =
     Error "cohort timeout must exceed the election timeout"
   else if t.local_processing_ms < 0.0 then Error "local_processing_ms must be >= 0"
   else if t.decided_log_retention < 1 then Error "decided_log_retention must be >= 1"
+  else if t.entity_shards < 1 then
+    Error
+      (Printf.sprintf "entity_shards must be >= 1 (got %d): every site needs at least one shard for its entity map"
+         t.entity_shards)
+  else if t.entity_capacity < 1 then
+    Error
+      (Printf.sprintf "entity_capacity must be >= 1 (got %d): the entity arena cannot start empty"
+         t.entity_capacity)
+  else if t.protocol_batch < 1 then
+    Error
+      (Printf.sprintf "protocol_batch must be >= 1 (got %d): 1 = one Avantan instance per entity, > 1 = site-level batching"
+         t.protocol_batch)
+  else if t.protocol_batch > 1 && t.amnesia_on_crash then
+    Error
+      "protocol_batch > 1 requires amnesia_on_crash = false: batched site-level instances are not yet written to the per-entity durable images"
   else
     match Storage.Durable.validate_policy t.durability_sync with
     | Error reason -> Error ("durability_sync: " ^ reason)

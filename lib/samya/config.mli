@@ -66,6 +66,17 @@ type t = {
           [Sync_always] is the Paxos-safe write-through discipline; weaker
           policies trade durability for fewer (simulated) fsyncs and are
           what the chaos auditor exists to catch. *)
+  entity_shards : int;
+      (** hash shards of the per-site {!Entity_map}; 1 suffices for the
+          single-entity experiments, the gateway fleet uses hundreds *)
+  entity_capacity : int;
+      (** size hint for the entity arena (number of expected entities) *)
+  protocol_batch : int;
+      (** 1 (default): one Avantan machine per entity, the original
+          layout. > 1: one site-level machine whose instances piggyback up
+          to this many triggered entities' deltas in a single WAN round.
+          Batching requires the freeze failure model
+          ([amnesia_on_crash = false]). *)
 }
 
 val default : t

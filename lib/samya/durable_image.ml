@@ -8,8 +8,8 @@ type t = {
 
 let capture (ctx : Entity_state.t) =
   {
-    tokens_left = ctx.Entity_state.tokens_left;
-    acquired_net = ctx.Entity_state.acquired_net;
+    tokens_left = ctx.Entity_state.core.Entity_map.tokens_left;
+    acquired_net = ctx.Entity_state.core.Entity_map.acquired_net;
     applied_origins =
       Hashtbl.fold (fun origin () acc -> origin :: acc)
         ctx.Entity_state.applied_origins []

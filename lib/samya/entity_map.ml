@@ -1,0 +1,99 @@
+type 'hot core = {
+  name : string;
+  eid : int;
+  mutable tokens_left : int;
+  mutable acquired_net : int;
+  mutable tokens_wanted : int;
+  mutable exposed : bool;
+  mutable hot : 'hot option;
+}
+
+type 'hot t = {
+  shards : (string, 'hot core) Hashtbl.t array;
+  mutable cores : 'hot core option array;
+  mutable n : int;
+  mutable hot_n : int;
+}
+
+let create ?(shards = 1) ?(capacity = 16) () =
+  if shards < 1 then invalid_arg "Entity_map.create: shards must be >= 1";
+  if capacity < 1 then invalid_arg "Entity_map.create: capacity must be >= 1";
+  let per_shard = max 8 (capacity / shards) in
+  {
+    shards = Array.init shards (fun _ -> Hashtbl.create per_shard);
+    cores = Array.make (max 8 capacity) None;
+    n = 0;
+    hot_n = 0;
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Shard selection must be independent of the shard tables' own bucket
+   hashing (Hashtbl.hash = seeded_hash 0, masked by a power-of-two bucket
+   count): with the unseeded hash here, every key in shard [s] shares its
+   low bits, so each table uses 1/shards of its buckets and lookups
+   degrade to linear chain scans (~30 us at a million keys). Any fixed
+   seed <> 0 decorrelates the two; placement is not observable, so this
+   choice cannot affect simulation output. *)
+let shard_of t name = Hashtbl.seeded_hash 0x5eed name mod Array.length t.shards
+
+let length t = t.n
+
+let hot_count t = t.hot_n
+
+let find t name = Hashtbl.find_opt t.shards.(shard_of t name) name
+
+let by_eid t eid =
+  if eid < 0 || eid >= t.n then invalid_arg "Entity_map.by_eid: out of range";
+  match t.cores.(eid) with Some c -> c | None -> assert false
+
+let grow t =
+  let cap = Array.length t.cores in
+  let next = Array.make (cap * 2) None in
+  Array.blit t.cores 0 next 0 cap;
+  t.cores <- next
+
+let register t ~entity ~tokens =
+  if tokens < 0 then invalid_arg "Entity_map.register: negative tokens";
+  let shard = t.shards.(shard_of t entity) in
+  if Hashtbl.mem shard entity then
+    invalid_arg ("Entity_map.register: duplicate entity " ^ entity);
+  if t.n >= Array.length t.cores then grow t;
+  let core =
+    {
+      name = entity;
+      eid = t.n;
+      tokens_left = tokens;
+      acquired_net = 0;
+      tokens_wanted = 0;
+      exposed = false;
+      hot = None;
+    }
+  in
+  t.cores.(t.n) <- Some core;
+  t.n <- t.n + 1;
+  Hashtbl.replace shard entity core;
+  core
+
+let set_hot t core state =
+  (match core.hot with None -> t.hot_n <- t.hot_n + 1 | Some _ -> ());
+  core.hot <- Some state
+
+(* Iteration is in dense-eid (registration) order, so it is deterministic
+   and independent of the shard count — shards only bound hash-table size. *)
+let iter f t =
+  for i = 0 to t.n - 1 do
+    match t.cores.(i) with Some c -> f c | None -> ()
+  done
+
+let iter_hot f t =
+  for i = 0 to t.n - 1 do
+    match t.cores.(i) with
+    | Some ({ hot = Some h; _ } as c) -> f c h
+    | Some _ | None -> ()
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun c -> acc := f c !acc) t;
+  !acc

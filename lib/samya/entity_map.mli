@@ -1,0 +1,57 @@
+(** Sharded per-site entity arena: one compact {!core} per registered
+    entity, dense entity ids, and lazily materialised "hot" state.
+
+    A production gateway holds millions of aggregate objects of which only
+    a few are contended at any moment. The arena keeps a cold entity at a
+    handful of words — its name, dense id, and token ledger — and defers
+    everything heavyweight (request queue, demand tracker, decided log,
+    protocol machine) to the ['hot] payload, attached on first contention
+    by the owning {!Site}. Lookups hash into one of [shards] tables;
+    iteration runs in dense-eid (registration) order, so results never
+    depend on the shard count. *)
+
+type 'hot core = {
+  name : string;
+  eid : int;  (** dense site-local id, assigned in registration order *)
+  mutable tokens_left : int;
+  mutable acquired_net : int;
+  mutable tokens_wanted : int;
+  mutable exposed : bool;
+      (** participation flag for the batched site-level protocol: [true]
+          while this entity's InitVal is exposed to a live instance (the
+          per-entity machines track exposure internally instead) *)
+  mutable hot : 'hot option;
+      (** the heavyweight per-entity state ({!Entity_state.t} in the
+          site), [None] while the entity is cold *)
+}
+
+type 'hot t
+
+val create : ?shards:int -> ?capacity:int -> unit -> 'hot t
+(** [capacity] is a size hint for the arena and the shard tables. Raises
+    [Invalid_argument] unless [shards >= 1] and [capacity >= 1]. *)
+
+val register : 'hot t -> entity:string -> tokens:int -> 'hot core
+(** Add a cold entity holding [tokens]. Raises [Invalid_argument] on a
+    duplicate name or negative tokens. *)
+
+val find : 'hot t -> string -> 'hot core option
+
+val by_eid : 'hot t -> int -> 'hot core
+(** Raises [Invalid_argument] out of range. *)
+
+val set_hot : 'hot t -> 'hot core -> 'hot -> unit
+(** Attach hot state to a core (keeps {!hot_count} correct). *)
+
+val length : 'hot t -> int
+
+val hot_count : 'hot t -> int
+
+val shard_count : 'hot t -> int
+
+val iter : ('hot core -> unit) -> 'hot t -> unit
+(** Dense-eid order — deterministic, shard-count independent. *)
+
+val iter_hot : ('hot core -> 'hot -> unit) -> 'hot t -> unit
+
+val fold : ('hot core -> 'a -> 'a) -> 'hot t -> 'a -> 'a

@@ -1,8 +1,5 @@
 type t = {
-  entity : Types.entity;
-  mutable tokens_left : int;
-  mutable tokens_wanted : int;
-  mutable acquired_net : int;
+  core : t Entity_map.core;
   queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
   tracker : Demand_tracker.t;
       (** per-epoch net token consumption and peak concurrent draw *)
@@ -29,13 +26,9 @@ type t = {
           what remains instead of being rejected repeatedly *)
 }
 
-let create ~engine ~(config : Config.t) ~entity ~tokens =
-  if tokens < 0 then invalid_arg "Entity_state.create: negative tokens";
+let create ~engine ~(config : Config.t) ~(core : t Entity_map.core) =
   {
-    entity;
-    tokens_left = tokens;
-    tokens_wanted = 0;
-    acquired_net = 0;
+    core;
     queue = Queue.create ();
     tracker =
       Demand_tracker.create ~engine ~epoch_ms:config.Config.epoch_ms
@@ -50,7 +43,9 @@ let create ~engine ~(config : Config.t) ~entity ~tokens =
     request_scale = 1.0;
   }
 
-let entity t = t.entity
+let entity t = t.core.Entity_map.name
+
+let core t = t.core
 
 (* Crash-amnesia recovery: overwrite the ledger with the durable image and
    reset everything volatile. The demand tracker is deliberately left
@@ -61,9 +56,10 @@ let entity t = t.entity
    reattached separately by {!Protocol_driver}. *)
 let restore t ~(config : Config.t) ~tokens_left ~acquired_net ~applied_origins
     ~decided_log =
-  t.tokens_left <- tokens_left;
-  t.tokens_wanted <- 0;
-  t.acquired_net <- acquired_net;
+  t.core.Entity_map.tokens_left <- tokens_left;
+  t.core.Entity_map.tokens_wanted <- 0;
+  t.core.Entity_map.acquired_net <- acquired_net;
+  t.core.Entity_map.exposed <- false;
   Queue.clear t.queue;
   Hashtbl.reset t.applied_origins;
   List.iter (fun origin -> Hashtbl.replace t.applied_origins origin ()) applied_origins;
@@ -76,7 +72,9 @@ let restore t ~(config : Config.t) ~tokens_left ~acquired_net ~applied_origins
   t.request_scale <- 1.0
 
 let participating t =
-  match t.av with Some av -> Avantan_core.participating av | None -> false
+  match t.av with
+  | Some av -> Avantan_core.participating av
+  | None -> t.core.Entity_map.exposed
 
 let rec take n = function
   | [] -> []

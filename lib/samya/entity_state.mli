@@ -1,17 +1,22 @@
-(** Per-entity site state, shared by the four site modules.
+(** Hot per-entity site state, shared by the four site modules.
 
-    A {!Site} is a thin coordinator over one of these records per entity:
-    {!Request_handler} serves and queues against [tokens_left] and
-    [queue], {!Prediction} reads the demand [tracker] and raises
-    [tokens_wanted], {!Protocol_driver} runs the attached Avantan instance
-    and applies decided values, and {!Redistribution_policy} owns the
+    Since the multi-entity refactor a {!Site} holds one compact
+    {!Entity_map.core} per registered entity — name, dense id, token
+    ledger — and materialises one of these records only when the entity
+    heats up (first shortfall, protocol participation, or eager
+    registration on the legacy single-entity path). {!Request_handler}
+    serves and queues against the core ledger and [queue], {!Prediction}
+    reads the demand [tracker] and raises the core's [tokens_wanted],
+    {!Protocol_driver} runs the attached Avantan instance and applies
+    decided values, and {!Redistribution_policy} owns the
     cooldown/backoff/request-scale fields. *)
 
 type t = {
-  entity : Types.entity;
-  mutable tokens_left : int;
-  mutable tokens_wanted : int;
-  mutable acquired_net : int;
+  core : t Entity_map.core;
+      (** the arena slot this record animates: the token ledger
+          ([tokens_left]/[acquired_net]/[tokens_wanted]) and the batched
+          participation flag live there so cold entities can be served
+          without materialising this record *)
   queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
       (** each entry keeps the causal context it arrived under, restored
           around its eventual service so lineage survives the park *)
@@ -21,11 +26,13 @@ type t = {
       (** decisions already applied — each instance moves tokens exactly
           once, whether it arrives via the protocol or via recovery *)
   mutable decided_log : Protocol.value list;
-      (** decisions this site has seen, newest first, capped at
+      (** decisions this site has seen (per-entity projections under
+          batching), newest first, capped at
           {!Config.t.decided_log_retention}; answers the Recovery_query of
           a peer that was down when they happened *)
   mutable decided_log_len : int;
   mutable av : Avantan_core.t option;
+      (** per-entity protocol machine; [None] under site-level batching *)
   mutable last_redistribution_ms : float;
   mutable last_proactive_check_ms : float;
   mutable backoff_ms : float;
@@ -37,12 +44,14 @@ type t = {
           unsatisfied instance — see {!Redistribution_policy} *)
 }
 
-val create :
-  engine:Des.Engine.t -> config:Config.t -> entity:Types.entity -> tokens:int -> t
-(** Raises [Invalid_argument] on negative [tokens]. The protocol instance
-    ([av]) is attached separately by {!Protocol_driver.attach}. *)
+val create : engine:Des.Engine.t -> config:Config.t -> core:t Entity_map.core -> t
+(** Materialise hot state over a registered core. The caller links it back
+    with {!Entity_map.set_hot}; the protocol instance ([av]) is attached
+    separately by {!Protocol_driver.attach}. *)
 
 val entity : t -> Types.entity
+
+val core : t -> t Entity_map.core
 
 val restore :
   t ->
@@ -58,8 +67,10 @@ val restore :
     protocol instance is cleared and must be reattached. *)
 
 val participating : t -> bool
-(** [true] while the attached protocol instance holds this entity's state
-    exposed — the interval during which requests must queue. *)
+(** [true] while this entity's state is exposed to a live protocol
+    instance — the interval during which requests must queue. Reads the
+    attached machine when one exists, the core's [exposed] flag under
+    site-level batching. *)
 
 val record_decision : t -> retention:int -> Protocol.value -> unit
 (** Prepend a decided value to the recovery log, dropping the oldest entry

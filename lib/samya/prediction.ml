@@ -50,9 +50,9 @@ let requested_pool t (ctx : Entity_state.t) need =
 let refresh_wanted t (ctx : Entity_state.t) =
   if t.config.Config.prediction_enabled then begin
     let need = predicted_need t ctx in
-    if need > ctx.tokens_left then
-      ctx.tokens_wanted <-
-        max ctx.tokens_wanted (requested_pool t ctx need - ctx.tokens_left)
+    if need > ctx.core.tokens_left then
+      ctx.core.tokens_wanted <-
+        max ctx.core.tokens_wanted (requested_pool t ctx need - ctx.core.tokens_left)
   end
 
 (* Reactive redistribution's ask (Equation 5); with prediction enabled the
@@ -60,7 +60,7 @@ let refresh_wanted t (ctx : Entity_state.t) =
    covers the demand that is about to follow. *)
 let reactive_wanted t (ctx : Entity_state.t) ~amount =
   if t.config.Config.prediction_enabled then
-    max amount (requested_pool t ctx (predicted_need t ctx) - ctx.tokens_left)
+    max amount (requested_pool t ctx (predicted_need t ctx) - ctx.core.tokens_left)
   else amount
 
 (* Proactive redistribution (Equation 4): after serving an acquire,
@@ -74,12 +74,12 @@ let proactive_check t ~now ~cooldown_ok ~trigger (ctx : Entity_state.t) =
   then begin
     ctx.last_proactive_check_ms <- now;
     let need = predicted_need t ctx in
-    if need > ctx.tokens_left && (not (Entity_state.participating ctx)) && cooldown_ok ()
+    if need > ctx.core.tokens_left && (not (Entity_state.participating ctx)) && cooldown_ok ()
     then begin
-      let wanted = requested_pool t ctx need - ctx.tokens_left in
+      let wanted = requested_pool t ctx need - ctx.core.tokens_left in
       if wanted > 0 then begin
         t.proactive_triggers <- t.proactive_triggers + 1;
-        ctx.tokens_wanted <- wanted;
+        ctx.core.tokens_wanted <- wanted;
         ctx.last_redistribution_ms <- now;
         trigger ()
       end

@@ -6,24 +6,48 @@ type site_entry = Reallocation.entry = {
   tokens_wanted : int;
 }
 
-type value = {
-  origin : Ballot.t;
-  entries : site_entry list;
+type group = {
+  g_entity : string;
+  g_entries : site_entry list;
 }
 
-let make_value ~origin entries = { origin; entries }
+type value = {
+  origin : Ballot.t;
+  groups : group list;
+}
 
-let participants value = List.sort compare (List.map (fun e -> e.site) value.entries)
+type contrib = string * site_entry
 
-let mem_site value site = List.exists (fun e -> e.site = site) value.entries
+(* Legacy single-entity constructor: per-entity protocol instances label
+   their one group with the empty scope marker — the owning driver knows
+   which entity the machine is bound to. *)
+let make_value ~origin entries = { origin; groups = [ { g_entity = ""; g_entries = entries } ] }
 
-let value_equal a b = Ballot.equal a.origin b.origin && a.entries = b.entries
+let make_batched ~origin groups = { origin; groups }
+
+let entries value = List.concat_map (fun g -> g.g_entries) value.groups
+
+let participants value =
+  List.concat_map (fun g -> List.map (fun e -> e.site) g.g_entries) value.groups
+  |> List.sort_uniq compare
+
+let mem_site value site =
+  List.exists (fun g -> List.exists (fun e -> e.site = site) g.g_entries) value.groups
+
+let entities value = List.map (fun g -> g.g_entity) value.groups
+
+let project value ~entity =
+  match List.find_opt (fun g -> String.equal g.g_entity entity) value.groups with
+  | Some g -> Some { origin = value.origin; groups = [ g ] }
+  | None -> None
+
+let value_equal a b = Ballot.equal a.origin b.origin && a.groups = b.groups
 
 type msg =
-  | Election_get_value of { bal : Ballot.t }
+  | Election_get_value of { bal : Ballot.t; scope : string list }
   | Election_ok_value of {
       bal : Ballot.t;
-      init_val : site_entry;
+      contribs : contrib list;
       accept_val : value option;
       accept_num : Ballot.t;
       decision : bool;
@@ -42,24 +66,32 @@ type msg =
     }
 
 let pp_msg fmt = function
-  | Election_get_value { bal } -> Format.fprintf fmt "Election-GetValue(%a)" Ballot.pp bal
-  | Election_ok_value { bal; init_val; decision; _ } ->
+  | Election_get_value { bal; scope = [] } ->
+      Format.fprintf fmt "Election-GetValue(%a)" Ballot.pp bal
+  | Election_get_value { bal; scope } ->
+      Format.fprintf fmt "Election-GetValue(%a, |scope|=%d)" Ballot.pp bal
+        (List.length scope)
+  | Election_ok_value { bal; contribs = [ (_, e) ]; decision; _ } ->
       Format.fprintf fmt "ElectionOk-Value(%a, TL=%d, TW=%d, dec=%b)" Ballot.pp bal
-        init_val.tokens_left init_val.tokens_wanted decision
+        e.tokens_left e.tokens_wanted decision
+  | Election_ok_value { bal; contribs; decision; _ } ->
+      Format.fprintf fmt "ElectionOk-Value(%a, |c|=%d, dec=%b)" Ballot.pp bal
+        (List.length contribs) decision
   | Election_reject { bal } -> Format.fprintf fmt "Election-Reject(%a)" Ballot.pp bal
   | Accept_value { bal; value; decision } ->
       Format.fprintf fmt "Accept-Value(%a, |R|=%d, dec=%b)" Ballot.pp bal
-        (List.length value.entries) decision
+        (List.length (participants value)) decision
   | Accept_ok { bal } -> Format.fprintf fmt "Accept-Ok(%a)" Ballot.pp bal
   | Decision { bal; value } ->
-      Format.fprintf fmt "Decision(%a, |R|=%d)" Ballot.pp bal (List.length value.entries)
+      Format.fprintf fmt "Decision(%a, |R|=%d)" Ballot.pp bal
+        (List.length (participants value))
   | Discard { bal } -> Format.fprintf fmt "Discard(%a)" Ballot.pp bal
   | Status_query { bal } -> Format.fprintf fmt "Status-Query(%a)" Ballot.pp bal
   | Status_reply { bal; decision; _ } ->
       Format.fprintf fmt "Status-Reply(%a, dec=%b)" Ballot.pp bal decision
 
 let msg_ballot = function
-  | Election_get_value { bal }
+  | Election_get_value { bal; _ }
   | Election_ok_value { bal; _ }
   | Election_reject { bal }
   | Accept_value { bal; _ }

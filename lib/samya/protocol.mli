@@ -3,7 +3,15 @@
     Both variants share the message vocabulary; they differ in quorum rules,
     participation and recovery, implemented in {!Avantan_majority} and
     {!Avantan_star}. [AcceptVal] is a {e list} of per-site states — the key
-    departure from Paxos, where the value is a single client proposal. *)
+    departure from Paxos, where the value is a single client proposal.
+
+    Since the multi-entity refactor a value is a list of {e groups}, one
+    per entity whose deltas piggyback on the instance. Per-entity protocol
+    machines (one Avantan instance per entity, the original layout) put
+    their single group under the empty entity name [""] — the driver knows
+    which entity the machine is bound to, so the label is never consulted.
+    Batched site-level machines label every group with its entity so one
+    WAN round can redistribute many entities at once. *)
 
 module Ballot = Consensus.Ballot
 
@@ -13,6 +21,11 @@ type site_entry = Reallocation.entry = {
   tokens_wanted : int;
 }
 
+type group = {
+  g_entity : string;  (** entity whose per-site states this group carries *)
+  g_entries : site_entry list;  (** the list [L_t] of InitVals of [R_t] *)
+}
+
 type value = {
   origin : Ballot.t;
       (** the ballot at which this value was first constructed (line 22 of
@@ -20,28 +33,47 @@ type value = {
           [origin] uniquely identifies the redistribution instance even
           when the same value is re-driven and decided under a higher
           ballot — sites use it to apply each decision exactly once. *)
-  entries : site_entry list;  (** the list [L_t] of InitVals of [R_t] *)
+  groups : group list;  (** one group per piggybacked entity *)
 }
 
+type contrib = string * site_entry
+(** One site's InitVal for one entity — what election replies carry. *)
+
 val make_value : origin:Ballot.t -> site_entry list -> value
+(** Single-entity value under the [""] group (per-entity machines). *)
+
+val make_batched : origin:Ballot.t -> group list -> value
+
+val entries : value -> site_entry list
+(** All entries across groups, in group order. *)
 
 val participants : value -> int list
-(** Site ids present in a value, ascending. *)
+(** Site ids present in a value, ascending, deduplicated across groups. *)
 
 val mem_site : value -> int -> bool
+
+val entities : value -> string list
+(** Group labels in group order. *)
+
+val project : value -> entity:string -> value option
+(** The single-group projection of a batched value onto one entity, with
+    the same [origin] — what per-entity decided logs record. *)
 
 val value_equal : value -> value -> bool
 
 type msg =
-  | Election_get_value of { bal : Ballot.t }
-      (** leader: phase-1 solicitation (leader election + value collection) *)
+  | Election_get_value of { bal : Ballot.t; scope : string list }
+      (** leader: phase-1 solicitation (leader election + value collection);
+          [scope] lists the entities piggybacked on this instance ([[]] for
+          per-entity machines) *)
   | Election_ok_value of {
       bal : Ballot.t;
-      init_val : site_entry;
+      contribs : contrib list;
       accept_val : value option;
       accept_num : Ballot.t;
       decision : bool;
-    }  (** cohort: promise carrying its state and any accepted value *)
+    }  (** cohort: promise carrying its per-entity states and any accepted
+           value *)
   | Election_reject of { bal : Ballot.t }
       (** Avantan[*]: cohort is locked in another instance *)
   | Accept_value of { bal : Ballot.t; value : value; decision : bool }

@@ -4,10 +4,16 @@
     the local pool, and owns the recovery path over the bounded decided
     log.
 
-    Decision application is idempotent per instance (origin-keyed) and
-    conserving under races: each site moves its own tokens by the delta
-    between its InitVal contribution and the grant the reallocation policy
-    computes from the decided value. *)
+    With [Config.protocol_batch > 1] the per-entity machines are replaced
+    by one site-level machine: triggered entities queue, each instance
+    freezes a scope of up to [protocol_batch] of them, and one WAN round
+    piggybacks every scoped entity's deltas. Decided values then carry one
+    group per entity, applied as independent per-entity projections.
+
+    Decision application is idempotent per (entity, instance)
+    (origin-keyed) and conserving under races: each site moves its own
+    tokens by the delta between its InitVal contribution and the grant the
+    reallocation policy computes from the decided group. *)
 
 type t
 
@@ -36,16 +42,32 @@ val set_drain : t -> (Entity_state.t -> unit) -> unit
 (** Wire the request handler's queue replay, called when an instance
     ends. Deferred past construction to break the handler/driver cycle. *)
 
+val set_resolve : t -> (Types.entity -> Entity_state.t Entity_map.core option) -> unit
+(** Wire the site's entity-map lookup (required in batched mode). *)
+
+val set_heat : t -> (Entity_state.t Entity_map.core -> Entity_state.t) -> unit
+(** Wire the site's hot-state materialiser (required in batched mode:
+    decided groups heat the entities they involve). *)
+
+val batch_channel : Types.entity
+(** The reserved entity label ([""]) the site-level machine's messages
+    travel under; real entities are validated non-empty. *)
+
 val attach : t -> ?restore:Avantan_core.image -> Entity_state.t -> unit
 (** Create the entity's protocol instance and store it in the state
     record. [restore] rebuilds the fresh machine from a durable image and
-    resumes any surviving acceptance (crash-amnesia recovery). *)
+    resumes any surviving acceptance (crash-amnesia recovery). Per-entity
+    mode only — under batching entities share the site-level machine. *)
 
 val trigger : t -> Entity_state.t -> unit
 (** Start a redistribution as leader (no-op while already
-    participating). *)
+    participating). In batched mode this enqueues the entity for the
+    site-level machine's next scope instead. *)
 
 val handle : t -> Entity_state.t -> src:int -> Protocol.msg -> unit
+
+val handle_batch : t -> src:int -> Protocol.msg -> unit
+(** Deliver a message from the site-level batch channel. *)
 
 val apply_value : t -> Entity_state.t -> Protocol.value -> bool option
 (** Apply one decided value. [Some satisfied] when this site contributed
@@ -60,3 +82,6 @@ val apply_recovery : t -> Entity_state.t -> Protocol.value list -> unit
 (** Apply a peer's recovery reply in instance (ballot) order. *)
 
 val protocol_stats : t -> Entity_state.t -> Avantan_core.stats
+
+val batch_stats : t -> Avantan_core.stats
+(** The site-level machine's counters (zero when none was ever created). *)

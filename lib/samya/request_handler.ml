@@ -23,6 +23,10 @@ type deps = {
   persist : Entity_state.t -> unit;
       (** durability hook after a served request moves the token ledger;
           a no-op under the freeze model *)
+  heat : Entity_state.t Entity_map.core -> Entity_state.t;
+      (** materialise hot state for a cold entity that can no longer be
+          served from its core ledger alone (shortfall, or protocol
+          exposure) *)
 }
 
 type t = {
@@ -124,23 +128,23 @@ let reply_after_processing t reply response =
 let serve_local t (ctx : Entity_state.t) request reply ~drain =
   match request with
   | Types.Release { amount; _ } ->
-      ctx.tokens_left <- ctx.tokens_left + amount;
-      ctx.acquired_net <- ctx.acquired_net - amount;
+      ctx.core.tokens_left <- ctx.core.tokens_left + amount;
+      ctx.core.acquired_net <- ctx.core.acquired_net - amount;
       t.s_releases <- t.s_releases + 1;
       obs_incr t "samya.release.granted";
       t.deps.persist ctx;
       reply_after_processing t reply Types.Granted
   | Types.Acquire { amount; _ } ->
       if not t.config.Config.enforce_constraint then begin
-        ctx.acquired_net <- ctx.acquired_net + amount;
+        ctx.core.acquired_net <- ctx.core.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
         obs_incr t "samya.acquire.granted";
         t.deps.persist ctx;
         reply_after_processing t reply Types.Granted
       end
-      else if ctx.tokens_left >= amount then begin
-        ctx.tokens_left <- ctx.tokens_left - amount;
-        ctx.acquired_net <- ctx.acquired_net + amount;
+      else if ctx.core.tokens_left >= amount then begin
+        ctx.core.tokens_left <- ctx.core.tokens_left - amount;
+        ctx.core.acquired_net <- ctx.core.acquired_net + amount;
         t.s_acquires <- t.s_acquires + 1;
         obs_incr t "samya.acquire.granted";
         t.deps.persist ctx;
@@ -158,7 +162,7 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         t.s_reactive <- t.s_reactive + 1;
         obs_incr t "samya.reactive.queued";
         let wanted = t.deps.reactive_wanted ctx ~amount in
-        ctx.tokens_wanted <- max ctx.tokens_wanted wanted;
+        ctx.core.tokens_wanted <- max ctx.core.tokens_wanted wanted;
         ctx.last_redistribution_ms <- now t;
         Queue.push (request, reply, Des.Engine.current_context t.engine) ctx.queue;
         (match Obs.Sink.tap t.obs with
@@ -236,24 +240,70 @@ let accept_inner t (ctx : Entity_state.t) request reply =
   | Types.Release { amount; _ } -> record_and_dispatch ~net:(-amount)
   | Types.Read _ -> (* handled before dispatch *) assert false
 
-let accept t (ctx : Entity_state.t) request reply =
+(* A request arriving without lineage (no driver upstream) roots its own
+   trace here — sites stamp new roots — so site-local causality exists
+   even for bare [Site.submit] callers. *)
+let with_root_stamp t k =
   match Obs.Sink.tap t.obs with
-  | None -> accept_inner t ctx request reply
+  | None -> k ()
   | Some sink ->
-      (* A request arriving without lineage (no driver upstream) roots its
-         own trace here — sites stamp new roots — so site-local causality
-         exists even for bare [Site.submit] callers. *)
       let stamp () =
         let trace = causal_trace t in
         if trace >= 0 then
           Obs.Causal.record sink.Obs.Sink.causal
             (Obs.Causal.Accepted { trace; site = t.site_id; ts = now t });
-        accept_inner t ctx request reply
+        k ()
       in
       if Des.Trace_context.is_none (Des.Engine.current_context t.engine) then
         let root = Des.Trace_context.root ~trace:(Des.Engine.fresh_id t.engine) in
         Des.Engine.with_context t.engine root stamp
       else stamp ()
+
+let accept t (ctx : Entity_state.t) request reply =
+  with_root_stamp t (fun () -> accept_inner t ctx request reply)
+
+(* Cold fast path: a request a cold entity's core ledger can serve outright
+   — every release, and any acquire within the local pool. No queue, no
+   demand tracking, no prediction: a cold entity costs a ledger update and
+   the CPU-model reply. Persistence is not consulted (batching and bulk
+   registration require the freeze model; amnesia-mode sites heat every
+   entity eagerly at registration). *)
+let serve_cold t (core : Entity_state.t Entity_map.core) request reply =
+  match request with
+  | Types.Release { amount; _ } ->
+      core.tokens_left <- core.tokens_left + amount;
+      core.acquired_net <- core.acquired_net - amount;
+      t.s_releases <- t.s_releases + 1;
+      obs_incr t "samya.release.granted";
+      reply_after_processing t reply Types.Granted
+  | Types.Acquire { amount; _ } ->
+      if t.config.Config.enforce_constraint then
+        core.tokens_left <- core.tokens_left - amount;
+      core.acquired_net <- core.acquired_net + amount;
+      t.s_acquires <- t.s_acquires + 1;
+      obs_incr t "samya.acquire.granted";
+      reply_after_processing t reply Types.Granted
+  | Types.Read _ -> (* handled before dispatch *) assert false
+
+(* Entry point for an acquire/release on a core that may still be cold:
+   serve from the ledger while that suffices, materialise hot state the
+   moment the entity needs queueing, demand history, or redistribution. *)
+let accept_core t (core : Entity_state.t Entity_map.core) request reply =
+  match core.Entity_map.hot with
+  | Some ctx -> accept t ctx request reply
+  | None ->
+      let cold_servable =
+        (not core.Entity_map.exposed)
+        &&
+        match request with
+        | Types.Release _ -> true
+        | Types.Acquire { amount; _ } ->
+            (not t.config.Config.enforce_constraint)
+            || core.Entity_map.tokens_left >= amount
+        | Types.Read _ -> false
+      in
+      if cold_servable then with_root_stamp t (fun () -> serve_cold t core request reply)
+      else accept t (t.deps.heat core) request reply
 
 (* ------------------------------------------------------------------ *)
 (* Reads: global snapshot by fan-out (§5.8)                             *)

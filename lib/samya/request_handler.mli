@@ -20,6 +20,9 @@ type deps = {
   persist : Entity_state.t -> unit;
       (** durability hook after a served request moves the token ledger;
           a no-op under the freeze model *)
+  heat : Entity_state.t Entity_map.core -> Entity_state.t;
+      (** materialise hot state for a cold entity that can no longer be
+          served from its core ledger alone *)
 }
 
 type t
@@ -45,6 +48,13 @@ val accept :
 (** Dispatch a validated acquire/release: record demand, then serve
     locally or queue while the entity is redistributing. Read requests
     must go to {!serve_read} instead. *)
+
+val accept_core :
+  t -> Entity_state.t Entity_map.core -> Types.request -> (Types.response -> unit) -> unit
+(** Like {!accept} on an entity that may still be cold: releases and
+    in-pool acquires are served straight from the core ledger (no queue,
+    no demand tracking); anything else heats the entity via [deps.heat]
+    first. *)
 
 val serve_local :
   t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> drain:bool -> unit

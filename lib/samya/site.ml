@@ -20,8 +20,9 @@ type stats = {
   reactive_triggers : int;
 }
 
-(* The site is a thin coordinator: per-entity state lives in
-   {!Entity_state}, and the four Fig. 2 modules — {!Request_handler},
+(* The site is a thin coordinator: per-entity state lives in the
+   {!Entity_map} arena (cold cores, lazily heated {!Entity_state}
+   records), and the four Fig. 2 modules — {!Request_handler},
    {!Prediction}, {!Protocol_driver}, {!Redistribution_policy} — are
    wired to each other through closures built in {!create}. *)
 type t = {
@@ -30,7 +31,7 @@ type t = {
   network : net_msg Geonet.Network.t;
   site_id : int;
   n_sites : int;
-  entities : (Types.entity, Entity_state.t) Hashtbl.t;
+  entities : Entity_state.t Entity_map.t;
   is_alive : bool ref;
   incarnation : int ref;
       (* bumped on each amnesia crash so timers armed by a previous
@@ -41,13 +42,22 @@ type t = {
   prediction : Prediction.t;
   handler : Request_handler.t;
   driver : Protocol_driver.t;
+  heat : Entity_state.t Entity_map.core -> Entity_state.t;
+  mutable fleet_gossip_armed : bool;
+      (* the single site-level anti-entropy loop bulk registration arms
+         (the legacy [init_entity] path keeps its per-entity timer) *)
 }
 
 let id t = t.site_id
 
 let alive t = !(t.is_alive)
 
-let get_ctx t entity = Hashtbl.find_opt t.entities entity
+let get_core t entity = Entity_map.find t.entities entity
+
+let get_ctx t entity =
+  match get_core t entity with
+  | Some { Entity_map.hot = Some ctx; _ } -> Some ctx
+  | Some _ | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Network dispatch                                                     *)
@@ -55,14 +65,17 @@ let get_ctx t entity = Hashtbl.find_opt t.entities entity
 let handle_net t ~src msg =
   if !(t.is_alive) then
     match msg with
-    | Avantan { entity; msg } -> (
-        match get_ctx t entity with
-        | Some ctx -> Protocol_driver.handle t.driver ctx ~src msg
-        | None -> ())
+    | Avantan { entity; msg } ->
+        if String.equal entity Protocol_driver.batch_channel then
+          Protocol_driver.handle_batch t.driver ~src msg
+        else (
+          match get_ctx t entity with
+          | Some ctx -> Protocol_driver.handle t.driver ctx ~src msg
+          | None -> ())
     | Read_query { entity; rid } ->
         let tokens_left =
-          match get_ctx t entity with
-          | Some ctx -> ctx.Entity_state.tokens_left
+          match get_core t entity with
+          | Some core -> core.Entity_map.tokens_left
           | None -> 0
         in
         Geonet.Network.send t.network ~src:t.site_id ~dst:src
@@ -71,16 +84,23 @@ let handle_net t ~src msg =
         Request_handler.on_read_reply t.handler ~rid ~tokens_left
     | Recovery_query { entity } -> (
         match get_ctx t entity with
-        | None -> ()
+        | None -> () (* cold entities hold no decided log to answer from *)
         | Some ctx ->
             let relevant = Protocol_driver.recovery_decisions t.driver ctx ~peer:src in
             if relevant <> [] then
               Geonet.Network.send t.network ~src:t.site_id ~dst:src
                 (Recovery_reply { entity; decisions = relevant }))
     | Recovery_reply { entity; decisions } -> (
-        match get_ctx t entity with
+        match get_core t entity with
         | None -> ()
-        | Some ctx -> Protocol_driver.apply_recovery t.driver ctx decisions)
+        | Some core ->
+            if decisions <> [] then
+              let ctx =
+                match core.Entity_map.hot with
+                | Some ctx -> ctx
+                | None -> t.heat core
+              in
+              Protocol_driver.apply_recovery t.driver ctx decisions)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -93,6 +113,10 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
   let n_sites = Geonet.Network.node_count network in
   let is_alive = ref true in
   let incarnation = ref 0 in
+  let entities =
+    Entity_map.create ~shards:config.Config.entity_shards
+      ~capacity:config.Config.entity_capacity ()
+  in
   let durable =
     if config.Config.amnesia_on_crash then
       Some (Storage.Durable.create ~policy:config.Config.durability_sync ())
@@ -105,7 +129,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
         (* Whole-image writes keep the ledger, the dedupe set and the
            protocol state consistent with each other under any sync
            policy: a crash rolls them back together. *)
-        Storage.Durable.put store ~key:ctx.Entity_state.entity
+        Storage.Durable.put store ~key:(Entity_state.entity ctx)
           (Durable_image.capture ctx)
   in
   let now () = Des.Engine.now engine in
@@ -127,6 +151,21 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
         | None -> fun _ _ -> ())
       ~persist ?obs ()
   in
+  let heat (core : Entity_state.t Entity_map.core) =
+    match core.Entity_map.hot with
+    | Some ctx -> ctx
+    | None ->
+        let ctx = Entity_state.create ~engine ~config ~core in
+        Entity_map.set_hot entities core ctx;
+        if config.Config.protocol_batch = 1 then
+          Protocol_driver.attach driver ctx;
+        (match durable with
+        | None -> ()
+        | Some store ->
+            Storage.Durable.force store ~key:core.Entity_map.name
+              (Durable_image.capture ctx));
+        ctx
+  in
   let handler =
     Request_handler.create ~config ~engine ~site_id:id ~n_sites ?obs
       {
@@ -146,9 +185,12 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
           (fun ~entity ~rid ->
             Geonet.Network.broadcast network ~src:id (Read_query { entity; rid }));
         persist;
+        heat;
       }
   in
   Protocol_driver.set_drain driver (Request_handler.drain_queue handler);
+  Protocol_driver.set_resolve driver (Entity_map.find entities);
+  Protocol_driver.set_heat driver heat;
   let t =
     {
       config;
@@ -156,24 +198,32 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       network;
       site_id = id;
       n_sites;
-      entities = Hashtbl.create 4;
+      entities;
       is_alive;
       incarnation;
       durable;
       prediction;
       handler;
       driver;
+      heat;
+      fleet_gossip_armed = false;
     }
   in
   Geonet.Network.register network ~node:id (fun envelope ->
       handle_net t ~src:envelope.Geonet.Network.src envelope.Geonet.Network.payload);
   t
 
+let check_entity_name op entity =
+  if String.equal entity Protocol_driver.batch_channel then
+    invalid_arg (op ^ ": the empty entity name is reserved")
+
 let init_entity t ~entity ~tokens =
   if tokens < 0 then invalid_arg "Site.init_entity: negative tokens";
-  let ctx = Entity_state.create ~engine:t.engine ~config:t.config ~entity ~tokens in
-  Protocol_driver.attach t.driver ctx;
-  Hashtbl.replace t.entities entity ctx;
+  check_entity_name "Site.init_entity" entity;
+  let core = Entity_map.register t.entities ~entity ~tokens in
+  let ctx = Entity_state.create ~engine:t.engine ~config:t.config ~core in
+  Entity_map.set_hot t.entities core ctx;
+  if t.config.Config.protocol_batch = 1 then Protocol_driver.attach t.driver ctx;
   (* The initial allocation is written through regardless of sync policy:
      a site must not serve before its starting share is durable. *)
   (match t.durable with
@@ -192,6 +242,47 @@ let init_entity t ~entity ~tokens =
     gossip ()
   end
 
+(* The entities whose tokens can have moved in a redistribution: hot ones,
+   plus cold cores whose InitVal is exposed to a live batched instance. *)
+let involved (core : _ Entity_map.core) =
+  core.Entity_map.hot <> None || core.Entity_map.exposed
+
+(* Bulk registration arms one site-level anti-entropy loop instead of a
+   timer per entity: each period it queries peers for the (few) entities
+   whose tokens can actually have moved. *)
+let ensure_fleet_gossip t =
+  if t.config.Config.anti_entropy_ms > 0.0 && not t.fleet_gossip_armed then begin
+    t.fleet_gossip_armed <- true;
+    let rec gossip () =
+      Des.Engine.schedule t.engine ~delay_ms:t.config.Config.anti_entropy_ms (fun () ->
+          if !(t.is_alive) then
+            Entity_map.iter
+              (fun core ->
+                if involved core then
+                  Geonet.Network.broadcast t.network ~src:t.site_id
+                    (Recovery_query { entity = core.Entity_map.name }))
+              t.entities;
+          gossip ())
+    in
+    gossip ()
+  end
+
+let register_entities t entities =
+  List.iter
+    (fun (entity, tokens) ->
+      if tokens < 0 then invalid_arg "Site.register_entities: negative tokens";
+      check_entity_name "Site.register_entities" entity;
+      let core = Entity_map.register t.entities ~entity ~tokens in
+      (* Crash-amnesia needs a durable image per entity from the start, so
+         that mode registers hot; the freeze model keeps the fleet cold. *)
+      match t.durable with None -> () | Some _ -> ignore (t.heat core))
+    entities;
+  ensure_fleet_gossip t
+
+let entity_count t = Entity_map.length t.entities
+
+let hot_entities t = Entity_map.hot_count t.entities
+
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                         *)
 
@@ -205,27 +296,32 @@ let submit t request ~reply =
         match request with
         | Types.Read _ ->
             let own =
-              match get_ctx t entity with
-              | Some ctx -> ctx.Entity_state.tokens_left
+              match get_core t entity with
+              | Some core -> core.Entity_map.tokens_left
               | None -> 0
             in
             Request_handler.serve_read t.handler ~entity ~own reply
         | Types.Acquire _ | Types.Release _ -> (
-            match get_ctx t entity with
+            match get_core t entity with
             | None -> reply Types.Rejected
-            | Some ctx -> Request_handler.accept t.handler ctx request reply))
+            | Some core -> Request_handler.accept_core t.handler core request reply))
 
 (* ------------------------------------------------------------------ *)
 (* Accessors / failure injection                                        *)
 
-let with_ctx t entity f = match get_ctx t entity with Some ctx -> f ctx | None -> 0
+let with_core t entity f = match get_core t entity with Some core -> f core | None -> 0
 
-let tokens_left t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.tokens_left)
-let tokens_wanted t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.tokens_wanted)
-let acquired_net t ~entity = with_ctx t entity (fun ctx -> ctx.Entity_state.acquired_net)
-let queued t ~entity = with_ctx t entity (fun ctx -> Queue.length ctx.Entity_state.queue)
+let tokens_left t ~entity = with_core t entity (fun core -> core.Entity_map.tokens_left)
+let tokens_wanted t ~entity = with_core t entity (fun core -> core.Entity_map.tokens_wanted)
+let acquired_net t ~entity = with_core t entity (fun core -> core.Entity_map.acquired_net)
 
-let decided_log_length t ~entity = with_ctx t entity Entity_state.decided_log_length
+let queued t ~entity =
+  match get_ctx t entity with
+  | Some ctx -> Queue.length ctx.Entity_state.queue
+  | None -> 0
+
+let decided_log_length t ~entity =
+  match get_ctx t entity with Some ctx -> Entity_state.decided_log_length ctx | None -> 0
 
 let decided_log t ~entity =
   match get_ctx t entity with Some ctx -> Entity_state.decided_log ctx | None -> []
@@ -234,14 +330,17 @@ let durable_syncs t =
   match t.durable with Some store -> Storage.Durable.sync_count store | None -> 0
 
 let participating t ~entity =
-  match get_ctx t entity with
-  | Some ctx -> Entity_state.participating ctx
+  match get_core t entity with
+  | Some { Entity_map.hot = Some ctx; _ } -> Entity_state.participating ctx
+  | Some core -> core.Entity_map.exposed
   | None -> false
 
 let crash t =
   t.is_alive := false;
   Geonet.Network.crash t.network t.site_id;
-  Hashtbl.iter (fun _ (ctx : Entity_state.t) -> Queue.clear ctx.Entity_state.queue) t.entities;
+  Entity_map.iter_hot
+    (fun _ (ctx : Entity_state.t) -> Queue.clear ctx.Entity_state.queue)
+    t.entities;
   Request_handler.on_crash t.handler;
   match t.durable with
   | None -> () (* freeze model: in-memory state survives the crash *)
@@ -259,9 +358,9 @@ let recover t =
   (match t.durable with
   | None -> ()
   | Some store ->
-      Hashtbl.iter
-        (fun entity ctx ->
-          match Storage.Durable.load store ~key:entity with
+      Entity_map.iter_hot
+        (fun core ctx ->
+          match Storage.Durable.load store ~key:core.Entity_map.name with
           | None -> () (* unreachable: the initial image is forced *)
           | Some image ->
               Entity_state.restore ctx ~config:t.config
@@ -276,17 +375,24 @@ let recover t =
                 ctx)
         t.entities);
   (* Catch up on redistributions decided while we were down: peers answer
-     with any decision our InitVal took part in. *)
-  Hashtbl.iter
-    (fun entity _ ->
-      Geonet.Network.broadcast t.network ~src:t.site_id (Recovery_query { entity }))
+     with any decision our InitVal took part in. Cold, never-exposed
+     entities cannot have contributed, so the fleet stays quiet. *)
+  Entity_map.iter
+    (fun core ->
+      if involved core then
+        Geonet.Network.broadcast t.network ~src:t.site_id
+          (Recovery_query { entity = core.Entity_map.name }))
     t.entities
 
 let protocol_stats t =
-  Hashtbl.fold
-    (fun _ ctx acc ->
-      Avantan_core.add_stats acc (Protocol_driver.protocol_stats t.driver ctx))
-    t.entities Avantan_core.zero_stats
+  Entity_map.fold
+    (fun core acc ->
+      match core.Entity_map.hot with
+      | Some ctx ->
+          Avantan_core.add_stats acc (Protocol_driver.protocol_stats t.driver ctx)
+      | None -> acc)
+    t.entities
+    (Protocol_driver.batch_stats t.driver)
 
 let stats t =
   let proto = protocol_stats t in

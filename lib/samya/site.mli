@@ -49,8 +49,23 @@ val create :
 val id : t -> int
 
 val init_entity : t -> entity:Types.entity -> tokens:int -> unit
-(** Installs this site's initial share of entity [entity]'s tokens. Every
-    site must be initialised consistently; {!Cluster} does this. *)
+(** Installs this site's initial share of entity [entity]'s tokens, hot:
+    the per-entity state is materialised and (per-entity mode) a protocol
+    machine attached immediately, with a per-entity anti-entropy timer.
+    Every site must be initialised consistently; {!Cluster} does this. *)
+
+val register_entities : t -> (Types.entity * int) list -> unit
+(** Bulk registration for large fleets: each entity starts cold — a
+    compact core holding its share, no queue/tracker/protocol state —
+    and heats on first contention. One site-level anti-entropy loop
+    covers the whole fleet (querying only entities whose tokens can have
+    moved). Under crash-amnesia the entities register hot instead, since
+    each needs a durable image from the start. *)
+
+val entity_count : t -> int
+
+val hot_entities : t -> int
+(** Entities whose heavyweight state is currently materialised. *)
 
 val submit : t -> Types.request -> reply:(Types.response -> unit) -> unit
 (** A client request as delivered by an app manager (transport latency

@@ -5,6 +5,7 @@ type request = {
   site : int;
   kind : kind;
   amount : int;
+  entity : string;
 }
 
 let compare_time a b = compare a.time_ms b.time_ms
@@ -26,7 +27,7 @@ let of_trace ~rng ~trace ~site ?(start_interval = 0) ?intervals ?(amount = 1) ()
     let emit kind count =
       for _ = 1 to count do
         let time_ms = base +. Des.Rng.float rng interval_ms in
-        out := { time_ms; site; kind; amount } :: !out
+        out := { time_ms; site; kind; amount; entity = "" } :: !out
       done
     in
     let created = int_of_float trace.Azure_trace.creations.(idx) in
@@ -37,6 +38,44 @@ let of_trace ~rng ~trace ~site ?(start_interval = 0) ?intervals ?(amount = 1) ()
   done;
   let arr = Array.of_list !out in
   Array.sort compare_time arr;
+  arr
+
+let gateway ~rng ~zipf ~key_name ~key_home ~n_clients ~rate_per_s ~duration_ms
+    ?(home_affinity = 0.8) ?(read_ratio = 0.05) () =
+  if n_clients < 1 then invalid_arg "Workload.gateway: n_clients must be >= 1";
+  if rate_per_s <= 0.0 then invalid_arg "Workload.gateway: rate must be positive";
+  if home_affinity < 0.0 || home_affinity > 1.0 then
+    invalid_arg "Workload.gateway: home_affinity outside [0, 1]";
+  if read_ratio < 0.0 || read_ratio > 1.0 then
+    invalid_arg "Workload.gateway: read_ratio outside [0, 1]";
+  (* Open-loop Poisson arrivals over the whole fleet; each arrival draws
+     its key from the Zipfian popularity, then its issuing client — the
+     key's home region with probability [home_affinity] (the "EU tenant
+     calls the EU gateway" skew), uniform otherwise. Releases are not
+     emitted: gateway tokens return via the driver's grant-driven
+     releases, whose lifetime models the rate-limit window. *)
+  let out = ref [] and count = ref 0 in
+  let t = ref 0.0 in
+  let rate = rate_per_s /. 1000.0 (* per ms *) in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Des.Rng.exponential rng ~rate;
+    if !t > duration_ms then continue := false
+    else begin
+      let key = Zipf.sample zipf rng in
+      let home = key_home key in
+      let site =
+        if Des.Rng.bool rng home_affinity then home
+        else Des.Rng.int rng n_clients
+      in
+      let kind = if Des.Rng.bool rng read_ratio then Read else Acquire in
+      out := { time_ms = !t; site; kind; amount = 1; entity = key_name key } :: !out;
+      incr count
+    end
+  done;
+  let arr = Array.make !count { time_ms = 0.0; site = 0; kind = Read; amount = 0; entity = "" } in
+  (* The stream was generated in time order; reverse the accumulator. *)
+  List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
   arr
 
 let merge streams =

@@ -14,6 +14,11 @@ type request = {
   site : int;  (** node id of the closest site *)
   kind : kind;
   amount : int;  (** token count; 1 for trace-derived requests *)
+  entity : string;
+      (** aggregate object the request targets; [""] means the single
+          entity the driven system facade is bound to (trace-derived
+          streams), a name routes through the facade's generic [submit]
+          verb (multi-entity fleets) *)
 }
 
 val of_trace :
@@ -28,6 +33,28 @@ val of_trace :
 (** Requests for [intervals] intervals of [trace] starting at
     [start_interval] (defaults: the whole trace), timed from virtual 0,
     sorted by [time_ms], targeted at [site]. *)
+
+val gateway :
+  rng:Des.Rng.t ->
+  zipf:Zipf.t ->
+  key_name:(int -> string) ->
+  key_home:(int -> int) ->
+  n_clients:int ->
+  rate_per_s:float ->
+  duration_ms:float ->
+  ?home_affinity:float ->
+  ?read_ratio:float ->
+  unit ->
+  request array
+(** Open-loop Zipfian fleet stream (the gateway-fleet experiment):
+    Poisson arrivals at [rate_per_s] across the whole fleet; each arrival
+    draws its key rank from [zipf], names its entity via [key_name] and
+    issues from the key's [key_home] client with probability
+    [home_affinity] (default [0.8]), a uniform client otherwise. A draw
+    is a [Read] with probability [read_ratio] (default [0.05]) and an
+    [Acquire] of 1 token otherwise — releases are left to the driver's
+    grant-driven lifetimes (the rate-limit window). Deterministic in
+    [rng]; sorted by [time_ms]. *)
 
 val merge : request array list -> request array
 (** Stable time-ordered merge of per-site streams. *)

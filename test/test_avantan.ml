@@ -44,8 +44,9 @@ let core_env script ~self ~n_sites =
     n_sites;
     send = (fun dst msg -> script.sent := (dst, msg) :: !(script.sent));
     set_timer = (fun ~delay_ms f -> Des.Engine.timer script.engine ~delay_ms f);
-    local_state = (fun () -> script.state);
-    refresh_wanted = (fun () -> ());
+    local_state = (fun ~scope:_ -> [ ("", script.state) ]);
+    refresh_wanted = (fun ~scope:_ -> ());
+    my_scope = (fun () -> []);
     on_outcome = (fun outcome -> script.outcomes := outcome :: !(script.outcomes));
     on_event = (fun event -> script.events := event :: !(script.events));
     persist = (fun () -> ());
@@ -91,7 +92,7 @@ let maj_leader_happy_path () =
         (P.Election_ok_value
            {
              bal;
-             init_val = entry site 200 0;
+             contribs = [ ("", entry site 200 0) ];
              accept_val = None;
              accept_num = Ballot.zero site;
              decision = false;
@@ -127,9 +128,9 @@ let maj_cohort_happy_path () =
   let script = make_script ~self:3 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_majority.create (majority_env script ~self:3 ~n_sites:5) in
   let bal = { Ballot.num = 1; site = 0 } in
-  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal });
+  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal; scope = [] });
   (match sent_to script 0 with
-  | [ P.Election_ok_value { bal = b; init_val; _ } ] ->
+  | [ P.Election_ok_value { bal = b; contribs = [ (_, init_val) ]; _ } ] ->
       check bool "promised the ballot" true (Ballot.equal b bal);
       check int "reports own tokens" 100 init_val.P.tokens_left
   | _ -> Alcotest.fail "expected an ElectionOk");
@@ -161,11 +162,11 @@ let maj_stale_ballot_ignored () =
   let script = make_script ~self:3 () in
   let machine = Samya.Avantan_majority.create (majority_env script ~self:3 ~n_sites:5) in
   let high = { Ballot.num = 5; site = 0 } in
-  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal = high });
+  Samya.Avantan_majority.handle machine ~src:0 (P.Election_get_value { bal = high; scope = [] });
   script.sent := [];
   (* A lower ballot from another would-be leader is ignored. *)
   Samya.Avantan_majority.handle machine ~src:1
-    (P.Election_get_value { bal = { Ballot.num = 2; site = 1 } });
+    (P.Election_get_value { bal = { Ballot.num = 2; site = 1 }; scope = [] });
   check int "no reply to a stale election" 0 (List.length !(script.sent))
 
 let maj_decision_applied_once () =
@@ -193,7 +194,7 @@ let maj_recovery_adopts_accepted_value () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 1 300 0;
+         contribs = [ ("", entry 1 300 0) ];
          accept_val = Some orphan;
          accept_num = old_bal;
          decision = false;
@@ -202,7 +203,7 @@ let maj_recovery_adopts_accepted_value () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 2 300 0;
+         contribs = [ ("", entry 2 300 0) ];
          accept_val = None;
          accept_num = Ballot.zero 2;
          decision = false;
@@ -230,7 +231,7 @@ let maj_recovery_short_circuits_on_decision () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 1 300 0;
+         contribs = [ ("", entry 1 300 0) ];
          accept_val = Some decided;
          accept_num = old_bal;
          decision = true;
@@ -239,7 +240,7 @@ let maj_recovery_short_circuits_on_decision () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 2 300 0;
+         contribs = [ ("", entry 2 300 0) ];
          accept_val = None;
          accept_num = Ballot.zero 2;
          decision = false;
@@ -259,7 +260,7 @@ let maj_fresh_leader_aborts_on_timeout () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 1 300 0;
+         contribs = [ ("", entry 1 300 0) ];
          accept_val = None;
          accept_num = Ballot.zero 1;
          decision = false;
@@ -288,7 +289,7 @@ let star_leader_minimal_set () =
     (P.Election_ok_value
        {
          bal;
-         init_val = entry 1 500 0;
+         contribs = [ ("", entry 1 500 0) ];
          accept_val = None;
          accept_num = Ballot.zero 1;
          decision = false;
@@ -314,12 +315,12 @@ let star_locked_cohort_rejects_other_leaders () =
   let script = make_script ~self:2 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
   let bal_a = { Ballot.num = 3; site = 0 } in
-  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal = bal_a });
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal = bal_a; scope = [] });
   check bool "locked" true (Samya.Avantan_star.participating machine);
   script.sent := [];
   (* A concurrent leader with an even higher ballot is rejected. *)
   Samya.Avantan_star.handle machine ~src:4
-    (P.Election_get_value { bal = { Ballot.num = 9; site = 4 } });
+    (P.Election_get_value { bal = { Ballot.num = 9; site = 4 }; scope = [] });
   (match sent_to script 4 with
   | [ P.Election_reject _ ] -> ()
   | _ -> Alcotest.fail "expected a rejection while locked")
@@ -330,7 +331,7 @@ let star_cohort_aborts_without_accepted_value () =
   let script = make_script ~self:2 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
   Samya.Avantan_star.handle machine ~src:0
-    (P.Election_get_value { bal = { Ballot.num = 3; site = 0 } });
+    (P.Election_get_value { bal = { Ballot.num = 3; site = 0 }; scope = [] });
   Des.Engine.run script.engine ~until_ms:5_000.0;
   check bool "aborted unilaterally" true (!(script.outcomes) = [ P.Aborted ]);
   check bool "unlocked" false (Samya.Avantan_star.participating machine)
@@ -342,7 +343,7 @@ let star_cohort_recovers_via_status_query () =
   let script = make_script ~self:2 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
   let bal = { Ballot.num = 3; site = 0 } in
-  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal; scope = [] });
   let value = P.make_value ~origin:bal [ entry 0 0 50; entry 1 100 0; entry 2 100 0 ] in
   Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
   script.sent := [];
@@ -367,7 +368,7 @@ let star_cohort_aborts_when_member_reports_empty () =
   let script = make_script ~self:2 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
   let bal = { Ballot.num = 3; site = 0 } in
-  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal; scope = [] });
   let value = P.make_value ~origin:bal [ entry 0 0 50; entry 1 100 0; entry 2 100 0 ] in
   Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
   Des.Engine.run script.engine ~until_ms:3_000.0;
@@ -381,7 +382,7 @@ let star_status_query_answered_from_applied_log () =
   let script = make_script ~self:2 ~tokens_wanted:0 () in
   let machine = Samya.Avantan_star.create (star_env script ~self:2 ~n_sites:5) in
   let bal = { Ballot.num = 3; site = 0 } in
-  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal });
+  Samya.Avantan_star.handle machine ~src:0 (P.Election_get_value { bal; scope = [] });
   let value = P.make_value ~origin:bal [ entry 0 0 50; entry 2 100 0 ] in
   Samya.Avantan_star.handle machine ~src:0 (P.Accept_value { bal; value; decision = false });
   Samya.Avantan_star.handle machine ~src:0 (P.Decision { bal; value });

@@ -121,6 +121,116 @@ let soak_conserves_tokens variant name =
         QCheck.Test.fail_reportf "%s@." (Chaos.Soak.repro_line report)
       else true)
 
+(* Per-entity token conservation under the chaos auditor: a multi-entity
+   cluster with the batched site-level protocol, random cross-entity
+   traffic and the full nemesis schedule must come out of the drain with
+   every key's Equation 1 intact and clean decided logs. (Batching
+   requires the freeze crash model: batched instances are not yet in the
+   per-entity durable images.) *)
+let multi_entity_conserves_under_chaos =
+  QCheck.Test.make ~count:8 ~name:"chaos: per-entity conservation, batched protocol"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let n_sites = 5 and n_entities = 40 and quota = 30 in
+      let duration_ms = 45_000.0 in
+      let key r = Printf.sprintf "key%02d" r in
+      let schedule = Chaos.Nemesis.generate ~seed ~n_sites ~duration_ms in
+      let root = Des.Rng.create (Int64.of_int seed) in
+      let cluster_seed = Des.Rng.bits64 root in
+      let config =
+        {
+          Samya.Config.default with
+          variant = Samya.Config.Majority;
+          amnesia_on_crash = false;
+          prediction_enabled = false;
+          protocol_batch = 8;
+          entity_shards = 4;
+          entity_capacity = n_entities;
+        }
+      in
+      let all_regions = Array.of_list Geonet.Region.all in
+      let regions =
+        Array.init n_sites (fun i -> all_regions.(i mod Array.length all_regions))
+      in
+      let auditor = Chaos.Auditor.create ~variant:config.Samya.Config.variant () in
+      let cluster =
+        Samya.Cluster.create ~seed:cluster_seed ~config ~regions
+          ~on_protocol_event:(fun ~site ~entity:_ event ->
+            Chaos.Auditor.on_protocol_event auditor ~site event)
+          ()
+      in
+      Samya.Cluster.register_entities cluster
+        (List.init n_entities (fun r -> (key r, quota)));
+      let engine = Samya.Cluster.engine cluster in
+      let injector =
+        Chaos.Injector.install
+          ~schedule_at:(Des.Engine.schedule_at engine)
+          ~network:(Samya.Cluster.network cluster)
+          ~crash:(Samya.Cluster.crash_site cluster)
+          ~recover:(fun site ->
+            Chaos.Auditor.note_recovery auditor ~site;
+            Samya.Cluster.recover_site cluster site)
+          schedule
+      in
+      (* One client per region, each acquiring and releasing across the
+         whole key space — never releasing more of a key than it holds. *)
+      Array.iter
+        (fun region ->
+          let rng = Des.Rng.split root in
+          let held = Array.make n_entities 0 in
+          let rec step () =
+            Des.Engine.schedule engine
+              ~delay_ms:(Des.Rng.exponential rng ~rate:(1.0 /. 40.0))
+              (fun () ->
+                if Des.Engine.now engine < duration_ms then begin
+                  let r = Des.Rng.int rng n_entities in
+                  (if held.(r) > 0 && Des.Rng.bool rng 0.4 then begin
+                     let amount = 1 + Des.Rng.int rng (min 3 held.(r)) in
+                     held.(r) <- held.(r) - amount;
+                     Samya.Cluster.submit cluster ~region
+                       (Samya.Types.Release { entity = key r; amount })
+                       ~reply:(fun _ -> ())
+                   end
+                   else
+                     let amount = 1 + Des.Rng.int rng 4 in
+                     Samya.Cluster.submit cluster ~region
+                       (Samya.Types.Acquire { entity = key r; amount })
+                       ~reply:(fun response ->
+                         if response = Samya.Types.Granted then
+                           held.(r) <- held.(r) + amount));
+                  step ()
+                end)
+          in
+          step ())
+        regions;
+      Des.Engine.run engine
+        ~until_ms:
+          (duration_ms
+          +. Float.max 240_000.0 (4.0 *. config.Samya.Config.anti_entropy_ms));
+      if Chaos.Injector.injected injector <> Chaos.Injector.healed injector then
+        QCheck.Test.fail_reportf "seed %d: unhealed faults" seed;
+      List.iteri
+        (fun r (entity, maximum) ->
+          (* Live/log checks once (they are entity-independent); the
+             quiescent Equation-1 audit for every key. *)
+          let violations =
+            if r = 0 then
+              Chaos.Auditor.check_cluster auditor cluster ~entity ~maximum
+                ~quiescent:true
+            else
+              match Samya.Cluster.check_invariant cluster ~entity ~maximum with
+              | Ok () -> []
+              | Error detail ->
+                  [ { Chaos.Auditor.check = "conservation"; site = None; detail } ]
+          in
+          match violations with
+          | [] -> ()
+          | v :: _ ->
+              QCheck.Test.fail_reportf "seed %d, %s: %a" seed entity
+                Chaos.Auditor.pp_violation v)
+        (List.init n_entities (fun r -> (key r, quota)));
+      true)
+
 let suite =
   [
     Alcotest.test_case "nemesis: deterministic per seed" `Quick nemesis_deterministic;
@@ -137,4 +247,5 @@ let suite =
     QCheck_alcotest.to_alcotest
       (soak_conserves_tokens Samya.Config.Star
          "chaos soak: clean audit across seeds (Avantan[*])");
+    QCheck_alcotest.to_alcotest multi_entity_conserves_under_chaos;
   ]

@@ -105,7 +105,7 @@ let lab_read_ratio_applies () =
 
 let registry_ids_unique_and_complete () =
   let ids = Harness.Registry.ids () in
-  check int "thirteen experiments" 13 (List.length ids);
+  check int "fourteen experiments" 14 (List.length ids);
   check int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
   List.iter
     (fun id ->
@@ -214,6 +214,30 @@ let registry_engine_jobs_sweep_deterministic () =
   check Alcotest.string "engine-jobs 2 byte-identical" one (render 2);
   check Alcotest.string "engine-jobs 4 byte-identical" one (render 4)
 
+let gateway_engine_jobs_identical () =
+  (* The gateway fleet — deferred SLO feed, per-slot entity stats, batched
+     site-level instances — must report identically whether the regions
+     run on one domain or four. *)
+  let fingerprint engine_jobs =
+    let c = Harness.Exp_gateway.capture ~engine_jobs ~quick:true () in
+    let r = c.Harness.Exp_gateway.result in
+    Format.asprintf "%d/%d/%d/%d p50=%.3f p95=%.3f slo=%a by=%a"
+      r.Harness.Driver.committed r.Harness.Driver.rejected r.Harness.Driver.unavailable r.Harness.Driver.no_reply
+      (Harness.Driver.percentile r 50.0) (Harness.Driver.percentile r 95.0)
+      (Format.pp_print_list (fun fmt (l : Obs.Slo.report_line) ->
+           Format.fprintf fmt "%s:%d/%d" l.Obs.Slo.name l.Obs.Slo.violations
+             l.Obs.Slo.windows))
+      (Obs.Slo.report c.Harness.Exp_gateway.slo)
+      (Format.pp_print_list (fun fmt (key, (e : Harness.Driver.entity_stats)) ->
+           Format.fprintf fmt "%s=%d,%d,%.3f" key e.Harness.Driver.e_committed
+             e.Harness.Driver.e_rejected e.Harness.Driver.e_latency_sum_ms))
+      r.Harness.Driver.by_entity
+  in
+  let one = fingerprint 1 in
+  Alcotest.check bool "produced data" true (String.length one > 100);
+  Alcotest.check Alcotest.string "engine-jobs 2 byte-identical" one (fingerprint 2);
+  Alcotest.check Alcotest.string "engine-jobs 4 byte-identical" one (fingerprint 4)
+
 let suite =
   [
     Alcotest.test_case "driver: counts commits" `Quick driver_counts_commits;
@@ -232,4 +256,6 @@ let suite =
       registry_parallel_run_deterministic;
     Alcotest.test_case "registry: engine-jobs sweep deterministic" `Slow
       registry_engine_jobs_sweep_deterministic;
+    Alcotest.test_case "gateway: engine-jobs sweep byte-identical" `Slow
+      gateway_engine_jobs_identical;
   ]

@@ -489,6 +489,71 @@ let invariant_small_log_cap =
     (random_schedule_invariant Samya.Config.Majority ~drop:(Some 0.05) ~crash:true
        ~config_f:(fun c -> { c with Samya.Config.decided_log_retention = 4 }))
 
+(* ------------------------------------------------------------------ *)
+(* The sharded entity arena (the multi-entity core).                    *)
+
+let entity_map_registration () =
+  let map : unit Samya.Entity_map.t =
+    Samya.Entity_map.create ~shards:4 ~capacity:8 ()
+  in
+  for r = 0 to 99 do
+    let core =
+      Samya.Entity_map.register map ~entity:(Printf.sprintf "e%02d" r) ~tokens:r
+    in
+    check int "dense eid in registration order" r core.Samya.Entity_map.eid
+  done;
+  check int "length" 100 (Samya.Entity_map.length map);
+  check int "all cold" 0 (Samya.Entity_map.hot_count map);
+  (match Samya.Entity_map.find map "e42" with
+  | Some core ->
+      check int "find by name" 42 core.Samya.Entity_map.eid;
+      check int "tokens kept" 42 core.Samya.Entity_map.tokens_left
+  | None -> Alcotest.fail "registered entity not found");
+  check bool "unknown name" true (Samya.Entity_map.find map "nope" = None);
+  check Alcotest.string "by_eid" "e07" (Samya.Entity_map.by_eid map 7).Samya.Entity_map.name
+
+let entity_map_iteration_shard_independent () =
+  (* Iteration runs in dense-eid order whatever the shard count — the
+     property every deterministic merge in the stack leans on. *)
+  let names shards =
+    let map : unit Samya.Entity_map.t = Samya.Entity_map.create ~shards () in
+    for r = 0 to 199 do
+      ignore (Samya.Entity_map.register map ~entity:(Printf.sprintf "k%03d" r) ~tokens:1)
+    done;
+    Samya.Entity_map.fold (fun core acc -> core.Samya.Entity_map.name :: acc) map []
+  in
+  let one = names 1 in
+  check bool "1 vs 7 shards" true (one = names 7);
+  check bool "1 vs 64 shards" true (one = names 64);
+  check bool "registration order" true
+    (List.rev one = List.init 200 (Printf.sprintf "k%03d"))
+
+let entity_map_hot_tracking () =
+  let map : string Samya.Entity_map.t = Samya.Entity_map.create () in
+  let a = Samya.Entity_map.register map ~entity:"a" ~tokens:1 in
+  let _b = Samya.Entity_map.register map ~entity:"b" ~tokens:1 in
+  Samya.Entity_map.set_hot map a "heavy";
+  check int "one hot" 1 (Samya.Entity_map.hot_count map);
+  let seen = ref [] in
+  Samya.Entity_map.iter_hot
+    (fun core hot -> seen := (core.Samya.Entity_map.name, hot) :: !seen)
+    map;
+  check bool "iter_hot visits the hot one" true (!seen = [ ("a", "heavy") ])
+
+let entity_map_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "shards >= 1" true
+    (invalid (fun () -> (Samya.Entity_map.create ~shards:0 () : unit Samya.Entity_map.t)));
+  check bool "capacity >= 1" true
+    (invalid (fun () -> (Samya.Entity_map.create ~capacity:0 () : unit Samya.Entity_map.t)));
+  let map : unit Samya.Entity_map.t = Samya.Entity_map.create () in
+  ignore (Samya.Entity_map.register map ~entity:"dup" ~tokens:1);
+  check bool "duplicate name" true
+    (invalid (fun () -> Samya.Entity_map.register map ~entity:"dup" ~tokens:1));
+  check bool "negative tokens" true
+    (invalid (fun () -> Samya.Entity_map.register map ~entity:"neg" ~tokens:(-1)));
+  check bool "by_eid out of range" true (invalid (fun () -> Samya.Entity_map.by_eid map 5))
+
 let suite =
   [
     Alcotest.test_case "protocol: value helpers" `Quick protocol_value_helpers;
@@ -528,4 +593,9 @@ let suite =
     QCheck_alcotest.to_alcotest invariant_majority_partition;
     QCheck_alcotest.to_alcotest invariant_star_partition;
     QCheck_alcotest.to_alcotest invariant_small_log_cap;
+    Alcotest.test_case "entity map: registration" `Quick entity_map_registration;
+    Alcotest.test_case "entity map: shard-independent iteration" `Quick
+      entity_map_iteration_shard_independent;
+    Alcotest.test_case "entity map: hot tracking" `Quick entity_map_hot_tracking;
+    Alcotest.test_case "entity map: validation" `Quick entity_map_validation;
   ]

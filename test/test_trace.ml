@@ -175,6 +175,104 @@ let split_fraction () =
   check int "all intervals covered" (Trace.Azure_trace.length trace) total;
   check int "80% train" (int_of_float (0.8 *. float_of_int total)) (Array.length train)
 
+(* ------------------------------------------------------------------ *)
+(* The Zipfian rank sampler (the gateway-fleet popularity curve).       *)
+
+let zipf_rank_monotone =
+  (* Popularity strictly decreases with rank and the mass sums to one —
+     for any universe size and any skew (theta 0 is the uniform edge
+     case, where "monotone" degenerates to equal mass). *)
+  QCheck.Test.make ~count:50 ~name:"zipf: rank-monotone popularity, mass sums to 1"
+    QCheck.(pair (int_range 1 5_000) (float_range 0.0 1.5))
+    (fun (n, theta) ->
+      let zipf = Trace.Zipf.create ~theta n in
+      let sum = ref 0.0 in
+      for r = 0 to n - 1 do
+        sum := !sum +. Trace.Zipf.probability zipf r;
+        if r > 0 then begin
+          let prev = Trace.Zipf.probability zipf (r - 1) in
+          let cur = Trace.Zipf.probability zipf r in
+          if theta > 0.0 && cur > prev +. 1e-12 then
+            QCheck.Test.fail_reportf "rank %d more popular than rank %d" r (r - 1)
+        end
+      done;
+      Float.abs (!sum -. 1.0) < 1e-9)
+
+let zipf_sample_deterministic =
+  (* The sampler takes every bit from the caller's RNG stream, so two
+     streams with the same (seed, index) replay the same ranks — the
+     property that makes the gateway stream byte-identical at every
+     --jobs / --engine-jobs setting. *)
+  QCheck.Test.make ~count:30 ~name:"zipf: sampler deterministic in the rng stream"
+    QCheck.(pair (int_range 1 10_000) small_nat)
+    (fun (n, seed) ->
+      let zipf = Trace.Zipf.create n in
+      let draw () =
+        let rng = Des.Rng.stream (Int64.of_int seed) 77 in
+        List.init 200 (fun _ -> Trace.Zipf.sample zipf rng)
+      in
+      let a = draw () and b = draw () in
+      List.iter
+        (fun r ->
+          if r < 0 || r >= n then QCheck.Test.fail_reportf "rank %d out of range" r)
+        a;
+      a = b)
+
+let zipf_sample_tracks_probability () =
+  (* 50k draws at the default skew: the hot head's empirical frequency
+     lands near its analytic mass and the head out-draws the tail. *)
+  let n = 1_000 in
+  let zipf = Trace.Zipf.create n in
+  let rng = Des.Rng.stream 11L 5 in
+  let counts = Array.make n 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let r = Trace.Zipf.sample zipf rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let freq0 = float_of_int counts.(0) /. float_of_int draws in
+  let p0 = Trace.Zipf.probability zipf 0 in
+  check bool "hottest rank near analytic mass" true
+    (Float.abs (freq0 -. p0) < 0.2 *. p0);
+  check bool "head out-draws mid-tail" true (counts.(0) > counts.(n / 2))
+
+let zipf_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "rejects empty universe" true (invalid (fun () -> Trace.Zipf.create 0));
+  check bool "rejects negative skew" true
+    (invalid (fun () -> Trace.Zipf.create ~theta:(-0.1) 10));
+  let zipf = Trace.Zipf.create 10 in
+  check bool "rejects out-of-range rank" true
+    (invalid (fun () -> Trace.Zipf.probability zipf 10))
+
+let gateway_stream_shape () =
+  (* The open-loop fleet stream: sorted arrivals, every request named
+     after its drawn key, acquires of one token, client ids in range. *)
+  let zipf = Trace.Zipf.create 500 in
+  let rng = Des.Rng.stream 21L 9 in
+  let requests =
+    Trace.Workload.gateway ~rng ~zipf
+      ~key_name:(Printf.sprintf "k%03d")
+      ~key_home:(fun r -> r mod 3)
+      ~n_clients:3 ~rate_per_s:2_000.0 ~duration_ms:5_000.0 ()
+  in
+  check bool "stream non-empty" true (Array.length requests > 0);
+  let last = ref neg_infinity and reads = ref 0 in
+  Array.iter
+    (fun r ->
+      check bool "sorted" true (r.Trace.Workload.time_ms >= !last);
+      last := r.Trace.Workload.time_ms;
+      check bool "client in range" true
+        (r.Trace.Workload.site >= 0 && r.Trace.Workload.site < 3);
+      check bool "entity named" true (String.length r.Trace.Workload.entity = 4);
+      match r.Trace.Workload.kind with
+      | Trace.Workload.Acquire -> check int "one token" 1 r.Trace.Workload.amount
+      | Trace.Workload.Read -> incr reads
+      | Trace.Workload.Release -> Alcotest.fail "gateway stream emits no releases")
+    requests;
+  let ratio = float_of_int !reads /. float_of_int (Array.length requests) in
+  check bool "read ratio near 5%" true (ratio > 0.02 && ratio < 0.09)
+
 let suite =
   [
     Alcotest.test_case "trace: deterministic" `Quick generator_deterministic;
@@ -190,4 +288,9 @@ let suite =
     Alcotest.test_case "workload: read mix" `Quick with_reads_ratio;
     Alcotest.test_case "workload: merge sorted" `Quick merge_is_sorted;
     Alcotest.test_case "trace: train/test split" `Quick split_fraction;
+    QCheck_alcotest.to_alcotest zipf_rank_monotone;
+    QCheck_alcotest.to_alcotest zipf_sample_deterministic;
+    Alcotest.test_case "zipf: empirical frequency" `Quick zipf_sample_tracks_probability;
+    Alcotest.test_case "zipf: validation" `Quick zipf_validation;
+    Alcotest.test_case "workload: gateway stream shape" `Quick gateway_stream_shape;
   ]

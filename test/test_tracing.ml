@@ -160,7 +160,7 @@ let feq name expected actual =
 let critical_path_partitions_window () =
   let events =
     [
-      Obs.Causal.Submitted { trace = 3; client = 0; kind = "req.acquire"; ts = 0.0 };
+      Obs.Causal.Submitted { trace = 3; client = 0; kind = "req.acquire"; entity = ""; ts = 0.0 };
       Obs.Causal.Accepted { trace = 3; site = 1; ts = 10.0 };
       Obs.Causal.Enqueued { trace = 3; site = 1; label = "admission"; ts = 10.0 };
       Obs.Causal.Dequeued { trace = 3; site = 1; ts = 25.0 };
@@ -187,7 +187,7 @@ let critical_path_partitions_window () =
 let critical_path_reports_interior_gap () =
   let events =
     [
-      Obs.Causal.Submitted { trace = 1; client = 2; kind = "req.read"; ts = 0.0 };
+      Obs.Causal.Submitted { trace = 1; client = 2; kind = "req.read"; entity = ""; ts = 0.0 };
       Obs.Causal.Service { trace = 1; site = 0; t0 = 10.0; t1 = 20.0 };
       Obs.Causal.Hop { trace = 1; edge = 4; src = 0; dst = 1; t0 = 32.0; t1 = 40.0 };
       Obs.Causal.Completed { trace = 1; outcome = "granted"; ts = 50.0 };
@@ -205,8 +205,8 @@ let critical_path_reports_interior_gap () =
 let critical_path_ignores_incomplete () =
   let events =
     [
-      Obs.Causal.Submitted { trace = 1; client = 0; kind = "req.acquire"; ts = 0.0 };
-      Obs.Causal.Submitted { trace = 2; client = 0; kind = "req.acquire"; ts = 1.0 };
+      Obs.Causal.Submitted { trace = 1; client = 0; kind = "req.acquire"; entity = ""; ts = 0.0 };
+      Obs.Causal.Submitted { trace = 2; client = 0; kind = "req.acquire"; entity = ""; ts = 1.0 };
       Obs.Causal.Completed { trace = 2; outcome = "rejected"; ts = 4.0 };
     ]
   in
