@@ -138,7 +138,7 @@ let demo_cmd =
     for i = 0 to 2_499 do
       Des.Engine.schedule engine ~delay_ms:(float_of_int i *. 1.5) (fun () ->
           Samya.Cluster.submit cluster ~region:regions.(0)
-            (Samya.Types.Acquire { entity = "VM"; amount = 1 })
+            (Samya.Types.Acquire { entity = "VM"; amount = 1; deadline_ms = infinity })
             ~reply:(function
               | Samya.Types.Granted -> incr granted
               | _ -> incr rejected))

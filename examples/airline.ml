@@ -28,7 +28,7 @@ let () =
   let book region at =
     Des.Engine.schedule_at engine ~time_ms:at (fun () ->
         Samya.Cluster.submit cluster ~region
-          (Samya.Types.Acquire { entity = flight; amount = 1 })
+          (Samya.Types.Acquire { entity = flight; amount = 1; deadline_ms = infinity })
           ~reply:(function
             | Samya.Types.Granted ->
                 incr booked;
@@ -37,13 +37,14 @@ let () =
                     ~delay_ms:(Des.Rng.float rng 60_000.0)
                     (fun () ->
                       Samya.Cluster.submit cluster ~region
-                        (Samya.Types.Release { entity = flight; amount = 1 })
+                        (Samya.Types.Release { entity = flight; amount = 1; deadline_ms = infinity })
                         ~reply:(function
                           | Samya.Types.Granted ->
                               decr booked;
                               incr cancelled
                           | _ -> ()))
-            | Samya.Types.Rejected | Samya.Types.Unavailable -> incr turned_away
+            | Samya.Types.Rejected | Samya.Types.Rejected_deadline | Samya.Types.Unavailable ->
+                incr turned_away
             | Samya.Types.Read_result _ -> ()))
   in
   for _ = 1 to 700 do

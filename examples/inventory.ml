@@ -28,10 +28,10 @@ let () =
   let order region_index at =
     Des.Engine.schedule_at engine ~time_ms:at (fun () ->
         Samya.Cluster.submit cluster ~region:regions.(region_index)
-          (Samya.Types.Acquire { entity = sku; amount = 1 })
+          (Samya.Types.Acquire { entity = sku; amount = 1; deadline_ms = infinity })
           ~reply:(function
             | Samya.Types.Granted -> sold.(region_index) <- sold.(region_index) + 1
-            | Samya.Types.Rejected | Samya.Types.Unavailable ->
+            | Samya.Types.Rejected | Samya.Types.Rejected_deadline | Samya.Types.Unavailable ->
                 missed.(region_index) <- missed.(region_index) + 1
             | Samya.Types.Read_result _ -> ()))
   in

@@ -25,18 +25,18 @@ let () =
     Format.printf "  %-28s -> %a@." label Samya.Types.pp_response response
   in
   Samya.Cluster.submit cluster ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity = "VM"; amount = 3 })
+    (Samya.Types.Acquire { entity = "VM"; amount = 3; deadline_ms = infinity })
     ~reply:(show "us-west acquires 3 VMs");
   Samya.Cluster.submit cluster ~region:Geonet.Region.Asia_east2
-    (Samya.Types.Acquire { entity = "VM"; amount = 10 })
+    (Samya.Types.Acquire { entity = "VM"; amount = 10; deadline_ms = infinity })
     ~reply:(show "asia acquires 10 VMs");
   Samya.Cluster.submit cluster ~region:Geonet.Region.Us_west1
-    (Samya.Types.Release { entity = "VM"; amount = 1 })
+    (Samya.Types.Release { entity = "VM"; amount = 1; deadline_ms = infinity })
     ~reply:(show "us-west releases 1 VM");
 
   (* 4. A global-snapshot read (fans out to every site). *)
   Samya.Cluster.submit cluster ~region:Geonet.Region.Europe_west2
-    (Samya.Types.Read { entity = "VM" })
+    (Samya.Types.Read { entity = "VM"; deadline_ms = infinity })
     ~reply:(show "europe reads availability");
 
   (* 5. Run the virtual clock until everything settles. *)

@@ -60,16 +60,17 @@ let () =
     let entity = key rank in
     Des.Engine.schedule_at engine ~time_ms:at (fun () ->
         Samya.Cluster.submit cluster ~region:regions.(gateway)
-          (Samya.Types.Acquire { entity; amount = 1 })
+          (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
           ~reply:(function
             | Samya.Types.Granted ->
                 incr admitted;
                 bump per_key_admitted entity;
                 Des.Engine.schedule engine ~delay_ms:hold_ms (fun () ->
                     Samya.Cluster.submit cluster ~region:regions.(gateway)
-                      (Samya.Types.Release { entity; amount = 1 })
+                      (Samya.Types.Release { entity; amount = 1; deadline_ms = infinity })
                       ~reply:(fun _ -> ()))
-            | Samya.Types.Rejected | Samya.Types.Unavailable -> incr throttled
+            | Samya.Types.Rejected | Samya.Types.Rejected_deadline | Samya.Types.Unavailable ->
+                incr throttled
             | Samya.Types.Read_result _ -> ()))
   in
   let rec arrivals at =

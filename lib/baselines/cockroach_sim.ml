@@ -261,7 +261,7 @@ let rec submit t ~region request ~reply =
                 record_causal t ~trace
                   (Obs.Causal.Accepted { trace; site = leader_id; ts = now });
                 match request with
-                | Types.Read { entity } ->
+                | Types.Read { entity; _ } ->
                     let state = t.states.(leader_id) in
                     t.committed <- t.committed + 1;
                     record_causal t ~trace

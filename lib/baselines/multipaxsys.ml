@@ -224,7 +224,7 @@ let submit t ~region request ~reply =
             record_causal t ~trace
               (Obs.Causal.Accepted { trace; site = gateway; ts = now });
             match request with
-            | Types.Read { entity } ->
+            | Types.Read { entity; _ } ->
                 (* Reads execute at the leader without replication (§5.8). *)
                 let state = t.states.(t.leader) in
                 t.committed <- t.committed + 1;

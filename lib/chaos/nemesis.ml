@@ -85,6 +85,23 @@ let generate ~seed ~n_sites ~duration_ms =
   in
   { seed; n_sites; duration_ms; faults }
 
+let spike_partition ~site ~n_sites ~at_ms ~heal_ms ~duration_ms =
+  if n_sites < 2 then invalid_arg "Nemesis.spike_partition: need at least 2 sites";
+  if site < 0 || site >= n_sites then
+    invalid_arg "Nemesis.spike_partition: site outside [0, n_sites)";
+  if not (0.0 <= at_ms && at_ms < heal_ms && heal_ms <= duration_ms) then
+    invalid_arg "Nemesis.spike_partition: need 0 <= at < heal <= duration";
+  let rest =
+    List.filter (fun s -> s <> site) (List.init n_sites (fun s -> s))
+  in
+  {
+    seed = 0;
+    n_sites;
+    duration_ms;
+    faults =
+      [ { kind = Partition { groups = [ [ site ]; rest ] }; at_ms; heal_ms } ];
+  }
+
 let crash_faults t =
   List.filter_map
     (function

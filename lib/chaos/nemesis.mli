@@ -29,6 +29,14 @@ val generate : seed:int -> n_sites:int -> duration_ms:float -> schedule
 (** Deterministic. Raises [Invalid_argument] on [n_sites < 2] or a
     non-positive duration. *)
 
+val spike_partition :
+  site:int -> n_sites:int -> at_ms:float -> heal_ms:float -> duration_ms:float -> schedule
+(** A one-fault schedule partitioning [site] away from every peer over
+    [\[at_ms, heal_ms)] — the retry-storm scenario's targeted fault (the
+    hot entity's home region loses its quorum during the flash sale).
+    Raises [Invalid_argument] on [n_sites < 2], a [site] out of range, or
+    [at_ms]/[heal_ms] not satisfying [0 <= at < heal <= duration]. *)
+
 val crash_faults : schedule -> (int * float * float) list
 (** [(site, at_ms, heal_ms)] for every crash in the schedule (recovery
     probes target these). *)

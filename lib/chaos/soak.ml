@@ -72,7 +72,7 @@ let spawn_client ~engine ~(facade : Facade.t) ~rng ~region ~duration_ms ~granted
   let outstanding = ref 0 in
   let count = function
     | Samya.Types.Granted -> incr granted
-    | Samya.Types.Rejected -> incr rejected
+    | Samya.Types.Rejected | Samya.Types.Rejected_deadline -> incr rejected
     | Samya.Types.Unavailable -> incr unavailable
     | Samya.Types.Read_result _ -> ()
   in
@@ -162,7 +162,7 @@ let run ?(n_sites = 5) ?(duration_ms = 120_000.0) ?(maximum = 5_000)
       Des.Engine.schedule_at probe_engine ~time_ms:(heal_ms +. 1.0) (fun () ->
           let sent = Des.Engine.now probe_engine in
           Samya.Cluster.submit_to_site cluster ~site
-            (Samya.Types.Acquire { entity; amount = 1 })
+            (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
             ~reply:(fun _ ->
               recovery_probes :=
                 (site, Des.Engine.now probe_engine -. sent) :: !recovery_probes)))

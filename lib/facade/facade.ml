@@ -293,11 +293,11 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
     engine_lanes = Samya.Cluster.lanes cluster;
     acquire =
       (fun ~region ~amount ~reply ->
-        submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
+        submit ~region (Samya.Types.Acquire { entity; amount; deadline_ms = infinity }) ~reply);
     release =
       (fun ~region ~amount ~reply ->
-        submit ~region (Samya.Types.Release { entity; amount }) ~reply);
-    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+        submit ~region (Samya.Types.Release { entity; amount; deadline_ms = infinity }) ~reply);
+    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity; deadline_ms = infinity }) ~reply);
     submit;
     crash_region =
       (fun region ->

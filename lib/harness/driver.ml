@@ -1,5 +1,24 @@
 type event = { at_ms : float; action : unit -> unit }
 
+(* Client retry policy: how many attempts a request gets, and how the
+   client paces them. Timed-out acquires/reads and shed requests of any
+   kind re-enter the stream as causally-linked attempts on the same trace
+   root; timed-out releases never retry (the original may have been
+   applied late, and a doubled release would mint tokens). *)
+type retry = {
+  max_attempts : int;  (** total attempts including the first; >= 1 *)
+  base_backoff_ms : float;  (** delay before attempt 2 (0 = immediate) *)
+  max_backoff_ms : float;  (** cap on the doubled backoff *)
+  jitter : float;
+      (** fraction in [0, 1): each delay is scaled by
+          [1 - jitter * u], u uniform per draw *)
+  jitter_seed : int64;
+      (** root of the per-client jitter streams
+          ([Des.Rng.stream jitter_seed client]) — each client draws from
+          its own stream on its own lane, so schedules are byte-identical
+          at any [--engine-jobs] *)
+}
+
 type spec = {
   client_regions : Geonet.Region.t array;
   requests : Trace.Workload.request array;
@@ -22,6 +41,14 @@ type spec = {
       (* when set, counted replies of entity-named requests additionally
          accumulate per-entity outcome counts and latency sums (the
          gateway-fleet per-key attribution) *)
+  retry : retry option;
+      (* when set, timed-out and shed requests re-enter as linked retry
+         attempts (default None: submit once, wait forever — the
+         historical behaviour) *)
+  deadline_budget_ms : float;
+      (* per-workload deadline budget: entity-named requests are stamped
+         with the absolute deadline [first_sent + budget], which sites
+         propagate and enforce (default infinity: no deadline) *)
 }
 
 let default_spec ~client_regions ~requests ~duration_ms =
@@ -38,12 +65,15 @@ let default_spec ~client_regions ~requests ~duration_ms =
     obs = None;
     slo = None;
     track_entities = false;
+    retry = None;
+    deadline_budget_ms = infinity;
   }
 
 type entity_stats = {
   e_committed : int;
   e_rejected : int;
   e_unavailable : int;
+  e_shed : int;
   e_latency_sum_ms : float;
   e_latency_max_ms : float;
 }
@@ -52,6 +82,9 @@ type result = {
   committed : int;
   rejected : int;
   unavailable : int;
+  shed : int;
+  timed_out : int;
+  retries : int;
   no_reply : int;
   latencies : Stats.Sample_set.t;
   throughput : Stats.Throughput.t;
@@ -78,9 +111,17 @@ type ent_acc = {
   mutable ec : int;
   mutable er : int;
   mutable eu : int;
+  mutable es : int;
   mutable elsum : float;
   mutable elmax : float;
 }
+
+(* SLO feed tags: 0 = commit, the rest are abort classes. *)
+let cls_name = function
+  | 1 -> "rejected"
+  | 2 -> "unavailable"
+  | 3 -> "shed"
+  | _ -> "timeout"
 
 type acc = {
   slots : int;
@@ -89,12 +130,15 @@ type acc = {
   committed : int array;
   rejected : int array;
   unavailable : int array;
+  shed : int array;
+  timedout : int array;
+  retries : int array;
   submitted : int array;
   replied : int array;
   ents : (string, ent_acc) Hashtbl.t array;
   (* deferred SLO events on a sharded system, newest first per slot:
-     (reply time rel. t0, commit latency, was a commit) *)
-  slo_buf : (float * float * bool) list ref array;
+     (reply time rel. t0, commit latency, outcome tag) *)
+  slo_buf : (float * float * int) list ref array;
 }
 
 let acc_create ~lanes ~n_clients ~window_ms =
@@ -106,6 +150,9 @@ let acc_create ~lanes ~n_clients ~window_ms =
     committed = Array.make slots 0;
     rejected = Array.make slots 0;
     unavailable = Array.make slots 0;
+    shed = Array.make slots 0;
+    timedout = Array.make slots 0;
+    retries = Array.make slots 0;
     submitted = Array.make slots 0;
     replied = Array.make slots 0;
     ents = Array.init slots (fun _ -> Hashtbl.create 16);
@@ -116,7 +163,7 @@ let ent_for tbl entity =
   match Hashtbl.find_opt tbl entity with
   | Some e -> e
   | None ->
-      let e = { ec = 0; er = 0; eu = 0; elsum = 0.0; elmax = 0.0 } in
+      let e = { ec = 0; er = 0; eu = 0; es = 0; elsum = 0.0; elmax = 0.0 } in
       Hashtbl.add tbl entity e;
       e
 
@@ -154,6 +201,7 @@ let acc_result acc ~duration_ms : result =
                m.ec <- m.ec + e.ec;
                m.er <- m.er + e.er;
                m.eu <- m.eu + e.eu;
+               m.es <- m.es + e.es;
                m.elsum <- m.elsum +. e.elsum;
                if e.elmax > m.elmax then m.elmax <- e.elmax))
       acc.ents;
@@ -165,6 +213,7 @@ let acc_result acc ~duration_ms : result =
                e_committed = m.ec;
                e_rejected = m.er;
                e_unavailable = m.eu;
+               e_shed = m.es;
                e_latency_sum_ms = m.elsum;
                e_latency_max_ms = m.elmax;
              } ))
@@ -173,6 +222,9 @@ let acc_result acc ~duration_ms : result =
     committed = sum acc.committed;
     rejected = sum acc.rejected;
     unavailable = sum acc.unavailable;
+    shed = sum acc.shed;
+    timed_out = sum acc.timedout;
+    retries = sum acc.retries;
     no_reply = sum acc.submitted - sum acc.replied;
     latencies;
     throughput;
@@ -180,7 +232,50 @@ let acc_result acc ~duration_ms : result =
     by_entity;
   }
 
+(* The driver-side instruments, resolved once per run. *)
+type instr = {
+  i_sink : Obs.Sink.t;
+  i_lat : Obs.Metrics.histogram;
+  i_commit : Obs.Metrics.counter;
+  i_rej : Obs.Metrics.counter;
+  i_unavail : Obs.Metrics.counter;
+  i_shed : Obs.Metrics.counter;
+  i_timeout : Obs.Metrics.counter;
+  i_retry : Obs.Metrics.counter;
+}
+
+(* NaN-safe spec validation (a NaN budget or backoff fails every
+   comparison, so each knob is written as "reject unless provably
+   sane"). *)
+let validate_spec spec =
+  if not (spec.deadline_budget_ms > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Driver.run: deadline_budget_ms must be positive (got %g)"
+         spec.deadline_budget_ms);
+  match spec.retry with
+  | None -> ()
+  | Some r ->
+      if r.max_attempts < 1 then
+        invalid_arg
+          (Printf.sprintf "Driver.run: retry.max_attempts must be >= 1 (got %d)"
+             r.max_attempts);
+      if not (r.base_backoff_ms >= 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Driver.run: retry.base_backoff_ms must be non-negative (got %g)"
+             r.base_backoff_ms);
+      if not (r.max_backoff_ms >= r.base_backoff_ms) then
+        invalid_arg
+          (Printf.sprintf
+             "Driver.run: retry.max_backoff_ms must be >= base_backoff_ms (got %g < %g)"
+             r.max_backoff_ms r.base_backoff_ms);
+      if not (r.jitter >= 0.0 && r.jitter < 1.0) then
+        invalid_arg
+          (Printf.sprintf "Driver.run: retry.jitter must be in [0, 1) (got %g)"
+             r.jitter)
+
 let run ~(t_system : Systems.facade) spec =
+  validate_spec spec;
   let n_clients = Array.length spec.client_regions in
   let engines = Array.map t_system.Systems.sched_region spec.client_regions in
   let lanes = t_system.Systems.engine_lanes in
@@ -202,11 +297,16 @@ let run ~(t_system : Systems.facade) spec =
               (Printf.sprintf "client %d (%s)" i (Geonet.Region.name region)))
           spec.client_regions;
         Some
-          ( sink,
-            Obs.Metrics.histogram m "driver.commit_latency_ms",
-            Obs.Metrics.counter m "driver.committed",
-            Obs.Metrics.counter m "driver.rejected",
-            Obs.Metrics.counter m "driver.unavailable" )
+          {
+            i_sink = sink;
+            i_lat = Obs.Metrics.histogram m "driver.commit_latency_ms";
+            i_commit = Obs.Metrics.counter m "driver.committed";
+            i_rej = Obs.Metrics.counter m "driver.rejected";
+            i_unavail = Obs.Metrics.counter m "driver.unavailable";
+            i_shed = Obs.Metrics.counter m "driver.shed";
+            i_timeout = Obs.Metrics.counter m "driver.timed_out";
+            i_retry = Obs.Metrics.counter m "driver.retries";
+          }
   in
   (* Failure schedule: crash/partition/heal actions mutate state every
      lane reads, so on a sharded system they run at window barriers. *)
@@ -221,6 +321,30 @@ let run ~(t_system : Systems.facade) spec =
      do not spawn phantom releases that would quietly refill the pool. *)
   let n = Array.length spec.requests in
   let outstanding = Array.make n_clients 0 in
+  let max_attempts = match spec.retry with None -> 1 | Some r -> r.max_attempts in
+  (* Per-client jitter streams, created only when a policy actually draws
+     from them: a jitterless run (including every legacy spec) consumes no
+     randomness at all. Each client draws from its own stream on its own
+     lane, so the schedule is a function of the simulation alone, never of
+     the domain count. *)
+  let retry_rngs =
+    match spec.retry with
+    | Some r when r.jitter > 0.0 ->
+        Array.init n_clients (fun c -> Des.Rng.stream r.jitter_seed c)
+    | _ -> [||]
+  in
+  let backoff_ms client ~completed =
+    match spec.retry with
+    | None -> 0.0
+    | Some r ->
+        let d =
+          Float.min r.max_backoff_ms
+            (r.base_backoff_ms *. (2.0 ** float_of_int (completed - 1)))
+        in
+        if r.jitter > 0.0 then
+          d *. (1.0 -. r.jitter *. Des.Rng.float retry_rngs.(client) 1.0)
+        else d
+  in
   let rec issue ~synthetic (request : Trace.Workload.request) =
     let client = request.site in
     let engine = engines.(client) in
@@ -235,87 +359,35 @@ let run ~(t_system : Systems.facade) spec =
       && request.time_ms <= spec.duration_ms
       && not skip_release
     then begin
-      acc.submitted.(s) <- acc.submitted.(s) + 1;
-      let sent_at = Des.Engine.now engine in
-      let reply response =
-        acc.replied.(s) <- acc.replied.(s) + 1;
-        (match (request.kind, response) with
-        | Trace.Workload.Acquire, Samya.Types.Granted -> (
-            outstanding.(client) <- outstanding.(client) + request.amount;
-            match spec.grant_driven_release_ms with
-            | Some lifetime_ms ->
-                Des.Engine.schedule engine ~delay_ms:lifetime_ms (fun () ->
-                    (* A grant-driven release: these tokens are held by
-                       construction. *)
-                    issue ~synthetic:true
-                      { request with kind = Trace.Workload.Release; time_ms = 0.0 })
-            | None -> ())
-        | Trace.Workload.Release, Samya.Types.Granted ->
-            (* Settled on grant, not on issue: a shed release (never
-               replied) must not leak the client's holdings. *)
-            outstanding.(client) <- outstanding.(client) - request.amount
-        | _ -> ());
-        let now = Des.Engine.now engine in
-        (* Replies to crashed or timed-out clients are discarded (the
-           timed-out case counts in [no_reply]). *)
-        if now -. t0 < cutoffs.(client) && now -. sent_at <= spec.client_timeout_ms
-        then begin
-          (match response with
-          | Samya.Types.Granted | Samya.Types.Read_result _ ->
-              acc.committed.(s) <- acc.committed.(s) + 1;
-              Stats.Sample_set.add acc.lat.(s) (now -. sent_at);
-              Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0)
-          | Samya.Types.Rejected -> acc.rejected.(s) <- acc.rejected.(s) + 1
-          | Samya.Types.Unavailable -> acc.unavailable.(s) <- acc.unavailable.(s) + 1);
-          if spec.track_entities && request.entity <> "" then begin
-            let e = ent_for acc.ents.(s) request.entity in
-            match response with
-            | Samya.Types.Granted | Samya.Types.Read_result _ ->
-                e.ec <- e.ec + 1;
-                let l = now -. sent_at in
-                e.elsum <- e.elsum +. l;
-                if l > e.elmax then e.elmax <- l
-            | Samya.Types.Rejected -> e.er <- e.er + 1
-            | Samya.Types.Unavailable -> e.eu <- e.eu + 1
-          end;
-          match spec.slo with
-          | None -> ()
-          | Some slo ->
-              let committed =
-                match response with
-                | Samya.Types.Granted | Samya.Types.Read_result _ -> true
-                | Samya.Types.Rejected | Samya.Types.Unavailable -> false
-              in
-              if acc.slots = 1 then
-                (* Legacy backend: reply order is globally sequential, so
-                   the shared monitor is fed online (the historical path,
-                   byte-identical to earlier releases). *)
-                if committed then
-                  Obs.Slo.commit slo ~now_ms:(now -. t0)
-                    ~latency_ms:(now -. sent_at)
-                else Obs.Slo.abort slo ~now_ms:(now -. t0)
-              else
-                (* Sharded backend: lanes reply concurrently, so events are
-                   buffered per slot and replayed in merged time order
-                   after the run — deterministic at any domain count. *)
-                acc.slo_buf.(s) :=
-                  (now -. t0, now -. sent_at, committed) :: !(acc.slo_buf.(s))
-        end
+      let first_sent = Des.Engine.now engine in
+      let deadline =
+        if spec.deadline_budget_ms = infinity then infinity
+        else first_sent +. spec.deadline_budget_ms
       in
       let region = spec.client_regions.(client) in
       let submit ~reply =
         if request.entity <> "" then
           (* Multi-entity path: the request names its own key; the facade's
-             generic verb carries it to the cluster untranslated. *)
+             generic verb carries it (and the absolute deadline) to the
+             cluster untranslated. *)
           let r =
             match request.kind with
             | Trace.Workload.Acquire ->
                 Samya.Types.Acquire
-                  { entity = request.entity; amount = request.amount }
+                  {
+                    entity = request.entity;
+                    amount = request.amount;
+                    deadline_ms = deadline;
+                  }
             | Trace.Workload.Release ->
                 Samya.Types.Release
-                  { entity = request.entity; amount = request.amount }
-            | Trace.Workload.Read -> Samya.Types.Read { entity = request.entity }
+                  {
+                    entity = request.entity;
+                    amount = request.amount;
+                    deadline_ms = deadline;
+                  }
+            | Trace.Workload.Read ->
+                Samya.Types.Read { entity = request.entity; deadline_ms = deadline }
           in
           t_system.Systems.submit ~region r ~reply
         else
@@ -326,51 +398,224 @@ let run ~(t_system : Systems.facade) spec =
               t_system.Systems.release ~region ~amount:request.amount ~reply
           | Trace.Workload.Read -> t_system.Systems.read ~region ~reply
       in
-      match instrument with
-      | None -> submit ~reply
-      | Some (sink, lat_h, c_commit, c_rej, c_unavail) ->
-          let span =
-            Obs.Span.start sink.Obs.Sink.spans ~cat:"request"
-              ~tid:(client_tid client) (span_name request.kind)
-          in
-          (* Root of the causal trace: everything the system does on this
-             request's behalf (hops, queueing, protocol phases) inherits
-             the context through the engine's ambient propagation. *)
-          let trace = Des.Engine.fresh_id engine in
-          Obs.Causal.record sink.Obs.Sink.causal
-            (Obs.Causal.Submitted
-               {
-                 trace;
-                 client;
-                 kind = span_name request.kind;
-                 entity = request.entity;
-                 ts = sent_at;
-               });
-          let reply response =
-            let now = Des.Engine.now engine in
-            let outcome =
-              match response with
-              | Samya.Types.Granted | Samya.Types.Read_result _ ->
-                  Obs.Metrics.incr c_commit;
-                  Obs.Metrics.observe lat_h (now -. sent_at);
-                  "granted"
-              | Samya.Types.Rejected ->
-                  Obs.Metrics.incr c_rej;
-                  "rejected"
-              | Samya.Types.Unavailable ->
-                  Obs.Metrics.incr c_unavail;
-                  "unavailable"
+      (* One span and one causal root per request: every retry attempt runs
+         under the same trace, so [explain] shows them as extra service
+         legs on one root, closed by a single terminal Completed. *)
+      let inst =
+        match instrument with
+        | None -> None
+        | Some i ->
+            let span =
+              Obs.Span.start i.i_sink.Obs.Sink.spans ~cat:"request"
+                ~tid:(client_tid client) (span_name request.kind)
             in
-            Obs.Span.finish sink.Obs.Sink.spans
+            let trace = Des.Engine.fresh_id engine in
+            Obs.Causal.record i.i_sink.Obs.Sink.causal
+              (Obs.Causal.Submitted
+                 {
+                   trace;
+                   client;
+                   kind = span_name request.kind;
+                   entity = request.entity;
+                   ts = first_sent;
+                 });
+            Some (i, span, trace)
+      in
+      let finish_instr ~outcome ~now =
+        match inst with
+        | None -> ()
+        | Some (i, span, trace) ->
+            Obs.Span.finish i.i_sink.Obs.Sink.spans
               ~args:[ ("outcome", outcome) ]
               span;
-            Obs.Causal.record sink.Obs.Sink.causal
-              (Obs.Causal.Completed { trace; outcome; ts = now });
-            reply response
-          in
-          Des.Engine.with_context engine
-            (Des.Trace_context.root ~trace)
-            (fun () -> submit ~reply)
+            Obs.Causal.record i.i_sink.Obs.Sink.causal
+              (Obs.Causal.Completed { trace; outcome; ts = now })
+      in
+      let slo_feed ~now ~lat ~tag =
+        match spec.slo with
+        | None -> ()
+        | Some slo ->
+            if acc.slots = 1 then
+              (* Legacy backend: reply order is globally sequential, so
+                 the shared monitor is fed online (the historical path,
+                 byte-identical to earlier releases). *)
+              (if tag = 0 then Obs.Slo.commit slo ~now_ms:(now -. t0) ~latency_ms:lat
+               else Obs.Slo.abort ~cls:(cls_name tag) slo ~now_ms:(now -. t0))
+            else
+              (* Sharded backend: lanes reply concurrently, so events are
+                 buffered per slot and replayed in merged time order
+                 after the run — deterministic at any domain count. *)
+              acc.slo_buf.(s) := (now -. t0, lat, tag) :: !(acc.slo_buf.(s))
+      in
+      let rec attempt n_attempt =
+        acc.submitted.(s) <- acc.submitted.(s) + 1;
+        if n_attempt > 1 then begin
+          acc.retries.(s) <- acc.retries.(s) + 1;
+          match inst with
+          | Some (i, _, _) -> Obs.Metrics.incr i.i_retry
+          | None -> ()
+        end;
+        let sent_at = Des.Engine.now engine in
+        let settled = ref false in
+        let retry_after () =
+          Des.Engine.schedule engine
+            ~delay_ms:(backoff_ms client ~completed:n_attempt) (fun () ->
+              (* The client may have crashed while backing off. *)
+              if Des.Engine.now engine -. t0 < cutoffs.(client) then
+                attempt (n_attempt + 1))
+        in
+        let commit_terminal ~now =
+          let lat = now -. first_sent in
+          acc.committed.(s) <- acc.committed.(s) + 1;
+          Stats.Sample_set.add acc.lat.(s) lat;
+          Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0);
+          if spec.track_entities && request.entity <> "" then begin
+            let e = ent_for acc.ents.(s) request.entity in
+            e.ec <- e.ec + 1;
+            e.elsum <- e.elsum +. lat;
+            if lat > e.elmax then e.elmax <- lat
+          end;
+          slo_feed ~now ~lat ~tag:0;
+          (match inst with
+          | Some (i, _, _) ->
+              Obs.Metrics.incr i.i_commit;
+              Obs.Metrics.observe i.i_lat lat
+          | None -> ());
+          finish_instr ~outcome:"granted" ~now
+        in
+        let abort_terminal ~now ~tag =
+          (match tag with
+          | 1 -> acc.rejected.(s) <- acc.rejected.(s) + 1
+          | 2 -> acc.unavailable.(s) <- acc.unavailable.(s) + 1
+          | 3 -> acc.shed.(s) <- acc.shed.(s) + 1
+          | _ -> acc.timedout.(s) <- acc.timedout.(s) + 1);
+          if spec.track_entities && request.entity <> "" then begin
+            let e = ent_for acc.ents.(s) request.entity in
+            match tag with
+            | 1 -> e.er <- e.er + 1
+            | 2 -> e.eu <- e.eu + 1
+            | 3 -> e.es <- e.es + 1
+            | _ -> ()
+          end;
+          slo_feed ~now ~lat:0.0 ~tag;
+          (match inst with
+          | Some (i, _, _) ->
+              Obs.Metrics.incr
+                (match tag with
+                | 1 -> i.i_rej
+                | 2 -> i.i_unavail
+                | 3 -> i.i_shed
+                | _ -> i.i_timeout)
+          | None -> ());
+          finish_instr ~outcome:(cls_name tag) ~now
+        in
+        (* With a retry policy and a finite client timeout, a watchdog
+           abandons the attempt at the timeout instead of waiting for a
+           reply that may never come — which is exactly what breeds a
+           retry storm: the server may still be working on the original.
+           Timed-out releases never retry (at-most-once: the original may
+           have been applied late, and a doubled release mints tokens). *)
+        let watchdog =
+          match spec.retry with
+          | Some _ when spec.client_timeout_ms < infinity ->
+              Some
+                (Des.Engine.timer ~label:"driver.retry.timeout" engine
+                   ~delay_ms:spec.client_timeout_ms (fun () ->
+                     if not !settled then begin
+                       settled := true;
+                       let now = Des.Engine.now engine in
+                       if now -. t0 >= cutoffs.(client) then ()
+                       else if
+                         n_attempt < max_attempts
+                         && request.kind <> Trace.Workload.Release
+                       then retry_after ()
+                       else abort_terminal ~now ~tag:4
+                     end))
+          | _ -> None
+        in
+        let reply response =
+          acc.replied.(s) <- acc.replied.(s) + 1;
+          (* Token bookkeeping runs on every reply, even abandoned ones: a
+             grant that arrives after the client gave up still moved real
+             tokens, and grant-driven releases must return them. *)
+          (match (request.kind, response) with
+          | Trace.Workload.Acquire, Samya.Types.Granted -> (
+              outstanding.(client) <- outstanding.(client) + request.amount;
+              match spec.grant_driven_release_ms with
+              | Some lifetime_ms ->
+                  Des.Engine.schedule engine ~delay_ms:lifetime_ms (fun () ->
+                      (* A grant-driven release: these tokens are held by
+                         construction. *)
+                      issue ~synthetic:true
+                        { request with kind = Trace.Workload.Release; time_ms = 0.0 })
+              | None -> ())
+          | Trace.Workload.Release, Samya.Types.Granted ->
+              (* Settled on grant, not on issue: a shed release (never
+                 replied) must not leak the client's holdings. *)
+              outstanding.(client) <- outstanding.(client) - request.amount
+          | _ -> ());
+          if not !settled then begin
+            settled := true;
+            (match watchdog with Some w -> Des.Engine.cancel w | None -> ());
+            let now = Des.Engine.now engine in
+            if now -. t0 >= cutoffs.(client) then
+              (* Crashed client: the reply is discarded for accounting, but
+                 the observability story still closes the span/trace (the
+                 system did do the work). *)
+              let outcome =
+                match response with
+                | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                    (match inst with
+                    | Some (i, _, _) ->
+                        Obs.Metrics.incr i.i_commit;
+                        Obs.Metrics.observe i.i_lat (now -. first_sent)
+                    | None -> ());
+                    "granted"
+                | Samya.Types.Rejected ->
+                    (match inst with
+                    | Some (i, _, _) -> Obs.Metrics.incr i.i_rej
+                    | None -> ());
+                    "rejected"
+                | Samya.Types.Unavailable ->
+                    (match inst with
+                    | Some (i, _, _) -> Obs.Metrics.incr i.i_unavail
+                    | None -> ());
+                    "unavailable"
+                | Samya.Types.Rejected_deadline ->
+                    (match inst with
+                    | Some (i, _, _) -> Obs.Metrics.incr i.i_shed
+                    | None -> ());
+                    "shed"
+              in
+              finish_instr ~outcome ~now
+            else if now -. sent_at > spec.client_timeout_ms then
+              (* Late reply with no watchdog armed (no retry policy): the
+                 client had already given up — attribute the request as a
+                 timeout instead of letting it silently vanish from every
+                 outcome bucket. *)
+              abort_terminal ~now ~tag:4
+            else
+              match response with
+              | Samya.Types.Granted | Samya.Types.Read_result _ ->
+                  commit_terminal ~now
+              | Samya.Types.Rejected -> abort_terminal ~now ~tag:1
+              | Samya.Types.Unavailable -> abort_terminal ~now ~tag:2
+              | Samya.Types.Rejected_deadline ->
+                  if n_attempt < max_attempts then retry_after ()
+                  else abort_terminal ~now ~tag:3
+          end
+        in
+        match inst with
+        | None -> submit ~reply
+        | Some (_, _, trace) ->
+            (* Root of the causal trace: everything the system does on this
+               request's behalf (hops, queueing, protocol phases) inherits
+               the context through the engine's ambient propagation. *)
+            Des.Engine.with_context engine
+              (Des.Trace_context.root ~trace)
+              (fun () -> submit ~reply)
+      in
+      attempt 1
     end
   in
   if lanes <= 1 then begin
@@ -428,7 +673,7 @@ let run ~(t_system : Systems.facade) spec =
       Array.iteri
         (fun s buf ->
           List.iteri
-            (fun i (t, lat, committed) -> events := (t, s, i, lat, committed) :: !events)
+            (fun i (t, lat, tag) -> events := (t, s, i, lat, tag) :: !events)
             (List.rev !buf))
         acc.slo_buf;
       let arr = Array.of_list !events in
@@ -441,9 +686,9 @@ let run ~(t_system : Systems.facade) spec =
             if c <> 0 then c else Int.compare ia ib)
         arr;
       Array.iter
-        (fun (t, _, _, lat, committed) ->
-          if committed then Obs.Slo.commit slo ~now_ms:t ~latency_ms:lat
-          else Obs.Slo.abort slo ~now_ms:t)
+        (fun (t, _, _, lat, tag) ->
+          if tag = 0 then Obs.Slo.commit slo ~now_ms:t ~latency_ms:lat
+          else Obs.Slo.abort ~cls:(cls_name tag) slo ~now_ms:t)
         arr
   | _ -> ());
   acc_result acc ~duration_ms:spec.duration_ms
@@ -511,6 +756,7 @@ let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_
                       Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0)
                     end
                 | Samya.Types.Rejected -> acc.rejected.(s) <- acc.rejected.(s) + 1
+                | Samya.Types.Rejected_deadline -> acc.shed.(s) <- acc.shed.(s) + 1
                 | Samya.Types.Unavailable ->
                     acc.unavailable.(s) <- acc.unavailable.(s) + 1);
                 worker client

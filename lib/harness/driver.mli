@@ -10,6 +10,27 @@
 
 type event = { at_ms : float; action : unit -> unit }
 
+type retry = {
+  max_attempts : int;  (** total attempts including the first; >= 1 *)
+  base_backoff_ms : float;
+      (** delay before attempt 2 (0 = naive immediate retry); doubled per
+          further attempt *)
+  max_backoff_ms : float;  (** cap on the doubled backoff *)
+  jitter : float;
+      (** fraction in [0, 1): each delay is scaled by [1 - jitter * u]
+          with [u] uniform per draw (0 = deterministic backoff) *)
+  jitter_seed : int64;
+      (** root of the per-client jitter streams; client [c] draws from
+          [Des.Rng.stream jitter_seed c] on its own lane, so retry
+          schedules are byte-identical at any [--engine-jobs] *)
+}
+(** Client retry policy. Timed-out acquires/reads and shed
+    ([Rejected_deadline]) requests of any kind re-enter the stream as
+    causally-linked attempts on the same trace root; timed-out releases
+    never retry (the original may have been applied late, and a doubled
+    release would mint tokens). Attempts beyond [max_attempts] become the
+    terminal timeout/shed outcome. *)
+
 type spec = {
   client_regions : Geonet.Region.t array;
       (** region of each client index referenced by the stream's [site] *)
@@ -47,6 +68,16 @@ type spec = {
           [entity <> ""]) additionally accumulate per-entity outcome counts
           and latency aggregates into [result.by_entity] — the
           gateway-fleet per-key attribution (default [false]) *)
+  retry : retry option;
+      (** when set, timed-out and shed requests re-enter as linked retry
+          attempts; with a finite [client_timeout_ms] a watchdog abandons
+          each attempt at the timeout (default [None]: submit once and
+          wait forever — the historical behaviour) *)
+  deadline_budget_ms : float;
+      (** per-workload deadline budget: entity-named requests are stamped
+          with the absolute deadline [send time + budget], which sites
+          propagate and enforce ({!Samya.Config.t.deadline_budget_ms})
+          (default [infinity]: no deadline; must be positive) *)
 }
 
 val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec
@@ -55,6 +86,7 @@ type entity_stats = {
   e_committed : int;
   e_rejected : int;
   e_unavailable : int;
+  e_shed : int;  (** terminal deadline/admission sheds *)
   e_latency_sum_ms : float;  (** committed requests only *)
   e_latency_max_ms : float;
 }
@@ -63,6 +95,12 @@ type result = {
   committed : int;
   rejected : int;
   unavailable : int;
+  shed : int;
+      (** terminal [Rejected_deadline] outcomes (deadline or admission) *)
+  timed_out : int;
+      (** terminal timeouts: attempts the client abandoned with no retry
+          left, plus late replies when no retry policy is set *)
+  retries : int;  (** re-submitted attempts (excluded from [committed]) *)
   no_reply : int;  (** requests whose reply never arrived (blocked system) *)
   latencies : Stats.Sample_set.t;  (** committed requests only, ms *)
   throughput : Stats.Throughput.t;

@@ -1,0 +1,419 @@
+(* The retry-storm scenario — the overload-resilience headline.
+
+   One flash sale on one entity: a 5-site cluster holds the "sale" quota
+   while an open-loop stream runs at base rate, spikes to several times
+   the home site's CPU capacity for a few seconds, and — mid-spike — a
+   partition cuts the hot entity's home region off from every peer, so
+   redistribution aborts while the queue grows. Four client populations
+   replay the identical stream: no retries, naive immediate retries,
+   exponential backoff with jitter, and backoff against a cluster running
+   the full overload-resilience stack (deadlines, the CoDel-style
+   admission gate, the redistribution circuit breaker).
+
+   The measured story is metastability: naive retries multiply the
+   offered load by the attempt budget, so after the fault heals the
+   effective arrival rate still exceeds the home site's capacity and
+   goodput never recovers — the system is stuck in the bad equilibrium
+   the fault created. Admission control sheds the excess for free
+   (rejected-deadline replies cost no service time), which keeps the CPU
+   backlog bounded and lets the same retrying clients drain back to
+   steady state within seconds of the heal.
+
+   The verdict compares each arm's post-heal goodput with its own
+   pre-fault goodput. Quick mode is the CI smoke: the same shape on a
+   half-length horizon. *)
+
+type scale = {
+  base_rate_per_s : float;
+  spike_rate_per_s : float;
+  spike_start_ms : float;
+  spike_end_ms : float;
+  partition_at_ms : float;
+  partition_heal_ms : float;
+  duration_ms : float;
+  hold_ms : float;  (* grant lifetime: the driver's grant-driven release *)
+  quota : int;  (* the sale entity's global maximum *)
+  timeout_ms : float;  (* client patience per attempt *)
+  pre_from_ms : float;  (* pre-fault goodput window: [pre_from, spike_start) *)
+  post_from_ms : float;  (* post-heal goodput window: [post_from, duration) *)
+}
+
+let scale ~quick =
+  if quick then
+    {
+      base_rate_per_s = 600.0;
+      spike_rate_per_s = 2_000.0;
+      spike_start_ms = 10_000.0;
+      spike_end_ms = 12_500.0;
+      partition_at_ms = 10_500.0;
+      partition_heal_ms = 14_000.0;
+      duration_ms = 30_000.0;
+      hold_ms = 1_000.0;
+      quota = 3_000;
+      timeout_ms = 1_000.0;
+      pre_from_ms = 5_000.0;
+      post_from_ms = 20_000.0;
+    }
+  else
+    {
+      base_rate_per_s = 600.0;
+      spike_rate_per_s = 2_000.0;
+      spike_start_ms = 20_000.0;
+      spike_end_ms = 25_000.0;
+      partition_at_ms = 21_000.0;
+      partition_heal_ms = 27_000.0;
+      duration_ms = 60_000.0;
+      hold_ms = 1_000.0;
+      quota = 3_000;
+      timeout_ms = 1_000.0;
+      pre_from_ms = 10_000.0;
+      post_from_ms = 40_000.0;
+    }
+
+let n_sites = 5
+
+let entity = "sale"
+
+let home = 0
+
+let home_affinity = 0.9
+
+type arm = {
+  a_id : string;  (* stable key for tests and docs *)
+  a_label : string;
+  a_retry : Driver.retry option;
+  a_admission : bool;  (* deadlines + admission gate + circuit breaker *)
+}
+
+(* One jitter root for every arm: arms differ by policy, not by luck. *)
+let jitter_seed = 7_767L
+
+let backoff_retry =
+  {
+    Driver.max_attempts = 4;
+    base_backoff_ms = 500.0;
+    max_backoff_ms = 4_000.0;
+    jitter = 0.5;
+    jitter_seed;
+  }
+
+let arms =
+  [
+    { a_id = "none"; a_label = "no retry"; a_retry = None; a_admission = false };
+    {
+      a_id = "naive";
+      a_label = "naive immediate";
+      a_retry =
+        Some
+          {
+            Driver.max_attempts = 4;
+            base_backoff_ms = 0.0;
+            max_backoff_ms = 0.0;
+            jitter = 0.0;
+            jitter_seed;
+          };
+      a_admission = false;
+    };
+    {
+      a_id = "backoff";
+      a_label = "backoff+jitter";
+      a_retry = Some backoff_retry;
+      a_admission = false;
+    };
+    {
+      a_id = "admission";
+      a_label = "backoff+admission";
+      a_retry = Some backoff_retry;
+      a_admission = true;
+    };
+  ]
+
+let config ~scale:s ~admission =
+  let base =
+    {
+      (Exp_common.samya_config Samya.Config.Majority) with
+      (* One entity, reactive-only: the scenario is about overload, not
+         forecasting. *)
+      Samya.Config.prediction_enabled = false;
+      (* A checkout reservation is cheap — 0.5 ms of CPU caps a site at
+         2 000 req/s, so the 2 000 req/s spike (90% home-skewed, plus the
+         release per grant) overloads the home site roughly 2x while the
+         base load keeps it just above 50% busy. *)
+      local_processing_ms = 0.5;
+      (* Let the hot share chase the spike instead of parking requests
+         for the default 2 s between redistributions. *)
+      redistribution_cooldown_ms = 500.0;
+    }
+  in
+  if admission then
+    {
+      base with
+      Samya.Config.deadline_budget_ms = s.timeout_ms;
+      admission_target_ms = 50.0;
+      admission_interval_ms = 100.0;
+      breaker_threshold = 3;
+      breaker_probe_ms = 2_000.0;
+    }
+  else base
+
+let requests ~scale:s =
+  let rng = Des.Rng.stream Exp_common.seed 1013 in
+  Trace.Workload.flash_sale ~rng ~entity ~home ~n_clients:n_sites
+    ~base_rate_per_s:s.base_rate_per_s ~spike_rate_per_s:s.spike_rate_per_s
+    ~spike_start_ms:s.spike_start_ms ~spike_end_ms:s.spike_end_ms
+    ~duration_ms:s.duration_ms ~home_affinity ()
+
+let build ?engine_jobs ~scale:s ~admission () =
+  let hooks = Facade.samya_hooks () in
+  let engine_jobs =
+    match engine_jobs with Some n -> n | None -> Pool.engine_jobs ()
+  in
+  let regions = Exp_common.client_regions () in
+  let cluster =
+    Samya.Cluster.create ~seed:Exp_common.seed ~engine_jobs
+      ~config:(config ~scale:s ~admission) ~regions
+      ~on_protocol_event:(Facade.protocol_event_hook hooks)
+      ~obs:(Facade.obs_port hooks) ()
+  in
+  Samya.Cluster.init_entity cluster ~entity ~maximum:s.quota;
+  let t_system =
+    Facade.of_samya_cluster ~name:"Samya flash sale" ~hooks ~regions ~entity
+      cluster
+  in
+  (cluster, t_system)
+
+type capture = {
+  scale : scale;
+  arm : arm;
+  cluster : Samya.Cluster.t;
+  offered : int;  (* requests in the stream (before any retries) *)
+  sink : Obs.Sink.t option;
+  slo : Obs.Slo.t;
+  result : Driver.result;
+  stats : Systems.stats;
+  shed_deadline : int;  (* dead-on-arrival sheds, summed over sites *)
+  shed_admission : int;  (* admission-gate sheds, summed over sites *)
+  shed_expired : int;  (* queue entries expired while parked *)
+  queue_peak : int;  (* per-entity queue high-water mark, max over sites *)
+  breaker_trips : int;  (* circuit-breaker openings, summed over sites *)
+}
+
+let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
+  let s = scale ~quick in
+  let cluster, t_system = build ?engine_jobs ~scale:s ~admission:arm.a_admission () in
+  let sink =
+    if observe then begin
+      let sink =
+        Obs.Sink.create ~now:(fun () -> Des.Engine.now t_system.Systems.engine) ()
+      in
+      t_system.Systems.subscribe sink;
+      Some sink
+    end
+    else None
+  in
+  (* 2 s windows resolve the spike, the outage and the recovery ramp. *)
+  let slo = Obs.Slo.create ~window_ms:2_000.0 () in
+  let requests = requests ~scale:s in
+  let clients = Exp_common.client_regions () in
+  let fault =
+    Chaos.Nemesis.spike_partition ~site:home ~n_sites ~at_ms:s.partition_at_ms
+      ~heal_ms:s.partition_heal_ms ~duration_ms:s.duration_ms
+  in
+  let events =
+    List.concat_map
+      (fun { Chaos.Nemesis.kind; at_ms; heal_ms } ->
+        match kind with
+        | Chaos.Nemesis.Partition { groups } ->
+            [
+              {
+                Driver.at_ms;
+                action = (fun () -> t_system.Systems.partition groups);
+              };
+              {
+                Driver.at_ms = heal_ms;
+                action = (fun () -> t_system.Systems.heal ());
+              };
+            ]
+        | _ -> [])
+      fault.Chaos.Nemesis.faults
+  in
+  let spec =
+    {
+      (Driver.default_spec ~client_regions:clients ~requests
+         ~duration_ms:s.duration_ms)
+      with
+      drain_ms = 10_000.0;
+      window_ms = 1_000.0;
+      events;
+      client_timeout_ms = s.timeout_ms;
+      grant_driven_release_ms = Some s.hold_ms;
+      obs = sink;
+      slo = Some slo;
+      track_entities = true;
+      retry = arm.a_retry;
+      deadline_budget_ms = (if arm.a_admission then s.timeout_ms else infinity);
+    }
+  in
+  let result = Driver.run ~t_system spec in
+  let sum f =
+    Array.fold_left (fun acc site -> acc + f site) 0 (Samya.Cluster.sites cluster)
+  in
+  let peak f =
+    Array.fold_left
+      (fun acc site -> max acc (f site))
+      0 (Samya.Cluster.sites cluster)
+  in
+  {
+    scale = s;
+    arm;
+    cluster;
+    offered = Array.length requests;
+    sink;
+    slo;
+    result;
+    stats = t_system.Systems.stats ();
+    shed_deadline = sum Samya.Site.shed_deadline;
+    shed_admission = sum Samya.Site.shed_admission;
+    shed_expired = sum Samya.Site.shed_queue_expired;
+    queue_peak = peak (fun site -> Samya.Site.queue_peak site ~entity);
+    breaker_trips = sum (fun site -> Samya.Site.breaker_trips site ~entity);
+  }
+
+(* Mean committed throughput over [from_ms, until_ms), from the driver's
+   1 s windows. *)
+let goodput c ~from_ms ~until_ms =
+  let wins =
+    Stats.Throughput.series c.result.Driver.throughput
+      ~until_ms:(c.scale.duration_ms -. 1.0) ()
+  in
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (t0, v) ->
+      if t0 >= from_ms && t0 < until_ms then begin
+        sum := !sum +. v;
+        incr n
+      end)
+    wins;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let recovery c =
+  let pre = goodput c ~from_ms:c.scale.pre_from_ms ~until_ms:c.scale.spike_start_ms in
+  let post = goodput c ~from_ms:c.scale.post_from_ms ~until_ms:c.scale.duration_ms in
+  let ratio = if pre > 0.0 then post /. pre else Float.nan in
+  (pre, post, ratio)
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+
+let run _ctx ~quick fmt =
+  let s = scale ~quick in
+  Format.fprintf fmt
+    "@.== retry storm: flash sale %.0f -> %.0f req/s (%.0f-%.0f s), home \
+     region partitioned %.0f-%.0f s ==@."
+    s.base_rate_per_s s.spike_rate_per_s
+    (s.spike_start_ms /. 1000.0)
+    (s.spike_end_ms /. 1000.0)
+    (s.partition_at_ms /. 1000.0)
+    (s.partition_heal_ms /. 1000.0);
+  Report.kv fmt
+    [
+      ("entity / quota", Printf.sprintf "%s / %d tokens over %d sites" entity s.quota n_sites);
+      ("home affinity", pct home_affinity);
+      ("grant lifetime", Report.ms s.hold_ms);
+      ("client timeout", Report.ms s.timeout_ms);
+      ( "goodput windows",
+        Printf.sprintf "pre-fault [%.0f, %.0f) s, post-heal [%.0f, %.0f) s"
+          (s.pre_from_ms /. 1000.0)
+          (s.spike_start_ms /. 1000.0)
+          (s.post_from_ms /. 1000.0)
+          (s.duration_ms /. 1000.0) );
+    ];
+  let captures = List.map (fun arm -> capture ~quick ~arm ()) arms in
+  (* Outcomes: what each client population experienced. *)
+  Report.table fmt ~title:"retry storm: client outcomes"
+    ~header:
+      [ "clients"; "offered"; "committed"; "rejected"; "shed"; "timed out"; "retries"; "p50"; "p99" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           let r = c.result in
+           [
+             c.arm.a_label;
+             string_of_int c.offered;
+             string_of_int r.Driver.committed;
+             string_of_int r.Driver.rejected;
+             string_of_int r.Driver.shed;
+             string_of_int r.Driver.timed_out;
+             string_of_int r.Driver.retries;
+             Report.ms (Driver.percentile r 50.0);
+             Report.ms (Driver.percentile r 99.0);
+           ])
+         captures);
+  (* What the sites did to survive: sheds, queue pressure, the breaker. *)
+  Report.table fmt ~title:"retry storm: server-side resilience"
+    ~header:
+      [ "clients"; "shed deadline"; "shed admission"; "queue expired"; "queue peak"; "breaker trips" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             c.arm.a_label;
+             string_of_int c.shed_deadline;
+             string_of_int c.shed_admission;
+             string_of_int c.shed_expired;
+             string_of_int c.queue_peak;
+             string_of_int c.breaker_trips;
+           ])
+         captures);
+  (* The figure: committed throughput per arm — the metastable arm stays
+     on the floor after the heal, the admission arm climbs back. *)
+  Report.series fmt ~title:"retry storm: committed throughput (figure)"
+    ~unit_label:"txn/s"
+    (List.map
+       (fun c ->
+         ( c.arm.a_label,
+           Stats.Throughput.series c.result.Driver.throughput
+             ~until_ms:(s.duration_ms -. 1.0) () ))
+       captures);
+  (* The verdict: post-heal goodput against each arm's own pre-fault
+     goodput. *)
+  Report.table fmt ~title:"retry storm: recovery verdict"
+    ~header:[ "clients"; "pre-fault tps"; "post-heal tps"; "post/pre"; "verdict" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           let pre, post, ratio = recovery c in
+           let verdict =
+             if Float.is_nan ratio then "no pre-fault traffic"
+             else if ratio < 0.5 then "METASTABLE"
+             else if ratio >= 0.9 then "recovered"
+             else "degraded"
+           in
+           [ c.arm.a_label; Report.f1 pre; Report.f1 post; pct ratio; verdict ])
+         captures);
+  (* SLO with the abort-class breakdown: the same monitor as every other
+     scenario, plus who-killed-it attribution. *)
+  List.iter
+    (fun c ->
+      let lines = Obs.Slo.report c.slo in
+      let classes = Obs.Slo.abort_classes c.slo in
+      let breakdown =
+        if classes = [] then "none"
+        else
+          String.concat ", "
+            (List.map (fun (cls, n) -> Printf.sprintf "%s %d" cls n) classes)
+      in
+      Format.fprintf fmt "%s: SLO %s; aborts by class: %s@." c.arm.a_label
+        (if Obs.Slo.healthy lines then "healthy" else "VIOLATED")
+        breakdown)
+    captures;
+  (* Token conservation per arm, after the drain: shedding and retries
+     must never mint or leak tokens. *)
+  List.iter
+    (fun c ->
+      match Samya.Cluster.check_invariant c.cluster ~entity ~maximum:s.quota with
+      | Ok () ->
+          Format.fprintf fmt "token conservation (%s): OK@." c.arm.a_label
+      | Error reason ->
+          Format.fprintf fmt "token conservation (%s): VIOLATED: %s@."
+            c.arm.a_label reason)
+    captures

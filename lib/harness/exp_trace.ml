@@ -7,7 +7,8 @@ type capture = {
 }
 
 (* Accept the registry spellings of the headline run too. *)
-let experiments = [ "headline"; "table2b"; "fig3b"; "prediction"; "gateway" ]
+let experiments =
+  [ "headline"; "table2b"; "fig3b"; "prediction"; "gateway"; "retrystorm" ]
 
 (* The fig3f pair — prediction on vs off — captured through the same
    facade/obs path as the headline systems, so the ablation is explainable
@@ -80,6 +81,27 @@ let run ctx ~quick ~experiment =
           slo = g.Exp_gateway.slo;
           result = g.Exp_gateway.result;
           stats = g.Exp_gateway.stats;
+        };
+      ]
+  end
+  else if experiment = "retrystorm" then begin
+    (* The headline resilience arm (backoff clients + the full
+       deadline/admission/breaker stack): retries appear in the trace as
+       linked attempts on one root and sheds as driver.shed counters. *)
+    let arm =
+      List.find
+        (fun a -> a.Exp_retrystorm.a_id = "admission")
+        Exp_retrystorm.arms
+    in
+    let c = Exp_retrystorm.capture ~engine_jobs:0 ~observe:true ~quick ~arm () in
+    Ok
+      [
+        {
+          label = "Samya flash sale (backoff+admission)";
+          sink = Option.get c.Exp_retrystorm.sink;
+          slo = c.Exp_retrystorm.slo;
+          result = c.Exp_retrystorm.result;
+          stats = c.Exp_retrystorm.stats;
         };
       ]
   end

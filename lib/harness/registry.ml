@@ -91,6 +91,12 @@ let all =
       description = "million-key gateway fleet: Zipfian load over batched Avantan";
       run = (fun ctx ~quick fmt -> Exp_gateway.run ctx ~quick fmt);
     };
+    {
+      id = "retrystorm";
+      paper_artifact = "robustness ext.";
+      description = "flash-sale overload: retry policies vs deadline/admission stack";
+      run = (fun ctx ~quick fmt -> Exp_retrystorm.run ctx ~quick fmt);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -86,11 +86,11 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
     engine_lanes = 1;
     acquire =
       (fun ~region ~amount ~reply ->
-        submit ~region (Samya.Types.Acquire { entity; amount }) ~reply);
+        submit ~region (Samya.Types.Acquire { entity; amount; deadline_ms = infinity }) ~reply);
     release =
       (fun ~region ~amount ~reply ->
-        submit ~region (Samya.Types.Release { entity; amount }) ~reply);
-    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity }) ~reply);
+        submit ~region (Samya.Types.Release { entity; amount; deadline_ms = infinity }) ~reply);
+    read = (fun ~region ~reply -> submit ~region (Samya.Types.Read { entity; deadline_ms = infinity }) ~reply);
     submit;
     crash_region = (fun region -> List.iter crash_site (sites_in regions region));
     crash_site;

@@ -77,16 +77,17 @@ let consume t ~node ~region ~amount ~reply =
     | [] -> reply Samya.Types.Granted
     | (_, entity) :: rest ->
         Samya.Cluster.submit t.cluster ~region
-          (Samya.Types.Acquire { entity; amount })
+          (Samya.Types.Acquire { entity; amount; deadline_ms = infinity })
           ~reply:(fun response ->
             match response with
             | Samya.Types.Granted -> acquire_levels rest (entity :: acquired)
-            | Samya.Types.Rejected | Samya.Types.Unavailable | Samya.Types.Read_result _ ->
+            | Samya.Types.Rejected | Samya.Types.Rejected_deadline | Samya.Types.Unavailable
+            | Samya.Types.Read_result _ ->
                 (* Undo the lower levels already charged. *)
                 List.iter
                   (fun entity ->
                     Samya.Cluster.submit t.cluster ~region
-                      (Samya.Types.Release { entity; amount })
+                      (Samya.Types.Release { entity; amount; deadline_ms = infinity })
                       ~reply:(fun _ -> ()))
                   acquired;
                 reply Samya.Types.Rejected)
@@ -101,7 +102,7 @@ let return_resources t ~node ~region ~amount ~reply =
     List.iter
       (fun (_, entity) ->
         Samya.Cluster.submit t.cluster ~region
-          (Samya.Types.Release { entity; amount })
+          (Samya.Types.Release { entity; amount; deadline_ms = infinity })
           ~reply:(fun _ ->
             decr remaining;
             if !remaining = 0 then reply Samya.Types.Granted))

@@ -29,6 +29,9 @@ type t = {
   mutable windows : int;
   violations : int array;
   worst : float array;
+  abort_cls : (string, int ref) Hashtbl.t;
+      (* cumulative abort counts by cause ("rejected", "shed",
+         "timeout", ...) — attribution only, no objective reads them *)
 }
 
 let create ?(window_ms = 10_000.0) ?(objectives = default_objectives) () =
@@ -48,6 +51,7 @@ let create ?(window_ms = 10_000.0) ?(objectives = default_objectives) () =
     windows = 0;
     violations = Array.make (Array.length objectives) 0;
     worst = Array.make (Array.length objectives) Float.nan;
+    abort_cls = Hashtbl.create 8;
   }
 
 let window_ms t = t.window_ms
@@ -107,10 +111,20 @@ let commit t ~now_ms ~latency_ms =
   t.total_commits <- t.total_commits + 1;
   t.win_commits <- t.win_commits + 1
 
-let abort t ~now_ms =
+let abort ?cls t ~now_ms =
   roll t ~now_ms;
   t.total_aborts <- t.total_aborts + 1;
-  t.win_aborts <- t.win_aborts + 1
+  t.win_aborts <- t.win_aborts + 1;
+  match cls with
+  | None -> ()
+  | Some cls -> (
+      match Hashtbl.find_opt t.abort_cls cls with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.abort_cls cls (ref 1))
+
+let abort_classes t =
+  Hashtbl.fold (fun cls r l -> (cls, !r) :: l) t.abort_cls []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 type report_line = {
   name : string;

@@ -30,7 +30,14 @@ val window_ms : t -> float
 
 val commit : t -> now_ms:float -> latency_ms:float -> unit
 
-val abort : t -> now_ms:float -> unit
+val abort : ?cls:string -> t -> now_ms:float -> unit
+(** [cls] attributes the abort to a cause ("rejected", "unavailable",
+    "shed", "timeout", ...) for the breakdown below; it does not affect
+    any objective. *)
+
+val abort_classes : t -> (string * int) list
+(** Cumulative abort counts by cause, sorted by class name; only aborts
+    fed with [~cls] appear. *)
 
 type report_line = {
   name : string;

@@ -701,9 +701,23 @@ let handle t ~src msg =
           if t.pol.discard_stragglers then t.env.send src (Protocol.Discard { bal }))
   | Protocol.Election_reject { bal } ->
       (* Keep our counter ahead so the next attempt is acceptable. *)
-      if t.pol.busy_cohort_rejects && Ballot.(bal > t.ballot) then begin
+      if
+        (t.pol.busy_cohort_rejects || t.pol.carry_accept_state)
+        && Ballot.(bal > t.ballot)
+      then begin
         t.ballot <- { bal with Ballot.site = t.env.self };
-        t.env.persist ()
+        t.env.persist ();
+        match t.phase with
+        | Leading_accept _ when t.pol.carry_accept_state ->
+            (* Our accept phase was superseded behind a partition: the
+               carried value may have been decided without us, so we must
+               not abort — re-run leadership at a higher ballot until a
+               quorum reveals the instance's fate (the same
+               blocked-until-majority rule as recovery). *)
+            recover_as_leader t
+        | Leading_election _ | Cohort_waiting _ | Cohort_accepted _
+        | Recovering _ | Idle | Leading_accept _ ->
+            ()
       end
   | Protocol.Accept_value { bal; value; decision } ->
       if t.pol.carry_accept_state then begin
@@ -723,6 +737,13 @@ let handle t ~src msg =
             arm_timer t t.env.cohort_timeout_ms (fun () -> on_cohort_timeout t)
           end
         end
+        else
+          (* Stale ballot: the sender is a leader that was cut off
+             mid-accept while the rest of us recovered its instance under
+             a higher ballot. Silence would leave it re-sending (and its
+             entity exposed) forever — tell it where the ballot stands so
+             it can re-run leadership and learn its value's fate. *)
+          t.env.send src (Protocol.Election_reject { bal = t.ballot })
       end
       else begin
         match t.phase with

@@ -25,6 +25,11 @@ type t = {
   entity_shards : int;
   entity_capacity : int;
   protocol_batch : int;
+  deadline_budget_ms : float;
+  admission_target_ms : float;
+  admission_interval_ms : float;
+  breaker_threshold : int;
+  breaker_probe_ms : float;
 }
 
 let default =
@@ -53,6 +58,11 @@ let default =
     entity_shards = 1;
     entity_capacity = 16;
     protocol_batch = 1;
+    deadline_budget_ms = infinity;
+    admission_target_ms = infinity;
+    admission_interval_ms = 100.0;
+    breaker_threshold = 0;
+    breaker_probe_ms = 5_000.0;
   }
 
 let validate t =
@@ -81,6 +91,34 @@ let validate t =
   else if t.protocol_batch > 1 && t.amnesia_on_crash then
     Error
       "protocol_batch > 1 requires amnesia_on_crash = false: batched site-level instances are not yet written to the per-entity durable images"
+  else if not (t.deadline_budget_ms > 0.0) then
+    (* NaN-safe: [not (x > 0)] also rejects NaN, which would otherwise
+       defeat every expiry comparison downstream. *)
+    Error
+      (Printf.sprintf
+         "deadline_budget_ms must be positive (got %g): a non-positive default budget would shed every request on arrival"
+         t.deadline_budget_ms)
+  else if not (t.admission_target_ms > 0.0) then
+    Error
+      (Printf.sprintf
+         "admission_target_ms must be positive (got %g): a non-positive sojourn target would put the gate in permanent drop mode (infinity disables it)"
+         t.admission_target_ms)
+  else if not (t.admission_interval_ms > 0.0) || t.admission_interval_ms = infinity
+  then
+    Error
+      (Printf.sprintf
+         "admission_interval_ms must be positive and finite (got %g): the gate needs a finite observation interval before it starts dropping"
+         t.admission_interval_ms)
+  else if t.breaker_threshold < 0 then
+    Error
+      (Printf.sprintf
+         "breaker_threshold must be >= 0 (got %d): 0 disables the circuit breaker, k > 0 opens it after k consecutive aborted instances"
+         t.breaker_threshold)
+  else if not (t.breaker_probe_ms > 0.0) || t.breaker_probe_ms = infinity then
+    Error
+      (Printf.sprintf
+         "breaker_probe_ms must be positive and finite (got %g): an open breaker must eventually re-probe"
+         t.breaker_probe_ms)
   else
     match Storage.Durable.validate_policy t.durability_sync with
     | Error reason -> Error ("durability_sync: " ^ reason)

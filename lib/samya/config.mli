@@ -77,6 +77,33 @@ type t = {
           to this many triggered entities' deltas in a single WAN round.
           Batching requires the freeze failure model
           ([amnesia_on_crash = false]). *)
+  deadline_budget_ms : float;
+      (** default time budget stamped on requests that arrive without a
+          deadline of their own: a queued request older than this is
+          discarded (shed) instead of replayed when the redistribution
+          that parked it ends. [infinity] (default) keeps the historical
+          wait-forever behaviour. *)
+  admission_target_ms : float;
+      (** CoDel-style sojourn target of the per-site admission gate: when
+          the CPU backlog has exceeded this target for a sustained
+          [admission_interval_ms] the site sheds newest acquire arrivals
+          ([Rejected_deadline], zero CPU cost) until the backlog falls
+          back below half the target. [infinity] (default) disables the
+          gate entirely — the disabled path costs one load and one
+          branch. *)
+  admission_interval_ms : float;
+      (** how long the backlog must stay above target before the gate
+          enters drop mode — absorbs bursts shorter than this *)
+  breaker_threshold : int;
+      (** circuit breaker on redistribution: after this many consecutive
+          aborted Avantan instances for one entity the site stops
+          triggering new instances for it and serves local-escrow-only
+          (in-pool acquires succeed, the rest fail fast) until
+          [breaker_probe_ms] elapses, then re-probes with one instance.
+          0 (default) disables the breaker. *)
+  breaker_probe_ms : float;
+      (** how long an open breaker holds before allowing a probe
+          instance *)
 }
 
 val default : t
@@ -84,3 +111,6 @@ val default : t
     the worst one-way latency (~150 ms). *)
 
 val validate : t -> (unit, string) result
+(** Rejects inconsistent settings with an explanatory message; the
+    overload knobs are NaN-safe (a NaN budget or target is rejected, not
+    silently treated as disabled). *)

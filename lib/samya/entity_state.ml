@@ -1,6 +1,10 @@
 type t = {
   core : t Entity_map.core;
-  queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
+  queue :
+    (Types.request * (Types.response -> unit) * Des.Trace_context.t * float) Queue.t;
+      (** last component: the entry's effective deadline — the request's
+          own, tightened by the site's default budget at enqueue time *)
+  mutable queue_peak : int;
   tracker : Demand_tracker.t;
       (** per-epoch net token consumption and peak concurrent draw *)
   applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;
@@ -24,12 +28,19 @@ type t = {
           unsatisfied instance: Algorithm 2's rejection is all-or-nothing,
           so when the pool runs low a site must shrink its ask to drain
           what remains instead of being rejected repeatedly *)
+  mutable consec_aborts : int;
+      (** consecutive aborted instances, for the circuit breaker *)
+  mutable breaker_open_until : float;
+      (** while [now] is below this the breaker is open: no new instances
+          for this entity, local-escrow-only service *)
+  mutable breaker_trips : int;
 }
 
 let create ~engine ~(config : Config.t) ~(core : t Entity_map.core) =
   {
     core;
     queue = Queue.create ();
+    queue_peak = 0;
     tracker =
       Demand_tracker.create ~engine ~epoch_ms:config.Config.epoch_ms
         ~capacity:config.Config.history_epochs;
@@ -41,6 +52,9 @@ let create ~engine ~(config : Config.t) ~(core : t Entity_map.core) =
     last_proactive_check_ms = neg_infinity;
     backoff_ms = config.Config.redistribution_cooldown_ms;
     request_scale = 1.0;
+    consec_aborts = 0;
+    breaker_open_until = neg_infinity;
+    breaker_trips = 0;
   }
 
 let entity t = t.core.Entity_map.name
@@ -69,7 +83,11 @@ let restore t ~(config : Config.t) ~tokens_left ~acquired_net ~applied_origins
   t.last_redistribution_ms <- neg_infinity;
   t.last_proactive_check_ms <- neg_infinity;
   t.backoff_ms <- config.Config.redistribution_cooldown_ms;
-  t.request_scale <- 1.0
+  t.request_scale <- 1.0;
+  t.consec_aborts <- 0;
+  t.breaker_open_until <- neg_infinity
+(* [queue_peak] and [breaker_trips] are run statistics, not protocol
+   state: they survive recovery like the handler's counters do. *)
 
 let participating t =
   match t.av with

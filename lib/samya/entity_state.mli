@@ -17,9 +17,17 @@ type t = {
           ([tokens_left]/[acquired_net]/[tokens_wanted]) and the batched
           participation flag live there so cold entities can be served
           without materialising this record *)
-  queue : (Types.request * (Types.response -> unit) * Des.Trace_context.t) Queue.t;
+  queue :
+    (Types.request * (Types.response -> unit) * Des.Trace_context.t * float) Queue.t;
       (** each entry keeps the causal context it arrived under, restored
-          around its eventual service so lineage survives the park *)
+          around its eventual service so lineage survives the park, plus
+          its effective deadline (the request's own, tightened by
+          {!Config.t.deadline_budget_ms} at enqueue time) — entries whose
+          deadline passed are discarded, not replayed, when the queue
+          drains *)
+  mutable queue_peak : int;
+      (** high-water mark of this entity's queue — the per-key companion
+          of the site-wide {!Request_handler.queued_peak} *)
   tracker : Demand_tracker.t;
       (** per-epoch net token consumption and peak concurrent draw *)
   applied_origins : (Consensus.Ballot.t, unit) Hashtbl.t;
@@ -42,6 +50,14 @@ type t = {
   mutable request_scale : float;
       (** multiplier on the requested headroom, halved after each
           unsatisfied instance — see {!Redistribution_policy} *)
+  mutable consec_aborts : int;
+      (** consecutive aborted instances; {!Redistribution_policy}'s
+          circuit breaker opens once it reaches
+          {!Config.t.breaker_threshold} *)
+  mutable breaker_open_until : float;
+      (** absolute time until which the breaker holds this entity to
+          local-escrow-only service ([neg_infinity] = closed) *)
+  mutable breaker_trips : int;  (** times the breaker has opened *)
 }
 
 val create : engine:Des.Engine.t -> config:Config.t -> core:t Entity_map.core -> t

@@ -17,7 +17,7 @@ type t = {
   send : entity:Types.entity -> dst:int -> Protocol.msg -> unit;
   set_timer : delay_ms:float -> (unit -> unit) -> Des.Engine.timer;
   refresh_wanted : Entity_state.t -> unit;
-  register_outcome : Entity_state.t -> satisfied:bool -> unit;
+  register_outcome : Entity_state.t -> aborted:bool -> satisfied:bool -> unit;
   on_event : Types.entity -> Avantan_core.event -> unit;
   persist : Entity_state.t -> unit;
       (** durability hook (crash-amnesia); a no-op under the freeze model *)
@@ -132,12 +132,12 @@ let on_outcome t (ctx : Entity_state.t) outcome =
   | Protocol.Decided value ->
       obs_incr t "samya.protocol.decided";
       (match apply_value t ctx value with
-      | Some satisfied -> t.register_outcome ctx ~satisfied
+      | Some satisfied -> t.register_outcome ctx ~aborted:false ~satisfied
       | None -> ());
       ctx.core.tokens_wanted <- 0
   | Protocol.Aborted ->
       obs_incr t "samya.protocol.aborted";
-      t.register_outcome ctx ~satisfied:(ctx.core.tokens_wanted = 0);
+      t.register_outcome ctx ~aborted:true ~satisfied:(ctx.core.tokens_wanted = 0);
       ctx.core.tokens_wanted <- 0);
   t.drain ctx
 
@@ -304,7 +304,7 @@ let on_batch_outcome t b outcome =
               in
               ctx.Entity_state.last_redistribution_ms <- now_ms;
               (match apply_group t ctx ~origin:value.Protocol.origin g with
-              | Some satisfied -> t.register_outcome ctx ~satisfied
+              | Some satisfied -> t.register_outcome ctx ~aborted:false ~satisfied
               | None -> ());
               core.Entity_map.tokens_wanted <- 0)
         value.Protocol.groups
@@ -315,7 +315,7 @@ let on_batch_outcome t b outcome =
           match t.resolve entity with
           | Some ({ Entity_map.hot = Some ctx; _ } as core) ->
               ctx.Entity_state.last_redistribution_ms <- now_ms;
-              t.register_outcome ctx
+              t.register_outcome ctx ~aborted:true
                 ~satisfied:(core.Entity_map.tokens_wanted = 0);
               core.Entity_map.tokens_wanted <- 0
           | Some core -> core.Entity_map.tokens_wanted <- 0

@@ -25,7 +25,7 @@ val create :
   send:(entity:Types.entity -> dst:int -> Protocol.msg -> unit) ->
   set_timer:(delay_ms:float -> (unit -> unit) -> Des.Engine.timer) ->
   refresh_wanted:(Entity_state.t -> unit) ->
-  register_outcome:(Entity_state.t -> satisfied:bool -> unit) ->
+  register_outcome:(Entity_state.t -> aborted:bool -> satisfied:bool -> unit) ->
   on_event:(Types.entity -> Avantan_core.event -> unit) ->
   ?persist:(Entity_state.t -> unit) ->
   ?obs:Obs.Sink.port ->

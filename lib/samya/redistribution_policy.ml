@@ -2,16 +2,39 @@ type t = { config : Config.t }
 
 let create ~config = { config }
 
-let cooldown_ok _t ~now (ctx : Entity_state.t) =
-  now -. ctx.last_redistribution_ms >= ctx.backoff_ms
+(* Circuit breaker (overload resilience): after [breaker_threshold]
+   consecutive aborted instances the entity is held to local-escrow-only
+   service — every further trigger would burn another multi-second
+   synchronization round against the same partition or contention storm.
+   Once [breaker_probe_ms] elapses the gates open again (half-open): one
+   probe instance may run, and a further abort re-opens immediately
+   because [consec_aborts] is still at the threshold. *)
+let breaker_open t ~now (ctx : Entity_state.t) =
+  t.config.Config.breaker_threshold > 0 && now < ctx.breaker_open_until
+
+let cooldown_ok t ~now (ctx : Entity_state.t) =
+  (not (breaker_open t ~now ctx))
+  && now -. ctx.last_redistribution_ms >= ctx.backoff_ms
 
 (* A reactive trigger has a client in hand that local tokens cannot serve:
    it may redistribute immediately unless the site is backing off from a
-   token famine (recent instances failed to satisfy it). *)
+   token famine (recent instances failed to satisfy it) or the breaker is
+   holding the entity local. *)
 let reactive_ok t ~now (ctx : Entity_state.t) =
-  ctx.backoff_ms <= t.config.Config.redistribution_cooldown_ms || cooldown_ok t ~now ctx
+  (not (breaker_open t ~now ctx))
+  && (ctx.backoff_ms <= t.config.Config.redistribution_cooldown_ms
+     || now -. ctx.last_redistribution_ms >= ctx.backoff_ms)
 
-let register_outcome t (ctx : Entity_state.t) ~satisfied =
+let register_outcome t (ctx : Entity_state.t) ~now ~aborted ~satisfied =
+  (if aborted then begin
+     ctx.consec_aborts <- ctx.consec_aborts + 1;
+     let k = t.config.Config.breaker_threshold in
+     if k > 0 && ctx.consec_aborts >= k && now >= ctx.breaker_open_until then begin
+       ctx.breaker_open_until <- now +. t.config.Config.breaker_probe_ms;
+       ctx.breaker_trips <- ctx.breaker_trips + 1
+     end
+   end
+   else ctx.consec_aborts <- 0);
   if satisfied then begin
     ctx.backoff_ms <- t.config.Config.redistribution_cooldown_ms;
     ctx.request_scale <- 1.0

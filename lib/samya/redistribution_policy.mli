@@ -1,5 +1,5 @@
 (** When a site may trigger a redistribution, and how it adapts to token
-    famine.
+    famine and synchronization failure.
 
     Owns the cooldown/backoff/request-scale fields of {!Entity_state.t}:
     the spacing between instances one site triggers, exponential backoff
@@ -7,19 +7,36 @@
     satisfy the site, and the matching shrink of the requested headroom —
     Algorithm 2's rejection is all-or-nothing, so a site facing a
     shrinking global pool must lower its ask to keep draining what
-    remains. *)
+    remains.
+
+    Also owns the redistribution {e circuit breaker}
+    ({!Config.t.breaker_threshold}): after k consecutive {e aborted}
+    instances — the signature of a partitioned or storm-ridden quorum,
+    where every further trigger costs a multi-second round and parks every
+    arriving request behind an exposure that will fail — the entity is
+    held to local-escrow-only service (in-pool acquires still succeed,
+    the rest fail fast) until {!Config.t.breaker_probe_ms} elapses; then
+    one probe instance may run, and another abort re-opens the breaker
+    immediately. *)
 
 type t
 
 val create : config:Config.t -> t
 
 val cooldown_ok : t -> now:float -> Entity_state.t -> bool
-(** Has the entity's current backoff elapsed since its last instance? *)
+(** Has the entity's current backoff elapsed since its last instance
+    (and is the breaker closed)? *)
 
 val reactive_ok : t -> now:float -> Entity_state.t -> bool
 (** May a reactive trigger (client in hand) start an instance now?
-    Immediately unless the site is backing off from a famine. *)
+    Immediately unless the site is backing off from a famine or the
+    breaker is open. *)
 
-val register_outcome : t -> Entity_state.t -> satisfied:bool -> unit
-(** Record whether the instance satisfied this site's request: reset the
-    backoff and request scale on success, double/halve them on failure. *)
+val breaker_open : t -> now:float -> Entity_state.t -> bool
+
+val register_outcome :
+  t -> Entity_state.t -> now:float -> aborted:bool -> satisfied:bool -> unit
+(** Record an instance outcome. [satisfied] steers the famine backoff
+    (reset on success, double/halve on failure); [aborted] steers the
+    breaker (consecutive aborts open it, any decided instance closes
+    it). *)

@@ -39,12 +39,24 @@ type t = {
   pending_reads : (int, read_ctx) Hashtbl.t;
   mutable next_rid : int;
   mutable busy_until : float;
+  adm_enabled : bool;
+      (* [admission_target_ms < infinity], latched at creation: the
+         disabled admission path is one load and one branch *)
+  deadline_budget : float;
+      (* Config.deadline_budget_ms, cached off the hot enqueue path *)
+  mutable adm_above_since : float;
+      (* when the CPU backlog first exceeded the sojourn target
+         ([neg_infinity] = currently below) *)
+  mutable adm_dropping : bool;
   mutable s_acquires : int;
   mutable s_releases : int;
   mutable s_reads : int;
   mutable s_rejected : int;
   mutable s_queued_peak : int;
   mutable s_reactive : int;
+  mutable s_shed_deadline : int;
+  mutable s_shed_admission : int;
+  mutable s_shed_expired : int;
 }
 
 let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
@@ -58,12 +70,19 @@ let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
     pending_reads = Hashtbl.create 16;
     next_rid = 0;
     busy_until = 0.0;
+    adm_enabled = config.Config.admission_target_ms < infinity;
+    deadline_budget = config.Config.deadline_budget_ms;
+    adm_above_since = neg_infinity;
+    adm_dropping = false;
     s_acquires = 0;
     s_releases = 0;
     s_reads = 0;
     s_rejected = 0;
     s_queued_peak = 0;
     s_reactive = 0;
+    s_shed_deadline = 0;
+    s_shed_admission = 0;
+    s_shed_expired = 0;
   }
 
 (* Cluster-level metrics, live only while a sink is attached to the port;
@@ -97,6 +116,64 @@ let served_reads t = t.s_reads
 let rejected t = t.s_rejected
 let queued_peak t = t.s_queued_peak
 let reactive_triggers t = t.s_reactive
+let shed_deadline t = t.s_shed_deadline
+let shed_admission t = t.s_shed_admission
+let shed_queue_expired t = t.s_shed_expired
+let admission_dropping t = t.adm_dropping
+
+(* ------------------------------------------------------------------ *)
+(* Overload shedding                                                    *)
+
+(* CoDel-style admission gate: watch the CPU backlog (the sojourn a new
+   arrival would pay before service) against the target; once it has
+   stayed above target for a sustained interval, shed newest acquire
+   arrivals until the backlog falls back below half the target. Sheds
+   cost no CPU — the whole point is to fail more cheaply than serving.
+   Releases are never admission-shed: they return tokens and shrink the
+   very backlog the gate is protecting. *)
+let admission_shed t request =
+  t.adm_enabled
+  && begin
+       let now_ms = now t in
+       let backlog = t.busy_until -. now_ms in
+       let target = t.config.Config.admission_target_ms in
+       if backlog > target then begin
+         if t.adm_above_since = neg_infinity then t.adm_above_since <- now_ms
+         else if
+           (not t.adm_dropping)
+           && now_ms -. t.adm_above_since >= t.config.Config.admission_interval_ms
+         then t.adm_dropping <- true
+       end
+       else begin
+         t.adm_above_since <- neg_infinity;
+         if backlog <= 0.5 *. target then t.adm_dropping <- false
+       end;
+       t.adm_dropping && (match request with Types.Acquire _ -> true | _ -> false)
+     end
+
+(* Shed on arrival: a request that is already dead (deadline passed) or
+   that the admission gate drops is answered synchronously — no CPU
+   occupancy, no queueing, no ledger movement (conservation-trivial). *)
+let overload_shed t request reply =
+  if Types.request_deadline request < now t then begin
+    t.s_shed_deadline <- t.s_shed_deadline + 1;
+    obs_incr t "samya.shed.deadline";
+    reply Types.Rejected_deadline;
+    true
+  end
+  else if admission_shed t request then begin
+    t.s_shed_admission <- t.s_shed_admission + 1;
+    obs_incr t "samya.shed.admission";
+    reply Types.Rejected_deadline;
+    true
+  end
+  else false
+
+(* The deadline a queue entry carries: the request's own, tightened by the
+   site's default budget. Computed once at enqueue so the drain only
+   compares. *)
+let effective_deadline t request =
+  Float.min (Types.request_deadline request) (now t +. t.deadline_budget)
 
 (* Requests occupy the site's CPU for [local_processing_ms] each; the
    reply carries the queueing-for-CPU delay, which is what saturates a
@@ -164,7 +241,10 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         let wanted = t.deps.reactive_wanted ctx ~amount in
         ctx.core.tokens_wanted <- max ctx.core.tokens_wanted wanted;
         ctx.last_redistribution_ms <- now t;
-        Queue.push (request, reply, Des.Engine.current_context t.engine) ctx.queue;
+        Queue.push
+          (request, reply, Des.Engine.current_context t.engine,
+           effective_deadline t request)
+          ctx.queue;
         (match Obs.Sink.tap t.obs with
         | None -> ()
         | Some sink ->
@@ -174,6 +254,7 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
                 (Obs.Causal.Enqueued
                    { trace; site = t.site_id; label = "redistribution"; ts = now t }));
         t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+        ctx.queue_peak <- max ctx.queue_peak (Queue.length ctx.queue);
         obs_queue_depth t (Queue.length ctx.queue);
         t.deps.trigger ctx
       end
@@ -187,11 +268,31 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
 let drain_queue t (ctx : Entity_state.t) =
   let items = Queue.length ctx.queue in
   for _ = 1 to items do
-    let ((request, reply, qctx) as entry) = Queue.pop ctx.queue in
+    let ((request, reply, qctx, deadline) as entry) = Queue.pop ctx.queue in
     if Entity_state.participating ctx then
       (* A re-triggered instance started while draining: keep queueing
          (the causal queue window simply continues). *)
       Queue.push entry ctx.queue
+    else if deadline < now t then begin
+      (* Expired while parked behind the instance: the client is gone (or
+         about to give up) — discard cheaply instead of burning CPU on an
+         answer nobody will read. No ledger movement, so conservation is
+         untouched. *)
+      t.s_shed_expired <- t.s_shed_expired + 1;
+      obs_incr t "samya.shed.queue_expired";
+      (match Obs.Sink.tap t.obs with
+      | None -> ()
+      | Some sink ->
+          if not (Des.Trace_context.is_none qctx) then
+            Obs.Causal.record sink.Obs.Sink.causal
+              (Obs.Causal.Dequeued
+                 {
+                   trace = qctx.Des.Trace_context.trace;
+                   site = t.site_id;
+                   ts = now t;
+                 }));
+      reply Types.Rejected_deadline
+    end
     else if Des.Trace_context.is_none qctx then
       (* [drain:false] lets an unservable acquire re-trigger a reactive
          redistribution (subject to famine backoff) instead of being
@@ -221,7 +322,10 @@ let accept_inner t (ctx : Entity_state.t) request reply =
   let record_and_dispatch ~net =
     Demand_tracker.record ctx.tracker ~amount:net;
     if Entity_state.participating ctx then begin
-      Queue.push (request, reply, Des.Engine.current_context t.engine) ctx.queue;
+      Queue.push
+        (request, reply, Des.Engine.current_context t.engine,
+         effective_deadline t request)
+        ctx.queue;
       (match Obs.Sink.tap t.obs with
       | None -> ()
       | Some sink ->
@@ -231,6 +335,7 @@ let accept_inner t (ctx : Entity_state.t) request reply =
               (Obs.Causal.Enqueued
                  { trace; site = t.site_id; label = "redistribution"; ts = now t }));
       t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+      ctx.queue_peak <- max ctx.queue_peak (Queue.length ctx.queue);
       obs_queue_depth t (Queue.length ctx.queue)
     end
     else serve_local t ctx request reply ~drain:false
@@ -260,7 +365,8 @@ let with_root_stamp t k =
       else stamp ()
 
 let accept t (ctx : Entity_state.t) request reply =
-  with_root_stamp t (fun () -> accept_inner t ctx request reply)
+  if not (overload_shed t request reply) then
+    with_root_stamp t (fun () -> accept_inner t ctx request reply)
 
 (* Cold fast path: a request a cold entity's core ledger can serve outright
    — every release, and any acquire within the local pool. No queue, no
@@ -292,6 +398,8 @@ let accept_core t (core : Entity_state.t Entity_map.core) request reply =
   match core.Entity_map.hot with
   | Some ctx -> accept t ctx request reply
   | None ->
+      if overload_shed t request reply then ()
+      else
       let cold_servable =
         (not core.Entity_map.exposed)
         &&
@@ -303,7 +411,11 @@ let accept_core t (core : Entity_state.t Entity_map.core) request reply =
         | Types.Read _ -> false
       in
       if cold_servable then with_root_stamp t (fun () -> serve_cold t core request reply)
-      else accept t (t.deps.heat core) request reply
+      else
+        (* Already gated above — go straight to the ungated internals so
+           the admission gate observes each arrival exactly once. *)
+        let ctx = t.deps.heat core in
+        with_root_stamp t (fun () -> accept_inner t ctx request reply)
 
 (* ------------------------------------------------------------------ *)
 (* Reads: global snapshot by fan-out (§5.8)                             *)
@@ -375,7 +487,14 @@ let serve_read_inner t ~entity ~own reply =
     t.deps.broadcast_read_query ~entity ~rid
   end
 
-let serve_read t ~entity ~own reply =
+let serve_read t ?(deadline_ms = infinity) ~entity ~own reply =
+  if deadline_ms < now t then begin
+    (* Dead on arrival: same cheap refusal as the write path. *)
+    t.s_shed_deadline <- t.s_shed_deadline + 1;
+    obs_incr t "samya.shed.deadline";
+    reply Types.Rejected_deadline
+  end
+  else
   match Obs.Sink.tap t.obs with
   | None -> serve_read_inner t ~entity ~own reply
   | Some _ ->

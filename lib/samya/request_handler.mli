@@ -47,7 +47,13 @@ val accept :
   t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> unit
 (** Dispatch a validated acquire/release: record demand, then serve
     locally or queue while the entity is redistributing. Read requests
-    must go to {!serve_read} instead. *)
+    must go to {!serve_read} instead.
+
+    Overload shedding runs first, before any CPU occupancy or ledger
+    movement: a request whose deadline has already passed, or an acquire
+    arriving while the CoDel-style admission gate is in drop mode
+    ({!Config.t.admission_target_ms}), is answered
+    {!Types.Rejected_deadline} synchronously. *)
 
 val accept_core :
   t -> Entity_state.t Entity_map.core -> Types.request -> (Types.response -> unit) -> unit
@@ -64,11 +70,20 @@ val serve_local :
 
 val drain_queue : t -> Entity_state.t -> unit
 (** Replay the queue after an instance ended; requests re-queue if a new
-    instance started meanwhile. *)
+    instance started meanwhile. Entries whose effective deadline passed
+    while parked are discarded with a cheap {!Types.Rejected_deadline}
+    instead of being replayed. *)
 
-val serve_read : t -> entity:Types.entity -> own:int -> (Types.response -> unit) -> unit
+val serve_read :
+  t ->
+  ?deadline_ms:float ->
+  entity:Types.entity ->
+  own:int ->
+  (Types.response -> unit) ->
+  unit
 (** Start a global-snapshot read: [own] tokens plus a fan-out to peers,
-    answered after quorum-of-all or timeout. *)
+    answered after quorum-of-all or timeout. A read already past
+    [deadline_ms] (default [infinity]) is shed like the write path. *)
 
 val on_read_reply : t -> rid:int -> tokens_left:int -> unit
 
@@ -81,3 +96,16 @@ val served_reads : t -> int
 val rejected : t -> int
 val queued_peak : t -> int
 val reactive_triggers : t -> int
+
+val shed_deadline : t -> int
+(** Requests refused because they arrived already past their deadline. *)
+
+val shed_admission : t -> int
+(** Acquires refused by the admission gate's drop mode. *)
+
+val shed_queue_expired : t -> int
+(** Parked queue entries discarded at drain because their effective
+    deadline passed while the entity's state was exposed. *)
+
+val admission_dropping : t -> bool
+(** Is the admission gate currently in drop mode? (test hook) *)

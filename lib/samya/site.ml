@@ -39,6 +39,7 @@ type t = {
          process (ghost timers would resurrect discarded state) *)
   durable : Durable_image.t Storage.Durable.t option;
       (* Some iff [config.amnesia_on_crash]: one image per entity *)
+  rpolicy : Redistribution_policy.t;
   prediction : Prediction.t;
   handler : Request_handler.t;
   driver : Protocol_driver.t;
@@ -144,7 +145,9 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
         Des.Engine.timer ~label:"avantan.timer" engine ~delay_ms (fun () ->
             if !is_alive && !incarnation = inc then f ()))
       ~refresh_wanted:(Prediction.refresh_wanted prediction)
-      ~register_outcome:(Redistribution_policy.register_outcome rpolicy)
+      ~register_outcome:(fun ctx ~aborted ~satisfied ->
+        Redistribution_policy.register_outcome rpolicy ctx ~now:(now ()) ~aborted
+          ~satisfied)
       ~on_event:
         (match on_protocol_event with
         | Some f -> fun entity event -> f ~entity event
@@ -202,6 +205,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       is_alive;
       incarnation;
       durable;
+      rpolicy;
       prediction;
       handler;
       driver;
@@ -300,7 +304,8 @@ let submit t request ~reply =
               | Some core -> core.Entity_map.tokens_left
               | None -> 0
             in
-            Request_handler.serve_read t.handler ~entity ~own reply
+            Request_handler.serve_read t.handler
+              ~deadline_ms:(Types.request_deadline request) ~entity ~own reply
         | Types.Acquire _ | Types.Release _ -> (
             match get_core t entity with
             | None -> reply Types.Rejected
@@ -319,6 +324,28 @@ let queued t ~entity =
   match get_ctx t entity with
   | Some ctx -> Queue.length ctx.Entity_state.queue
   | None -> 0
+
+let queue_peak t ~entity =
+  match get_ctx t entity with
+  | Some ctx -> ctx.Entity_state.queue_peak
+  | None -> 0
+
+let breaker_trips t ~entity =
+  match get_ctx t entity with
+  | Some ctx -> ctx.Entity_state.breaker_trips
+  | None -> 0
+
+let breaker_open t ~entity =
+  match get_ctx t entity with
+  | Some ctx ->
+      Redistribution_policy.breaker_open t.rpolicy
+        ~now:(Des.Engine.now t.engine) ctx
+  | None -> false
+
+let shed_deadline t = Request_handler.shed_deadline t.handler
+let shed_admission t = Request_handler.shed_admission t.handler
+let shed_queue_expired t = Request_handler.shed_queue_expired t.handler
+let admission_dropping t = Request_handler.admission_dropping t.handler
 
 let decided_log_length t ~entity =
   match get_ctx t entity with Some ctx -> Entity_state.decided_log_length ctx | None -> 0

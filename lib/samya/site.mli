@@ -83,6 +83,29 @@ val acquired_net : t -> entity:Types.entity -> int
 
 val queued : t -> entity:Types.entity -> int
 
+val queue_peak : t -> entity:Types.entity -> int
+(** Per-entity high-water mark of the redistribution queue — the per-key
+    companion of the site-wide [queued_peak] stat, so overload scenarios
+    can show which keys the admission gate is protecting. *)
+
+val breaker_trips : t -> entity:Types.entity -> int
+(** Times the redistribution circuit breaker opened for this entity. *)
+
+val breaker_open : t -> entity:Types.entity -> bool
+
+val shed_deadline : t -> int
+(** Requests shed on arrival because their deadline had already passed. *)
+
+val shed_admission : t -> int
+(** Acquires shed by the CoDel-style admission gate. *)
+
+val shed_queue_expired : t -> int
+(** Parked queue entries discarded (not replayed) because their effective
+    deadline passed while the entity's state was exposed. *)
+
+val admission_dropping : t -> bool
+(** Is the admission gate currently in drop mode? (test hook) *)
+
 val decided_log_length : t -> entity:Types.entity -> int
 (** Entries currently retained for peer recovery; never exceeds
     {!Config.t.decided_log_retention}. *)

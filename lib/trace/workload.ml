@@ -78,6 +78,60 @@ let gateway ~rng ~zipf ~key_name ~key_home ~n_clients ~rate_per_s ~duration_ms
   List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
   arr
 
+let flash_sale ~rng ~entity ~home ~n_clients ~base_rate_per_s ~spike_rate_per_s
+    ~spike_start_ms ~spike_end_ms ~duration_ms ?(home_affinity = 0.9) () =
+  if n_clients < 1 then invalid_arg "Workload.flash_sale: n_clients must be >= 1";
+  if home < 0 || home >= n_clients then
+    invalid_arg "Workload.flash_sale: home outside [0, n_clients)";
+  if not (base_rate_per_s > 0.0) then
+    invalid_arg "Workload.flash_sale: base rate must be positive";
+  if not (spike_rate_per_s > 0.0) then
+    invalid_arg "Workload.flash_sale: spike rate must be positive";
+  if
+    not
+      (0.0 <= spike_start_ms
+      && spike_start_ms <= spike_end_ms
+      && spike_end_ms <= duration_ms)
+  then invalid_arg "Workload.flash_sale: need 0 <= start <= end <= duration";
+  if home_affinity < 0.0 || home_affinity > 1.0 then
+    invalid_arg "Workload.flash_sale: home_affinity outside [0, 1]";
+  (* Piecewise-Poisson arrivals on one entity: base rate, then the spike,
+     then base again — three sequential segments drawn from the same rng
+     so the stream is one deterministic sequence. Every arrival is a
+     1-token Acquire (flash-sale checkouts); releases come back through
+     the driver's grant-driven lifetimes. *)
+  let out = ref [] and count = ref 0 in
+  let t = ref 0.0 in
+  let segment ~rate_per_s ~until_ms =
+    let rate = rate_per_s /. 1000.0 (* per ms *) in
+    let continue = ref true in
+    while !continue do
+      let next = !t +. Des.Rng.exponential rng ~rate in
+      if next > until_ms then begin
+        (* Restart the thinning clock at the boundary: the next segment's
+           first gap is drawn fresh at its own rate. *)
+        t := until_ms;
+        continue := false
+      end
+      else begin
+        t := next;
+        let site =
+          if Des.Rng.bool rng home_affinity then home
+          else Des.Rng.int rng n_clients
+        in
+        out := { time_ms = !t; site; kind = Acquire; amount = 1; entity } :: !out;
+        incr count
+      end
+    done
+  in
+  segment ~rate_per_s:base_rate_per_s ~until_ms:spike_start_ms;
+  segment ~rate_per_s:spike_rate_per_s ~until_ms:spike_end_ms;
+  segment ~rate_per_s:base_rate_per_s ~until_ms:duration_ms;
+  let arr = Array.make !count { time_ms = 0.0; site = 0; kind = Read; amount = 0; entity = "" } in
+  (* The stream was generated in time order; reverse the accumulator. *)
+  List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
+  arr
+
 let merge streams =
   let arr = Array.concat streams in
   Array.sort compare_time arr;

@@ -56,6 +56,30 @@ val gateway :
     grant-driven lifetimes (the rate-limit window). Deterministic in
     [rng]; sorted by [time_ms]. *)
 
+val flash_sale :
+  rng:Des.Rng.t ->
+  entity:string ->
+  home:int ->
+  n_clients:int ->
+  base_rate_per_s:float ->
+  spike_rate_per_s:float ->
+  spike_start_ms:float ->
+  spike_end_ms:float ->
+  duration_ms:float ->
+  ?home_affinity:float ->
+  unit ->
+  request array
+(** Single-entity overload stream (the retry-storm experiment):
+    piecewise-Poisson 1-token Acquires on [entity] — [base_rate_per_s]
+    over [\[0, spike_start_ms)], [spike_rate_per_s] over
+    [\[spike_start_ms, spike_end_ms)] (the flash sale), then the base
+    rate again until [duration_ms]. Each arrival issues from [home] with
+    probability [home_affinity] (default [0.9]), a uniform client
+    otherwise. Releases are left to the driver's grant-driven lifetimes.
+    Deterministic in [rng]; sorted by [time_ms]. Raises
+    [Invalid_argument] unless [0 <= start <= end <= duration], rates are
+    positive and [home] is a valid client. *)
+
 val merge : request array list -> request array
 (** Stable time-ordered merge of per-site streams. *)
 

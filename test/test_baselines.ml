@@ -27,7 +27,7 @@ let mp_basic_commit () =
   let system = mp_make () in
   let response = ref None in
   mp_submit system ~time_ms:0.0
-    (Samya.Types.Acquire { entity; amount = 10 })
+    (Samya.Types.Acquire { entity; amount = 10; deadline_ms = infinity })
     (fun r -> response := Some r);
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:5_000.0;
   check bool "granted" true (!response = Some Samya.Types.Granted);
@@ -41,7 +41,7 @@ let mp_constraint_enforced () =
     (fun i amount ->
       mp_submit system
         ~time_ms:(float_of_int i *. 500.0)
-        (Samya.Types.Acquire { entity; amount })
+        (Samya.Types.Acquire { entity; amount; deadline_ms = infinity })
         (fun r -> outcomes := r :: !outcomes))
     [ 10; 10; 5 ];
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:20_000.0;
@@ -56,7 +56,7 @@ let mp_release_cannot_go_negative () =
   let system = mp_make () in
   let response = ref None in
   mp_submit system ~time_ms:0.0
-    (Samya.Types.Release { entity; amount = 5 })
+    (Samya.Types.Release { entity; amount = 5; deadline_ms = infinity })
     (fun r -> response := Some r);
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:5_000.0;
   check bool "rejected" true (!response = Some Samya.Types.Rejected);
@@ -74,7 +74,7 @@ let mp_serializes_hot_entity () =
   let rec feed i =
     if i < 20 then
       mp_submit system ~time_ms:0.0
-        (Samya.Types.Acquire { entity; amount = 1 })
+        (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
         (fun _ ->
           decr remaining;
           done_at := Des.Engine.now engine;
@@ -91,9 +91,9 @@ let mp_serializes_hot_entity () =
 
 let mp_reads_at_leader () =
   let system = mp_make ~maximum:100 () in
-  mp_submit system ~time_ms:0.0 (Samya.Types.Acquire { entity; amount = 40 }) ignore;
+  mp_submit system ~time_ms:0.0 (Samya.Types.Acquire { entity; amount = 40; deadline_ms = infinity }) ignore;
   let result = ref None in
-  mp_submit system ~time_ms:2_000.0 (Samya.Types.Read { entity }) (fun r -> result := Some r);
+  mp_submit system ~time_ms:2_000.0 (Samya.Types.Read { entity; deadline_ms = infinity }) (fun r -> result := Some r);
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:10_000.0;
   check bool "read result" true
     (!result = Some (Samya.Types.Read_result { tokens_available = 60 }))
@@ -103,7 +103,7 @@ let mp_unavailable_when_leader_down () =
   Baselines.Multipaxsys.crash_site system 1;
   let response = ref None in
   mp_submit system ~time_ms:0.0
-    (Samya.Types.Acquire { entity; amount = 1 })
+    (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
     (fun r -> response := Some r);
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:5_000.0;
   check bool "unavailable" true (!response = Some Samya.Types.Unavailable)
@@ -116,7 +116,7 @@ let mp_blocks_without_majority () =
   Baselines.Multipaxsys.crash_site system 4;
   let replied = ref false in
   mp_submit system ~time_ms:0.0
-    (Samya.Types.Acquire { entity; amount = 1 })
+    (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
     (fun _ -> replied := true);
   Des.Engine.run (Baselines.Multipaxsys.engine system) ~until_ms:30_000.0;
   check bool "no reply without majority" false !replied
@@ -139,7 +139,7 @@ let dem_local_service () =
   let system = dem_make () in
   let response = ref None in
   dem_submit system ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 100 })
+    (Samya.Types.Acquire { entity; amount = 100; deadline_ms = infinity })
     (fun r -> response := Some r);
   Des.Engine.run (Baselines.Demarcation.engine system) ~until_ms:5_000.0;
   check bool "granted" true (!response = Some Samya.Types.Granted);
@@ -152,7 +152,7 @@ let dem_borrows_when_exhausted () =
     dem_submit system
       ~time_ms:(float_of_int i *. 5.0)
       ~region:Geonet.Region.Us_west1
-      (Samya.Types.Acquire { entity; amount = 1 })
+      (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
       (function Samya.Types.Granted -> incr granted | _ -> ())
   done;
   Des.Engine.run (Baselines.Demarcation.engine system) ~until_ms:120_000.0;
@@ -169,7 +169,7 @@ let dem_global_exhaustion_rejects () =
     dem_submit system
       ~time_ms:(float_of_int i *. 50.0)
       ~region:Geonet.Region.Us_west1
-      (Samya.Types.Acquire { entity; amount = 1 })
+      (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
       (function
         | Samya.Types.Granted -> incr granted
         | Samya.Types.Rejected -> incr rejected
@@ -183,7 +183,7 @@ let dem_reads_are_local () =
   let system = dem_make () in
   let result = ref None in
   dem_submit system ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Read { entity })
+    (Samya.Types.Read { entity; deadline_ms = infinity })
     (fun r -> result := Some r);
   Des.Engine.run (Baselines.Demarcation.engine system) ~until_ms:5_000.0;
   check bool "local escrow view" true
@@ -212,7 +212,7 @@ let crdb_commits_and_enforces () =
     (fun i amount ->
       Des.Engine.schedule engine ~delay_ms:(float_of_int i *. 1_000.0) (fun () ->
           Baselines.Cockroach_sim.submit system ~region:Geonet.Region.Us_west1
-            (Samya.Types.Acquire { entity; amount })
+            (Samya.Types.Acquire { entity; amount; deadline_ms = infinity })
             ~reply:(fun r -> outcomes := r :: !outcomes)))
     [ 20; 20; 5 ];
   Des.Engine.run engine ~until_ms:60_000.0;
@@ -229,7 +229,7 @@ let crdb_survives_follower_crash () =
   let response = ref None in
   Des.Engine.schedule engine ~delay_ms:100.0 (fun () ->
       Baselines.Cockroach_sim.submit system ~region:Geonet.Region.Us_west1
-        (Samya.Types.Acquire { entity; amount = 1 })
+        (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
         ~reply:(fun r -> response := Some r));
   Des.Engine.run engine ~until_ms:60_000.0;
   check bool "still commits with 3/5" true (!response = Some Samya.Types.Granted)
@@ -244,7 +244,7 @@ let crdb_reelects_after_leaseholder_crash () =
   | None -> Alcotest.fail "no leader re-elected");
   let response = ref None in
   Baselines.Cockroach_sim.submit system ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 1 })
+    (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
     ~reply:(fun r -> response := Some r);
   Des.Engine.run engine ~until_ms:(Des.Engine.now engine +. 60_000.0);
   check bool "commits under new leaseholder" true (!response = Some Samya.Types.Granted)

@@ -188,13 +188,13 @@ let multi_entity_conserves_under_chaos =
                      let amount = 1 + Des.Rng.int rng (min 3 held.(r)) in
                      held.(r) <- held.(r) - amount;
                      Samya.Cluster.submit cluster ~region
-                       (Samya.Types.Release { entity = key r; amount })
+                       (Samya.Types.Release { entity = key r; amount; deadline_ms = infinity })
                        ~reply:(fun _ -> ())
                    end
                    else
                      let amount = 1 + Des.Rng.int rng 4 in
                      Samya.Cluster.submit cluster ~region
-                       (Samya.Types.Acquire { entity = key r; amount })
+                       (Samya.Types.Acquire { entity = key r; amount; deadline_ms = infinity })
                        ~reply:(fun response ->
                          if response = Samya.Types.Granted then
                            held.(r) <- held.(r) + amount));

@@ -115,7 +115,7 @@ let cluster_uses_configured_policy () =
       ~time_ms:(float_of_int i *. 5.0)
       (fun () ->
         Samya.Cluster.submit cluster ~region:regions.(0)
-          (Samya.Types.Acquire { entity = "VM"; amount = 1 })
+          (Samya.Types.Acquire { entity = "VM"; amount = 1; deadline_ms = infinity })
           ~reply:(function Samya.Types.Granted -> incr granted | _ -> ()))
   done;
   Des.Engine.run engine ~until_ms:120_000.0;
@@ -212,7 +212,7 @@ let crdt_converges () =
     (fun region ->
       for _ = 1 to 100 do
         Baselines.Crdt_counter.submit crdt ~region
-          (Samya.Types.Acquire { entity = "VM"; amount = 1 })
+          (Samya.Types.Acquire { entity = "VM"; amount = 1; deadline_ms = infinity })
           ~reply:(fun _ -> ())
       done)
     regions;
@@ -221,7 +221,7 @@ let crdt_converges () =
   (* After gossip settles, a read anywhere sees the full total. *)
   let seen = ref None in
   Baselines.Crdt_counter.submit crdt ~region:Geonet.Region.Us_west1
-    (Samya.Types.Read { entity = "VM" })
+    (Samya.Types.Read { entity = "VM"; deadline_ms = infinity })
     ~reply:(fun r -> seen := Some r);
   Des.Engine.run engine ~until_ms:35_000.0;
   check bool "read sees converged availability" true
@@ -240,7 +240,7 @@ let crdt_cannot_enforce_the_constraint () =
     (fun region ->
       for _ = 1 to 80 do
         Baselines.Crdt_counter.submit crdt ~region
-          (Samya.Types.Acquire { entity = "VM"; amount = 1 })
+          (Samya.Types.Acquire { entity = "VM"; amount = 1; deadline_ms = infinity })
           ~reply:(fun _ -> ())
       done)
     regions;

@@ -17,4 +17,5 @@ let () =
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);
+      ("overload", Test_overload.suite);
     ]

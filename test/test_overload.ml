@@ -1,0 +1,772 @@
+(* Tests for the overload-resilience stack: deadline propagation and
+   dead-on-arrival shedding, the CoDel-style admission gate, queue-entry
+   expiry, the redistribution circuit breaker, the stale-accept-leader
+   unwedge, retrying clients (backoff, jitter, release semantics, timeout
+   attribution), the flash-sale workload and targeted-partition
+   generators, and conservation under shedding. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let entity = "VM"
+
+let regions () = Array.of_list Geonet.Region.default_five
+
+let make_cluster ?(config_f = fun c -> c) ?(seed = 42L) ?(maximum = 5_000) () =
+  let config = config_f Samya.Config.default in
+  let cluster = Samya.Cluster.create ~seed ~config ~regions:(regions ()) () in
+  Samya.Cluster.init_entity cluster ~entity ~maximum;
+  cluster
+
+let submit_at cluster ~time_ms ~region request callback =
+  Des.Engine.schedule_at
+    (Samya.Cluster.engine cluster)
+    ~time_ms
+    (fun () -> Samya.Cluster.submit cluster ~region request ~reply:callback)
+
+let drain ?(extra = 120_000.0) cluster =
+  let engine = Samya.Cluster.engine cluster in
+  Des.Engine.run engine ~until_ms:(Des.Engine.now engine +. extra)
+
+let sum_sites cluster f =
+  Array.fold_left (fun acc site -> acc + f site) 0 (Samya.Cluster.sites cluster)
+
+(* ------------------------------------------------------------------ *)
+(* Config and request validation *)
+
+let config_rejects_bad_overload_knobs () =
+  let bad f =
+    match Samya.Config.validate (f Samya.Config.default) with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  check bool "deadline_budget_ms = 0" true
+    (bad (fun c -> { c with Samya.Config.deadline_budget_ms = 0.0 }));
+  check bool "deadline_budget_ms = nan" true
+    (bad (fun c -> { c with Samya.Config.deadline_budget_ms = Float.nan }));
+  check bool "admission_target_ms = -1" true
+    (bad (fun c -> { c with Samya.Config.admission_target_ms = -1.0 }));
+  check bool "admission_target_ms = nan" true
+    (bad (fun c -> { c with Samya.Config.admission_target_ms = Float.nan }));
+  check bool "admission_interval_ms = 0" true
+    (bad (fun c -> { c with Samya.Config.admission_interval_ms = 0.0 }));
+  check bool "breaker_threshold = -1" true
+    (bad (fun c -> { c with Samya.Config.breaker_threshold = -1 }));
+  check bool "breaker_probe_ms = 0" true
+    (bad (fun c -> { c with Samya.Config.breaker_probe_ms = 0.0 }));
+  check bool "breaker_probe_ms = nan" true
+    (bad (fun c -> { c with Samya.Config.breaker_probe_ms = Float.nan }));
+  check bool "defaults validate" true
+    (Samya.Config.validate Samya.Config.default = Ok ())
+
+let request_rejects_nan_deadline () =
+  let nan_req = Samya.Types.acquire ~deadline_ms:Float.nan ~entity ~amount:1 () in
+  check bool "nan deadline rejected" true
+    (match Samya.Types.validate nan_req with Error _ -> true | Ok () -> false);
+  check bool "finite deadline fine" true
+    (Samya.Types.validate (Samya.Types.acquire ~deadline_ms:5.0 ~entity ~amount:1 ())
+    = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Deadline propagation and shedding *)
+
+let dead_on_arrival_is_shed () =
+  let cluster = make_cluster () in
+  let response = ref None in
+  (* Deadline 100 ms, submitted at t = 1 s: already dead when it reaches
+     the site; it must be shed without touching the ledger. *)
+  submit_at cluster ~time_ms:1_000.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~deadline_ms:100.0 ~entity ~amount:10 ())
+    (fun r -> response := Some r);
+  drain cluster;
+  check bool "rejected for deadline" true (!response = Some Samya.Types.Rejected_deadline);
+  check int "counted as deadline shed" 1 (sum_sites cluster Samya.Site.shed_deadline);
+  check int "no tokens moved" 0
+    (Samya.Cluster.total_acquired cluster ~entity);
+  (* Reads shed too. *)
+  let read_response = ref None in
+  submit_at cluster ~time_ms:2_000.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.read ~deadline_ms:1.0 ~entity ())
+    (fun r -> read_response := Some r);
+  drain cluster;
+  check bool "read shed" true (!read_response = Some Samya.Types.Rejected_deadline)
+
+let queued_entry_expires_unreplayed () =
+  (* Reactive-only, with a queue budget far below one protocol round:
+     a request parked behind a redistribution must be discarded with
+     [Rejected_deadline] when its effective deadline passes, not served
+     late at drain. *)
+  let cluster =
+    make_cluster
+      ~config_f:(fun c ->
+        {
+          c with
+          Samya.Config.prediction_enabled = false;
+          deadline_budget_ms = 50.0;
+        })
+      ()
+  in
+  (* Exhaust site 0's share so the next acquire triggers an instance. *)
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:1_000 ())
+    ignore;
+  let response = ref None in
+  let reply_time = ref Float.nan in
+  let engine = Samya.Cluster.engine cluster in
+  submit_at cluster ~time_ms:1_000.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:10 ())
+    (fun r ->
+      response := Some r;
+      reply_time := Des.Engine.now engine);
+  drain cluster;
+  check bool "queue expiry rejects" true
+    (!response = Some Samya.Types.Rejected_deadline);
+  check bool "expired entries counted" true
+    (sum_sites cluster Samya.Site.shed_queue_expired >= 1);
+  check bool "queue depth gauge saw it" true
+    (Array.exists
+       (fun site -> Samya.Site.queue_peak site ~entity >= 1)
+       (Samya.Cluster.sites cluster));
+  (* The expired entry never consumed tokens. *)
+  check int "only the exhausting acquire holds tokens" 1_000
+    (Samya.Cluster.total_acquired cluster ~entity);
+  check bool "conservation" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+let admission_gate_sheds_and_recovers () =
+  (* Slow CPU and a 5 ms backlog target: a dense burst must trip the gate
+     into drop mode (shedding acquires for free) and the gate must close
+     again once the backlog drains below target/2. *)
+  let cluster =
+    make_cluster
+      ~config_f:(fun c ->
+        {
+          c with
+          Samya.Config.prediction_enabled = false;
+          local_processing_ms = 1.0;
+          admission_target_ms = 5.0;
+          admission_interval_ms = 20.0;
+        })
+      ()
+  in
+  let granted = ref 0 and shed = ref 0 in
+  for i = 0 to 399 do
+    (* 2 arrivals per ms against 1 ms/request of CPU: backlog grows 0.5 ms
+       per arrival, passing the 5 ms target around the 20th request. *)
+    submit_at cluster
+      ~time_ms:(float_of_int i *. 0.5)
+      ~region:Geonet.Region.Us_west1
+      (Samya.Types.acquire ~entity ~amount:1 ())
+      (function
+        | Samya.Types.Granted -> incr granted
+        | Samya.Types.Rejected_deadline -> incr shed
+        | _ -> ())
+  done;
+  drain cluster;
+  check bool "early requests granted" true (!granted > 0);
+  check bool "overload shed" true (!shed > 0);
+  check int "sheds counted" !shed (sum_sites cluster Samya.Site.shed_admission);
+  check bool "gate closed after drain" true
+    (Array.for_all
+       (fun site -> not (Samya.Site.admission_dropping site))
+       (Samya.Cluster.sites cluster));
+  check bool "conservation under shedding" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let breaker_opens_and_reprobes () =
+  let cluster =
+    make_cluster
+      ~config_f:(fun c ->
+        {
+          c with
+          Samya.Config.prediction_enabled = false;
+          redistribution_cooldown_ms = 500.0;
+          breaker_threshold = 2;
+          breaker_probe_ms = 3_000.0;
+        })
+      ()
+  in
+  (* Cut site 0 off, then drive it into famine: every redistribution
+     attempt aborts, and after 2 consecutive aborts the breaker opens. *)
+  Des.Engine.schedule_at (Samya.Cluster.engine cluster) ~time_ms:0.0 (fun () ->
+      Samya.Cluster.partition cluster [ [ 0 ]; [ 1; 2; 3; 4 ] ]);
+  submit_at cluster ~time_ms:10.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:1_000 ())
+    ignore;
+  let rejections = ref 0 in
+  for i = 0 to 59 do
+    submit_at cluster
+      ~time_ms:(1_000.0 +. (float_of_int i *. 500.0))
+      ~region:Geonet.Region.Us_west1
+      (Samya.Types.acquire ~entity ~amount:50 ())
+      (function Samya.Types.Rejected -> incr rejections | _ -> ())
+  done;
+  drain ~extra:40_000.0 cluster;
+  let site0 = Samya.Cluster.site cluster 0 in
+  check bool "breaker tripped" true (Samya.Site.breaker_trips site0 ~entity >= 1);
+  check bool "requests failed fast" true (!rejections > 0);
+  (* Heal and wait past the probe window: the breaker's half-open probe
+     must let a redistribution through and close on success. *)
+  Des.Engine.schedule_at (Samya.Cluster.engine cluster)
+    ~time_ms:(Des.Engine.now (Samya.Cluster.engine cluster) +. 1.0)
+    (fun () -> Samya.Cluster.heal cluster);
+  let healed_reply = ref None in
+  submit_at cluster
+    ~time_ms:(Des.Engine.now (Samya.Cluster.engine cluster) +. 4_000.0)
+    ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:50 ())
+    (fun r -> healed_reply := Some r);
+  drain ~extra:60_000.0 cluster;
+  check bool "post-heal acquire granted" true
+    (!healed_reply = Some Samya.Types.Granted);
+  check bool "breaker closed" true (not (Samya.Site.breaker_open site0 ~entity));
+  check bool "conservation" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Stale accept-phase leader unwedge (the retry-storm liveness fix) *)
+
+let stale_accept_leader_unwedges () =
+  (* Partition the home site at the exact moment it constructs a value
+     (entering the accept phase): the cohort times out and recovers
+     behind its back. Before the Election_reject NACK, the stale leader
+     re-sent its accept forever and its entity stayed exposed — parked
+     requests never got a reply. *)
+  let cluster_ref = ref None in
+  let cut = ref false in
+  let config =
+    {
+      Samya.Config.default with
+      Samya.Config.prediction_enabled = false;
+      redistribution_cooldown_ms = 500.0;
+    }
+  in
+  let cluster =
+    Samya.Cluster.create ~seed:42L ~config ~regions:(regions ())
+      ~on_protocol_event:(fun ~site ~entity:_ ev ->
+        match (ev, !cluster_ref) with
+        | Samya.Avantan_core.Value_constructed _, Some c when site = 0 && not !cut
+          ->
+            cut := true;
+            Samya.Cluster.partition c [ [ 0 ]; [ 1; 2; 3; 4 ] ]
+        | _ -> ())
+      ()
+  in
+  cluster_ref := Some cluster;
+  Samya.Cluster.init_entity cluster ~entity ~maximum:5_000;
+  submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:1_000 ())
+    ignore;
+  let response = ref None in
+  submit_at cluster ~time_ms:1_000.0 ~region:Geonet.Region.Us_west1
+    (Samya.Types.acquire ~entity ~amount:50 ())
+    (fun r -> response := Some r);
+  Des.Engine.schedule_at (Samya.Cluster.engine cluster) ~time_ms:20_000.0 (fun () ->
+      Samya.Cluster.heal cluster);
+  drain ~extra:200_000.0 cluster;
+  check bool "partition was injected mid-accept" true !cut;
+  check bool "parked request eventually answered" true (!response <> None);
+  check int "no request left parked" 0
+    (sum_sites cluster (fun s -> Samya.Site.queued s ~entity));
+  check bool "conservation across the superseded instance" true
+    (Samya.Cluster.check_invariant cluster ~entity ~maximum:5_000 = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Driver: retry policies, timeout attribution, spec validation *)
+
+let req time_ms site kind amount =
+  { Trace.Workload.time_ms; site; kind; amount; entity = "" }
+
+let driver_system ?(config = Samya.Config.default) ?(maximum = 5_000) () =
+  Harness.Systems.samya ~seed:3L ~config ~regions:(regions ())
+    ~entity ~maximum ()
+
+let driver_spec_validation_raises () =
+  let t_system = driver_system () in
+  let requests = [| req 0.0 0 Trace.Workload.Acquire 1 |] in
+  let base =
+    Harness.Driver.default_spec ~client_regions:(regions ()) ~requests
+      ~duration_ms:1_000.0
+  in
+  let raises spec =
+    try
+      ignore (Harness.Driver.run ~t_system spec);
+      false
+    with Invalid_argument _ -> true
+  in
+  let retry r = { base with Harness.Driver.retry = Some r } in
+  let ok_retry =
+    {
+      Harness.Driver.max_attempts = 2;
+      base_backoff_ms = 1.0;
+      max_backoff_ms = 2.0;
+      jitter = 0.0;
+      jitter_seed = 1L;
+    }
+  in
+  check bool "deadline_budget_ms = 0" true
+    (raises { base with Harness.Driver.deadline_budget_ms = 0.0 });
+  check bool "deadline_budget_ms = nan" true
+    (raises { base with Harness.Driver.deadline_budget_ms = Float.nan });
+  check bool "max_attempts = 0" true
+    (raises (retry { ok_retry with Harness.Driver.max_attempts = 0 }));
+  check bool "base_backoff_ms = -1" true
+    (raises (retry { ok_retry with Harness.Driver.base_backoff_ms = -1.0 }));
+  check bool "base_backoff_ms = nan" true
+    (raises (retry { ok_retry with Harness.Driver.base_backoff_ms = Float.nan }));
+  check bool "max_backoff_ms < base" true
+    (raises (retry { ok_retry with Harness.Driver.max_backoff_ms = 0.5 }));
+  check bool "jitter = 1" true
+    (raises (retry { ok_retry with Harness.Driver.jitter = 1.0 }));
+  check bool "jitter = nan" true
+    (raises (retry { ok_retry with Harness.Driver.jitter = Float.nan }))
+
+let retrying_clients_resubmit_but_not_releases () =
+  (* 400 ms of CPU per request against a 100 ms client timeout: every
+     attempt times out. Acquires retry up to the attempt budget; the
+     (late-granted) acquire's release must NOT retry — a doubled release
+     would mint tokens. *)
+  let config =
+    { Samya.Config.default with Samya.Config.local_processing_ms = 400.0 }
+  in
+  let t_system = driver_system ~config () in
+  let requests =
+    [| req 0.0 0 Trace.Workload.Acquire 1; req 5_000.0 0 Trace.Workload.Release 1 |]
+  in
+  let spec =
+    {
+      (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests
+         ~duration_ms:10_000.0)
+      with
+      Harness.Driver.drain_ms = 20_000.0;
+      client_timeout_ms = 100.0;
+      retry =
+        Some
+          {
+            Harness.Driver.max_attempts = 3;
+            base_backoff_ms = 10.0;
+            max_backoff_ms = 40.0;
+            jitter = 0.0;
+            jitter_seed = 9L;
+          };
+    }
+  in
+  let r = Harness.Driver.run ~t_system spec in
+  check int "nothing committed inside the timeout" 0 r.Harness.Driver.committed;
+  check int "both terminal outcomes are timeouts" 2 r.Harness.Driver.timed_out;
+  (* Only the acquire retried: attempts 2 and 3. The release stopped at
+     one attempt. *)
+  check int "acquire retried twice, release never" 2 r.Harness.Driver.retries;
+  check bool "all replies eventually arrived" true (r.Harness.Driver.no_reply = 0);
+  check bool "invariant (late grant + single release)" true
+    (t_system.Harness.Systems.invariant ~maximum:5_000 = Ok ())
+
+let retry_backoff_is_deterministic () =
+  (* Same seed, same spec: jittered retry schedules must reproduce
+     byte-identically (the per-client streams are drawn lane-locally). *)
+  let run () =
+    let config =
+      { Samya.Config.default with Samya.Config.local_processing_ms = 400.0 }
+    in
+    let t_system = driver_system ~config () in
+    let requests =
+      Array.init 20 (fun i ->
+          req (float_of_int i *. 100.0) (i mod 5) Trace.Workload.Acquire 1)
+    in
+    let spec =
+      {
+        (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests
+           ~duration_ms:10_000.0)
+        with
+        Harness.Driver.drain_ms = 30_000.0;
+        client_timeout_ms = 100.0;
+        retry =
+          Some
+            {
+              Harness.Driver.max_attempts = 3;
+              base_backoff_ms = 50.0;
+              max_backoff_ms = 400.0;
+              jitter = 0.5;
+              jitter_seed = 77L;
+            };
+      }
+    in
+    let r = Harness.Driver.run ~t_system spec in
+    Printf.sprintf "%d/%d/%d/%d" r.Harness.Driver.committed
+      r.Harness.Driver.timed_out r.Harness.Driver.retries r.Harness.Driver.no_reply
+  in
+  let a = run () in
+  check Alcotest.string "identical reruns" a (run ());
+  check bool "retries happened" true
+    (match String.split_on_char '/' a with
+    | [ _; _; retries; _ ] -> int_of_string retries > 0
+    | _ -> false)
+
+let timeouts_attributed_in_slo () =
+  (* Satellite: abandoned attempts must show up as "timeout" aborts in
+     the SLO breakdown, not vanish into no-reply. *)
+  let config =
+    { Samya.Config.default with Samya.Config.local_processing_ms = 400.0 }
+  in
+  let t_system = driver_system ~config () in
+  let requests =
+    Array.init 5 (fun i -> req (float_of_int i *. 500.0) 0 Trace.Workload.Acquire 1)
+  in
+  let slo = Obs.Slo.create () in
+  let spec =
+    {
+      (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests
+         ~duration_ms:5_000.0)
+      with
+      Harness.Driver.drain_ms = 20_000.0;
+      client_timeout_ms = 100.0;
+      slo = Some slo;
+      retry =
+        Some
+          {
+            Harness.Driver.max_attempts = 2;
+            base_backoff_ms = 10.0;
+            max_backoff_ms = 10.0;
+            jitter = 0.0;
+            jitter_seed = 5L;
+          };
+    }
+  in
+  let r = Harness.Driver.run ~t_system spec in
+  check int "all timed out" 5 r.Harness.Driver.timed_out;
+  check bool "slo attributes the class" true
+    (List.assoc_opt "timeout" (Obs.Slo.abort_classes slo) = Some 5)
+
+let slo_abort_classes_accumulate () =
+  let slo = Obs.Slo.create () in
+  Obs.Slo.commit slo ~now_ms:10.0 ~latency_ms:1.0;
+  Obs.Slo.abort slo ~cls:"timeout" ~now_ms:20.0;
+  Obs.Slo.abort slo ~cls:"shed" ~now_ms:30.0;
+  Obs.Slo.abort slo ~cls:"timeout" ~now_ms:40.0;
+  Obs.Slo.abort slo ~now_ms:50.0;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int))
+    "sorted cumulative classes"
+    [ ("shed", 1); ("timeout", 2) ]
+    (Obs.Slo.abort_classes slo)
+
+(* ------------------------------------------------------------------ *)
+(* Workload and fault generators *)
+
+let flash_sale_stream rng =
+  Trace.Workload.flash_sale ~rng ~entity:"sale" ~home:0 ~n_clients:5
+    ~base_rate_per_s:200.0 ~spike_rate_per_s:2_000.0 ~spike_start_ms:2_000.0
+    ~spike_end_ms:3_000.0 ~duration_ms:5_000.0 ()
+
+let flash_sale_shape () =
+  let stream = flash_sale_stream (Des.Rng.create 7L) in
+  check bool "non-empty" true (Array.length stream > 0);
+  Array.iter
+    (fun r ->
+      check bool "acquire" true (r.Trace.Workload.kind = Trace.Workload.Acquire);
+      check bool "entity" true (r.Trace.Workload.entity = "sale");
+      check bool "amount 1" true (r.Trace.Workload.amount = 1);
+      check bool "in horizon" true
+        (r.Trace.Workload.time_ms >= 0.0 && r.Trace.Workload.time_ms <= 5_000.0))
+    stream;
+  let sorted = ref true in
+  Array.iteri
+    (fun i r ->
+      if i > 0 && r.Trace.Workload.time_ms < stream.(i - 1).Trace.Workload.time_ms
+      then sorted := false)
+    stream;
+  check bool "time-sorted" true !sorted;
+  let in_window lo hi =
+    Array.fold_left
+      (fun acc r ->
+        if r.Trace.Workload.time_ms >= lo && r.Trace.Workload.time_ms < hi then
+          acc + 1
+        else acc)
+      0 stream
+  in
+  (* Poisson means: 400 base arrivals over [0, 2 s), 2000 in the spike
+     second, 400 over the 2 s tail — generous 3-sigma-ish bounds. *)
+  let base_head = in_window 0.0 2_000.0 in
+  let spike = in_window 2_000.0 3_000.0 in
+  let base_tail = in_window 3_000.0 5_000.0 in
+  check bool "base head plausible" true (base_head > 280 && base_head < 540);
+  check bool "spike plausible" true (spike > 1_700 && spike < 2_320);
+  check bool "base tail plausible" true (base_tail > 280 && base_tail < 540);
+  let home_count =
+    Array.fold_left
+      (fun acc r -> if r.Trace.Workload.site = 0 then acc + 1 else acc)
+      0 stream
+  in
+  (* home_affinity 0.9 plus 1/5th of the uniform remainder. *)
+  let frac = float_of_int home_count /. float_of_int (Array.length stream) in
+  check bool "home-skewed" true (frac > 0.85 && frac < 0.98);
+  (* Determinism in the rng. *)
+  let again = flash_sale_stream (Des.Rng.create 7L) in
+  check bool "deterministic" true (stream = again)
+
+let flash_sale_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let gen ?(home = 0) ?(base = 100.0) ?(spike = 200.0) ?(s0 = 1_000.0)
+      ?(s1 = 2_000.0) ?(d = 3_000.0) () =
+    Trace.Workload.flash_sale ~rng:(Des.Rng.create 1L) ~entity:"e" ~home
+      ~n_clients:3 ~base_rate_per_s:base ~spike_rate_per_s:spike
+      ~spike_start_ms:s0 ~spike_end_ms:s1 ~duration_ms:d ()
+  in
+  check bool "home out of range" true (invalid (fun () -> gen ~home:3 ()));
+  check bool "zero base rate" true (invalid (fun () -> gen ~base:0.0 ()));
+  check bool "nan spike rate" true (invalid (fun () -> gen ~spike:Float.nan ()));
+  check bool "spike end before start" true
+    (invalid (fun () -> gen ~s0:2_500.0 ~s1:2_000.0 ()));
+  check bool "spike past duration" true (invalid (fun () -> gen ~s1:4_000.0 ()));
+  check bool "well-formed ok" true (Array.length (gen ()) > 0)
+
+let spike_partition_schedule () =
+  let s =
+    Chaos.Nemesis.spike_partition ~site:2 ~n_sites:5 ~at_ms:1_000.0
+      ~heal_ms:2_000.0 ~duration_ms:5_000.0
+  in
+  (match s.Chaos.Nemesis.faults with
+  | [ { Chaos.Nemesis.kind = Chaos.Nemesis.Partition { groups }; at_ms; heal_ms } ]
+    ->
+      check bool "isolates the site" true (groups = [ [ 2 ]; [ 0; 1; 3; 4 ] ]);
+      check bool "window" true (at_ms = 1_000.0 && heal_ms = 2_000.0)
+  | _ -> Alcotest.fail "expected exactly one partition fault");
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check bool "site out of range" true
+    (invalid (fun () ->
+         Chaos.Nemesis.spike_partition ~site:5 ~n_sites:5 ~at_ms:1.0 ~heal_ms:2.0
+           ~duration_ms:3.0));
+  check bool "heal before cut" true
+    (invalid (fun () ->
+         Chaos.Nemesis.spike_partition ~site:0 ~n_sites:5 ~at_ms:2.0 ~heal_ms:2.0
+           ~duration_ms:3.0));
+  check bool "heal past duration" true
+    (invalid (fun () ->
+         Chaos.Nemesis.spike_partition ~site:0 ~n_sites:5 ~at_ms:1.0 ~heal_ms:4.0
+           ~duration_ms:3.0))
+
+(* ------------------------------------------------------------------ *)
+(* Conservation under shedding: randomized overload + targeted partition *)
+
+let conservation_under_shedding_random () =
+  List.iter
+    (fun seed ->
+      let rng = Des.Rng.create (Int64.of_int (1_000 + seed)) in
+      let quota = 200 + Des.Rng.int rng 800 in
+      let spike = 800.0 +. Des.Rng.float rng 1_200.0 in
+      let config =
+        {
+          Samya.Config.default with
+          Samya.Config.prediction_enabled = false;
+          local_processing_ms = 0.5;
+          redistribution_cooldown_ms = 500.0;
+          deadline_budget_ms = 400.0;
+          admission_target_ms = 20.0;
+          admission_interval_ms = 50.0;
+          breaker_threshold = 2;
+          breaker_probe_ms = 1_000.0;
+        }
+      in
+      let cluster =
+        Samya.Cluster.create ~seed:(Int64.of_int seed) ~config
+          ~regions:(regions ()) ()
+      in
+      Samya.Cluster.init_entity cluster ~entity:"sale" ~maximum:quota;
+      let t_system =
+        Facade.of_samya_cluster ~name:"shed-soak"
+          ~hooks:(Facade.samya_hooks ()) ~regions:(regions ())
+          ~entity:"sale" cluster
+      in
+      let requests =
+        Trace.Workload.flash_sale
+          ~rng:(Des.Rng.create (Int64.of_int (77 + seed)))
+          ~entity:"sale" ~home:0 ~n_clients:5 ~base_rate_per_s:300.0
+          ~spike_rate_per_s:spike ~spike_start_ms:2_000.0 ~spike_end_ms:3_500.0
+          ~duration_ms:8_000.0 ()
+      in
+      let spec =
+        {
+          (Harness.Driver.default_spec ~client_regions:(regions ()) ~requests
+             ~duration_ms:8_000.0)
+          with
+          Harness.Driver.drain_ms = 10_000.0;
+          events =
+            [
+              {
+                Harness.Driver.at_ms = 2_200.0;
+                action =
+                  (fun () ->
+                    t_system.Harness.Systems.partition [ [ 0 ]; [ 1; 2; 3; 4 ] ]);
+              };
+              {
+                Harness.Driver.at_ms = 4_000.0;
+                action = (fun () -> t_system.Harness.Systems.heal ());
+              };
+            ];
+          client_timeout_ms = 500.0;
+          grant_driven_release_ms = Some 400.0;
+          deadline_budget_ms = 500.0;
+          retry =
+            Some
+              {
+                Harness.Driver.max_attempts = 3;
+                base_backoff_ms = 100.0;
+                max_backoff_ms = 800.0;
+                jitter = 0.3;
+                jitter_seed = Int64.of_int (5 + seed);
+              };
+        }
+      in
+      let r = Harness.Driver.run ~t_system spec in
+      check bool
+        (Printf.sprintf "seed %d: sheds or timeouts occurred" seed)
+        true
+        (r.Harness.Driver.shed + r.Harness.Driver.timed_out > 0);
+      check bool
+        (Printf.sprintf "seed %d: conservation (quota %d)" seed quota)
+        true
+        (Samya.Cluster.check_invariant cluster ~entity:"sale" ~maximum:quota
+        = Ok ()))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path allocation guard *)
+
+let accept_minor_words ~admission =
+  (* Low load, obs off: whether the admission gate is armed or not, the
+     accept path must allocate identically — the gate is one load and
+     one float compare, not an allocation. *)
+  let config =
+    if admission then
+      { Samya.Config.default with Samya.Config.admission_target_ms = 1.0e9 }
+    else Samya.Config.default
+  in
+  let cluster = Samya.Cluster.create ~seed:11L ~config ~regions:(regions ()) () in
+  Samya.Cluster.init_entity cluster ~entity ~maximum:5_000;
+  for i = 0 to 999 do
+    let t = float_of_int i *. 10.0 in
+    submit_at cluster ~time_ms:t ~region:Geonet.Region.Us_west1
+      (Samya.Types.acquire ~entity ~amount:1 ())
+      ignore;
+    submit_at cluster ~time_ms:(t +. 5.0) ~region:Geonet.Region.Us_west1
+      (Samya.Types.release ~entity ~amount:1 ())
+      ignore
+  done;
+  let before = Gc.minor_words () in
+  drain ~extra:20_000.0 cluster;
+  Gc.minor_words () -. before
+
+let accept_path_allocation_guard () =
+  ignore (accept_minor_words ~admission:false);
+  ignore (accept_minor_words ~admission:true);
+  let off = accept_minor_words ~admission:false in
+  let armed = accept_minor_words ~admission:true in
+  check bool
+    (Printf.sprintf "armed gate allocates no more (off %.0f, armed %.0f)" off
+       armed)
+    true
+    (armed <= off +. 512.0)
+
+(* ------------------------------------------------------------------ *)
+(* The retry-storm experiment: sharded byte-identity and the verdict *)
+
+let retrystorm_engine_jobs_identical () =
+  (* The heaviest arm — retries, watchdogs, jittered backoff, deadline
+     sheds, buffered SLO — must reproduce byte-identically at any
+     --engine-jobs setting. *)
+  let arm =
+    List.find
+      (fun a -> a.Harness.Exp_retrystorm.a_id = "admission")
+      Harness.Exp_retrystorm.arms
+  in
+  let fingerprint engine_jobs =
+    let c = Harness.Exp_retrystorm.capture ~engine_jobs ~quick:true ~arm () in
+    let r = c.Harness.Exp_retrystorm.result in
+    let pre, post, ratio = Harness.Exp_retrystorm.recovery c in
+    Format.asprintf "%d/%d/%d/%d/%d/%d p50=%.4f pre=%.3f post=%.3f r=%.5f slo=%a"
+      r.Harness.Driver.committed r.Harness.Driver.rejected
+      r.Harness.Driver.shed r.Harness.Driver.timed_out r.Harness.Driver.retries
+      r.Harness.Driver.no_reply
+      (Harness.Driver.percentile r 50.0)
+      pre post ratio
+      (Format.pp_print_list (fun fmt (l : Obs.Slo.report_line) ->
+           Format.fprintf fmt "%s:%d/%d" l.Obs.Slo.name l.Obs.Slo.violations
+             l.Obs.Slo.windows))
+      (Obs.Slo.report c.Harness.Exp_retrystorm.slo)
+  in
+  let one = fingerprint 1 in
+  check bool "produced data" true (String.length one > 40);
+  check Alcotest.string "engine-jobs 2 byte-identical" one (fingerprint 2);
+  check Alcotest.string "engine-jobs 4 byte-identical" one (fingerprint 4)
+
+let retrystorm_metastable_gap () =
+  (* The scenario's reason to exist: naive immediate retries stay
+     metastable after the heal while backoff+admission recovers. *)
+  let capture id =
+    let arm =
+      List.find (fun a -> a.Harness.Exp_retrystorm.a_id = id)
+        Harness.Exp_retrystorm.arms
+    in
+    Harness.Exp_retrystorm.capture ~quick:true ~arm ()
+  in
+  let naive = capture "naive" in
+  let admission = capture "admission" in
+  let _, _, naive_ratio = Harness.Exp_retrystorm.recovery naive in
+  let _, _, adm_ratio = Harness.Exp_retrystorm.recovery admission in
+  check bool
+    (Printf.sprintf "naive metastable (post/pre %.2f)" naive_ratio)
+    true (naive_ratio < 0.5);
+  check bool
+    (Printf.sprintf "admission recovers (post/pre %.2f)" adm_ratio)
+    true (adm_ratio >= 0.9);
+  check bool "admission shed load" true
+    (naive.Harness.Exp_retrystorm.shed_admission = 0
+    && admission.Harness.Exp_retrystorm.shed_admission > 0);
+  List.iter
+    (fun c ->
+      check bool "conservation" true
+        (Samya.Cluster.check_invariant c.Harness.Exp_retrystorm.cluster
+           ~entity:"sale" ~maximum:c.Harness.Exp_retrystorm.scale.Harness.Exp_retrystorm.quota
+        = Ok ()))
+    [ naive; admission ]
+
+let suite =
+  [
+    Alcotest.test_case "config: overload knob validation" `Quick
+      config_rejects_bad_overload_knobs;
+    Alcotest.test_case "types: nan deadline rejected" `Quick
+      request_rejects_nan_deadline;
+    Alcotest.test_case "shed: dead on arrival" `Quick dead_on_arrival_is_shed;
+    Alcotest.test_case "shed: queued entry expires" `Quick
+      queued_entry_expires_unreplayed;
+    Alcotest.test_case "admission: sheds and recovers" `Quick
+      admission_gate_sheds_and_recovers;
+    Alcotest.test_case "breaker: opens and re-probes" `Quick
+      breaker_opens_and_reprobes;
+    Alcotest.test_case "avantan: stale accept leader unwedges" `Quick
+      stale_accept_leader_unwedges;
+    Alcotest.test_case "driver: retry spec validation" `Quick
+      driver_spec_validation_raises;
+    Alcotest.test_case "driver: retries acquires, never releases" `Quick
+      retrying_clients_resubmit_but_not_releases;
+    Alcotest.test_case "driver: jittered retries deterministic" `Quick
+      retry_backoff_is_deterministic;
+    Alcotest.test_case "driver: timeout attribution in SLO" `Quick
+      timeouts_attributed_in_slo;
+    Alcotest.test_case "slo: abort classes" `Quick slo_abort_classes_accumulate;
+    Alcotest.test_case "workload: flash sale shape" `Quick flash_sale_shape;
+    Alcotest.test_case "workload: flash sale validation" `Quick
+      flash_sale_validation;
+    Alcotest.test_case "nemesis: spike partition" `Quick spike_partition_schedule;
+    Alcotest.test_case "conservation under shedding (randomized)" `Slow
+      conservation_under_shedding_random;
+    Alcotest.test_case "accept path: allocation guard" `Slow
+      accept_path_allocation_guard;
+    Alcotest.test_case "retrystorm: engine-jobs byte-identical" `Slow
+      retrystorm_engine_jobs_identical;
+    Alcotest.test_case "retrystorm: metastable gap" `Slow retrystorm_metastable_gap;
+  ]

@@ -90,10 +90,10 @@ let acquire_release_roundtrip () =
   let responses = ref [] in
   let remember tag response = responses := (tag, response) :: !responses in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 10 })
+    (Samya.Types.Acquire { entity; amount = 10; deadline_ms = infinity })
     (remember "acquire");
   submit_at cluster ~time_ms:100.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Release { entity; amount = 4 })
+    (Samya.Types.Release { entity; amount = 4; deadline_ms = infinity })
     (remember "release");
   drain cluster;
   check int "both replied" 2 (List.length !responses);
@@ -109,7 +109,7 @@ let invalid_amount_rejected () =
   let cluster = make_cluster () in
   let response = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 0 })
+    (Samya.Types.Acquire { entity; amount = 0; deadline_ms = infinity })
     (fun r -> response := Some r);
   drain cluster;
   check bool "rejected" true (!response = Some Samya.Types.Rejected)
@@ -118,7 +118,7 @@ let unknown_entity_rejected () =
   let cluster = make_cluster () in
   let response = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity = "nope"; amount = 1 })
+    (Samya.Types.Acquire { entity = "nope"; amount = 1; deadline_ms = infinity })
     (fun r -> response := Some r);
   drain cluster;
   check bool "rejected" true (!response = Some Samya.Types.Rejected)
@@ -126,7 +126,7 @@ let unknown_entity_rejected () =
 let routed_to_nearest_site () =
   let cluster = make_cluster () in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Asia_east2
-    (Samya.Types.Acquire { entity; amount = 3 })
+    (Samya.Types.Acquire { entity; amount = 3; deadline_ms = infinity })
     ignore;
   drain cluster;
   check int "asia site served it" 3
@@ -136,10 +136,10 @@ let read_returns_global_snapshot () =
   let cluster = make_cluster () in
   let result = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 100 })
+    (Samya.Types.Acquire { entity; amount = 100; deadline_ms = infinity })
     ignore;
   submit_at cluster ~time_ms:5_000.0 ~region:Geonet.Region.Europe_west2
-    (Samya.Types.Read { entity })
+    (Samya.Types.Read { entity; deadline_ms = infinity })
     (fun r -> result := Some r);
   drain cluster;
   match !result with
@@ -153,7 +153,7 @@ let read_returns_global_snapshot () =
 let burst cluster ~region ~start ~count ~gap grant_counter reject_counter =
   for i = 0 to count - 1 do
     submit_at cluster ~time_ms:(start +. (float_of_int i *. gap)) ~region
-      (Samya.Types.Acquire { entity; amount = 1 })
+      (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
       (function
         | Samya.Types.Granted -> incr grant_counter
         | Samya.Types.Rejected -> incr reject_counter
@@ -237,11 +237,11 @@ let requests_queue_during_redistribution () =
   let engine = Samya.Cluster.engine cluster in
   (* Exhaust site 0 so the next acquire triggers a reactive instance. *)
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 1_000 })
+    (Samya.Types.Acquire { entity; amount = 1_000; deadline_ms = infinity })
     ignore;
   let reply_time = ref nan in
   submit_at cluster ~time_ms:1_000.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 10 })
+    (Samya.Types.Acquire { entity; amount = 10; deadline_ms = infinity })
     (fun _ -> reply_time := Des.Engine.now engine);
   drain cluster;
   (* The reply had to wait for a cross-region protocol round, far longer
@@ -287,7 +287,7 @@ let crashed_site_fails_over () =
   Samya.Cluster.crash_site cluster 0;
   let served_by = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 5 })
+    (Samya.Types.Acquire { entity; amount = 5; deadline_ms = infinity })
     (fun response ->
       check bool "granted elsewhere" true (response = Samya.Types.Granted);
       served_by := Some ());
@@ -310,7 +310,7 @@ let all_sites_down_unavailable () =
   done;
   let response = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 1 })
+    (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
     (fun r -> response := Some r);
   drain cluster;
   check bool "unavailable" true (!response = Some Samya.Types.Unavailable)
@@ -321,7 +321,7 @@ let recovery_restores_service () =
   Samya.Cluster.recover_site cluster 0;
   let response = ref None in
   submit_at cluster ~time_ms:0.0 ~region:Geonet.Region.Us_west1
-    (Samya.Types.Acquire { entity; amount = 1 })
+    (Samya.Types.Acquire { entity; amount = 1; deadline_ms = infinity })
     (fun r -> response := Some r);
   drain cluster;
   check bool "granted after recovery" true (!response = Some Samya.Types.Granted);
@@ -409,10 +409,10 @@ let random_schedule_invariant variant ~drop ~crash ?(part = false)
       | 0 | 1 ->
           let amount = 1 + (op mod 40) in
           submit_at cluster ~time_ms ~region
-            (Samya.Types.Acquire { entity; amount })
+            (Samya.Types.Acquire { entity; amount; deadline_ms = infinity })
             (function Samya.Types.Granted -> incr outstanding | _ -> ())
       | _ ->
-          submit_at cluster ~time_ms ~region (Samya.Types.Read { entity }) ignore)
+          submit_at cluster ~time_ms ~region (Samya.Types.Read { entity; deadline_ms = infinity }) ignore)
     ops;
   (if crash then
      Des.Engine.schedule engine ~delay_ms:500.0 (fun () -> Samya.Cluster.crash_site cluster 4));
