@@ -78,6 +78,49 @@ let metrics_out =
     & info [ "metrics-out" ] ~docv:"PATH"
         ~doc:"Also write the flat metrics JSON (samya-metrics/1) to $(docv).")
 
+(* The trace-replay subcommands (trace / explain / slo) share their whole
+   front matter: the EXPERIMENT positional, an optional output path, the
+   run metadata stamped into exported documents, and the capture preamble
+   (worker pool, lab context, the Exp_trace dispatch with its error
+   rendering). Factored here so the three commands cannot drift. *)
+
+let traceable_experiment =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          (Printf.sprintf "Traceable experiment: %s."
+             (String.concat ", " Harness.Exp_trace.experiments)))
+
+let out_path ?(flags = [ "out" ]) doc =
+  Arg.(value & opt (some string) None & info flags ~docv:"PATH" ~doc)
+
+let run_meta ~experiment ~quick =
+  [
+    ("experiment", experiment);
+    ("quick", string_of_bool quick);
+    ("seed", Int64.to_string Harness.Exp_common.seed);
+  ]
+
+let with_captures ?banner ~experiment ~quick ~jobs f =
+  Harness.Pool.set_jobs jobs;
+  Format.eprintf "jobs: %d@." jobs;
+  let ctx = Harness.Lab.create () in
+  match Harness.Exp_trace.run ctx ~quick ~experiment with
+  | Error message ->
+      Format.eprintf "error: %s@." message;
+      2
+  | Ok captures ->
+      Option.iter
+        (fun command ->
+          Format.printf "== %s: %s (%s horizon, seed %Ld) ==@." command
+            experiment
+            (if quick then "quick" else "full")
+            Harness.Exp_common.seed)
+        banner;
+      f captures
+
 let write_file ~path contents =
   let channel = open_out path in
   output_string channel contents;

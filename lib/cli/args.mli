@@ -17,4 +17,29 @@ val engine_jobs : int Cmdliner.Term.t
 val metrics_out : string option Cmdliner.Term.t
 (** [--metrics-out PATH]. *)
 
+val traceable_experiment : string Cmdliner.Term.t
+(** The EXPERIMENT positional shared by [trace]/[explain]/[slo]: one of
+    {!Harness.Exp_trace.experiments}. *)
+
+val out_path : ?flags:string list -> string -> string option Cmdliner.Term.t
+(** An optional output-path option ([--out] unless [flags] overrides)
+    with the given doc string. *)
+
+val run_meta : experiment:string -> quick:bool -> (string * string) list
+(** The metadata stamped into exported documents (experiment, horizon,
+    seed) — identical across the exporting subcommands. *)
+
+val with_captures :
+  ?banner:string ->
+  experiment:string ->
+  quick:bool ->
+  jobs:int ->
+  (Harness.Exp_trace.capture list -> int) ->
+  int
+(** The trace-replay preamble shared by [trace]/[explain]/[slo]: set the
+    worker pool, build the lab context, run {!Harness.Exp_trace.run} and
+    hand the captures to the continuation (printing the [== banner: … ==]
+    header first when [banner] is given). Renders unknown-experiment
+    errors and returns exit code 2 for them. *)
+
 val write_file : path:string -> string -> unit

@@ -5,36 +5,26 @@
 
 open Cmdliner
 
-let run experiment quick jobs slowest =
-  Harness.Pool.set_jobs jobs;
-  Format.eprintf "jobs: %d@." jobs;
-  let ctx = Harness.Lab.create () in
-  match Harness.Exp_trace.run ctx ~quick ~experiment with
-  | Error message ->
-      Format.eprintf "error: %s@." message;
-      2
-  | Ok captures ->
-      Format.printf "== explain: %s (%s horizon, seed %Ld) ==@." experiment
-        (if quick then "quick" else "full")
-        Harness.Exp_common.seed;
-      Harness.Exp_trace.explain Format.std_formatter ~slowest captures;
-      0
+let run experiment quick jobs slowest by_mechanism =
+  Args.with_captures ~banner:"explain" ~experiment ~quick ~jobs (fun captures ->
+      Harness.Exp_trace.explain Format.std_formatter ~by_mechanism ~slowest
+        captures;
+      0)
 
 let cmd =
-  let experiment =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"EXPERIMENT"
-          ~doc:
-            (Printf.sprintf "Traceable experiment: %s."
-               (String.concat ", " Harness.Exp_trace.experiments)))
-  in
   let slowest =
     Arg.(
       value & opt int 5
       & info [ "slowest" ] ~docv:"N"
           ~doc:"Show the N slowest traced requests with their critical paths.")
+  in
+  let by_mechanism =
+    Arg.(
+      value & flag
+      & info [ "mechanism" ]
+          ~doc:
+            "Additionally fold the attribution by token-movement mechanism \
+             (borrow / redistribute / controller) and serving layer.")
   in
   Cmd.v
     (Cmd.info "explain"
@@ -43,4 +33,6 @@ let cmd =
           latency to named components (WAN legs, queueing, protocol phases, \
           replication, service). Deterministic: byte-identical output at \
           any --jobs level.")
-    Term.(const run $ experiment $ Args.quick $ Args.jobs $ slowest)
+    Term.(
+      const run $ Args.traceable_experiment $ Args.quick $ Args.jobs $ slowest
+      $ by_mechanism)

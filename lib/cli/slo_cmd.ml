@@ -7,28 +7,14 @@
 open Cmdliner
 
 let run experiment quick jobs out strict =
-  Harness.Pool.set_jobs jobs;
-  Format.eprintf "jobs: %d@." jobs;
-  let ctx = Harness.Lab.create () in
-  match Harness.Exp_trace.run ctx ~quick ~experiment with
-  | Error message ->
-      Format.eprintf "error: %s@." message;
-      2
-  | Ok captures ->
-      Format.printf "== slo: %s (%s horizon, seed %Ld) ==@." experiment
-        (if quick then "quick" else "full")
-        Harness.Exp_common.seed;
+  Args.with_captures ~banner:"slo" ~experiment ~quick ~jobs (fun captures ->
       Harness.Exp_trace.slo_summary Format.std_formatter captures;
       Option.iter
         (fun path ->
-          let meta =
-            [
-              ("experiment", experiment);
-              ("quick", string_of_bool quick);
-              ("seed", Int64.to_string Harness.Exp_common.seed);
-            ]
-          in
-          Args.write_file ~path (Harness.Exp_trace.slo_json ~meta captures);
+          Args.write_file ~path
+            (Harness.Exp_trace.slo_json
+               ~meta:(Args.run_meta ~experiment ~quick)
+               captures);
           Format.eprintf "slo report: %s@." path)
         out;
       let unhealthy =
@@ -44,25 +30,10 @@ let run experiment quick jobs out strict =
              (List.map (fun c -> c.Harness.Exp_trace.label) unhealthy));
         1
       end
-      else 0
+      else 0)
 
 let cmd =
-  let experiment =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"EXPERIMENT"
-          ~doc:
-            (Printf.sprintf "Traceable experiment: %s."
-               (String.concat ", " Harness.Exp_trace.experiments)))
-  in
-  let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"PATH"
-          ~doc:"Also write the samya-slo/1 JSON report to $(docv).")
-  in
+  let out = Args.out_path "Also write the samya-slo/1 JSON report to $(docv)." in
   let strict =
     Arg.(
       value & flag
@@ -75,4 +46,6 @@ let cmd =
          "Re-run an experiment with online SLO monitoring (windowed \
           p50/p95/p99 latency quantile sketches plus abort rate) and \
           report violation windows per system.")
-    Term.(const run $ experiment $ Args.quick $ Args.jobs $ out $ strict)
+    Term.(
+      const run $ Args.traceable_experiment $ Args.quick $ Args.jobs $ out
+      $ strict)

@@ -1,14 +1,7 @@
 open Cmdliner
 
 let run experiment quick jobs out metrics_out =
-  Harness.Pool.set_jobs jobs;
-  Format.eprintf "jobs: %d@." jobs;
-  let ctx = Harness.Lab.create () in
-  match Harness.Exp_trace.run ctx ~quick ~experiment with
-  | Error message ->
-      Format.eprintf "error: %s@." message;
-      2
-  | Ok captures -> (
+  Args.with_captures ~experiment ~quick ~jobs (fun captures ->
       let out =
         Option.value out ~default:(Printf.sprintf "trace-%s.json" experiment)
       in
@@ -19,18 +12,14 @@ let run experiment quick jobs out metrics_out =
       | Some path ->
           Args.write_file ~path
             (Harness.Exp_trace.metrics_json
-               ~meta:
-                 [
-                   ("experiment", experiment);
-                   ("quick", string_of_bool quick);
-                   ("seed", Int64.to_string Harness.Exp_common.seed);
-                 ]
+               ~meta:(Args.run_meta ~experiment ~quick)
                captures);
           Format.printf "metrics: %s@." path
       | None -> ());
       match Obs.Export.validate_trace trace with
       | Ok events ->
-          Format.printf "trace: %s (%d events, load in chrome://tracing or ui.perfetto.dev)@."
+          Format.printf
+            "trace: %s (%d events, load in chrome://tracing or ui.perfetto.dev)@."
             out events;
           0
       | Error reason ->
@@ -38,21 +27,9 @@ let run experiment quick jobs out metrics_out =
           1)
 
 let cmd =
-  let experiment =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"EXPERIMENT"
-          ~doc:
-            (Printf.sprintf "Traceable experiment: %s."
-               (String.concat ", " Harness.Exp_trace.experiments)))
-  in
   let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out"; "o" ] ~docv:"PATH"
-          ~doc:"Trace output path (default trace-$(i,EXPERIMENT).json).")
+    Args.out_path ~flags:[ "out"; "o" ]
+      "Trace output path (default trace-$(i,EXPERIMENT).json)."
   in
   Cmd.v
     (Cmd.info "trace"
@@ -61,4 +38,6 @@ let cmd =
           Chrome-loadable trace_event JSON (plus optional metrics JSON). \
           Deterministic: same seed and experiment give a byte-identical \
           trace at any --jobs level.")
-    Term.(const run $ experiment $ Args.quick $ Args.jobs $ out $ Args.metrics_out)
+    Term.(
+      const run $ Args.traceable_experiment $ Args.quick $ Args.jobs $ out
+      $ Args.metrics_out)

@@ -1,5 +1,8 @@
 type stats = {
   redistributions : int;
+  borrows : int;
+  borrow_tokens : int;
+  mechanism_switches : int;
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
@@ -313,6 +316,9 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
         {
           redistributions =
             s.Samya.Site.proactive_triggers + s.Samya.Site.reactive_triggers;
+          borrows = s.Samya.Site.borrows;
+          borrow_tokens = s.Samya.Site.borrow_tokens;
+          mechanism_switches = s.Samya.Site.mechanism_switches;
           messages_sent = Geonet.Network.stats_sent network;
           messages_delivered = Geonet.Network.stats_delivered network;
           messages_dropped = Geonet.Network.stats_dropped network;

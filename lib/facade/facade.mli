@@ -25,6 +25,13 @@ type stats = {
       (** system-specific "coordination events" count: redistribution
           triggers for Samya, borrows for Demarcation, 0 for the
           consensus-per-request baselines *)
+  borrows : int;
+      (** borrow-mechanism conversations finished (Samya's adaptive
+          controller as borrower, or the Demarcation baseline) *)
+  borrow_tokens : int;  (** tokens obtained through those borrows *)
+  mechanism_switches : int;
+      (** adaptive-controller mechanism switches (0 for every system
+          without the controller) *)
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;

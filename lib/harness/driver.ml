@@ -49,6 +49,10 @@ type spec = {
       (* per-workload deadline budget: entity-named requests are stamped
          with the absolute deadline [first_sent + budget], which sites
          propagate and enforce (default infinity: no deadline) *)
+  phases : float array;
+      (* interior phase boundaries (ms, sorted ascending): requests bucket
+         into [result.by_phase] by first-send time — n boundaries make
+         n+1 phases ([||] = no per-phase accounting, the default) *)
 }
 
 let default_spec ~client_regions ~requests ~duration_ms =
@@ -67,6 +71,7 @@ let default_spec ~client_regions ~requests ~duration_ms =
     track_entities = false;
     retry = None;
     deadline_budget_ms = infinity;
+    phases = [||];
   }
 
 type entity_stats = {
@@ -76,6 +81,12 @@ type entity_stats = {
   e_shed : int;
   e_latency_sum_ms : float;
   e_latency_max_ms : float;
+}
+
+type phase_stats = {
+  p_committed : int;
+  p_aborted : int;  (** rejected + unavailable + shed + timed out *)
+  p_latencies : Stats.Sample_set.t;  (** committed requests only, ms *)
 }
 
 type result = {
@@ -90,6 +101,7 @@ type result = {
   throughput : Stats.Throughput.t;
   duration_ms : float;
   by_entity : (string * entity_stats) list;
+  by_phase : phase_stats array;
 }
 
 (* Client lanes live above the site lanes in the trace (tid 1000+). *)
@@ -139,9 +151,14 @@ type acc = {
   (* deferred SLO events on a sharded system, newest first per slot:
      (reply time rel. t0, commit latency, outcome tag) *)
   slo_buf : (float * float * int) list ref array;
+  (* per-phase accounting (slots x phases); empty unless [spec.phases] *)
+  n_phases : int;
+  ph_lat : Stats.Sample_set.t array array;
+  ph_committed : int array array;
+  ph_aborted : int array array;
 }
 
-let acc_create ~lanes ~n_clients ~window_ms =
+let acc_create ?(n_phases = 0) ~lanes ~n_clients ~window_ms () =
   let slots = if lanes > 1 then n_clients else 1 in
   {
     slots;
@@ -157,6 +174,12 @@ let acc_create ~lanes ~n_clients ~window_ms =
     replied = Array.make slots 0;
     ents = Array.init slots (fun _ -> Hashtbl.create 16);
     slo_buf = Array.init slots (fun _ -> ref []);
+    n_phases;
+    ph_lat =
+      Array.init slots (fun _ ->
+          Array.init n_phases (fun _ -> Stats.Sample_set.create ()));
+    ph_committed = Array.init slots (fun _ -> Array.make n_phases 0);
+    ph_aborted = Array.init slots (fun _ -> Array.make n_phases 0);
   }
 
 let ent_for tbl entity =
@@ -218,6 +241,18 @@ let acc_result acc ~duration_ms : result =
                e_latency_max_ms = m.elmax;
              } ))
   in
+  (* Phase merge in slot order — deterministic at any domain count. *)
+  let by_phase =
+    Array.init acc.n_phases (fun p ->
+        let lat = Stats.Sample_set.create () in
+        let committed = ref 0 and aborted = ref 0 in
+        for s = 0 to acc.slots - 1 do
+          Stats.Sample_set.merge_into acc.ph_lat.(s).(p) ~into:lat;
+          committed := !committed + acc.ph_committed.(s).(p);
+          aborted := !aborted + acc.ph_aborted.(s).(p)
+        done;
+        { p_committed = !committed; p_aborted = !aborted; p_latencies = lat })
+  in
   {
     committed = sum acc.committed;
     rejected = sum acc.rejected;
@@ -230,6 +265,7 @@ let acc_result acc ~duration_ms : result =
     throughput;
     duration_ms;
     by_entity;
+    by_phase;
   }
 
 (* The driver-side instruments, resolved once per run. *)
@@ -252,6 +288,16 @@ let validate_spec spec =
     invalid_arg
       (Printf.sprintf "Driver.run: deadline_budget_ms must be positive (got %g)"
          spec.deadline_budget_ms);
+  Array.iteri
+    (fun i b ->
+      if not (b > 0.0 && b < infinity) then
+        invalid_arg
+          (Printf.sprintf
+             "Driver.run: phase boundaries must be positive and finite (got %g)"
+             b);
+      if i > 0 && not (b > spec.phases.(i - 1)) then
+        invalid_arg "Driver.run: phase boundaries must be strictly ascending")
+    spec.phases;
   match spec.retry with
   | None -> ()
   | Some r ->
@@ -280,7 +326,17 @@ let run ~(t_system : Systems.facade) spec =
   let engines = Array.map t_system.Systems.sched_region spec.client_regions in
   let lanes = t_system.Systems.engine_lanes in
   let t0 = t_system.Systems.now () in
-  let acc = acc_create ~lanes ~n_clients ~window_ms:spec.window_ms in
+  let n_phases =
+    if Array.length spec.phases = 0 then 0 else Array.length spec.phases + 1
+  in
+  let acc = acc_create ~n_phases ~lanes ~n_clients ~window_ms:spec.window_ms () in
+  (* Phase of a first-send instant (relative to t0): the number of
+     boundaries at or before it. Linear scan — phase counts are tiny. *)
+  let phase_of rel =
+    let p = ref 0 in
+    Array.iter (fun b -> if rel >= b then incr p) spec.phases;
+    !p
+  in
   let cutoffs = Array.make n_clients infinity in
   List.iter (fun (at, client) -> cutoffs.(client) <- Float.min cutoffs.(client) at)
     spec.client_crash;
@@ -469,6 +525,13 @@ let run ~(t_system : Systems.facade) spec =
           acc.committed.(s) <- acc.committed.(s) + 1;
           Stats.Sample_set.add acc.lat.(s) lat;
           Stats.Throughput.record acc.tp.(s) ~time_ms:(now -. t0);
+          if acc.n_phases > 0 then begin
+            (* Retry attempts share [first_sent], so a whole request
+               buckets into the phase that originated it. *)
+            let p = phase_of (first_sent -. t0) in
+            acc.ph_committed.(s).(p) <- acc.ph_committed.(s).(p) + 1;
+            Stats.Sample_set.add acc.ph_lat.(s).(p) lat
+          end;
           if spec.track_entities && request.entity <> "" then begin
             let e = ent_for acc.ents.(s) request.entity in
             e.ec <- e.ec + 1;
@@ -489,6 +552,9 @@ let run ~(t_system : Systems.facade) spec =
           | 2 -> acc.unavailable.(s) <- acc.unavailable.(s) + 1
           | 3 -> acc.shed.(s) <- acc.shed.(s) + 1
           | _ -> acc.timedout.(s) <- acc.timedout.(s) + 1);
+          (if acc.n_phases > 0 then
+             let p = phase_of (first_sent -. t0) in
+             acc.ph_aborted.(s).(p) <- acc.ph_aborted.(s).(p) + 1);
           if spec.track_entities && request.entity <> "" then begin
             let e = ent_for acc.ents.(s) request.entity in
             match tag with
@@ -704,7 +770,7 @@ let run_closed ~(t_system : Systems.facade) ~client_regions ~requests ~duration_
   let engines = Array.map t_system.Systems.sched_region client_regions in
   let lanes = t_system.Systems.engine_lanes in
   let t0 = t_system.Systems.now () in
-  let acc = acc_create ~lanes ~n_clients ~window_ms in
+  let acc = acc_create ~lanes ~n_clients ~window_ms () in
   (* Partition the stream per client; workers consume their client's
      requests back to back (arrival times are ignored: the loop is closed).
      All of a client's state — its queue, outstanding tokens, worker

@@ -78,6 +78,12 @@ type spec = {
           with the absolute deadline [send time + budget], which sites
           propagate and enforce ({!Samya.Config.t.deadline_budget_ms})
           (default [infinity]: no deadline; must be positive) *)
+  phases : float array;
+      (** interior phase boundaries (ms, strictly ascending): requests
+          bucket into [result.by_phase] by first-send time, so [n]
+          boundaries produce [n + 1] phases. Retry attempts count toward
+          the phase that originated the request. Default [[||]]: no
+          per-phase accounting. *)
 }
 
 val default_spec : client_regions:Geonet.Region.t array -> requests:Trace.Workload.request array -> duration_ms:float -> spec
@@ -89,6 +95,12 @@ type entity_stats = {
   e_shed : int;  (** terminal deadline/admission sheds *)
   e_latency_sum_ms : float;  (** committed requests only *)
   e_latency_max_ms : float;
+}
+
+type phase_stats = {
+  p_committed : int;
+  p_aborted : int;  (** rejected + unavailable + shed + timed out *)
+  p_latencies : Stats.Sample_set.t;  (** committed requests only, ms *)
 }
 
 type result = {
@@ -109,6 +121,10 @@ type result = {
       (** sorted by entity name; empty unless [spec.track_entities] — the
           merge across client slots is deterministic (slot order, then
           entity order), so sharded runs reproduce byte-identically *)
+  by_phase : phase_stats array;
+      (** one entry per phase of [spec.phases] (empty when no boundaries
+          were given); merged across client slots in slot order, so
+          sharded runs reproduce byte-identically *)
 }
 
 val run : t_system:Systems.facade -> spec -> result

@@ -1,0 +1,412 @@
+(* The adaptive-contention scenario — the Mechanism API headline.
+
+   One hot entity on a 5-site cluster, driven through a three-phase
+   skew ramp:
+
+   - P0 "cold": light uniform load every site serves from its own
+     escrow share — any token movement is pure overhead;
+   - P1 "skewed": demand concentrates on the home site at a rate its
+     share cannot hold, while every peer has plenty spare — a
+     one-conversation peer borrow is strictly cheaper than a consensus
+     round;
+   - P2 "pressure": the home rate keeps climbing until it needs nearly
+     the whole global pool — peer-at-a-time borrowing starves (each
+     conversation parks the queue for an RTT and brings back one peer's
+     headroom), and only batched Avantan re-division tracks demand.
+
+   Four arms replay the identical stream through the controller: three
+   with the mechanism pinned (escrow-only, borrow-only,
+   redistribute-only) and one adaptive. No single static policy wins
+   every phase; the controller's job is to track whichever does. The
+   verdict table checks exactly that, per phase, on committed
+   throughput AND p99. *)
+
+type phase_def = {
+  ph_name : string;
+  ph_until_ms : float;
+  ph_rate_per_s : float;
+  ph_affinity : float;
+}
+
+type scale = {
+  phases : phase_def list;  (* contiguous, last one ends the stream *)
+  duration_ms : float;
+  hold_ms : float;  (* grant lifetime: the driver's grant-driven release *)
+  quota : int;  (* the hot entity's global maximum *)
+}
+
+let scale ~quick =
+  let p name until rate affinity =
+    {
+      ph_name = name;
+      ph_until_ms = until;
+      ph_rate_per_s = rate;
+      ph_affinity = affinity;
+    }
+  in
+  if quick then
+    {
+      phases =
+        [
+          p "cold" 8_000.0 100.0 0.2;
+          p "skewed" 20_000.0 600.0 0.9;
+          p "pressure" 32_000.0 1_800.0 0.4;
+        ];
+      duration_ms = 32_000.0;
+      hold_ms = 1_000.0;
+      quota = 2_000;
+    }
+  else
+    {
+      phases =
+        [
+          p "cold" 15_000.0 100.0 0.2;
+          p "skewed" 40_000.0 600.0 0.9;
+          p "pressure" 70_000.0 1_800.0 0.4;
+        ];
+      duration_ms = 70_000.0;
+      hold_ms = 1_000.0;
+      quota = 2_000;
+    }
+
+let n_sites = 5
+
+let entity = "hotkey"
+
+let home = 0
+
+type arm = { a_id : string; a_label : string; a_policy : Samya.Config.Controller.policy }
+
+let arms =
+  [
+    {
+      a_id = "escrow";
+      a_label = "static escrow";
+      a_policy = Samya.Config.Controller.(Static Escrow);
+    };
+    {
+      a_id = "borrow";
+      a_label = "static borrow";
+      a_policy = Samya.Config.Controller.(Static Borrow);
+    };
+    {
+      a_id = "redistribute";
+      a_label = "static redistribute";
+      a_policy = Samya.Config.Controller.(Static Redistribute);
+    };
+    { a_id = "adaptive"; a_label = "adaptive"; a_policy = Samya.Config.Controller.Adaptive };
+  ]
+
+(* Every arm runs the controller — the statics just pin its policy, so
+   the dispatch overhead is identical and the comparison isolates the
+   decision, not the plumbing. *)
+let config ~policy =
+  {
+    (Exp_common.samya_config Samya.Config.Majority) with
+    (* The stream is reactive contention, not forecastable epochs. The
+       redistribute mechanism still sizes asks via Equation 5. *)
+    Samya.Config.prediction_enabled = false;
+    (* An acquire is cheap; the interesting cost is token movement. *)
+    local_processing_ms = 0.2;
+    (* Let the hot share chase the ramp instead of parking demand for
+       the default 2 s between instances. *)
+    redistribution_cooldown_ms = 500.0;
+    controller =
+      {
+        Samya.Config.Controller.enabled = true;
+        policy;
+        window_ms = 500.0;
+        escalate_contention = 0.1;
+        deescalate_margin = 0.5;
+        borrow_fail_escalate = 0.3;
+        p99_target_ms = 250.0;
+        dwell_ms = 1_000.0;
+        cooldown_ms = 500.0;
+        borrow_quantum = 150;
+        borrow_patience_ms = 500.0;
+      };
+  }
+
+let requests ~scale:s =
+  let rng = Des.Rng.stream Exp_common.seed 1019 in
+  Trace.Workload.skew_ramp ~rng ~entity ~home ~n_clients:n_sites
+    ~phases:
+      (List.map
+         (fun p ->
+           {
+             Trace.Workload.until_ms = p.ph_until_ms;
+             rate_per_s = p.ph_rate_per_s;
+             home_affinity = p.ph_affinity;
+           })
+         s.phases)
+    ()
+
+(* Interior boundaries for the driver's per-phase accounting: every
+   phase end except the last (which is the stream end). *)
+let boundaries ~scale:s =
+  match List.rev s.phases with
+  | [] -> [||]
+  | _last :: rest -> Array.of_list (List.rev_map (fun p -> p.ph_until_ms) rest)
+
+type capture = {
+  scale : scale;
+  arm : arm;
+  cluster : Samya.Cluster.t;
+  offered : int;
+  sink : Obs.Sink.t option;
+  slo : Obs.Slo.t;
+  result : Driver.result;
+  stats : Systems.stats;
+  final_mechanism : string;  (* the home site's mechanism at the end *)
+}
+
+let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
+  let s = scale ~quick in
+  let hooks = Facade.samya_hooks () in
+  let engine_jobs =
+    match engine_jobs with Some n -> n | None -> Pool.engine_jobs ()
+  in
+  let regions = Exp_common.client_regions () in
+  let cluster =
+    Samya.Cluster.create ~seed:Exp_common.seed ~engine_jobs
+      ~config:(config ~policy:arm.a_policy) ~regions
+      ~on_protocol_event:(Facade.protocol_event_hook hooks)
+      ~obs:(Facade.obs_port hooks) ()
+  in
+  Samya.Cluster.init_entity cluster ~entity ~maximum:s.quota;
+  let t_system =
+    Facade.of_samya_cluster ~name:"Samya contention" ~hooks ~regions ~entity
+      cluster
+  in
+  let sink =
+    if observe then begin
+      let sink =
+        Obs.Sink.create ~now:(fun () -> Des.Engine.now t_system.Systems.engine) ()
+      in
+      t_system.Systems.subscribe sink;
+      Some sink
+    end
+    else None
+  in
+  let slo = Obs.Slo.create ~window_ms:2_000.0 () in
+  let requests = requests ~scale:s in
+  let spec =
+    {
+      (Driver.default_spec ~client_regions:regions ~requests
+         ~duration_ms:s.duration_ms)
+      with
+      drain_ms = 10_000.0;
+      window_ms = 1_000.0;
+      grant_driven_release_ms = Some s.hold_ms;
+      obs = sink;
+      slo = Some slo;
+      phases = boundaries ~scale:s;
+    }
+  in
+  let result = Driver.run ~t_system spec in
+  {
+    scale = s;
+    arm;
+    cluster;
+    offered = Array.length requests;
+    sink;
+    slo;
+    result;
+    stats = t_system.Systems.stats ();
+    final_mechanism =
+      (match Samya.Site.mechanism (Samya.Cluster.site cluster home) ~entity with
+      | Some m -> Samya.Config.Controller.mechanism_name m
+      | None -> "-");
+  }
+
+(* Per-phase view: committed txn/s over the phase's wall time, p99 of
+   its committed latencies. *)
+type phase_row = { v_name : string; v_tps : float; v_p99 : float }
+
+let phase_rows c =
+  let starts =
+    0.0 :: List.map (fun p -> p.ph_until_ms) c.scale.phases |> Array.of_list
+  in
+  List.mapi
+    (fun i p ->
+      let stats = c.result.Driver.by_phase.(i) in
+      let dur_s = (p.ph_until_ms -. starts.(i)) /. 1000.0 in
+      {
+        v_name = p.ph_name;
+        v_tps = float_of_int stats.Driver.p_committed /. dur_s;
+        v_p99 = Stats.Sample_set.percentile stats.Driver.p_latencies 99.0;
+      })
+    c.scale.phases
+
+(* The verdict: in each phase, the benchmark is the static arm with the
+   highest committed throughput (ties broken by lower p99 — the Pareto
+   winner). The adaptive arm must meet that arm's throughput AND its
+   p99, both within tolerance. Latency is judged against the arm that
+   actually achieves the throughput: an arm that posts a tiny p99 by
+   rejecting every hard request (static escrow under pressure) is not a
+   meaningful latency target. *)
+let tps_tolerance = 0.10
+let p99_tolerance = 0.25
+
+(* Below one nearest-peer round trip, tail differences are noise: any
+   mechanism that moves tokens at all pays at least this much on the
+   requests that needed the movement, so the adaptive arm is never
+   penalised for a sub-RTT gap (e.g. its escalation transient at a
+   phase boundary). *)
+let p99_floor_ms = 100.0
+
+type verdict_row = {
+  w_phase : string;
+  w_best : string;  (* the benchmark static arm's label *)
+  w_best_tps : float;
+  w_best_p99 : float;
+  w_adaptive_tps : float;
+  w_adaptive_p99 : float;
+  w_ok : bool;
+}
+
+let verdicts captures =
+  let rows c = Array.of_list (phase_rows c) in
+  let statics =
+    List.filter (fun c -> c.arm.a_id <> "adaptive") captures
+    |> List.map (fun c -> (c.arm.a_label, rows c))
+  in
+  let adaptive_capture =
+    match List.find_opt (fun c -> c.arm.a_id = "adaptive") captures with
+    | Some c -> c
+    | None -> invalid_arg "Exp_contention.verdicts: no adaptive arm"
+  in
+  let adaptive = rows adaptive_capture in
+  List.mapi
+    (fun i p ->
+      let label, best =
+        match statics with
+        | [] -> invalid_arg "Exp_contention.verdicts: no static arms"
+        | (l0, r0) :: rest ->
+            List.fold_left
+              (fun (bl, (b : phase_row)) (label, rs) ->
+                let r = rs.(i) in
+                if
+                  r.v_tps > b.v_tps
+                  || (r.v_tps = b.v_tps && r.v_p99 < b.v_p99)
+                then (label, r)
+                else (bl, b))
+              (l0, r0.(i)) rest
+      in
+      let a = adaptive.(i) in
+      let tps_ok = a.v_tps >= best.v_tps *. (1.0 -. tps_tolerance) in
+      let p99_ok =
+        a.v_p99 <= Float.max p99_floor_ms (best.v_p99 *. (1.0 +. p99_tolerance))
+      in
+      {
+        w_phase = p.ph_name;
+        w_best = label;
+        w_best_tps = best.v_tps;
+        w_best_p99 = best.v_p99;
+        w_adaptive_tps = a.v_tps;
+        w_adaptive_p99 = a.v_p99;
+        w_ok = tps_ok && p99_ok;
+      })
+    adaptive_capture.scale.phases
+
+let run _ctx ~quick fmt =
+  let s = scale ~quick in
+  Format.fprintf fmt
+    "@.== contention controller: skew ramp on one entity (%d tokens, %d sites) ==@."
+    s.quota n_sites;
+  Report.kv fmt
+    (List.map
+       (fun p ->
+         ( "phase " ^ p.ph_name,
+           Printf.sprintf "until %.0f s: %.0f req/s, %.0f%% home"
+             (p.ph_until_ms /. 1000.0)
+             p.ph_rate_per_s
+             (100.0 *. p.ph_affinity) ))
+       s.phases
+    @ [ ("grant lifetime", Report.ms s.hold_ms) ]);
+  let captures = List.map (fun arm -> capture ~quick ~arm ()) arms in
+  (* Outcomes: totals per arm, with the mechanism traffic that produced
+     them. *)
+  Report.table fmt ~title:"contention: arm outcomes"
+    ~header:
+      [
+        "policy"; "offered"; "committed"; "rejected"; "p50"; "p99";
+        "redistributions"; "borrows"; "switches"; "final mech";
+      ]
+    ~rows:
+      (List.map
+         (fun c ->
+           let r = c.result in
+           [
+             c.arm.a_label;
+             string_of_int c.offered;
+             string_of_int r.Driver.committed;
+             string_of_int r.Driver.rejected;
+             Report.ms (Driver.percentile r 50.0);
+             Report.ms (Driver.percentile r 99.0);
+             string_of_int c.stats.Systems.redistributions;
+             string_of_int c.stats.Systems.borrows;
+             string_of_int c.stats.Systems.mechanism_switches;
+             c.final_mechanism;
+           ])
+         captures);
+  (* The per-phase breakdown: who wins where. *)
+  Report.table fmt ~title:"contention: committed txn/s by phase"
+    ~header:("policy" :: List.map (fun p -> p.ph_name) s.phases)
+    ~rows:
+      (List.map
+         (fun c ->
+           c.arm.a_label :: List.map (fun v -> Report.f1 v.v_tps) (phase_rows c))
+         captures);
+  Report.table fmt ~title:"contention: p99 latency by phase"
+    ~header:("policy" :: List.map (fun p -> p.ph_name) s.phases)
+    ~rows:
+      (List.map
+         (fun c ->
+           c.arm.a_label :: List.map (fun v -> Report.ms v.v_p99) (phase_rows c))
+         captures);
+  (* The figure: committed throughput over time — the static arms each
+     fall off in the phase that defeats their mechanism, the adaptive
+     line hugs the upper envelope. *)
+  Report.series fmt ~title:"contention: committed throughput (figure)"
+    ~unit_label:"txn/s"
+    (List.map
+       (fun c ->
+         ( c.arm.a_label,
+           Stats.Throughput.series c.result.Driver.throughput
+             ~until_ms:(s.duration_ms -. 1.0) () ))
+       captures);
+  (* The verdict: adaptive vs the best static, per phase, both axes. *)
+  Report.table fmt ~title:"contention: adaptive vs best static (verdict)"
+    ~header:
+      [ "phase"; "best static"; "best tps"; "adaptive tps"; "best p99"; "adaptive p99"; "verdict" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           [
+             w.w_phase;
+             w.w_best;
+             Report.f1 w.w_best_tps;
+             Report.f1 w.w_adaptive_tps;
+             Report.ms w.w_best_p99;
+             Report.ms w.w_adaptive_p99;
+             (if w.w_ok then "adaptive MATCHES" else "adaptive TRAILS");
+           ])
+         (verdicts captures));
+  (* SLO + abort attribution per arm. *)
+  List.iter
+    (fun c ->
+      let lines = Obs.Slo.report c.slo in
+      Format.fprintf fmt "%s: SLO %s@." c.arm.a_label
+        (if Obs.Slo.healthy lines then "healthy" else "VIOLATED"))
+    captures;
+  (* Token conservation per arm, after the drain: borrowing moves tokens
+     ledger-to-ledger and must never mint or leak. *)
+  List.iter
+    (fun c ->
+      match Samya.Cluster.check_invariant c.cluster ~entity ~maximum:s.quota with
+      | Ok () -> Format.fprintf fmt "token conservation (%s): OK@." c.arm.a_label
+      | Error reason ->
+          Format.fprintf fmt "token conservation (%s): VIOLATED: %s@."
+            c.arm.a_label reason)
+    captures

@@ -149,10 +149,9 @@ let config ~scale:s ~admission =
     {
       base with
       Samya.Config.deadline_budget_ms = s.timeout_ms;
-      admission_target_ms = 50.0;
-      admission_interval_ms = 100.0;
-      breaker_threshold = 3;
-      breaker_probe_ms = 2_000.0;
+      admission =
+        { Samya.Config.Admission.target_ms = 50.0; interval_ms = 100.0 };
+      breaker = { Samya.Config.Breaker.threshold = 3; probe_ms = 2_000.0 };
     }
   else base
 

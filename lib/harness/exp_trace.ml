@@ -8,7 +8,10 @@ type capture = {
 
 (* Accept the registry spellings of the headline run too. *)
 let experiments =
-  [ "headline"; "table2b"; "fig3b"; "prediction"; "gateway"; "retrystorm" ]
+  [
+    "headline"; "table2b"; "fig3b"; "prediction"; "gateway"; "retrystorm";
+    "contention";
+  ]
 
 (* The fig3f pair — prediction on vs off — captured through the same
    facade/obs path as the headline systems, so the ablation is explainable
@@ -105,6 +108,27 @@ let run ctx ~quick ~experiment =
         };
       ]
   end
+  else if experiment = "contention" then begin
+    (* The adaptive arm of the skew ramp: mechanism switches appear as
+       zero-width mech.switch phases, borrow conversations as mech.borrow
+       phases on the requests they parked. *)
+    let arm =
+      List.find
+        (fun a -> a.Exp_contention.a_id = "adaptive")
+        Exp_contention.arms
+    in
+    let c = Exp_contention.capture ~engine_jobs:0 ~observe:true ~quick ~arm () in
+    Ok
+      [
+        {
+          label = "Samya skew ramp (adaptive)";
+          sink = Option.get c.Exp_contention.sink;
+          slo = c.Exp_contention.slo;
+          result = c.Exp_contention.result;
+          stats = c.Exp_contention.stats;
+        };
+      ]
+  end
   else if experiment = "prediction" then
     Ok (capture ctx ~quick ~builders:(prediction_builders ctx))
   else if List.mem experiment experiments then
@@ -155,7 +179,24 @@ let breakdowns c = Obs.Critical_path.analyze (Obs.Causal.events c.sink.Obs.Sink.
 
 let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
 
-let explain fmt ~slowest captures =
+(* Folds critical-path component names into the token-movement mechanism
+   (or transport/serving layer) that produced the time — the
+   [explain --mechanism] view. Controller switches are zero-width
+   markers, so "controller" is attribution of the switch instant, not a
+   cost pool. *)
+let mechanism_bucket comp =
+  let has_prefix p = String.starts_with ~prefix:p comp in
+  if has_prefix "protocol.mech.switch" then "controller"
+  else if comp = "queue.borrow" || has_prefix "protocol.mech.borrow" then
+    "borrow"
+  else if comp = "queue.redistribution" || has_prefix "protocol." then
+    "redistribute"
+  else if comp = "queue.cpu" || comp = "local.service" then "local"
+  else if comp = "wan.client" then "client wan"
+  else if has_prefix "wan." then "replication"
+  else "other"
+
+let explain fmt ?(by_mechanism = false) ~slowest captures =
   List.iter
     (fun c ->
       let events = Obs.Causal.events c.sink.Obs.Sink.causal in
@@ -209,6 +250,29 @@ let explain fmt ~slowest captures =
         Report.table fmt ~title:"where the time went (all completed requests)"
           ~header:[ "component"; "total"; "share of wall" ]
           ~rows;
+        if by_mechanism then begin
+          let buckets : (string, float) Hashtbl.t = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun comp ms ->
+              let b = mechanism_bucket comp in
+              Hashtbl.replace buckets b
+                (Option.value (Hashtbl.find_opt buckets b) ~default:0.0 +. ms))
+            totals;
+          Report.table fmt ~title:"where the time went, by mechanism"
+            ~header:[ "mechanism"; "total"; "share of wall" ]
+            ~rows:
+              (Hashtbl.fold (fun b ms acc -> (b, ms) :: acc) buckets []
+              |> List.sort (fun (ba, ma) (bb, mb) ->
+                     let c = Float.compare mb ma in
+                     if c <> 0 then c else String.compare ba bb)
+              |> List.map (fun (b, ms) ->
+                     [
+                       b;
+                       Report.ms ms;
+                       (if !wall_total > 0.0 then pct (ms /. !wall_total)
+                        else "-");
+                     ]))
+        end;
         let top = Obs.Critical_path.slowest slowest bds in
         Report.table fmt
           ~title:(Printf.sprintf "slowest %d requests" (List.length top))

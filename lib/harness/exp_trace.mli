@@ -18,8 +18,9 @@ type capture = {
 }
 
 val experiments : string list
-(** Traceable experiment ids: "headline" (plus its registry aliases) and
-    "prediction" (the fig3f prediction-on/off Samya pair). *)
+(** Traceable experiment ids: "headline" (plus its registry aliases),
+    "prediction" (the fig3f prediction-on/off Samya pair), "gateway",
+    "retrystorm" and "contention" (each capturing its headline arm). *)
 
 val run :
   Lab.context -> quick:bool -> experiment:string -> (capture list, string) result
@@ -40,10 +41,19 @@ val summary : Format.formatter -> capture list -> unit
 val breakdowns : capture -> Obs.Critical_path.breakdown list
 (** Per-request latency attributions from the capture's causal log. *)
 
-val explain : Format.formatter -> slowest:int -> capture list -> unit
+val mechanism_bucket : string -> string
+(** Folds a critical-path component name into the token-movement
+    mechanism (or transport/serving layer) that produced the time:
+    "borrow", "redistribute", "controller", "local", "client wan",
+    "replication" or "other". *)
+
+val explain :
+  Format.formatter -> ?by_mechanism:bool -> slowest:int -> capture list -> unit
 (** Per system: traced/completed counts, the attributed fraction of wall
     latency, the aggregate where-the-time-went table and the [slowest]
-    requests with their critical paths. Deterministic and byte-identical
-    at any [--jobs]. *)
+    requests with their critical paths. [by_mechanism] (default false)
+    adds the same aggregate folded through {!mechanism_bucket} — the
+    [explain --mechanism] view. Deterministic and byte-identical at any
+    [--jobs]. *)
 
 val slo_summary : Format.formatter -> capture list -> unit

@@ -97,6 +97,12 @@ let all =
       description = "flash-sale overload: retry policies vs deadline/admission stack";
       run = (fun ctx ~quick fmt -> Exp_retrystorm.run ctx ~quick fmt);
     };
+    {
+      id = "contention";
+      paper_artifact = "controller ext.";
+      description = "skew-ramp contention: static mechanisms vs adaptive controller";
+      run = (fun ctx ~quick fmt -> Exp_contention.run ctx ~quick fmt);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

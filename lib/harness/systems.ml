@@ -3,6 +3,9 @@
    the soak can drive clusters through the same interface. *)
 type stats = Facade.stats = {
   redistributions : int;
+  borrows : int;
+  borrow_tokens : int;
+  mechanism_switches : int;
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
@@ -71,9 +74,9 @@ let samya ?seed ?engine_jobs ?name ~config ~regions ?forecaster ?on_protocol_eve
 (* Baseline adapters share one shape: verbs bound to the entity, stats
    from the internal network counters, subscribe = engine tracer +
    network tracer + named site lanes. *)
-let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
-    ~partition ~heal ~redistributions ~net_stats ~set_net_tracer ~obs_port
-    ~invariant =
+let baseline ?(borrows = fun () -> 0) ~name ~engine ~regions ~entity ~submit
+    ~crash_site ~recover_site ~partition ~heal ~redistributions ~net_stats
+    ~set_net_tracer ~obs_port ~invariant () =
   {
     name;
     engine;
@@ -102,6 +105,9 @@ let baseline ~name ~engine ~regions ~entity ~submit ~crash_site ~recover_site
         let sent, delivered, dropped = net_stats () in
         {
           redistributions = redistributions ();
+          borrows = borrows ();
+          borrow_tokens = 0;
+          mechanism_switches = 0;
           messages_sent = sent;
           messages_delivered = delivered;
           messages_dropped = dropped;
@@ -130,6 +136,7 @@ let demarcation ?seed ?regions ~entity ~maximum () =
   let system = Baselines.Demarcation.create ?seed ~regions () in
   Baselines.Demarcation.init_entity system ~entity ~maximum;
   baseline ~name:"Dem./Escrow"
+    ~borrows:(fun () -> Baselines.Demarcation.borrows system)
     ~engine:(Baselines.Demarcation.engine system)
     ~regions ~entity
     ~submit:(fun ~region request ~reply ->
@@ -144,6 +151,7 @@ let demarcation ?seed ?regions ~entity ~maximum () =
     ~obs_port:(Baselines.Demarcation.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Demarcation.check_invariant system ~entity ~maximum)
+    ()
 
 let multipaxsys ?seed ~entity ~maximum () =
   let system = Baselines.Multipaxsys.create ?seed () in
@@ -164,6 +172,7 @@ let multipaxsys ?seed ~entity ~maximum () =
     ~obs_port:(Baselines.Multipaxsys.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Multipaxsys.check_invariant system ~entity ~maximum)
+    ()
 
 let cockroach ?seed ?regions ~entity ~maximum () =
   let regions =
@@ -197,3 +206,4 @@ let cockroach ?seed ?regions ~entity ~maximum () =
     ~obs_port:(Baselines.Cockroach_sim.obs_port system)
     ~invariant:(fun ~maximum ->
       Baselines.Cockroach_sim.check_invariant system ~entity ~maximum)
+    ()

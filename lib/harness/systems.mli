@@ -6,6 +6,9 @@
 
 type stats = Facade.stats = {
   redistributions : int;
+  borrows : int;
+  borrow_tokens : int;
+  mechanism_switches : int;
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;

@@ -108,6 +108,24 @@ let return_resources t ~node ~region ~amount ~reply =
             if !remaining = 0 then reply Samya.Types.Granted))
       levels
 
+(* Tiered contention policies: the deeper a limit sits in the tree, the
+   more local its traffic, the less token movement its entity needs. One
+   pin per limited node, on every site. *)
+let pin_contention_tiers t =
+  Array.iteri
+    (fun node u ->
+      match u.entity with
+      | None -> ()
+      | Some entity ->
+          let policy =
+            match List.length (limited_ancestors t node) with
+            | 1 -> Samya.Config.Controller.Adaptive (* the root *)
+            | 2 -> Samya.Config.Controller.(Static Borrow)
+            | _ -> Samya.Config.Controller.(Static Escrow)
+          in
+          Samya.Cluster.pin_policy t.cluster ~entity policy)
+    t.units
+
 let binding_entity t node =
   match limited_ancestors t node with
   | (_, entity) :: _ -> entity

@@ -65,6 +65,18 @@ val return_resources :
     return more than it consumed for this node (same client contract as
     Samya's releaseTokens). *)
 
+val pin_contention_tiers : t -> unit
+(** Pins each limited node's token-movement policy on every site by its
+    depth in limited ancestors — the org tree as the contention
+    controller's escalation topology. The root entity percolates every
+    consume in the organization, so it runs the full {!Samya.Config.Controller.Adaptive}
+    state machine; a team limit directly under the root sees moderate
+    cross-site traffic and is pinned to peer borrowing; deeper limits are
+    mostly unit-local and pinned to plain escrow. Requires the cluster's
+    {!Samya.Config.Controller.t.enabled} (raises [Invalid_argument]
+    otherwise, like {!Samya.Cluster.pin_policy}). Call after the tree is
+    built; units added later keep the site-wide default until re-pinned. *)
+
 val usage : t -> node -> int
 (** Tokens currently acquired against [node]'s own limit (the nearest
     limited ancestor's entity if the node itself is unlimited). *)

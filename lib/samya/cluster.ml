@@ -225,6 +225,9 @@ let check_invariant t ~entity ~maximum =
          acquired maximum)
   else Ok ()
 
+let pin_policy t ~entity policy =
+  Array.iter (fun site -> Site.pin_policy site ~entity policy) t.sites
+
 let total_redistributions t =
   Array.fold_left
     (fun acc site -> acc + (Site.stats site).Site.redistributions_led)
@@ -251,6 +254,9 @@ let aggregate_site_stats t =
           redistributions_aborted = acc.redistributions_aborted + s.redistributions_aborted;
           proactive_triggers = acc.proactive_triggers + s.proactive_triggers;
           reactive_triggers = acc.reactive_triggers + s.reactive_triggers;
+          borrows = acc.borrows + s.borrows;
+          borrow_tokens = acc.borrow_tokens + s.borrow_tokens;
+          mechanism_switches = acc.mechanism_switches + s.mechanism_switches;
         })
     Site.
       {
@@ -264,5 +270,8 @@ let aggregate_site_stats t =
         redistributions_aborted = 0;
         proactive_triggers = 0;
         reactive_triggers = 0;
+        borrows = 0;
+        borrow_tokens = 0;
+        mechanism_switches = 0;
       }
     t.sites

@@ -114,6 +114,11 @@ val check_invariant : t -> entity:Types.entity -> maximum:int -> (unit, string) 
     and [total_tokens_left + total_acquired = maximum]. Meaningful at
     quiescent points (no decision deliveries in flight). *)
 
+val pin_policy : t -> entity:Types.entity -> Config.Controller.policy -> unit
+(** {!Site.pin_policy} on every site: pin the entity's token-movement
+    policy cluster-wide (the org escalation topology applies its tier
+    pins through this). Requires {!Config.Controller.enabled}. *)
+
 val total_redistributions : t -> int
 (** Decided instances, summed over leading sites (the paper's
     "208 vs 792 redistributions" metric). *)

@@ -1,7 +1,108 @@
 (** Site/cluster configuration, including the ablation switches used by the
-    evaluation (Figs. 3e, 3f). *)
+    evaluation (Figs. 3e, 3f).
+
+    Knob families that accreted across the overload and controller work are
+    grouped into validated sub-records ({!Admission}, {!Breaker},
+    {!Controller}); {!validate} is the single entry point and delegates to
+    each sub-record's validator. Single knobs with no family
+    ([amnesia_on_crash], [protocol_batch], [deadline_budget_ms]) stay flat. *)
 
 type variant = Majority  (** Avantan[(n+1)/2] *) | Star  (** Avantan[*] *)
+
+(** CoDel-style per-site admission gate on CPU backlog (PR 8). *)
+module Admission : sig
+  type t = {
+    target_ms : float;
+        (** sojourn target: when the CPU backlog has exceeded this target
+            for a sustained [interval_ms] the site sheds newest acquire
+            arrivals ([Rejected_deadline], zero CPU cost) until the backlog
+            falls back below half the target. [infinity] (default) disables
+            the gate entirely — the disabled path costs one load and one
+            branch. *)
+    interval_ms : float;
+        (** how long the backlog must stay above target before the gate
+            enters drop mode — absorbs bursts shorter than this *)
+  }
+
+  val default : t
+  val enabled : t -> bool
+  val validate : t -> (unit, string) result
+end
+
+(** Circuit breaker on repeatedly aborting redistributions (PR 8). *)
+module Breaker : sig
+  type t = {
+    threshold : int;
+        (** after this many consecutive aborted Avantan instances for one
+            entity the site stops triggering new instances for it and
+            serves local-escrow-only until [probe_ms] elapses, then
+            re-probes with one instance. 0 (default) disables the
+            breaker. *)
+    probe_ms : float;
+        (** how long an open breaker holds before allowing a probe
+            instance *)
+  }
+
+  val default : t
+  val enabled : t -> bool
+  val validate : t -> (unit, string) result
+end
+
+(** The adaptive contention controller: per-entity online selection of the
+    token-movement {!Mechanism} (escrow headroom / peer borrowing / Avantan
+    redistribution) from windowed contention, borrow-outcome and wait-p99
+    signals, with hysteresis so it cannot flap. *)
+module Controller : sig
+  type mechanism =
+    | Escrow  (** serve from the local pool only; shortfalls reject *)
+    | Borrow
+        (** demarcation-style peer borrowing: ask peers in proximity order
+            for [shortfall + borrow_quantum] tokens, park the queue while
+            an ask is in flight *)
+    | Redistribute
+        (** today's Avantan path: trigger a consensus redistribution and
+            park the queue until it decides *)
+
+  val mechanism_name : mechanism -> string
+
+  type policy =
+    | Static of mechanism  (** pin one mechanism (the experiment's arms) *)
+    | Adaptive  (** run the escalation state machine *)
+
+  val policy_name : policy -> string
+
+  type t = {
+    enabled : bool;
+        (** [false] (default) keeps the historical redistribution-only
+            wiring; the disabled path costs one load and one branch on the
+            shortfall path and nothing on the grant path. *)
+    policy : policy;
+    window_ms : float;  (** tumbling signal window *)
+    escalate_contention : float;
+        (** windowed shortfall fraction (shortfalls / (served + shortfalls))
+            at or above which the controller escalates one tier *)
+    deescalate_margin : float;
+        (** de-escalate only when contention falls below
+            [escalate_contention * deescalate_margin] — the hysteresis
+            band *)
+    borrow_fail_escalate : float;
+        (** windowed fraction of borrows that ended unsatisfied at or above
+            which Borrow escalates to Redistribute *)
+    p99_target_ms : float;
+        (** windowed p99 of parked-wait time above which Borrow escalates
+            to Redistribute; [infinity] disables the latency signal *)
+    dwell_ms : float;  (** minimum residence time before any switch *)
+    cooldown_ms : float;  (** minimum spacing between consecutive switches *)
+    borrow_quantum : int;
+        (** extra tokens asked on top of the observed shortfall, so one
+            grant covers a little future demand *)
+    borrow_patience_ms : float;
+        (** per-peer patience before moving to the next peer / giving up *)
+  }
+
+  val default : t
+  val validate : t -> (unit, string) result
+end
 
 type t = {
   variant : variant;
@@ -83,34 +184,17 @@ type t = {
           discarded (shed) instead of replayed when the redistribution
           that parked it ends. [infinity] (default) keeps the historical
           wait-forever behaviour. *)
-  admission_target_ms : float;
-      (** CoDel-style sojourn target of the per-site admission gate: when
-          the CPU backlog has exceeded this target for a sustained
-          [admission_interval_ms] the site sheds newest acquire arrivals
-          ([Rejected_deadline], zero CPU cost) until the backlog falls
-          back below half the target. [infinity] (default) disables the
-          gate entirely — the disabled path costs one load and one
-          branch. *)
-  admission_interval_ms : float;
-      (** how long the backlog must stay above target before the gate
-          enters drop mode — absorbs bursts shorter than this *)
-  breaker_threshold : int;
-      (** circuit breaker on redistribution: after this many consecutive
-          aborted Avantan instances for one entity the site stops
-          triggering new instances for it and serves local-escrow-only
-          (in-pool acquires succeed, the rest fail fast) until
-          [breaker_probe_ms] elapses, then re-probes with one instance.
-          0 (default) disables the breaker. *)
-  breaker_probe_ms : float;
-      (** how long an open breaker holds before allowing a probe
-          instance *)
+  admission : Admission.t;  (** per-site admission gate *)
+  breaker : Breaker.t;  (** redistribution circuit breaker *)
+  controller : Controller.t;  (** adaptive contention controller *)
 }
 
 val default : t
 (** Tuned for the five-region GCP-like topology: timeouts comfortably above
-    the worst one-way latency (~150 ms). *)
+    the worst one-way latency (~150 ms). Byte-compatible with the pre-grouping
+    flat defaults: every sub-record default reproduces the old flat values. *)
 
 val validate : t -> (unit, string) result
 (** Rejects inconsistent settings with an explanatory message; the
     overload knobs are NaN-safe (a NaN budget or target is rejected, not
-    silently treated as disabled). *)
+    silently treated as disabled). Delegates to the sub-record validators. *)

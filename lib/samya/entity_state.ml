@@ -1,3 +1,16 @@
+(* One in-flight peer-borrow conversation (the Borrow mechanism):
+   [b_to_ask] is the proximity-ordered list of peers not yet asked,
+   [b_patience] the per-ask give-up timer. The request that triggered the
+   borrow sits in [queue] like any parked request; [b_ctx]/[b_t0] keep its
+   lineage and start time for the causal mech.borrow phase. *)
+type borrow = {
+  mutable b_to_ask : int list;
+  mutable b_patience : Des.Engine.timer option;
+  mutable b_obtained : int;
+  b_ctx : Des.Trace_context.t;
+  b_t0 : float;
+}
+
 type t = {
   core : t Entity_map.core;
   queue :
@@ -34,7 +47,37 @@ type t = {
       (** while [now] is below this the breaker is open: no new instances
           for this entity, local-escrow-only service *)
   mutable breaker_trips : int;
+  mutable borrow : borrow option;
+      (** in-flight peer borrow; requests park behind it like they do
+          behind a redistribution ([None] always when the controller is
+          off) *)
+  mutable ctl_mech : Config.Controller.mechanism;
+      (** the mechanism currently handling this entity's shortfalls *)
+  mutable ctl_pinned : Config.Controller.policy option;
+      (** per-entity policy override (the org escalation topology pins
+          tiers); [None] = the site-wide configured policy *)
+  mutable ctl_since_ms : float;  (** when [ctl_mech] was entered (dwell) *)
+  mutable ctl_cooldown_until : float;
+      (** no further switch before this time *)
+  mutable ctl_win_start : float;  (** current signal window's start *)
+  mutable ctl_served : int;  (** window: acquires served from the pool *)
+  mutable ctl_shortfall : int;  (** window: shortfall events *)
+  mutable ctl_borrows : int;  (** window: borrows finished *)
+  mutable ctl_borrow_fails : int;
+      (** window: borrows that ended unsatisfied *)
+  mutable ctl_wait : Obs.Quantile_sketch.t option;
+      (** window: engagement latencies (shortfall -> mechanism outcome);
+          allocated only when the controller is on, so the million-key
+          arena pays nothing *)
+  mutable ctl_switches : int;  (** run statistic: mechanism switches *)
 }
+
+(* The mechanism an entity starts under: the pin when the policy is
+   static, the cheapest tier (escrow-while-cold) when adaptive. *)
+let initial_mechanism (config : Config.t) =
+  match config.Config.controller.Config.Controller.policy with
+  | Config.Controller.Static m -> m
+  | Config.Controller.Adaptive -> Config.Controller.Escrow
 
 let create ~engine ~(config : Config.t) ~(core : t Entity_map.core) =
   {
@@ -55,6 +98,21 @@ let create ~engine ~(config : Config.t) ~(core : t Entity_map.core) =
     consec_aborts = 0;
     breaker_open_until = neg_infinity;
     breaker_trips = 0;
+    borrow = None;
+    ctl_mech = initial_mechanism config;
+    ctl_pinned = None;
+    ctl_since_ms = 0.0;
+    ctl_cooldown_until = neg_infinity;
+    ctl_win_start = 0.0;
+    ctl_served = 0;
+    ctl_shortfall = 0;
+    ctl_borrows = 0;
+    ctl_borrow_fails = 0;
+    ctl_wait =
+      (if config.Config.controller.Config.Controller.enabled then
+         Some (Obs.Quantile_sketch.create ())
+       else None);
+    ctl_switches = 0;
   }
 
 let entity t = t.core.Entity_map.name
@@ -85,14 +143,42 @@ let restore t ~(config : Config.t) ~tokens_left ~acquired_net ~applied_origins
   t.backoff_ms <- config.Config.redistribution_cooldown_ms;
   t.request_scale <- 1.0;
   t.consec_aborts <- 0;
-  t.breaker_open_until <- neg_infinity
-(* [queue_peak] and [breaker_trips] are run statistics, not protocol
-   state: they survive recovery like the handler's counters do. *)
+  t.breaker_open_until <- neg_infinity;
+  (* In-flight borrows die with the process (a grant already sent by a
+     peer still lands in the recovered ledger via the network handler);
+     controller state restarts from the initial tier with fresh windows. *)
+  (match t.borrow with
+  | Some b -> (
+      t.borrow <- None;
+      match b.b_patience with
+      | Some timer -> Des.Engine.cancel timer
+      | None -> ())
+  | None -> ());
+  t.ctl_mech <- initial_mechanism config;
+  t.ctl_since_ms <- 0.0;
+  t.ctl_cooldown_until <- neg_infinity;
+  t.ctl_win_start <- 0.0;
+  t.ctl_served <- 0;
+  t.ctl_shortfall <- 0;
+  t.ctl_borrows <- 0;
+  t.ctl_borrow_fails <- 0;
+  (match t.ctl_wait with
+  | Some _ -> t.ctl_wait <- Some (Obs.Quantile_sketch.create ())
+  | None -> ())
+(* [queue_peak], [breaker_trips], [ctl_switches] and the per-entity pin
+   ([ctl_pinned], topology not volatile state) are run statistics, not
+   protocol state: they survive recovery like the handler's counters do. *)
 
 let participating t =
   match t.av with
   | Some av -> Avantan_core.participating av
   | None -> t.core.Entity_map.exposed
+
+(* Requests must queue while either kind of token-movement engagement is
+   in flight: a protocol instance or a peer borrow. With the controller
+   off [borrow] is always [None], so this is one extra load and branch. *)
+let parked t =
+  match t.borrow with Some _ -> true | None -> participating t
 
 let rec take n = function
   | [] -> []

@@ -11,6 +11,17 @@
     decided values, and {!Redistribution_policy} owns the
     cooldown/backoff/request-scale fields. *)
 
+(** One in-flight peer-borrow conversation (the {!Mechanism} Borrow tier):
+    peers still to ask in proximity order, the per-ask patience timer, and
+    the triggering request's lineage for the causal mech.borrow phase. *)
+type borrow = {
+  mutable b_to_ask : int list;
+  mutable b_patience : Des.Engine.timer option;
+  mutable b_obtained : int;
+  b_ctx : Des.Trace_context.t;
+  b_t0 : float;
+}
+
 type t = {
   core : t Entity_map.core;
       (** the arena slot this record animates: the token ledger
@@ -53,11 +64,30 @@ type t = {
   mutable consec_aborts : int;
       (** consecutive aborted instances; {!Redistribution_policy}'s
           circuit breaker opens once it reaches
-          {!Config.t.breaker_threshold} *)
+          {!Config.Breaker.threshold} *)
   mutable breaker_open_until : float;
       (** absolute time until which the breaker holds this entity to
           local-escrow-only service ([neg_infinity] = closed) *)
   mutable breaker_trips : int;  (** times the breaker has opened *)
+  mutable borrow : borrow option;
+      (** in-flight peer borrow; [None] always when the controller is off *)
+  mutable ctl_mech : Config.Controller.mechanism;
+      (** the mechanism currently handling this entity's shortfalls —
+          owned by {!Controller} *)
+  mutable ctl_pinned : Config.Controller.policy option;
+      (** per-entity policy override (org escalation tiers); [None] = the
+          site-wide configured policy *)
+  mutable ctl_since_ms : float;  (** when [ctl_mech] was entered (dwell) *)
+  mutable ctl_cooldown_until : float;  (** no further switch before this *)
+  mutable ctl_win_start : float;  (** current signal window's start *)
+  mutable ctl_served : int;  (** window: acquires served from the pool *)
+  mutable ctl_shortfall : int;  (** window: shortfall events *)
+  mutable ctl_borrows : int;  (** window: borrows finished *)
+  mutable ctl_borrow_fails : int;  (** window: unsatisfied borrows *)
+  mutable ctl_wait : Obs.Quantile_sketch.t option;
+      (** window: engagement latencies (shortfall to mechanism outcome);
+          allocated only when the controller is on *)
+  mutable ctl_switches : int;  (** run statistic: mechanism switches *)
 }
 
 val create : engine:Des.Engine.t -> config:Config.t -> core:t Entity_map.core -> t
@@ -87,6 +117,15 @@ val participating : t -> bool
     instance — the interval during which requests must queue. Reads the
     attached machine when one exists, the core's [exposed] flag under
     site-level batching. *)
+
+val parked : t -> bool
+(** {!participating}, or a peer borrow in flight — the full "requests must
+    queue" predicate. One extra load and branch over [participating] when
+    the controller is off. *)
+
+val initial_mechanism : Config.t -> Config.Controller.mechanism
+(** The tier an entity starts under: the pin when the configured policy is
+    static, Escrow (cheapest, serve-while-cold) when adaptive. *)
 
 val record_decision : t -> retention:int -> Protocol.value -> unit
 (** Prepend a decided value to the recovery log, dropping the oldest entry

@@ -1,16 +1,16 @@
-type t = { config : Config.t }
+type t = { config : Config.t; brk : Config.Breaker.t }
 
-let create ~config = { config }
+let create ~config = { config; brk = config.Config.breaker }
 
-(* Circuit breaker (overload resilience): after [breaker_threshold]
+(* Circuit breaker (overload resilience): after [Breaker.threshold]
    consecutive aborted instances the entity is held to local-escrow-only
    service — every further trigger would burn another multi-second
    synchronization round against the same partition or contention storm.
-   Once [breaker_probe_ms] elapses the gates open again (half-open): one
+   Once [Breaker.probe_ms] elapses the gates open again (half-open): one
    probe instance may run, and a further abort re-opens immediately
    because [consec_aborts] is still at the threshold. *)
 let breaker_open t ~now (ctx : Entity_state.t) =
-  t.config.Config.breaker_threshold > 0 && now < ctx.breaker_open_until
+  t.brk.Config.Breaker.threshold > 0 && now < ctx.breaker_open_until
 
 let cooldown_ok t ~now (ctx : Entity_state.t) =
   (not (breaker_open t ~now ctx))
@@ -28,9 +28,9 @@ let reactive_ok t ~now (ctx : Entity_state.t) =
 let register_outcome t (ctx : Entity_state.t) ~now ~aborted ~satisfied =
   (if aborted then begin
      ctx.consec_aborts <- ctx.consec_aborts + 1;
-     let k = t.config.Config.breaker_threshold in
+     let k = t.brk.Config.Breaker.threshold in
      if k > 0 && ctx.consec_aborts >= k && now >= ctx.breaker_open_until then begin
-       ctx.breaker_open_until <- now +. t.config.Config.breaker_probe_ms;
+       ctx.breaker_open_until <- now +. t.brk.Config.Breaker.probe_ms;
        ctx.breaker_trips <- ctx.breaker_trips + 1
      end
    end

@@ -10,12 +10,12 @@
     remains.
 
     Also owns the redistribution {e circuit breaker}
-    ({!Config.t.breaker_threshold}): after k consecutive {e aborted}
+    ({!Config.Breaker.threshold}): after k consecutive {e aborted}
     instances — the signature of a partitioned or storm-ridden quorum,
     where every further trigger costs a multi-second round and parks every
     arriving request behind an exposure that will fail — the entity is
     held to local-escrow-only service (in-pool acquires still succeed,
-    the rest fail fast) until {!Config.t.breaker_probe_ms} elapses; then
+    the rest fail fast) until {!Config.Breaker.probe_ms} elapses; then
     one probe instance may run, and another abort re-opens the breaker
     immediately. *)
 

@@ -27,6 +27,10 @@ type deps = {
       (** materialise hot state for a cold entity that can no longer be
           served from its core ledger alone (shortfall, or protocol
           exposure) *)
+  controller : Controller.t option;
+      (** [Some] iff [Config.Controller.enabled]: shortfalls dispatch to
+          the entity's current mechanism instead of the legacy
+          redistribution wiring *)
 }
 
 type t = {
@@ -39,9 +43,15 @@ type t = {
   pending_reads : (int, read_ctx) Hashtbl.t;
   mutable next_rid : int;
   mutable busy_until : float;
+  ctl : Controller.t option;
+      (* [deps.controller], hoisted: the controller-off shortfall path is
+         one load and one branch, and the grant path one load + match *)
   adm_enabled : bool;
-      (* [admission_target_ms < infinity], latched at creation: the
-         disabled admission path is one load and one branch *)
+      (* [Config.Admission.enabled], latched at creation: the disabled
+         admission path is one load and one branch *)
+  adm_target : float;
+  adm_interval : float;
+      (* the admission sub-record's knobs, cached off the hot gate path *)
   deadline_budget : float;
       (* Config.deadline_budget_ms, cached off the hot enqueue path *)
   mutable adm_above_since : float;
@@ -70,7 +80,10 @@ let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
     pending_reads = Hashtbl.create 16;
     next_rid = 0;
     busy_until = 0.0;
-    adm_enabled = config.Config.admission_target_ms < infinity;
+    ctl = deps.controller;
+    adm_enabled = Config.Admission.enabled config.Config.admission;
+    adm_target = config.Config.admission.Config.Admission.target_ms;
+    adm_interval = config.Config.admission.Config.Admission.interval_ms;
     deadline_budget = config.Config.deadline_budget_ms;
     adm_above_since = neg_infinity;
     adm_dropping = false;
@@ -136,12 +149,12 @@ let admission_shed t request =
   && begin
        let now_ms = now t in
        let backlog = t.busy_until -. now_ms in
-       let target = t.config.Config.admission_target_ms in
+       let target = t.adm_target in
        if backlog > target then begin
          if t.adm_above_since = neg_infinity then t.adm_above_since <- now_ms
          else if
            (not t.adm_dropping)
-           && now_ms -. t.adm_above_since >= t.config.Config.admission_interval_ms
+           && now_ms -. t.adm_above_since >= t.adm_interval
          then t.adm_dropping <- true
        end
        else begin
@@ -198,6 +211,48 @@ let reply_after_processing t reply response =
       end);
   Des.Engine.schedule_at t.engine ~time_ms:finish (fun () -> reply response)
 
+let reject_acquire t reply =
+  t.s_rejected <- t.s_rejected + 1;
+  obs_incr t "samya.acquire.rejected";
+  reply_after_processing t reply Types.Rejected
+
+(* Park a request behind an in-flight engagement (redistribution or
+   borrow); [label] names the causal queue window so `explain` attributes
+   the wait to the mechanism that caused it. *)
+let park t (ctx : Entity_state.t) request reply ~label =
+  Queue.push
+    (request, reply, Des.Engine.current_context t.engine,
+     effective_deadline t request)
+    ctx.queue;
+  (match Obs.Sink.tap t.obs with
+  | None -> ()
+  | Some sink ->
+      let trace = causal_trace t in
+      if trace >= 0 then
+        Obs.Causal.record sink.Obs.Sink.causal
+          (Obs.Causal.Enqueued { trace; site = t.site_id; label; ts = now t }));
+  t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
+  ctx.queue_peak <- max ctx.queue_peak (Queue.length ctx.queue);
+  obs_queue_depth t (Queue.length ctx.queue)
+
+(* Shortfall under the controller: dispatch to the entity's current
+   mechanism. The verdict parks the request (then fires the engagement —
+   ordering matters, DES sends can resolve synchronously) or refuses. *)
+let serve_shortfall t c (ctx : Entity_state.t) request reply ~amount =
+  Controller.note_shortfall c ctx;
+  let m = Controller.mechanism c ctx in
+  match m.Mechanism.try_acquire ctx ~amount with
+  | Mechanism.Park label ->
+      (match m.Mechanism.kind with
+      | Mechanism.Redistribute ->
+          t.s_reactive <- t.s_reactive + 1;
+          obs_incr t "samya.reactive.queued"
+      | Mechanism.Borrow -> obs_incr t "samya.borrow.queued"
+      | Mechanism.Escrow -> ());
+      park t ctx request reply ~label;
+      m.Mechanism.engage ctx
+  | Mechanism.Refuse -> reject_acquire t reply
+
 (* Serve a single acquire/release against local state. In [drain] mode the
    request was queued behind a redistribution that just ended, and an
    unservable acquire is rejected rather than triggering another
@@ -226,50 +281,44 @@ let serve_local t (ctx : Entity_state.t) request reply ~drain =
         obs_incr t "samya.acquire.granted";
         t.deps.persist ctx;
         reply_after_processing t reply Types.Granted;
-        if not drain then t.deps.proactive ctx
-      end
-      else if
-        (not drain)
-        && t.config.Config.redistribution_enabled
-        && (not (Entity_state.participating ctx))
-        && t.deps.reactive_ok ctx
-      then begin
-        (* Reactive redistribution (Equation 5): queue the client behind
-           the instance the prediction module sizes for us. *)
-        t.s_reactive <- t.s_reactive + 1;
-        obs_incr t "samya.reactive.queued";
-        let wanted = t.deps.reactive_wanted ctx ~amount in
-        ctx.core.tokens_wanted <- max ctx.core.tokens_wanted wanted;
-        ctx.last_redistribution_ms <- now t;
-        Queue.push
-          (request, reply, Des.Engine.current_context t.engine,
-           effective_deadline t request)
-          ctx.queue;
-        (match Obs.Sink.tap t.obs with
-        | None -> ()
-        | Some sink ->
-            let trace = causal_trace t in
-            if trace >= 0 then
-              Obs.Causal.record sink.Obs.Sink.causal
-                (Obs.Causal.Enqueued
-                   { trace; site = t.site_id; label = "redistribution"; ts = now t }));
-        t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
-        ctx.queue_peak <- max ctx.queue_peak (Queue.length ctx.queue);
-        obs_queue_depth t (Queue.length ctx.queue);
-        t.deps.trigger ctx
+        match t.ctl with
+        | None -> if not drain then t.deps.proactive ctx
+        | Some c ->
+            Controller.note_served c ctx;
+            if (not drain) && Controller.proactive_allowed ctx then
+              t.deps.proactive ctx
       end
       else begin
-        t.s_rejected <- t.s_rejected + 1;
-        obs_incr t "samya.acquire.rejected";
-        reply_after_processing t reply Types.Rejected
+        match t.ctl with
+        | Some c when not drain ->
+            serve_shortfall t c ctx request reply ~amount
+        | Some _ | None ->
+            if
+              (not drain)
+              && t.config.Config.redistribution_enabled
+              && (not (Entity_state.participating ctx))
+              && t.deps.reactive_ok ctx
+            then begin
+              (* Reactive redistribution (Equation 5): queue the client
+                 behind the instance the prediction module sizes for
+                 us. *)
+              t.s_reactive <- t.s_reactive + 1;
+              obs_incr t "samya.reactive.queued";
+              let wanted = t.deps.reactive_wanted ctx ~amount in
+              ctx.core.tokens_wanted <- max ctx.core.tokens_wanted wanted;
+              ctx.last_redistribution_ms <- now t;
+              park t ctx request reply ~label:"redistribution";
+              t.deps.trigger ctx
+            end
+            else reject_acquire t reply
       end
   | Types.Read _ -> (* handled before dispatch *) assert false
 
-let drain_queue t (ctx : Entity_state.t) =
+let drain_queue ?(reject_unservable = false) t (ctx : Entity_state.t) =
   let items = Queue.length ctx.queue in
   for _ = 1 to items do
     let ((request, reply, qctx, deadline) as entry) = Queue.pop ctx.queue in
-    if Entity_state.participating ctx then
+    if Entity_state.parked ctx then
       (* A re-triggered instance started while draining: keep queueing
          (the causal queue window simply continues). *)
       Queue.push entry ctx.queue
@@ -296,8 +345,9 @@ let drain_queue t (ctx : Entity_state.t) =
     else if Des.Trace_context.is_none qctx then
       (* [drain:false] lets an unservable acquire re-trigger a reactive
          redistribution (subject to famine backoff) instead of being
-         rejected outright. *)
-      serve_local t ctx request reply ~drain:false
+         rejected outright; [reject_unservable] (a borrow that ended
+         short) forces the reject so a starved entity cannot loop. *)
+      serve_local t ctx request reply ~drain:reject_unservable
     else
       (* Serve under the parked request's own lineage, not whatever
          decision event triggered the drain. *)
@@ -312,7 +362,7 @@ let drain_queue t (ctx : Entity_state.t) =
                      site = t.site_id;
                      ts = now t;
                    }));
-          serve_local t ctx request reply ~drain:false)
+          serve_local t ctx request reply ~drain:reject_unservable)
   done
 
 (* Entry point for an acquire/release on a known entity: record demand,
@@ -321,23 +371,11 @@ let drain_queue t (ctx : Entity_state.t) =
 let accept_inner t (ctx : Entity_state.t) request reply =
   let record_and_dispatch ~net =
     Demand_tracker.record ctx.tracker ~amount:net;
-    if Entity_state.participating ctx then begin
-      Queue.push
-        (request, reply, Des.Engine.current_context t.engine,
-         effective_deadline t request)
-        ctx.queue;
-      (match Obs.Sink.tap t.obs with
-      | None -> ()
-      | Some sink ->
-          let trace = causal_trace t in
-          if trace >= 0 then
-            Obs.Causal.record sink.Obs.Sink.causal
-              (Obs.Causal.Enqueued
-                 { trace; site = t.site_id; label = "redistribution"; ts = now t }));
-      t.s_queued_peak <- max t.s_queued_peak (Queue.length ctx.queue);
-      ctx.queue_peak <- max ctx.queue_peak (Queue.length ctx.queue);
-      obs_queue_depth t (Queue.length ctx.queue)
-    end
+    if Entity_state.parked ctx then
+      let label =
+        if ctx.borrow <> None then "borrow" else "redistribution"
+      in
+      park t ctx request reply ~label
     else serve_local t ctx request reply ~drain:false
   in
   match request with

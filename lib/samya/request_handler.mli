@@ -23,6 +23,10 @@ type deps = {
   heat : Entity_state.t Entity_map.core -> Entity_state.t;
       (** materialise hot state for a cold entity that can no longer be
           served from its core ledger alone *)
+  controller : Controller.t option;
+      (** [Some] iff {!Config.Controller.enabled}: shortfalls dispatch to
+          the entity's current {!Mechanism} instead of the legacy
+          reactive-redistribution branch *)
 }
 
 type t
@@ -52,7 +56,7 @@ val accept :
     Overload shedding runs first, before any CPU occupancy or ledger
     movement: a request whose deadline has already passed, or an acquire
     arriving while the CoDel-style admission gate is in drop mode
-    ({!Config.t.admission_target_ms}), is answered
+    ({!Config.Admission.target_ms}), is answered
     {!Types.Rejected_deadline} synchronously. *)
 
 val accept_core :
@@ -68,11 +72,14 @@ val serve_local :
     instance ended) an unservable acquire is rejected rather than
     re-triggering. *)
 
-val drain_queue : t -> Entity_state.t -> unit
-(** Replay the queue after an instance ended; requests re-queue if a new
-    instance started meanwhile. Entries whose effective deadline passed
-    while parked are discarded with a cheap {!Types.Rejected_deadline}
-    instead of being replayed. *)
+val drain_queue : ?reject_unservable:bool -> t -> Entity_state.t -> unit
+(** Replay the queue after an engagement (instance or borrow) ended;
+    requests re-queue if a new one started meanwhile. Entries whose
+    effective deadline passed while parked are discarded with a cheap
+    {!Types.Rejected_deadline} instead of being replayed.
+    [reject_unservable] (default [false]) rejects acquires the pool
+    still cannot cover instead of letting them re-engage — used after a
+    borrow that ended short, so a starved entity cannot loop. *)
 
 val serve_read :
   t ->

@@ -6,6 +6,11 @@ type net_msg =
       (** a recovering site asks peers for decided values it may have
           missed while crashed *)
   | Recovery_reply of { entity : Types.entity; decisions : Protocol.value list }
+  | Borrow_request of { entity : Types.entity; needed : int }
+      (** the borrow mechanism asks a peer for [needed] tokens *)
+  | Borrow_grant of { entity : Types.entity; tokens : int }
+      (** the lender's answer; [tokens = 0] still advances the borrower's
+          conversation to its next peer *)
 
 type stats = {
   served_acquires : int;
@@ -18,6 +23,9 @@ type stats = {
   redistributions_aborted : int;
   proactive_triggers : int;
   reactive_triggers : int;
+  borrows : int;
+  borrow_tokens : int;
+  mechanism_switches : int;
 }
 
 (* The site is a thin coordinator: per-entity state lives in the
@@ -43,6 +51,9 @@ type t = {
   prediction : Prediction.t;
   handler : Request_handler.t;
   driver : Protocol_driver.t;
+  controller : Controller.t option;
+      (* Some iff [config.controller.enabled]: the adaptive contention
+         controller owning the per-entity mechanism choice *)
   heat : Entity_state.t Entity_map.core -> Entity_state.t;
   mutable fleet_gossip_armed : bool;
       (* the single site-level anti-entropy loop bulk registration arms
@@ -102,6 +113,49 @@ let handle_net t ~src msg =
                 | None -> t.heat core
               in
               Protocol_driver.apply_recovery t.driver ctx decisions)
+    | Borrow_request { entity; needed } ->
+        (* Lender side: grant from local headroom (shortfall plus a
+           quantum, never more than the pool), unless the ledger is
+           exposed to an engagement of our own. A zero grant is still
+           sent — the borrower needs the answer to walk to its next
+           peer. *)
+        let tokens =
+          match get_core t entity with
+          | None -> 0
+          | Some core ->
+              let lendable =
+                match core.Entity_map.hot with
+                | Some ctx -> not (Entity_state.parked ctx)
+                | None -> not core.Entity_map.exposed
+              in
+              if not lendable then 0
+              else begin
+                let g =
+                  Mechanism.grant_for
+                    ~quantum:
+                      t.config.Config.controller.Config.Controller.borrow_quantum
+                    ~tokens_left:core.Entity_map.tokens_left ~needed
+                in
+                core.Entity_map.tokens_left <- core.Entity_map.tokens_left - g;
+                g
+              end
+        in
+        Geonet.Network.send t.network ~src:t.site_id ~dst:src
+          (Borrow_grant { entity; tokens })
+    | Borrow_grant { entity; tokens } -> (
+        (* Borrower side: bank the tokens and advance the conversation. A
+           grant landing after the conversation died (patience fired, or
+           the controller is gone) still lands in the ledger —
+           conservation never depends on the conversation being alive. *)
+        match get_core t entity with
+        | None -> ()
+        | Some core -> (
+            match (core.Entity_map.hot, t.controller) with
+            | Some ctx, Some c ->
+                Mechanism.on_grant (Controller.borrow_deps c) ctx ~tokens
+            | _ ->
+                core.Entity_map.tokens_left <-
+                  core.Entity_map.tokens_left + tokens))
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -136,6 +190,10 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
   let now () = Des.Engine.now engine in
   let prediction = Prediction.create ~config ?forecaster () in
   let rpolicy = Redistribution_policy.create ~config in
+  (* Forward cell: the controller wraps the driver's trigger, but the
+     driver's outcome hook also feeds the controller. Broken by building
+     the driver first against this cell. *)
+  let controller_cell = ref None in
   let driver =
     Protocol_driver.create ~config ~engine ~site_id:id ~n_sites
       ~send:(fun ~entity ~dst msg ->
@@ -147,7 +205,10 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       ~refresh_wanted:(Prediction.refresh_wanted prediction)
       ~register_outcome:(fun ctx ~aborted ~satisfied ->
         Redistribution_policy.register_outcome rpolicy ctx ~now:(now ()) ~aborted
-          ~satisfied)
+          ~satisfied;
+        match !controller_cell with
+        | Some c -> Controller.note_redistribution_outcome c ctx ~aborted
+        | None -> ())
       ~on_event:
         (match on_protocol_event with
         | Some f -> fun entity event -> f ~entity event
@@ -169,6 +230,49 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
               (Durable_image.capture ctx));
         ctx
   in
+  let controller =
+    if config.Config.controller.Config.Controller.enabled then begin
+      let ctl_cfg = config.Config.controller in
+      (* Peers in proximity order (ties by index), self excluded — the
+         demarcation baseline's ask order. *)
+      let my_region = Geonet.Network.region_of network id in
+      let peers =
+        List.init n_sites Fun.id
+        |> List.filter (fun a -> a <> id)
+        |> List.sort (fun a b ->
+               compare
+                 ( Geonet.Region.one_way_ms my_region
+                     (Geonet.Network.region_of network a),
+                   a )
+                 ( Geonet.Region.one_way_ms my_region
+                     (Geonet.Network.region_of network b),
+                   b ))
+      in
+      let bdeps =
+        Mechanism.borrow_deps ~engine ~site_id:id ~peers
+          ~quantum:ctl_cfg.Config.Controller.borrow_quantum
+          ~patience_ms:ctl_cfg.Config.Controller.borrow_patience_ms
+          ~alive:(fun () -> !is_alive)
+          ~send:(fun ~dst ~entity ~needed ->
+            Geonet.Network.send network ~src:id ~dst
+              (Borrow_request { entity; needed }))
+          ?obs ()
+      in
+      let redistribute =
+        Mechanism.redistribute ~now
+          ~reactive_ok:(fun ctx ->
+            config.Config.redistribution_enabled
+            && Redistribution_policy.reactive_ok rpolicy ~now:(now ()) ctx)
+          ~reactive_wanted:(Prediction.reactive_wanted prediction)
+          ~trigger:(Protocol_driver.trigger driver)
+      in
+      Some
+        (Controller.create ~cfg:ctl_cfg ~engine ~site_id:id ?obs ~bdeps
+           ~redistribute ())
+    end
+    else None
+  in
+  controller_cell := controller;
   let handler =
     Request_handler.create ~config ~engine ~site_id:id ~n_sites ?obs
       {
@@ -189,9 +293,20 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
             Geonet.Network.broadcast network ~src:id (Read_query { entity; rid }));
         persist;
         heat;
+        controller;
       }
   in
   Protocol_driver.set_drain driver (Request_handler.drain_queue handler);
+  (match controller with
+  | Some c ->
+      (* An unsatisfied borrow drains in reject mode: serve what the
+         grants cover, reject the rest — a starved entity must not loop
+         straight back into another conversation. *)
+      Mechanism.set_borrow_drain (Controller.borrow_deps c)
+        (fun ctx ~satisfied ->
+          Request_handler.drain_queue ~reject_unservable:(not satisfied)
+            handler ctx)
+  | None -> ());
   Protocol_driver.set_resolve driver (Entity_map.find entities);
   Protocol_driver.set_heat driver heat;
   let t =
@@ -209,6 +324,7 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       prediction;
       handler;
       driver;
+      controller;
       heat;
       fleet_gossip_armed = false;
     }
@@ -342,6 +458,28 @@ let breaker_open t ~entity =
         ~now:(Des.Engine.now t.engine) ctx
   | None -> false
 
+let mechanism t ~entity =
+  match (t.controller, get_ctx t entity) with
+  | Some _, Some ctx -> Some ctx.Entity_state.ctl_mech
+  | _ -> None
+
+let mechanism_switches t =
+  match t.controller with Some c -> Controller.switches c | None -> 0
+
+let borrows t =
+  match t.controller with Some c -> Controller.borrows c | None -> 0
+
+let borrow_tokens t =
+  match t.controller with Some c -> Controller.borrow_tokens c | None -> 0
+
+let pin_policy t ~entity policy =
+  match t.controller with
+  | None -> invalid_arg "Site.pin_policy: controller disabled"
+  | Some c -> (
+      match get_core t entity with
+      | None -> invalid_arg "Site.pin_policy: unknown entity"
+      | Some core -> Controller.pin c (t.heat core) policy)
+
 let shed_deadline t = Request_handler.shed_deadline t.handler
 let shed_admission t = Request_handler.shed_admission t.handler
 let shed_queue_expired t = Request_handler.shed_queue_expired t.handler
@@ -434,4 +572,7 @@ let stats t =
     redistributions_aborted = proto.Avantan_core.led_aborted;
     proactive_triggers = Prediction.proactive_triggers t.prediction;
     reactive_triggers = Request_handler.reactive_triggers t.handler;
+    borrows = borrows t;
+    borrow_tokens = borrow_tokens t;
+    mechanism_switches = mechanism_switches t;
   }

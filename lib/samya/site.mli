@@ -25,6 +25,11 @@ type net_msg =
       (** a recovering site asks peers for decided values it may have
           missed while crashed *)
   | Recovery_reply of { entity : Types.entity; decisions : Protocol.value list }
+  | Borrow_request of { entity : Types.entity; needed : int }
+      (** the borrow mechanism asks a peer for [needed] tokens *)
+  | Borrow_grant of { entity : Types.entity; tokens : int }
+      (** the lender's answer; [tokens = 0] still advances the borrower's
+          conversation to its next peer *)
 
 type t
 
@@ -93,6 +98,25 @@ val breaker_trips : t -> entity:Types.entity -> int
 
 val breaker_open : t -> entity:Types.entity -> bool
 
+val mechanism : t -> entity:Types.entity -> Config.Controller.mechanism option
+(** The {!Mechanism} currently handling this entity's shortfalls;
+    [None] when the controller is disabled or the entity is cold. *)
+
+val mechanism_switches : t -> int
+(** Controller mechanism switches across all entities of this site. *)
+
+val borrows : t -> int
+(** Borrow conversations finished at this site (as borrower). *)
+
+val borrow_tokens : t -> int
+(** Tokens obtained through borrowing (as borrower). *)
+
+val pin_policy : t -> entity:Types.entity -> Config.Controller.policy -> unit
+(** Per-entity policy override (the org escalation topology): a static
+    pin freezes the entity on that mechanism, an adaptive pin re-enables
+    the state machine. Heats the entity. Raises [Invalid_argument] if the
+    controller is disabled or the entity unknown. *)
+
 val shed_deadline : t -> int
 (** Requests shed on arrival because their deadline had already passed. *)
 
@@ -150,6 +174,9 @@ type stats = {
   redistributions_aborted : int;
   proactive_triggers : int;
   reactive_triggers : int;
+  borrows : int;  (** borrow conversations finished (as borrower) *)
+  borrow_tokens : int;  (** tokens obtained through borrowing *)
+  mechanism_switches : int;  (** controller switches across entities *)
 }
 
 val stats : t -> stats

@@ -132,6 +132,64 @@ let flash_sale ~rng ~entity ~home ~n_clients ~base_rate_per_s ~spike_rate_per_s
   List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
   arr
 
+type ramp_phase = {
+  until_ms : float;  (** segment end (absolute); segments are contiguous *)
+  rate_per_s : float;
+  home_affinity : float;
+}
+
+let skew_ramp ~rng ~entity ~home ~n_clients ~phases () =
+  if n_clients < 1 then invalid_arg "Workload.skew_ramp: n_clients must be >= 1";
+  if home < 0 || home >= n_clients then
+    invalid_arg "Workload.skew_ramp: home outside [0, n_clients)";
+  if phases = [] then invalid_arg "Workload.skew_ramp: need at least one phase";
+  ignore
+    (List.fold_left
+       (fun prev p ->
+         if not (p.rate_per_s > 0.0) then
+           invalid_arg "Workload.skew_ramp: rates must be positive";
+         if p.home_affinity < 0.0 || p.home_affinity > 1.0 then
+           invalid_arg "Workload.skew_ramp: home_affinity outside [0, 1]";
+         if not (p.until_ms > prev) then
+           invalid_arg "Workload.skew_ramp: phase ends must be strictly ascending";
+         p.until_ms)
+       0.0 phases);
+  (* Piecewise-Poisson arrivals on one entity, each phase with its own
+     rate and locality: the contention-controller experiment ramps a key
+     from cold-and-uniform through moderate home skew into sustained
+     global pressure. Every arrival is a 1-token Acquire; releases come
+     back through the driver's grant-driven lifetimes. All phases draw
+     from the same rng, so the stream is one deterministic sequence. *)
+  let out = ref [] and count = ref 0 in
+  let t = ref 0.0 in
+  List.iter
+    (fun { until_ms; rate_per_s; home_affinity } ->
+      let rate = rate_per_s /. 1000.0 (* per ms *) in
+      let continue = ref true in
+      while !continue do
+        let next = !t +. Des.Rng.exponential rng ~rate in
+        if next > until_ms then begin
+          (* Restart the thinning clock at the boundary: the next phase's
+             first gap is drawn fresh at its own rate. *)
+          t := until_ms;
+          continue := false
+        end
+        else begin
+          t := next;
+          let site =
+            if Des.Rng.bool rng home_affinity then home
+            else Des.Rng.int rng n_clients
+          in
+          out := { time_ms = !t; site; kind = Acquire; amount = 1; entity } :: !out;
+          incr count
+        end
+      done)
+    phases;
+  let arr = Array.make !count { time_ms = 0.0; site = 0; kind = Read; amount = 0; entity = "" } in
+  (* The stream was generated in time order; reverse the accumulator. *)
+  List.iteri (fun i r -> arr.(!count - 1 - i) <- r) !out;
+  arr
+
 let merge streams =
   let arr = Array.concat streams in
   Array.sort compare_time arr;

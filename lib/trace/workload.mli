@@ -80,6 +80,29 @@ val flash_sale :
     [Invalid_argument] unless [0 <= start <= end <= duration], rates are
     positive and [home] is a valid client. *)
 
+type ramp_phase = {
+  until_ms : float;  (** segment end (absolute); segments are contiguous *)
+  rate_per_s : float;
+  home_affinity : float;
+}
+
+val skew_ramp :
+  rng:Des.Rng.t ->
+  entity:string ->
+  home:int ->
+  n_clients:int ->
+  phases:ramp_phase list ->
+  unit ->
+  request array
+(** Multi-phase single-entity stream (the contention-controller
+    experiment): piecewise-Poisson 1-token Acquires on [entity], each
+    phase with its own arrival rate and locality — an arrival issues from
+    [home] with that phase's [home_affinity], a uniform client otherwise.
+    Releases are left to the driver's grant-driven lifetimes.
+    Deterministic in [rng]; sorted by [time_ms]. Raises
+    [Invalid_argument] unless phase ends are strictly ascending, rates
+    positive, affinities in [0, 1] and [home] a valid client. *)
+
 val merge : request array list -> request array
 (** Stable time-ordered merge of per-site streams. *)
 

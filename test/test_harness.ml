@@ -105,7 +105,7 @@ let lab_read_ratio_applies () =
 
 let registry_ids_unique_and_complete () =
   let ids = Harness.Registry.ids () in
-  check int "fifteen experiments" 15 (List.length ids);
+  check int "sixteen experiments" 16 (List.length ids);
   check int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
   List.iter
     (fun id ->

@@ -18,4 +18,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);
       ("overload", Test_overload.suite);
+      ("controller", Test_controller.suite);
     ]

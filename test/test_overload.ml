@@ -45,18 +45,29 @@ let config_rejects_bad_overload_knobs () =
     (bad (fun c -> { c with Samya.Config.deadline_budget_ms = 0.0 }));
   check bool "deadline_budget_ms = nan" true
     (bad (fun c -> { c with Samya.Config.deadline_budget_ms = Float.nan }));
-  check bool "admission_target_ms = -1" true
-    (bad (fun c -> { c with Samya.Config.admission_target_ms = -1.0 }));
-  check bool "admission_target_ms = nan" true
-    (bad (fun c -> { c with Samya.Config.admission_target_ms = Float.nan }));
-  check bool "admission_interval_ms = 0" true
-    (bad (fun c -> { c with Samya.Config.admission_interval_ms = 0.0 }));
-  check bool "breaker_threshold = -1" true
-    (bad (fun c -> { c with Samya.Config.breaker_threshold = -1 }));
-  check bool "breaker_probe_ms = 0" true
-    (bad (fun c -> { c with Samya.Config.breaker_probe_ms = 0.0 }));
-  check bool "breaker_probe_ms = nan" true
-    (bad (fun c -> { c with Samya.Config.breaker_probe_ms = Float.nan }));
+  let adm c f =
+    { c with Samya.Config.admission = f c.Samya.Config.admission }
+  in
+  let brk c f = { c with Samya.Config.breaker = f c.Samya.Config.breaker } in
+  check bool "admission.target_ms = -1" true
+    (bad (fun c ->
+         adm c (fun a -> { a with Samya.Config.Admission.target_ms = -1.0 })));
+  check bool "admission.target_ms = nan" true
+    (bad (fun c ->
+         adm c (fun a ->
+             { a with Samya.Config.Admission.target_ms = Float.nan })));
+  check bool "admission.interval_ms = 0" true
+    (bad (fun c ->
+         adm c (fun a -> { a with Samya.Config.Admission.interval_ms = 0.0 })));
+  check bool "breaker.threshold = -1" true
+    (bad (fun c ->
+         brk c (fun b -> { b with Samya.Config.Breaker.threshold = -1 })));
+  check bool "breaker.probe_ms = 0" true
+    (bad (fun c ->
+         brk c (fun b -> { b with Samya.Config.Breaker.probe_ms = 0.0 })));
+  check bool "breaker.probe_ms = nan" true
+    (bad (fun c ->
+         brk c (fun b -> { b with Samya.Config.Breaker.probe_ms = Float.nan })));
   check bool "defaults validate" true
     (Samya.Config.validate Samya.Config.default = Ok ())
 
@@ -145,8 +156,8 @@ let admission_gate_sheds_and_recovers () =
           c with
           Samya.Config.prediction_enabled = false;
           local_processing_ms = 1.0;
-          admission_target_ms = 5.0;
-          admission_interval_ms = 20.0;
+          admission =
+            { Samya.Config.Admission.target_ms = 5.0; interval_ms = 20.0 };
         })
       ()
   in
@@ -185,8 +196,7 @@ let breaker_opens_and_reprobes () =
           c with
           Samya.Config.prediction_enabled = false;
           redistribution_cooldown_ms = 500.0;
-          breaker_threshold = 2;
-          breaker_probe_ms = 3_000.0;
+          breaker = { Samya.Config.Breaker.threshold = 2; probe_ms = 3_000.0 };
         })
       ()
   in
@@ -565,10 +575,9 @@ let conservation_under_shedding_random () =
           local_processing_ms = 0.5;
           redistribution_cooldown_ms = 500.0;
           deadline_budget_ms = 400.0;
-          admission_target_ms = 20.0;
-          admission_interval_ms = 50.0;
-          breaker_threshold = 2;
-          breaker_probe_ms = 1_000.0;
+          admission =
+            { Samya.Config.Admission.target_ms = 20.0; interval_ms = 50.0 };
+          breaker = { Samya.Config.Breaker.threshold = 2; probe_ms = 1_000.0 };
         }
       in
       let cluster =
@@ -642,7 +651,11 @@ let accept_minor_words ~admission =
      one float compare, not an allocation. *)
   let config =
     if admission then
-      { Samya.Config.default with Samya.Config.admission_target_ms = 1.0e9 }
+      {
+        Samya.Config.default with
+        Samya.Config.admission =
+          { Samya.Config.Admission.default with target_ms = 1.0e9 };
+      }
     else Samya.Config.default
   in
   let cluster = Samya.Cluster.create ~seed:11L ~config ~regions:(regions ()) () in
