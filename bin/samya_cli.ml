@@ -7,6 +7,7 @@
    samya-cli trace headline [--quick] -- export a Chrome trace of a run
    samya-cli explain headline         -- critical-path latency attribution
    samya-cli slo headline [--out F]   -- online SLO report (samya-slo/1)
+   samya-cli report headline          -- self-contained HTML/md run report
    samya-cli perf-gate --baseline ... -- CI micro-bench regression gate
    samya-cli workload [--days N]      -- inspect the synthetic Azure trace
    samya-cli demo [--star]            -- drive a small cluster end to end
@@ -243,6 +244,7 @@ let () =
             Cli.Trace_cmd.cmd;
             Cli.Explain_cmd.cmd;
             Cli.Slo_cmd.cmd;
+            Cli.Report_cmd.cmd;
             Cli.Perf_gate_cmd.cmd;
             workload_cmd;
             demo_cmd;

@@ -125,3 +125,10 @@ let write_file ~path contents =
   let channel = open_out path in
   output_string channel contents;
   close_out channel
+
+(* One spelling for "wrote an artifact": every exporting subcommand
+   (trace/explain/slo/report) writes the file and confirms on stderr, so
+   stdout stays grep-clean for the summaries. *)
+let emit ~what ~path contents =
+  write_file ~path contents;
+  Format.eprintf "%s: %s@." what path

@@ -43,3 +43,8 @@ val with_captures :
     errors and returns exit code 2 for them. *)
 
 val write_file : path:string -> string -> unit
+
+val emit : what:string -> path:string -> string -> unit
+(** [write_file] plus the one-line "[what]: [path]" confirmation on
+    stderr — the shared artifact-export epilogue of
+    [trace]/[explain]/[slo]/[report]. *)

@@ -5,10 +5,16 @@
 
 open Cmdliner
 
-let run experiment quick jobs slowest by_mechanism =
+let run experiment quick jobs slowest by_mechanism out =
   Args.with_captures ~banner:"explain" ~experiment ~quick ~jobs (fun captures ->
       Harness.Exp_trace.explain Format.std_formatter ~by_mechanism ~slowest
         captures;
+      Option.iter
+        (fun path ->
+          Args.emit ~what:"explain report" ~path
+            (Format.asprintf "%t" (fun fmt ->
+                 Harness.Exp_trace.explain fmt ~by_mechanism ~slowest captures)))
+        out;
       0)
 
 let cmd =
@@ -26,6 +32,7 @@ let cmd =
             "Additionally fold the attribution by token-movement mechanism \
              (borrow / redistribute / controller) and serving layer.")
   in
+  let out = Args.out_path "Also write the rendered attribution to $(docv)." in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -35,4 +42,4 @@ let cmd =
           any --jobs level.")
     Term.(
       const run $ Args.traceable_experiment $ Args.quick $ Args.jobs $ slowest
-      $ by_mechanism)
+      $ by_mechanism $ out)

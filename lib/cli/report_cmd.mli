@@ -1,0 +1,5 @@
+val cmd : int Cmdliner.Cmd.t
+(** [samya_cli report EXPERIMENT [--format html|md] [--out PATH]]: the
+    self-contained run report (outcome, throughput, SLO verdict,
+    mechanism attribution, hot keys, watchdog incidents and the first
+    black-box bundle) for every system of a traceable experiment. *)

@@ -1,3 +1,4 @@
 val cmd : int Cmdliner.Cmd.t
-(** [samya_cli slo EXPERIMENT [--out PATH] [--strict]]: windowed SLO
-    report per system; [--out] writes the [samya-slo/1] document. *)
+(** [samya_cli slo EXPERIMENT [--out PATH] [--no-fail]]: windowed SLO
+    report per system; [--out] writes the [samya-slo/1] document. Exits
+    1 when any objective is violated unless [--no-fail] is given. *)

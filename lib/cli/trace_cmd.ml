@@ -10,11 +10,10 @@ let run experiment quick jobs out metrics_out =
       Harness.Exp_trace.summary Format.std_formatter captures;
       (match metrics_out with
       | Some path ->
-          Args.write_file ~path
+          Args.emit ~what:"metrics" ~path
             (Harness.Exp_trace.metrics_json
                ~meta:(Args.run_meta ~experiment ~quick)
-               captures);
-          Format.printf "metrics: %s@." path
+               captures)
       | None -> ());
       match Obs.Export.validate_trace trace with
       | Ok events ->

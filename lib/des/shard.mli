@@ -83,3 +83,9 @@ val current_engine : t -> Engine.t
 
 val in_window : t -> bool
 (** [true] while a window is draining. *)
+
+val set_barrier_hook : t -> (unit -> unit) -> unit
+(** Install a callback run on the coordinating domain after every
+    channel flush, between windows (no lane is draining). Used by the
+    flight recorder to drain per-lane rings; must not schedule events.
+    Last installation wins. *)

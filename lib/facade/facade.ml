@@ -39,6 +39,9 @@ type t = {
   heal : unit -> unit;
   stats : unit -> stats;
   subscribe : Obs.Sink.t -> unit;
+  arm : Obs.Flight_recorder.attachment -> unit;
+      (* always-on incident capture; a no-op on baselines, which have no
+         breaker/controller/shed machinery to record *)
   invariant : maximum:int -> (unit, string) result;
 }
 
@@ -344,6 +347,7 @@ let of_samya_cluster ?(name = "Samya") ~hooks ~regions ~entity cluster =
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i
               (Printf.sprintf "site %d (%s)" i (Geonet.Region.name region)))
           regions);
+    arm = (fun attachment -> Samya.Cluster.arm_flight cluster attachment);
     invariant =
       (fun ~maximum -> Samya.Cluster.check_invariant cluster ~entity ~maximum);
   }

@@ -82,6 +82,10 @@ type t = {
   subscribe : Obs.Sink.t -> unit;
       (** wire an observability sink through every layer of the system;
           call at most once, before driving load *)
+  arm : Obs.Flight_recorder.attachment -> unit;
+      (** arm the always-on incident layer (flight recorder + hot-key
+          sketch). Unlike [subscribe] this keeps parallel windows — lane
+          rings are single-writer. A no-op on baselines. *)
   invariant : maximum:int -> (unit, string) result;
 }
 

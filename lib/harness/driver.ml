@@ -37,6 +37,9 @@ type spec = {
   slo : Obs.Slo.t option;
       (* when set, every counted reply feeds the online SLO monitor:
          commits with their latency, rejections/unavailables as aborts *)
+  flight : Obs.Flight_recorder.t option;
+      (* when set (with [slo]), SLO window breaches are recorded into
+         lane -1 of the recorder so the watchdog can trigger on them *)
   track_entities : bool;
       (* when set, counted replies of entity-named requests additionally
          accumulate per-entity outcome counts and latency sums (the
@@ -68,6 +71,7 @@ let default_spec ~client_regions ~requests ~duration_ms =
     grant_driven_release_ms = None;
     obs = None;
     slo = None;
+    flight = None;
     track_entities = false;
     retry = None;
     deadline_budget_ms = infinity;
@@ -364,6 +368,25 @@ let run ~(t_system : Systems.facade) spec =
             i_retry = Obs.Metrics.counter m "driver.retries";
           }
   in
+  (* SLO window breaches feed the flight recorder's driver lane (-1).
+     The stamp is the window's nominal end, in absolute virtual time —
+     identical whether breaches surface online (single-slot feed) or
+     from the deterministic post-run replay of a sharded run. *)
+  (match (spec.slo, spec.flight) with
+  | Some slo, Some recorder ->
+      Obs.Slo.on_violation slo
+        (fun ~name ~window_start_ms ~window_end_ms ~value ~target ->
+          let render v =
+            if target < 1.0 then Printf.sprintf "%.4f" v
+            else Printf.sprintf "%.1f ms" v
+          in
+          Obs.Flight_recorder.record recorder ~lane:(-1)
+            ~ts:(t0 +. window_end_ms) ~kind:Obs.Flight_recorder.Slo_breach
+            ~entity:name
+            (Printf.sprintf "window [%.0f s, %.0f s): %s > target %s"
+               (window_start_ms /. 1000.0) (window_end_ms /. 1000.0)
+               (render value) (render target)))
+  | _ -> ());
   (* Failure schedule: crash/partition/heal actions mutate state every
      lane reads, so on a sharded system they run at window barriers. *)
   List.iter
@@ -757,6 +780,10 @@ let run ~(t_system : Systems.facade) spec =
           else Obs.Slo.abort ~cls:(cls_name tag) slo ~now_ms:t)
         arr
   | _ -> ());
+  (* Close the final partial SLO window now, so its breaches reach the
+     flight recorder before anyone dumps it; the eventual [report] call
+     then finds an empty window and counts nothing twice. *)
+  (match spec.slo with Some slo -> Obs.Slo.flush slo | None -> ());
   acc_result acc ~duration_ms:spec.duration_ms
 
 let average_tps (result : result) =

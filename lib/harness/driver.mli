@@ -63,6 +63,12 @@ type spec = {
           sharded system events buffer per client and replay in merged
           (time, client) order after the run, so the report is identical
           at every [--engine-jobs] setting (default [None]) *)
+  flight : Obs.Flight_recorder.t option;
+      (** when set alongside [slo], each violated objective is recorded
+          into lane -1 of the recorder as the window closes, stamped with
+          the window's nominal end in absolute virtual time — the same
+          (ts, seq) stream whether breaches surface online or from the
+          sharded post-run replay (default [None]) *)
   track_entities : bool;
       (** when set, counted replies of entity-named requests (the stream's
           [entity <> ""]) additionally accumulate per-entity outcome counts

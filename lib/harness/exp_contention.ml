@@ -158,6 +158,9 @@ type capture = {
   result : Driver.result;
   stats : Systems.stats;
   final_mechanism : string;  (* the home site's mechanism at the end *)
+  flight : Obs.Flight_recorder.t;  (* always-on black box *)
+  hot : Obs.Heavy_hitters.Windowed.w;  (* request-path hot-key sketch *)
+  incidents : Obs.Watchdog.incident list;
 }
 
 let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
@@ -188,6 +191,11 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
     end
     else None
   in
+  (* The always-on incident layer: mechanism switches land in the
+     recorder, so the watchdog's flap rule watches the controller. *)
+  let flight = Obs.Flight_recorder.create () in
+  let hot = Obs.Heavy_hitters.Windowed.create ~k:8 ~window_ms:2_000.0 () in
+  t_system.Systems.arm { Obs.Flight_recorder.recorder = flight; hot = Some hot };
   let slo = Obs.Slo.create ~window_ms:2_000.0 () in
   let requests = requests ~scale:s in
   let spec =
@@ -200,6 +208,7 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
       grant_driven_release_ms = Some s.hold_ms;
       obs = sink;
       slo = Some slo;
+      flight = Some flight;
       phases = boundaries ~scale:s;
     }
   in
@@ -217,6 +226,9 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
       (match Samya.Site.mechanism (Samya.Cluster.site cluster home) ~entity with
       | Some m -> Samya.Config.Controller.mechanism_name m
       | None -> "-");
+    flight;
+    hot;
+    incidents = Obs.Watchdog.detect (Obs.Flight_recorder.events flight);
   }
 
 (* Per-phase view: committed txn/s over the phase's wall time, p99 of
@@ -409,4 +421,32 @@ let run _ctx ~quick fmt =
       | Error reason ->
           Format.fprintf fmt "token conservation (%s): VIOLATED: %s@."
             c.arm.a_label reason)
-    captures
+    captures;
+  (* The adaptive arm's controller decisions, straight from the black
+     box: when it switched, from what, to what — the attribution a
+     post-incident review starts from. *)
+  (match List.find_opt (fun c -> c.arm.a_id = "adaptive") captures with
+  | None -> ()
+  | Some c ->
+      let switches =
+        List.filter
+          (fun (ev : Obs.Flight_recorder.event) ->
+            ev.Obs.Flight_recorder.kind = Obs.Flight_recorder.Mech)
+          (Obs.Flight_recorder.events c.flight)
+      in
+      Format.fprintf fmt "@.mechanism timeline (adaptive, flight recorder):@.";
+      List.iter
+        (fun ev -> Format.fprintf fmt "  %s@." (Obs.Flight_recorder.line ev))
+        switches;
+      let by_rule =
+        match Obs.Watchdog.count_by_rule c.incidents with
+        | [] -> "none"
+        | pairs ->
+            String.concat ", "
+              (List.map (fun (r, n) -> Printf.sprintf "%s %d" r n) pairs)
+      in
+      Format.fprintf fmt
+        "flight recorder: %d events recorded (%d dropped), watchdog incidents: %d (%s)@."
+        (Obs.Flight_recorder.recorded c.flight)
+        (Obs.Flight_recorder.dropped c.flight)
+        (List.length c.incidents) by_rule)

@@ -47,6 +47,10 @@ type capture = {
   result : Driver.result;
   stats : Systems.stats;
   final_mechanism : string;  (** the home site's mechanism at the end *)
+  flight : Obs.Flight_recorder.t;  (** the always-on black box *)
+  hot : Obs.Heavy_hitters.Windowed.w;  (** request-path hot-key sketch *)
+  incidents : Obs.Watchdog.incident list;
+      (** watchdog verdict over the recorder dump, default rules *)
 }
 
 val capture :

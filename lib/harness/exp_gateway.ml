@@ -125,6 +125,11 @@ type capture = {
   result : Driver.result;
   hot : int;
   stats : Systems.stats;
+  flight : Obs.Flight_recorder.t;  (* always-on black box *)
+  hotkeys : Obs.Heavy_hitters.Windowed.w;
+      (* request-path Misra-Gries sketch: gateway-scale hot-key telemetry
+         without per-key driver attribution *)
+  incidents : Obs.Watchdog.incident list;
 }
 
 let capture ?engine_jobs ?(observe = false) ~quick () =
@@ -142,6 +147,12 @@ let capture ?engine_jobs ?(observe = false) ~quick () =
     end
     else None
   in
+  (* The always-on incident layer: at a million keys the per-key driver
+     attribution is the expensive path — the sketch tracks the hot head
+     in O(k) from the request path itself. *)
+  let flight = Obs.Flight_recorder.create () in
+  let hotkeys = Obs.Heavy_hitters.Windowed.create ~k:16 ~window_ms:2_000.0 () in
+  t_system.Systems.arm { Obs.Flight_recorder.recorder = flight; hot = Some hotkeys };
   (* 2 s tumbling windows: the cold-start transient (shares chasing the
      home-skewed demand) lands in the first window or two and the
      steady-state windows show the converged fleet. *)
@@ -158,6 +169,7 @@ let capture ?engine_jobs ?(observe = false) ~quick () =
       grant_driven_release_ms = Some scale.hold_ms;
       obs = sink;
       slo = Some slo;
+      flight = Some flight;
       track_entities = true;
     }
   in
@@ -172,6 +184,9 @@ let capture ?engine_jobs ?(observe = false) ~quick () =
     result;
     hot = Samya.Cluster.hot_entities cluster;
     stats = t_system.Systems.stats ();
+    flight;
+    hotkeys;
+    incidents = Obs.Watchdog.detect (Obs.Flight_recorder.events flight);
   }
 
 (* Token conservation, key by key: Equation 1 against each key's own
@@ -267,6 +282,33 @@ let run _ctx ~quick fmt =
              Report.ms e.Driver.e_latency_max_ms;
            ])
          top);
+  (* The same hot head from the request-path sketch: what the incident
+     layer sees in O(k) space, cross-checked against the exact per-key
+     driver attribution above. The sketch counts every submitted request
+     (acquires, releases, reads, before shedding), so estimates sit above
+     the committed column; the Misra-Gries bound guarantees
+     estimate <= true <= estimate + err. *)
+  let sketch = Obs.Heavy_hitters.Windowed.cumulative c.hotkeys in
+  Report.table fmt
+    ~title:"hot-key telemetry (request-path Misra-Gries sketch, k=16)"
+    ~header:[ "key"; "estimate"; "+err"; "committed (exact)" ]
+    ~rows:
+      (List.map
+         (fun (key, est) ->
+           [
+             key;
+             string_of_int est;
+             string_of_int (Obs.Heavy_hitters.error sketch);
+             (match List.assoc_opt key r.Driver.by_entity with
+             | Some e -> string_of_int e.Driver.e_committed
+             | None -> "-");
+           ])
+         (Obs.Heavy_hitters.top ~n:8 sketch));
+  Format.fprintf fmt
+    "flight recorder: %d events recorded (%d dropped), watchdog incidents: %d@."
+    (Obs.Flight_recorder.recorded c.flight)
+    (Obs.Flight_recorder.dropped c.flight)
+    (List.length c.incidents);
   (* The samya-slo/1 report (rendered; `slo gateway --out` writes the JSON). *)
   let lines = Obs.Slo.report c.slo in
   Report.table fmt

@@ -34,6 +34,12 @@ type capture = {
   result : Driver.result;  (** includes the per-key [by_entity] stats *)
   hot : int;  (** materialised hot entities, summed over sites *)
   stats : Systems.stats;
+  flight : Obs.Flight_recorder.t;  (** the always-on black box *)
+  hotkeys : Obs.Heavy_hitters.Windowed.w;
+      (** request-path Misra-Gries sketch — the O(k) hot-key telemetry
+          that scales where per-key driver attribution cannot *)
+  incidents : Obs.Watchdog.incident list;
+      (** watchdog verdict over the recorder dump, default rules *)
 }
 
 val capture : ?engine_jobs:int -> ?observe:bool -> quick:bool -> unit -> capture

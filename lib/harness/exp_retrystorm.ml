@@ -2,9 +2,10 @@
 
    One flash sale on one entity: a 5-site cluster holds the "sale" quota
    while an open-loop stream runs at base rate, spikes to several times
-   the home site's CPU capacity for a few seconds, and — mid-spike — a
-   partition cuts the hot entity's home region off from every peer, so
-   redistribution aborts while the queue grows. Four client populations
+   the home site's CPU capacity for a few seconds, and — just before the
+   sale opens — a partition cuts the hot entity's home region off from
+   every peer, so every redistribution the spike triggers aborts against
+   the dead links (tripping the circuit breaker) while the queue grows. Four client populations
    replay the identical stream: no retries, naive immediate retries,
    exponential backoff with jitter, and backoff against a cluster running
    the full overload-resilience stack (deadlines, the CoDel-style
@@ -45,7 +46,7 @@ let scale ~quick =
       spike_rate_per_s = 2_000.0;
       spike_start_ms = 10_000.0;
       spike_end_ms = 12_500.0;
-      partition_at_ms = 10_500.0;
+      partition_at_ms = 9_800.0;
       partition_heal_ms = 14_000.0;
       duration_ms = 30_000.0;
       hold_ms = 1_000.0;
@@ -60,7 +61,7 @@ let scale ~quick =
       spike_rate_per_s = 2_000.0;
       spike_start_ms = 20_000.0;
       spike_end_ms = 25_000.0;
-      partition_at_ms = 21_000.0;
+      partition_at_ms = 19_800.0;
       partition_heal_ms = 27_000.0;
       duration_ms = 60_000.0;
       hold_ms = 1_000.0;
@@ -151,7 +152,7 @@ let config ~scale:s ~admission =
       Samya.Config.deadline_budget_ms = s.timeout_ms;
       admission =
         { Samya.Config.Admission.target_ms = 50.0; interval_ms = 100.0 };
-      breaker = { Samya.Config.Breaker.threshold = 3; probe_ms = 2_000.0 };
+      breaker = { Samya.Config.Breaker.threshold = 2; probe_ms = 2_000.0 };
     }
   else base
 
@@ -195,6 +196,9 @@ type capture = {
   shed_expired : int;  (* queue entries expired while parked *)
   queue_peak : int;  (* per-entity queue high-water mark, max over sites *)
   breaker_trips : int;  (* circuit-breaker openings, summed over sites *)
+  flight : Obs.Flight_recorder.t;  (* always-on black box *)
+  hot : Obs.Heavy_hitters.Windowed.w;
+  incidents : Obs.Watchdog.incident list;
 }
 
 let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
@@ -210,6 +214,11 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
     end
     else None
   in
+  (* The always-on incident layer: every arm flies with the recorder and
+     the request-path hot-key sketch armed. *)
+  let flight = Obs.Flight_recorder.create () in
+  let hot = Obs.Heavy_hitters.Windowed.create ~k:8 ~window_ms:2_000.0 () in
+  t_system.Systems.arm { Obs.Flight_recorder.recorder = flight; hot = Some hot };
   (* 2 s windows resolve the spike, the outage and the recovery ramp. *)
   let slo = Obs.Slo.create ~window_ms:2_000.0 () in
   let requests = requests ~scale:s in
@@ -248,12 +257,22 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
       grant_driven_release_ms = Some s.hold_ms;
       obs = sink;
       slo = Some slo;
+      flight = Some flight;
       track_entities = true;
       retry = arm.a_retry;
       deadline_budget_ms = (if arm.a_admission then s.timeout_ms else infinity);
     }
   in
   let result = Driver.run ~t_system spec in
+  (* Auditor failures become recorder events too, so the watchdog's
+     invariant rule sees them. (The figure re-checks and prints below.) *)
+  (match Samya.Cluster.check_invariant cluster ~entity ~maximum:s.quota with
+  | Ok () -> ()
+  | Error reason ->
+      Obs.Flight_recorder.record flight ~lane:(-1)
+        ~ts:(Samya.Cluster.now cluster) ~kind:Obs.Flight_recorder.Invariant
+        ~entity reason);
+  let incidents = Obs.Watchdog.detect (Obs.Flight_recorder.events flight) in
   let sum f =
     Array.fold_left (fun acc site -> acc + f site) 0 (Samya.Cluster.sites cluster)
   in
@@ -276,6 +295,9 @@ let capture ?engine_jobs ?(observe = false) ~quick ~arm () =
     shed_expired = sum Samya.Site.shed_queue_expired;
     queue_peak = peak (fun site -> Samya.Site.queue_peak site ~entity);
     breaker_trips = sum (fun site -> Samya.Site.breaker_trips site ~entity);
+    flight;
+    hot;
+    incidents;
   }
 
 (* Mean committed throughput over [from_ms, until_ms), from the driver's
@@ -415,4 +437,73 @@ let run _ctx ~quick fmt =
       | Error reason ->
           Format.fprintf fmt "token conservation (%s): VIOLATED: %s@."
             c.arm.a_label reason)
-    captures
+    captures;
+  (* The always-on black box: what the watchdog caught without anyone
+     re-running the workload with tracing on. One bundle is materialised
+     for the resilient arm's first SLO breach — it names the breaching
+     window, and its context events carry the breaker trips and sheds of
+     the mid-spike partition. *)
+  Report.table fmt ~title:"incident watchdog (flight recorder, DESIGN.md S16)"
+    ~header:[ "clients"; "recorded"; "dropped"; "incidents"; "by rule" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           let by_rule =
+             match Obs.Watchdog.count_by_rule c.incidents with
+             | [] -> "-"
+             | counts ->
+                 String.concat ", "
+                   (List.map
+                      (fun (rule, n) -> Printf.sprintf "%s %d" rule n)
+                      counts)
+           in
+           [
+             c.arm.a_label;
+             string_of_int (Obs.Flight_recorder.recorded c.flight);
+             string_of_int (Obs.Flight_recorder.dropped c.flight);
+             string_of_int (List.length c.incidents);
+             by_rule;
+           ])
+         captures);
+  (match
+     List.find_opt (fun c -> c.arm.a_admission && c.arm.a_retry <> None) captures
+   with
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt "@.black box (%s):@." c.arm.a_label;
+      (match
+         List.find_opt (fun i -> i.Obs.Watchdog.i_rule = "slo-breach") c.incidents
+       with
+      | None -> Format.fprintf fmt "  no SLO breach captured@."
+      | Some incident ->
+          let bundle =
+            Obs.Watchdog.bundle ~hot:c.hot
+              (Obs.Flight_recorder.events c.flight)
+              incident
+          in
+          Format.fprintf fmt "  trigger: %s@." (Obs.Watchdog.incident_line incident);
+          Format.fprintf fmt "  recent events at trigger:@.";
+          List.iter
+            (fun ev -> Format.fprintf fmt "    %s@." (Obs.Flight_recorder.line ev))
+            bundle.Obs.Watchdog.b_events;
+          let window =
+            match bundle.Obs.Watchdog.b_hot_window with
+            | Some start ->
+                Printf.sprintf "window [%.0f s, %.0f s)" (start /. 1000.0)
+                  ((start +. 2_000.0) /. 1000.0)
+            | None -> "whole run"
+          in
+          Format.fprintf fmt "  hot keys in %s:%s@." window
+            (String.concat ""
+               (List.map
+                  (fun (key, n) -> Printf.sprintf "  %s %d" key n)
+                  bundle.Obs.Watchdog.b_hot)));
+      (match
+         List.find_opt
+           (fun i -> i.Obs.Watchdog.i_rule = "breaker-trip")
+           c.incidents
+       with
+      | None -> ()
+      | Some trip ->
+          Format.fprintf fmt "  first breaker trip: %s@."
+            (Obs.Watchdog.incident_line trip)))

@@ -1,7 +1,9 @@
 (** The retry-storm scenario — the overload-resilience headline.
 
     A flash sale spikes one entity's demand past its home site's CPU
-    capacity while a partition cuts the home region off mid-spike. Four
+    capacity just after a partition cuts the home region off from its
+    peers, so redistribution aborts repeatedly and the circuit breaker
+    trips mid-storm. Four
     client populations replay the identical stream — no retries, naive
     immediate retries, exponential backoff with jitter, and backoff
     against the full overload-resilience stack (deadline propagation,
@@ -54,6 +56,11 @@ type capture = {
   shed_expired : int;
   queue_peak : int;
   breaker_trips : int;
+  flight : Obs.Flight_recorder.t;
+      (** the always-on black box (armed for every arm) *)
+  hot : Obs.Heavy_hitters.Windowed.w;  (** request-path hot-key sketch *)
+  incidents : Obs.Watchdog.incident list;
+      (** watchdog verdict over the recorder dump, default rules *)
 }
 
 val capture :

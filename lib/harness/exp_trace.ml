@@ -4,6 +4,9 @@ type capture = {
   slo : Obs.Slo.t;
   result : Driver.result;
   stats : Systems.stats;
+  flight : Obs.Flight_recorder.t;
+  hot : Obs.Heavy_hitters.Windowed.w;
+  incidents : Obs.Watchdog.incident list;
 }
 
 (* Accept the registry spellings of the headline run too. *)
@@ -58,6 +61,11 @@ let capture ctx ~quick ~builders =
         Obs.Sink.create ~now:(fun () -> Des.Engine.now t_system.Systems.engine) ()
       in
       t_system.Systems.subscribe sink;
+      (* The always-on incident layer rides along, so `report` renders
+         the black box for every traceable system (no-op on baselines). *)
+      let flight = Obs.Flight_recorder.create () in
+      let hot = Obs.Heavy_hitters.Windowed.create ~k:8 ~window_ms:10_000.0 () in
+      t_system.Systems.arm { Obs.Flight_recorder.recorder = flight; hot = Some hot };
       let slo = Obs.Slo.create () in
       let spec =
         {
@@ -65,10 +73,20 @@ let capture ctx ~quick ~builders =
           drain_ms = 10_000.0;
           obs = Some sink;
           slo = Some slo;
+          flight = Some flight;
         }
       in
       let result = Driver.run ~t_system spec in
-      { label; sink; slo; result; stats = t_system.Systems.stats () })
+      {
+        label;
+        sink;
+        slo;
+        result;
+        stats = t_system.Systems.stats ();
+        flight;
+        hot;
+        incidents = Obs.Watchdog.detect (Obs.Flight_recorder.events flight);
+      })
     builders
 
 let run ctx ~quick ~experiment =
@@ -84,6 +102,9 @@ let run ctx ~quick ~experiment =
           slo = g.Exp_gateway.slo;
           result = g.Exp_gateway.result;
           stats = g.Exp_gateway.stats;
+          flight = g.Exp_gateway.flight;
+          hot = g.Exp_gateway.hotkeys;
+          incidents = g.Exp_gateway.incidents;
         };
       ]
   end
@@ -105,6 +126,9 @@ let run ctx ~quick ~experiment =
           slo = c.Exp_retrystorm.slo;
           result = c.Exp_retrystorm.result;
           stats = c.Exp_retrystorm.stats;
+          flight = c.Exp_retrystorm.flight;
+          hot = c.Exp_retrystorm.hot;
+          incidents = c.Exp_retrystorm.incidents;
         };
       ]
   end
@@ -126,6 +150,9 @@ let run ctx ~quick ~experiment =
           slo = c.Exp_contention.slo;
           result = c.Exp_contention.result;
           stats = c.Exp_contention.stats;
+          flight = c.Exp_contention.flight;
+          hot = c.Exp_contention.hot;
+          incidents = c.Exp_contention.incidents;
         };
       ]
   end

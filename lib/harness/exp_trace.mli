@@ -15,6 +15,10 @@ type capture = {
   slo : Obs.Slo.t;
   result : Driver.result;
   stats : Systems.stats;
+  flight : Obs.Flight_recorder.t;  (** the always-on black box *)
+  hot : Obs.Heavy_hitters.Windowed.w;  (** request-path hot-key sketch *)
+  incidents : Obs.Watchdog.incident list;
+      (** watchdog verdict over the recorder dump, default rules *)
 }
 
 val experiments : string list

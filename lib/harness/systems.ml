@@ -42,6 +42,7 @@ type facade = Facade.t = {
   heal : unit -> unit;
   stats : unit -> stats;
   subscribe : Obs.Sink.t -> unit;
+  arm : Obs.Flight_recorder.attachment -> unit;
   invariant : maximum:int -> (unit, string) result;
 }
 
@@ -126,6 +127,8 @@ let baseline ?(borrows = fun () -> 0) ~name ~engine ~regions ~entity ~submit
             Obs.Span.thread_name sink.Obs.Sink.spans ~tid:i
               (Printf.sprintf "site %d (%s)" i (Geonet.Region.name region)))
           regions);
+    (* Baselines have no breaker/controller/shed machinery to record. *)
+    arm = (fun (_ : Obs.Flight_recorder.attachment) -> ());
     invariant;
   }
 

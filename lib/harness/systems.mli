@@ -54,6 +54,9 @@ type facade = Facade.t = {
   subscribe : Obs.Sink.t -> unit;
       (** wire an observability sink through every layer; call at most
           once, before driving load *)
+  arm : Obs.Flight_recorder.attachment -> unit;
+      (** arm the always-on incident layer (flight recorder + hot-key
+          sketch) without forcing sequential windows; no-op on baselines *)
   invariant : maximum:int -> (unit, string) result;
 }
 

@@ -1,0 +1,201 @@
+(* Misra-Gries heavy-hitters sketch over entity ids.
+
+   The classic streaming top-k summary: at most [k] keys are tracked; an
+   arrival of an untracked key while the table is full decrements every
+   tracked counter instead (the batch form decrements by [min n m] where
+   [m] is the smallest tracked count, then inserts the remainder). The
+   total decrement depth is the sketch's one-sided error bound:
+
+     estimate(key) <= true_count(key) <= estimate(key) + error
+
+   where [estimate] is 0 for untracked keys.
+
+   [merge] deliberately does NOT re-compress to [k] entries: it is the
+   exact pointwise sum of counts plus the sum of error terms. That makes
+   the merge algebra honest — commutative, associative, and lossless on
+   disjoint key sets — which the qcheck suite verifies literally, and
+   callers re-rank with [top] anyway. Sketches merged across many lanes
+   can therefore hold more than [k] keys; [k] only bounds what each lane
+   tracks online. *)
+
+type t = {
+  k : int;
+  counts : (string, int ref) Hashtbl.t;
+  mutable decrements : int;
+  mutable total : int;
+}
+
+let create ~k () =
+  if k <= 0 then invalid_arg "Heavy_hitters.create: k must be positive";
+  { k; counts = Hashtbl.create (2 * k); decrements = 0; total = 0 }
+
+let copy t =
+  let counts = Hashtbl.create (2 * t.k) in
+  Hashtbl.iter (fun key r -> Hashtbl.add counts key (ref !r)) t.counts;
+  { k = t.k; counts; decrements = t.decrements; total = t.total }
+
+let min_tracked t =
+  Hashtbl.fold (fun _ r acc -> min !r acc) t.counts max_int
+
+let observe ?(count = 1) t key =
+  if count > 0 then begin
+    t.total <- t.total + count;
+    match Hashtbl.find_opt t.counts key with
+    | Some r -> r := !r + count
+    | None ->
+        if Hashtbl.length t.counts < t.k then
+          Hashtbl.add t.counts key (ref count)
+        else begin
+          (* Table full: absorb as much of the batch as the smallest
+             tracked count allows, decrementing everyone in lockstep. *)
+          let d = min count (min_tracked t) in
+          let zeroed = ref [] in
+          Hashtbl.iter
+            (fun key r ->
+              r := !r - d;
+              if !r = 0 then zeroed := key :: !zeroed)
+            t.counts;
+          List.iter (fun key -> Hashtbl.remove t.counts key) !zeroed;
+          t.decrements <- t.decrements + d;
+          let rest = count - d in
+          if rest > 0 then Hashtbl.add t.counts key (ref rest)
+        end
+  end
+
+let merge a b =
+  let m = copy a in
+  Hashtbl.iter
+    (fun key r ->
+      match Hashtbl.find_opt m.counts key with
+      | Some r' -> r' := !r' + !r
+      | None -> Hashtbl.add m.counts key (ref !r))
+    b.counts;
+  m.decrements <- a.decrements + b.decrements;
+  m.total <- a.total + b.total;
+  { m with k = max a.k b.k }
+
+let estimate t key =
+  match Hashtbl.find_opt t.counts key with Some r -> !r | None -> 0
+
+let error t = t.decrements
+let total t = t.total
+let tracked t = Hashtbl.length t.counts
+
+let top ?n t =
+  let all = Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.counts [] in
+  let sorted =
+    List.sort
+      (fun (ka, ca) (kb, cb) ->
+        if ca <> cb then compare cb ca else String.compare ka kb)
+      all
+  in
+  match n with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+(* Canonical value for structural comparison in tests. *)
+let dump t = (t.k, t.decrements, t.total, top t)
+
+(* Tumbling windows, sharded by engine lane.
+
+   Each lane writes only its own slot (no cross-domain sharing), and
+   every read-side view merges the lanes in lane order — so the merged
+   result is identical whether the run used 0, 1 or N worker domains.
+   Window starts are aligned to multiples of [window_ms] of virtual
+   time, which every lane computes identically from its own clock. *)
+module Windowed = struct
+  let create_sketch = create
+  let observe_sketch = observe
+
+  type lane_state = {
+    mutable cur : t option;
+    mutable cur_start : float;
+    mutable closed : (float * t) list; (* newest first *)
+  }
+
+  type w = {
+    wk : int;
+    window_ms : float;
+    mutable lanes : lane_state array; (* index lane+1; slot 0 = lane -1 *)
+  }
+
+  let create ~k ~window_ms () =
+    if not (window_ms > 0.0) then
+      invalid_arg "Heavy_hitters.Windowed.create: window_ms must be positive";
+    { wk = k; window_ms; lanes = [||] }
+
+  let fresh_lane () = { cur = None; cur_start = 0.0; closed = [] }
+
+  let lane_state w lane =
+    let idx = lane + 1 in
+    if idx < 0 then invalid_arg "Heavy_hitters.Windowed.observe: lane < -1";
+    let n = Array.length w.lanes in
+    if idx >= n then begin
+      let grown = Array.init (idx + 1) (fun _ -> fresh_lane ()) in
+      Array.blit w.lanes 0 grown 0 n;
+      w.lanes <- grown
+    end;
+    w.lanes.(idx)
+
+  let aligned w now_ms =
+    w.window_ms *. Float.of_int (int_of_float (now_ms /. w.window_ms))
+
+  let observe w ~lane ~now_ms key =
+    let ls = lane_state w lane in
+    (match ls.cur with
+    | Some cur when now_ms < ls.cur_start +. w.window_ms ->
+        observe_sketch cur key
+    | Some cur ->
+        ls.closed <- (ls.cur_start, cur) :: ls.closed;
+        let sk = create_sketch ~k:w.wk () in
+        observe_sketch sk key;
+        ls.cur <- Some sk;
+        ls.cur_start <- aligned w now_ms
+    | None ->
+        let sk = create_sketch ~k:w.wk () in
+        observe_sketch sk key;
+        ls.cur <- Some sk;
+        ls.cur_start <- aligned w now_ms)
+
+  (* All (start, sketch) pairs of one lane, oldest first. *)
+  let lane_windows ls =
+    let all =
+      match ls.cur with
+      | None -> ls.closed
+      | Some cur -> (ls.cur_start, cur) :: ls.closed
+    in
+    List.rev all
+
+  let windows w =
+    let merged = Hashtbl.create 16 in
+    let starts = ref [] in
+    Array.iter
+      (fun ls ->
+        List.iter
+          (fun (start, sk) ->
+            match Hashtbl.find_opt merged start with
+            | Some acc -> Hashtbl.replace merged start (merge acc sk)
+            | None ->
+                starts := start :: !starts;
+                Hashtbl.add merged start (copy sk))
+          (lane_windows ls))
+      w.lanes;
+    List.sort compare !starts
+    |> List.map (fun start -> (start, Hashtbl.find merged start))
+
+  let cumulative w =
+    let acc = ref (create_sketch ~k:w.wk ()) in
+    List.iter (fun (_, sk) -> acc := merge !acc sk) (windows w);
+    !acc
+
+  (* The merged window containing virtual time [ts], if any lane saw
+     traffic in it. *)
+  let at w ~ts =
+    let rec find = function
+      | [] -> None
+      | (start, sk) :: rest ->
+          if ts >= start && ts < start +. w.window_ms then Some (start, sk)
+          else find rest
+    in
+    find (windows w)
+end

@@ -32,6 +32,13 @@ type t = {
   abort_cls : (string, int ref) Hashtbl.t;
       (* cumulative abort counts by cause ("rejected", "shed",
          "timeout", ...) — attribution only, no objective reads them *)
+  mutable on_violation :
+    name:string ->
+    window_start_ms:float ->
+    window_end_ms:float ->
+    value:float ->
+    target:float ->
+    unit;
 }
 
 let create ?(window_ms = 10_000.0) ?(objectives = default_objectives) () =
@@ -52,7 +59,10 @@ let create ?(window_ms = 10_000.0) ?(objectives = default_objectives) () =
     violations = Array.make (Array.length objectives) 0;
     worst = Array.make (Array.length objectives) Float.nan;
     abort_cls = Hashtbl.create 8;
+    on_violation = (fun ~name:_ ~window_start_ms:_ ~window_end_ms:_ ~value:_ ~target:_ -> ());
   }
+
+let on_violation t hook = t.on_violation <- hook
 
 let window_ms t = t.window_ms
 
@@ -66,6 +76,15 @@ let close_window t =
   let requests = t.win_commits + t.win_aborts in
   if requests > 0 then begin
     t.windows <- t.windows + 1;
+    let violated i value target =
+      t.violations.(i) <- t.violations.(i) + 1;
+      let name =
+        match t.objectives.(i) with
+        | Latency { name; _ } | Abort_rate { name; _ } -> name
+      in
+      t.on_violation ~name ~window_start_ms:t.win_start
+        ~window_end_ms:(t.win_start +. t.window_ms) ~value ~target
+    in
     Array.iteri
       (fun i objective ->
         match objective with
@@ -73,12 +92,12 @@ let close_window t =
             if Quantile_sketch.count t.win > 0 then begin
               let v = Quantile_sketch.quantile t.win q in
               bump_worst t i v;
-              if v > target_ms then t.violations.(i) <- t.violations.(i) + 1
+              if v > target_ms then violated i v target_ms
             end
         | Abort_rate { max_rate; _ } ->
             let rate = float_of_int t.win_aborts /. float_of_int requests in
             bump_worst t i rate;
-            if rate > max_rate then t.violations.(i) <- t.violations.(i) + 1)
+            if rate > max_rate then violated i rate max_rate)
       t.objectives
   end;
   t.win <- Quantile_sketch.create ();
@@ -125,6 +144,8 @@ let abort ?cls t ~now_ms =
 let abort_classes t =
   Hashtbl.fold (fun cls r l -> (cls, !r) :: l) t.abort_cls []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let flush t = close_window t
 
 type report_line = {
   name : string;

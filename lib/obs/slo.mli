@@ -35,6 +35,25 @@ val abort : ?cls:string -> t -> now_ms:float -> unit
     "shed", "timeout", ...) for the breakdown below; it does not affect
     any objective. *)
 
+val on_violation :
+  t ->
+  (name:string ->
+  window_start_ms:float ->
+  window_end_ms:float ->
+  value:float ->
+  target:float ->
+  unit) ->
+  unit
+(** Install a breach hook, fired once per violated objective as each
+    window closes (including the final partial window at {!flush} /
+    {!report} time). Used to feed the flight recorder. *)
+
+val flush : t -> unit
+(** Close and evaluate the in-progress window without producing a
+    report — call when the run ends so breach hooks fire before the
+    recorder is dumped. A later {!report} sees an empty window and
+    counts nothing twice. *)
+
 val abort_classes : t -> (string * int) list
 (** Cumulative abort counts by cause, sorted by class name; only aborts
     fed with [~cls] appear. *)

@@ -19,39 +19,59 @@ type t = {
   network : Site.net_msg Geonet.Network.t;
   regions : Geonet.Region.t array;
   sites : Site.t array;
+  flight : Obs.Flight_recorder.port;
+      (* one port shared by every site (each writes to its own lane) and
+         by the cluster itself for fault events (lane -1) *)
 }
 
-let make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () =
+let make_sites ~config ~network ~regions ~flight ~node_lane ?forecaster
+    ?on_protocol_event ?obs () =
   Array.init (Array.length regions) (fun id ->
       let on_protocol_event =
         Option.map (fun f -> fun ~entity event -> f ~site:id ~entity event)
           on_protocol_event
       in
-      Site.create ~config ~network ~id ?forecaster ?on_protocol_event ?obs ())
+      Site.create ~config ~network ~id ?forecaster ?on_protocol_event ?obs
+        ~flight ~lane:node_lane.(id) ())
 
 let create ?(seed = 42L) ?(engine_jobs = 0) ~config ~regions ?forecaster
     ?(drop_probability = 0.0) ?on_protocol_event ?obs () =
   if Array.length regions = 0 then invalid_arg "Cluster.create: no regions";
   let node_lane, region_lane, lanes = Geonet.Region.lane_assignment regions in
+  (* Sites record into their *logical* lane's ring in every mode — a
+     jobs-0 run and a sharded one produce the same per-lane streams. *)
+  let flight = Obs.Flight_recorder.port () in
   if engine_jobs >= 1 && lanes >= 2 then begin
     let lookahead_ms = Geonet.Region.min_cross_one_way_ms () in
     let shard = Des.Shard.create ~seed ~workers:engine_jobs ~lanes ~lookahead_ms () in
     let network =
       Geonet.Network.create_sharded shard ~node_lane ~seed ~regions ~drop_probability ()
     in
-    let sites = make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () in
+    let sites =
+      make_sites ~config ~network ~regions ~flight ~node_lane ?forecaster
+        ?on_protocol_event ?obs ()
+    in
     (* Leg streams hang off reserved namespace 62 of the root seed — the
        network uses 63, lane engines use 0 .. lanes-1; none overlap. *)
     let root = Des.Rng.stream_seed seed 62 in
     let lane_leg_rngs = Array.init lanes (Des.Rng.stream root) in
-    { sched = Sharded { shard; region_lane; lane_leg_rngs }; network; regions; sites }
+    {
+      sched = Sharded { shard; region_lane; lane_leg_rngs };
+      network;
+      regions;
+      sites;
+      flight;
+    }
   end
   else begin
     let engine = Des.Engine.create ~seed () in
     let network = Geonet.Network.create engine ~regions ~drop_probability () in
-    let sites = make_sites ~config ~network ~regions ?forecaster ?on_protocol_event ?obs () in
+    let sites =
+      make_sites ~config ~network ~regions ~flight ~node_lane ?forecaster
+        ?on_protocol_event ?obs ()
+    in
     let sched = Single { engine; rng = Des.Rng.split (Des.Engine.rng engine) } in
-    { sched; network; regions; sites }
+    { sched; network; regions; sites; flight }
   end
 
 let engine t =
@@ -202,10 +222,50 @@ let submit t ~region request ~reply =
                 schedule_leg t ~from_lane:site_lane ~to_lane:client_lane ~delay_ms:back
                   (fun () -> reply response)))
 
-let crash_site t i = Site.crash t.sites.(i)
-let recover_site t i = Site.recover t.sites.(i)
-let partition t groups = Geonet.Network.set_partition t.network groups
-let heal t = Geonet.Network.clear_partition t.network
+(* Fault events land in lane -1: they are injected between windows (via
+   barrier-aligned globals on a sharded run), so stamping them from the
+   coordinating domain is race-free in every mode. *)
+let flight_fault t detail =
+  match Obs.Flight_recorder.tap t.flight with
+  | None -> ()
+  | Some a ->
+      Obs.Flight_recorder.record a.Obs.Flight_recorder.recorder ~lane:(-1)
+        ~ts:(now t) ~kind:Obs.Flight_recorder.Fault detail
+
+let crash_site t i =
+  flight_fault t (Printf.sprintf "crash site %d" i);
+  Site.crash t.sites.(i)
+
+let recover_site t i =
+  flight_fault t (Printf.sprintf "recover site %d" i);
+  Site.recover t.sites.(i)
+
+let partition t groups =
+  flight_fault t
+    (Printf.sprintf "partition {%s}"
+       (String.concat "|"
+          (List.map
+             (fun g -> String.concat "," (List.map string_of_int g))
+             groups)));
+  Geonet.Network.set_partition t.network groups
+
+let heal t =
+  flight_fault t "heal";
+  Geonet.Network.clear_partition t.network
+
+(* Arm the always-on incident layer: every site starts recording into
+   its lane's ring and feeding the attachment's hot-key sketch. Unlike an
+   observability subscription this does NOT force sequential windows —
+   lane rings are single-writer by construction. On a sharded run the
+   barrier hook drains lane rings into the recorder's global buffer to
+   bound per-lane memory; dumps are identical with or without it. *)
+let arm_flight t (attachment : Obs.Flight_recorder.attachment) =
+  Obs.Flight_recorder.attach t.flight attachment;
+  match t.sched with
+  | Single _ -> ()
+  | Sharded s ->
+      Des.Shard.set_barrier_hook s.shard (fun () ->
+          Obs.Flight_recorder.drain attachment.Obs.Flight_recorder.recorder)
 
 let total_tokens_left t ~entity =
   Array.fold_left (fun acc site -> acc + Site.tokens_left site ~entity) 0 t.sites

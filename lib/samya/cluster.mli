@@ -106,6 +106,15 @@ val recover_site : t -> int -> unit
 val partition : t -> int list list -> unit
 val heal : t -> unit
 
+val arm_flight : t -> Obs.Flight_recorder.attachment -> unit
+(** Arm the always-on incident layer: sites record protocol outcomes,
+    breaker trips, sheds and mechanism switches into per-lane rings, the
+    cluster records injected faults (lane -1), and the attachment's
+    hot-key sketch is fed from the request path. Does {e not} force
+    sequential windows — per-lane rings are single-writer, and on a
+    sharded run the barrier hook drains them into the recorder's global
+    buffer. Dumps are byte-identical at any [--engine-jobs]. *)
+
 val total_tokens_left : t -> entity:Types.entity -> int
 val total_acquired : t -> entity:Types.entity -> int
 

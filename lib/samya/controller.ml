@@ -5,6 +5,8 @@ type t = {
   engine : Des.Engine.t;
   site_id : int;
   obs : Obs.Sink.port;
+  flight : Obs.Flight_recorder.port;
+  lane : int;
   escrow : Mechanism.t;
   borrow : Mechanism.t;
   redistribute : Mechanism.t;
@@ -15,13 +17,16 @@ type t = {
 }
 
 let create ~(cfg : Config.Controller.t) ~engine ~site_id
-    ?(obs = Obs.Sink.port ()) ~bdeps ~redistribute () =
+    ?(obs = Obs.Sink.port ()) ?(flight = Obs.Flight_recorder.port ())
+    ?(lane = 0) ~bdeps ~redistribute () =
   let t =
     {
       cfg;
       engine;
       site_id;
       obs;
+      flight;
+      lane;
       escrow = Mechanism.escrow ();
       borrow = Mechanism.borrow bdeps;
       redistribute;
@@ -130,6 +135,13 @@ let switch t (ctx : Entity_state.t) ~now next =
     now +. t.cfg.Config.Controller.cooldown_ms;
   ctx.Entity_state.ctl_switches <- ctx.Entity_state.ctl_switches + 1;
   t.switches <- t.switches + 1;
+  (match Obs.Flight_recorder.tap t.flight with
+  | None -> ()
+  | Some a ->
+      Obs.Flight_recorder.record a.Obs.Flight_recorder.recorder ~lane:t.lane
+        ~ts:now ~kind:Obs.Flight_recorder.Mech ~site:t.site_id
+        ~entity:(Entity_state.entity ctx)
+        (Mechanism.kind_name prev ^ ">" ^ Mechanism.kind_name next));
   match Obs.Sink.tap t.obs with
   | None -> ()
   | Some sink ->

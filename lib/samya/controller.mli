@@ -33,13 +33,16 @@ val create :
   engine:Des.Engine.t ->
   site_id:int ->
   ?obs:Obs.Sink.port ->
+  ?flight:Obs.Flight_recorder.port ->
+  ?lane:int ->
   bdeps:Mechanism.borrow_deps ->
   redistribute:Mechanism.t ->
   unit ->
   t
 (** Builds the three mechanisms (escrow and borrow internally, the
     redistribute wrapper passed in) and installs the borrow outcome feed
-    on [bdeps]. *)
+    on [bdeps]. [flight]/[lane] route mechanism-switch events to the
+    always-on flight recorder when armed. *)
 
 val mechanism : t -> Entity_state.t -> Mechanism.t
 (** The mechanism currently handling this entity's shortfalls. *)

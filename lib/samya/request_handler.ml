@@ -40,6 +40,8 @@ type t = {
   n_sites : int;
   deps : deps;
   obs : Obs.Sink.port;
+  flight : Obs.Flight_recorder.port;
+  lane : int; (* hosting region's engine lane, for flight-recorder writes *)
   pending_reads : (int, read_ctx) Hashtbl.t;
   mutable next_rid : int;
   mutable busy_until : float;
@@ -69,7 +71,8 @@ type t = {
   mutable s_shed_expired : int;
 }
 
-let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
+let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ())
+    ?(flight = Obs.Flight_recorder.port ()) ?(lane = 0) deps =
   {
     config;
     engine;
@@ -77,6 +80,8 @@ let create ~config ~engine ~site_id ~n_sites ?(obs = Obs.Sink.port ()) deps =
     n_sites;
     deps;
     obs;
+    flight;
+    lane;
     pending_reads = Hashtbl.create 16;
     next_rid = 0;
     busy_until = 0.0;
@@ -122,6 +127,16 @@ let causal_trace t =
   if Des.Trace_context.is_none ctx then -1 else ctx.Des.Trace_context.trace
 
 let now t = Des.Engine.now t.engine
+
+(* Shed events feed the always-on flight recorder (when armed): the
+   watchdog's shed-burst rule reads them back. Disarmed cost: one load,
+   one branch. *)
+let flight_shed t ~entity why =
+  match Obs.Flight_recorder.tap t.flight with
+  | None -> ()
+  | Some a ->
+      Obs.Flight_recorder.record a.Obs.Flight_recorder.recorder ~lane:t.lane
+        ~ts:(now t) ~kind:Obs.Flight_recorder.Shed ~site:t.site_id ~entity why
 
 let served_acquires t = t.s_acquires
 let served_releases t = t.s_releases
@@ -171,12 +186,14 @@ let overload_shed t request reply =
   if Types.request_deadline request < now t then begin
     t.s_shed_deadline <- t.s_shed_deadline + 1;
     obs_incr t "samya.shed.deadline";
+    flight_shed t ~entity:(Types.request_entity request) "deadline";
     reply Types.Rejected_deadline;
     true
   end
   else if admission_shed t request then begin
     t.s_shed_admission <- t.s_shed_admission + 1;
     obs_incr t "samya.shed.admission";
+    flight_shed t ~entity:(Types.request_entity request) "admission";
     reply Types.Rejected_deadline;
     true
   end
@@ -329,6 +346,7 @@ let drain_queue ?(reject_unservable = false) t (ctx : Entity_state.t) =
          untouched. *)
       t.s_shed_expired <- t.s_shed_expired + 1;
       obs_incr t "samya.shed.queue_expired";
+      flight_shed t ~entity:(Types.request_entity request) "queue_expired";
       (match Obs.Sink.tap t.obs with
       | None -> ()
       | Some sink ->
@@ -530,6 +548,7 @@ let serve_read t ?(deadline_ms = infinity) ~entity ~own reply =
     (* Dead on arrival: same cheap refusal as the write path. *)
     t.s_shed_deadline <- t.s_shed_deadline + 1;
     obs_incr t "samya.shed.deadline";
+    flight_shed t ~entity "deadline";
     reply Types.Rejected_deadline
   end
   else

@@ -37,6 +37,8 @@ val create :
   site_id:int ->
   n_sites:int ->
   ?obs:Obs.Sink.port ->
+  ?flight:Obs.Flight_recorder.port ->
+  ?lane:int ->
   deps ->
   t
 (** [obs] is a late-bound observability port (default: a fresh, never
@@ -45,7 +47,12 @@ val create :
     counters, the queue-depth gauge, and the causal request log
     (accept / enqueue / dequeue / cpu-wait / service / read-fan-out
     events stamped with [site_id]). Requests that arrive without an
-    ambient {!Des.Trace_context} get a fresh root stamped here. *)
+    ambient {!Des.Trace_context} get a fresh root stamped here.
+
+    [flight] is the always-on flight-recorder port ([lane] = the site's
+    hosting-region engine lane): shed decisions (deadline / admission /
+    queue expiry) are recorded when armed, at the same
+    one-load-one-branch disarmed cost. *)
 
 val accept :
   t -> Entity_state.t -> Types.request -> (Types.response -> unit) -> unit

@@ -55,6 +55,10 @@ type t = {
       (* Some iff [config.controller.enabled]: the adaptive contention
          controller owning the per-entity mechanism choice *)
   heat : Entity_state.t Entity_map.core -> Entity_state.t;
+  flight : Obs.Flight_recorder.port;
+  lane : int;
+      (* hosting region's engine lane — flight-recorder events written
+         from this site land in that lane's ring *)
   mutable fleet_gossip_armed : bool;
       (* the single site-level anti-entropy loop bulk registration arms
          (the legacy [init_entity] path keeps its per-entity timer) *)
@@ -160,7 +164,8 @@ let handle_net t ~src msg =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
 
-let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
+let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs
+    ?(flight = Obs.Flight_recorder.port ()) ?(lane = 0) () =
   (match Config.validate config with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Site.create: " ^ reason));
@@ -188,6 +193,15 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
           (Durable_image.capture ctx)
   in
   let now () = Des.Engine.now engine in
+  (* Flight-recorder write, armed path only (the disarmed branch is the
+     [tap] match at each wrapper below). *)
+  let flight_record ~kind ~entity detail =
+    match Obs.Flight_recorder.tap flight with
+    | None -> ()
+    | Some a ->
+        Obs.Flight_recorder.record a.Obs.Flight_recorder.recorder ~lane
+          ~ts:(now ()) ~kind ~site:id ~entity detail
+  in
   let prediction = Prediction.create ~config ?forecaster () in
   let rpolicy = Redistribution_policy.create ~config in
   (* Forward cell: the controller wraps the driver's trigger, but the
@@ -204,15 +218,33 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
             if !is_alive && !incarnation = inc then f ()))
       ~refresh_wanted:(Prediction.refresh_wanted prediction)
       ~register_outcome:(fun ctx ~aborted ~satisfied ->
+        let trips_before = ctx.Entity_state.breaker_trips in
         Redistribution_policy.register_outcome rpolicy ctx ~now:(now ()) ~aborted
           ~satisfied;
+        if ctx.Entity_state.breaker_trips > trips_before then
+          flight_record ~kind:Obs.Flight_recorder.Breaker
+            ~entity:(Entity_state.entity ctx)
+            (Printf.sprintf "circuit breaker opened (trip %d)"
+               ctx.Entity_state.breaker_trips);
         match !controller_cell with
         | Some c -> Controller.note_redistribution_outcome c ctx ~aborted
         | None -> ())
-      ~on_event:
-        (match on_protocol_event with
-        | Some f -> fun entity event -> f ~entity event
-        | None -> fun _ _ -> ())
+      ~on_event:(fun entity event ->
+        (match event with
+        | Avantan_core.Decided { participants; rounds; led = true; _ } ->
+            flight_record ~kind:Obs.Flight_recorder.Protocol ~entity
+              (Printf.sprintf "decided (%d participants, %d rounds)"
+                 participants rounds)
+        | Avantan_core.Instance_aborted { rounds; led = true; _ } ->
+            flight_record ~kind:Obs.Flight_recorder.Protocol ~entity
+              (Printf.sprintf "instance aborted (%d rounds)" rounds)
+        | Avantan_core.Recovery_started _ ->
+            flight_record ~kind:Obs.Flight_recorder.Protocol ~entity
+              "recovery started"
+        | _ -> ());
+        match on_protocol_event with
+        | Some f -> f ~entity event
+        | None -> ())
       ~persist ?obs ()
   in
   let heat (core : Entity_state.t Entity_map.core) =
@@ -267,14 +299,15 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
           ~trigger:(Protocol_driver.trigger driver)
       in
       Some
-        (Controller.create ~cfg:ctl_cfg ~engine ~site_id:id ?obs ~bdeps
-           ~redistribute ())
+        (Controller.create ~cfg:ctl_cfg ~engine ~site_id:id ?obs ~flight ~lane
+           ~bdeps ~redistribute ())
     end
     else None
   in
   controller_cell := controller;
   let handler =
-    Request_handler.create ~config ~engine ~site_id:id ~n_sites ?obs
+    Request_handler.create ~config ~engine ~site_id:id ~n_sites ?obs ~flight
+      ~lane
       {
         Request_handler.alive = (fun () -> !is_alive);
         reactive_ok =
@@ -326,6 +359,8 @@ let create ~config ~network ~id ?forecaster ?on_protocol_event ?obs () =
       driver;
       controller;
       heat;
+      flight;
+      lane;
       fleet_gossip_armed = false;
     }
   in
@@ -408,7 +443,17 @@ let hot_entities t = Entity_map.hot_count t.entities
 
 let submit t request ~reply =
   if not !(t.is_alive) then reply Types.Unavailable
-  else
+  else begin
+    (* Request-path heavy-hitters feed: per-lane windowed sketches, so
+       the merged top-k is identical at any worker count. Disarmed cost:
+       one load and one branch. *)
+    (match Obs.Flight_recorder.tap t.flight with
+    | None -> ()
+    | Some { Obs.Flight_recorder.hot = Some hot; _ } ->
+        Obs.Heavy_hitters.Windowed.observe hot ~lane:t.lane
+          ~now_ms:(Des.Engine.now t.engine)
+          (Types.request_entity request)
+    | Some _ -> ());
     match Types.validate request with
     | Error _ -> reply Types.Rejected
     | Ok () -> (
@@ -426,6 +471,7 @@ let submit t request ~reply =
             match get_core t entity with
             | None -> reply Types.Rejected
             | Some core -> Request_handler.accept_core t.handler core request reply))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Accessors / failure injection                                        *)

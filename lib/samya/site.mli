@@ -40,6 +40,8 @@ val create :
   ?forecaster:Ml.Forecaster.t ->
   ?on_protocol_event:(entity:Types.entity -> Avantan_core.event -> unit) ->
   ?obs:Obs.Sink.port ->
+  ?flight:Obs.Flight_recorder.port ->
+  ?lane:int ->
   unit ->
   t
 (** Registers the site's handler with the network at node [id]. Without a
@@ -49,7 +51,12 @@ val create :
     every entity's protocol instance — elections, accepts, aborts,
     decisions with round counts — without touching protocol state. [obs]
     is the late-bound observability port shared by the site's request
-    handler and protocol driver. *)
+    handler and protocol driver. [flight] is the always-on
+    flight-recorder port ([lane] = the site's hosting-region engine
+    lane): when armed, leader-side protocol outcomes, breaker trips,
+    sheds and mechanism switches are recorded into that lane's ring, and
+    the attachment's hot-key sketch is fed from {!submit}. Disarmed cost
+    is one load and one branch per instrumented point. *)
 
 val id : t -> int
 

@@ -19,4 +19,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("overload", Test_overload.suite);
       ("controller", Test_controller.suite);
+      ("incident", Test_incident.suite);
     ]

@@ -313,6 +313,10 @@ let explain_deterministic_and_attributed () =
               ()
           in
           t_system.Harness.Systems.subscribe sink;
+          let flight = Obs.Flight_recorder.create () in
+          let hot = Obs.Heavy_hitters.Windowed.create ~k:8 ~window_ms:10_000.0 () in
+          t_system.Harness.Systems.arm
+            { Obs.Flight_recorder.recorder = flight; hot = Some hot };
           let slo = Obs.Slo.create () in
           let spec =
             {
@@ -321,6 +325,7 @@ let explain_deterministic_and_attributed () =
               with
               Harness.Driver.obs = Some sink;
               slo = Some slo;
+              flight = Some flight;
             }
           in
           let result = Harness.Driver.run ~t_system spec in
@@ -330,6 +335,9 @@ let explain_deterministic_and_attributed () =
             slo;
             result;
             stats = t_system.Harness.Systems.stats ();
+            flight;
+            hot;
+            incidents = Obs.Watchdog.detect (Obs.Flight_recorder.events flight);
           })
         builders
     in
